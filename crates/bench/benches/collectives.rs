@@ -1,0 +1,55 @@
+//! Criterion bench over the MPI substrate's collectives and cost models —
+//! the machinery behind Figures 3/4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_substrate::{run_world, Datatype, ReduceOp};
+use netsim::{CostModel, SystemProfile};
+
+fn bench_executed_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executed-np4");
+    group.sample_size(10);
+    group.bench_function("allreduce-8B", |b| {
+        b.iter(|| {
+            run_world(4, |comm| {
+                let v = 1.0f64.to_le_bytes();
+                let mut out = [0u8; 8];
+                for _ in 0..10 {
+                    comm.allreduce(&v, &mut out, Datatype::Double, ReduceOp::Sum).unwrap();
+                }
+            });
+        });
+    });
+    group.bench_function("bcast-4KiB", |b| {
+        b.iter(|| {
+            run_world(4, |comm| {
+                let mut buf = vec![0u8; 4096];
+                for _ in 0..10 {
+                    comm.bcast(&mut buf, 0).unwrap();
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let model = CostModel::native(SystemProfile::supermuc_ng());
+    let mut group = c.benchmark_group("cost-model");
+    for ranks in [48u32, 768, 6144] {
+        group.bench_with_input(
+            BenchmarkId::new("allreduce", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    for log in 0..=22u32 {
+                        std::hint::black_box(model.allreduce(ranks, 1usize << log));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executed_collectives, bench_cost_models);
+criterion_main!(benches);

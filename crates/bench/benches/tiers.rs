@@ -1,0 +1,64 @@
+//! Criterion bench behind Table 1: compile time and execution throughput
+//! of the three tiers on the HPCG module, plus the ablation DESIGN.md
+//! calls out (what each Max-tier optimization pass buys).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_benchmarks::hpcg::{build_guest, HpcgParams};
+use mpiwasm::{JobConfig, Runner};
+use wasm_engine::runtime::CompiledModule;
+use wasm_engine::Tier;
+
+fn params() -> HpcgParams {
+    HpcgParams { nx: 6, ny: 6, nz: 6, iters: 2 }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let wasm = build_guest(params());
+    let module = wasm_engine::decode_module(&wasm).unwrap();
+    let mut group = c.benchmark_group("compile");
+    for tier in Tier::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |b, &tier| {
+            b.iter(|| CompiledModule::compile(module.clone(), tier).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let wasm = build_guest(params());
+    let runner = Runner::new();
+    let mut group = c.benchmark_group("hpcg-execute");
+    group.sample_size(10);
+    for tier in Tier::ALL {
+        let compiled = runner.prepare(&wasm, tier).unwrap().0;
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |b, &tier| {
+            b.iter(|| {
+                let result = runner
+                    .run_compiled(&compiled, JobConfig { np: 1, tier, ..Default::default() })
+                    .unwrap();
+                assert!(result.success());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ir_passes(c: &mut Criterion) {
+    // Ablation: flatten-only vs full optimization pipeline.
+    let wasm = build_guest(params());
+    let module = wasm_engine::decode_module(&wasm).unwrap();
+    let mut group = c.benchmark_group("ir-passes");
+    for (name, opt) in [("flatten-only", 0u8), ("full-pipeline", 2u8)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for f in &module.functions {
+                    std::hint::black_box(wasm_engine::ir::compile(&module, f, opt));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_execute, bench_ir_passes);
+criterion_main!(benches);

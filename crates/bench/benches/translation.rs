@@ -1,0 +1,65 @@
+//! Criterion bench behind Figure 6: the embedder's translation costs —
+//! datatype handle translation, byte-length computation, and the
+//! instrumented recording path itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_substrate::Datatype;
+use mpiwasm::translate::{byte_len, datatype_from_handle, op_from_handle, TranslationStats};
+
+fn bench_handle_translation(c: &mut Criterion) {
+    c.bench_function("datatype_from_handle", |b| {
+        b.iter(|| {
+            for h in 0..8 {
+                std::hint::black_box(datatype_from_handle(std::hint::black_box(h)).unwrap());
+            }
+        });
+    });
+    c.bench_function("op_from_handle", |b| {
+        b.iter(|| {
+            for h in 0..9 {
+                std::hint::black_box(op_from_handle(std::hint::black_box(h)).unwrap());
+            }
+        });
+    });
+    c.bench_function("byte_len", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                byte_len(std::hint::black_box(4096), Datatype::Double).unwrap(),
+            );
+        });
+    });
+}
+
+fn bench_stats_recording(c: &mut Criterion) {
+    c.bench_function("stats_record", |b| {
+        let mut stats = TranslationStats::new();
+        b.iter(|| {
+            stats.record(Datatype::Double, std::hint::black_box(8192), 100.0);
+        });
+    });
+}
+
+fn bench_memory_translation(c: &mut Criterion) {
+    // The §3.5 address translation: zero-copy slice formation.
+    use wasm_engine::runtime::Memory;
+    use wasm_engine::types::Limits;
+    let mem = Memory::new(Limits::new(64, None));
+    let mut group = c.benchmark_group("address-translation");
+    for bytes in [8u32, 1024, 262144, 1 << 22] {
+        group.bench_function(format!("{bytes}B"), |b| {
+            b.iter(|| {
+                let view = mem.slice(std::hint::black_box(4096), bytes).unwrap();
+                std::hint::black_box(view.as_ptr());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_handle_translation,
+    bench_stats_recording,
+    bench_memory_translation
+);
+criterion_main!(benches);

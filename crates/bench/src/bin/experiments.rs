@@ -1,0 +1,41 @@
+//! Run the complete experiment suite: every table and figure, in order,
+//! writing CSVs into `results/`. The `runme.sh` analog of the paper's
+//! artifact (§A.3.1).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate binary dir");
+
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n{}\n=== {bin} ===\n{}", "=".repeat(72), "=".repeat(72));
+        let path = exe_dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when invoked via `cargo run`.
+            Command::new("cargo").args(["run", "-q", "-p", "mpiwasm-bench", "--bin", bin]).status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failed.push(bin);
+            }
+        }
+    }
+    println!("\n{}", "=".repeat(72));
+    if failed.is_empty() {
+        println!("all experiments completed; CSVs in results/");
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

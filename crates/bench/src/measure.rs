@@ -1,0 +1,308 @@
+//! Measurement primitives: every *software* quantity the figures need is
+//! measured from the real stack here.
+
+use std::time::Instant;
+
+use hpc_benchmarks::{fig6, hpcg, imb, ior, npb_dt, npb_is};
+use mpi_substrate::{run_world, run_world_with, ClockMode};
+use mpiwasm::translate::TranslationStats;
+use mpiwasm::{JobConfig, Runner};
+use netsim::{CostModel, SystemProfile};
+use wasm_engine::dsl::*;
+use wasm_engine::runtime::CompiledModule;
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder, Tier};
+
+/// Measured per-MPI-call embedder overhead, broken into its parts.
+#[derive(Debug, Clone)]
+pub struct EmbedderOverhead {
+    /// Host-function trampoline cost, µs/call.
+    pub trampoline_us: f64,
+    /// Datatype + handle translation cost, µs/call (Figure 6 mean).
+    pub translation_us: f64,
+    /// The Figure 6 statistics the translation mean came from.
+    pub stats: TranslationStats,
+}
+
+impl EmbedderOverhead {
+    /// Total software overhead the Wasm path adds per MPI call, µs.
+    pub fn total_us(&self) -> f64 {
+        self.trampoline_us + self.translation_us
+    }
+}
+
+/// Measure the host-call trampoline: a guest loop of N calls to a no-op
+/// `env` import, minus the same loop without the call.
+pub fn measure_trampoline_us(calls: u32) -> f64 {
+    let build = |with_call: bool| -> Vec<u8> {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let noop = b.import_func("env", "noop", vec![], vec![]);
+        b.func("_start", vec![], vec![], |f| {
+            let i = Var::new(f, ValType::I32);
+            let body: Vec<Stmt> =
+                if with_call { vec![call_stmt(noop, vec![])] } else { vec![Stmt::Raw(vec![])] };
+            emit_block(f, &[for_range(i, int(0), int(calls as i32), &body)]);
+        });
+        encode_module(&b.finish())
+    };
+    let run = |wasm: &[u8]| -> f64 {
+        let module = wasm_engine::decode_module(wasm).unwrap();
+        let compiled = CompiledModule::compile(module, Tier::Max).unwrap();
+        let mut linker = wasm_engine::Linker::new();
+        linker.func("env", "noop", wasm_engine::FuncType::new(vec![], vec![]), |_, _| {
+            Ok(vec![])
+        });
+        let mut inst = linker.instantiate(&compiled, Box::new(())).unwrap();
+        let t0 = Instant::now();
+        inst.invoke("_start", &[]).unwrap();
+        t0.elapsed().as_secs_f64() * 1e6
+    };
+    let with = run(&build(true));
+    let without = run(&build(false));
+    ((with - without) / calls as f64).max(0.001)
+}
+
+/// Run the Figure 6 probe and return the measured overheads.
+pub fn measure_embedder_overhead() -> EmbedderOverhead {
+    let wasm = fig6::build_guest(&fig6::figure6_sizes(), 20);
+    let result = Runner::new()
+        .run(&wasm, JobConfig { np: 2, instrument: true, ..Default::default() })
+        .expect("fig6 probe runs");
+    assert!(result.success(), "fig6 probe failed: {:?}", result.ranks[0].error);
+    let stats = result.merged_stats();
+    let mut means = Vec::new();
+    for (_, dt, _) in fig6::figure6_datatypes() {
+        if let Some(m) = stats.mean_ns_all_sizes(dt) {
+            means.push(m);
+        }
+    }
+    let translation_us = means.iter().sum::<f64>() / means.len().max(1) as f64 / 1e3;
+    let trampoline_us = measure_trampoline_us(50_000);
+    EmbedderOverhead { trampoline_us, translation_us, stats }
+}
+
+/// Table 1: per-tier compile duration and single-core HPCG performance.
+pub struct TierResult {
+    pub tier: Tier,
+    pub compile_ms: f64,
+    pub gflops: f64,
+}
+
+pub fn measure_tiers(params: hpcg::HpcgParams) -> Vec<TierResult> {
+    let wasm = hpcg::build_guest(params);
+    let module = wasm_engine::decode_module(&wasm).unwrap();
+    let mut out = Vec::new();
+    for tier in Tier::ALL {
+        // Median-of-3 compile time.
+        let mut times = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(&compiled);
+        }
+        times.sort_by(f64::total_cmp);
+        let compile_ms = times[1];
+
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 1, tier, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "hpcg under {tier}: {:?}", result.ranks[0].error);
+        let elapsed = report_value(&result.ranks[0].reports, 0);
+        let flops = params.flops_per_iter() * params.iters as f64;
+        out.push(TierResult { tier, compile_ms, gflops: flops / elapsed / 1e9 });
+    }
+    out
+}
+
+fn report_value(reports: &[(i32, f64)], key: i32) -> f64 {
+    reports.iter().find(|(k, _)| *k == key).map(|(_, v)| *v).expect("report key present")
+}
+
+/// Measured compute times of the HPCG kernel per iteration:
+/// `(native_seconds, wasm_seconds)` at one rank.
+pub fn measure_hpcg_kernel(params: hpcg::HpcgParams) -> (f64, f64) {
+    let native = run_world(1, move |comm| hpcg::run_native(&comm, params))[0].0
+        / params.iters as f64;
+    let wasm_bytes = hpcg::build_guest(params);
+    let result = Runner::new()
+        .run(&wasm_bytes, JobConfig { np: 1, ..Default::default() })
+        .unwrap();
+    assert!(result.success());
+    let wasm = report_value(&result.ranks[0].reports, 0) / params.iters as f64;
+    (native, wasm)
+}
+
+/// DT wall-clock seconds: `(native, wasm_scalar, wasm_simd)`.
+pub fn measure_dt(np: u32, params: npb_dt::DtParams) -> (f64, f64, f64) {
+    let native = {
+        let p = params;
+        let out = run_world(np, move |comm| npb_dt::run_native(&comm, p));
+        out.iter().map(|o| o.0).fold(0.0, f64::max)
+    };
+    let run_guest = |simd: bool| -> f64 {
+        let wasm = npb_dt::build_guest(npb_dt::DtParams { simd, ..params });
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks[0].error);
+        result
+            .ranks
+            .iter()
+            .map(|r| report_value(&r.reports, 0))
+            .fold(0.0, f64::max)
+    };
+    (native, run_guest(false), run_guest(true))
+}
+
+/// IS wall-clock seconds `(native, wasm)` plus verified totals.
+pub fn measure_is(np: u32, params: npb_is::IsParams) -> (f64, f64, u64) {
+    let p = params;
+    let native = run_world(np, move |comm| npb_is::run_native(&comm, p));
+    let native_t = native.iter().map(|o| o.0).fold(0.0, f64::max);
+    let total = native[0].2;
+    let wasm = npb_is::build_guest(params);
+    let result = Runner::new()
+        .run(&wasm, JobConfig { np, ..Default::default() })
+        .unwrap();
+    assert!(result.success(), "{:?}", result.ranks[0].error);
+    let wasm_t = result
+        .ranks
+        .iter()
+        .map(|r| report_value(&r.reports, 0))
+        .fold(0.0, f64::max);
+    (native_t, wasm_t, total)
+}
+
+/// IOR bandwidths in MiB/s: `((native_write, native_read), (wasm_write, wasm_read))`.
+/// Median of five repetitions per phase — short memcpy-bound phases are
+/// scheduler-noisy on shared single-core hosts.
+pub fn measure_ior(np: u32, params: ior::IorParams) -> ((f64, f64), (f64, f64)) {
+    let total_mib = params.total_bytes() as f64 * np as f64 / (1 << 20) as f64;
+    let reps = 5;
+    let mut nw = Vec::new();
+    let mut nr = Vec::new();
+    let mut ww = Vec::new();
+    let mut wr = Vec::new();
+    let wasm = ior::build_guest(params);
+    for _ in 0..reps {
+        let p = params;
+        let native = run_world(np, move |comm| ior::run_native(&comm, p));
+        nw.push(total_mib / native.iter().map(|o| o.0).fold(0.0, f64::max).max(1e-9));
+        nr.push(total_mib / native.iter().map(|o| o.1).fold(0.0, f64::max).max(1e-9));
+
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks[0].error);
+        let ww_t =
+            result.ranks.iter().map(|r| report_value(&r.reports, 0)).fold(0.0, f64::max);
+        let wr_t =
+            result.ranks.iter().map(|r| report_value(&r.reports, 1)).fold(0.0, f64::max);
+        ww.push(total_mib / ww_t.max(1e-9));
+        wr.push(total_mib / wr_t.max(1e-9));
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    (
+        (median(&mut nw), median(&mut nr)),
+        (median(&mut ww), median(&mut wr)),
+    )
+}
+
+/// Executed IMB under virtual clocks: returns `(native, wasm)` series of
+/// `(log2 bytes, us)` at a rank count the host can actually thread.
+pub fn imb_executed_virtual(
+    profile: &SystemProfile,
+    routine: imb::ImbRoutine,
+    np: u32,
+    sweep: &[(u32, u32)],
+    wasm_overhead_us: f64,
+) -> (Vec<(i32, f64)>, Vec<(i32, f64)>) {
+    let mode = ClockMode::Virtual(CostModel::native(profile.clone()));
+    let sweep_owned: Vec<(u32, u32)> = sweep.to_vec();
+    let native = {
+        let sweep = sweep_owned.clone();
+        run_world_with(np, mode.clone(), move |comm| imb::run_native(&comm, routine, &sweep))
+            .swap_remove(0)
+    };
+    let wasm_bytes = imb::build_guest(routine, sweep);
+    let result = Runner::new()
+        .run(
+            &wasm_bytes,
+            JobConfig {
+                np,
+                clock: mode,
+                wasm_call_overhead_us: wasm_overhead_us,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(result.success(), "{:?}", result.ranks[0].error);
+    (native, result.ranks[0].reports.clone())
+}
+
+/// Quick-mode switch for CI/tests: smaller problems.
+pub fn quick() -> bool {
+    std::env::var("MPIWASM_QUICK").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trampoline_measurement_is_positive_and_sub_us() {
+        let t = measure_trampoline_us(20_000);
+        assert!(t > 0.0 && t < 10.0, "{t}");
+    }
+
+    #[test]
+    fn embedder_overhead_parts_are_sane() {
+        let o = measure_embedder_overhead();
+        assert!(o.translation_us >= 0.0 && o.translation_us < 10.0);
+        assert!(o.total_us() > 0.0);
+        assert!(o.stats.total_samples() > 0);
+    }
+
+    #[test]
+    fn tier_ordering_matches_table1() {
+        let results =
+            measure_tiers(hpc_benchmarks::hpcg::HpcgParams { nx: 8, ny: 8, nz: 8, iters: 6 });
+        assert_eq!(results.len(), 3);
+        // Compile time grows from Baseline to Max…
+        assert!(
+            results[2].compile_ms > results[0].compile_ms,
+            "max {}ms vs baseline {}ms",
+            results[2].compile_ms,
+            results[0].compile_ms
+        );
+        // …and runtime performance improves.
+        assert!(
+            results[2].gflops > results[0].gflops,
+            "max {} vs baseline {} GFLOP/s",
+            results[2].gflops,
+            results[0].gflops
+        );
+    }
+
+    #[test]
+    fn executed_imb_wasm_is_slower_by_bounded_margin() {
+        let profile = SystemProfile::container();
+        let (native, wasm) = imb_executed_virtual(
+            &profile,
+            imb::ImbRoutine::Allreduce,
+            4,
+            &[(256, 4)],
+            0.2,
+        );
+        assert_eq!(native.len(), 1);
+        assert_eq!(wasm.len(), 1);
+        let (n, w) = (native[0].1, wasm[0].1);
+        assert!(w > n, "wasm {w}us <= native {n}us");
+        assert!(w / n < 2.0, "overhead out of band: {w} vs {n}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Minimal ASCII plotting for terminal-rendered figures.
+
+/// Render series as an ASCII chart with log-scaled y (the paper's figures
+/// are mostly log-log). Each series gets a marker character.
+pub fn ascii_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(&str, &[f64])],
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  {title}\n"));
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if all.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (lo, hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (llo, lhi) = (lo.ln(), (hi.ln()).max(lo.ln() + 1e-9));
+    let width = x_labels.len();
+    let markers = ['N', 'W', 'F', 'x', 'o'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (xi, &y) in ys.iter().enumerate() {
+            if !(y.is_finite() && y > 0.0) {
+                continue;
+            }
+            let frac = (y.ln() - llo) / (lhi - llo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(height - 1)][xi];
+            *cell = if *cell == ' ' { markers[si % markers.len()] } else { '*' };
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = (lhi - (lhi - llo) * i as f64 / (height - 1) as f64).exp();
+        out.push_str(&format!("  {y_val:>10.2} | "));
+        for &c in row {
+            out.push(c);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  {:>10} +-{}\n", "", "-".repeat(width * 2)));
+    out.push_str(&format!("  {:>13}", ""));
+    for l in x_labels {
+        let c = l.chars().next().unwrap_or(' ');
+        out.push(c);
+        out.push(' ');
+    }
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{}={}", markers[i % markers.len()], name))
+        .collect();
+    out.push_str(&format!("  legend: {} ('*' = overlap)\n", legend.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_series_markers_and_title() {
+        let xs: Vec<String> = (0..8).map(|i| format!("{i}")).collect();
+        let native: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let wasm: Vec<f64> = (0..8).map(|i| 1.1 * (1.0 + i as f64)).collect();
+        let chart =
+            ascii_chart("demo", &xs, &[("Native", &native), ("WASM", &wasm)], 10);
+        assert!(chart.contains("demo"));
+        assert!(chart.contains('N') || chart.contains('*'));
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let chart = ascii_chart("empty", &[], &[("a", &[])], 5);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn zero_and_negative_values_are_skipped() {
+        let xs: Vec<String> = vec!["a".into(), "b".into()];
+        let ys = [0.0, -5.0];
+        let chart = ascii_chart("degenerate", &xs, &[("s", &ys)], 5);
+        assert!(chart.contains("no data"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The custom PingPong of §4.6: iterates over the MPI datatypes and
+//! message sizes so the embedder's instrumented Send path can measure the
+//! datatype-translation overhead (Figure 6).
+
+use mpi_substrate::Datatype;
+use wasm_engine::dsl::*;
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder};
+
+use crate::guest::{layout, MpiImports};
+
+/// The datatypes of Figure 6, with their guest handles.
+pub fn figure6_datatypes() -> Vec<(i32, Datatype, &'static str)> {
+    use mpiwasm::handles::*;
+    vec![
+        (MPI_BYTE, Datatype::Byte, "MPI_BYTE"),
+        (MPI_CHAR, Datatype::Char, "MPI_CHAR"),
+        (MPI_INT, Datatype::Int, "MPI_INT"),
+        (MPI_FLOAT, Datatype::Float, "MPI_FLOAT"),
+        (MPI_DOUBLE, Datatype::Double, "MPI_DOUBLE"),
+        (MPI_LONG, Datatype::Long, "MPI_LONG"),
+    ]
+}
+
+/// The message sizes of Figure 6's x-axis, in bytes.
+pub fn figure6_sizes() -> Vec<u32> {
+    vec![8, 64, 256, 1024, 32768, 262144, 1048576, 2097152, 4194304]
+}
+
+/// Build the two-rank datatype-translation probe. For every datatype and
+/// message size it performs `iters` send/recv pairs; run it with
+/// `JobConfig::instrument = true` and read the per-datatype translation
+/// means from `JobResult::merged_stats()`.
+pub fn build_guest(sizes: &[u32], iters: u32) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.name("fig6-datatype-pingpong");
+    b.memory(layout::PAGES, Some(layout::PAGES));
+    let mpi = MpiImports::declare(&mut b);
+    let sizes = sizes.to_vec();
+
+    b.func("_start", vec![], vec![], move |f| {
+        let rank = Var::new(f, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        let mut stmts = vec![mpi.init()];
+        stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+
+        for (dt_handle, dt, _) in figure6_datatypes() {
+            for &bytes in &sizes {
+                let count = (bytes as usize / dt.size()).max(1) as i32;
+                let body = vec![if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        mpi.send(int(layout::SEND_BUF), int(count), dt_handle, int(1), int(0)),
+                        mpi.recv(int(layout::RECV_BUF), int(count), dt_handle, int(1), int(0)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(count), dt_handle, int(0), int(0)),
+                        mpi.send(int(layout::SEND_BUF), int(count), dt_handle, int(0), int(0)),
+                    ],
+                )];
+                stmts.push(mpi.barrier_world());
+                stmts.push(for_range(i, int(0), int(iters as i32), &body));
+            }
+        }
+        stmts.push(mpi.finalize());
+        emit_block(f, &stmts);
+    });
+    encode_module(&b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpiwasm::{JobConfig, Runner};
+
+    #[test]
+    fn instrumentation_collects_samples_per_datatype() {
+        let wasm = build_guest(&[8, 1024], 3);
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, instrument: true, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks[0].error);
+        let stats = result.merged_stats();
+        assert!(stats.total_samples() > 0);
+        for (_, dt, name) in figure6_datatypes() {
+            let mean = stats.mean_ns_all_sizes(dt);
+            assert!(mean.is_some(), "no samples for {name}");
+            let mean = mean.unwrap();
+            assert!(mean >= 0.0 && mean < 1e6, "{name} mean {mean}ns implausible");
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_records_nothing() {
+        let wasm = build_guest(&[8], 2);
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, instrument: false, ..Default::default() })
+            .unwrap();
+        assert!(result.success());
+        assert_eq!(result.merged_stats().total_samples(), 0);
+    }
+
+    #[test]
+    fn figure6_axes_match_paper() {
+        assert_eq!(figure6_datatypes().len(), 6);
+        assert_eq!(figure6_sizes().first(), Some(&8));
+        assert_eq!(figure6_sizes().last(), Some(&4194304));
+    }
+}

@@ -1,0 +1,435 @@
+//! The guest-side MPI programming surface: this crate's equivalent of the
+//! paper's custom `mpi.h` (§3.2, Listing 2).
+//!
+//! [`MpiImports::declare`] adds every `env.MPI_*` import to a module under
+//! construction (producing exactly the import shape of the paper's
+//! Listing 3) and hands back typed helpers for emitting calls from the
+//! DSL. [`add_bump_allocator`] gives guests the exported `malloc`/`free`
+//! that `MPI_Alloc_mem`/`MPI_Free_mem` re-enter.
+
+use mpiwasm::handles;
+use wasm_engine::dsl::*;
+use wasm_engine::types::ValType;
+use wasm_engine::ModuleBuilder;
+
+/// Guest handle constants re-exported for benchmark authors.
+pub use mpiwasm::handles::{
+    MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_BYTE, MPI_CHAR, MPI_COMM_SELF, MPI_COMM_WORLD,
+    MPI_DOUBLE, MPI_FLOAT, MPI_INT, MPI_LONG, MPI_MAX, MPI_MIN, MPI_STATUS_IGNORE, MPI_SUM,
+    MPI_UNSIGNED, MPI_UNSIGNED_LONG,
+};
+
+/// Function indices of the imported MPI surface within a guest module.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiImports {
+    pub init: u32,
+    pub finalize: u32,
+    pub comm_rank: u32,
+    pub comm_size: u32,
+    pub send: u32,
+    pub recv: u32,
+    pub sendrecv: u32,
+    pub barrier: u32,
+    pub bcast: u32,
+    pub reduce: u32,
+    pub allreduce: u32,
+    pub gather: u32,
+    pub allgather: u32,
+    pub scatter: u32,
+    pub alltoall: u32,
+    pub comm_split: u32,
+    pub comm_dup: u32,
+    pub comm_free: u32,
+    pub wtime: u32,
+    pub get_count: u32,
+    pub iprobe: u32,
+    pub type_size: u32,
+    pub alloc_mem: u32,
+    pub free_mem: u32,
+    pub isend: u32,
+    pub irecv: u32,
+    pub wait: u32,
+    pub waitall: u32,
+    pub test: u32,
+    /// `bench.report(key, value)` harness hook.
+    pub report: u32,
+}
+
+impl MpiImports {
+    /// Declare the MPI (and harness) imports. Must run before any function
+    /// definitions, as imports occupy the front of the index space.
+    pub fn declare(b: &mut ModuleBuilder) -> MpiImports {
+        use ValType::{F64, I32};
+        let i = |b: &mut ModuleBuilder, name: &str, p: Vec<ValType>, r: Vec<ValType>| {
+            b.import_func("env", name, p, r)
+        };
+        MpiImports {
+            init: i(b, "MPI_Init", vec![I32; 2], vec![I32]),
+            finalize: i(b, "MPI_Finalize", vec![], vec![I32]),
+            comm_rank: i(b, "MPI_Comm_rank", vec![I32; 2], vec![I32]),
+            comm_size: i(b, "MPI_Comm_size", vec![I32; 2], vec![I32]),
+            send: i(b, "MPI_Send", vec![I32; 6], vec![I32]),
+            recv: i(b, "MPI_Recv", vec![I32; 7], vec![I32]),
+            sendrecv: i(b, "MPI_Sendrecv", vec![I32; 12], vec![I32]),
+            barrier: i(b, "MPI_Barrier", vec![I32], vec![I32]),
+            bcast: i(b, "MPI_Bcast", vec![I32; 5], vec![I32]),
+            reduce: i(b, "MPI_Reduce", vec![I32; 7], vec![I32]),
+            allreduce: i(b, "MPI_Allreduce", vec![I32; 6], vec![I32]),
+            gather: i(b, "MPI_Gather", vec![I32; 8], vec![I32]),
+            allgather: i(b, "MPI_Allgather", vec![I32; 7], vec![I32]),
+            scatter: i(b, "MPI_Scatter", vec![I32; 8], vec![I32]),
+            alltoall: i(b, "MPI_Alltoall", vec![I32; 7], vec![I32]),
+            comm_split: i(b, "MPI_Comm_split", vec![I32; 4], vec![I32]),
+            comm_dup: i(b, "MPI_Comm_dup", vec![I32; 2], vec![I32]),
+            comm_free: i(b, "MPI_Comm_free", vec![I32], vec![I32]),
+            wtime: i(b, "MPI_Wtime", vec![], vec![F64]),
+            get_count: i(b, "MPI_Get_count", vec![I32; 3], vec![I32]),
+            iprobe: i(b, "MPI_Iprobe", vec![I32; 5], vec![I32]),
+            type_size: i(b, "MPI_Type_size", vec![I32; 2], vec![I32]),
+            alloc_mem: i(b, "MPI_Alloc_mem", vec![I32; 3], vec![I32]),
+            free_mem: i(b, "MPI_Free_mem", vec![I32], vec![I32]),
+            isend: i(b, "MPI_Isend", vec![I32; 7], vec![I32]),
+            irecv: i(b, "MPI_Irecv", vec![I32; 7], vec![I32]),
+            wait: i(b, "MPI_Wait", vec![I32; 2], vec![I32]),
+            waitall: i(b, "MPI_Waitall", vec![I32; 3], vec![I32]),
+            test: i(b, "MPI_Test", vec![I32; 3], vec![I32]),
+            report: b.import_func("bench", "report", vec![I32, F64], vec![]),
+        }
+    }
+
+    // --- DSL helpers; every helper drops the MPI error code, the idiom
+    // --- of the benchmark codes themselves.
+
+    pub fn init(&self) -> Stmt {
+        call_drop(self.init, vec![int(0), int(0)])
+    }
+
+    pub fn finalize(&self) -> Stmt {
+        call_drop(self.finalize, vec![])
+    }
+
+    /// `rank_var = MPI_Comm_rank(MPI_COMM_WORLD)` via scratch address.
+    pub fn load_rank(&self, scratch: i32, rank_var: Var) -> Vec<Stmt> {
+        vec![
+            call_drop(self.comm_rank, vec![int(handles::MPI_COMM_WORLD), int(scratch)]),
+            rank_var.set(int(scratch).load(ValType::I32, 0)),
+        ]
+    }
+
+    pub fn load_size(&self, scratch: i32, size_var: Var) -> Vec<Stmt> {
+        vec![
+            call_drop(self.comm_size, vec![int(handles::MPI_COMM_WORLD), int(scratch)]),
+            size_var.set(int(scratch).load(ValType::I32, 0)),
+        ]
+    }
+
+    pub fn barrier_world(&self) -> Stmt {
+        call_drop(self.barrier, vec![int(handles::MPI_COMM_WORLD)])
+    }
+
+    pub fn wtime(&self) -> Expr {
+        call(self.wtime, vec![], ValType::F64)
+    }
+
+    pub fn report(&self, key: Expr, value: Expr) -> Stmt {
+        call_stmt(self.report, vec![key, value])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(&self, buf: Expr, count: Expr, dt: i32, dest: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.send,
+            vec![buf, count, int(dt), dest, tag, int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn recv(&self, buf: Expr, count: Expr, dt: i32, src: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.recv,
+            vec![
+                buf,
+                count,
+                int(dt),
+                src,
+                tag,
+                int(handles::MPI_COMM_WORLD),
+                int(handles::MPI_STATUS_IGNORE),
+            ],
+        )
+    }
+
+    pub fn bcast(&self, buf: Expr, count: Expr, dt: i32, root: Expr) -> Stmt {
+        call_drop(self.bcast, vec![buf, count, int(dt), root, int(handles::MPI_COMM_WORLD)])
+    }
+
+    pub fn allreduce(&self, sbuf: Expr, rbuf: Expr, count: Expr, dt: i32, op: i32) -> Stmt {
+        call_drop(
+            self.allreduce,
+            vec![sbuf, rbuf, count, int(dt), int(op), int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(&self, sbuf: Expr, rbuf: Expr, count: Expr, dt: i32, op: i32, root: Expr) -> Stmt {
+        call_drop(
+            self.reduce,
+            vec![sbuf, rbuf, count, int(dt), int(op), root, int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    pub fn allgather(&self, sbuf: Expr, count: Expr, dt: i32, rbuf: Expr) -> Stmt {
+        call_drop(
+            self.allgather,
+            vec![sbuf, count.clone(), int(dt), rbuf, count, int(dt), int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    pub fn alltoall(&self, sbuf: Expr, count: Expr, dt: i32, rbuf: Expr) -> Stmt {
+        call_drop(
+            self.alltoall,
+            vec![sbuf, count.clone(), int(dt), rbuf, count, int(dt), int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather(&self, sbuf: Expr, count: Expr, dt: i32, rbuf: Expr, root: Expr) -> Stmt {
+        call_drop(
+            self.gather,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                root,
+                int(handles::MPI_COMM_WORLD),
+            ],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter(&self, sbuf: Expr, count: Expr, dt: i32, rbuf: Expr, root: Expr) -> Stmt {
+        call_drop(
+            self.scatter,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                root,
+                int(handles::MPI_COMM_WORLD),
+            ],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        sbuf: Expr,
+        scount: Expr,
+        dt: i32,
+        dest: Expr,
+        rbuf: Expr,
+        rcount: Expr,
+        src: Expr,
+        tag: i32,
+    ) -> Stmt {
+        call_drop(
+            self.sendrecv,
+            vec![
+                sbuf,
+                scount,
+                int(dt),
+                dest,
+                int(tag),
+                rbuf,
+                rcount,
+                int(dt),
+                src,
+                int(tag),
+                int(handles::MPI_COMM_WORLD),
+                int(handles::MPI_STATUS_IGNORE),
+            ],
+        )
+    }
+}
+
+/// Add a trivial bump allocator exporting `malloc` and `free`, the hooks
+/// `MPI_Alloc_mem`/`MPI_Free_mem` require (§3.7). The heap grows from
+/// `heap_base`; `free` is a no-op (bump allocators don't reclaim), which
+/// is sufficient for the benchmark lifetimes.
+pub fn add_bump_allocator(b: &mut ModuleBuilder, heap_base: i32) -> (u32, u32) {
+    let heap_ptr = b.global(ValType::I32, true, wasm_engine::Instr::I32Const(heap_base));
+    let malloc = b.func("malloc", vec![ValType::I32], vec![ValType::I32], |f| {
+        let size = local(0, ValType::I32);
+        let out = Var::new(f, ValType::I32);
+        let g = GlobalVar { idx: heap_ptr, ty: ValType::I32 };
+        emit_block(f, &[
+            out.set(g.get()),
+            // Bump by size rounded up to 16 bytes.
+            g.set((g.get() + size.get() + int(15)).and(int(!15))),
+            ret(Some(out.get())),
+        ]);
+    });
+    let free = b.func("free", vec![ValType::I32], vec![], |_f| {});
+    (malloc, free)
+}
+
+/// Standard scratch-memory layout shared by the benchmark guests.
+pub mod layout {
+    /// Scratch word for rank/size outputs and small results.
+    pub const SCRATCH: i32 = 16;
+    /// iovec area for WASI calls.
+    pub const IOV: i32 = 64;
+    /// Send buffer base (page 1).
+    pub const SEND_BUF: i32 = 1 << 16;
+    /// Receive buffer base, 8 MiB above the send buffer — holds 4 MiB
+    /// payloads with room to spare.
+    pub const RECV_BUF: i32 = SEND_BUF + (8 << 20);
+    /// Heap base for the bump allocator / large benchmark state.
+    pub const HEAP: i32 = RECV_BUF + (24 << 20);
+    /// Default memory size in pages (64 MiB) covering the layout above.
+    pub const PAGES: u32 = 1024;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_substrate::ClockMode;
+    use mpiwasm::{JobConfig, Runner};
+    use wasm_engine::encode_module;
+
+    /// End-to-end smoke test: a 4-rank ring pass in Wasm through the
+    /// embedder. Exercises Init/rank/size/send/recv/barrier/report.
+    #[test]
+    fn ring_pass_end_to_end() {
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let size = Var::new(f, ValType::I32);
+            let token = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.extend(mpi.load_size(layout::SCRATCH + 8, size));
+            // Rank 0 seeds the token with 100; each hop adds the sender's
+            // rank; rank 0 receives the final value from the last rank.
+            stmts.extend([
+                if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        store(int(layout::SEND_BUF), 0, int(100)),
+                        mpi.send(int(layout::SEND_BUF), int(1), MPI_INT, int(1), int(7)),
+                        mpi.recv(
+                            int(layout::RECV_BUF),
+                            int(1),
+                            MPI_INT,
+                            size.get() - int(1),
+                            int(7),
+                        ),
+                        token.set(int(layout::RECV_BUF).load(ValType::I32, 0)),
+                        mpi.report(int(0), token.get().to(ValType::F64)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(1), MPI_INT, rank.get() - int(1), int(7)),
+                        token.set(int(layout::RECV_BUF).load(ValType::I32, 0) + rank.get()),
+                        store(int(layout::SEND_BUF), 0, token.get()),
+                        mpi.send(
+                            int(layout::SEND_BUF),
+                            int(1),
+                            MPI_INT,
+                            (rank.get() + int(1)) % size.get(),
+                            int(7),
+                        ),
+                    ],
+                ),
+                mpi.barrier_world(),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+
+        let runner = Runner::new();
+        let result = runner
+            .run(&wasm, JobConfig { np: 4, clock: ClockMode::Real, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        // 100 + 1 + 2 + 3
+        assert_eq!(result.ranks[0].reports, vec![(0, 106.0)]);
+    }
+
+    /// MPI_Alloc_mem must re-enter the exported bump allocator.
+    #[test]
+    fn alloc_mem_uses_guest_malloc() {
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        add_bump_allocator(&mut b, layout::HEAP);
+        b.func("_start", vec![], vec![], |f| {
+            let p1 = Var::new(f, ValType::I32);
+            let p2 = Var::new(f, ValType::I32);
+            emit_block(f, &[
+                mpi.init(),
+                call_drop(mpi.alloc_mem, vec![int(256), int(0), int(layout::SCRATCH)]),
+                p1.set(int(layout::SCRATCH).load(ValType::I32, 0)),
+                call_drop(mpi.alloc_mem, vec![int(256), int(0), int(layout::SCRATCH)]),
+                p2.set(int(layout::SCRATCH).load(ValType::I32, 0)),
+                call_drop(mpi.free_mem, vec![p1.get()]),
+                mpi.report(int(0), p1.get().to(ValType::F64)),
+                mpi.report(int(1), p2.get().to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 1, ..Default::default() })
+            .unwrap();
+        assert!(result.success());
+        let reports = &result.ranks[0].reports;
+        assert_eq!(reports[0].1, layout::HEAP as f64);
+        assert_eq!(reports[1].1, (layout::HEAP + 256) as f64);
+    }
+
+    /// Collectives through the full stack, all tiers.
+    #[test]
+    fn allreduce_through_embedder_all_tiers() {
+        for tier in wasm_engine::Tier::ALL {
+            let mut b = ModuleBuilder::new();
+            b.memory(layout::PAGES, None);
+            let mpi = MpiImports::declare(&mut b);
+            b.func("_start", vec![], vec![], |f| {
+                let rank = Var::new(f, ValType::I32);
+                let mut stmts = vec![mpi.init()];
+                stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+                stmts.extend([
+                    store(int(layout::SEND_BUF), 0, rank.get().to(ValType::F64) + double(1.0)),
+                    mpi.allreduce(
+                        int(layout::SEND_BUF),
+                        int(layout::RECV_BUF),
+                        int(1),
+                        MPI_DOUBLE,
+                        MPI_SUM,
+                    ),
+                    mpi.report(int(0), int(layout::RECV_BUF).load(ValType::F64, 0)),
+                    mpi.finalize(),
+                ]);
+                emit_block(f, &stmts);
+            });
+            let wasm = encode_module(&b.finish());
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 3, tier, ..Default::default() })
+                .unwrap();
+            assert!(result.success(), "tier {tier}");
+            // 1 + 2 + 3 on every rank.
+            for r in &result.ranks {
+                assert_eq!(r.reports, vec![(0, 6.0)], "tier {tier} rank {}", r.rank);
+            }
+        }
+    }
+}

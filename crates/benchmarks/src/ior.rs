@@ -1,0 +1,252 @@
+//! IOR (§4.2, Figure 5b): file-system I/O bandwidth through the POSIX API
+//! (the WASI path — `path_open`/`fd_write`/`fd_read`/`fd_seek`/`fd_close`).
+//!
+//! Each rank writes `blocks` blocks of `block_bytes` to its own file under
+//! the preopened directory, seeks back, and reads the file back,
+//! timing the two phases separately. Bandwidth = bytes / time, aggregated
+//! over ranks by the harness. Runs against the embedder's virtual
+//! filesystem, which is exactly the isolation layer the paper's IOR
+//! experiment stresses (§3.4).
+
+use mpi_substrate::Comm;
+use wasi_layer::host::{oflags, rights};
+use wasm_engine::dsl::*;
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder};
+
+use crate::guest::{layout, MpiImports};
+
+/// IOR parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IorParams {
+    pub block_bytes: u32,
+    pub blocks: u32,
+}
+
+impl Default for IorParams {
+    fn default() -> Self {
+        IorParams { block_bytes: 1 << 20, blocks: 8 }
+    }
+}
+
+impl IorParams {
+    pub fn total_bytes(&self) -> u64 {
+        self.block_bytes as u64 * self.blocks as u64
+    }
+}
+
+/// Build the IOR guest. Reports `(0, write_seconds)`, `(1, read_seconds)`,
+/// `(2, verify_errors)`.
+pub fn build_guest(p: IorParams) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.name("ior");
+    b.memory(layout::PAGES, Some(layout::PAGES));
+    let mpi = MpiImports::declare(&mut b);
+    use ValType::{I32, I64};
+    let path_open = b.import_func(
+        "wasi_snapshot_preview1",
+        "path_open",
+        vec![I32, I32, I32, I32, I32, I64, I64, I32, I32],
+        vec![I32],
+    );
+    let fd_write =
+        b.import_func("wasi_snapshot_preview1", "fd_write", vec![I32; 4], vec![I32]);
+    let fd_read = b.import_func("wasi_snapshot_preview1", "fd_read", vec![I32; 4], vec![I32]);
+    let fd_seek = b.import_func(
+        "wasi_snapshot_preview1",
+        "fd_seek",
+        vec![I32, I64, I32, I32],
+        vec![I32],
+    );
+    let fd_close = b.import_func("wasi_snapshot_preview1", "fd_close", vec![I32], vec![I32]);
+
+    let block = p.block_bytes as i32;
+    let blocks = p.blocks as i32;
+    const NAME: i32 = 128; // "ior.<d><d>" file name buffer
+    const FD_OUT: i32 = 160;
+    const IOV: i32 = layout::IOV;
+    let buf = layout::SEND_BUF;
+
+    b.func("_start", vec![], vec![], move |f| {
+        let rank = Var::new(f, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        let fd = Var::new(f, ValType::I32);
+        let t0 = Var::new(f, ValType::F64);
+        let errors = Var::new(f, ValType::I32);
+
+        let mut stmts = vec![mpi.init()];
+        stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+        stmts.extend([
+            // File name "ior.XY" with two decimal digits of the rank.
+            store_u8(int(NAME), 0, int('i' as i32)),
+            store_u8(int(NAME), 1, int('o' as i32)),
+            store_u8(int(NAME), 2, int('r' as i32)),
+            store_u8(int(NAME), 3, int('.' as i32)),
+            store_u8(int(NAME), 4, int('0' as i32) + rank.get() / int(10)),
+            store_u8(int(NAME), 5, int('0' as i32) + rank.get() % int(10)),
+            // Fill the write buffer with a rank-dependent pattern.
+            for_range(i, int(0), int(block), &[store_u8(
+                int(buf) + i.get(),
+                0,
+                (i.get() + rank.get()).rem_u(int(251)),
+            )]),
+            // iovec: one segment of `block` bytes.
+            store(int(IOV), 0, int(buf)),
+            store(int(IOV), 4, int(block)),
+            // open(dirfd=3 /data, "ior.XY", CREAT|TRUNC, rw)
+            call_drop(path_open, vec![
+                int(3),
+                int(0),
+                int(NAME),
+                int(6),
+                int((oflags::CREAT | oflags::TRUNC) as i32),
+                long((rights::FD_READ | rights::FD_WRITE) as i64),
+                long(0),
+                int(0),
+                int(FD_OUT),
+            ]),
+            fd.set(int(FD_OUT).load(ValType::I32, 0)),
+            // Untimed warm pass: allocates the file so the timed phase
+            // measures steady-state writes, as IOR's repeated iterations do.
+            for_range(i, int(0), int(blocks), &[call_drop(
+                fd_write,
+                vec![fd.get(), int(IOV), int(1), int(layout::SCRATCH)],
+            )]),
+            call_drop(fd_seek, vec![fd.get(), long(0), int(0), int(layout::SCRATCH)]),
+            mpi.barrier_world(),
+            // --- write phase ---
+            t0.set(mpi.wtime()),
+            for_range(i, int(0), int(blocks), &[call_drop(
+                fd_write,
+                vec![fd.get(), int(IOV), int(1), int(layout::SCRATCH)],
+            )]),
+            mpi.barrier_world(),
+            mpi.report(int(0), mpi.wtime() - t0.get()),
+            // --- read phase (into a different buffer for verification) ---
+            call_drop(fd_seek, vec![fd.get(), long(0), int(0), int(layout::SCRATCH)]),
+            store(int(IOV), 0, int(layout::RECV_BUF)),
+            store(int(IOV), 4, int(block)),
+            // Pre-touch the read buffer so first-touch page faults don't
+            // pollute the timed phase (the write buffer was touched by the
+            // pattern fill above).
+            Stmt::MemFill { dst: int(layout::RECV_BUF), byte: int(0), len: int(block) },
+            mpi.barrier_world(),
+            t0.set(mpi.wtime()),
+            for_range(i, int(0), int(blocks), &[call_drop(
+                fd_read,
+                vec![fd.get(), int(IOV), int(1), int(layout::SCRATCH)],
+            )]),
+            mpi.barrier_world(),
+            mpi.report(int(1), mpi.wtime() - t0.get()),
+            // --- verify the last block read back ---
+            errors.set(int(0)),
+            for_range(i, int(0), int(block), &[if_then(
+                (int(layout::RECV_BUF) + i.get())
+                    .load_u8(0)
+                    .ne((i.get() + rank.get()).rem_u(int(251))),
+                &[errors.set(errors.get() + int(1))],
+            )]),
+            mpi.report(int(2), errors.get().to(ValType::F64)),
+            call_drop(fd_close, vec![fd.get()]),
+            mpi.finalize(),
+        ]);
+        emit_block(f, &stmts);
+    });
+    encode_module(&b.finish())
+}
+
+/// Native IOR against an in-memory "filesystem" (a plain Vec per rank).
+/// Returns `(write_seconds, read_seconds, verify_errors)`.
+pub fn run_native(comm: &Comm, p: IorParams) -> (f64, f64, u64) {
+    let rank = comm.rank();
+    let n = p.block_bytes as usize;
+    let pattern: Vec<u8> = (0..n).map(|i| ((i as u32 + rank) % 251) as u8).collect();
+    // Warm pass allocates the file; the timed phase overwrites in place
+    // (matching the guest's warm-write + rewrite sequence).
+    let mut file: Vec<u8> = Vec::new();
+    for _ in 0..p.blocks {
+        file.extend_from_slice(&pattern);
+    }
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for b in 0..p.blocks as usize {
+        file[b * n..(b + 1) * n].copy_from_slice(&pattern);
+    }
+    comm.barrier().unwrap();
+    let write_t = comm.wtime() - t0;
+
+    let mut readback = vec![0u8; n];
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for b in 0..p.blocks as usize {
+        readback.copy_from_slice(&file[b * n..(b + 1) * n]);
+    }
+    comm.barrier().unwrap();
+    let read_t = comm.wtime() - t0;
+
+    let errors = readback.iter().zip(&pattern).filter(|(a, b)| a != b).count() as u64;
+    (write_t, read_t, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_substrate::run_world;
+    use mpiwasm::{JobConfig, Runner};
+
+    fn tiny() -> IorParams {
+        IorParams { block_bytes: 4096, blocks: 4 }
+    }
+
+    #[test]
+    fn guest_validates() {
+        let wasm = build_guest(tiny());
+        let module = wasm_engine::decode_module(&wasm).unwrap();
+        wasm_engine::validate_module(&module).unwrap();
+    }
+
+    #[test]
+    fn guest_writes_reads_and_verifies() {
+        let wasm = build_guest(tiny());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks[0].error);
+        for r in &result.ranks {
+            let get = |key: i32| r.reports.iter().find(|(k, _)| *k == key).unwrap().1;
+            assert_eq!(get(2), 0.0, "rank {} read back corrupt data", r.rank);
+            // Warm pass + timed pass both write the full file.
+            assert_eq!(r.bytes_written, 2 * tiny().total_bytes());
+            assert_eq!(r.bytes_read, tiny().total_bytes());
+        }
+    }
+
+    #[test]
+    fn ranks_write_distinct_files() {
+        let wasm = build_guest(tiny());
+        let fs = wasi_layer::SharedFs::memory();
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 3, fs: fs.clone(), ..Default::default() })
+            .unwrap();
+        assert!(result.success());
+        // All three per-rank files exist in the shared fs.
+        for rank in 0..3 {
+            let name = format!("ior.{:02}", rank);
+            assert!(
+                fs.open(0, &name, false, false, false).is_ok(),
+                "missing {name}"
+            );
+        }
+        assert_eq!(fs.memory_usage() as u64, 3 * tiny().total_bytes());
+    }
+
+    #[test]
+    fn native_roundtrip_is_clean() {
+        let p = tiny();
+        let out = run_world(2, move |comm| run_native(&comm, p));
+        for (_, _, errors) in out {
+            assert_eq!(errors, 0);
+        }
+    }
+}

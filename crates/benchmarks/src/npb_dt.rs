@@ -1,0 +1,428 @@
+//! NAS Parallel Benchmarks: DT — data traffic through a task graph (§4.2,
+//! Figure 5a right).
+//!
+//! DT streams arrays of doubles through a communication topology and
+//! performs element-wise pairwise-comparison reductions at each node —
+//! exactly the workload the paper uses to demonstrate the effect of
+//! 128-bit SIMD (`-msimd128`): the guest is built in a scalar and a SIMD
+//! variant, and the SIMD variant processes two f64 lanes per operation.
+//!
+//! Topologies, following the paper's bh/wh/sh:
+//! * **BlackHole** — fan-in: every rank streams to rank 0,
+//! * **WhiteHole** — fan-out: rank 0 streams to every rank,
+//! * **Shuffle** — butterfly: log₂(p) pairwise exchange rounds.
+
+use mpi_substrate::{Comm, Source, Tag};
+use wasm_engine::dsl::*;
+use wasm_engine::instr::{Instr, MemArg};
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder};
+
+use crate::guest::{layout, MpiImports, MPI_DOUBLE};
+
+/// DT topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    BlackHole,
+    WhiteHole,
+    Shuffle,
+}
+
+impl Topology {
+    pub const ALL: [Topology; 3] = [Topology::BlackHole, Topology::WhiteHole, Topology::Shuffle];
+
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Topology::BlackHole => "bh",
+            Topology::WhiteHole => "wh",
+            Topology::Shuffle => "sh",
+        }
+    }
+}
+
+/// DT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DtParams {
+    /// Doubles per message (must be even for the SIMD variant).
+    pub elems: u32,
+    pub topology: Topology,
+    pub iters: u32,
+    /// Emit the SIMD combine kernel (the `-msimd128` build).
+    pub simd: bool,
+}
+
+impl Default for DtParams {
+    fn default() -> Self {
+        DtParams { elems: 4096, topology: Topology::BlackHole, iters: 4, simd: false }
+    }
+}
+
+impl DtParams {
+    /// Total payload bytes moved per iteration for `p` ranks (the
+    /// throughput denominator).
+    pub fn bytes_per_iter(&self, p: u32) -> u64 {
+        let msg = self.elems as u64 * 8;
+        match self.topology {
+            Topology::BlackHole | Topology::WhiteHole => msg * (p as u64 - 1),
+            Topology::Shuffle => msg * p as u64 * (p.max(2).ilog2() as u64),
+        }
+    }
+}
+
+/// The DT combine kernel, scalar semantics (shared by native and guest):
+/// `acc[i] = max(acc,in)*0.5 + min(acc,in)*0.25 + acc*in*1e-6`.
+#[inline]
+pub fn combine_scalar(acc: f64, input: f64) -> f64 {
+    let hi = if acc > input { acc } else { input };
+    let lo = if acc > input { input } else { acc };
+    hi * 0.5 + lo * 0.25 + acc * input * 1e-6
+}
+
+/// Build the DT guest. Reports `(0, elapsed_seconds)`, `(1, checksum)`.
+pub fn build_guest(p: DtParams) -> Vec<u8> {
+    assert!(p.elems % 2 == 0, "SIMD variant needs an even element count");
+    let mut b = ModuleBuilder::new();
+    b.name(&format!(
+        "npb-dt-{}{}",
+        p.topology.short_name(),
+        if p.simd { "-simd" } else { "" }
+    ));
+    b.memory(layout::PAGES, Some(layout::PAGES));
+    let mpi = MpiImports::declare(&mut b);
+
+    let elems = p.elems as i32;
+    let acc_buf = layout::HEAP;
+    let in_buf = acc_buf + elems * 8 + 64;
+
+    // combine(acc_ptr, in_ptr): element-wise kernel.
+    let combine = b.func_private(vec![ValType::I32, ValType::I32], vec![], move |f| {
+        let acc = local(0, ValType::I32);
+        let inp = local(1, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        if p.simd {
+            // Two f64 lanes per step with v128 operations.
+            let va = f.local(ValType::V128);
+            let vb = f.local(ValType::V128);
+            let mask = f.local(ValType::V128);
+            let step: Vec<Stmt> = vec![Stmt::Raw(vec![
+                // va = acc[i..i+2], vb = in[i..i+2]
+                Instr::LocalGet(acc.idx),
+                Instr::LocalGet(i.idx),
+                Instr::I32Const(3),
+                Instr::I32Shl,
+                Instr::I32Add,
+                Instr::V128Load(MemArg::default()),
+                Instr::LocalSet(va),
+                Instr::LocalGet(inp.idx),
+                Instr::LocalGet(i.idx),
+                Instr::I32Const(3),
+                Instr::I32Shl,
+                Instr::I32Add,
+                Instr::V128Load(MemArg::default()),
+                Instr::LocalSet(vb),
+                // mask = va < vb (per lane)
+                Instr::LocalGet(va),
+                Instr::LocalGet(vb),
+                Instr::F64x2Lt,
+                Instr::LocalSet(mask),
+                // hi = (vb & mask) | (va & !mask)
+                Instr::LocalGet(vb),
+                Instr::LocalGet(mask),
+                Instr::V128And,
+                Instr::LocalGet(va),
+                Instr::LocalGet(mask),
+                Instr::V128Not,
+                Instr::V128And,
+                Instr::V128Or,
+                // hi * 0.5
+                Instr::F64Const(0.5),
+                Instr::F64x2Splat,
+                Instr::F64x2Mul,
+                // lo = (va & mask) | (vb & !mask); lo * 0.25
+                Instr::LocalGet(va),
+                Instr::LocalGet(mask),
+                Instr::V128And,
+                Instr::LocalGet(vb),
+                Instr::LocalGet(mask),
+                Instr::V128Not,
+                Instr::V128And,
+                Instr::V128Or,
+                Instr::F64Const(0.25),
+                Instr::F64x2Splat,
+                Instr::F64x2Mul,
+                Instr::F64x2Add,
+                // + va*vb*1e-6
+                Instr::LocalGet(va),
+                Instr::LocalGet(vb),
+                Instr::F64x2Mul,
+                Instr::F64Const(1e-6),
+                Instr::F64x2Splat,
+                Instr::F64x2Mul,
+                Instr::F64x2Add,
+                Instr::LocalSet(va),
+                // store back to acc
+                Instr::LocalGet(acc.idx),
+                Instr::LocalGet(i.idx),
+                Instr::I32Const(3),
+                Instr::I32Shl,
+                Instr::I32Add,
+                Instr::LocalGet(va),
+                Instr::V128Store(MemArg::default()),
+                // i += 2
+                Instr::LocalGet(i.idx),
+                Instr::I32Const(2),
+                Instr::I32Add,
+                Instr::LocalSet(i.idx),
+            ])];
+            emit_block(f, &[while_loop(i.get().lt(int(elems)), &step)]);
+        } else {
+            let a = |idx: Expr| (acc.get() + idx.shl(int(3))).load(ValType::F64, 0);
+            let bv = |idx: Expr| (inp.get() + idx.shl(int(3))).load(ValType::F64, 0);
+            emit_block(f, &[for_range(i, int(0), int(elems), &[store(
+                acc.get() + i.get().shl(int(3)),
+                0,
+                a(i.get()).max(bv(i.get())) * double(0.5)
+                    + a(i.get()).min(bv(i.get())) * double(0.25)
+                    + a(i.get()) * bv(i.get()) * double(1e-6),
+            )])]);
+        }
+    });
+
+    b.func("_start", vec![], vec![], move |f| {
+        let rank = Var::new(f, ValType::I32);
+        let size = Var::new(f, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        let it = Var::new(f, ValType::I32);
+        let round = Var::new(f, ValType::I32);
+        let partner = Var::new(f, ValType::I32);
+        let t0 = Var::new(f, ValType::F64);
+        let checksum = Var::new(f, ValType::F64);
+
+        let mut stmts = vec![mpi.init()];
+        stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+        stmts.extend(mpi.load_size(layout::SCRATCH + 8, size));
+
+        // Seed data: deterministic per rank.
+        stmts.push(for_range(i, int(0), int(elems), &[store(
+            int(acc_buf) + i.get().shl(int(3)),
+            0,
+            (rank.get() * int(31) + i.get().rem_u(int(97)) + int(1)).to(ValType::F64)
+                * double(0.001),
+        )]));
+        stmts.push(mpi.barrier_world());
+        stmts.push(t0.set(mpi.wtime()));
+
+        let per_iter: Vec<Stmt> = match p.topology {
+            Topology::BlackHole => vec![if_else(
+                rank.get().eq(int(0)),
+                &[for_range(partner, int(1), size.get(), &[
+                    mpi.recv(int(in_buf), int(elems), MPI_DOUBLE, partner.get(), int(5)),
+                    call_stmt(combine, vec![int(acc_buf), int(in_buf)]),
+                ])],
+                &[mpi.send(int(acc_buf), int(elems), MPI_DOUBLE, int(0), int(5))],
+            )],
+            Topology::WhiteHole => vec![if_else(
+                rank.get().eq(int(0)),
+                &[for_range(partner, int(1), size.get(), &[mpi.send(
+                    int(acc_buf),
+                    int(elems),
+                    MPI_DOUBLE,
+                    partner.get(),
+                    int(5),
+                )])],
+                &[
+                    mpi.recv(int(in_buf), int(elems), MPI_DOUBLE, int(0), int(5)),
+                    call_stmt(combine, vec![int(acc_buf), int(in_buf)]),
+                ],
+            )],
+            Topology::Shuffle => vec![
+                round.set(int(1)),
+                while_loop(round.get().lt(size.get()), &[
+                    partner.set(rank.get().xor(round.get())),
+                    if_then(partner.get().lt(size.get()), &[
+                        mpi.sendrecv(
+                            int(acc_buf),
+                            int(elems),
+                            MPI_DOUBLE,
+                            partner.get(),
+                            int(in_buf),
+                            int(elems),
+                            partner.get(),
+                            5,
+                        ),
+                        call_stmt(combine, vec![int(acc_buf), int(in_buf)]),
+                    ]),
+                    round.set(round.get().shl(int(1))),
+                ]),
+            ],
+        };
+        stmts.push(for_range(it, int(0), int(p.iters as i32), &per_iter));
+
+        stmts.extend([
+            mpi.report(int(0), mpi.wtime() - t0.get()),
+            checksum.set(double(0.0)),
+            for_range(i, int(0), int(elems), &[checksum.set(
+                checksum.get() + (int(acc_buf) + i.get().shl(int(3))).load(ValType::F64, 0),
+            )]),
+            mpi.report(int(1), checksum.get()),
+            mpi.finalize(),
+        ]);
+        emit_block(f, &stmts);
+    });
+    encode_module(&b.finish())
+}
+
+/// Native DT. Returns `(elapsed_seconds, checksum)`.
+pub fn run_native(comm: &Comm, p: DtParams) -> (f64, f64) {
+    let rank = comm.rank();
+    let size = comm.size();
+    let n = p.elems as usize;
+    let mut acc: Vec<f64> =
+        (0..n).map(|i| (rank * 31 + (i as u32 % 97) + 1) as f64 * 0.001).collect();
+    let mut inp = vec![0.0f64; n];
+
+    let to_bytes = |s: &[f64]| -> Vec<u8> { s.iter().flat_map(|v| v.to_le_bytes()).collect() };
+    let from_bytes = |b: &[u8], out: &mut [f64]| {
+        for (i, c) in b.chunks_exact(8).enumerate() {
+            out[i] = f64::from_le_bytes(c.try_into().unwrap());
+        }
+    };
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..p.iters {
+        match p.topology {
+            Topology::BlackHole => {
+                if rank == 0 {
+                    for partner in 1..size {
+                        let mut buf = vec![0u8; n * 8];
+                        comm.recv(&mut buf, Source::Rank(partner), Tag::Value(5)).unwrap();
+                        from_bytes(&buf, &mut inp);
+                        for i in 0..n {
+                            acc[i] = combine_scalar(acc[i], inp[i]);
+                        }
+                    }
+                } else {
+                    comm.send(&to_bytes(&acc), 0, 5).unwrap();
+                }
+            }
+            Topology::WhiteHole => {
+                if rank == 0 {
+                    for partner in 1..size {
+                        comm.send(&to_bytes(&acc), partner, 5).unwrap();
+                    }
+                } else {
+                    let mut buf = vec![0u8; n * 8];
+                    comm.recv(&mut buf, Source::Rank(0), Tag::Value(5)).unwrap();
+                    from_bytes(&buf, &mut inp);
+                    for i in 0..n {
+                        acc[i] = combine_scalar(acc[i], inp[i]);
+                    }
+                }
+            }
+            Topology::Shuffle => {
+                let mut round = 1;
+                while round < size {
+                    let partner = rank ^ round;
+                    if partner < size {
+                        let mut buf = vec![0u8; n * 8];
+                        comm.sendrecv(
+                            &to_bytes(&acc),
+                            partner,
+                            5,
+                            &mut buf,
+                            Source::Rank(partner),
+                            Tag::Value(5),
+                        )
+                        .unwrap();
+                        from_bytes(&buf, &mut inp);
+                        for i in 0..n {
+                            acc[i] = combine_scalar(acc[i], inp[i]);
+                        }
+                    }
+                    round <<= 1;
+                }
+            }
+        }
+    }
+    let elapsed = comm.wtime() - t0;
+    (elapsed, acc.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_substrate::run_world;
+    use mpiwasm::{JobConfig, Runner};
+
+    fn tiny(topology: Topology, simd: bool) -> DtParams {
+        DtParams { elems: 64, topology, iters: 2, simd }
+    }
+
+    #[test]
+    fn all_guest_variants_validate() {
+        for topology in Topology::ALL {
+            for simd in [false, true] {
+                let wasm = build_guest(tiny(topology, simd));
+                let module = wasm_engine::decode_module(&wasm).unwrap();
+                wasm_engine::validate_module(&module).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn guest_scalar_matches_native_checksum() {
+        for topology in Topology::ALL {
+            let p = tiny(topology, false);
+            let native = run_world(4, move |comm| run_native(&comm, p));
+            let wasm = build_guest(p);
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 4, ..Default::default() })
+                .unwrap();
+            assert!(result.success(), "{topology:?}: {:?}", result.ranks[0].error);
+            for (rr, nat) in result.ranks.iter().zip(&native) {
+                let checksum =
+                    rr.reports.iter().find(|(k, _)| *k == 1).map(|(_, v)| *v).unwrap();
+                assert!(
+                    (checksum - nat.1).abs() < 1e-9 * nat.1.abs().max(1.0),
+                    "{topology:?} rank {}: {checksum} vs {}",
+                    rr.rank,
+                    nat.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_guests_agree() {
+        for topology in Topology::ALL {
+            let scalar = build_guest(tiny(topology, false));
+            let simd = build_guest(tiny(topology, true));
+            let run = |wasm: &[u8]| {
+                Runner::new()
+                    .run(wasm, JobConfig { np: 4, ..Default::default() })
+                    .unwrap()
+            };
+            let a = run(&scalar);
+            let b = run(&simd);
+            assert!(a.success() && b.success(), "{topology:?}");
+            for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+                let ca = ra.reports.iter().find(|(k, _)| *k == 1).unwrap().1;
+                let cb = rb.reports.iter().find(|(k, _)| *k == 1).unwrap().1;
+                assert!(
+                    (ca - cb).abs() < 1e-9 * ca.abs().max(1.0),
+                    "{topology:?} rank {}: scalar {ca} vs simd {cb}",
+                    ra.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_per_iter_model() {
+        let p = DtParams { elems: 100, topology: Topology::BlackHole, iters: 1, simd: false };
+        assert_eq!(p.bytes_per_iter(5), 100 * 8 * 4);
+        let sh = DtParams { topology: Topology::Shuffle, ..p };
+        assert_eq!(sh.bytes_per_iter(8), 100 * 8 * 8 * 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! The `mpiwasm` command-line embedder.
+//!
+//! ```text
+//! mpiwasm -np 4 app.wasm [app args...]
+//! mpiwasm -np 2 -d ./shared -tier max -cache ~/.cache/mpiwasm app.wasm
+//! ```
+//!
+//! This is the paper's Listing 4 interface folded into one binary: where
+//! the paper runs `mpirun -np N ./mpiWasm app.wasm`, the rank launcher
+//! here is in-process (one thread per rank; see crate `mpi-substrate`).
+
+use std::process::ExitCode;
+
+use mpi_substrate::ClockMode;
+use mpiwasm::{JobConfig, Runner};
+use wasi_layer::{Rights, SharedFs};
+use wasm_engine::Tier;
+
+const USAGE: &str = "\
+mpiwasm — execute MPI applications compiled to WebAssembly
+
+USAGE:
+    mpiwasm [OPTIONS] <module.wasm> [guest args...]
+
+OPTIONS:
+    -np <N>          number of MPI ranks (default 1)
+    -tier <T>        execution tier: baseline | optimizing | max (default max)
+    -d <DIR>         preopen host directory read-write as /<basename>
+    -d-ro <DIR>      preopen host directory read-only as /<basename>
+    -cache <DIR>     compiled-module cache directory (content-addressed)
+    -entry <NAME>    exported entry function (default _start)
+    -quiet           do not echo guest stdout/stderr
+    -wat             print the module in text format and exit
+    -h, --help       show this help
+";
+
+struct Options {
+    np: u32,
+    tier: Tier,
+    preopens: Vec<(String, String, Rights)>,
+    cache: Option<String>,
+    entry: String,
+    quiet: bool,
+    wat: bool,
+    module: String,
+    guest_args: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        np: 1,
+        tier: Tier::Max,
+        preopens: Vec::new(),
+        cache: None,
+        entry: "_start".into(),
+        quiet: false,
+        wat: false,
+        module: String::new(),
+        guest_args: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    let need = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-np" => {
+                opts.np = need(&mut it, "-np")?
+                    .parse()
+                    .map_err(|_| "-np expects a positive integer".to_string())?;
+                if opts.np == 0 {
+                    return Err("-np must be at least 1".into());
+                }
+            }
+            "-tier" => {
+                opts.tier = match need(&mut it, "-tier")?.as_str() {
+                    "baseline" | "singlepass" => Tier::Baseline,
+                    "optimizing" | "cranelift" => Tier::Optimizing,
+                    "max" | "llvm" => Tier::Max,
+                    other => return Err(format!("unknown tier {other:?}")),
+                };
+            }
+            "-d" | "-d-ro" => {
+                let rights =
+                    if arg == "-d" { Rights::READ_WRITE } else { Rights::READ_ONLY };
+                let dir = need(&mut it, arg)?;
+                let name = std::path::Path::new(&dir)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "data".into());
+                opts.preopens.push((name, dir, rights));
+            }
+            "-cache" => opts.cache = Some(need(&mut it, "-cache")?),
+            "-entry" => opts.entry = need(&mut it, "-entry")?,
+            "-quiet" => opts.quiet = true,
+            "-wat" => opts.wat = true,
+            other if opts.module.is_empty() && !other.starts_with('-') => {
+                opts.module = other.to_string();
+            }
+            other if !opts.module.is_empty() => {
+                opts.guest_args.push(other.to_string());
+                opts.guest_args.extend(it.by_ref().cloned());
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    if opts.module.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let wasm_bytes = match std::fs::read(&opts.module) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mpiwasm: cannot read {}: {e}", opts.module);
+            return ExitCode::from(1);
+        }
+    };
+
+    if opts.wat {
+        match wasm_engine::decode_module(&wasm_bytes) {
+            Ok(m) => {
+                print!("{}", wasm_engine::wat::to_wat(&m));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("mpiwasm: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    // Filesystem: the requested preopens (virtual names hide host paths,
+    // paper §3.4), or an in-memory scratch directory when none are given.
+    let fs = if opts.preopens.is_empty() {
+        SharedFs::memory()
+    } else {
+        SharedFs::new(
+            opts.preopens
+                .iter()
+                .map(|(name, dir, rights)| wasi_layer::Preopen {
+                    guest_name: name.clone(),
+                    rights: *rights,
+                    backend: wasi_layer::DirBackend::Host(dir.into()),
+                })
+                .collect(),
+        )
+    };
+
+    let runner = match &opts.cache {
+        Some(dir) => match Runner::new().with_cache(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mpiwasm: cannot open cache {dir}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => Runner::new(),
+    };
+
+    let mut guest_args = vec![opts.module.clone()];
+    guest_args.extend(opts.guest_args.clone());
+    let config = JobConfig {
+        np: opts.np,
+        tier: opts.tier,
+        clock: ClockMode::Real,
+        args: guest_args,
+        fs,
+        echo_stdout: !opts.quiet,
+        entry: opts.entry.clone(),
+        ..Default::default()
+    };
+
+    match runner.run(&wasm_bytes, config) {
+        Ok(result) => {
+            if !opts.quiet {
+                eprintln!(
+                    "mpiwasm: {} ranks, compile {:.2}ms{}",
+                    result.ranks.len(),
+                    result.compile_time.as_secs_f64() * 1e3,
+                    if result.cache_hit { " (cache hit)" } else { "" },
+                );
+            }
+            let mut exit = 0;
+            for r in &result.ranks {
+                if let Some(err) = &r.error {
+                    eprintln!("mpiwasm: rank {} trapped: {err}", r.rank);
+                    exit = 1;
+                } else if r.exit_code != 0 && exit == 0 {
+                    exit = r.exit_code.clamp(0, 255);
+                }
+            }
+            ExitCode::from(exit as u8)
+        }
+        Err(e) => {
+            eprintln!("mpiwasm: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The `Env` structure: per-rank global state for the translations
+//! (paper §3.7).
+//!
+//! Each MPI rank runs one instance of the embedder with one Wasm module
+//! instance; the instance's data slot holds an `Env` containing the rank's
+//! communicator table, the WASI context, and the instrumentation counters.
+
+use mpi_substrate::{Comm, MpiError};
+use wasi_layer::WasiCtx;
+
+use crate::translate::{handles, TranslationStats};
+
+/// A pending nonblocking operation (guest `MPI_Request`).
+///
+/// Sends complete eagerly (the substrate buffers them), so an Isend
+/// request is born complete. Receives are *deferred*: the matching and
+/// the copy into guest memory happen at `MPI_Wait`/`MPI_Test` — a legal
+/// MPI progress model (implementations may progress at completion calls),
+/// documented as this embedder's choice.
+#[derive(Debug, Clone)]
+pub enum PendingRequest {
+    /// Completed operation (Isend, or an already-waited request).
+    Done,
+    /// Deferred receive: where to deliver and what to match.
+    Recv { comm: i32, buf: u32, bytes: u32, src: i32, tag: i32 },
+}
+
+/// MPI-side state of one rank.
+pub struct MpiState {
+    /// Communicator handle table: index = guest handle.
+    /// Slot 0 is `MPI_COMM_WORLD`, slot 1 is `MPI_COMM_SELF`.
+    comms: Vec<Option<Comm>>,
+    /// Nonblocking-request table: guest handle = index + 1
+    /// (0 is `MPI_REQUEST_NULL`).
+    requests: Vec<Option<PendingRequest>>,
+    /// `MPI_Init` has been called.
+    pub initialized: bool,
+    /// `MPI_Finalize` has been called.
+    pub finalized: bool,
+    /// Figure 6 instrumentation; populated when `instrument` is set.
+    pub stats: TranslationStats,
+    pub instrument: bool,
+    /// Extra per-MPI-call software overhead (µs) charged to the rank's
+    /// virtual clock — the measured embedder cost injected into
+    /// simulated-time runs. Zero for native-path runs and real-time runs.
+    pub wasm_call_overhead_us: f64,
+}
+
+impl MpiState {
+    /// Build the state for one rank. `world` is the rank's world
+    /// communicator; `comm_self` its size-1 self communicator.
+    pub fn new(world: Comm, comm_self: Comm) -> MpiState {
+        MpiState {
+            comms: vec![Some(world), Some(comm_self)],
+            requests: Vec::new(),
+            initialized: false,
+            finalized: false,
+            stats: TranslationStats::new(),
+            instrument: false,
+            wasm_call_overhead_us: 0.0,
+        }
+    }
+
+    /// Resolve a guest communicator handle.
+    pub fn comm(&self, handle: i32) -> Result<&Comm, MpiError> {
+        self.comms
+            .get(handle as usize)
+            .and_then(|c| c.as_ref())
+            .ok_or(MpiError::InvalidComm(handle as u32))
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> &Comm {
+        self.comms[handles::MPI_COMM_WORLD as usize]
+            .as_ref()
+            .expect("world communicator always present")
+    }
+
+    /// Register a derived communicator; returns its guest handle.
+    pub fn insert_comm(&mut self, comm: Comm) -> i32 {
+        // Reuse freed slots beyond the two predefined handles.
+        if let Some(slot) = self.comms.iter().skip(2).position(|c| c.is_none()) {
+            let idx = slot + 2;
+            self.comms[idx] = Some(comm);
+            return idx as i32;
+        }
+        self.comms.push(Some(comm));
+        (self.comms.len() - 1) as i32
+    }
+
+    /// Free a derived communicator handle (`MPI_Comm_free`). The
+    /// predefined handles cannot be freed.
+    pub fn free_comm(&mut self, handle: i32) -> Result<(), MpiError> {
+        if handle < handles::FIRST_DYNAMIC_COMM {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        let slot = self
+            .comms
+            .get_mut(handle as usize)
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        if slot.take().is_none() {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        Ok(())
+    }
+
+    /// Number of live communicators (diagnostics).
+    pub fn live_comms(&self) -> usize {
+        self.comms.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Register a pending request; returns its guest handle (≥ 1).
+    pub fn insert_request(&mut self, req: PendingRequest) -> i32 {
+        if let Some(slot) = self.requests.iter().position(|r| r.is_none()) {
+            self.requests[slot] = Some(req);
+            return slot as i32 + 1;
+        }
+        self.requests.push(Some(req));
+        self.requests.len() as i32
+    }
+
+    /// Take (and clear) a pending request by guest handle.
+    pub fn take_request(&mut self, handle: i32) -> Result<PendingRequest, MpiError> {
+        if handle <= 0 {
+            // MPI_REQUEST_NULL: waiting on it is a no-op per the standard.
+            return Ok(PendingRequest::Done);
+        }
+        self.requests
+            .get_mut(handle as usize - 1)
+            .and_then(|r| r.take())
+            .ok_or(MpiError::InvalidComm(handle as u32))
+    }
+
+    /// Peek at a pending request without consuming it (`MPI_Test`).
+    pub fn peek_request(&self, handle: i32) -> Option<&PendingRequest> {
+        if handle <= 0 {
+            return None;
+        }
+        self.requests.get(handle as usize - 1).and_then(|r| r.as_ref())
+    }
+
+    /// Number of live (unwaited) requests, for leak diagnostics.
+    pub fn live_requests(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Charge the configured per-call embedder overhead to the rank's
+    /// virtual clock (no-op in real-clock worlds).
+    pub fn charge_wasm_overhead(&self) {
+        if self.wasm_call_overhead_us > 0.0 {
+            self.world().charge_overhead_us(self.wasm_call_overhead_us);
+        }
+    }
+}
+
+/// Everything an instance's data slot holds: MPI state + WASI context.
+pub struct Env {
+    pub mpi: MpiState,
+    pub wasi: WasiCtx,
+    /// Values reported by the guest through the `bench.report` hook:
+    /// `(key, value)` pairs, in call order. Benchmark guests use this to
+    /// hand measured timings back to the harness without text parsing.
+    pub reports: Vec<(i32, f64)>,
+}
+
+impl Env {
+    pub fn new(mpi: MpiState, wasi: WasiCtx) -> Env {
+        Env { mpi, wasi, reports: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_substrate::run_world;
+    use wasi_layer::SharedFs;
+
+    fn with_env(f: impl Fn(&mut Env) + Send + Sync + 'static) {
+        run_world(2, move |comm| {
+            let comm_self = comm.split(comm.rank() as i32, 0).unwrap().unwrap();
+            let mpi = MpiState::new(comm, comm_self);
+            let wasi = WasiCtx::new(SharedFs::memory(), vec![]);
+            let mut env = Env::new(mpi, wasi);
+            f(&mut env);
+        });
+    }
+
+    #[test]
+    fn predefined_handles_resolve() {
+        with_env(|env| {
+            assert_eq!(env.mpi.comm(handles::MPI_COMM_WORLD).unwrap().size(), 2);
+            assert_eq!(env.mpi.comm(handles::MPI_COMM_SELF).unwrap().size(), 1);
+            assert!(env.mpi.comm(5).is_err());
+            assert!(env.mpi.comm(-1).is_err());
+        });
+    }
+
+    #[test]
+    fn insert_and_free_comm_reuses_slots() {
+        with_env(|env| {
+            let dup = env.mpi.world().dup().unwrap();
+            let h = env.mpi.insert_comm(dup);
+            assert_eq!(h, handles::FIRST_DYNAMIC_COMM);
+            assert_eq!(env.mpi.live_comms(), 3);
+            env.mpi.free_comm(h).unwrap();
+            assert_eq!(env.mpi.live_comms(), 2);
+            assert!(env.mpi.comm(h).is_err());
+            let dup2 = env.mpi.world().dup().unwrap();
+            assert_eq!(env.mpi.insert_comm(dup2), h, "slot reused");
+        });
+    }
+
+    #[test]
+    fn predefined_comms_cannot_be_freed() {
+        with_env(|env| {
+            assert!(env.mpi.free_comm(handles::MPI_COMM_WORLD).is_err());
+            assert!(env.mpi.free_comm(handles::MPI_COMM_SELF).is_err());
+            assert!(env.mpi.free_comm(99).is_err());
+        });
+    }
+}

@@ -1,0 +1,785 @@
+//! The `env.MPI_*` host functions (paper §3.7).
+//!
+//! Every function follows the same pattern the paper describes: translate
+//! the guest's 32-bit handles and addresses (crate-level [`crate::translate`]),
+//! then defer to the host MPI library with zero-copy buffer views over the
+//! instance's linear memory. MPI failures surface as guest-visible MPI
+//! error codes; engine-level faults (out-of-bounds addresses) trap.
+//!
+//! `MPI_Alloc_mem`/`MPI_Free_mem` are the special case of §3.7: the host
+//! MPI library's allocator would return 64-bit host addresses that mean
+//! nothing inside the guest's 32-bit memory, so the embedder re-enters the
+//! guest's exported `malloc`/`free` instead.
+
+use std::any::Any;
+use std::time::Instant;
+
+use mpi_substrate::{Comm, MpiError, Source, Status, Tag};
+use wasm_engine::error::Trap;
+use wasm_engine::runtime::{Instance, Linker, Memory, Value};
+use wasm_engine::types::{FuncType, ValType};
+
+use crate::env::Env;
+use crate::translate::{byte_len, datatype_from_handle, handles, op_from_handle};
+
+/// Guest-side `MPI_Status` layout (our `mpi.h` equivalent):
+/// `{ i32 MPI_SOURCE; i32 MPI_TAG; i32 MPI_ERROR; i32 count_bytes }`.
+pub const STATUS_SIZE: u32 = 16;
+
+fn env_of(data: &mut (dyn Any + Send)) -> &mut Env {
+    data.downcast_mut::<Env>().expect("instance data is not an mpiwasm Env")
+}
+
+fn code(r: Result<(), MpiError>) -> Vec<Value> {
+    vec![Value::I32(match r {
+        Ok(()) => handles::MPI_SUCCESS,
+        Err(e) => e.code(),
+    })]
+}
+
+fn write_status(mem: &mut Memory, ptr: u32, st: &Status) -> Result<(), Trap> {
+    if ptr == handles::MPI_STATUS_IGNORE as u32 {
+        return Ok(());
+    }
+    mem.write_i32_at(ptr, st.source as i32)?;
+    mem.write_i32_at(ptr + 4, st.tag)?;
+    mem.write_i32_at(ptr + 8, 0)?;
+    mem.write_i32_at(ptr + 12, st.bytes as i32)?;
+    Ok(())
+}
+
+fn source_of(h: i32) -> Source {
+    if h == handles::MPI_ANY_SOURCE {
+        Source::Any
+    } else {
+        Source::Rank(h as u32)
+    }
+}
+
+fn tag_of(h: i32) -> Tag {
+    if h == handles::MPI_ANY_TAG {
+        Tag::Any
+    } else {
+        Tag::Value(h)
+    }
+}
+
+/// Complete one nonblocking request: no-op for finished sends, a real
+/// (blocking) receive into guest memory for deferred receives.
+fn complete_request(
+    mem: &mut Memory,
+    env: &mut Env,
+    handle: i32,
+    status_ptr: u32,
+) -> Result<(), MpiError> {
+    match env.mpi.take_request(handle)? {
+        crate::env::PendingRequest::Done => Ok(()),
+        crate::env::PendingRequest::Recv { comm, buf, bytes, src, tag } => {
+            let comm = env.mpi.comm(comm)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let st = comm.recv(view, source_of(src), tag_of(tag))?;
+            let _ = write_status(mem, status_ptr, &st);
+            Ok(())
+        }
+    }
+}
+
+/// Translate `(count, datatype_handle)` on an instrumented path: returns
+/// the host datatype and byte length, recording the translation time when
+/// instrumentation is on (§4.6).
+fn translate_instrumented(
+    env: &mut Env,
+    count: i32,
+    dt_handle: i32,
+) -> Result<(mpi_substrate::Datatype, u32), MpiError> {
+    if env.mpi.instrument {
+        let t0 = Instant::now();
+        let dt = datatype_from_handle(dt_handle)?;
+        let bytes = byte_len(count, dt)?;
+        let ns = t0.elapsed().as_nanos() as f64;
+        env.mpi.stats.record(dt, bytes.max(1), ns);
+        Ok((dt, bytes))
+    } else {
+        let dt = datatype_from_handle(dt_handle)?;
+        let bytes = byte_len(count, dt)?;
+        Ok((dt, bytes))
+    }
+}
+
+macro_rules! mpi_fn {
+    ($linker:expr, $name:literal, ($($p:expr),*) -> $r:expr, $body:expr) => {
+        $linker.func("env", $name, FuncType::new(vec![$($p),*], vec![$r]), $body);
+    };
+}
+
+/// Register every MPI function the embedder provides.
+pub fn register_mpi(linker: &mut Linker) {
+    use ValType::{F64, I32};
+
+    mpi_fn!(linker, "MPI_Init", (I32, I32) -> I32, |inst, _args| {
+        let env = env_of(inst.parts().1);
+        env.mpi.initialized = true;
+        env.mpi.charge_wasm_overhead();
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    mpi_fn!(linker, "MPI_Finalize", () -> I32, |inst: &mut Instance, _args: &[Value]| {
+        let env = env_of(inst.parts().1);
+        env.mpi.finalized = true;
+        env.mpi.charge_wasm_overhead();
+        // Ranks synchronize at finalize, as real MPI implementations do.
+        let r = env.mpi.world().barrier();
+        Ok(code(r))
+    });
+
+    mpi_fn!(linker, "MPI_Initialized", (I32) -> I32, |inst, args: &[Value]| {
+        let ptr = args[0].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        mem.write_i32_at(ptr, env.mpi.initialized as i32)?;
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    mpi_fn!(linker, "MPI_Finalized", (I32) -> I32, |inst, args: &[Value]| {
+        let ptr = args[0].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        mem.write_i32_at(ptr, env.mpi.finalized as i32)?;
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    mpi_fn!(linker, "MPI_Comm_rank", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let (comm_h, ptr) = (args[0].as_i32()?, args[1].as_u32()?);
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.comm(comm_h) {
+            Ok(c) => {
+                mem.write_i32_at(ptr, c.rank() as i32)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    mpi_fn!(linker, "MPI_Comm_size", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let (comm_h, ptr) = (args[0].as_i32()?, args[1].as_u32()?);
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.comm(comm_h) {
+            Ok(c) => {
+                mem.write_i32_at(ptr, c.size() as i32)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Send(buf, count, datatype, dest, tag, comm)
+    mpi_fn!(linker, "MPI_Send", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let buf = args[0].as_u32()?;
+        let count = args[1].as_i32()?;
+        let dt_h = args[2].as_i32()?;
+        let dest = args[3].as_i32()?;
+        let tag = args[4].as_i32()?;
+        let comm_h = args[5].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            // Zero-copy: the slice *is* guest memory (§3.5).
+            let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            comm.send(view, dest as u32, tag)
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Recv(buf, count, datatype, source, tag, comm, status)
+    mpi_fn!(linker, "MPI_Recv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let buf = args[0].as_u32()?;
+        let count = args[1].as_i32()?;
+        let dt_h = args[2].as_i32()?;
+        let src = args[3].as_i32()?;
+        let tag = args[4].as_i32()?;
+        let comm_h = args[5].as_i32()?;
+        let status_ptr = args[6].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let mut status = None;
+        let r = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let st = comm.recv(view, source_of(src), tag_of(tag))?;
+            status = Some(st);
+            Ok(())
+        })();
+        if let Some(st) = status {
+            write_status(mem, status_ptr, &st)?;
+        }
+        Ok(code(r))
+    });
+
+    // MPI_Sendrecv(sbuf, scount, stype, dest, stag,
+    //              rbuf, rcount, rtype, source, rtag, comm, status)
+    {
+        let params = vec![I32; 12];
+        linker.func("env", "MPI_Sendrecv", FuncType::new(params, vec![I32]), |inst, args| {
+            let sbuf = args[0].as_u32()?;
+            let scount = args[1].as_i32()?;
+            let stype = args[2].as_i32()?;
+            let dest = args[3].as_i32()?;
+            let stag = args[4].as_i32()?;
+            let rbuf = args[5].as_u32()?;
+            let rcount = args[6].as_i32()?;
+            let rtype = args[7].as_i32()?;
+            let src = args[8].as_i32()?;
+            let rtag = args[9].as_i32()?;
+            let comm_h = args[10].as_i32()?;
+            let status_ptr = args[11].as_u32()?;
+            let (mem, data) = inst.parts();
+            let env = env_of(data);
+            env.mpi.charge_wasm_overhead();
+            let mut status = None;
+            let r = (|| {
+                let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
+                let (_rdt, rbytes) = translate_instrumented(env, rcount, rtype)?;
+                let comm = env.mpi.comm(comm_h)?;
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, sbytes), (rbuf, rbytes))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                let st = comm.sendrecv(
+                    sview,
+                    dest as u32,
+                    stag,
+                    rview,
+                    source_of(src),
+                    tag_of(rtag),
+                )?;
+                status = Some(st);
+                Ok(())
+            })();
+            if let Some(st) = status {
+                write_status(mem, status_ptr, &st)?;
+            }
+            Ok(code(r))
+        });
+    }
+
+    mpi_fn!(linker, "MPI_Barrier", (I32) -> I32, |inst, args: &[Value]| {
+        let comm_h = args[0].as_i32()?;
+        let env = env_of(inst.parts().1);
+        env.mpi.charge_wasm_overhead();
+        let r = env.mpi.comm(comm_h).and_then(|c| c.barrier());
+        Ok(code(r))
+    });
+
+    // MPI_Bcast(buf, count, datatype, root, comm)
+    mpi_fn!(linker, "MPI_Bcast", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let buf = args[0].as_u32()?;
+        let count = args[1].as_i32()?;
+        let dt_h = args[2].as_i32()?;
+        let root = args[3].as_i32()?;
+        let comm_h = args[4].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            comm.bcast(view, root as u32)
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm)
+    mpi_fn!(linker, "MPI_Reduce", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let rbuf = args[1].as_u32()?;
+        let count = args[2].as_i32()?;
+        let dt_h = args[3].as_i32()?;
+        let op_h = args[4].as_i32()?;
+        let root = args[5].as_i32()?;
+        let comm_h = args[6].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let op = op_from_handle(op_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, bytes), (rbuf, bytes))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                comm.reduce(sview, Some(rview), dt, op, root as u32)
+            } else {
+                let sview = mem.slice(sbuf, bytes).map_err(|_| MpiError::BadCount {
+                    bytes: bytes as usize,
+                    type_size: 1,
+                })?;
+                comm.reduce(sview, None, dt, op, root as u32)
+            }
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm)
+    mpi_fn!(linker, "MPI_Allreduce", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let rbuf = args[1].as_u32()?;
+        let count = args[2].as_i32()?;
+        let dt_h = args[3].as_i32()?;
+        let op_h = args[4].as_i32()?;
+        let comm_h = args[5].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let op = op_from_handle(op_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, bytes), (rbuf, bytes))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            comm.allreduce(sview, rview, dt, op)
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Gather(sbuf, scount, stype, rbuf, rcount, rtype, root, comm)
+    mpi_fn!(linker, "MPI_Gather", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let scount = args[1].as_i32()?;
+        let stype = args[2].as_i32()?;
+        let rbuf = args[3].as_u32()?;
+        let rcount = args[4].as_i32()?;
+        let rtype = args[5].as_i32()?;
+        let root = args[6].as_i32()?;
+        let comm_h = args[7].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+                let comm = env.mpi.comm(comm_h)?;
+                let total = rbytes_each * comm.size();
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, sbytes), (rbuf, total))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                comm.gather(sview, Some(rview), root as u32)
+            } else {
+                let sview = mem.slice(sbuf, sbytes).map_err(|_| MpiError::BadCount {
+                    bytes: sbytes as usize,
+                    type_size: 1,
+                })?;
+                comm.gather(sview, None, root as u32)
+            }
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Allgather(sbuf, scount, stype, rbuf, rcount, rtype, comm)
+    mpi_fn!(linker, "MPI_Allgather", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let scount = args[1].as_i32()?;
+        let stype = args[2].as_i32()?;
+        let rbuf = args[3].as_u32()?;
+        let rcount = args[4].as_i32()?;
+        let rtype = args[5].as_i32()?;
+        let comm_h = args[6].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
+            let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let total = rbytes_each * comm.size();
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, sbytes), (rbuf, total))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            comm.allgather(sview, rview)
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Scatter(sbuf, scount, stype, rbuf, rcount, rtype, root, comm)
+    mpi_fn!(linker, "MPI_Scatter", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let scount = args[1].as_i32()?;
+        let stype = args[2].as_i32()?;
+        let rbuf = args[3].as_u32()?;
+        let rcount = args[4].as_i32()?;
+        let rtype = args[5].as_i32()?;
+        let root = args[6].as_i32()?;
+        let comm_h = args[7].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_rdt, rbytes) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (_sdt, sbytes_each) = translate_instrumented(env, scount, stype)?;
+                let comm = env.mpi.comm(comm_h)?;
+                let total = sbytes_each * comm.size();
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, total), (rbuf, rbytes))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                comm.scatter(Some(sview), rview, root as u32)
+            } else {
+                let rview = mem.slice_mut(rbuf, rbytes).map_err(|_| MpiError::BadCount {
+                    bytes: rbytes as usize,
+                    type_size: 1,
+                })?;
+                comm.scatter(None, rview, root as u32)
+            }
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Alltoall(sbuf, scount, stype, rbuf, rcount, rtype, comm)
+    mpi_fn!(linker, "MPI_Alltoall", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let sbuf = args[0].as_u32()?;
+        let scount = args[1].as_i32()?;
+        let stype = args[2].as_i32()?;
+        let rbuf = args[3].as_u32()?;
+        let rcount = args[4].as_i32()?;
+        let rtype = args[5].as_i32()?;
+        let comm_h = args[6].as_i32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_sdt, sbytes_each) = translate_instrumented(env, scount, stype)?;
+            let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let stotal = sbytes_each * comm.size();
+            let rtotal = rbytes_each * comm.size();
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, stotal), (rbuf, rtotal))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            comm.alltoall(sview, rview)
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Comm_split(comm, color, key, newcomm_ptr)
+    mpi_fn!(linker, "MPI_Comm_split", (I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let comm_h = args[0].as_i32()?;
+        let color = args[1].as_i32()?;
+        let key = args[2].as_i32()?;
+        let out_ptr = args[3].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let result: Result<Option<Comm>, MpiError> =
+            env.mpi.comm(comm_h).and_then(|c| c.split(color, key));
+        match result {
+            Ok(Some(new_comm)) => {
+                let h = env.mpi.insert_comm(new_comm);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Ok(None) => {
+                mem.write_i32_at(out_ptr, -1)?; // MPI_COMM_NULL
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Comm_dup(comm, newcomm_ptr)
+    mpi_fn!(linker, "MPI_Comm_dup", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let comm_h = args[0].as_i32()?;
+        let out_ptr = args[1].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        match env.mpi.comm(comm_h).and_then(|c| c.dup()) {
+            Ok(new_comm) => {
+                let h = env.mpi.insert_comm(new_comm);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Comm_free(comm_ptr)
+    mpi_fn!(linker, "MPI_Comm_free", (I32) -> I32, |inst, args: &[Value]| {
+        let ptr = args[0].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let h = mem.read_i32_at(ptr)?;
+        let r = env.mpi.free_comm(h);
+        if r.is_ok() {
+            mem.write_i32_at(ptr, -1)?; // MPI_COMM_NULL
+        }
+        Ok(code(r))
+    });
+
+    // MPI_Wtime() -> f64
+    linker.func("env", "MPI_Wtime", FuncType::new(vec![], vec![F64]), |inst, _args| {
+        let env = env_of(inst.parts().1);
+        Ok(vec![Value::F64(env.mpi.world().wtime())])
+    });
+
+    // MPI_Wtick() -> f64
+    linker.func("env", "MPI_Wtick", FuncType::new(vec![], vec![F64]), |_inst, _args| {
+        Ok(vec![Value::F64(1e-9)])
+    });
+
+    // MPI_Abort(comm, errorcode): traps the instance.
+    mpi_fn!(linker, "MPI_Abort", (I32, I32) -> I32, |_inst, args: &[Value]| {
+        Err(Trap::host(format!("MPI_Abort called with code {}", args[1].as_i32()?)))
+    });
+
+    // MPI_Get_count(status_ptr, datatype, count_ptr)
+    mpi_fn!(linker, "MPI_Get_count", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let status_ptr = args[0].as_u32()?;
+        let dt_h = args[1].as_i32()?;
+        let out_ptr = args[2].as_u32()?;
+        let mem = &mut inst.memory;
+        match datatype_from_handle(dt_h) {
+            Ok(dt) => {
+                let bytes = mem.read_i32_at(status_ptr + 12)?;
+                mem.write_i32_at(out_ptr, bytes / dt.size() as i32)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Iprobe(source, tag, comm, flag_ptr, status_ptr)
+    mpi_fn!(linker, "MPI_Iprobe", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let src = args[0].as_i32()?;
+        let tag = args[1].as_i32()?;
+        let comm_h = args[2].as_i32()?;
+        let flag_ptr = args[3].as_u32()?;
+        let status_ptr = args[4].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.comm(comm_h) {
+            Ok(c) => {
+                match c.iprobe(source_of(src), tag_of(tag)) {
+                    Some(st) => {
+                        mem.write_i32_at(flag_ptr, 1)?;
+                        write_status(mem, status_ptr, &st)?;
+                    }
+                    None => mem.write_i32_at(flag_ptr, 0)?,
+                }
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Type_size(datatype, size_ptr)
+    mpi_fn!(linker, "MPI_Type_size", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let dt_h = args[0].as_i32()?;
+        let ptr = args[1].as_u32()?;
+        match datatype_from_handle(dt_h) {
+            Ok(dt) => {
+                inst.memory.write_i32_at(ptr, dt.size() as i32)?;
+                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Value::I32(e.code())]),
+        }
+    });
+
+    // MPI_Alloc_mem(size, info, baseptr_ptr): re-enters guest malloc (§3.7).
+    mpi_fn!(linker, "MPI_Alloc_mem", (I32, I32, I32) -> I32, |inst: &mut Instance, args: &[Value]| {
+        let size = args[0].as_i32()?;
+        let out_ptr = args[2].as_u32()?;
+        if inst.export_func("malloc").is_none() {
+            return Ok(vec![Value::I32(2 /* MPI_ERR_COUNT-ish: no allocator */)]);
+        }
+        let results = inst.invoke("malloc", &[Value::I32(size)])?;
+        let guest_ptr = results.first().copied().unwrap_or(Value::I32(0)).as_i32()?;
+        inst.memory.write_i32_at(out_ptr, guest_ptr)?;
+        Ok(vec![Value::I32(if guest_ptr == 0 { 2 } else { handles::MPI_SUCCESS })])
+    });
+
+    // MPI_Free_mem(ptr): re-enters guest free.
+    mpi_fn!(linker, "MPI_Free_mem", (I32) -> I32, |inst: &mut Instance, args: &[Value]| {
+        if inst.export_func("free").is_none() {
+            return Ok(vec![Value::I32(2)]);
+        }
+        inst.invoke("free", &[args[0]])?;
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    // --- nonblocking operations (MPI_Request = i32 handle, 0 = NULL) ---
+
+    // MPI_Isend(buf, count, datatype, dest, tag, comm, request_ptr):
+    // eager-buffered, so the request is born complete.
+    mpi_fn!(linker, "MPI_Isend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let buf = args[0].as_u32()?;
+        let count = args[1].as_i32()?;
+        let dt_h = args[2].as_i32()?;
+        let dest = args[3].as_i32()?;
+        let tag = args[4].as_i32()?;
+        let comm_h = args[5].as_i32()?;
+        let req_ptr = args[6].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            comm.send(view, dest as u32, tag)
+        })();
+        if r.is_ok() {
+            let h = env.mpi.insert_request(crate::env::PendingRequest::Done);
+            mem.write_i32_at(req_ptr, h)?;
+        }
+        Ok(code(r))
+    });
+
+    // MPI_Irecv(buf, count, datatype, source, tag, comm, request_ptr):
+    // deferred — matched and delivered at MPI_Wait/MPI_Test.
+    mpi_fn!(linker, "MPI_Irecv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let buf = args[0].as_u32()?;
+        let count = args[1].as_i32()?;
+        let dt_h = args[2].as_i32()?;
+        let src = args[3].as_i32()?;
+        let tag = args[4].as_i32()?;
+        let comm_h = args[5].as_i32()?;
+        let req_ptr = args[6].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let bytes = match translate_instrumented(env, count, dt_h) {
+            Ok((_, b)) => b,
+            Err(e) => return Ok(vec![Value::I32(e.code())]),
+        };
+        if let Err(e) = env.mpi.comm(comm_h) {
+            return Ok(vec![Value::I32(e.code())]);
+        }
+        // The target region must be valid now, as real MPI requires.
+        if mem.slice(buf, bytes).is_err() {
+            return Ok(vec![Value::I32(MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            }
+            .code())]);
+        }
+        let h = env.mpi.insert_request(crate::env::PendingRequest::Recv {
+            comm: comm_h,
+            buf,
+            bytes,
+            src,
+            tag,
+        });
+        mem.write_i32_at(req_ptr, h)?;
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    // MPI_Wait(request_ptr, status_ptr)
+    mpi_fn!(linker, "MPI_Wait", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let req_ptr = args[0].as_u32()?;
+        let status_ptr = args[1].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let handle = mem.read_i32_at(req_ptr)?;
+        let r = complete_request(mem, env, handle, status_ptr);
+        if r.is_ok() {
+            mem.write_i32_at(req_ptr, 0)?; // MPI_REQUEST_NULL
+        }
+        Ok(code(r))
+    });
+
+    // MPI_Waitall(count, requests_ptr, statuses_ptr)
+    mpi_fn!(linker, "MPI_Waitall", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let count = args[0].as_i32()?;
+        let reqs_ptr = args[1].as_u32()?;
+        let statuses_ptr = args[2].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            for i in 0..count.max(0) as u32 {
+                let handle = mem.read_i32_at(reqs_ptr + i * 4).map_err(|_| {
+                    MpiError::BadCount { bytes: count as usize * 4, type_size: 4 }
+                })?;
+                let st_ptr = if statuses_ptr == handles::MPI_STATUS_IGNORE as u32 {
+                    handles::MPI_STATUS_IGNORE as u32
+                } else {
+                    statuses_ptr + i * STATUS_SIZE
+                };
+                complete_request(mem, env, handle, st_ptr)?;
+                let _ = mem.write_i32_at(reqs_ptr + i * 4, 0);
+            }
+            Ok(())
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Test(request_ptr, flag_ptr, status_ptr)
+    mpi_fn!(linker, "MPI_Test", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
+        let req_ptr = args[0].as_u32()?;
+        let flag_ptr = args[1].as_u32()?;
+        let status_ptr = args[2].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let handle = mem.read_i32_at(req_ptr)?;
+        let ready = match env.mpi.peek_request(handle) {
+            None => true, // REQUEST_NULL or already completed
+            Some(crate::env::PendingRequest::Done) => true,
+            Some(crate::env::PendingRequest::Recv { comm, src, tag, .. }) => {
+                match env.mpi.comm(*comm) {
+                    Ok(c) => c.iprobe(source_of(*src), tag_of(*tag)).is_some(),
+                    Err(e) => return Ok(vec![Value::I32(e.code())]),
+                }
+            }
+        };
+        if ready {
+            let r = complete_request(mem, env, handle, status_ptr);
+            if let Err(e) = r {
+                return Ok(vec![Value::I32(e.code())]);
+            }
+            mem.write_i32_at(req_ptr, 0)?;
+            mem.write_i32_at(flag_ptr, 1)?;
+        } else {
+            mem.write_i32_at(flag_ptr, 0)?;
+        }
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+
+    // MPI_Get_processor_name(name_ptr, resultlen_ptr)
+    mpi_fn!(linker, "MPI_Get_processor_name", (I32, I32) -> I32, |inst, args: &[Value]| {
+        let name_ptr = args[0].as_u32()?;
+        let len_ptr = args[1].as_u32()?;
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let name = format!("mpiwasm-rank-{}", env.mpi.world().rank());
+        mem.slice_mut(name_ptr, name.len() as u32 + 1)?[..name.len()]
+            .copy_from_slice(name.as_bytes());
+        mem.slice_mut(name_ptr + name.len() as u32, 1)?[0] = 0;
+        mem.write_i32_at(len_ptr, name.len() as i32)?;
+        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+    });
+}

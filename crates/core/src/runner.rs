@@ -1,0 +1,289 @@
+//! The job runner: the library behind the `mpiwasm` CLI.
+//!
+//! `mpirun -np N ./mpiwasm app.wasm` (paper Listing 4) becomes
+//! [`Runner::run`]: the module is compiled once (through the cache when
+//! one is configured), then instantiated once per MPI rank — each rank an
+//! OS thread with its own linear memory, `Env`, and WASI context — and the
+//! exported entry point is invoked on every rank.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpi_substrate::{run_world_with, ClockMode};
+use wasi_layer::{register_wasi, SharedFs, WasiCtx};
+use wasm_engine::error::Trap;
+use wasm_engine::runtime::{CompiledModule, Linker};
+use wasm_engine::tier::Tier;
+
+use crate::cache::ModuleCache;
+use crate::env::{Env, MpiState};
+use crate::mpi_host::register_mpi;
+use crate::translate::TranslationStats;
+
+/// Configuration of one job launch.
+#[derive(Clone)]
+pub struct JobConfig {
+    /// Number of MPI ranks (`mpirun -np`).
+    pub np: u32,
+    /// Execution tier (the paper ships LLVM/Max as the default, §3.3).
+    pub tier: Tier,
+    /// Real or simulated time (see crate `mpi-substrate`).
+    pub clock: ClockMode,
+    /// Per-MPI-call embedder overhead (µs) charged to virtual clocks; use
+    /// the measured Figure 6 value for Wasm-path simulations, 0 otherwise.
+    pub wasm_call_overhead_us: f64,
+    /// Record per-call translation timings (Figure 6 instrumentation).
+    pub instrument: bool,
+    /// Guest `argv` (element 0 is the program name).
+    pub args: Vec<String>,
+    /// Preopened filesystem shared by all ranks.
+    pub fs: SharedFs,
+    /// Echo guest stdout/stderr to the host terminal.
+    pub echo_stdout: bool,
+    /// Exported entry function, `_start` by convention.
+    pub entry: String,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            np: 1,
+            tier: Tier::Max,
+            clock: ClockMode::Real,
+            wasm_call_overhead_us: 0.0,
+            instrument: false,
+            args: vec!["app.wasm".into()],
+            fs: SharedFs::memory(),
+            echo_stdout: false,
+            entry: "_start".into(),
+        }
+    }
+}
+
+/// Outcome of one rank.
+#[derive(Debug)]
+pub struct RankResult {
+    pub rank: u32,
+    /// 0 on clean completion or `proc_exit(0)`.
+    pub exit_code: i32,
+    /// Trap message if the rank died on a non-exit trap.
+    pub error: Option<String>,
+    pub stdout: String,
+    pub stderr: String,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Final virtual clock (µs); 0 in real-clock mode.
+    pub virtual_time_us: f64,
+    /// Figure 6 counters (empty unless `instrument` was set).
+    pub stats: TranslationStats,
+    /// Guest-reported `(key, value)` pairs from the `bench.report` hook.
+    pub reports: Vec<(i32, f64)>,
+}
+
+/// Outcome of one job.
+#[derive(Debug)]
+pub struct JobResult {
+    pub ranks: Vec<RankResult>,
+    /// Time spent obtaining executable code (compile or cache load).
+    pub compile_time: Duration,
+    pub cache_hit: bool,
+}
+
+impl JobResult {
+    /// True when every rank exited cleanly.
+    pub fn success(&self) -> bool {
+        self.ranks.iter().all(|r| r.exit_code == 0 && r.error.is_none())
+    }
+
+    /// Maximum virtual completion time across ranks (what a benchmark
+    /// reports as its iteration time at scale).
+    pub fn max_virtual_time_us(&self) -> f64 {
+        self.ranks.iter().map(|r| r.virtual_time_us).fold(0.0, f64::max)
+    }
+
+    /// Merged translation statistics across ranks.
+    pub fn merged_stats(&self) -> TranslationStats {
+        let mut out = TranslationStats::new();
+        for r in &self.ranks {
+            out.merge(&r.stats);
+        }
+        out
+    }
+
+    pub fn rank0_stdout(&self) -> &str {
+        &self.ranks[0].stdout
+    }
+}
+
+/// Errors launching a job (per-rank failures live in [`RankResult`]).
+#[derive(Debug)]
+pub enum RunError {
+    Decode(String),
+    Compile(String),
+    Cache(String),
+    NoEntry(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Decode(m) => write!(f, "failed to decode module: {m}"),
+            RunError::Compile(m) => write!(f, "failed to compile module: {m}"),
+            RunError::Cache(m) => write!(f, "cache failure: {m}"),
+            RunError::NoEntry(name) => write!(f, "module does not export {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The embedder: a linker with the full `env.MPI_*` + WASI surface, plus
+/// an optional module cache.
+pub struct Runner {
+    linker: Linker,
+    cache: Option<ModuleCache>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with MPI and WASI host functions registered.
+    pub fn new() -> Runner {
+        let mut linker = Linker::new();
+        register_mpi(&mut linker);
+        register_wasi(&mut linker, |data| {
+            &mut data.downcast_mut::<Env>().expect("instance data is not Env").wasi
+        });
+        // Harness hook: guests report measured values as (key, f64) pairs.
+        linker.func(
+            "bench",
+            "report",
+            wasm_engine::types::FuncType::new(
+                vec![wasm_engine::types::ValType::I32, wasm_engine::types::ValType::F64],
+                vec![],
+            ),
+            |inst, args| {
+                let key = args[0].as_i32()?;
+                let value = args[1].as_f64()?;
+                let env = inst.data_mut::<Env>().expect("instance data is not Env");
+                env.reports.push((key, value));
+                Ok(vec![])
+            },
+        );
+        Runner { linker, cache: None }
+    }
+
+    /// Attach a filesystem cache (paper §3.3).
+    pub fn with_cache(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Runner> {
+        self.cache = Some(ModuleCache::new(dir)?);
+        Ok(self)
+    }
+
+    /// Direct access to the linker, for embedders that add extra host
+    /// functions (e.g. benchmark harness hooks).
+    pub fn linker_mut(&mut self) -> &mut Linker {
+        &mut self.linker
+    }
+
+    /// Compile (through the cache when configured).
+    pub fn prepare(&self, wasm_bytes: &[u8], tier: Tier) -> Result<(CompiledModule, bool), RunError> {
+        if let Some(cache) = &self.cache {
+            return cache.get_or_compile(wasm_bytes, tier).map_err(RunError::Cache);
+        }
+        let module =
+            wasm_engine::decode_module(wasm_bytes).map_err(|e| RunError::Decode(e.to_string()))?;
+        CompiledModule::compile(module, tier)
+            .map(|c| (c, false))
+            .map_err(|e| RunError::Compile(e.to_string()))
+    }
+
+    /// Run a job from wasm bytes.
+    pub fn run(&self, wasm_bytes: &[u8], config: JobConfig) -> Result<JobResult, RunError> {
+        let t0 = Instant::now();
+        let (compiled, cache_hit) = self.prepare(wasm_bytes, config.tier)?;
+        let compile_time = t0.elapsed();
+        let mut result = self.run_compiled(&compiled, config)?;
+        result.compile_time = compile_time;
+        result.cache_hit = cache_hit;
+        Ok(result)
+    }
+
+    /// Run a job from an already-compiled module (the per-rank
+    /// instantiation path; compilation cost is reported as zero).
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledModule,
+        config: JobConfig,
+    ) -> Result<JobResult, RunError> {
+        if compiled.module().export(&config.entry).is_none() {
+            return Err(RunError::NoEntry(config.entry.clone()));
+        }
+        let linker = Arc::new(self.linker.clone());
+        let compiled = compiled.clone();
+        let config = Arc::new(config);
+        let np = config.np;
+        let clock = config.clock.clone();
+
+        let ranks = run_world_with(np, clock, move |comm| {
+            let rank = comm.rank();
+            // MPI_COMM_SELF is built collectively before the guest starts.
+            let comm_self = comm
+                .split(rank as i32, 0)
+                .expect("self-comm split cannot fail")
+                .expect("color is never undefined");
+            let mut mpi = MpiState::new(comm, comm_self);
+            mpi.instrument = config.instrument;
+            mpi.wasm_call_overhead_us = config.wasm_call_overhead_us;
+
+            let mut wasi = WasiCtx::new(config.fs.clone(), config.args.clone());
+            wasi.echo = config.echo_stdout;
+            wasi.env.push(("MPIWASM_RANK".into(), rank.to_string()));
+            wasi.seed_random(0x5eed_0000 + rank as u64);
+
+            let env = Env::new(mpi, wasi);
+            let mut inst = match linker.instantiate(&compiled, Box::new(env)) {
+                Ok(i) => i,
+                Err(e) => {
+                    return RankResult {
+                        rank,
+                        exit_code: -1,
+                        error: Some(e.to_string()),
+                        stdout: String::new(),
+                        stderr: String::new(),
+                        bytes_read: 0,
+                        bytes_written: 0,
+                        virtual_time_us: 0.0,
+                        stats: TranslationStats::new(),
+                        reports: Vec::new(),
+                    }
+                }
+            };
+
+            let outcome = inst.invoke(&config.entry, &[]);
+            let (exit_code, error) = match outcome {
+                Ok(_) => (0, None),
+                Err(Trap::Exit(code)) => (code, None),
+                Err(t) => (-1, Some(t.to_string())),
+            };
+            let env = inst.data_mut::<Env>().expect("data is Env");
+            RankResult {
+                rank,
+                exit_code,
+                error,
+                stdout: env.wasi.stdout_string(),
+                stderr: String::from_utf8_lossy(&env.wasi.stderr).into_owned(),
+                bytes_read: env.wasi.bytes_read,
+                bytes_written: env.wasi.bytes_written,
+                virtual_time_us: env.mpi.world().virtual_time_us(),
+                stats: env.mpi.stats.clone(),
+                reports: std::mem::take(&mut env.reports),
+            }
+        });
+
+        Ok(JobResult { ranks, compile_time: Duration::ZERO, cache_hit: false })
+    }
+}

@@ -1,0 +1,231 @@
+//! The embedder's two translation layers (paper §3.5, §3.6) plus the
+//! instrumentation of §4.6.
+//!
+//! **Address translation (§3.5).** The guest supplies 32-bit offsets into
+//! its linear memory; the host MPI library wants host pointers. Because
+//! the instance's linear memory is one contiguous host allocation, the
+//! translation is `host_ptr = base + offset`, rendered in safe Rust as a
+//! bounds-checked subslice — a zero-copy view, no bytes are moved. The
+//! same view is handed to the MPI substrate, which reads/writes guest
+//! memory directly.
+//!
+//! **Datatype translation (§3.6).** MPI libraries do not share an ABI;
+//! guests therefore see every MPI object as an opaque 32-bit integer
+//! handle. This module owns the handle spaces for datatypes, ops, and
+//! communicators and converts between them and the host library's types.
+//!
+//! **Instrumentation (§4.6).** When enabled, each translation on the send
+//! path is timed with the host's monotonic clock and accumulated per
+//! datatype and message-size bucket; the Figure 6 harness reads these
+//! counters back.
+
+use mpi_substrate::{Datatype, MpiError, ReduceOp};
+
+/// Guest-visible handle constants. These are the values our `mpi.h`
+/// equivalent (the DSL guest library in crate `hpc-benchmarks`) uses.
+pub mod handles {
+    pub const MPI_COMM_WORLD: i32 = 0;
+    pub const MPI_COMM_SELF: i32 = 1;
+    /// First handle available for `MPI_Comm_split`/`MPI_Comm_dup` results.
+    pub const FIRST_DYNAMIC_COMM: i32 = 2;
+
+    pub const MPI_BYTE: i32 = 0;
+    pub const MPI_CHAR: i32 = 1;
+    pub const MPI_INT: i32 = 2;
+    pub const MPI_UNSIGNED: i32 = 3;
+    pub const MPI_LONG: i32 = 4;
+    pub const MPI_UNSIGNED_LONG: i32 = 5;
+    pub const MPI_FLOAT: i32 = 6;
+    pub const MPI_DOUBLE: i32 = 7;
+
+    pub const MPI_SUM: i32 = 0;
+    pub const MPI_PROD: i32 = 1;
+    pub const MPI_MAX: i32 = 2;
+    pub const MPI_MIN: i32 = 3;
+    pub const MPI_BAND: i32 = 4;
+    pub const MPI_BOR: i32 = 5;
+    pub const MPI_BXOR: i32 = 6;
+    pub const MPI_LAND: i32 = 7;
+    pub const MPI_LOR: i32 = 8;
+
+    pub const MPI_ANY_SOURCE: i32 = -1;
+    pub const MPI_ANY_TAG: i32 = -1;
+    /// Null status pointer (`MPI_STATUS_IGNORE`).
+    pub const MPI_STATUS_IGNORE: i32 = 0;
+    pub const MPI_SUCCESS: i32 = 0;
+}
+
+/// Translate a guest datatype handle to the host datatype.
+#[inline]
+pub fn datatype_from_handle(h: i32) -> Result<Datatype, MpiError> {
+    Ok(match h {
+        handles::MPI_BYTE => Datatype::Byte,
+        handles::MPI_CHAR => Datatype::Char,
+        handles::MPI_INT => Datatype::Int,
+        handles::MPI_UNSIGNED => Datatype::Unsigned,
+        handles::MPI_LONG => Datatype::Long,
+        handles::MPI_UNSIGNED_LONG => Datatype::UnsignedLong,
+        handles::MPI_FLOAT => Datatype::Float,
+        handles::MPI_DOUBLE => Datatype::Double,
+        other => return Err(MpiError::InvalidDatatype(other as u32)),
+    })
+}
+
+/// Translate a guest op handle to the host reduction operator.
+#[inline]
+pub fn op_from_handle(h: i32) -> Result<ReduceOp, MpiError> {
+    Ok(match h {
+        handles::MPI_SUM => ReduceOp::Sum,
+        handles::MPI_PROD => ReduceOp::Prod,
+        handles::MPI_MAX => ReduceOp::Max,
+        handles::MPI_MIN => ReduceOp::Min,
+        handles::MPI_BAND => ReduceOp::Band,
+        handles::MPI_BOR => ReduceOp::Bor,
+        handles::MPI_BXOR => ReduceOp::Bxor,
+        handles::MPI_LAND => ReduceOp::Land,
+        handles::MPI_LOR => ReduceOp::Lor,
+        other => return Err(MpiError::InvalidOp(other as u32)),
+    })
+}
+
+/// Byte length of `count` elements of the datatype behind handle `dt`.
+#[inline]
+pub fn byte_len(count: i32, dt: Datatype) -> Result<u32, MpiError> {
+    if count < 0 {
+        return Err(MpiError::BadCount { bytes: count as isize as usize, type_size: dt.size() });
+    }
+    Ok(count as u32 * dt.size() as u32)
+}
+
+/// Accumulated translation-overhead measurements (Figure 6).
+///
+/// Indexed by datatype and by log₂ message-size bucket; each cell holds
+/// the summed nanoseconds and the sample count.
+#[derive(Debug, Clone)]
+pub struct TranslationStats {
+    /// `[datatype][size_bucket] -> (total_ns, samples)`.
+    pub cells: Vec<[(f64, u64); Self::BUCKETS]>,
+}
+
+impl Default for TranslationStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TranslationStats {
+    /// Buckets cover 1 byte .. 4 MiB and beyond (2^0 .. 2^23+).
+    pub const BUCKETS: usize = 24;
+
+    pub fn new() -> Self {
+        Self { cells: vec![[(0.0, 0); Self::BUCKETS]; Datatype::ALL.len()] }
+    }
+
+    pub fn bucket_of(bytes: u32) -> usize {
+        (32 - bytes.max(1).leading_zeros() - 1).min(Self::BUCKETS as u32 - 1) as usize
+    }
+
+    fn dt_index(dt: Datatype) -> usize {
+        Datatype::ALL.iter().position(|d| *d == dt).unwrap()
+    }
+
+    pub fn record(&mut self, dt: Datatype, bytes: u32, ns: f64) {
+        let cell = &mut self.cells[Self::dt_index(dt)][Self::bucket_of(bytes)];
+        cell.0 += ns;
+        cell.1 += 1;
+    }
+
+    /// Mean translation overhead in ns for a datatype/size bucket, if any
+    /// samples were recorded.
+    pub fn mean_ns(&self, dt: Datatype, bytes: u32) -> Option<f64> {
+        let (total, n) = self.cells[Self::dt_index(dt)][Self::bucket_of(bytes)];
+        (n > 0).then(|| total / n as f64)
+    }
+
+    /// Mean over every sample of a datatype.
+    pub fn mean_ns_all_sizes(&self, dt: Datatype) -> Option<f64> {
+        let (total, n) = self.cells[Self::dt_index(dt)]
+            .iter()
+            .fold((0.0, 0u64), |(t, c), (ct, cc)| (t + ct, c + cc));
+        (n > 0).then(|| total / n as f64)
+    }
+
+    pub fn total_samples(&self) -> u64 {
+        self.cells.iter().flatten().map(|(_, n)| n).sum()
+    }
+
+    pub fn merge(&mut self, other: &TranslationStats) {
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.0 += t.0;
+                m.1 += t.1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_handles_roundtrip() {
+        for (h, dt) in [
+            (handles::MPI_BYTE, Datatype::Byte),
+            (handles::MPI_CHAR, Datatype::Char),
+            (handles::MPI_INT, Datatype::Int),
+            (handles::MPI_FLOAT, Datatype::Float),
+            (handles::MPI_DOUBLE, Datatype::Double),
+            (handles::MPI_LONG, Datatype::Long),
+        ] {
+            assert_eq!(datatype_from_handle(h).unwrap(), dt);
+        }
+        assert!(datatype_from_handle(99).is_err());
+        assert!(datatype_from_handle(-2).is_err());
+    }
+
+    #[test]
+    fn op_handles_roundtrip() {
+        assert_eq!(op_from_handle(handles::MPI_SUM).unwrap(), ReduceOp::Sum);
+        assert_eq!(op_from_handle(handles::MPI_LOR).unwrap(), ReduceOp::Lor);
+        assert!(op_from_handle(42).is_err());
+    }
+
+    #[test]
+    fn byte_len_checks_sign() {
+        assert_eq!(byte_len(16, Datatype::Double).unwrap(), 128);
+        assert_eq!(byte_len(0, Datatype::Int).unwrap(), 0);
+        assert!(byte_len(-1, Datatype::Int).is_err());
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(TranslationStats::bucket_of(1), 0);
+        assert_eq!(TranslationStats::bucket_of(8), 3);
+        assert_eq!(TranslationStats::bucket_of(9), 3);
+        assert_eq!(TranslationStats::bucket_of(1 << 20), 20);
+        assert_eq!(TranslationStats::bucket_of(u32::MAX), 23);
+        assert_eq!(TranslationStats::bucket_of(0), 0);
+    }
+
+    #[test]
+    fn record_and_mean() {
+        let mut s = TranslationStats::new();
+        s.record(Datatype::Double, 1024, 100.0);
+        s.record(Datatype::Double, 1024, 200.0);
+        assert_eq!(s.mean_ns(Datatype::Double, 1024), Some(150.0));
+        assert_eq!(s.mean_ns(Datatype::Int, 1024), None);
+        assert_eq!(s.total_samples(), 2);
+        assert_eq!(s.mean_ns_all_sizes(Datatype::Double), Some(150.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TranslationStats::new();
+        a.record(Datatype::Int, 8, 10.0);
+        let mut b = TranslationStats::new();
+        b.record(Datatype::Int, 8, 30.0);
+        a.merge(&b);
+        assert_eq!(a.mean_ns(Datatype::Int, 8), Some(20.0));
+    }
+}

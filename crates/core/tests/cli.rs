@@ -1,0 +1,194 @@
+//! Integration tests for the `mpiwasm` CLI binary (the paper's Listing 4
+//! interface).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use wasm_engine::dsl::*;
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder};
+
+fn mpiwasm_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mpiwasm")
+}
+
+/// A self-contained guest: prints "rank <r> of <n>\n" on every rank and
+/// exits with code 0.
+fn build_hello() -> Vec<u8> {
+    use ValType::I32;
+    let mut b = ModuleBuilder::new();
+    b.name("cli-hello");
+    b.memory(4, None);
+    let init = b.import_func("env", "MPI_Init", vec![I32; 2], vec![I32]);
+    let comm_rank = b.import_func("env", "MPI_Comm_rank", vec![I32; 2], vec![I32]);
+    let comm_size = b.import_func("env", "MPI_Comm_size", vec![I32; 2], vec![I32]);
+    let finalize = b.import_func("env", "MPI_Finalize", vec![], vec![I32]);
+    let fd_write =
+        b.import_func("wasi_snapshot_preview1", "fd_write", vec![I32; 4], vec![I32]);
+    b.data(512, b"rank ? of ?\n".to_vec());
+    b.func("_start", vec![], vec![], |f| {
+        let rank = Var::new(f, ValType::I32);
+        let size = Var::new(f, ValType::I32);
+        emit_block(f, &[
+            call_drop(init, vec![int(0), int(0)]),
+            call_drop(comm_rank, vec![int(0), int(16)]),
+            rank.set(int(16).load(ValType::I32, 0)),
+            call_drop(comm_size, vec![int(0), int(16)]),
+            size.set(int(16).load(ValType::I32, 0)),
+            // Patch the digits into the template (single digits suffice).
+            store_u8(int(512), 5, int('0' as i32) + rank.get()),
+            store_u8(int(512), 10, int('0' as i32) + size.get()),
+            store(int(64), 0, int(512)),
+            store(int(64), 4, int(12)),
+            call_drop(fd_write, vec![int(1), int(64), int(1), int(32)]),
+            call_drop(finalize, vec![]),
+        ]);
+    });
+    encode_module(&b.finish())
+}
+
+fn write_module(name: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("mpiwasm-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+#[test]
+fn runs_hello_on_three_ranks() {
+    let module = write_module("hello.wasm", &build_hello());
+    let out = Command::new(mpiwasm_bin())
+        .args(["-np", "3", "-quiet"])
+        .arg(&module)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(&module).ok();
+}
+
+#[test]
+fn echoes_guest_stdout_by_default() {
+    let module = write_module("echo.wasm", &build_hello());
+    let out = Command::new(mpiwasm_bin()).args(["-np", "2"]).arg(&module).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rank 0 of 2"), "{stdout}");
+    assert!(stdout.contains("rank 1 of 2"), "{stdout}");
+    std::fs::remove_file(&module).ok();
+}
+
+#[test]
+fn wat_flag_prints_module_text() {
+    let module = write_module("wat.wasm", &build_hello());
+    let out = Command::new(mpiwasm_bin()).arg("-wat").arg(&module).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(import \"env\" \"MPI_Init\""), "{stdout}");
+    assert!(stdout.contains("(export \"_start\""), "{stdout}");
+    std::fs::remove_file(&module).ok();
+}
+
+#[test]
+fn cache_flag_reports_hit_on_second_run() {
+    let module = write_module("cached.wasm", &build_hello());
+    let cache_dir =
+        std::env::temp_dir().join(format!("mpiwasm-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = || {
+        Command::new(mpiwasm_bin())
+            .args(["-np", "1", "-cache"])
+            .arg(&cache_dir)
+            .arg(&module)
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    assert!(first.status.success());
+    assert!(!String::from_utf8_lossy(&first.stderr).contains("cache hit"));
+    let second = run();
+    assert!(second.status.success());
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("cache hit"),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    std::fs::remove_file(&module).ok();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = Command::new(mpiwasm_bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = Command::new(mpiwasm_bin()).args(["-np", "zero", "x.wasm"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_module_exits_1() {
+    let out = Command::new(mpiwasm_bin()).arg("/nonexistent/app.wasm").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn trapping_guest_exits_nonzero_with_rank_report() {
+    // A guest that hits unreachable on rank 0.
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    b.func("_start", vec![], vec![], |f| {
+        f.unreachable();
+    });
+    let module = write_module("trap.wasm", &encode_module(&b.finish()));
+    let out = Command::new(mpiwasm_bin()).args(["-np", "1", "-quiet"]).arg(&module).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trapped"));
+    std::fs::remove_file(&module).ok();
+}
+
+#[test]
+fn host_dir_preopen_via_d_flag() {
+    // Guest writes a file into the preopened directory.
+    use ValType::{I32, I64};
+    let mut b = ModuleBuilder::new();
+    b.memory(4, None);
+    let path_open = b.import_func(
+        "wasi_snapshot_preview1",
+        "path_open",
+        vec![I32, I32, I32, I32, I32, I64, I64, I32, I32],
+        vec![I32],
+    );
+    let fd_write =
+        b.import_func("wasi_snapshot_preview1", "fd_write", vec![I32; 4], vec![I32]);
+    b.data(512, b"out.txt".to_vec());
+    b.data(600, b"written-from-wasm".to_vec());
+    b.func("_start", vec![], vec![], |f| {
+        emit_block(f, &[
+            call_drop(path_open, vec![
+                int(3), int(0), int(512), int(7),
+                int(1 /* CREAT */),
+                long(1 << 6 | 1 << 1), long(0), int(0), int(16),
+            ]),
+            store(int(64), 0, int(600)),
+            store(int(64), 4, int(17)),
+            call_drop(fd_write, vec![
+                int(16).load(ValType::I32, 0), int(64), int(1), int(32),
+            ]),
+        ]);
+    });
+    let module = write_module("io.wasm", &encode_module(&b.finish()));
+    let dir = std::env::temp_dir().join(format!("mpiwasm-cli-dir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(mpiwasm_bin())
+        .args(["-np", "1", "-quiet", "-d"])
+        .arg(&dir)
+        .arg(&module)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let contents = std::fs::read_to_string(dir.join("out.txt")).unwrap();
+    assert_eq!(contents, "written-from-wasm");
+    std::fs::remove_file(&module).ok();
+    let _ = std::fs::remove_dir_all(&dir);
+}

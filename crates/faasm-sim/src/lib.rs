@@ -1,0 +1,25 @@
+//! A Faasm-style baseline platform (paper §6, Figure 7).
+//!
+//! Faasm executes MPI applications compiled to Wasm on top of **Faabric**,
+//! a gRPC-based distributed messaging library with its own scheduler and
+//! state store; it implements a subset of MPI-1 over that substrate. The
+//! paper's Figure 7 shows MPIWasm beating Faasm by a geometric-mean 4.28×
+//! on PingPong because every Faasm message crosses the messaging broker
+//! with serialization and dispatch overhead, while MPIWasm calls the host
+//! MPI library directly.
+//!
+//! This crate reproduces that architecture shape:
+//!
+//! * [`broker`] — a real in-process message broker: worker (rank) threads
+//!   exchange messages exclusively through a central router thread, with
+//!   per-message envelope serialization (the protobuf analog). This is the
+//!   functional counterpart used by tests and small real runs.
+//! * [`model`] — the calibrated cost model used by the Figure 7 harness:
+//!   two network hops per message (worker → broker → worker), envelope
+//!   encode/decode cost per byte, and a scheduler dispatch latency.
+
+pub mod broker;
+pub mod model;
+
+pub use broker::FaasmPlatform;
+pub use model::FaasmModel;

@@ -1,0 +1,96 @@
+//! Cost model of Faasm-style broker-mediated messaging.
+
+use netsim::{SimTime, SystemProfile};
+
+/// Cost parameters for one Faabric-style message:
+/// `t = dispatch + 2 * (hop_latency + bytes * hop_byte_cost) + 2 * bytes * codec_cost`.
+#[derive(Debug, Clone)]
+pub struct FaasmModel {
+    pub profile: SystemProfile,
+    /// Scheduler/dispatch latency per message, µs (gRPC call setup,
+    /// function-queue hand-off).
+    pub dispatch_us: f64,
+    /// Envelope encode + decode cost per byte, µs (protobuf analog; the
+    /// payload is copied into and out of the envelope).
+    pub codec_us_per_byte: f64,
+}
+
+impl FaasmModel {
+    /// Defaults calibrated to the paper's Figure 7 shape: ~4× PingPong
+    /// latency at small messages, converging (but still behind) at large
+    /// ones.
+    pub fn new(profile: SystemProfile) -> FaasmModel {
+        FaasmModel {
+            profile,
+            dispatch_us: 2.8,
+            codec_us_per_byte: 0.000_12, // two extra copies + varint framing
+        }
+    }
+
+    /// One message through the broker: two hops plus codec cost.
+    pub fn message_time(&self, bytes: usize) -> SimTime {
+        let hop = self.profile.p2p_time(0, 1, bytes);
+        let codec = SimTime::micros(2.0 * bytes as f64 * self.codec_us_per_byte);
+        SimTime::micros(self.dispatch_us) + hop * 2.0 + codec
+    }
+
+    /// PingPong half-round-trip time (what IMB reports), as Figure 7 plots.
+    pub fn pingpong(&self, bytes: usize) -> SimTime {
+        // One message each way per iteration; reported time is per
+        // direction.
+        self.message_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::CostModel;
+
+    #[test]
+    fn faasm_is_slower_than_mpiwasm_at_all_sizes() {
+        let profile = SystemProfile::supermuc_ng();
+        let faasm = FaasmModel::new(profile.clone());
+        let mpiwasm = CostModel::wasm(profile, 0.15);
+        for log in 0..=22 {
+            let bytes = 1usize << log;
+            let f = faasm.pingpong(bytes).as_micros();
+            let m = mpiwasm.pingpong(bytes).as_micros();
+            assert!(f > m, "faasm {f}us <= mpiwasm {m}us at {bytes}B");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_speedup_matches_paper_ballpark() {
+        let profile = SystemProfile::supermuc_ng();
+        let faasm = FaasmModel::new(profile.clone());
+        let mpiwasm = CostModel::wasm(profile, 0.15);
+        let mut log_sum = 0.0;
+        let mut count = 0;
+        for log in 0..=22 {
+            let bytes = 1usize << log;
+            let ratio =
+                faasm.pingpong(bytes).as_micros() / mpiwasm.pingpong(bytes).as_micros();
+            log_sum += ratio.ln();
+            count += 1;
+        }
+        let gm = (log_sum / count as f64).exp();
+        // Paper: 4.28x. Accept the band 2.5-7x for the reproduction.
+        assert!((2.5..7.0).contains(&gm), "GM speedup {gm}");
+    }
+
+    #[test]
+    fn gap_persists_across_the_size_sweep() {
+        // Figure 7: Faasm stays behind MPIWasm over the whole sweep — the
+        // double hop dominates at small sizes, the extra copies and the
+        // second bandwidth crossing at large ones.
+        let profile = SystemProfile::supermuc_ng();
+        let faasm = FaasmModel::new(profile.clone());
+        let native = CostModel::native(profile);
+        for log in [3u32, 10, 16, 22] {
+            let bytes = 1usize << log;
+            let ratio = faasm.pingpong(bytes).as_micros() / native.pingpong(bytes).as_micros();
+            assert!(ratio > 2.0, "ratio {ratio} at {bytes}B");
+        }
+    }
+}

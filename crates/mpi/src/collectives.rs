@@ -1,0 +1,550 @@
+//! Collective operations, implemented with the textbook schedules on top
+//! of the point-to-point layer:
+//!
+//! * `barrier` — dissemination
+//! * `bcast` — binomial tree
+//! * `reduce` — binomial tree with operator application
+//! * `allreduce` — recursive doubling with non-power-of-two folding
+//! * `gather` / `scatter` — linear rooted
+//! * `allgather` — ring
+//! * `alltoall` — eager exchange
+//!
+//! Because the schedules really execute (real messages between rank
+//! threads), the virtual-time mode observes their true critical paths —
+//! log₂(p) rounds for trees and recursive doubling, p−1 rounds for the
+//! ring — which is what produces the paper-shaped scaling curves.
+
+use crate::comm::{Comm, Source, Tag, COLLECTIVE_TAG_BASE};
+use crate::datatype::{reduce_in_place, Datatype, ReduceOp};
+use crate::error::MpiError;
+
+const TAG_BARRIER: i32 = COLLECTIVE_TAG_BASE;
+const TAG_BCAST: i32 = COLLECTIVE_TAG_BASE - 1;
+const TAG_REDUCE: i32 = COLLECTIVE_TAG_BASE - 2;
+const TAG_ALLREDUCE: i32 = COLLECTIVE_TAG_BASE - 3;
+const TAG_GATHER: i32 = COLLECTIVE_TAG_BASE - 4;
+const TAG_SCATTER: i32 = COLLECTIVE_TAG_BASE - 5;
+const TAG_ALLGATHER: i32 = COLLECTIVE_TAG_BASE - 6;
+const TAG_ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 7;
+
+impl Comm {
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds.
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let me = self.rank();
+        let mut k = 1u32;
+        while k < p {
+            let to = (me + k) % p;
+            let from = (me + p - k % p) % p;
+            let mut byte = [0u8; 1];
+            self.send(&[1], to, TAG_BARRIER)?;
+            self.recv(&mut byte, Source::Rank(from), Tag::Value(TAG_BARRIER))?;
+            k <<= 1;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Bcast`: binomial tree from `root`; `buf` is the full payload on
+    /// the root and is overwritten everywhere else.
+    pub fn bcast(&self, buf: &mut [u8], root: u32) -> Result<(), MpiError> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        let vr = (self.rank() + p - root) % p;
+
+        // Receive phase: find the bit where our subtree hangs.
+        let mut mask = 1u32;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % p;
+                let st = self.recv(buf, Source::Rank(src), Tag::Value(TAG_BCAST))?;
+                if st.bytes != buf.len() {
+                    return Err(MpiError::CollectiveMismatch(format!(
+                        "bcast buffers differ: got {} bytes, expected {}",
+                        st.bytes,
+                        buf.len()
+                    )));
+                }
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: relay to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vr + mask < p {
+                let dst = (vr + mask + root) % p;
+                self.send(buf, dst, TAG_BCAST)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Reduce`: binomial tree; the root's `recv_buf` receives the
+    /// elementwise reduction of every rank's `send_buf`.
+    pub fn reduce(
+        &self,
+        send_buf: &[u8],
+        recv_buf: Option<&mut [u8]>,
+        dt: Datatype,
+        op: ReduceOp,
+        root: u32,
+    ) -> Result<(), MpiError> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = send_buf.to_vec();
+
+        let mut mask = 1u32;
+        while mask < p {
+            if vr & mask == 0 {
+                let partner = vr | mask;
+                if partner < p {
+                    let src = (partner + root) % p;
+                    let (data, _) =
+                        self.recv_vec(Source::Rank(src), Tag::Value(TAG_REDUCE))?;
+                    reduce_in_place(dt, op, &mut acc, &data)?;
+                }
+            } else {
+                let dst = (vr - mask + root) % p;
+                self.send(&acc, dst, TAG_REDUCE)?;
+                break;
+            }
+            mask <<= 1;
+        }
+
+        if self.rank() == root {
+            let out = recv_buf.ok_or_else(|| {
+                MpiError::CollectiveMismatch("root reduce requires a receive buffer".into())
+            })?;
+            if out.len() != acc.len() {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "reduce output buffer {} bytes, data {} bytes",
+                    out.len(),
+                    acc.len()
+                )));
+            }
+            out.copy_from_slice(&acc);
+        }
+        Ok(())
+    }
+
+    /// `MPI_Allreduce`: recursive doubling with the standard fold-in step
+    /// for non-power-of-two rank counts.
+    pub fn allreduce(
+        &self,
+        send_buf: &[u8],
+        recv_buf: &mut [u8],
+        dt: Datatype,
+        op: ReduceOp,
+    ) -> Result<(), MpiError> {
+        if recv_buf.len() != send_buf.len() {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "allreduce buffers differ: send {}, recv {}",
+                send_buf.len(),
+                recv_buf.len()
+            )));
+        }
+        let p = self.size();
+        let me = self.rank();
+        let mut acc = send_buf.to_vec();
+        if p == 1 {
+            recv_buf.copy_from_slice(&acc);
+            return Ok(());
+        }
+
+        // Largest power of two ≤ p and the remainder ranks.
+        let p2 = 1u32 << (31 - p.leading_zeros());
+        let rem = p - p2;
+
+        // Fold the first 2·rem ranks pairwise so p2 ranks remain.
+        let new_rank: i64 = if me < 2 * rem {
+            if me % 2 == 0 {
+                self.send(&acc, me + 1, TAG_ALLREDUCE)?;
+                -1
+            } else {
+                let (data, _) = self.recv_vec(Source::Rank(me - 1), Tag::Value(TAG_ALLREDUCE))?;
+                reduce_in_place(dt, op, &mut acc, &data)?;
+                (me / 2) as i64
+            }
+        } else {
+            (me - rem) as i64
+        };
+
+        if new_rank >= 0 {
+            let nr = new_rank as u32;
+            let mut mask = 1u32;
+            while mask < p2 {
+                let partner_nr = nr ^ mask;
+                let partner = if partner_nr < rem { partner_nr * 2 + 1 } else { partner_nr + rem };
+                let mut incoming = vec![0u8; acc.len()];
+                self.sendrecv(
+                    &acc,
+                    partner,
+                    TAG_ALLREDUCE,
+                    &mut incoming,
+                    Source::Rank(partner),
+                    Tag::Value(TAG_ALLREDUCE),
+                )?;
+                reduce_in_place(dt, op, &mut acc, &incoming)?;
+                mask <<= 1;
+            }
+        }
+
+        // Unfold: odd folded ranks return the result to their even partner.
+        if me < 2 * rem {
+            if me % 2 == 1 {
+                self.send(&acc, me - 1, TAG_ALLREDUCE)?;
+            } else {
+                let (data, _) = self.recv_vec(Source::Rank(me + 1), Tag::Value(TAG_ALLREDUCE))?;
+                acc = data;
+            }
+        }
+        recv_buf.copy_from_slice(&acc);
+        Ok(())
+    }
+
+    /// `MPI_Gather`: every rank contributes `send_buf`; the root's
+    /// `recv_buf` receives all contributions concatenated in rank order.
+    pub fn gather(
+        &self,
+        send_buf: &[u8],
+        recv_buf: Option<&mut [u8]>,
+        root: u32,
+    ) -> Result<(), MpiError> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        if self.rank() == root {
+            let out = recv_buf.ok_or_else(|| {
+                MpiError::CollectiveMismatch("root gather requires a receive buffer".into())
+            })?;
+            let n = send_buf.len();
+            if out.len() != n * p as usize {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "gather output is {} bytes, expected {}",
+                    out.len(),
+                    n * p as usize
+                )));
+            }
+            out[root as usize * n..root as usize * n + n].copy_from_slice(send_buf);
+            // Receive from each specific source: wildcard receives could
+            // match a later gather's message from a fast rank while this
+            // gather is still collecting from slow ranks.
+            for r in 0..p {
+                if r == root {
+                    continue;
+                }
+                let (data, st) = self.recv_vec(Source::Rank(r), Tag::Value(TAG_GATHER))?;
+                if data.len() != n {
+                    return Err(MpiError::CollectiveMismatch(format!(
+                        "gather block from {} is {} bytes, expected {n}",
+                        st.source,
+                        data.len()
+                    )));
+                }
+                let off = st.source as usize * n;
+                out[off..off + n].copy_from_slice(&data);
+            }
+        } else {
+            self.send(send_buf, root, TAG_GATHER)?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Scatter`: the root's `send_buf` holds `p` equal blocks; each
+    /// rank receives its block in `recv_buf`.
+    pub fn scatter(
+        &self,
+        send_buf: Option<&[u8]>,
+        recv_buf: &mut [u8],
+        root: u32,
+    ) -> Result<(), MpiError> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank { rank: root, size: p });
+        }
+        let n = recv_buf.len();
+        if self.rank() == root {
+            let src = send_buf.ok_or_else(|| {
+                MpiError::CollectiveMismatch("root scatter requires a send buffer".into())
+            })?;
+            if src.len() != n * p as usize {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter input is {} bytes, expected {}",
+                    src.len(),
+                    n * p as usize
+                )));
+            }
+            for r in 0..p {
+                if r == root {
+                    continue;
+                }
+                let off = r as usize * n;
+                self.send(&src[off..off + n], r, TAG_SCATTER)?;
+            }
+            recv_buf.copy_from_slice(&src[root as usize * n..root as usize * n + n]);
+        } else {
+            self.recv(recv_buf, Source::Rank(root), Tag::Value(TAG_SCATTER))?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Allgather`: ring algorithm, p−1 rounds.
+    pub fn allgather(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        let p = self.size() as usize;
+        let n = send_buf.len();
+        if recv_buf.len() != n * p {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "allgather output is {} bytes, expected {}",
+                recv_buf.len(),
+                n * p
+            )));
+        }
+        let me = self.rank() as usize;
+        recv_buf[me * n..me * n + n].copy_from_slice(send_buf);
+        if p == 1 {
+            return Ok(());
+        }
+        let right = ((me + 1) % p) as u32;
+        let left = Source::Rank(((me + p - 1) % p) as u32);
+        for step in 0..p - 1 {
+            // Forward the block that arrived `step` hops ago.
+            let send_block = (me + p - step) % p;
+            let recv_block = (me + p - step - 1) % p;
+            let outgoing = recv_buf[send_block * n..send_block * n + n].to_vec();
+            let mut incoming = vec![0u8; n];
+            self.sendrecv(
+                &outgoing,
+                right,
+                TAG_ALLGATHER,
+                &mut incoming,
+                left,
+                Tag::Value(TAG_ALLGATHER),
+            )?;
+            recv_buf[recv_block * n..recv_block * n + n].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// `MPI_Alltoall`: each rank sends block `r` of `send_buf` to rank `r`
+    /// and receives block `s` of `recv_buf` from rank `s`.
+    pub fn alltoall(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        let p = self.size() as usize;
+        if send_buf.len() != recv_buf.len() || send_buf.len() % p != 0 {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoall buffers must be equal and divisible by p: {} vs {}",
+                send_buf.len(),
+                recv_buf.len()
+            )));
+        }
+        let n = send_buf.len() / p;
+        let me = self.rank() as usize;
+        recv_buf[me * n..me * n + n].copy_from_slice(&send_buf[me * n..me * n + n]);
+        // Eager exchange: post all sends, then collect from each specific
+        // source (wildcards could cross-match a subsequent alltoall).
+        for i in 1..p {
+            let dst = (me + i) % p;
+            self.send(&send_buf[dst * n..dst * n + n], dst as u32, TAG_ALLTOALL)?;
+        }
+        for i in 1..p {
+            let src = (me + p - i) % p;
+            let (data, st) = self.recv_vec(Source::Rank(src as u32), Tag::Value(TAG_ALLTOALL))?;
+            if data.len() != n {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "alltoall block from {} is {} bytes, expected {n}",
+                    st.source,
+                    data.len()
+                )));
+            }
+            let off = st.source as usize * n;
+            recv_buf[off..off + n].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    #[test]
+    fn barrier_completes_at_various_sizes() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            run_world(p, |comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_to_all_from_every_root() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in 0..p {
+                run_world(p, move |comm| {
+                    let mut buf = if comm.rank() == root {
+                        vec![0xAB; 33]
+                    } else {
+                        vec![0; 33]
+                    };
+                    comm.bcast(&mut buf, root).unwrap();
+                    assert!(buf.iter().all(|&b| b == 0xAB), "rank {}", comm.rank());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_ints_at_root() {
+        for p in [2, 3, 4, 6] {
+            run_world(p, move |comm| {
+                let v = (comm.rank() as i32 + 1).to_le_bytes();
+                let mut out = [0u8; 4];
+                let root = p - 1;
+                comm.reduce(
+                    &v,
+                    if comm.rank() == root { Some(&mut out) } else { None },
+                    Datatype::Int,
+                    ReduceOp::Sum,
+                    root,
+                )
+                .unwrap();
+                if comm.rank() == root {
+                    let expected: i32 = (1..=p as i32).sum();
+                    assert_eq!(i32::from_le_bytes(out), expected);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_oracle_at_odd_sizes() {
+        // Exercises the non-power-of-two folding path.
+        for p in [1, 2, 3, 5, 6, 7, 8] {
+            run_world(p, move |comm| {
+                let mine = [comm.rank() as f64 + 0.5, -(comm.rank() as f64)];
+                let mut send = Vec::new();
+                for v in mine {
+                    send.extend_from_slice(&v.to_le_bytes());
+                }
+                let mut recv = vec![0u8; 16];
+                comm.allreduce(&send, &mut recv, Datatype::Double, ReduceOp::Sum).unwrap();
+                let got0 = f64::from_le_bytes(recv[0..8].try_into().unwrap());
+                let got1 = f64::from_le_bytes(recv[8..16].try_into().unwrap());
+                let exp0: f64 = (0..p).map(|r| r as f64 + 0.5).sum();
+                let exp1: f64 = (0..p).map(|r| -(r as f64)).sum();
+                assert!((got0 - exp0).abs() < 1e-12, "rank {} p {}", comm.rank(), p);
+                assert!((got1 - exp1).abs() < 1e-12);
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        run_world(5, |comm| {
+            let v = ((comm.rank() as i32 * 7) % 5).to_le_bytes();
+            let mut out = [0u8; 4];
+            comm.allreduce(&v, &mut out, Datatype::Int, ReduceOp::Max).unwrap();
+            assert_eq!(i32::from_le_bytes(out), 4);
+        });
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        run_world(4, |comm| {
+            let mine = [comm.rank() as u8; 3];
+            let mut out = vec![0u8; 12];
+            comm.gather(&mine, if comm.rank() == 2 { Some(&mut out) } else { None }, 2)
+                .unwrap();
+            if comm.rank() == 2 {
+                assert_eq!(out, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_blocks() {
+        run_world(4, |comm| {
+            let src: Vec<u8> = (0..8).collect();
+            let mut mine = [0u8; 2];
+            comm.scatter(
+                if comm.rank() == 0 { Some(&src[..]) } else { None },
+                &mut mine,
+                0,
+            )
+            .unwrap();
+            assert_eq!(mine, [comm.rank() as u8 * 2, comm.rank() as u8 * 2 + 1]);
+        });
+    }
+
+    #[test]
+    fn allgather_ring_matches_oracle() {
+        for p in [1, 2, 3, 4, 7] {
+            run_world(p, move |comm| {
+                let mine = [comm.rank() as u8 + 10, comm.rank() as u8 + 100];
+                let mut out = vec![0u8; 2 * p as usize];
+                comm.allgather(&mine, &mut out).unwrap();
+                for r in 0..p as usize {
+                    assert_eq!(out[2 * r], r as u8 + 10);
+                    assert_eq!(out[2 * r + 1], r as u8 + 100);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        for p in [2, 3, 5] {
+            run_world(p, move |comm| {
+                let me = comm.rank() as u8;
+                // Block sent to rank r encodes (me, r).
+                let mut send = Vec::new();
+                for r in 0..p as u8 {
+                    send.extend_from_slice(&[me, r]);
+                }
+                let mut recv = vec![0u8; 2 * p as usize];
+                comm.alltoall(&send, &mut recv).unwrap();
+                for r in 0..p as usize {
+                    assert_eq!(recv[2 * r], r as u8, "block from rank {r}");
+                    assert_eq!(recv[2 * r + 1], me);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_mismatched_sizes_detected() {
+        run_world(2, |comm| {
+            let mut buf = if comm.rank() == 0 { vec![1u8; 8] } else { vec![0u8; 4] };
+            let r = comm.bcast(&mut buf, 0);
+            if comm.rank() == 1 {
+                assert!(r.is_err());
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_on_split_subcommunicators() {
+        run_world(6, |comm| {
+            let sub = comm.split((comm.rank() % 2) as i32, 0).unwrap().unwrap();
+            let v = 1i32.to_le_bytes();
+            let mut out = [0u8; 4];
+            sub.allreduce(&v, &mut out, Datatype::Int, ReduceOp::Sum).unwrap();
+            assert_eq!(i32::from_le_bytes(out), 3);
+        });
+    }
+}

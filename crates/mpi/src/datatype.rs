@@ -1,0 +1,259 @@
+//! MPI datatypes and reduction operators.
+//!
+//! The embedder translates guest-side 32-bit handles to these enums
+//! (paper §3.6); reductions operate on raw little-endian byte buffers,
+//! matching the zero-copy design (the buffers *are* guest linear memory).
+
+use crate::error::MpiError;
+
+/// The standard MPI datatypes exercised by the paper's benchmarks
+/// (Figure 6 iterates over exactly these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    Byte,
+    Char,
+    Int,
+    Unsigned,
+    Long,
+    UnsignedLong,
+    Float,
+    Double,
+}
+
+impl Datatype {
+    /// Size of one element in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Byte | Datatype::Char => 1,
+            Datatype::Int | Datatype::Unsigned | Datatype::Float => 4,
+            Datatype::Long | Datatype::UnsignedLong | Datatype::Double => 8,
+        }
+    }
+
+    pub const ALL: [Datatype; 8] = [
+        Datatype::Byte,
+        Datatype::Char,
+        Datatype::Int,
+        Datatype::Unsigned,
+        Datatype::Long,
+        Datatype::UnsignedLong,
+        Datatype::Float,
+        Datatype::Double,
+    ];
+
+    /// Name as it appears in MPI programs.
+    pub fn mpi_name(&self) -> &'static str {
+        match self {
+            Datatype::Byte => "MPI_BYTE",
+            Datatype::Char => "MPI_CHAR",
+            Datatype::Int => "MPI_INT",
+            Datatype::Unsigned => "MPI_UNSIGNED",
+            Datatype::Long => "MPI_LONG",
+            Datatype::UnsignedLong => "MPI_UNSIGNED_LONG",
+            Datatype::Float => "MPI_FLOAT",
+            Datatype::Double => "MPI_DOUBLE",
+        }
+    }
+}
+
+/// Reduction operators (`MPI_Op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Max,
+    Min,
+    Band,
+    Bor,
+    Bxor,
+    Land,
+    Lor,
+}
+
+macro_rules! reduce_typed {
+    ($ty:ty, $acc:expr, $input:expr, $op:expr) => {{
+        const W: usize = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(W).zip($input.chunks_exact(W)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+            let r: $ty = apply_scalar(x, y, $op)?;
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+        Ok(())
+    }};
+}
+
+trait Scalar: Copy + PartialOrd {
+    fn add(self, other: Self) -> Self;
+    fn mul(self, other: Self) -> Self;
+    fn bitand(self, other: Self) -> Option<Self>;
+    fn bitor(self, other: Self) -> Option<Self>;
+    fn bitxor(self, other: Self) -> Option<Self>;
+    fn is_true(self) -> bool;
+    fn from_bool(b: bool) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            fn add(self, o: Self) -> Self { self.wrapping_add(o) }
+            fn mul(self, o: Self) -> Self { self.wrapping_mul(o) }
+            fn bitand(self, o: Self) -> Option<Self> { Some(self & o) }
+            fn bitor(self, o: Self) -> Option<Self> { Some(self | o) }
+            fn bitxor(self, o: Self) -> Option<Self> { Some(self ^ o) }
+            fn is_true(self) -> bool { self != 0 }
+            fn from_bool(b: bool) -> Self { b as Self }
+        }
+    )*};
+}
+
+int_scalar!(i8, u8, i32, u32, i64, u64);
+
+macro_rules! float_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            fn add(self, o: Self) -> Self { self + o }
+            fn mul(self, o: Self) -> Self { self * o }
+            fn bitand(self, _: Self) -> Option<Self> { None }
+            fn bitor(self, _: Self) -> Option<Self> { None }
+            fn bitxor(self, _: Self) -> Option<Self> { None }
+            fn is_true(self) -> bool { self != 0.0 }
+            fn from_bool(b: bool) -> Self { if b { 1.0 } else { 0.0 } }
+        }
+    )*};
+}
+
+float_scalar!(f32, f64);
+
+fn apply_scalar<T: Scalar>(a: T, b: T, op: ReduceOp) -> Result<T, MpiError> {
+    let bad_op = || MpiError::InvalidOp(u32::MAX);
+    Ok(match op {
+        ReduceOp::Sum => a.add(b),
+        ReduceOp::Prod => a.mul(b),
+        ReduceOp::Max => {
+            if a < b {
+                b
+            } else {
+                a
+            }
+        }
+        ReduceOp::Min => {
+            if b < a {
+                b
+            } else {
+                a
+            }
+        }
+        ReduceOp::Band => a.bitand(b).ok_or_else(bad_op)?,
+        ReduceOp::Bor => a.bitor(b).ok_or_else(bad_op)?,
+        ReduceOp::Bxor => a.bitxor(b).ok_or_else(bad_op)?,
+        ReduceOp::Land => T::from_bool(a.is_true() && b.is_true()),
+        ReduceOp::Lor => T::from_bool(a.is_true() || b.is_true()),
+    })
+}
+
+/// Elementwise `acc = op(acc, input)` over raw little-endian buffers.
+/// Both buffers must be the same length and a multiple of the type size.
+pub fn reduce_in_place(
+    dt: Datatype,
+    op: ReduceOp,
+    acc: &mut [u8],
+    input: &[u8],
+) -> Result<(), MpiError> {
+    if acc.len() != input.len() {
+        return Err(MpiError::CollectiveMismatch(format!(
+            "reduce buffers differ: {} vs {} bytes",
+            acc.len(),
+            input.len()
+        )));
+    }
+    if acc.len() % dt.size() != 0 {
+        return Err(MpiError::BadCount { bytes: acc.len(), type_size: dt.size() });
+    }
+    match dt {
+        Datatype::Byte => reduce_typed!(u8, acc, input, op),
+        Datatype::Char => reduce_typed!(i8, acc, input, op),
+        Datatype::Int => reduce_typed!(i32, acc, input, op),
+        Datatype::Unsigned => reduce_typed!(u32, acc, input, op),
+        Datatype::Long => reduce_typed!(i64, acc, input, op),
+        Datatype::UnsignedLong => reduce_typed!(u64, acc, input, op),
+        Datatype::Float => reduce_typed!(f32, acc, input, op),
+        Datatype::Double => reduce_typed!(f64, acc, input, op),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_abi() {
+        assert_eq!(Datatype::Byte.size(), 1);
+        assert_eq!(Datatype::Int.size(), 4);
+        assert_eq!(Datatype::Double.size(), 8);
+        assert_eq!(Datatype::Long.size(), 8);
+    }
+
+    #[test]
+    fn sum_doubles() {
+        let mut acc = Vec::new();
+        for v in [1.0f64, 2.0] {
+            acc.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut input = Vec::new();
+        for v in [10.0f64, 20.0] {
+            input.extend_from_slice(&v.to_le_bytes());
+        }
+        reduce_in_place(Datatype::Double, ReduceOp::Sum, &mut acc, &input).unwrap();
+        assert_eq!(f64::from_le_bytes(acc[0..8].try_into().unwrap()), 11.0);
+        assert_eq!(f64::from_le_bytes(acc[8..16].try_into().unwrap()), 22.0);
+    }
+
+    #[test]
+    fn max_and_min_ints() {
+        let mut acc = 5i32.to_le_bytes().to_vec();
+        reduce_in_place(Datatype::Int, ReduceOp::Max, &mut acc, &9i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc.clone().try_into().unwrap()), 9);
+        reduce_in_place(Datatype::Int, ReduceOp::Min, &mut acc, &(-3i32).to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc.try_into().unwrap()), -3);
+    }
+
+    #[test]
+    fn bitwise_on_floats_is_rejected() {
+        let mut acc = 1.0f32.to_le_bytes().to_vec();
+        let input = 2.0f32.to_le_bytes();
+        let err = reduce_in_place(Datatype::Float, ReduceOp::Band, &mut acc, &input);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn logical_ops() {
+        let mut acc = 2i32.to_le_bytes().to_vec();
+        reduce_in_place(Datatype::Int, ReduceOp::Land, &mut acc, &0i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc.clone().try_into().unwrap()), 0);
+        reduce_in_place(Datatype::Int, ReduceOp::Lor, &mut acc, &7i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut acc = vec![0u8; 8];
+        let input = vec![0u8; 4];
+        assert!(reduce_in_place(Datatype::Int, ReduceOp::Sum, &mut acc, &input).is_err());
+    }
+
+    #[test]
+    fn wrapping_integer_sum() {
+        let mut acc = i32::MAX.to_le_bytes().to_vec();
+        reduce_in_place(Datatype::Int, ReduceOp::Sum, &mut acc, &1i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc.try_into().unwrap()), i32::MIN);
+    }
+
+    #[test]
+    fn bxor_unsigned() {
+        let mut acc = 0b1100u32.to_le_bytes().to_vec();
+        reduce_in_place(Datatype::Unsigned, ReduceOp::Bxor, &mut acc, &0b1010u32.to_le_bytes())
+            .unwrap();
+        assert_eq!(u32::from_le_bytes(acc.try_into().unwrap()), 0b0110);
+    }
+}

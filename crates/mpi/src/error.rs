@@ -1,0 +1,88 @@
+//! MPI error reporting. Real MPI aborts by default; this library returns
+//! `Result` so the embedder can translate failures into guest-visible
+//! error codes or traps.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside the communicator.
+    InvalidRank { rank: u32, size: u32 },
+    /// Receive buffer smaller than the matched message
+    /// (`MPI_ERR_TRUNCATE`).
+    Truncated { message_len: usize, buffer_len: usize },
+    /// Count/datatype mismatch (buffer length not a multiple of the
+    /// datatype size).
+    BadCount { bytes: usize, type_size: usize },
+    /// Mismatched collective participation detected (e.g. differing
+    /// byte counts for a Bcast).
+    CollectiveMismatch(String),
+    /// The world was torn down while a rank was blocked.
+    WorldShutdown,
+    /// Invalid communicator handle (embedder-level translation failure).
+    InvalidComm(u32),
+    /// Invalid datatype handle.
+    InvalidDatatype(u32),
+    /// Invalid reduction-op handle.
+    InvalidOp(u32),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::Truncated { message_len, buffer_len } => write!(
+                f,
+                "message truncated: {message_len} bytes arrived, buffer holds {buffer_len}"
+            ),
+            MpiError::BadCount { bytes, type_size } => {
+                write!(f, "buffer of {bytes} bytes is not a multiple of type size {type_size}")
+            }
+            MpiError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
+            MpiError::WorldShutdown => write!(f, "world shut down"),
+            MpiError::InvalidComm(h) => write!(f, "invalid communicator handle {h}"),
+            MpiError::InvalidDatatype(h) => write!(f, "invalid datatype handle {h}"),
+            MpiError::InvalidOp(h) => write!(f, "invalid op handle {h}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// MPI-style integer error codes, for the embedder's C ABI (§3.6: most MPI
+/// types and error codes are plain ints from the guest's perspective).
+impl MpiError {
+    pub fn code(&self) -> i32 {
+        match self {
+            MpiError::InvalidRank { .. } => 6,   // MPI_ERR_RANK
+            MpiError::Truncated { .. } => 15,    // MPI_ERR_TRUNCATE
+            MpiError::BadCount { .. } => 2,      // MPI_ERR_COUNT
+            MpiError::CollectiveMismatch(_) => 16,
+            MpiError::WorldShutdown => 14,
+            MpiError::InvalidComm(_) => 5,       // MPI_ERR_COMM
+            MpiError::InvalidDatatype(_) => 3,   // MPI_ERR_TYPE
+            MpiError::InvalidOp(_) => 9,         // MPI_ERR_OP
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_nonzero_and_stable() {
+        assert_eq!(MpiError::InvalidRank { rank: 9, size: 4 }.code(), 6);
+        assert_eq!(MpiError::Truncated { message_len: 8, buffer_len: 4 }.code(), 15);
+        assert_eq!(MpiError::InvalidComm(3).code(), 5);
+    }
+
+    #[test]
+    fn display_mentions_details() {
+        let e = MpiError::Truncated { message_len: 100, buffer_len: 10 };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Internal message representation and per-rank mailboxes.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+/// One in-flight message.
+#[derive(Debug)]
+pub(crate) struct Message {
+    /// Sender's rank within the communicator `comm_id`.
+    pub src_in_comm: u32,
+    pub tag: i32,
+    pub comm_id: u64,
+    pub data: Box<[u8]>,
+    /// Sender's virtual clock at departure, µs (0 in real-clock mode).
+    pub sent_at_us: f64,
+    /// Sender's world rank (for wire-time computation).
+    pub src_world: u32,
+}
+
+/// A rank's mailbox: an ordered queue (preserves MPI's non-overtaking
+/// guarantee per sender) plus a condvar for blocking receives.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    pub queue: Mutex<MailboxState>,
+    pub available: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct MailboxState {
+    pub messages: VecDeque<Message>,
+    /// Set when the world is tearing down; receivers must stop blocking.
+    pub shutdown: bool,
+}
+
+impl Mailbox {
+    /// Deposit a message and wake any blocked receiver.
+    pub fn push(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.messages.push_back(msg);
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Find and remove the first message matching the predicate, blocking
+    /// until one arrives. Returns `None` on shutdown.
+    pub fn take_matching(
+        &self,
+        mut matches: impl FnMut(&Message) -> bool,
+    ) -> Option<Message> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.messages.iter().position(&mut matches) {
+                return q.messages.remove(pos);
+            }
+            if q.shutdown {
+                return None;
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant: check without waiting (used by `Iprobe`).
+    pub fn peek_matching(&self, mut matches: impl FnMut(&Message) -> bool) -> Option<(u32, i32, usize)> {
+        let q = self.queue.lock();
+        q.messages
+            .iter()
+            .find(|m| matches(m))
+            .map(|m| (m.src_in_comm, m.tag, m.data.len()))
+    }
+
+    pub fn shutdown(&self) {
+        let mut q = self.queue.lock();
+        q.shutdown = true;
+        drop(q);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(src: u32, tag: i32, data: &[u8]) -> Message {
+        Message {
+            src_in_comm: src,
+            tag,
+            comm_id: 0,
+            data: data.into(),
+            sent_at_us: 0.0,
+            src_world: src,
+        }
+    }
+
+    #[test]
+    fn fifo_per_matching_predicate() {
+        let mb = Mailbox::default();
+        mb.push(msg(0, 1, b"first"));
+        mb.push(msg(0, 1, b"second"));
+        let a = mb.take_matching(|m| m.tag == 1).unwrap();
+        assert_eq!(&*a.data, b"first");
+        let b = mb.take_matching(|m| m.tag == 1).unwrap();
+        assert_eq!(&*b.data, b"second");
+    }
+
+    #[test]
+    fn selective_receive_skips_nonmatching() {
+        let mb = Mailbox::default();
+        mb.push(msg(3, 7, b"three"));
+        mb.push(msg(5, 9, b"five"));
+        let m = mb.take_matching(|m| m.src_in_comm == 5).unwrap();
+        assert_eq!(&*m.data, b"five");
+        // The earlier message is still there.
+        let m = mb.take_matching(|_| true).unwrap();
+        assert_eq!(&*m.data, b"three");
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_push() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.take_matching(|m| m.tag == 42));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(msg(1, 42, b"late"));
+        let got = t.join().unwrap().unwrap();
+        assert_eq!(&*got.data, b"late");
+    }
+
+    #[test]
+    fn shutdown_unblocks_receivers() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.take_matching(|_| false));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.shutdown();
+        assert!(t.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mb = Mailbox::default();
+        mb.push(msg(2, 5, b"abc"));
+        let peeked = mb.peek_matching(|m| m.tag == 5).unwrap();
+        assert_eq!(peeked, (2, 5, 3));
+        assert!(mb.take_matching(|m| m.tag == 5).is_some());
+    }
+}

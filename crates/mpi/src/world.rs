@@ -1,0 +1,123 @@
+//! World setup: spawn one thread per rank, hand each a world communicator,
+//! join, and return the per-rank results.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::clock::ClockMode;
+use crate::comm::Comm;
+use crate::message::Mailbox;
+
+/// Shared world state.
+pub struct World {
+    pub(crate) size: u32,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) mode: ClockMode,
+}
+
+impl World {
+    pub(crate) fn new(size: u32, mode: ClockMode) -> Arc<World> {
+        assert!(size >= 1, "world must have at least one rank");
+        let mailboxes = (0..size).map(|_| Mailbox::default()).collect();
+        Arc::new(World { size, mailboxes, mode })
+    }
+
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Unblock every rank (used when a rank panics so the others do not
+    /// hang forever on a receive that will never be satisfied).
+    pub(crate) fn shutdown(&self) {
+        for mb in &self.mailboxes {
+            mb.shutdown();
+        }
+    }
+}
+
+/// Run `size` MPI ranks with real clocks. Each rank executes `body` on its
+/// own thread with a world [`Comm`]; results are returned in rank order.
+///
+/// This is the analog of `mpirun -np <size>`.
+pub fn run_world<R, F>(size: u32, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    run_world_with(size, ClockMode::Real, body)
+}
+
+/// [`run_world`] with an explicit clock mode. Passing
+/// [`ClockMode::Virtual`] makes every rank track LogP-style simulated time
+/// (see crate docs); `Comm::wtime` then reads the virtual clock.
+pub fn run_world_with<R, F>(size: u32, mode: ClockMode, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    let world = World::new(size, mode);
+    let body = Arc::new(body);
+
+    let handles: Vec<_> = (0..size)
+        .map(|rank| {
+            let world = Arc::clone(&world);
+            let body = Arc::clone(&body);
+            std::thread::Builder::new()
+                .name(format!("mpi-rank-{rank}"))
+                .stack_size(32 << 20) // deep guest recursion in debug builds needs room
+                .spawn(move || {
+                    let comm = Comm::world(Arc::clone(&world), rank);
+                    let result = catch_unwind(AssertUnwindSafe(|| body(comm)));
+                    if result.is_err() {
+                        world.shutdown();
+                    }
+                    result
+                })
+                .expect("failed to spawn rank thread")
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(size as usize);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join().expect("rank thread panicked outside catch_unwind") {
+            Ok(r) => results.push(r),
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let ranks = run_world(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(ranks, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = run_world(1, |comm| comm.rank());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates_without_hanging_others() {
+        run_world(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            // Other ranks block forever on a message that never comes;
+            // the shutdown must unblock them.
+            let mut buf = [0u8; 4];
+            let _ = comm.recv(&mut buf, crate::Source::Any, crate::Tag::Any);
+        });
+    }
+}

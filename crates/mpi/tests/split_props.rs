@@ -1,0 +1,70 @@
+//! Property tests for `MPI_Comm_split` semantics: arbitrary color/key
+//! assignments must partition the world correctly and order the derived
+//! ranks by `(key, old rank)`, and the derived communicators must be
+//! usable for collectives.
+
+use proptest::prelude::*;
+
+use mpi_substrate::{run_world, Datatype, ReduceOp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn split_partitions_and_orders(
+        p in 2u32..6,
+        colors in proptest::collection::vec(0i32..3, 6),
+        keys in proptest::collection::vec(-5i32..5, 6),
+    ) {
+        let colors2 = colors.clone();
+        let keys2 = keys.clone();
+        let out = run_world(p, move |comm| {
+            let me = comm.rank() as usize;
+            let color = colors2[me];
+            let key = keys2[me];
+            let sub = comm.split(color, key).unwrap().unwrap();
+            // Derived comms are live: sum ranks within the color group.
+            let one = 1i32.to_le_bytes();
+            let mut total = [0u8; 4];
+            sub.allreduce(&one, &mut total, Datatype::Int, ReduceOp::Sum).unwrap();
+            (color, key, sub.rank(), sub.size(), i32::from_le_bytes(total))
+        });
+
+        for (me, &(color, key, sub_rank, sub_size, counted)) in out.iter().enumerate() {
+            // Group size matches the number of ranks sharing the color.
+            let group: Vec<usize> = (0..p as usize)
+                .filter(|&r| colors[r] == color)
+                .collect();
+            prop_assert_eq!(sub_size as usize, group.len());
+            prop_assert_eq!(counted as usize, group.len());
+            // Rank within the sub-communicator = position under
+            // (key, old rank) ordering.
+            let mut ordered: Vec<usize> = group.clone();
+            ordered.sort_by_key(|&r| (keys[r], r));
+            let expected_rank = ordered.iter().position(|&r| r == me).unwrap();
+            prop_assert_eq!(sub_rank as usize, expected_rank, "rank {} key {}", me, key);
+        }
+    }
+
+    #[test]
+    fn nested_splits_compose(p in 2u32..6) {
+        let out = run_world(p, move |comm| {
+            // Split into parity groups, then split each by halves of the
+            // sub-rank: every leaf communicator must still function.
+            let parity = comm.split((comm.rank() % 2) as i32, 0).unwrap().unwrap();
+            let leaf = parity
+                .split((parity.rank() / 2) as i32, 0)
+                .unwrap()
+                .unwrap();
+            let v = (comm.rank() + 1).to_le_bytes();
+            let mut sum = [0u8; 4];
+            leaf.allreduce(&v, &mut sum, Datatype::Unsigned, ReduceOp::Sum).unwrap();
+            (leaf.size(), u32::from_le_bytes(sum))
+        });
+        for (me, &(leaf_size, sum)) in out.iter().enumerate() {
+            prop_assert!(leaf_size >= 1 && leaf_size <= 2);
+            // The sum includes our own contribution.
+            prop_assert!(sum >= me as u32 + 1);
+        }
+    }
+}

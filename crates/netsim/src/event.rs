@@ -1,0 +1,163 @@
+//! A generic discrete-event queue: a time-ordered priority queue with
+//! stable FIFO ordering for simultaneous events.
+//!
+//! The simulated-time MPI transport and the Faasm baseline schedule their
+//! message deliveries and scheduler decisions through this queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue over payloads of type `T`.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`. Events scheduled in the
+    /// past are clamped to `now` (they fire immediately, preserving order).
+    pub fn schedule_at(&mut self, at: SimTime, payload: T) {
+        let time = at.max(self.now);
+        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: T) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Run until the queue drains, calling `handler(time, payload, queue)`
+    /// for each event. The handler may schedule follow-up events.
+    pub fn run(&mut self, mut handler: impl FnMut(SimTime, T, &mut Self)) {
+        while let Some((t, payload)) = self.pop() {
+            handler(t, payload, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::micros(3.0), "c");
+        q.schedule_at(SimTime::micros(1.0), "a");
+        q.schedule_at(SimTime::micros(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::micros(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::micros(10.0), ());
+        q.pop();
+        assert_eq!(q.now().as_micros(), 10.0);
+        // Scheduling in the past clamps to now.
+        q.schedule_at(SimTime::micros(1.0), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_micros(), 10.0);
+    }
+
+    #[test]
+    fn run_drains_with_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::micros(1.0), 3u32);
+        let mut fired = Vec::new();
+        q.run(|t, n, q| {
+            fired.push((t.as_micros(), n));
+            if n > 0 {
+                q.schedule_after(SimTime::micros(1.0), n - 1);
+            }
+        });
+        assert_eq!(fired, vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimTime::micros(5.0), "x");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_micros(), 5.0);
+        q.schedule_after(SimTime::micros(5.0), "y");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_micros(), 10.0);
+    }
+}

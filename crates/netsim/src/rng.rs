@@ -1,0 +1,82 @@
+//! Deterministic pseudo-random jitter for simulated timings.
+//!
+//! Benchmarks report min/avg/max iteration times; the simulator produces
+//! the spread with a small deterministic noise source so repeated runs of
+//! the harness regenerate identical tables.
+
+/// SplitMix64: tiny, high-quality, seedable generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Multiplicative jitter factor in `[1 - spread, 1 + spread]`.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        1.0 + (self.next_f64() * 2.0 - 1.0) * spread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn jitter_within_spread() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let j = r.jitter(0.1);
+            assert!((0.9..=1.1).contains(&j));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SplitMix64::new(99);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

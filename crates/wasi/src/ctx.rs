@@ -1,0 +1,319 @@
+//! Per-instance WASI state: the file-descriptor table, program arguments,
+//! environment, captured stdout/stderr, and I/O byte counters.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use crate::errno::Errno;
+use crate::fs::{FileHandle, Rights, SharedFs};
+
+/// One slot in the descriptor table.
+#[derive(Debug)]
+pub enum FdEntry {
+    Stdin,
+    Stdout,
+    Stderr,
+    /// A preopened directory (index into [`SharedFs::preopens`]).
+    Preopen(usize),
+    /// An opened file with an independent cursor.
+    File { handle: FileHandle, rights: Rights, pos: u64 },
+}
+
+/// WASI state for one instance (one MPI rank).
+pub struct WasiCtx {
+    pub fs: SharedFs,
+    pub args: Vec<String>,
+    pub env: Vec<(String, String)>,
+    fds: Vec<Option<FdEntry>>,
+    /// Captured stdout bytes (also echoed to the host when `echo` is set).
+    pub stdout: Vec<u8>,
+    pub stderr: Vec<u8>,
+    /// Echo guest stdout/stderr to the host's (the CLI turns this on).
+    pub echo: bool,
+    /// Exit code recorded by `proc_exit`.
+    pub exit_code: Option<i32>,
+    /// Cumulative bytes moved through fd_read / fd_write on files (not
+    /// stdio), for the IOR bandwidth accounting.
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    rand_state: u64,
+}
+
+impl WasiCtx {
+    pub fn new(fs: SharedFs, args: Vec<String>) -> WasiCtx {
+        let mut fds: Vec<Option<FdEntry>> =
+            vec![Some(FdEntry::Stdin), Some(FdEntry::Stdout), Some(FdEntry::Stderr)];
+        for i in 0..fs.preopens().len() {
+            fds.push(Some(FdEntry::Preopen(i)));
+        }
+        WasiCtx {
+            fs,
+            args,
+            env: Vec::new(),
+            fds,
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            echo: false,
+            exit_code: None,
+            bytes_read: 0,
+            bytes_written: 0,
+            rand_state: 0x853c_49e6_748f_ea9b,
+        }
+    }
+
+    /// Seed the deterministic `random_get` stream (per-rank in MPI jobs).
+    pub fn seed_random(&mut self, seed: u64) {
+        self.rand_state = seed | 1;
+    }
+
+    pub fn next_random(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rand_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rand_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn entry(&self, fd: u32) -> Result<&FdEntry, Errno> {
+        self.fds.get(fd as usize).and_then(|e| e.as_ref()).ok_or(Errno::Badf)
+    }
+
+    fn entry_mut(&mut self, fd: u32) -> Result<&mut FdEntry, Errno> {
+        self.fds.get_mut(fd as usize).and_then(|e| e.as_mut()).ok_or(Errno::Badf)
+    }
+
+    /// Allocate a descriptor for an opened file.
+    pub fn push_file(&mut self, handle: FileHandle, rights: Rights) -> u32 {
+        let entry = FdEntry::File { handle, rights, pos: 0 };
+        if let Some(slot) = self.fds.iter().position(|e| e.is_none()) {
+            self.fds[slot] = Some(entry);
+            slot as u32
+        } else {
+            self.fds.push(Some(entry));
+            (self.fds.len() - 1) as u32
+        }
+    }
+
+    pub fn close(&mut self, fd: u32) -> Result<(), Errno> {
+        let slot = self.fds.get_mut(fd as usize).ok_or(Errno::Badf)?;
+        match slot {
+            Some(FdEntry::File { .. }) => {
+                *slot = None;
+                Ok(())
+            }
+            Some(_) => Err(Errno::Notcapable), // stdio/preopens stay open
+            None => Err(Errno::Badf),
+        }
+    }
+
+    /// Write `data` through descriptor `fd`. Returns bytes written.
+    pub fn write(&mut self, fd: u32, data: &[u8]) -> Result<usize, Errno> {
+        match self.entry(fd)? {
+            FdEntry::Stdout => {
+                self.stdout.extend_from_slice(data);
+                if self.echo {
+                    let _ = std::io::stdout().write_all(data);
+                }
+                Ok(data.len())
+            }
+            FdEntry::Stderr => {
+                self.stderr.extend_from_slice(data);
+                if self.echo {
+                    let _ = std::io::stderr().write_all(data);
+                }
+                Ok(data.len())
+            }
+            FdEntry::Stdin | FdEntry::Preopen(_) => Err(Errno::Badf),
+            FdEntry::File { .. } => {
+                let n = data.len();
+                let FdEntry::File { handle, rights, pos } = self.entry_mut(fd)? else {
+                    unreachable!()
+                };
+                if !rights.write {
+                    return Err(Errno::Notcapable);
+                }
+                match handle {
+                    FileHandle::Mem(m) => {
+                        let mut contents = m.write();
+                        let at = *pos as usize;
+                        if contents.len() < at + n {
+                            contents.resize(at + n, 0);
+                        }
+                        contents[at..at + n].copy_from_slice(data);
+                        *pos += n as u64;
+                    }
+                    FileHandle::Host(f) => {
+                        f.seek(SeekFrom::Start(*pos)).map_err(|_| Errno::Io)?;
+                        f.write_all(data).map_err(|_| Errno::Io)?;
+                        *pos += n as u64;
+                    }
+                }
+                self.bytes_written += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    /// Read up to `buf.len()` bytes from `fd`. Returns bytes read.
+    pub fn read(&mut self, fd: u32, buf: &mut [u8]) -> Result<usize, Errno> {
+        match self.entry_mut(fd)? {
+            FdEntry::Stdin => Ok(0), // EOF: guests get no interactive input
+            FdEntry::File { handle, rights, pos } => {
+                if !rights.read {
+                    return Err(Errno::Notcapable);
+                }
+                let n = match handle {
+                    FileHandle::Mem(m) => {
+                        let contents = m.read();
+                        let at = (*pos as usize).min(contents.len());
+                        let n = buf.len().min(contents.len() - at);
+                        buf[..n].copy_from_slice(&contents[at..at + n]);
+                        *pos += n as u64;
+                        n
+                    }
+                    FileHandle::Host(f) => {
+                        f.seek(SeekFrom::Start(*pos)).map_err(|_| Errno::Io)?;
+                        let n = f.read(buf).map_err(|_| Errno::Io)?;
+                        *pos += n as u64;
+                        n
+                    }
+                };
+                self.bytes_read += n as u64;
+                Ok(n)
+            }
+            _ => Err(Errno::Badf),
+        }
+    }
+
+    /// `fd_seek`: whence 0 = set, 1 = cur, 2 = end. Returns new offset.
+    pub fn seek(&mut self, fd: u32, offset: i64, whence: u8) -> Result<u64, Errno> {
+        match self.entry_mut(fd)? {
+            FdEntry::File { handle, pos, .. } => {
+                let end = match handle {
+                    FileHandle::Mem(m) => m.read().len() as i64,
+                    FileHandle::Host(f) => {
+                        f.metadata().map_err(|_| Errno::Io)?.len() as i64
+                    }
+                };
+                let base = match whence {
+                    0 => 0,
+                    1 => *pos as i64,
+                    2 => end,
+                    _ => return Err(Errno::Inval),
+                };
+                let target = base + offset;
+                if target < 0 {
+                    return Err(Errno::Inval);
+                }
+                *pos = target as u64;
+                Ok(*pos)
+            }
+            _ => Err(Errno::Badf),
+        }
+    }
+
+    /// Captured stdout as UTF-8 (lossy).
+    pub fn stdout_string(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> WasiCtx {
+        WasiCtx::new(SharedFs::memory(), vec!["prog".into(), "arg1".into()])
+    }
+
+    #[test]
+    fn stdio_descriptors_preassigned() {
+        let c = ctx();
+        assert!(matches!(c.entry(0).unwrap(), FdEntry::Stdin));
+        assert!(matches!(c.entry(1).unwrap(), FdEntry::Stdout));
+        assert!(matches!(c.entry(2).unwrap(), FdEntry::Stderr));
+        assert!(matches!(c.entry(3).unwrap(), FdEntry::Preopen(0)));
+        assert!(c.entry(4).is_err());
+    }
+
+    #[test]
+    fn stdout_capture() {
+        let mut c = ctx();
+        c.write(1, b"hello ").unwrap();
+        c.write(1, b"world").unwrap();
+        assert_eq!(c.stdout_string(), "hello world");
+        c.write(2, b"oops").unwrap();
+        assert_eq!(c.stderr, b"oops");
+    }
+
+    #[test]
+    fn file_write_read_seek_cycle() {
+        let mut c = ctx();
+        let h = c.fs.open(0, "f.bin", true, false, true).unwrap();
+        let fd = c.push_file(h, Rights::READ_WRITE);
+        assert_eq!(fd, 4);
+        c.write(fd, b"0123456789").unwrap();
+        assert_eq!(c.seek(fd, 2, 0).unwrap(), 2);
+        let mut buf = [0u8; 4];
+        assert_eq!(c.read(fd, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"2345");
+        // Seek from end.
+        assert_eq!(c.seek(fd, -1, 2).unwrap(), 9);
+        assert_eq!(c.read(fd, &mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'9');
+        assert_eq!(c.bytes_written, 10);
+        assert_eq!(c.bytes_read, 5);
+    }
+
+    #[test]
+    fn close_frees_slot_for_reuse() {
+        let mut c = ctx();
+        let h = c.fs.open(0, "a", true, false, true).unwrap();
+        let fd = c.push_file(h, Rights::READ_WRITE);
+        c.close(fd).unwrap();
+        assert!(c.entry(fd).is_err());
+        let h2 = c.fs.open(0, "b", true, false, true).unwrap();
+        let fd2 = c.push_file(h2, Rights::READ_WRITE);
+        assert_eq!(fd, fd2, "slot should be reused");
+    }
+
+    #[test]
+    fn stdio_cannot_be_closed() {
+        let mut c = ctx();
+        assert_eq!(c.close(1).unwrap_err(), Errno::Notcapable);
+    }
+
+    #[test]
+    fn read_only_fd_rejects_write() {
+        let mut c = ctx();
+        let h = c.fs.open(0, "f", true, false, true).unwrap();
+        let fd = c.push_file(h, Rights::READ_ONLY);
+        assert_eq!(c.write(fd, b"x").unwrap_err(), Errno::Notcapable);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = ctx();
+        let mut b = ctx();
+        a.seed_random(7);
+        b.seed_random(7);
+        assert_eq!(a.next_random(), b.next_random());
+        let mut c2 = ctx();
+        c2.seed_random(8);
+        assert_ne!(a.next_random(), c2.next_random());
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut c = ctx();
+        let h = c.fs.open(0, "sparse", true, false, true).unwrap();
+        let fd = c.push_file(h, Rights::READ_WRITE);
+        c.seek(fd, 4, 0).unwrap();
+        c.write(fd, b"zz").unwrap();
+        c.seek(fd, 0, 0).unwrap();
+        let mut buf = [0xFFu8; 6];
+        c.read(fd, &mut buf).unwrap();
+        assert_eq!(&buf, &[0, 0, 0, 0, b'z', b'z']);
+    }
+}

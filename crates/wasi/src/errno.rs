@@ -1,0 +1,49 @@
+//! WASI errno values (the subset this layer reports).
+
+/// WASI `errno` codes, as defined by `wasi_snapshot_preview1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Errno {
+    Success = 0,
+    Acces = 2,
+    Badf = 8,
+    Exist = 20,
+    Inval = 28,
+    Io = 29,
+    Isdir = 31,
+    Noent = 44,
+    Notdir = 54,
+    Notcapable = 76,
+}
+
+impl Errno {
+    /// The i32 WASI functions return.
+    pub fn raw(self) -> i32 {
+        self as u16 as i32
+    }
+}
+
+impl From<Errno> for i32 {
+    fn from(e: Errno) -> i32 {
+        e.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_is_zero() {
+        assert_eq!(Errno::Success.raw(), 0);
+    }
+
+    #[test]
+    fn codes_match_wasi_spec() {
+        assert_eq!(Errno::Badf.raw(), 8);
+        assert_eq!(Errno::Noent.raw(), 44);
+        assert_eq!(Errno::Notcapable.raw(), 76);
+        assert_eq!(Errno::Inval.raw(), 28);
+        assert_eq!(Errno::Acces.raw(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! A WASI `snapshot_preview1` subset with filesystem isolation.
+//!
+//! Implements the system interface the paper's guests need (§2.3, Listing
+//! 1): `fd_read`/`fd_write`/`fd_seek`/`fd_close`, `path_open`, `proc_exit`,
+//! args/environ, `clock_time_get`, `random_get`, and the prestat calls that
+//! let `wasi-libc`-style startup discover preopened directories.
+//!
+//! Filesystem isolation follows §3.4: the guest sees a **virtual directory
+//! tree** whose roots are the preopened directories. Preopen names are
+//! flat children of `/` (the host path, usernames included, is never
+//! exposed), rights can be restricted per directory (read-only preopens of
+//! a writable host directory), and path resolution rejects every attempt
+//! to escape (`..`, absolute paths). Directories can be backed by host
+//! directories or by a process-wide in-memory filesystem shared between
+//! ranks (what the IOR benchmark writes to).
+
+pub mod ctx;
+pub mod errno;
+pub mod fs;
+pub mod host;
+
+pub use ctx::{FdEntry, WasiCtx};
+pub use errno::Errno;
+pub use fs::{DirBackend, Preopen, Rights, SharedFs};
+pub use host::register_wasi;

@@ -1,0 +1,913 @@
+//! A small structured-programming DSL that compiles to Wasm bytecode.
+//!
+//! This is the repository's substitute for the paper's guest toolchain
+//! (WASI-SDK clang + custom `mpi.h`, §3.2): the standardized HPC benchmarks
+//! are authored as [`Stmt`]/[`Expr`] trees and compiled through
+//! [`emit_block`] into real Wasm function bodies. Types are tracked per
+//! expression, so the generated code always validates.
+//!
+//! ```
+//! use wasm_engine::dsl::*;
+//! use wasm_engine::{ModuleBuilder, ValType};
+//!
+//! let mut b = ModuleBuilder::new();
+//! b.memory(1, None);
+//! b.func("sum_to_n", vec![ValType::I32], vec![ValType::I32], |f| {
+//!     let n = local(0, ValType::I32);
+//!     let acc = Var::new(f, ValType::I32);
+//!     let i = Var::new(f, ValType::I32);
+//!     emit_block(f, &[
+//!         for_range(i, int(0), n.get(), &[
+//!             acc.set(acc.get() + i.get()),
+//!         ]),
+//!         ret(Some(acc.get())),
+//!     ]);
+//! });
+//! let module = b.finish();
+//! wasm_engine::validate_module(&module).unwrap();
+//! ```
+
+use crate::builder::FunctionBuilder;
+use crate::instr::{Instr, MemArg};
+use crate::types::{BlockType, ValType};
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+use std::rc::Rc;
+
+/// A typed expression tree.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    node: Rc<Node>,
+    ty: ValType,
+}
+
+#[derive(Debug)]
+enum Node {
+    ConstI32(i32),
+    ConstI64(i64),
+    ConstF32(f32),
+    ConstF64(f64),
+    Local(u32),
+    Global(u32),
+    Load { addr: Expr, offset: u32, width: LoadWidth },
+    Bin { op: BinOp, lhs: Expr, rhs: Expr },
+    Cmp { op: CmpOp, lhs: Expr, rhs: Expr },
+    Un { op: UnOp, arg: Expr },
+    Call { func: u32, args: Vec<Expr> },
+    Convert { to: ValType, signed: bool, arg: Expr },
+    MemorySize,
+    /// Ternary `cond ? a : b` via `select`.
+    Select { cond: Expr, then: Expr, els: Expr },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadWidth {
+    Full,
+    U8,
+    U16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Min,
+    Max,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    LeS,
+    GeS,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnOp {
+    Neg,
+    Sqrt,
+    Abs,
+    Eqz,
+}
+
+// --- constructors ---
+
+/// i32 constant.
+pub fn int(v: i32) -> Expr {
+    Expr { node: Rc::new(Node::ConstI32(v)), ty: ValType::I32 }
+}
+
+/// i64 constant.
+pub fn long(v: i64) -> Expr {
+    Expr { node: Rc::new(Node::ConstI64(v)), ty: ValType::I64 }
+}
+
+/// f32 constant.
+pub fn float(v: f32) -> Expr {
+    Expr { node: Rc::new(Node::ConstF32(v)), ty: ValType::F32 }
+}
+
+/// f64 constant.
+pub fn double(v: f64) -> Expr {
+    Expr { node: Rc::new(Node::ConstF64(v)), ty: ValType::F64 }
+}
+
+/// Reference to a parameter or local by index.
+pub fn local(idx: u32, ty: ValType) -> Var {
+    Var { idx, ty }
+}
+
+/// Current memory size in pages.
+pub fn memory_size() -> Expr {
+    Expr { node: Rc::new(Node::MemorySize), ty: ValType::I32 }
+}
+
+/// Call a function; `ret_ty = None` for void functions (only usable as a
+/// statement via [`call_stmt`]).
+pub fn call(func: u32, args: Vec<Expr>, ret_ty: ValType) -> Expr {
+    Expr { node: Rc::new(Node::Call { func, args }), ty: ret_ty }
+}
+
+/// `cond ? a : b`.
+pub fn select(cond: Expr, then: Expr, els: Expr) -> Expr {
+    assert_eq!(then.ty, els.ty, "select arms must agree");
+    let ty = then.ty;
+    Expr { node: Rc::new(Node::Select { cond, then, els }), ty }
+}
+
+impl Expr {
+    pub fn ty(&self) -> ValType {
+        self.ty
+    }
+
+    /// Load a value of type `ty` from `self + offset`.
+    pub fn load(self, ty: ValType, offset: u32) -> Expr {
+        assert_eq!(self.ty, ValType::I32, "addresses are i32");
+        Expr {
+            node: Rc::new(Node::Load { addr: self, offset, width: LoadWidth::Full }),
+            ty,
+        }
+    }
+
+    /// Load a zero-extended byte from `self + offset` (result i32).
+    pub fn load_u8(self, offset: u32) -> Expr {
+        Expr {
+            node: Rc::new(Node::Load { addr: self, offset, width: LoadWidth::U8 }),
+            ty: ValType::I32,
+        }
+    }
+
+    /// Load a zero-extended u16 from `self + offset` (result i32).
+    pub fn load_u16(self, offset: u32) -> Expr {
+        Expr {
+            node: Rc::new(Node::Load { addr: self, offset, width: LoadWidth::U16 }),
+            ty: ValType::I32,
+        }
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        assert_eq!(lhs.ty, rhs.ty, "binary operands must agree: {op:?}");
+        let ty = lhs.ty;
+        Expr { node: Rc::new(Node::Bin { op, lhs, rhs }), ty }
+    }
+
+    fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        assert_eq!(lhs.ty, rhs.ty, "comparison operands must agree: {op:?}");
+        Expr { node: Rc::new(Node::Cmp { op, lhs, rhs }), ty: ValType::I32 }
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, self, rhs)
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ne, self, rhs)
+    }
+
+    /// Signed / ordered less-than.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::LtS, self, rhs)
+    }
+
+    /// Unsigned less-than (i32 only).
+    pub fn lt_u(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::LtU, self, rhs)
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::GtS, self, rhs)
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::LeS, self, rhs)
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::cmp(CmpOp::GeS, self, rhs)
+    }
+
+    pub fn eqz(self) -> Expr {
+        Expr { ty: ValType::I32, node: Rc::new(Node::Un { op: UnOp::Eqz, arg: self }) }
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Xor, self, rhs)
+    }
+
+    pub fn shl(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Shl, self, rhs)
+    }
+
+    pub fn shr_s(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::ShrS, self, rhs)
+    }
+
+    pub fn shr_u(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::ShrU, self, rhs)
+    }
+
+    pub fn div_u(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::DivU, self, rhs)
+    }
+
+    pub fn rem_u(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::RemU, self, rhs)
+    }
+
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Min, self, rhs)
+    }
+
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Max, self, rhs)
+    }
+
+    pub fn sqrt(self) -> Expr {
+        let ty = self.ty;
+        Expr { node: Rc::new(Node::Un { op: UnOp::Sqrt, arg: self }), ty }
+    }
+
+    pub fn abs(self) -> Expr {
+        let ty = self.ty;
+        Expr { node: Rc::new(Node::Un { op: UnOp::Abs, arg: self }), ty }
+    }
+
+    /// Numeric conversion to `to` (signed interpretation when relevant).
+    pub fn to(self, to: ValType) -> Expr {
+        Expr { node: Rc::new(Node::Convert { to, signed: true, arg: self }), ty: to }
+    }
+
+    /// Numeric conversion to `to`, unsigned interpretation.
+    pub fn to_unsigned(self, to: ValType) -> Expr {
+        Expr { node: Rc::new(Node::Convert { to, signed: false, arg: self }), ty: to }
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::DivS, self, rhs)
+    }
+}
+
+impl Rem for Expr {
+    type Output = Expr;
+    fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::RemS, self, rhs)
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        let ty = self.ty;
+        Expr { node: Rc::new(Node::Un { op: UnOp::Neg, arg: self }), ty }
+    }
+}
+
+/// A mutable variable (parameter or declared local).
+#[derive(Debug, Clone, Copy)]
+pub struct Var {
+    pub idx: u32,
+    pub ty: ValType,
+}
+
+impl Var {
+    /// Declare a fresh local in the function.
+    pub fn new(f: &mut FunctionBuilder, ty: ValType) -> Var {
+        Var { idx: f.local(ty), ty }
+    }
+
+    pub fn get(&self) -> Expr {
+        Expr { node: Rc::new(Node::Local(self.idx)), ty: self.ty }
+    }
+
+    pub fn set(&self, value: Expr) -> Stmt {
+        assert_eq!(self.ty, value.ty, "assignment type mismatch");
+        Stmt::Set(self.idx, value)
+    }
+
+    /// `var += delta`.
+    pub fn add_assign(&self, delta: Expr) -> Stmt {
+        self.set(self.get() + delta)
+    }
+}
+
+/// Reference to a mutable module global.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalVar {
+    pub idx: u32,
+    pub ty: ValType,
+}
+
+impl GlobalVar {
+    pub fn get(&self) -> Expr {
+        Expr { node: Rc::new(Node::Global(self.idx)), ty: self.ty }
+    }
+
+    pub fn set(&self, value: Expr) -> Stmt {
+        Stmt::GlobalSet(self.idx, value)
+    }
+}
+
+/// A statement tree.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    Set(u32, Expr),
+    GlobalSet(u32, Expr),
+    Store { addr: Expr, value: Expr, offset: u32, narrow8: bool },
+    /// Evaluate and drop `n` results (0 = plain call of a void function).
+    CallVoid { func: u32, args: Vec<Expr>, drop_results: u32 },
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for var in from..to` (step +1).
+    ForRange { var: Var, from: Expr, to: Expr, body: Vec<Stmt> },
+    Return(Option<Expr>),
+    /// memory.copy(dst, src, len)
+    MemCopy { dst: Expr, src: Expr, len: Expr },
+    /// memory.fill(dst, byte, len)
+    MemFill { dst: Expr, byte: Expr, len: Expr },
+    /// Break out of the innermost `While`/`ForRange`.
+    Break,
+    /// Raw instructions escape hatch.
+    Raw(Vec<Instr>),
+}
+
+/// Store `value` at `addr + offset` (width from the value's type).
+pub fn store(addr: Expr, offset: u32, value: Expr) -> Stmt {
+    Stmt::Store { addr, value, offset, narrow8: false }
+}
+
+/// Store the low byte of `value` (i32) at `addr + offset`.
+pub fn store_u8(addr: Expr, offset: u32, value: Expr) -> Stmt {
+    Stmt::Store { addr, value, offset, narrow8: true }
+}
+
+/// Call a function for effect, dropping `drop_results` results.
+pub fn call_stmt(func: u32, args: Vec<Expr>) -> Stmt {
+    Stmt::CallVoid { func, args, drop_results: 0 }
+}
+
+/// Call a function and drop its single result (the usual `MPI_*` pattern:
+/// guests ignore the returned error code).
+pub fn call_drop(func: u32, args: Vec<Expr>) -> Stmt {
+    Stmt::CallVoid { func, args, drop_results: 1 }
+}
+
+pub fn if_then(cond: Expr, then: &[Stmt]) -> Stmt {
+    Stmt::If { cond, then: then.to_vec(), els: vec![] }
+}
+
+pub fn if_else(cond: Expr, then: &[Stmt], els: &[Stmt]) -> Stmt {
+    Stmt::If { cond, then: then.to_vec(), els: els.to_vec() }
+}
+
+pub fn while_loop(cond: Expr, body: &[Stmt]) -> Stmt {
+    Stmt::While { cond, body: body.to_vec() }
+}
+
+pub fn for_range(var: Var, from: Expr, to: Expr, body: &[Stmt]) -> Stmt {
+    Stmt::ForRange { var, from, to, body: body.to_vec() }
+}
+
+pub fn ret(value: Option<Expr>) -> Stmt {
+    Stmt::Return(value)
+}
+
+// --- compilation ---
+
+/// Compile a statement list into the function being built.
+pub fn emit_block(f: &mut FunctionBuilder, stmts: &[Stmt]) {
+    let mut cx = Cx { loop_depth: Vec::new() };
+    for s in stmts {
+        emit_stmt(f, &mut cx, s);
+    }
+}
+
+struct Cx {
+    /// Current structured nesting contributed by enclosing DSL loops, used
+    /// to compute `br` depths for Break. Each entry is the depth (in
+    /// blocks) at which the breakable block lives.
+    loop_depth: Vec<u32>,
+}
+
+fn emit_stmt(f: &mut FunctionBuilder, cx: &mut Cx, s: &Stmt) {
+    match s {
+        Stmt::Set(idx, e) => {
+            emit_expr(f, e);
+            f.local_set(*idx);
+        }
+        Stmt::GlobalSet(idx, e) => {
+            emit_expr(f, e);
+            f.global_set(*idx);
+        }
+        Stmt::Store { addr, value, offset, narrow8 } => {
+            emit_expr(f, addr);
+            emit_expr(f, value);
+            let instr = if *narrow8 {
+                Instr::I32Store8(MemArg::offset(*offset))
+            } else {
+                match value.ty {
+                    ValType::I32 => Instr::I32Store(MemArg::offset(*offset)),
+                    ValType::I64 => Instr::I64Store(MemArg::offset(*offset)),
+                    ValType::F32 => Instr::F32Store(MemArg::offset(*offset)),
+                    ValType::F64 => Instr::F64Store(MemArg::offset(*offset)),
+                    ValType::V128 => Instr::V128Store(MemArg::offset(*offset)),
+                }
+            };
+            f.emit(instr);
+        }
+        Stmt::CallVoid { func, args, drop_results } => {
+            for a in args {
+                emit_expr(f, a);
+            }
+            f.call(*func);
+            for _ in 0..*drop_results {
+                f.drop();
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            emit_expr(f, cond);
+            f.if_(BlockType::Empty);
+            bump_depths(cx, 1);
+            for s in then {
+                emit_stmt(f, cx, s);
+            }
+            if !els.is_empty() {
+                f.else_();
+                for s in els {
+                    emit_stmt(f, cx, s);
+                }
+            }
+            bump_depths(cx, -1);
+            f.end();
+        }
+        Stmt::While { cond, body } => {
+            // block { loop { br_if 1 (!cond); body; br 0 } }
+            f.block(BlockType::Empty);
+            f.loop_(BlockType::Empty);
+            emit_expr(f, cond);
+            f.i32_eqz().br_if(1);
+            cx.loop_depth.push(0);
+            for s in body {
+                emit_stmt(f, cx, s);
+            }
+            cx.loop_depth.pop();
+            f.br(0);
+            f.end(); // loop
+            f.end(); // block
+        }
+        Stmt::ForRange { var, from, to, body } => {
+            assert_eq!(var.ty, ValType::I32, "for_range variable must be i32");
+            emit_expr(f, from);
+            f.local_set(var.idx);
+            f.block(BlockType::Empty);
+            f.loop_(BlockType::Empty);
+            // exit when var >= to
+            f.local_get(var.idx);
+            emit_expr(f, to);
+            f.i32_ge_s().br_if(1);
+            cx.loop_depth.push(0);
+            for s in body {
+                emit_stmt(f, cx, s);
+            }
+            cx.loop_depth.pop();
+            f.local_get(var.idx).i32_const(1).i32_add().local_set(var.idx);
+            f.br(0);
+            f.end();
+            f.end();
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                emit_expr(f, e);
+            }
+            f.return_();
+        }
+        Stmt::MemCopy { dst, src, len } => {
+            emit_expr(f, dst);
+            emit_expr(f, src);
+            emit_expr(f, len);
+            f.memory_copy();
+        }
+        Stmt::MemFill { dst, byte, len } => {
+            emit_expr(f, dst);
+            emit_expr(f, byte);
+            emit_expr(f, len);
+            f.memory_fill();
+        }
+        Stmt::Break => {
+            // br out of the enclosing block wrapping the loop: the loop body
+            // sits directly inside `loop` inside `block`; any Ifs entered
+            // since add to the depth.
+            let extra = *cx.loop_depth.last().expect("Break outside of loop");
+            // depth: innermost label is the loop (0) at body level, block is
+            // 1; each enclosing If adds 1.
+            f.br(1 + extra);
+        }
+        Stmt::Raw(instrs) => {
+            f.emit_all(instrs.iter().cloned());
+        }
+    }
+}
+
+fn bump_depths(cx: &mut Cx, delta: i32) {
+    for d in cx.loop_depth.iter_mut() {
+        *d = (*d as i32 + delta) as u32;
+    }
+}
+
+fn emit_expr(f: &mut FunctionBuilder, e: &Expr) {
+    match &*e.node {
+        Node::ConstI32(v) => {
+            f.i32_const(*v);
+        }
+        Node::ConstI64(v) => {
+            f.i64_const(*v);
+        }
+        Node::ConstF32(v) => {
+            f.f32_const(*v);
+        }
+        Node::ConstF64(v) => {
+            f.f64_const(*v);
+        }
+        Node::Local(i) => {
+            f.local_get(*i);
+        }
+        Node::Global(i) => {
+            f.global_get(*i);
+        }
+        Node::MemorySize => {
+            f.memory_size();
+        }
+        Node::Load { addr, offset, width } => {
+            emit_expr(f, addr);
+            let instr = match (width, e.ty) {
+                (LoadWidth::U8, ValType::I32) => Instr::I32Load8U(MemArg::offset(*offset)),
+                (LoadWidth::U16, ValType::I32) => Instr::I32Load16U(MemArg::offset(*offset)),
+                (_, ValType::I32) => Instr::I32Load(MemArg::offset(*offset)),
+                (_, ValType::I64) => Instr::I64Load(MemArg::offset(*offset)),
+                (_, ValType::F32) => Instr::F32Load(MemArg::offset(*offset)),
+                (_, ValType::F64) => Instr::F64Load(MemArg::offset(*offset)),
+                (_, ValType::V128) => Instr::V128Load(MemArg::offset(*offset)),
+            };
+            f.emit(instr);
+        }
+        Node::Bin { op, lhs, rhs } => {
+            emit_expr(f, lhs);
+            emit_expr(f, rhs);
+            f.emit(bin_instr(*op, e.ty));
+        }
+        Node::Cmp { op, lhs, rhs } => {
+            emit_expr(f, lhs);
+            emit_expr(f, rhs);
+            f.emit(cmp_instr(*op, lhs.ty));
+        }
+        Node::Un { op, arg } => {
+            match op {
+                UnOp::Neg => {
+                    match arg.ty {
+                        ValType::F32 | ValType::F64 => {
+                            emit_expr(f, arg);
+                            f.emit(if arg.ty == ValType::F64 {
+                                Instr::F64Neg
+                            } else {
+                                Instr::F32Neg
+                            });
+                        }
+                        ValType::I32 => {
+                            f.i32_const(0);
+                            emit_expr(f, arg);
+                            f.i32_sub();
+                        }
+                        ValType::I64 => {
+                            f.i64_const(0);
+                            emit_expr(f, arg);
+                            f.i64_sub();
+                        }
+                        ValType::V128 => panic!("neg of v128 unsupported"),
+                    };
+                }
+                UnOp::Sqrt => {
+                    emit_expr(f, arg);
+                    f.emit(match arg.ty {
+                        ValType::F64 => Instr::F64Sqrt,
+                        ValType::F32 => Instr::F32Sqrt,
+                        t => panic!("sqrt of {t}"),
+                    });
+                }
+                UnOp::Abs => {
+                    emit_expr(f, arg);
+                    f.emit(match arg.ty {
+                        ValType::F64 => Instr::F64Abs,
+                        ValType::F32 => Instr::F32Abs,
+                        t => panic!("abs of {t}"),
+                    });
+                }
+                UnOp::Eqz => {
+                    emit_expr(f, arg);
+                    f.emit(match arg.ty {
+                        ValType::I32 => Instr::I32Eqz,
+                        ValType::I64 => Instr::I64Eqz,
+                        t => panic!("eqz of {t}"),
+                    });
+                }
+            }
+        }
+        Node::Call { func, args } => {
+            for a in args {
+                emit_expr(f, a);
+            }
+            f.call(*func);
+        }
+        Node::Convert { to, signed, arg } => {
+            emit_expr(f, arg);
+            f.emit(convert_instr(arg.ty, *to, *signed));
+        }
+        Node::Select { cond, then, els } => {
+            emit_expr(f, then);
+            emit_expr(f, els);
+            emit_expr(f, cond);
+            f.select();
+        }
+    }
+}
+
+fn bin_instr(op: BinOp, ty: ValType) -> Instr {
+    use {BinOp::*, Instr as I, ValType::*};
+    match (ty, op) {
+        (I32, Add) => I::I32Add,
+        (I32, Sub) => I::I32Sub,
+        (I32, Mul) => I::I32Mul,
+        (I32, DivS) => I::I32DivS,
+        (I32, DivU) => I::I32DivU,
+        (I32, RemS) => I::I32RemS,
+        (I32, RemU) => I::I32RemU,
+        (I32, And) => I::I32And,
+        (I32, Or) => I::I32Or,
+        (I32, Xor) => I::I32Xor,
+        (I32, Shl) => I::I32Shl,
+        (I32, ShrS) => I::I32ShrS,
+        (I32, ShrU) => I::I32ShrU,
+        (I64, Add) => I::I64Add,
+        (I64, Sub) => I::I64Sub,
+        (I64, Mul) => I::I64Mul,
+        (I64, DivS) => I::I64DivS,
+        (I64, DivU) => I::I64DivU,
+        (I64, RemS) => I::I64RemS,
+        (I64, RemU) => I::I64RemU,
+        (I64, And) => I::I64And,
+        (I64, Or) => I::I64Or,
+        (I64, Xor) => I::I64Xor,
+        (I64, Shl) => I::I64Shl,
+        (I64, ShrU) => I::I64ShrU,
+        (F32, Add) => I::F32Add,
+        (F32, Sub) => I::F32Sub,
+        (F32, Mul) => I::F32Mul,
+        (F32, DivS) => I::F32Div,
+        (F32, Min) => I::F32Min,
+        (F32, Max) => I::F32Max,
+        (F64, Add) => I::F64Add,
+        (F64, Sub) => I::F64Sub,
+        (F64, Mul) => I::F64Mul,
+        (F64, DivS) => I::F64Div,
+        (F64, Min) => I::F64Min,
+        (F64, Max) => I::F64Max,
+        (t, o) => panic!("unsupported binary op {o:?} on {t}"),
+    }
+}
+
+fn cmp_instr(op: CmpOp, ty: ValType) -> Instr {
+    use {CmpOp::*, Instr as I, ValType::*};
+    match (ty, op) {
+        (I32, Eq) => I::I32Eq,
+        (I32, Ne) => I::I32Ne,
+        (I32, LtS) => I::I32LtS,
+        (I32, LtU) => I::I32LtU,
+        (I32, GtS) => I::I32GtS,
+        (I32, LeS) => I::I32LeS,
+        (I32, GeS) => I::I32GeS,
+        (I64, Eq) => I::I64Eq,
+        (I64, Ne) => I::I64Ne,
+        (I64, LtS) => I::I64LtS,
+        (I64, GtS) => I::I64GtS,
+        (I64, LeS) => I::I64LeS,
+        (I64, GeS) => I::I64GeS,
+        (F32, Eq) => I::F32Eq,
+        (F32, LtS) => I::F32Lt,
+        (F32, GtS) => I::F32Gt,
+        (F64, Eq) => I::F64Eq,
+        (F64, Ne) => I::F64Ne,
+        (F64, LtS) => I::F64Lt,
+        (F64, GtS) => I::F64Gt,
+        (F64, LeS) => I::F64Le,
+        (F64, GeS) => I::F64Ge,
+        (t, o) => panic!("unsupported comparison {o:?} on {t}"),
+    }
+}
+
+fn convert_instr(from: ValType, to: ValType, signed: bool) -> Instr {
+    use {Instr as I, ValType::*};
+    match (from, to, signed) {
+        (I32, I64, true) => I::I64ExtendI32S,
+        (I32, I64, false) => I::I64ExtendI32U,
+        (I64, I32, _) => I::I32WrapI64,
+        (I32, F64, true) => I::F64ConvertI32S,
+        (I32, F64, false) => I::F64ConvertI32U,
+        (I64, F64, true) => I::F64ConvertI64S,
+        (I64, F64, false) => I::F64ConvertI64U,
+        (I32, F32, true) => I::F32ConvertI32S,
+        (F64, I32, true) => I::I32TruncF64S,
+        (F64, I32, false) => I::I32TruncF64U,
+        (F64, I64, true) => I::I64TruncF64S,
+        (F32, F64, _) => I::F64PromoteF32,
+        (F64, F32, _) => I::F32DemoteF64,
+        (a, b, s) => panic!("unsupported conversion {a} -> {b} (signed={s})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::runtime::{CompiledModule, Linker, Value};
+    use crate::tier::Tier;
+    use crate::validate::validate_module;
+
+    fn run1(module: crate::module::Module, name: &str, args: &[Value]) -> Value {
+        validate_module(&module).unwrap();
+        for tier in Tier::ALL {
+            let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+            let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+            let out = inst.invoke(name, args).unwrap();
+            assert_eq!(out.len(), 1, "{tier}");
+            if tier == Tier::Max {
+                return out[0];
+            }
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn sum_loop_all_tiers() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("sum", vec![ValType::I32], vec![ValType::I32], |f| {
+            let n = local(0, ValType::I32);
+            let acc = Var::new(f, ValType::I32);
+            let i = Var::new(f, ValType::I32);
+            emit_block(f, &[
+                for_range(i, int(0), n.get(), &[acc.add_assign(i.get())]),
+                ret(Some(acc.get())),
+            ]);
+        });
+        assert_eq!(run1(b.finish(), "sum", &[Value::I32(10)]), Value::I32(45));
+    }
+
+    #[test]
+    fn while_with_break() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("first_multiple", vec![ValType::I32], vec![ValType::I32], |f| {
+            let n = local(0, ValType::I32);
+            let i = Var::new(f, ValType::I32);
+            emit_block(f, &[
+                i.set(int(1)),
+                while_loop(int(1), &[
+                    if_then((i.get() % n.get()).eq(int(0)), &[Stmt::Break]),
+                    i.add_assign(int(1)),
+                ]),
+                ret(Some(i.get())),
+            ]);
+        });
+        assert_eq!(run1(b.finish(), "first_multiple", &[Value::I32(7)]), Value::I32(7));
+    }
+
+    #[test]
+    fn memory_store_load_roundtrip() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("probe", vec![], vec![ValType::F64], |f| {
+            emit_block(f, &[
+                store(int(64), 0, double(2.5)),
+                ret(Some(int(64).load(ValType::F64, 0) * double(2.0))),
+            ]);
+        });
+        assert_eq!(run1(b.finish(), "probe", &[]), Value::F64(5.0));
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("max3", vec![ValType::I32, ValType::I32], vec![ValType::I32], |f| {
+            let a = local(0, ValType::I32);
+            let b_ = local(1, ValType::I32);
+            emit_block(f, &[ret(Some(select(
+                a.get().gt(b_.get()),
+                a.get(),
+                b_.get(),
+            )))]);
+        });
+        assert_eq!(run1(b.finish(), "max3", &[Value::I32(3), Value::I32(9)]), Value::I32(9));
+    }
+
+    #[test]
+    fn conversions_and_float_math() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("hyp", vec![ValType::I32, ValType::I32], vec![ValType::F64], |f| {
+            let a = local(0, ValType::I32).get().to(ValType::F64);
+            let b_ = local(1, ValType::I32).get().to(ValType::F64);
+            emit_block(f, &[ret(Some((a.clone() * a + b_.clone() * b_).sqrt()))]);
+        });
+        assert_eq!(run1(b.finish(), "hyp", &[Value::I32(3), Value::I32(4)]), Value::F64(5.0));
+    }
+
+    #[test]
+    fn nested_if_inside_loop_break_depth() {
+        // Break from inside two nested ifs inside a for loop.
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("findgt", vec![ValType::I32], vec![ValType::I32], |f| {
+            let n = local(0, ValType::I32);
+            let i = Var::new(f, ValType::I32);
+            let found = Var::new(f, ValType::I32);
+            emit_block(f, &[
+                found.set(int(-1)),
+                for_range(i, int(0), int(100), &[
+                    if_then(i.get().gt(int(10)), &[
+                        if_then(i.get().gt(n.get()), &[
+                            found.set(i.get()),
+                            Stmt::Break,
+                        ]),
+                    ]),
+                ]),
+                ret(Some(found.get())),
+            ]);
+        });
+        assert_eq!(run1(b.finish(), "findgt", &[Value::I32(50)]), Value::I32(51));
+    }
+}

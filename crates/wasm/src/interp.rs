@@ -1,0 +1,308 @@
+//! The baseline execution tier: a structured-bytecode interpreter.
+//!
+//! This is the engine's Singlepass analog (paper Table 1): "compilation"
+//! only scans the body once to match each `block`/`loop`/`if` with its
+//! `else`/`end`, and execution walks the structured instruction stream with
+//! an explicit label stack. No optimization is performed.
+
+use crate::error::Trap;
+use crate::exec;
+use crate::instr::Instr;
+use crate::module::Function;
+use crate::runtime::{Instance, Value};
+use crate::tier::CompiledBody;
+use crate::types::BlockType;
+
+/// Per-function control-flow side table: for every structured instruction,
+/// the indices of its matching `else` (if any) and `end`.
+#[derive(Debug, Clone, Default)]
+pub struct SideTable {
+    /// Indexed by instruction position; `None` for non-block instructions.
+    entries: Vec<Option<BlockInfo>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInfo {
+    pub else_pc: Option<usize>,
+    pub end_pc: usize,
+}
+
+impl SideTable {
+    /// Build the side table with a single linear scan.
+    pub fn build(body: &[Instr]) -> SideTable {
+        let mut entries = vec![None; body.len()];
+        let mut open: Vec<usize> = Vec::new();
+        for (pc, instr) in body.iter().enumerate() {
+            match instr {
+                i if i.opens_block() => {
+                    entries[pc] = Some(BlockInfo { else_pc: None, end_pc: usize::MAX });
+                    open.push(pc);
+                }
+                Instr::Else => {
+                    let &opener = open.last().expect("validated: else without if");
+                    if let Some(info) = entries[opener].as_mut() {
+                        info.else_pc = Some(pc);
+                    }
+                    // Map the Else itself to the matching end (filled below)
+                    // so fallthrough of a then-arm can jump directly there.
+                    entries[pc] = Some(BlockInfo { else_pc: None, end_pc: usize::MAX });
+                }
+                Instr::End => {
+                    if let Some(opener) = open.pop() {
+                        let else_pc = entries[opener].as_mut().map(|info| {
+                            info.end_pc = pc;
+                            info.else_pc
+                        });
+                        if let Some(Some(else_pc)) = else_pc {
+                            if let Some(info) = entries[else_pc].as_mut() {
+                                info.end_pc = pc;
+                            }
+                        }
+                    }
+                    // The function-level end has no opener; nothing to record.
+                }
+                _ => {}
+            }
+        }
+        SideTable { entries }
+    }
+
+    #[inline]
+    fn info(&self, pc: usize) -> BlockInfo {
+        self.entries[pc].expect("validated: side table entry missing")
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Option<BlockInfo>>()
+    }
+}
+
+struct Label {
+    /// Continuation pc for a branch to this label.
+    cont: usize,
+    /// Operand stack height at entry.
+    height: usize,
+    /// Values carried by a branch (0 for loops, result count otherwise).
+    br_arity: usize,
+    is_loop: bool,
+}
+
+/// Execute defined function `defined_idx` with `args`. The function's body
+/// must have been compiled for the baseline tier.
+pub(crate) fn call(
+    inst: &mut Instance,
+    defined_idx: usize,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    // Clone the Arc handles so we can keep borrowing `inst` mutably.
+    let module = std::sync::Arc::clone(&inst.module);
+    let bodies = std::sync::Arc::clone(&inst.bodies);
+    let func: &Function = &module.functions[defined_idx];
+    let side = match &bodies[defined_idx] {
+        CompiledBody::Interp(side) => side,
+        CompiledBody::Flat(_) => unreachable!("baseline tier expected"),
+    };
+    let fty = &module.types[func.type_idx as usize];
+    let result_arity = fty.results.len();
+
+    let mut locals: Vec<Value> = Vec::with_capacity(args.len() + func.locals.len());
+    locals.extend_from_slice(args);
+    locals.extend(func.locals.iter().map(|&t| Value::zero(t)));
+
+    let mut stack: Vec<Value> = Vec::with_capacity(32);
+    let mut labels: Vec<Label> = Vec::with_capacity(8);
+    let body = &func.body;
+    let mut pc = 0usize;
+    let mut limit_check = 0u32;
+
+    loop {
+        // Amortized stack-limit check: growth per instruction is O(1).
+        limit_check += 1;
+        if limit_check >= 1024 {
+            limit_check = 0;
+            if stack.len() > inst.limits.max_value_stack {
+                return Err(Trap::StackExhausted);
+            }
+        }
+        let instr = &body[pc];
+        match instr {
+            Instr::Nop => {}
+            Instr::Unreachable => return Err(Trap::Unreachable),
+            Instr::Block(bt) => {
+                let info = side.info(pc);
+                labels.push(Label {
+                    cont: info.end_pc + 1,
+                    height: stack.len(),
+                    br_arity: block_arity(&module, bt),
+                    is_loop: false,
+                });
+            }
+            Instr::Loop(_) => {
+                labels.push(Label {
+                    cont: pc + 1,
+                    height: stack.len(),
+                    br_arity: 0,
+                    is_loop: true,
+                });
+            }
+            Instr::If(bt) => {
+                let cond = exec::pop(&mut stack).as_i32().expect("validated");
+                let info = side.info(pc);
+                labels.push(Label {
+                    cont: info.end_pc + 1,
+                    height: stack.len(),
+                    br_arity: block_arity(&module, bt),
+                    is_loop: false,
+                });
+                if cond == 0 {
+                    // Jump into the else arm, or to the End (which pops the
+                    // label) when there is none.
+                    pc = match info.else_pc {
+                        Some(e) => e,
+                        None => info.end_pc - 1, // step below advances onto End
+                    };
+                }
+            }
+            Instr::Else => {
+                // Fallthrough from a then-arm: skip to the matching End,
+                // which pops the label and carries the results.
+                pc = side.info(pc).end_pc - 1;
+            }
+            Instr::End => {
+                match labels.pop() {
+                    Some(_) => {}
+                    None => {
+                        // Function-level end: return the results.
+                        let at = stack.len() - result_arity;
+                        return Ok(stack.split_off(at));
+                    }
+                }
+            }
+            Instr::Br(depth) => {
+                pc = branch(&mut stack, &mut labels, *depth as usize, result_arity, &mut |vals| {
+                    vals
+                });
+                if pc == usize::MAX {
+                    let at = stack.len() - result_arity;
+                    return Ok(stack.split_off(at));
+                }
+                continue;
+            }
+            Instr::BrIf(depth) => {
+                let cond = exec::pop(&mut stack).as_i32().expect("validated");
+                if cond != 0 {
+                    pc = branch(
+                        &mut stack,
+                        &mut labels,
+                        *depth as usize,
+                        result_arity,
+                        &mut |vals| vals,
+                    );
+                    if pc == usize::MAX {
+                        let at = stack.len() - result_arity;
+                        return Ok(stack.split_off(at));
+                    }
+                    continue;
+                }
+            }
+            Instr::BrTable { targets, default } => {
+                let idx = exec::pop(&mut stack).as_i32().expect("validated") as usize;
+                let depth = *targets.get(idx).unwrap_or(default) as usize;
+                pc = branch(&mut stack, &mut labels, depth, result_arity, &mut |vals| vals);
+                if pc == usize::MAX {
+                    let at = stack.len() - result_arity;
+                    return Ok(stack.split_off(at));
+                }
+                continue;
+            }
+            Instr::Return => {
+                let at = stack.len() - result_arity;
+                return Ok(stack.split_off(at));
+            }
+            other => exec::step(inst, &mut stack, &mut locals, other)?,
+        }
+        pc += 1;
+    }
+}
+
+fn block_arity(module: &crate::module::Module, bt: &BlockType) -> usize {
+    match bt {
+        BlockType::Empty => 0,
+        BlockType::Value(_) => 1,
+        BlockType::Func(idx) => module.types[*idx as usize].results.len(),
+    }
+}
+
+/// Perform a branch to `depth`. Returns the new pc, or `usize::MAX` to
+/// signal a function-level return (branch past the outermost label).
+fn branch(
+    stack: &mut Vec<Value>,
+    labels: &mut Vec<Label>,
+    depth: usize,
+    _result_arity: usize,
+    _carry: &mut dyn FnMut(Vec<Value>) -> Vec<Value>,
+) -> usize {
+    if depth >= labels.len() {
+        // Branch targeting the function frame: a return.
+        return usize::MAX;
+    }
+    let idx = labels.len() - 1 - depth;
+    let (cont, height, arity, is_loop) = {
+        let l = &labels[idx];
+        (l.cont, l.height, l.br_arity, l.is_loop)
+    };
+    // Carry the branch values over the unwound stack region, in place.
+    if arity == 0 {
+        stack.truncate(height);
+    } else {
+        let from = stack.len() - arity;
+        if from != height {
+            for i in 0..arity {
+                stack[height + i] = stack[from + i];
+            }
+        }
+        stack.truncate(height + arity);
+    }
+    if is_loop {
+        labels.truncate(idx + 1);
+    } else {
+        labels.truncate(idx);
+    }
+    cont
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BlockType;
+
+    #[test]
+    fn side_table_matches_nested_blocks() {
+        use Instr::*;
+        // block ; loop ; if ; else ; end ; end ; end ; END(func)
+        let body = vec![
+            Block(BlockType::Empty), // 0
+            Loop(BlockType::Empty),  // 1
+            If(BlockType::Empty),    // 2  (needs an i32 in real code)
+            Nop,                     // 3
+            Else,                    // 4
+            Nop,                     // 5
+            End,                     // 6 closes if
+            End,                     // 7 closes loop
+            End,                     // 8 closes block
+            End,                     // 9 function end
+        ];
+        let t = SideTable::build(&body);
+        let blk = t.info(0);
+        assert_eq!(blk.end_pc, 8);
+        assert_eq!(blk.else_pc, None);
+        let lp = t.info(1);
+        assert_eq!(lp.end_pc, 7);
+        let iff = t.info(2);
+        assert_eq!(iff.end_pc, 6);
+        assert_eq!(iff.else_pc, Some(4));
+        // Else maps to the same end.
+        assert_eq!(t.info(4).end_pc, 6);
+    }
+}

@@ -1,0 +1,905 @@
+//! The optimizing tiers: flattening of structured Wasm bytecode into a
+//! register-style flat IR with resolved jump targets, plus the optimization
+//! pipeline run by [`crate::tier::Tier::Max`].
+//!
+//! Flattening resolves all structured control flow (`block`/`loop`/`if`)
+//! into direct jumps with precomputed stack-unwind information, eliminating
+//! the label-stack bookkeeping of the baseline interpreter — this is the
+//! Cranelift analog. The Max tier then runs iterated peephole passes
+//! (constant folding, local/load/store fusion into superinstructions, and
+//! a final jump-threading + nop-compaction pass) — the LLVM analog.
+
+use crate::error::Trap;
+use crate::exec;
+use crate::instr::Instr;
+use crate::module::{Function, Module};
+use crate::runtime::{Instance, Value};
+use crate::tier::CompiledBody;
+use crate::types::{BlockType, ValType};
+
+/// A resolved branch destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dest {
+    pub target: u32,
+    /// Operand-stack height to unwind to (relative to the frame base).
+    pub height: u32,
+    /// Number of values carried over the unwind.
+    pub arity: u32,
+}
+
+/// One flat-IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A straight-line instruction with shared semantics.
+    Plain(Instr),
+    /// Unconditional jump (no stack adjustment; used for `else` skips).
+    Jump(u32),
+    /// Jump when the popped i32 is zero (used for `if`).
+    JumpIfZero(u32),
+    /// Resolved `br`.
+    Br(Dest),
+    /// Resolved `br_if` (jump taken when popped i32 is non-zero).
+    BrIf(Dest),
+    /// Resolved `br_table`.
+    BrTable { dests: Box<[Dest]>, default: Dest },
+    /// Return the function's results from the top of the stack.
+    Return,
+    /// Trap.
+    Unreachable,
+    /// No-op left behind by peephole rewrites (compacted away by the final
+    /// Max-tier pass).
+    Nop,
+
+    // --- superinstructions produced by the Max tier ---
+    /// `push locals[a] + locals[b]` (i32).
+    I32AddLL(u16, u16),
+    /// `push locals[a] + locals[b]` (i64).
+    I64AddLL(u16, u16),
+    /// `push locals[a] + locals[b]` (f64).
+    F64AddLL(u16, u16),
+    /// `push locals[a] * locals[b]` (f64).
+    F64MulLL(u16, u16),
+    /// `push locals[a] - locals[b]` (f64).
+    F64SubLL(u16, u16),
+    /// `push locals[a] + k` (i32).
+    I32AddLK(u16, i32),
+    /// `locals[a] = locals[a] + k` (i32), the classic loop-counter step.
+    I32IncL(u16, i32),
+    /// `push f64_load(locals[a] + offset)`.
+    F64LoadL { local: u16, offset: u32 },
+    /// `push i32_load(locals[a] + offset)`.
+    I32LoadL { local: u16, offset: u32 },
+    /// `f64_store(locals[addr] + offset, locals[val])`.
+    F64StoreLL { addr: u16, val: u16, offset: u32 },
+    /// `push popped * locals[b]` (f64) — fuses a loaded value with a factor.
+    F64MulL(u16),
+    /// `push popped + locals[b]` (f64).
+    F64AddL(u16),
+}
+
+/// A fully compiled flat function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatFunc {
+    pub ops: Vec<Op>,
+    pub n_params: u32,
+    pub locals: Vec<ValType>,
+    pub result_arity: u32,
+}
+
+impl FlatFunc {
+    /// Approximate in-memory size in bytes (ops dominate).
+    pub fn size_bytes(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<Op>()
+            + self.locals.len()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+// --- compilation ---
+
+struct Ctrl {
+    height: u32,
+    br_arity: u32,
+    end_arity: u32,
+    /// Start ip for loops (branch target).
+    loop_start: Option<u32>,
+    /// Forward-branch op indices to patch to this frame's end.
+    patches: Vec<Patch>,
+    /// `JumpIfZero` emitted at `if`, patched at `else`/`end`.
+    if_patch: Option<usize>,
+    /// `Jump` emitted at `else` (then-arm fallthrough), patched at `end`.
+    else_jump: Option<usize>,
+}
+
+enum Patch {
+    /// Patch `ops[idx]`'s single target.
+    Single(usize),
+    /// Patch `ops[idx]`'s br_table destination `slot` (usize::MAX = default).
+    Table(usize, usize),
+}
+
+fn block_arities(module: &Module, bt: &BlockType) -> (u32, u32) {
+    match bt {
+        BlockType::Empty => (0, 0),
+        BlockType::Value(_) => (0, 1),
+        BlockType::Func(idx) => {
+            let t = &module.types[*idx as usize];
+            (t.params.len() as u32, t.results.len() as u32)
+        }
+    }
+}
+
+/// Net stack effect of a straight-line instruction: (pops, pushes).
+fn stack_effect(module: &Module, i: &Instr) -> (u32, u32) {
+    use Instr::*;
+    match i {
+        Drop => (1, 0),
+        Select => (3, 1),
+        LocalGet(_) | GlobalGet(_) => (0, 1),
+        LocalSet(_) | GlobalSet(_) => (1, 0),
+        LocalTee(_) => (1, 1),
+        Call(f) => {
+            let t = module.func_type(*f).expect("validated");
+            (t.params.len() as u32, t.results.len() as u32)
+        }
+        CallIndirect { type_idx, .. } => {
+            let t = &module.types[*type_idx as usize];
+            (t.params.len() as u32 + 1, t.results.len() as u32)
+        }
+        I32Load(_) | I64Load(_) | F32Load(_) | F64Load(_) | I32Load8S(_) | I32Load8U(_)
+        | I32Load16S(_) | I32Load16U(_) | I64Load8S(_) | I64Load8U(_) | I64Load16S(_)
+        | I64Load16U(_) | I64Load32S(_) | I64Load32U(_) | V128Load(_) => (1, 1),
+        I32Store(_) | I64Store(_) | F32Store(_) | F64Store(_) | I32Store8(_) | I32Store16(_)
+        | I64Store8(_) | I64Store16(_) | I64Store32(_) | V128Store(_) => (2, 0),
+        MemorySize => (0, 1),
+        MemoryGrow => (1, 1),
+        MemoryCopy | MemoryFill => (3, 0),
+        I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) | V128Const(_) => (0, 1),
+        I32Eqz | I64Eqz => (1, 1),
+        // Comparisons and binary arithmetic pop two.
+        I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS | I32GeU
+        | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS
+        | I64GeU | F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge | F64Eq | F64Ne | F64Lt
+        | F64Gt | F64Le | F64Ge | I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS
+        | I32RemU | I32And | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr
+        | I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
+        | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr | F32Add | F32Sub | F32Mul
+        | F32Div | F32Min | F32Max | F32Copysign | F64Add | F64Sub | F64Mul | F64Div
+        | F64Min | F64Max | F64Copysign | I32x4Add | I32x4Sub | I32x4Mul | F32x4Add
+        | F32x4Sub | F32x4Mul | F32x4Div | F64x2Add | F64x2Sub | F64x2Mul | F64x2Div
+        | F64x2Eq | F64x2Ne | F64x2Lt | F64x2Gt | F64x2Le | F64x2Ge | V128And | V128Or
+        | V128Xor => (2, 1),
+        F64x2ReplaceLane(_) => (2, 1),
+        // Unary ops.
+        I32Clz | I32Ctz | I32Popcnt | I64Clz | I64Ctz | I64Popcnt | F32Abs | F32Neg
+        | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt | F64Abs | F64Neg | F64Ceil
+        | F64Floor | F64Trunc | F64Nearest | F64Sqrt | I32WrapI64 | I32TruncF32S
+        | I32TruncF32U | I32TruncF64S | I32TruncF64U | I64ExtendI32S | I64ExtendI32U
+        | I64TruncF32S | I64TruncF32U | I64TruncF64S | I64TruncF64U | F32ConvertI32S
+        | F32ConvertI32U | F32ConvertI64S | F32ConvertI64U | F32DemoteF64 | F64ConvertI32S
+        | F64ConvertI32U | F64ConvertI64S | F64ConvertI64U | F64PromoteF32
+        | I32ReinterpretF32 | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64
+        | I32Extend8S | I32Extend16S | I64Extend8S | I64Extend16S | I64Extend32S
+        | I32x4Splat | I64x2Splat | F32x4Splat | F64x2Splat | I32x4ExtractLane(_)
+        | F32x4ExtractLane(_) | F64x2ExtractLane(_) | V128Not | V128AnyTrue | I32x4AllTrue
+        | I32x4Bitmask => (1, 1),
+        Nop => (0, 0),
+        Unreachable | Block(_) | Loop(_) | If(_) | Else | End | Br(_) | BrIf(_)
+        | BrTable { .. } | Return => {
+            unreachable!("control instruction in stack_effect")
+        }
+    }
+}
+
+/// Flatten (and, for `opt_level > 0`, optimize) one function body.
+pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
+    let fty = &module.types[func.type_idx as usize];
+    let result_arity = fty.results.len() as u32;
+
+    let mut ops: Vec<Op> = Vec::with_capacity(func.body.len());
+    let mut ctrl: Vec<Ctrl> = vec![Ctrl {
+        height: 0,
+        br_arity: result_arity,
+        end_arity: result_arity,
+        loop_start: None,
+        patches: Vec::new(),
+        if_patch: None,
+        else_jump: None,
+    }];
+    let mut height: u32 = 0;
+    // When `Some(n)`, code is statically dead; n counts nested blocks opened
+    // inside the dead region.
+    let mut dead: Option<u32> = None;
+
+    for instr in &func.body {
+        if let Some(n) = dead {
+            match instr {
+                i if i.opens_block() => dead = Some(n + 1),
+                Instr::End if n > 0 => dead = Some(n - 1),
+                Instr::Else if n == 0 => {
+                    dead = None;
+                    // Process the Else normally below.
+                }
+                Instr::End if n == 0 => {
+                    dead = None;
+                    // Process the End normally below.
+                }
+                _ => continue,
+            }
+            if dead.is_some() {
+                continue;
+            }
+        }
+        match instr {
+            Instr::Nop => {}
+            Instr::Block(bt) => {
+                let (_, results) = block_arities(module, bt);
+                ctrl.push(Ctrl {
+                    height,
+                    br_arity: results,
+                    end_arity: results,
+                    loop_start: None,
+                    patches: Vec::new(),
+                    if_patch: None,
+                    else_jump: None,
+                });
+            }
+            Instr::Loop(bt) => {
+                let (_, results) = block_arities(module, bt);
+                ctrl.push(Ctrl {
+                    height,
+                    br_arity: 0,
+                    end_arity: results,
+                    loop_start: Some(ops.len() as u32),
+                    patches: Vec::new(),
+                    if_patch: None,
+                    else_jump: None,
+                });
+            }
+            Instr::If(bt) => {
+                height -= 1; // condition
+                let (_, results) = block_arities(module, bt);
+                let if_patch = ops.len();
+                ops.push(Op::JumpIfZero(u32::MAX));
+                ctrl.push(Ctrl {
+                    height,
+                    br_arity: results,
+                    end_arity: results,
+                    loop_start: None,
+                    patches: Vec::new(),
+                    if_patch: Some(if_patch),
+                    else_jump: None,
+                });
+            }
+            Instr::Else => {
+                let frame = ctrl.last_mut().expect("validated");
+                let else_jump = ops.len();
+                ops.push(Op::Jump(u32::MAX));
+                if let Some(p) = frame.if_patch.take() {
+                    ops[p] = Op::JumpIfZero(ops.len() as u32);
+                }
+                frame.else_jump = Some(else_jump);
+                height = frame.height;
+            }
+            Instr::End => {
+                let frame = ctrl.pop().expect("validated");
+                let here = ops.len() as u32;
+                if let Some(p) = frame.if_patch {
+                    ops[p] = Op::JumpIfZero(here);
+                }
+                if let Some(p) = frame.else_jump {
+                    ops[p] = Op::Jump(here);
+                }
+                for patch in frame.patches {
+                    match patch {
+                        Patch::Single(idx) => set_target(&mut ops[idx], here),
+                        Patch::Table(idx, slot) => set_table_target(&mut ops[idx], slot, here),
+                    }
+                }
+                if ctrl.is_empty() {
+                    // Function-level end.
+                    ops.push(Op::Return);
+                } else {
+                    height = frame.height + frame.end_arity;
+                }
+            }
+            Instr::Br(depth) => {
+                emit_branch(&mut ops, &mut ctrl, *depth, height, false);
+                dead = Some(0);
+            }
+            Instr::BrIf(depth) => {
+                height -= 1;
+                emit_branch(&mut ops, &mut ctrl, *depth, height, true);
+            }
+            Instr::BrTable { targets, default } => {
+                height -= 1;
+                let op_idx = ops.len();
+                let mut dests = Vec::with_capacity(targets.len());
+                for (slot, t) in targets.iter().enumerate() {
+                    dests.push(make_dest(&mut ctrl, *t, height, op_idx, slot));
+                }
+                let default_dest =
+                    make_dest(&mut ctrl, *default, height, op_idx, usize::MAX);
+                ops.push(Op::BrTable { dests: dests.into_boxed_slice(), default: default_dest });
+                dead = Some(0);
+            }
+            Instr::Return => {
+                ops.push(Op::Return);
+                dead = Some(0);
+            }
+            Instr::Unreachable => {
+                ops.push(Op::Unreachable);
+                dead = Some(0);
+            }
+            plain => {
+                let (pops, pushes) = stack_effect(module, plain);
+                height = height - pops + pushes;
+                ops.push(Op::Plain(plain.clone()));
+            }
+        }
+    }
+
+    let mut f = FlatFunc {
+        ops,
+        n_params: fty.params.len() as u32,
+        locals: func.locals.clone(),
+        result_arity,
+    };
+    if opt_level > 0 {
+        optimize(&mut f, opt_level);
+    }
+    f
+}
+
+fn set_target(op: &mut Op, target: u32) {
+    match op {
+        Op::Br(d) | Op::BrIf(d) => d.target = target,
+        Op::Jump(t) | Op::JumpIfZero(t) => *t = target,
+        _ => unreachable!("patching non-branch op"),
+    }
+}
+
+fn set_table_target(op: &mut Op, slot: usize, target: u32) {
+    if let Op::BrTable { dests, default } = op {
+        if slot == usize::MAX {
+            default.target = target;
+        } else {
+            dests[slot].target = target;
+        }
+    } else {
+        unreachable!("patching non-br_table op")
+    }
+}
+
+fn emit_branch(ops: &mut Vec<Op>, ctrl: &mut [Ctrl], depth: u32, _height: u32, conditional: bool) {
+    let idx = ctrl.len() - 1 - depth as usize;
+    if idx == 0 {
+        // Branch to the function frame == return. A conditional return
+        // needs the jump form so fallthrough continues.
+        if conditional {
+            // `br_if` to function frame: pop cond (already accounted),
+            // return if non-zero. Encode as BrIf to a Return landing pad:
+            // simplest correct encoding is BrIf jumping over a Jump.
+            // We instead emit: JumpIfZero(skip) ; Return ; skip:
+            let jz = ops.len();
+            ops.push(Op::JumpIfZero(u32::MAX));
+            ops.push(Op::Return);
+            let here = ops.len() as u32;
+            ops[jz] = Op::JumpIfZero(here);
+        } else {
+            ops.push(Op::Return);
+        }
+        return;
+    }
+    let frame = &ctrl[idx];
+    let dest = Dest { target: u32::MAX, height: frame.height, arity: frame.br_arity };
+    let op_idx = ops.len();
+    if let Some(start) = frame.loop_start {
+        let d = Dest { target: start, ..dest };
+        ops.push(if conditional { Op::BrIf(d) } else { Op::Br(d) });
+    } else {
+        ops.push(if conditional { Op::BrIf(dest) } else { Op::Br(dest) });
+        // ctrl is a slice; push patch onto the frame.
+        let frame = &mut ctrl[idx];
+        frame.patches.push(Patch::Single(op_idx));
+    }
+}
+
+fn make_dest(ctrl: &mut [Ctrl], depth: u32, height: u32, op_idx: usize, slot: usize) -> Dest {
+    let idx = ctrl.len() - 1 - depth as usize;
+    if idx == 0 {
+        // Branch to the function frame: encode as a jump to a Return that
+        // the finalization appends; use a special height/arity pair that
+        // unwinds to the results. We reuse target u32::MAX - 1 and fix it
+        // by pointing at the trailing Return emitted for the function end.
+        // Simpler and always correct: unwind to height 0 carrying the
+        // function results, then fall into Return at the patched target.
+        let frame = &ctrl[0];
+        // The function-level Return is appended at the very end of `ops`;
+        // register a patch so this dest points at it.
+        let d = Dest { target: u32::MAX, height: 0, arity: frame.br_arity };
+        let frame = &mut ctrl[0];
+        frame.patches.push(Patch::Table(op_idx, slot));
+        return d;
+    }
+    let frame = &ctrl[idx];
+    let d = Dest {
+        target: frame.loop_start.unwrap_or(u32::MAX),
+        height: frame.height,
+        arity: frame.br_arity,
+    };
+    let _ = height;
+    if frame.loop_start.is_none() {
+        let frame = &mut ctrl[idx];
+        frame.patches.push(Patch::Table(op_idx, slot));
+    }
+    d
+}
+
+// --- optimization pipeline (Max tier) ---
+
+fn optimize(f: &mut FlatFunc, opt_level: u8) {
+    // Iterate the peephole passes to a fixpoint (bounded), the honest way
+    // optimizers spend their compile-time budget.
+    let max_iters = 2 + opt_level as usize * 3;
+    for _ in 0..max_iters {
+        let targets = jump_targets(&f.ops);
+        let a = fold_constants(&mut f.ops, &targets);
+        let b = fuse_locals(&mut f.ops, &targets);
+        if !a && !b {
+            break;
+        }
+    }
+    compact_nops(f);
+}
+
+/// Set of op indices that are jump targets; peephole windows must not span
+/// them (except at the window start, where the Nop prefix keeps semantics).
+fn jump_targets(ops: &[Op]) -> Vec<bool> {
+    let mut t = vec![false; ops.len() + 1];
+    let mut mark = |x: u32| {
+        if (x as usize) < t.len() {
+            t[x as usize] = true;
+        }
+    };
+    for op in ops {
+        match op {
+            Op::Jump(x) | Op::JumpIfZero(x) => mark(*x),
+            Op::Br(d) | Op::BrIf(d) => mark(d.target),
+            Op::BrTable { dests, default } => {
+                for d in dests.iter() {
+                    mark(d.target);
+                }
+                mark(default.target);
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+fn window_clear(targets: &[bool], start: usize, len: usize) -> bool {
+    (start + 1..start + len).all(|i| !targets[i])
+}
+
+/// Fold `const ⊕ const` into a single constant. Returns true if changed.
+fn fold_constants(ops: &mut [Op], targets: &[bool]) -> bool {
+    use Instr::*;
+    let mut changed = false;
+    let mut i = 0;
+    while i + 2 < ops.len() {
+        if !window_clear(targets, i, 3) {
+            i += 1;
+            continue;
+        }
+        let folded = match (&ops[i], &ops[i + 1], &ops[i + 2]) {
+            (Op::Plain(I32Const(a)), Op::Plain(I32Const(b)), Op::Plain(op)) => match op {
+                I32Add => Some(I32Const(a.wrapping_add(*b))),
+                I32Sub => Some(I32Const(a.wrapping_sub(*b))),
+                I32Mul => Some(I32Const(a.wrapping_mul(*b))),
+                I32And => Some(I32Const(a & b)),
+                I32Or => Some(I32Const(a | b)),
+                I32Xor => Some(I32Const(a ^ b)),
+                I32Shl => Some(I32Const(a.wrapping_shl(*b as u32))),
+                _ => None,
+            },
+            (Op::Plain(I64Const(a)), Op::Plain(I64Const(b)), Op::Plain(op)) => match op {
+                I64Add => Some(I64Const(a.wrapping_add(*b))),
+                I64Sub => Some(I64Const(a.wrapping_sub(*b))),
+                I64Mul => Some(I64Const(a.wrapping_mul(*b))),
+                _ => None,
+            },
+            (Op::Plain(F64Const(a)), Op::Plain(F64Const(b)), Op::Plain(op)) => match op {
+                F64Add => Some(F64Const(a + b)),
+                F64Sub => Some(F64Const(a - b)),
+                F64Mul => Some(F64Const(a * b)),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(c) = folded {
+            ops[i] = Op::Nop;
+            ops[i + 1] = Op::Nop;
+            ops[i + 2] = Op::Plain(c);
+            changed = true;
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    changed
+}
+
+fn as_local(op: &Op) -> Option<u16> {
+    match op {
+        Op::Plain(Instr::LocalGet(i)) if *i <= u16::MAX as u32 => Some(*i as u16),
+        _ => None,
+    }
+}
+
+/// Fuse common local/load/store patterns into superinstructions.
+fn fuse_locals(ops: &mut [Op], targets: &[bool]) -> bool {
+    use Instr::*;
+    let mut changed = false;
+    let mut i = 0;
+    while i < ops.len() {
+        // 4-wide: local.get a ; i32.const k ; i32.add ; local.set a  =>  inc
+        if i + 3 < ops.len() && window_clear(targets, i, 4) {
+            if let (Some(a), Op::Plain(I32Const(k)), Op::Plain(I32Add), Op::Plain(LocalSet(d))) =
+                (as_local(&ops[i]), &ops[i + 1], &ops[i + 2], &ops[i + 3])
+            {
+                if *d == a as u32 {
+                    let (k, a) = (*k, a);
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = Op::Nop;
+                    ops[i + 3] = Op::I32IncL(a, k);
+                    changed = true;
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        // 3-wide: local.get a ; local.get b ; binop
+        if i + 2 < ops.len() && window_clear(targets, i, 3) {
+            if let (Some(a), Some(b)) = (as_local(&ops[i]), as_local(&ops[i + 1])) {
+                let fused = match &ops[i + 2] {
+                    Op::Plain(I32Add) => Some(Op::I32AddLL(a, b)),
+                    Op::Plain(I64Add) => Some(Op::I64AddLL(a, b)),
+                    Op::Plain(F64Add) => Some(Op::F64AddLL(a, b)),
+                    Op::Plain(F64Mul) => Some(Op::F64MulLL(a, b)),
+                    Op::Plain(F64Sub) => Some(Op::F64SubLL(a, b)),
+                    Op::Plain(F64Store(m)) => {
+                        Some(Op::F64StoreLL { addr: a, val: b, offset: m.offset })
+                    }
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = op;
+                    changed = true;
+                    i += 3;
+                    continue;
+                }
+            }
+            // local.get a ; i32.const k ; i32.add
+            if let (Some(a), Op::Plain(I32Const(k)), Op::Plain(I32Add)) =
+                (as_local(&ops[i]), &ops[i + 1], &ops[i + 2])
+            {
+                let k = *k;
+                ops[i] = Op::Nop;
+                ops[i + 1] = Op::Nop;
+                ops[i + 2] = Op::I32AddLK(a, k);
+                changed = true;
+                i += 3;
+                continue;
+            }
+        }
+        // 2-wide: local.get a ; load
+        if i + 1 < ops.len() && window_clear(targets, i, 2) {
+            if let Some(a) = as_local(&ops[i]) {
+                let fused = match &ops[i + 1] {
+                    Op::Plain(F64Load(m)) => Some(Op::F64LoadL { local: a, offset: m.offset }),
+                    Op::Plain(I32Load(m)) => Some(Op::I32LoadL { local: a, offset: m.offset }),
+                    Op::Plain(F64Mul) => Some(Op::F64MulL(a)),
+                    Op::Plain(F64Add) => Some(Op::F64AddL(a)),
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = op;
+                    changed = true;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Remove Nops, remapping all jump targets (jump threading lite).
+fn compact_nops(f: &mut FlatFunc) {
+    let ops = &f.ops;
+    // new_index[i] = index of op i after compaction; for a Nop it points at
+    // the next surviving op (safe: a Nop's only semantics is falling
+    // through).
+    let mut new_index = vec![0u32; ops.len() + 1];
+    let mut count = 0u32;
+    for (i, op) in ops.iter().enumerate() {
+        new_index[i] = count;
+        if !matches!(op, Op::Nop) {
+            count += 1;
+        }
+    }
+    new_index[ops.len()] = count;
+
+    let remap = |t: u32| new_index[t as usize];
+    let mut out = Vec::with_capacity(count as usize);
+    for op in ops {
+        let rewritten = match op {
+            Op::Nop => continue,
+            Op::Jump(t) => Op::Jump(remap(*t)),
+            Op::JumpIfZero(t) => Op::JumpIfZero(remap(*t)),
+            Op::Br(d) => Op::Br(Dest { target: remap(d.target), ..*d }),
+            Op::BrIf(d) => Op::BrIf(Dest { target: remap(d.target), ..*d }),
+            Op::BrTable { dests, default } => Op::BrTable {
+                dests: dests
+                    .iter()
+                    .map(|d| Dest { target: remap(d.target), ..*d })
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+                default: Dest { target: remap(default.target), ..*default },
+            },
+            other => other.clone(),
+        };
+        out.push(rewritten);
+    }
+    f.ops = out;
+}
+
+// --- execution ---
+
+/// Execute flat-IR function `defined_idx` with `args`.
+pub(crate) fn call(
+    inst: &mut Instance,
+    defined_idx: usize,
+    args: &[Value],
+) -> Result<Vec<Value>, Trap> {
+    let bodies = std::sync::Arc::clone(&inst.bodies);
+    let f = match &bodies[defined_idx] {
+        CompiledBody::Flat(f) => f,
+        CompiledBody::Interp(_) => unreachable!("flat tier expected"),
+    };
+
+    let mut locals: Vec<Value> = Vec::with_capacity(args.len() + f.locals.len());
+    locals.extend_from_slice(args);
+    locals.extend(f.locals.iter().map(|&t| Value::zero(t)));
+
+    let mut stack: Vec<Value> = Vec::with_capacity(32);
+    let mut ip = 0usize;
+    let ops = &f.ops;
+    let result_arity = f.result_arity as usize;
+    let mut limit_check = 0u32;
+
+    loop {
+        // Amortized stack-limit check: growth per op is O(1).
+        limit_check += 1;
+        if limit_check >= 1024 {
+            limit_check = 0;
+            if stack.len() > inst.limits.max_value_stack {
+                return Err(Trap::StackExhausted);
+            }
+        }
+        match &ops[ip] {
+            Op::Plain(instr) => {
+                exec::step(inst, &mut stack, &mut locals, instr)?;
+                ip += 1;
+            }
+            Op::Nop => ip += 1,
+            Op::Jump(t) => ip = *t as usize,
+            Op::JumpIfZero(t) => {
+                let c = match stack.pop() {
+                    Some(Value::I32(v)) => v,
+                    _ => unreachable!("validated"),
+                };
+                ip = if c == 0 { *t as usize } else { ip + 1 };
+            }
+            Op::Br(d) => {
+                unwind(&mut stack, d);
+                ip = d.target as usize;
+            }
+            Op::BrIf(d) => {
+                let c = match stack.pop() {
+                    Some(Value::I32(v)) => v,
+                    _ => unreachable!("validated"),
+                };
+                if c != 0 {
+                    unwind(&mut stack, d);
+                    ip = d.target as usize;
+                } else {
+                    ip += 1;
+                }
+            }
+            Op::BrTable { dests, default } => {
+                let idx = exec::pop(&mut stack).as_i32().expect("validated") as usize;
+                let d = dests.get(idx).unwrap_or(default);
+                unwind(&mut stack, d);
+                ip = d.target as usize;
+            }
+            Op::Return => {
+                let at = stack.len() - result_arity;
+                return Ok(stack.split_off(at));
+            }
+            Op::Unreachable => return Err(Trap::Unreachable),
+
+            Op::I32AddLL(a, b) => {
+                let (x, y) = (get_i32(&locals, *a), get_i32(&locals, *b));
+                stack.push(Value::I32(x.wrapping_add(y)));
+                ip += 1;
+            }
+            Op::I64AddLL(a, b) => {
+                let (x, y) = (get_i64(&locals, *a), get_i64(&locals, *b));
+                stack.push(Value::I64(x.wrapping_add(y)));
+                ip += 1;
+            }
+            Op::F64AddLL(a, b) => {
+                stack.push(Value::F64(get_f64(&locals, *a) + get_f64(&locals, *b)));
+                ip += 1;
+            }
+            Op::F64MulLL(a, b) => {
+                stack.push(Value::F64(get_f64(&locals, *a) * get_f64(&locals, *b)));
+                ip += 1;
+            }
+            Op::F64SubLL(a, b) => {
+                stack.push(Value::F64(get_f64(&locals, *a) - get_f64(&locals, *b)));
+                ip += 1;
+            }
+            Op::I32AddLK(a, k) => {
+                stack.push(Value::I32(get_i32(&locals, *a).wrapping_add(*k)));
+                ip += 1;
+            }
+            Op::I32IncL(a, k) => {
+                let v = get_i32(&locals, *a).wrapping_add(*k);
+                locals[*a as usize] = Value::I32(v);
+                ip += 1;
+            }
+            Op::F64LoadL { local, offset } => {
+                let addr = get_i32(&locals, *local) as u32;
+                let start = inst.memory.effective(addr, *offset, 8)?;
+                stack.push(Value::F64(f64::from_le_bytes(inst.memory.load::<8>(start))));
+                ip += 1;
+            }
+            Op::I32LoadL { local, offset } => {
+                let addr = get_i32(&locals, *local) as u32;
+                let start = inst.memory.effective(addr, *offset, 4)?;
+                stack.push(Value::I32(i32::from_le_bytes(inst.memory.load::<4>(start))));
+                ip += 1;
+            }
+            Op::F64StoreLL { addr, val, offset } => {
+                let a = get_i32(&locals, *addr) as u32;
+                let v = get_f64(&locals, *val);
+                let start = inst.memory.effective(a, *offset, 8)?;
+                inst.memory.store(start, &v.to_le_bytes());
+                ip += 1;
+            }
+            Op::F64MulL(b) => {
+                let a = exec::pop(&mut stack).as_f64().expect("validated");
+                stack.push(Value::F64(a * get_f64(&locals, *b)));
+                ip += 1;
+            }
+            Op::F64AddL(b) => {
+                let a = exec::pop(&mut stack).as_f64().expect("validated");
+                stack.push(Value::F64(a + get_f64(&locals, *b)));
+                ip += 1;
+            }
+        }
+    }
+}
+
+#[inline]
+fn unwind(stack: &mut Vec<Value>, d: &Dest) {
+    let height = d.height as usize;
+    let arity = d.arity as usize;
+    if arity == 0 {
+        stack.truncate(height);
+        return;
+    }
+    // Move the carried values down over the unwound region, in place.
+    let from = stack.len() - arity;
+    if from != height {
+        for i in 0..arity {
+            stack[height + i] = stack[from + i];
+        }
+    }
+    stack.truncate(height + arity);
+}
+
+#[inline]
+fn get_i32(locals: &[Value], i: u16) -> i32 {
+    match locals[i as usize] {
+        Value::I32(v) => v,
+        _ => unreachable!("validated"),
+    }
+}
+
+#[inline]
+fn get_i64(locals: &[Value], i: u16) -> i64 {
+    match locals[i as usize] {
+        Value::I64(v) => v,
+        _ => unreachable!("validated"),
+    }
+}
+
+#[inline]
+fn get_f64(locals: &[Value], i: u16) -> f64 {
+    match locals[i as usize] {
+        Value::F64(v) => v,
+        _ => unreachable!("validated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_constants_rewrites_window() {
+        let mut ops = vec![
+            Op::Plain(Instr::I32Const(2)),
+            Op::Plain(Instr::I32Const(3)),
+            Op::Plain(Instr::I32Add),
+        ];
+        let targets = vec![false; 4];
+        assert!(fold_constants(&mut ops, &targets));
+        assert_eq!(ops[2], Op::Plain(Instr::I32Const(5)));
+        assert_eq!(ops[0], Op::Nop);
+    }
+
+    #[test]
+    fn fold_skips_jump_targets() {
+        let mut ops = vec![
+            Op::Plain(Instr::I32Const(2)),
+            Op::Plain(Instr::I32Const(3)),
+            Op::Plain(Instr::I32Add),
+        ];
+        let mut targets = vec![false; 4];
+        targets[1] = true; // something jumps between the constants
+        assert!(!fold_constants(&mut ops, &targets));
+    }
+
+    #[test]
+    fn fuse_loop_counter_increment() {
+        let mut ops = vec![
+            Op::Plain(Instr::LocalGet(0)),
+            Op::Plain(Instr::I32Const(1)),
+            Op::Plain(Instr::I32Add),
+            Op::Plain(Instr::LocalSet(0)),
+        ];
+        let targets = vec![false; 5];
+        assert!(fuse_locals(&mut ops, &targets));
+        assert_eq!(ops[3], Op::I32IncL(0, 1));
+    }
+
+    #[test]
+    fn compact_nops_remaps_jumps() {
+        let mut f = FlatFunc {
+            ops: vec![
+                Op::Nop,
+                Op::Jump(3),
+                Op::Nop,
+                Op::Plain(Instr::I32Const(1)),
+                Op::Return,
+            ],
+            n_params: 0,
+            locals: vec![],
+            result_arity: 1,
+        };
+        compact_nops(&mut f);
+        assert_eq!(f.ops.len(), 3);
+        // Jump(3) pointed at the const; after compaction the const is at 1.
+        assert_eq!(f.ops[0], Op::Jump(1));
+    }
+}

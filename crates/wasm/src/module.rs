@@ -1,0 +1,195 @@
+//! In-memory representation of a decoded (or built) Wasm module.
+
+use crate::instr::Instr;
+use crate::types::{ExternKind, FuncType, GlobalType, Limits, ValType};
+
+/// An import required by the module, to be satisfied by the embedder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Namespace, e.g. `env` for MPI functions or `wasi_snapshot_preview1`.
+    pub module: String,
+    /// Item name within the namespace, e.g. `MPI_Send` or `fd_write`.
+    pub name: String,
+    pub kind: ExternKind,
+}
+
+/// An export provided by the module to the embedder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    pub name: String,
+    pub kind: ExportKind,
+    pub index: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    Func,
+    Table,
+    Memory,
+    Global,
+}
+
+/// A function defined inside the module (imports are listed separately).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+    /// Declared locals (beyond parameters), already expanded from the
+    /// run-length binary encoding.
+    pub locals: Vec<ValType>,
+    /// The body, ending with an implicit function-level `End` which the
+    /// decoder keeps in place (the last instruction is always `Instr::End`).
+    pub body: Vec<Instr>,
+}
+
+/// A global variable definition: type plus constant initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    pub ty: GlobalType,
+    /// The init expression; the validator restricts it to a single constant
+    /// instruction (`iNN.const` / `fNN.const`), as in the MVP.
+    pub init: Instr,
+}
+
+/// An active element segment populating the funcref table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementSegment {
+    pub table: u32,
+    /// Constant i32 offset into the table.
+    pub offset: i32,
+    /// Function indices to place.
+    pub funcs: Vec<u32>,
+}
+
+/// An active data segment initializing linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    pub memory: u32,
+    /// Constant i32 offset into memory.
+    pub offset: i32,
+    pub bytes: Vec<u8>,
+}
+
+/// A complete module: mirror of the binary sections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub types: Vec<FuncType>,
+    pub imports: Vec<Import>,
+    pub functions: Vec<Function>,
+    pub tables: Vec<Limits>,
+    pub memories: Vec<Limits>,
+    pub globals: Vec<Global>,
+    pub exports: Vec<Export>,
+    pub start: Option<u32>,
+    pub elements: Vec<ElementSegment>,
+    pub data: Vec<DataSegment>,
+    /// Optional module name from the custom `name` section.
+    pub name: Option<String>,
+}
+
+impl Module {
+    /// Number of imported functions; defined functions are indexed after
+    /// these in the function index space.
+    pub fn num_imported_funcs(&self) -> usize {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ExternKind::Func(_)))
+            .count()
+    }
+
+    /// The function type for an index in the *function index space*
+    /// (imports first, then defined functions).
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        let mut seen = 0u32;
+        for imp in &self.imports {
+            if let ExternKind::Func(type_idx) = imp.kind {
+                if seen == func_idx {
+                    return self.types.get(type_idx as usize);
+                }
+                seen += 1;
+            }
+        }
+        let defined_idx = (func_idx - seen) as usize;
+        let f = self.functions.get(defined_idx)?;
+        self.types.get(f.type_idx as usize)
+    }
+
+    /// Iterate over imported functions as `(module, name, type_idx)`.
+    pub fn imported_funcs(&self) -> impl Iterator<Item = (&str, &str, u32)> {
+        self.imports.iter().filter_map(|i| match i.kind {
+            ExternKind::Func(t) => Some((i.module.as_str(), i.name.as_str(), t)),
+            _ => None,
+        })
+    }
+
+    /// Find an export by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Look up the type of a defined function by its index in the function
+    /// index space. Returns `None` for imported indices.
+    pub fn defined_func(&self, func_idx: u32) -> Option<&Function> {
+        let imported = self.num_imported_funcs() as u32;
+        if func_idx < imported {
+            return None;
+        }
+        self.functions.get((func_idx - imported) as usize)
+    }
+
+    /// Total number of functions in the function index space.
+    pub fn num_funcs(&self) -> usize {
+        self.num_imported_funcs() + self.functions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ExternKind, FuncType, ValType};
+
+    fn two_import_module() -> Module {
+        let mut m = Module::default();
+        m.types.push(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.types.push(FuncType::new(vec![], vec![]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "MPI_Init".into(),
+            kind: ExternKind::Func(0),
+        });
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "MPI_Finalize".into(),
+            kind: ExternKind::Func(1),
+        });
+        m.functions.push(Function { type_idx: 1, locals: vec![], body: vec![Instr::End] });
+        m
+    }
+
+    #[test]
+    fn function_index_space_spans_imports_then_defined() {
+        let m = two_import_module();
+        assert_eq!(m.num_imported_funcs(), 2);
+        assert_eq!(m.num_funcs(), 3);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(1).unwrap().params, Vec::<ValType>::new());
+        assert_eq!(m.func_type(2).unwrap().results, Vec::<ValType>::new());
+        assert!(m.func_type(3).is_none());
+    }
+
+    #[test]
+    fn defined_func_skips_imports() {
+        let m = two_import_module();
+        assert!(m.defined_func(0).is_none());
+        assert!(m.defined_func(1).is_none());
+        assert!(m.defined_func(2).is_some());
+    }
+
+    #[test]
+    fn export_lookup() {
+        let mut m = two_import_module();
+        m.exports.push(Export { name: "_start".into(), kind: ExportKind::Func, index: 2 });
+        assert_eq!(m.export("_start").unwrap().index, 2);
+        assert!(m.export("missing").is_none());
+    }
+}

@@ -1,0 +1,566 @@
+//! Module instantiation and the embedding interface.
+//!
+//! A [`Linker`] collects host functions by `(namespace, name)`; the paper's
+//! embedder registers all `env.MPI_*` functions and the WASI imports here.
+//! [`Linker::instantiate`] checks the module's imports against the
+//! registered definitions (name *and* signature), allocates memory, applies
+//! data/element segments, runs the start function, and returns an
+//! [`Instance`] on which exports can be invoked.
+//!
+//! Host functions receive `&mut Instance`, which lets them read and write
+//! guest memory with zero copies and *re-enter* the guest — the embedder's
+//! `MPI_Alloc_mem` uses this to invoke the guest's exported `malloc`
+//! (paper §3.7).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Trap, ValidateError};
+use crate::module::{ExportKind, Module};
+use crate::tier::{self, CompiledBody, Tier};
+use crate::types::{FuncType, Limits};
+use crate::validate::validate_module;
+
+use super::memory::Memory;
+use super::value::Value;
+
+/// Alias kept for API familiarity with mainstream embedders: host functions
+/// are called with the instance as their "caller" context.
+pub type Caller = Instance;
+
+/// A host function: receives the calling instance (for memory access and
+/// guest re-entry) and the arguments; returns the results.
+pub type HostFn =
+    Arc<dyn Fn(&mut Instance, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync>;
+
+/// Errors produced while instantiating a module.
+#[derive(Debug)]
+pub enum InstantiateError {
+    /// The module failed validation.
+    Validate(ValidateError),
+    /// An import had no registered definition.
+    MissingImport { module: String, name: String },
+    /// An import's registered definition has the wrong type.
+    ImportTypeMismatch { module: String, name: String, expected: FuncType, found: FuncType },
+    /// A data or element segment fell outside its target.
+    SegmentOutOfBounds(String),
+    /// The start function trapped.
+    StartTrap(Trap),
+    /// The module declares no memory but the embedder requires one.
+    NoMemory,
+}
+
+impl fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiateError::Validate(e) => write!(f, "{e}"),
+            InstantiateError::MissingImport { module, name } => {
+                write!(f, "missing import {module}.{name}")
+            }
+            InstantiateError::ImportTypeMismatch { module, name, expected, found } => write!(
+                f,
+                "import {module}.{name} type mismatch: module wants {expected}, host provides {found}"
+            ),
+            InstantiateError::SegmentOutOfBounds(what) => {
+                write!(f, "{what} segment out of bounds")
+            }
+            InstantiateError::StartTrap(t) => write!(f, "start function trapped: {t}"),
+            InstantiateError::NoMemory => write!(f, "module declares no linear memory"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+impl From<ValidateError> for InstantiateError {
+    fn from(e: ValidateError) -> Self {
+        InstantiateError::Validate(e)
+    }
+}
+
+/// Engine execution limits, guarding the embedder against runaway guests.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceLimits {
+    /// Maximum nested guest call depth (including host→guest re-entries).
+    pub max_call_depth: usize,
+    /// Maximum operand-stack entries per activation.
+    pub max_value_stack: usize,
+}
+
+impl Default for InstanceLimits {
+    fn default() -> Self {
+        // The guest call depth is bounded well below the host stack it
+        // consumes (each guest activation uses ~1 KiB of host frame, and
+        // test threads only get 2 MiB), so exhaustion is reported as a
+        // clean `Trap::StackExhausted` instead of overflowing the host.
+        Self { max_call_depth: 1000, max_value_stack: 1 << 20 }
+    }
+}
+
+/// A validated module compiled for a specific execution tier. Compilation
+/// artifacts are shared (`Arc`) so one compiled module can be instantiated
+/// once per MPI rank without recompiling — the engine-level mechanism
+/// behind the embedder's module cache (§3.3).
+#[derive(Clone)]
+pub struct CompiledModule {
+    pub(crate) module: Arc<Module>,
+    pub(crate) tier: Tier,
+    pub(crate) bodies: Arc<Vec<CompiledBody>>,
+}
+
+impl CompiledModule {
+    /// Validate and compile a module for the given tier.
+    pub fn compile(module: Module, tier: Tier) -> Result<Self, ValidateError> {
+        validate_module(&module)?;
+        let bodies = module
+            .functions
+            .iter()
+            .map(|f| tier::compile_body(&module, f, tier))
+            .collect::<Vec<_>>();
+        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies) })
+    }
+
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Approximate in-memory size of the compiled code, in bytes. Used by
+    /// the binary-size experiment as the "native code" artifact size.
+    pub fn code_size(&self) -> usize {
+        self.bodies.iter().map(|b| b.size_bytes()).sum()
+    }
+
+    /// Reassemble a compiled module from deserialized parts (the module
+    /// cache's load path). The module is re-validated; the compiled bodies
+    /// are trusted to correspond to it — the cache guards this with
+    /// content addressing.
+    pub fn from_parts(
+        module: Module,
+        tier: Tier,
+        bodies: Vec<CompiledBody>,
+    ) -> Result<Self, ValidateError> {
+        validate_module(&module)?;
+        if bodies.len() != module.functions.len() {
+            return Err(ValidateError::module(format!(
+                "artifact has {} bodies for {} functions",
+                bodies.len(),
+                module.functions.len()
+            )));
+        }
+        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies) })
+    }
+
+    /// Iterate the compiled bodies (the cache's store path).
+    pub fn bodies(&self) -> &[CompiledBody] {
+        &self.bodies
+    }
+}
+
+/// Registry of host-provided import definitions.
+#[derive(Default, Clone)]
+pub struct Linker {
+    funcs: HashMap<(String, String), (FuncType, HostFn)>,
+}
+
+impl Linker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host function under `(module, name)` with an explicit
+    /// signature. Instantiation fails if a guest imports the same name with
+    /// a different signature.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        ty: FuncType,
+        f: impl Fn(&mut Instance, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.funcs.insert((module.into(), name.into()), (ty, Arc::new(f)));
+        self
+    }
+
+    /// Whether a definition exists for `(module, name)`.
+    pub fn contains(&self, module: &str, name: &str) -> bool {
+        self.funcs.contains_key(&(module.to_string(), name.to_string()))
+    }
+
+    /// Number of registered definitions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Instantiate a compiled module, attaching `data` as embedder state.
+    pub fn instantiate(
+        &self,
+        compiled: &CompiledModule,
+        data: Box<dyn Any + Send>,
+    ) -> Result<Instance, InstantiateError> {
+        let module = Arc::clone(&compiled.module);
+
+        // Resolve function imports in order.
+        let mut host_funcs: Vec<HostFn> = Vec::new();
+        for (ns, name, type_idx) in module.imported_funcs() {
+            let want = module.types[type_idx as usize].clone();
+            let (ty, f) = self
+                .funcs
+                .get(&(ns.to_string(), name.to_string()))
+                .ok_or_else(|| InstantiateError::MissingImport {
+                    module: ns.into(),
+                    name: name.into(),
+                })?;
+            if *ty != want {
+                return Err(InstantiateError::ImportTypeMismatch {
+                    module: ns.into(),
+                    name: name.into(),
+                    expected: want,
+                    found: ty.clone(),
+                });
+            }
+            host_funcs.push(Arc::clone(f));
+        }
+
+        // Memory: defined or a zero-page default (imported memories are not
+        // supported; the MPIWasm model is one private memory per instance).
+        let mem_limits = module.memories.first().copied().unwrap_or(Limits::new(0, Some(0)));
+        let mut memory = Memory::new(mem_limits);
+
+        // Apply data segments.
+        for seg in &module.data {
+            let offset = seg.offset as u32;
+            let dst = memory
+                .slice_mut(offset, seg.bytes.len() as u32)
+                .map_err(|_| InstantiateError::SegmentOutOfBounds("data".into()))?;
+            dst.copy_from_slice(&seg.bytes);
+        }
+
+        // Globals.
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                crate::instr::Instr::I32Const(v) => Value::I32(v),
+                crate::instr::Instr::I64Const(v) => Value::I64(v),
+                crate::instr::Instr::F32Const(v) => Value::F32(v),
+                crate::instr::Instr::F64Const(v) => Value::F64(v),
+                _ => unreachable!("validated"),
+            })
+            .collect();
+
+        // Table + element segments.
+        let table_limits = module.tables.first().copied().unwrap_or(Limits::new(0, Some(0)));
+        let mut table: Vec<Option<u32>> = vec![None; table_limits.min as usize];
+        for seg in &module.elements {
+            let start = seg.offset as usize;
+            let end = start + seg.funcs.len();
+            if end > table.len() {
+                return Err(InstantiateError::SegmentOutOfBounds("element".into()));
+            }
+            for (i, &f) in seg.funcs.iter().enumerate() {
+                table[start + i] = Some(f);
+            }
+        }
+
+        // Precompute the function-index-space type list.
+        let mut func_types = Vec::with_capacity(module.num_funcs());
+        for (_, _, type_idx) in module.imported_funcs() {
+            func_types.push(module.types[type_idx as usize].clone());
+        }
+        for f in &module.functions {
+            func_types.push(module.types[f.type_idx as usize].clone());
+        }
+
+        let mut instance = Instance {
+            module,
+            tier: compiled.tier,
+            bodies: Arc::clone(&compiled.bodies),
+            memory,
+            globals,
+            table,
+            host_funcs,
+            func_types,
+            data,
+            limits: InstanceLimits::default(),
+            depth: 0,
+        };
+
+        if let Some(start) = instance.module.start {
+            instance.call_func(start, &[]).map_err(InstantiateError::StartTrap)?;
+        }
+        Ok(instance)
+    }
+}
+
+/// A live module instance: compiled code plus its mutable state (memory,
+/// globals, table) and the embedder's per-instance data.
+pub struct Instance {
+    pub(crate) module: Arc<Module>,
+    pub(crate) tier: Tier,
+    pub(crate) bodies: Arc<Vec<CompiledBody>>,
+    /// The instance's linear memory. Public so host functions can translate
+    /// guest pointers with zero copies.
+    pub memory: Memory,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) host_funcs: Vec<HostFn>,
+    pub(crate) func_types: Vec<FuncType>,
+    /// Embedder state (e.g. the MPIWasm `Env`); downcast with [`Instance::data`].
+    pub(crate) data: Box<dyn Any + Send>,
+    pub(crate) limits: InstanceLimits,
+    pub(crate) depth: usize,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("module", &self.module.name)
+            .field("tier", &self.tier)
+            .field("memory_pages", &self.memory.size_pages())
+            .field("funcs", &self.func_types.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Instance {
+    /// The module this instance was created from.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The execution tier the module was compiled with.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Replace the engine limits (call depth, stack size).
+    pub fn set_limits(&mut self, limits: InstanceLimits) {
+        self.limits = limits;
+    }
+
+    /// Borrow the embedder state, downcast to `T`.
+    pub fn data<T: 'static>(&self) -> Option<&T> {
+        self.data.downcast_ref::<T>()
+    }
+
+    /// Mutably borrow the embedder state, downcast to `T`.
+    pub fn data_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.data.downcast_mut::<T>()
+    }
+
+    /// Split-borrow the linear memory and the embedder state. Host
+    /// functions use this to move bytes between guest memory and embedder
+    /// structures without intermediate copies.
+    pub fn parts(&mut self) -> (&mut Memory, &mut (dyn Any + Send)) {
+        (&mut self.memory, &mut *self.data)
+    }
+
+    /// Look up an exported function's index by name.
+    pub fn export_func(&self, name: &str) -> Option<u32> {
+        self.module
+            .exports
+            .iter()
+            .find(|e| e.name == name && e.kind == ExportKind::Func)
+            .map(|e| e.index)
+    }
+
+    /// The type of a function in the function index space.
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        self.func_types.get(func_idx as usize)
+    }
+
+    /// Invoke an exported function by name.
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let idx = self
+            .export_func(name)
+            .ok_or_else(|| Trap::host(format!("no exported function {name:?}")))?;
+        self.call_func(idx, args)
+    }
+
+    /// Invoke a function by index in the function index space, checking the
+    /// argument types against its signature.
+    pub fn call_func(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let ty = self
+            .func_types
+            .get(func_idx as usize)
+            .ok_or_else(|| Trap::host(format!("function index {func_idx} out of range")))?;
+        if ty.params.len() != args.len()
+            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
+        {
+            return Err(Trap::host(format!(
+                "argument mismatch calling function {func_idx}: expected {ty}",
+            )));
+        }
+        self.call_func_unchecked(func_idx, args)
+    }
+
+    /// Internal call path used by the interpreter (`call`, `call_indirect`)
+    /// where types were already validated.
+    pub(crate) fn call_func_unchecked(
+        &mut self,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        if self.depth >= self.limits.max_call_depth {
+            return Err(Trap::StackExhausted);
+        }
+        let imported = self.host_funcs.len() as u32;
+        if func_idx < imported {
+            let f = Arc::clone(&self.host_funcs[func_idx as usize]);
+            self.depth += 1;
+            let result = f(self, args);
+            self.depth -= 1;
+            return result;
+        }
+        let defined = (func_idx - imported) as usize;
+        self.depth += 1;
+        let result = match &self.bodies[defined] {
+            CompiledBody::Interp(_) => crate::interp::call(self, defined, args),
+            CompiledBody::Flat(_) => crate::ir::call(self, defined, args),
+        };
+        self.depth -= 1;
+        result
+    }
+
+    /// Read a global by index (diagnostics / tests).
+    pub fn global(&self, idx: u32) -> Option<Value> {
+        self.globals.get(idx as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::ValType;
+
+    fn add_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, Some(4));
+        let add = b.func(
+            "add",
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            |f| {
+                f.local_get(0).local_get(1).i32_add();
+            },
+        );
+        let _ = add;
+        b.finish()
+    }
+
+    #[test]
+    fn instantiate_and_invoke() {
+        let compiled = CompiledModule::compile(add_module(), Tier::Baseline).unwrap();
+        let linker = Linker::new();
+        let mut inst = linker.instantiate(&compiled, Box::new(())).unwrap();
+        let out = inst.invoke("add", &[Value::I32(2), Value::I32(40)]).unwrap();
+        assert_eq!(out, vec![Value::I32(42)]);
+    }
+
+    #[test]
+    fn invoke_with_wrong_arity_fails() {
+        let compiled = CompiledModule::compile(add_module(), Tier::Baseline).unwrap();
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        assert!(inst.invoke("add", &[Value::I32(1)]).is_err());
+        assert!(inst.invoke("add", &[Value::I32(1), Value::F64(2.0)]).is_err());
+        assert!(inst.invoke("missing", &[]).is_err());
+    }
+
+    #[test]
+    fn missing_import_is_reported() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let imp = b.import_func("env", "mystery", vec![ValType::I32], vec![]);
+        b.func("go", vec![], vec![], |f| {
+            f.i32_const(1).call(imp);
+        });
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        let err = Linker::new().instantiate(&compiled, Box::new(())).unwrap_err();
+        assert!(matches!(err, InstantiateError::MissingImport { .. }), "{err}");
+    }
+
+    #[test]
+    fn import_signature_mismatch_is_reported() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let imp = b.import_func("env", "f", vec![ValType::I32], vec![]);
+        b.func("go", vec![], vec![], |f| {
+            f.i32_const(1).call(imp);
+        });
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        let mut linker = Linker::new();
+        linker.func("env", "f", FuncType::new(vec![ValType::F64], vec![]), |_, _| Ok(vec![]));
+        let err = linker.instantiate(&compiled, Box::new(())).unwrap_err();
+        assert!(matches!(err, InstantiateError::ImportTypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn host_function_sees_and_mutates_data() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let tick = b.import_func("env", "tick", vec![], vec![]);
+        b.func("go", vec![], vec![], |f| {
+            f.call(tick).call(tick).call(tick);
+        });
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        let mut linker = Linker::new();
+        linker.func("env", "tick", FuncType::new(vec![], vec![]), |inst, _| {
+            *inst.data_mut::<u32>().unwrap() += 1;
+            Ok(vec![])
+        });
+        let mut inst = linker.instantiate(&compiled, Box::new(0u32)).unwrap();
+        inst.invoke("go", &[]).unwrap();
+        assert_eq!(*inst.data::<u32>().unwrap(), 3);
+    }
+
+    #[test]
+    fn host_function_can_reenter_guest() {
+        // Host `alloc_hook` calls the guest's exported `bump` function,
+        // mirroring MPI_Alloc_mem -> guest malloc.
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let hook = b.import_func("env", "alloc_hook", vec![], vec![ValType::I32]);
+        b.func("bump", vec![], vec![ValType::I32], |f| {
+            f.i32_const(4096);
+        });
+        b.func("go", vec![], vec![ValType::I32], |f| {
+            f.call(hook);
+        });
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        let mut linker = Linker::new();
+        linker.func("env", "alloc_hook", FuncType::new(vec![], vec![ValType::I32]), |inst, _| {
+            inst.invoke("bump", &[])
+        });
+        let mut inst = linker.instantiate(&compiled, Box::new(())).unwrap();
+        assert_eq!(inst.invoke("go", &[]).unwrap(), vec![Value::I32(4096)]);
+    }
+
+    #[test]
+    fn data_segments_applied_and_oob_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.data(16, b"hello".to_vec());
+        b.func("noop", vec![], vec![], |_| {});
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        let inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        assert_eq!(inst.memory.slice(16, 5).unwrap(), b"hello");
+
+        let mut b = ModuleBuilder::new();
+        b.memory(1, Some(1));
+        b.data(crate::PAGE_SIZE as i32 - 2, b"hello".to_vec());
+        b.func("noop", vec![], vec![], |_| {});
+        let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
+        assert!(Linker::new().instantiate(&compiled, Box::new(())).is_err());
+    }
+}

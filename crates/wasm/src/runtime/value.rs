@@ -1,0 +1,136 @@
+//! Runtime values: the dynamic counterpart of [`crate::types::ValType`].
+
+use crate::error::Trap;
+use crate::types::ValType;
+
+/// A runtime value on the operand stack, in a local, or in a global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    /// 128-bit SIMD vector, stored as raw little-endian lanes.
+    V128(u128),
+}
+
+impl Value {
+    /// Zero/default value of a type (used to initialize locals).
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+            ValType::V128 => Value::V128(0),
+        }
+    }
+
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+            Value::V128(_) => ValType::V128,
+        }
+    }
+
+    pub fn as_i32(&self) -> Result<i32, Trap> {
+        match self {
+            Value::I32(v) => Ok(*v),
+            other => Err(Trap::host(format!("expected i32, found {}", other.ty()))),
+        }
+    }
+
+    pub fn as_u32(&self) -> Result<u32, Trap> {
+        self.as_i32().map(|v| v as u32)
+    }
+
+    pub fn as_i64(&self) -> Result<i64, Trap> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            other => Err(Trap::host(format!("expected i64, found {}", other.ty()))),
+        }
+    }
+
+    pub fn as_f32(&self) -> Result<f32, Trap> {
+        match self {
+            Value::F32(v) => Ok(*v),
+            other => Err(Trap::host(format!("expected f32, found {}", other.ty()))),
+        }
+    }
+
+    pub fn as_f64(&self) -> Result<f64, Trap> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            other => Err(Trap::host(format!("expected f64, found {}", other.ty()))),
+        }
+    }
+
+    pub fn as_v128(&self) -> Result<u128, Trap> {
+        match self {
+            Value::V128(v) => Ok(*v),
+            other => Err(Trap::host(format!("expected v128, found {}", other.ty()))),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I32(v as i32)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values_match_types() {
+        for ty in [ValType::I32, ValType::I64, ValType::F32, ValType::F64, ValType::V128] {
+            assert_eq!(Value::zero(ty).ty(), ty);
+        }
+    }
+
+    #[test]
+    fn accessor_type_checks() {
+        assert_eq!(Value::I32(7).as_i32().unwrap(), 7);
+        assert_eq!(Value::I32(-1).as_u32().unwrap(), u32::MAX);
+        assert!(Value::I32(7).as_i64().is_err());
+        assert!(Value::F64(1.0).as_f32().is_err());
+        assert_eq!(Value::V128(3).as_v128().unwrap(), 3);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(5i32), Value::I32(5));
+        assert_eq!(Value::from(5u32), Value::I32(5));
+        assert_eq!(Value::from(5i64), Value::I64(5));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+    }
+}

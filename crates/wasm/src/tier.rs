@@ -1,0 +1,91 @@
+//! Execution tiers: the engine's analog of Wasmer's three compiler
+//! backends (paper §3.3, Table 1).
+//!
+//! | Paper backend | Tier              | Strategy |
+//! |---------------|-------------------|----------|
+//! | Singlepass    | [`Tier::Baseline`]  | structured interpreter, linear-time prepare |
+//! | Cranelift     | [`Tier::Optimizing`]| flatten to register-style IR with resolved jumps |
+//! | LLVM          | [`Tier::Max`]       | IR + iterated optimization passes (folding, fusion, jump threading) |
+//!
+//! The tiers preserve the paper's ordering: compile time grows and run time
+//! shrinks from Baseline to Max.
+
+use crate::interp::SideTable;
+use crate::ir::FlatFunc;
+use crate::module::{Function, Module};
+
+/// Selects how module bodies are compiled and executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// Structured interpreter; fastest to prepare, slowest to run
+    /// (Singlepass analog).
+    Baseline,
+    /// Flat IR with resolved control flow (Cranelift analog).
+    Optimizing,
+    /// Flat IR plus iterated optimization passes (LLVM analog).
+    #[default]
+    Max,
+}
+
+impl Tier {
+    pub const ALL: [Tier; 3] = [Tier::Baseline, Tier::Optimizing, Tier::Max];
+
+    /// Short display name matching the paper's backend names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Baseline => "baseline (singlepass analog)",
+            Tier::Optimizing => "optimizing (cranelift analog)",
+            Tier::Max => "max (llvm analog)",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A function body compiled for some tier.
+pub enum CompiledBody {
+    /// Baseline: the original structured body plus its control side table.
+    Interp(SideTable),
+    /// Optimizing / Max: flat IR.
+    Flat(FlatFunc),
+}
+
+impl CompiledBody {
+    /// Approximate in-memory size of the compiled artifact in bytes. Used
+    /// by the binary-size experiment (Table 2 analog) as "native code size".
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CompiledBody::Interp(side) => side.size_bytes(),
+            CompiledBody::Flat(f) => f.size_bytes(),
+        }
+    }
+}
+
+/// Compile one function body for the given tier.
+pub fn compile_body(module: &Module, func: &Function, tier: Tier) -> CompiledBody {
+    match tier {
+        Tier::Baseline => CompiledBody::Interp(SideTable::build(&func.body)),
+        Tier::Optimizing => CompiledBody::Flat(crate::ir::compile(module, func, 0)),
+        Tier::Max => CompiledBody::Flat(crate::ir::compile(module, func, 2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Tier::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn default_tier_is_max() {
+        assert_eq!(Tier::default(), Tier::Max);
+    }
+}

@@ -1,0 +1,232 @@
+//! Differential testing of the execution tiers on random *structured*
+//! programs: loops, branches, and local mutation — the constructs the
+//! expression-level property tests (workspace `tests/proptests.rs`) do
+//! not cover. Every generated program is evaluated by a reference
+//! interpreter in plain Rust and must produce identical results on the
+//! Baseline, Optimizing, and Max tiers.
+
+use proptest::prelude::*;
+
+use wasm_engine::dsl::{self, Var};
+use wasm_engine::runtime::{CompiledModule, Linker, Value};
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder, Tier};
+
+const N_VARS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum E {
+    Var(usize),
+    Const(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    LtS(Box<E>, Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, E),
+    If(E, Vec<S>, Vec<S>),
+    /// Bounded counted loop: `for _ in 0..n { body }`.
+    Repeat(u8, Vec<S>),
+    /// Store var to memory then reload it through linear memory.
+    StoreLoad(usize, u32),
+}
+
+fn eval_e(e: &E, vars: &[i32; N_VARS]) -> i32 {
+    match e {
+        E::Var(i) => vars[*i],
+        E::Const(c) => *c,
+        E::Add(a, b) => eval_e(a, vars).wrapping_add(eval_e(b, vars)),
+        E::Sub(a, b) => eval_e(a, vars).wrapping_sub(eval_e(b, vars)),
+        E::Mul(a, b) => eval_e(a, vars).wrapping_mul(eval_e(b, vars)),
+        E::Xor(a, b) => eval_e(a, vars) ^ eval_e(b, vars),
+        E::LtS(a, b) => (eval_e(a, vars) < eval_e(b, vars)) as i32,
+    }
+}
+
+fn eval_s(stmts: &[S], vars: &mut [i32; N_VARS], mem: &mut [i32; 16]) {
+    for s in stmts {
+        match s {
+            S::Assign(i, e) => vars[*i] = eval_e(e, vars),
+            S::If(c, t, f) => {
+                if eval_e(c, vars) != 0 {
+                    eval_s(t, vars, mem);
+                } else {
+                    eval_s(f, vars, mem);
+                }
+            }
+            S::Repeat(n, body) => {
+                for _ in 0..*n {
+                    eval_s(body, vars, mem);
+                }
+            }
+            S::StoreLoad(i, slot) => {
+                mem[*slot as usize] = vars[*i];
+                vars[*i] = mem[*slot as usize];
+            }
+        }
+    }
+}
+
+fn e_to_dsl(e: &E, vars: &[Var; N_VARS]) -> dsl::Expr {
+    match e {
+        E::Var(i) => vars[*i].get(),
+        E::Const(c) => dsl::int(*c),
+        E::Add(a, b) => e_to_dsl(a, vars) + e_to_dsl(b, vars),
+        E::Sub(a, b) => e_to_dsl(a, vars) - e_to_dsl(b, vars),
+        E::Mul(a, b) => e_to_dsl(a, vars) * e_to_dsl(b, vars),
+        E::Xor(a, b) => e_to_dsl(a, vars).xor(e_to_dsl(b, vars)),
+        E::LtS(a, b) => e_to_dsl(a, vars).lt(e_to_dsl(b, vars)),
+    }
+}
+
+fn s_to_dsl(
+    stmts: &[S],
+    vars: &[Var; N_VARS],
+    counters: &mut Vec<Var>,
+    depth: usize,
+    f: &mut wasm_engine::FunctionBuilder,
+) -> Vec<dsl::Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            S::Assign(i, e) => vars[*i].set(e_to_dsl(e, vars)),
+            S::If(c, t, els) => dsl::if_else(
+                e_to_dsl(c, vars).ne(dsl::int(0)),
+                &s_to_dsl(t, vars, counters, depth, f),
+                &s_to_dsl(els, vars, counters, depth, f),
+            ),
+            S::Repeat(n, body) => {
+                if counters.len() <= depth {
+                    counters.push(Var::new(f, ValType::I32));
+                }
+                let counter = counters[depth];
+                dsl::for_range(
+                    counter,
+                    dsl::int(0),
+                    dsl::int(*n as i32),
+                    &s_to_dsl(body, vars, counters, depth + 1, f),
+                )
+            }
+            S::StoreLoad(i, slot) => {
+                let addr = dsl::int((*slot as i32) * 4);
+                dsl::Stmt::Raw(vec![])
+                    .clone_into_store(vars[*i], addr)
+            }
+        })
+        .collect()
+}
+
+// Small helper because StoreLoad expands to two statements.
+trait StoreLoadExt {
+    fn clone_into_store(self, var: Var, addr: dsl::Expr) -> dsl::Stmt;
+}
+
+impl StoreLoadExt for dsl::Stmt {
+    fn clone_into_store(self, var: Var, addr: dsl::Expr) -> dsl::Stmt {
+        // store var; reload var — expressed as an If(true) block holding
+        // both statements so a single Stmt can carry the pair.
+        dsl::if_then(
+            dsl::int(1),
+            &[
+                dsl::store(addr.clone(), 0, var.get()),
+                var.set(addr.load(ValType::I32, 0)),
+            ],
+        )
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0..N_VARS).prop_map(E::Var),
+        (-100i32..100).prop_map(E::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::LtS(a.into(), b.into())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        (0..N_VARS, expr_strategy()).prop_map(|(i, e)| S::Assign(i, e)),
+        (0..N_VARS, 0u32..16).prop_map(|(i, s)| S::StoreLoad(i, s)),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            (0u8..5, proptest::collection::vec(inner, 1..3))
+                .prop_map(|(n, b)| S::Repeat(n, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn structured_programs_agree_across_tiers(
+        program in proptest::collection::vec(stmt_strategy(), 1..6),
+        inits in proptest::array::uniform4(-50i32..50),
+    ) {
+        // Reference execution.
+        let mut ref_vars = inits;
+        let mut ref_mem = [0i32; 16];
+        eval_s(&program, &mut ref_vars, &mut ref_mem);
+
+        // Build the module: params are the four initial values; the
+        // function returns x0 ^ x1 ^ x2 ^ x3 after running the program.
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let prog = program.clone();
+        b.func(
+            "run",
+            vec![ValType::I32; N_VARS],
+            vec![ValType::I32],
+            move |f| {
+                let vars = [
+                    dsl::local(0, ValType::I32),
+                    dsl::local(1, ValType::I32),
+                    dsl::local(2, ValType::I32),
+                    dsl::local(3, ValType::I32),
+                ];
+                let mut counters = Vec::new();
+                let mut stmts = s_to_dsl(&prog, &vars, &mut counters, 0, f);
+                stmts.push(dsl::ret(Some(
+                    vars[0]
+                        .get()
+                        .xor(vars[1].get())
+                        .xor(vars[2].get())
+                        .xor(vars[3].get()),
+                )));
+                dsl::emit_block(f, &stmts);
+            },
+        );
+        let module = b.finish();
+        wasm_engine::validate_module(&module).unwrap();
+        let wasm = encode_module(&module);
+        let decoded = wasm_engine::decode_module(&wasm).unwrap();
+
+        let expected = ref_vars[0] ^ ref_vars[1] ^ ref_vars[2] ^ ref_vars[3];
+        for tier in Tier::ALL {
+            let compiled = CompiledModule::compile(decoded.clone(), tier).unwrap();
+            let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+            let args: Vec<Value> = inits.iter().map(|&v| Value::I32(v)).collect();
+            let out = inst.invoke("run", &args).unwrap();
+            prop_assert_eq!(out[0], Value::I32(expected), "tier {} disagrees", tier);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Systematic opcode conformance tests: every numeric instruction is
+//! exercised with spec edge cases (wrapping, trapping division,
+//! out-of-range truncation, shift masking, NaN propagation) on all three
+//! execution tiers.
+
+use wasm_engine::instr::Instr;
+use wasm_engine::runtime::{CompiledModule, Linker, Value};
+use wasm_engine::types::ValType;
+use wasm_engine::{error::Trap, ModuleBuilder, Tier};
+
+/// Build a module exposing one function per instruction under test:
+/// params are pushed, the instruction applied, the result returned.
+fn run_op(
+    params: Vec<ValType>,
+    result: ValType,
+    instr: Instr,
+    args: &[Value],
+) -> Vec<Result<Value, Trap>> {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let instr2 = instr.clone();
+    b.func("op", params.clone(), vec![result], move |f| {
+        for i in 0..params.len() as u32 {
+            f.local_get(i);
+        }
+        f.emit(instr2.clone());
+    });
+    let module = b.finish();
+    wasm_engine::validate_module(&module).unwrap();
+    Tier::ALL
+        .iter()
+        .map(|&tier| {
+            let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+            let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+            inst.invoke("op", args).map(|mut v| v.remove(0))
+        })
+        .collect()
+}
+
+fn assert_all(results: Vec<Result<Value, Trap>>, expected: Result<Value, Trap>) {
+    for (tier, r) in Tier::ALL.iter().zip(results) {
+        match (&r, &expected) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "tier {tier}"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "tier {tier}"),
+            _ => panic!("tier {tier}: got {r:?}, expected {expected:?}"),
+        }
+    }
+}
+
+fn i32_bin(instr: Instr, a: i32, b: i32) -> Vec<Result<Value, Trap>> {
+    run_op(
+        vec![ValType::I32, ValType::I32],
+        ValType::I32,
+        instr,
+        &[Value::I32(a), Value::I32(b)],
+    )
+}
+
+fn i64_bin(instr: Instr, a: i64, b: i64) -> Vec<Result<Value, Trap>> {
+    run_op(
+        vec![ValType::I64, ValType::I64],
+        ValType::I64,
+        instr,
+        &[Value::I64(a), Value::I64(b)],
+    )
+}
+
+#[test]
+fn i32_arithmetic_wraps() {
+    assert_all(i32_bin(Instr::I32Add, i32::MAX, 1), Ok(Value::I32(i32::MIN)));
+    assert_all(i32_bin(Instr::I32Sub, i32::MIN, 1), Ok(Value::I32(i32::MAX)));
+    assert_all(i32_bin(Instr::I32Mul, 0x4000_0000, 4), Ok(Value::I32(0)));
+}
+
+#[test]
+fn i32_division_edge_cases() {
+    assert_all(i32_bin(Instr::I32DivS, 7, -2), Ok(Value::I32(-3)));
+    assert_all(i32_bin(Instr::I32DivS, 1, 0), Err(Trap::IntegerDivideByZero));
+    assert_all(i32_bin(Instr::I32DivS, i32::MIN, -1), Err(Trap::IntegerOverflow));
+    assert_all(i32_bin(Instr::I32RemS, i32::MIN, -1), Ok(Value::I32(0)));
+    assert_all(i32_bin(Instr::I32DivU, -2, 3), Ok(Value::I32(((u32::MAX - 1) / 3) as i32)));
+    assert_all(i32_bin(Instr::I32RemU, 10, 0), Err(Trap::IntegerDivideByZero));
+}
+
+#[test]
+fn i64_division_edge_cases() {
+    assert_all(i64_bin(Instr::I64DivS, i64::MIN, -1), Err(Trap::IntegerOverflow));
+    assert_all(i64_bin(Instr::I64RemS, i64::MIN, -1), Ok(Value::I64(0)));
+    assert_all(i64_bin(Instr::I64DivU, -1, 2), Ok(Value::I64((u64::MAX / 2) as i64)));
+}
+
+#[test]
+fn shifts_mask_their_count() {
+    assert_all(i32_bin(Instr::I32Shl, 1, 33), Ok(Value::I32(2)));
+    assert_all(i32_bin(Instr::I32ShrU, i32::MIN, 31), Ok(Value::I32(1)));
+    assert_all(i32_bin(Instr::I32ShrS, i32::MIN, 31), Ok(Value::I32(-1)));
+    assert_all(i64_bin(Instr::I64Shl, 1, 65), Ok(Value::I64(2)));
+    assert_all(i32_bin(Instr::I32Rotl, 0x8000_0001u32 as i32, 1), Ok(Value::I32(3)));
+    assert_all(i32_bin(Instr::I32Rotr, 3, 1), Ok(Value::I32(0x8000_0001u32 as i32)));
+}
+
+#[test]
+fn count_instructions() {
+    let unop = |instr: Instr, v: i32| {
+        run_op(vec![ValType::I32], ValType::I32, instr, &[Value::I32(v)])
+    };
+    assert_all(unop(Instr::I32Clz, 1), Ok(Value::I32(31)));
+    assert_all(unop(Instr::I32Clz, 0), Ok(Value::I32(32)));
+    assert_all(unop(Instr::I32Ctz, 0x10), Ok(Value::I32(4)));
+    assert_all(unop(Instr::I32Popcnt, -1), Ok(Value::I32(32)));
+}
+
+#[test]
+fn float_min_max_nan_semantics() {
+    let f64_bin = |instr: Instr, a: f64, b: f64| {
+        run_op(
+            vec![ValType::F64, ValType::F64],
+            ValType::F64,
+            instr,
+            &[Value::F64(a), Value::F64(b)],
+        )
+    };
+    for r in f64_bin(Instr::F64Min, f64::NAN, 1.0) {
+        assert!(r.unwrap().as_f64().unwrap().is_nan());
+    }
+    for r in f64_bin(Instr::F64Min, -0.0, 0.0) {
+        assert!(r.unwrap().as_f64().unwrap().is_sign_negative());
+    }
+    for r in f64_bin(Instr::F64Max, -0.0, 0.0) {
+        assert!(r.unwrap().as_f64().unwrap().is_sign_positive());
+    }
+    assert_all(f64_bin(Instr::F64Copysign, 3.0, -1.0), Ok(Value::F64(-3.0)));
+}
+
+#[test]
+fn float_nearest_rounds_to_even() {
+    let unop = |v: f64| {
+        run_op(vec![ValType::F64], ValType::F64, Instr::F64Nearest, &[Value::F64(v)])
+    };
+    assert_all(unop(2.5), Ok(Value::F64(2.0)));
+    assert_all(unop(3.5), Ok(Value::F64(4.0)));
+    assert_all(unop(-0.5), Ok(Value::F64(-0.0)));
+}
+
+#[test]
+fn truncation_traps_on_nan_and_overflow() {
+    let t = |v: f64| {
+        run_op(vec![ValType::F64], ValType::I32, Instr::I32TruncF64S, &[Value::F64(v)])
+    };
+    assert_all(t(3.99), Ok(Value::I32(3)));
+    assert_all(t(-3.99), Ok(Value::I32(-3)));
+    assert_all(t(f64::NAN), Err(Trap::InvalidConversionToInteger));
+    assert_all(t(3e9), Err(Trap::IntegerOverflow));
+    assert_all(t(-2147483648.9), Ok(Value::I32(i32::MIN)));
+
+    let tu = |v: f64| {
+        run_op(vec![ValType::F64], ValType::I32, Instr::I32TruncF64U, &[Value::F64(v)])
+    };
+    assert_all(tu(4294967295.0), Ok(Value::I32(-1)));
+    assert_all(tu(-0.5), Ok(Value::I32(0)));
+    assert_all(tu(-1.0), Err(Trap::IntegerOverflow));
+}
+
+#[test]
+fn conversions_and_reinterpretations() {
+    let conv = |instr: Instr, arg: Value, from: ValType, to: ValType| {
+        run_op(vec![from], to, instr, &[arg])
+    };
+    assert_all(
+        conv(Instr::I64ExtendI32U, Value::I32(-1), ValType::I32, ValType::I64),
+        Ok(Value::I64(0xFFFF_FFFF)),
+    );
+    assert_all(
+        conv(Instr::I64ExtendI32S, Value::I32(-1), ValType::I32, ValType::I64),
+        Ok(Value::I64(-1)),
+    );
+    assert_all(
+        conv(Instr::F64ConvertI32U, Value::I32(-1), ValType::I32, ValType::F64),
+        Ok(Value::F64(4294967295.0)),
+    );
+    assert_all(
+        conv(Instr::I32ReinterpretF32, Value::F32(1.0), ValType::F32, ValType::I32),
+        Ok(Value::I32(0x3f80_0000)),
+    );
+    assert_all(
+        conv(Instr::F64ReinterpretI64, Value::I64(0), ValType::I64, ValType::F64),
+        Ok(Value::F64(0.0)),
+    );
+    assert_all(
+        conv(Instr::I32Extend8S, Value::I32(0x80), ValType::I32, ValType::I32),
+        Ok(Value::I32(-128)),
+    );
+    assert_all(
+        conv(Instr::I64Extend32S, Value::I64(0x8000_0000), ValType::I64, ValType::I64),
+        Ok(Value::I64(i64::from(i32::MIN))),
+    );
+}
+
+#[test]
+fn simd_lane_arithmetic() {
+    // (a + b) with f64x2 splats, extracting both lanes.
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    b.func("lanes", vec![ValType::F64, ValType::F64], vec![ValType::F64], |f| {
+        f.local_get(0).f64x2_splat();
+        f.local_get(1).f64x2_splat();
+        f.f64x2_mul();
+        f.f64x2_extract_lane(1);
+    });
+    let module = b.finish();
+    for tier in Tier::ALL {
+        let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        let out = inst.invoke("lanes", &[Value::F64(3.0), Value::F64(4.0)]).unwrap();
+        assert_eq!(out, vec![Value::F64(12.0)], "tier {tier}");
+    }
+}
+
+#[test]
+fn memory_grow_and_size_through_tiers() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(3));
+    b.func("grow", vec![ValType::I32], vec![ValType::I32], |f| {
+        f.local_get(0).memory_grow().drop().memory_size();
+    });
+    let module = b.finish();
+    for tier in Tier::ALL {
+        let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        assert_eq!(inst.invoke("grow", &[Value::I32(1)]).unwrap(), vec![Value::I32(2)]);
+        // Past the max: grow fails (-1) and size is unchanged.
+        assert_eq!(inst.invoke("grow", &[Value::I32(9)]).unwrap(), vec![Value::I32(2)]);
+    }
+}
+
+#[test]
+fn call_indirect_dispatch_and_type_mismatch() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f0 = b.func("ten", vec![], vec![ValType::I32], |f| {
+        f.i32_const(10);
+    });
+    let f1 = b.func("double_it", vec![], vec![ValType::F64], |f| {
+        f.f64_const(1.5);
+    });
+    let sig_i32 = b.type_idx(wasm_engine::FuncType::new(vec![], vec![ValType::I32]));
+    b.table(vec![f0, f1]);
+    b.func("dispatch", vec![ValType::I32], vec![ValType::I32], move |f| {
+        f.local_get(0).call_indirect(sig_i32);
+    });
+    let module = b.finish();
+    for tier in Tier::ALL {
+        let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        assert_eq!(inst.invoke("dispatch", &[Value::I32(0)]).unwrap(), vec![Value::I32(10)]);
+        // Slot 1 holds a () -> f64 function: signature mismatch traps.
+        assert_eq!(
+            inst.invoke("dispatch", &[Value::I32(1)]).unwrap_err(),
+            Trap::IndirectCallTypeMismatch,
+            "tier {tier}"
+        );
+        // Out-of-range slot.
+        assert_eq!(
+            inst.invoke("dispatch", &[Value::I32(7)]).unwrap_err(),
+            Trap::UndefinedTableElement { index: 7 }
+        );
+    }
+}
+
+#[test]
+fn recursion_exhausts_call_depth_cleanly() {
+    // Debug-build interpreter frames are large; give the guest room so
+    // the engine's own depth limit fires first.
+    let handle = std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(recursion_body)
+        .unwrap();
+    handle.join().unwrap();
+}
+
+fn recursion_body() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let rec = b.reserve_func(vec![ValType::I32], vec![ValType::I32]);
+    b.define_reserved(rec, |f| {
+        // Unconditional self-recursion.
+        f.local_get(0).i32_const(1).i32_add().call(rec);
+    });
+    b.export_func("rec", rec);
+    let module = b.finish();
+    for tier in Tier::ALL {
+        let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        assert_eq!(
+            inst.invoke("rec", &[Value::I32(0)]).unwrap_err(),
+            Trap::StackExhausted,
+            "tier {tier}"
+        );
+    }
+}

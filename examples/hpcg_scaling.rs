@@ -1,0 +1,51 @@
+//! HPCG through the whole stack: build the CG guest, verify it against
+//! the native solver bit-for-bit, then run a weak-scaling sweep under
+//! simulated time — the workflow behind the paper's Figures 4f and 5c.
+//!
+//! ```sh
+//! cargo run --release --example hpcg_scaling
+//! ```
+
+use hpc_benchmarks::hpcg::{build_guest, run_native, HpcgParams};
+use mpi_substrate::{run_world, run_world_with, ClockMode};
+use mpiwasm::{JobConfig, Runner};
+use netsim::{CostModel, SystemProfile};
+
+fn main() {
+    let params = HpcgParams { nx: 8, ny: 8, nz: 8, iters: 8 };
+
+    // 1. Correctness: guest and native produce the same residual history.
+    let native = run_world(2, move |comm| run_native(&comm, params));
+    let wasm_bytes = build_guest(params);
+    let result = Runner::new()
+        .run(&wasm_bytes, JobConfig { np: 2, ..Default::default() })
+        .expect("run");
+    assert!(result.success());
+    let guest_rr = result.ranks[0].reports.iter().find(|(k, _)| *k == 1).unwrap().1;
+    println!(
+        "residual reduction after {} CG iterations: native {:.3e}, wasm {:.3e}",
+        params.iters, native[0].1, guest_rr
+    );
+    assert!((guest_rr - native[0].1).abs() < 1e-9);
+
+    // 2. Weak scaling under the Graviton2 model: executed rank threads
+    //    with virtual clocks; MPI time is simulated, semantics are real.
+    let profile = SystemProfile::graviton2();
+    println!("\nweak scaling on the {} model:", profile.name);
+    println!("{:>6} {:>18} {:>14}", "ranks", "virtual time (ms)", "GFLOP/s (comm-only model)");
+    for np in [1u32, 2, 4, 8] {
+        let mode = ClockMode::Virtual(CostModel::native(profile.clone()));
+        let out = run_world_with(np, mode, move |comm| {
+            run_native(&comm, params);
+            comm.virtual_time_us()
+        });
+        let t_us = out.into_iter().fold(0.0f64, f64::max);
+        let flops = params.flops_per_iter() * params.iters as f64 * np as f64;
+        println!(
+            "{np:>6} {:>18.3} {:>14.3}",
+            t_us / 1e3,
+            flops / ((t_us.max(1.0)) * 1e-6) / 1e9 / 1e3
+        );
+    }
+    println!("\nhpcg_scaling OK");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the MPIWasm reproduction stack.
+pub use hpc_benchmarks as benchmarks;
+pub use mpi_substrate as mpi;
+pub use mpiwasm as embedder;
+pub use netsim;
+pub use wasi_layer as wasi;
+pub use wasm_engine as wasm;

@@ -1,0 +1,235 @@
+//! Property-based tests over the whole stack:
+//!
+//! * random arithmetic programs evaluate identically on every execution
+//!   tier and match a reference evaluation in Rust (differential testing
+//!   of the interpreter vs the optimizing tiers vs ground truth),
+//! * encode→decode round-trips arbitrary built modules,
+//! * cache artifacts round-trip arbitrary compiled modules,
+//! * collectives match sequential oracles on random inputs,
+//! * the sandbox never lets a random (pointer, length) pair escape memory.
+
+use proptest::prelude::*;
+
+use mpi_substrate::{run_world, Datatype, ReduceOp};
+use wasm_engine::dsl::{self, Expr};
+use wasm_engine::runtime::{CompiledModule, Linker, Value};
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder, Tier};
+
+/// A reference-evaluatable arithmetic expression over two i32 inputs.
+#[derive(Debug, Clone)]
+enum Ast {
+    X,
+    Y,
+    Const(i32),
+    Add(Box<Ast>, Box<Ast>),
+    Sub(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    Xor(Box<Ast>, Box<Ast>),
+    Select(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+impl Ast {
+    fn eval(&self, x: i32, y: i32) -> i32 {
+        match self {
+            Ast::X => x,
+            Ast::Y => y,
+            Ast::Const(c) => *c,
+            Ast::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
+            Ast::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
+            Ast::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
+            Ast::And(a, b) => a.eval(x, y) & b.eval(x, y),
+            Ast::Or(a, b) => a.eval(x, y) | b.eval(x, y),
+            Ast::Xor(a, b) => a.eval(x, y) ^ b.eval(x, y),
+            Ast::Select(c, a, b) => {
+                if c.eval(x, y) != 0 {
+                    a.eval(x, y)
+                } else {
+                    b.eval(x, y)
+                }
+            }
+        }
+    }
+
+    fn to_dsl(&self) -> Expr {
+        match self {
+            Ast::X => dsl::local(0, ValType::I32).get(),
+            Ast::Y => dsl::local(1, ValType::I32).get(),
+            Ast::Const(c) => dsl::int(*c),
+            Ast::Add(a, b) => a.to_dsl() + b.to_dsl(),
+            Ast::Sub(a, b) => a.to_dsl() - b.to_dsl(),
+            Ast::Mul(a, b) => a.to_dsl() * b.to_dsl(),
+            Ast::And(a, b) => a.to_dsl().and(b.to_dsl()),
+            Ast::Or(a, b) => a.to_dsl().or(b.to_dsl()),
+            Ast::Xor(a, b) => a.to_dsl().xor(b.to_dsl()),
+            Ast::Select(c, a, b) => dsl::select(c.to_dsl().ne(dsl::int(0)), a.to_dsl(), b.to_dsl()),
+        }
+    }
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        Just(Ast::X),
+        Just(Ast::Y),
+        any::<i32>().prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
+                Ast::Select(c.into(), a.into(), b.into())
+            }),
+        ]
+    })
+}
+
+fn compile_ast(ast: &Ast) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let expr = ast.to_dsl();
+    b.func("f", vec![ValType::I32, ValType::I32], vec![ValType::I32], move |f| {
+        dsl::emit_block(f, &[dsl::ret(Some(expr.clone()))]);
+    });
+    encode_module(&b.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential execution: all three tiers agree with ground truth.
+    #[test]
+    fn tiers_agree_with_reference(ast in ast_strategy(), x in any::<i32>(), y in any::<i32>()) {
+        let wasm = compile_ast(&ast);
+        let module = wasm_engine::decode_module(&wasm).unwrap();
+        wasm_engine::validate_module(&module).unwrap();
+        let expected = ast.eval(x, y);
+        for tier in Tier::ALL {
+            let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+            let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+            let out = inst.invoke("f", &[Value::I32(x), Value::I32(y)]).unwrap();
+            prop_assert_eq!(out[0], Value::I32(expected), "tier {}", tier);
+        }
+    }
+
+    /// Binary round-trip: decode(encode(m)) == m for generated modules.
+    #[test]
+    fn encode_decode_roundtrip(ast in ast_strategy()) {
+        let wasm = compile_ast(&ast);
+        let module = wasm_engine::decode_module(&wasm).unwrap();
+        let re = encode_module(&module);
+        prop_assert_eq!(&wasm, &re, "re-encoding must be stable");
+        let module2 = wasm_engine::decode_module(&re).unwrap();
+        prop_assert_eq!(module, module2);
+    }
+
+    /// Cache artifacts round-trip and execute identically.
+    #[test]
+    fn artifact_roundtrip_executes(ast in ast_strategy(), x in -1000i32..1000, y in -1000i32..1000) {
+        let wasm = compile_ast(&ast);
+        let module = wasm_engine::decode_module(&wasm).unwrap();
+        let compiled = CompiledModule::compile(module, Tier::Max).unwrap();
+        let artifact = mpiwasm::cache::store_artifact(&wasm, &compiled);
+        let loaded = mpiwasm::cache::load_artifact(&artifact).unwrap();
+        let run = |c: &CompiledModule| {
+            let mut inst = Linker::new().instantiate(c, Box::new(())).unwrap();
+            inst.invoke("f", &[Value::I32(x), Value::I32(y)]).unwrap()[0]
+        };
+        prop_assert_eq!(run(&compiled), run(&loaded));
+    }
+
+    /// Truncated or bit-flipped binaries never panic the decoder: they
+    /// decode, fail validation, or return an error.
+    #[test]
+    fn decoder_is_total(ast in ast_strategy(), cut in 0usize..100, flip in 0usize..100) {
+        let mut wasm = compile_ast(&ast);
+        let cut_at = 8 + (cut * wasm.len().saturating_sub(8)) / 100;
+        wasm.truncate(cut_at.max(8));
+        if !wasm.is_empty() {
+            let idx = flip % wasm.len();
+            wasm[idx] ^= 0x55;
+        }
+        // Must not panic; errors are fine.
+        if let Ok(m) = wasm_engine::decode_module(&wasm) {
+            let _ = wasm_engine::validate_module(&m);
+        }
+    }
+
+    /// Random guest pointers can never escape linear memory.
+    #[test]
+    fn sandbox_bounds_hold(addr in any::<u32>(), len in any::<u32>()) {
+        let mem = wasm_engine::runtime::Memory::new(wasm_engine::types::Limits::new(2, Some(2)));
+        match mem.slice(addr, len) {
+            Ok(s) => {
+                prop_assert!(addr as u64 + len as u64 <= mem.size_bytes() as u64);
+                prop_assert_eq!(s.len(), len as usize);
+            }
+            Err(_) => {
+                prop_assert!(addr as u64 + len as u64 > mem.size_bytes() as u64);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Allreduce equals the sequential oracle on random doubles at random
+    /// world sizes.
+    #[test]
+    fn allreduce_matches_oracle(
+        p in 1u32..6,
+        values in proptest::collection::vec(-1e6f64..1e6, 4),
+        op_idx in 0usize..3,
+    ) {
+        let ops = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min];
+        let op = ops[op_idx];
+        let vals = values.clone();
+        let out = run_world(p, move |comm| {
+            let mine: Vec<f64> =
+                vals.iter().map(|v| v + comm.rank() as f64).collect();
+            let send: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut recv = vec![0u8; send.len()];
+            comm.allreduce(&send, &mut recv, Datatype::Double, op).unwrap();
+            recv.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<f64>>()
+        });
+        // Oracle.
+        for (i, base) in values.iter().enumerate() {
+            let contributions: Vec<f64> = (0..p).map(|r| base + r as f64).collect();
+            let expected = match op {
+                ReduceOp::Sum => contributions.iter().sum::<f64>(),
+                ReduceOp::Max => contributions.iter().cloned().fold(f64::MIN, f64::max),
+                _ => contributions.iter().cloned().fold(f64::MAX, f64::min),
+            };
+            for rank_out in &out {
+                prop_assert!((rank_out[i] - expected).abs() < 1e-6,
+                    "elem {i}: {} vs {expected}", rank_out[i]);
+            }
+        }
+    }
+
+    /// Alltoall is an exact transpose for random block contents.
+    #[test]
+    fn alltoall_transposes(p in 1u32..6, seed in any::<u64>()) {
+        let out = run_world(p, move |comm| {
+            let p = comm.size();
+            let me = comm.rank();
+            let block = |from: u32, to: u32| -> u8 {
+                (seed as u8).wrapping_add((from * 31 + to * 7) as u8)
+            };
+            let send: Vec<u8> = (0..p).map(|to| block(me, to)).collect();
+            let mut recv = vec![0u8; p as usize];
+            comm.alltoall(&send, &mut recv).unwrap();
+            (0..p).all(|from| recv[from as usize] == block(from, me))
+        });
+        prop_assert!(out.into_iter().all(|ok| ok));
+    }
+}
