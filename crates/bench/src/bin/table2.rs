@@ -14,12 +14,10 @@
 use hpc_benchmarks::{hpcg, imb, ior, npb_dt, npb_is};
 use mpiwasm::cache::store_artifact;
 use mpiwasm_bench::write_csv;
-use rayon::prelude::*;
 use wasm_engine::runtime::CompiledModule;
 use wasm_engine::Tier;
 
 fn main() {
-    // Module builds are independent; build them in parallel.
     let builders: Vec<(&str, fn() -> Vec<u8>)> = vec![
         ("Intel MPI Benchmarks", || {
             imb::build_guest(
@@ -38,7 +36,7 @@ fn main() {
         }),
     ];
     let apps: Vec<(&str, Vec<u8>)> =
-        builders.into_par_iter().map(|(name, build)| (name, build())).collect();
+        builders.into_iter().map(|(name, build)| (name, build())).collect();
 
     let runtime_image = std::env::current_exe()
         .and_then(std::fs::metadata)

@@ -1,12 +1,10 @@
 //! Machine models: the systems of the paper's §4.1 as parameter sets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// Parameters describing one evaluation system: topology plus link and
 /// software constants for the α–β cost models.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemProfile {
     /// Human-readable name used in harness output.
     pub name: String,

@@ -1,0 +1,59 @@
+//! Minimal `crossbeam::channel` shim over `std::sync::mpsc` (the build
+//! container has no registry access). Only the unbounded-channel subset
+//! the workspace uses is provided.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+    // std's Receiver is !Sync; crossbeam's is Sync. Serialize access through
+    // a mutex so receiver handles can be shared the way crossbeam allows.
+    pub struct Receiver<T>(std::sync::Mutex<mpsc::Receiver<T>>);
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(std::sync::Mutex::new(rx)))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("receiver poisoned").recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("receiver poisoned").try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7).unwrap());
+            assert_eq!(rx.recv().unwrap(), 7);
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

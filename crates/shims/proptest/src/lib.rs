@@ -1,0 +1,501 @@
+//! Minimal `proptest` shim: deterministic property-based testing without
+//! shrinking. The build container has no registry access, so this crate
+//! implements exactly the API surface the workspace's tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) {..} }`
+//! * strategies: integer/float ranges, `any::<T>()`, `Just`, tuples,
+//!   `prop_oneof!`, `.prop_map`, `.prop_recursive`, `collection::vec`,
+//!   `array::uniform4`
+//! * assertions: `prop_assert!`, `prop_assert_eq!`
+//!
+//! Each run explores fresh inputs (time-derived entropy mixed with the
+//! test name); a failure prints the `PROPTEST_SEED` value that pins the
+//! run for reproduction. There is no shrinking: the failing case's inputs
+//! are printed instead.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// --- RNG ---------------------------------------------------------------
+
+/// SplitMix64: small, fast, deterministic.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from the test name so each property gets an
+    /// independent, reproducible stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        TestRng { state: Self::name_hash(name) }
+    }
+
+    fn name_hash(name: &str) -> u64 {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        seed
+    }
+
+    /// Per-test-run RNG: explores fresh inputs on every run (time-derived
+    /// entropy mixed with the test name) unless `PROPTEST_SEED` pins the
+    /// run. Returns the rng and the value to export as `PROPTEST_SEED`
+    /// to reproduce this exact run.
+    pub fn for_test(name: &str) -> (TestRng, u64) {
+        let entropy = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => {
+                let v = v.trim();
+                v.strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .expect("PROPTEST_SEED must be a u64 (decimal or 0x-hex)")
+            }
+            Err(_) => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
+        };
+        (TestRng { state: Self::name_hash(name) ^ entropy }, entropy)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// --- errors ------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+// --- config ------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+// --- Strategy ----------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + Send + Sync + 'static,
+        F: Fn(Self::Value) -> O + Send + Sync + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| f(self.generate(rng))))
+    }
+
+    /// Recursive strategies, depth-bounded. `recurse` receives a strategy
+    /// producing either a leaf or a shallower recursive value; applying it
+    /// `depth` times bounds tree height.
+    fn prop_recursive<F, S>(self, depth: u32, _desired_size: u32, _items: u32, recurse: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + Send + Sync + 'static,
+    {
+        let mut strat = self.boxed();
+        let leaf = strat.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat.clone()).boxed();
+            let leaf = leaf.clone();
+            // Mix in leaves at every level so generated sizes vary.
+            strat = BoxedStrategy(Arc::new(move |rng| {
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        strat
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Uniform choice among alternatives (the engine behind `prop_oneof!`).
+    pub fn union(alternatives: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!alternatives.is_empty());
+        BoxedStrategy(Arc::new(move |rng| {
+            let i = rng.below(alternatives.len() as u64) as usize;
+            alternatives[i].generate(rng)
+        }))
+    }
+}
+
+// --- primitive strategies ----------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+// --- collections --------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Anything `vec()` accepts as a length: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::*;
+
+    pub struct Uniform4<S>(S);
+
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+// --- macros -------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), a, b, file!(), line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let (mut rng, seed) =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let desc = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));
+                        )+
+                        s
+                    };
+                    let inputs = desc();
+                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!(
+                            "proptest case {case} failed: {e}\ninputs:\n{inputs}\
+                             set PROPTEST_SEED={seed} to reproduce this run"
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&v));
+            let u = Strategy::generate(&(0usize..3), &mut rng);
+            assert!(u < 3);
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::deterministic("vecs");
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0i32..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = Strategy::generate(&crate::collection::vec(0i32..10, 4), &mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i32..10).prop_map(T::Leaf).prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+        });
+        let mut rng = crate::TestRng::deterministic("rec");
+        for _ in 0..200 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0i32..100, y in any::<u8>()) {
+            prop_assert!(x < 100, "x was {x}");
+            prop_assert_eq!(x + y as i32, y as i32 + x);
+        }
+    }
+}
