@@ -1,0 +1,75 @@
+//! Per-tier execution benchmark over the hpcg and npb_is kernels,
+//! emitting `BENCH_tiers.json` so successive engine changes have a
+//! recorded perf trajectory to compare against.
+//!
+//! Usage: `bench_tiers [out.json]` (default `BENCH_tiers.json`). Each
+//! kernel runs single-rank through the full embedder (compile once, then
+//! repeated runs); the reported figure is the best-of-N wall-clock
+//! nanoseconds per run, which is the stable measure on shared CI boxes.
+
+use std::time::Instant;
+
+use hpc_benchmarks::{hpcg, npb_is};
+use mpiwasm::{JobConfig, Runner};
+use wasm_engine::Tier;
+
+struct Kernel {
+    name: &'static str,
+    wasm: Vec<u8>,
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "hpcg",
+            wasm: hpcg::build_guest(hpcg::HpcgParams { nx: 8, ny: 8, nz: 8, iters: 3 }),
+        },
+        Kernel {
+            name: "npb_is",
+            wasm: npb_is::build_guest(npb_is::IsParams {
+                keys_per_rank: 16384,
+                max_key: 1 << 12,
+                iters: 2,
+            }),
+        },
+    ]
+}
+
+fn bench_one(runner: &Runner, wasm: &[u8], tier: Tier) -> u64 {
+    let (compiled, _) = runner.prepare(wasm, tier).expect("compile");
+    let run = || {
+        let t0 = Instant::now();
+        let result = runner
+            .run_compiled(&compiled, JobConfig { np: 1, tier, ..Default::default() })
+            .expect("run");
+        assert!(result.success(), "{:?}", result.ranks[0].error);
+        t0.elapsed().as_nanos() as u64
+    };
+    run(); // warmup
+    let reps = if tier == Tier::Baseline { 3 } else { 5 };
+    (0..reps).map(|_| run()).min().unwrap()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_tiers.json".into());
+    let runner = Runner::new();
+    let mut lines = Vec::new();
+    for k in kernels() {
+        for tier in Tier::ALL {
+            let ns = bench_one(&runner, &k.wasm, tier);
+            let tier_key = match tier {
+                Tier::Baseline => "baseline",
+                Tier::Optimizing => "optimizing",
+                Tier::Max => "max",
+            };
+            println!("{:>8} {:<10} {:>12} ns/op", k.name, tier_key, ns);
+            lines.push(format!(
+                "  {{\"kernel\": \"{}\", \"tier\": \"{}\", \"ns_per_op\": {}}}",
+                k.name, tier_key, ns
+            ));
+        }
+    }
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+}

@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use wasm_engine::decode::decode_module;
 use wasm_engine::encode::encode_instr;
 use wasm_engine::interp::SideTable;
-use wasm_engine::ir::{Dest, FlatFunc, Op};
+use wasm_engine::ir::{Cmp, Dest, FlatFunc, Op};
 use wasm_engine::leb128::{self, Reader};
 use wasm_engine::runtime::CompiledModule;
 use wasm_engine::tier::{CompiledBody, Tier};
@@ -23,7 +23,11 @@ use wasm_engine::types::ValType;
 use crate::hash::{sha256, to_hex, Sha256};
 
 const MAGIC: &[u8; 4] = b"MWAC";
-const VERSION: u8 = 1;
+// Version history:
+//  1 — enum-tagged Value engine, superinstruction set through F64AddL.
+//  2 — untyped-slot IR: Drop2/Select2, shift/indexed-load and
+//      compare-and-branch superinstructions; slot-unit Dest heights.
+const VERSION: u8 = 2;
 
 /// A filesystem-backed compiled-module cache.
 pub struct ModuleCache {
@@ -184,9 +188,19 @@ pub fn load_artifact(bytes: &[u8]) -> Result<CompiledModule, String> {
                     .functions
                     .get(i)
                     .ok_or("body count exceeds function count")?;
-                bodies.push(CompiledBody::Interp(SideTable::build(&func.body)));
+                bodies.push(CompiledBody::Interp(SideTable::build(&module, func)));
             }
-            1 => bodies.push(CompiledBody::Flat(deserialize_flat(&mut r)?)),
+            1 => {
+                let mut f = deserialize_flat(&mut r)?;
+                let func = module
+                    .functions
+                    .get(i)
+                    .ok_or("body count exceeds function count")?;
+                // Artifacts store the portable op form; the dense
+                // executable stream is rebuilt at load time.
+                f.finalize(&module, func);
+                bodies.push(CompiledBody::Flat(f));
+            }
             b => return Err(format!("bad body tag {b}")),
         }
     }
@@ -285,14 +299,16 @@ fn serialize_op(out: &mut Vec<u8>, op: &Op) {
             leb128::write_u32(out, *a as u32);
             leb128::write_i32(out, *k);
         }
-        Op::F64LoadL { local, offset } => {
+        Op::F64LoadL { local, bias, offset } => {
             out.push(16);
             leb128::write_u32(out, *local as u32);
+            leb128::write_i32(out, *bias);
             leb128::write_u32(out, *offset);
         }
-        Op::I32LoadL { local, offset } => {
+        Op::I32LoadL { local, bias, offset } => {
             out.push(17);
             leb128::write_u32(out, *local as u32);
+            leb128::write_i32(out, *bias);
             leb128::write_u32(out, *offset);
         }
         Op::F64StoreLL { addr, val, offset } => {
@@ -309,7 +325,85 @@ fn serialize_op(out: &mut Vec<u8>, op: &Op) {
             out.push(20);
             leb128::write_u32(out, *a as u32);
         }
+        Op::Drop2 => out.push(21),
+        Op::Select2 => out.push(22),
+        Op::I32ShlLK(a, k) => {
+            out.push(23);
+            leb128::write_u32(out, *a as u32);
+            out.push(*k);
+        }
+        Op::I32AddK(k) => {
+            out.push(24);
+            leb128::write_i32(out, *k);
+        }
+        Op::I32AddShlLL { base, idx, shift } => {
+            out.push(25);
+            leb128::write_u32(out, *base as u32);
+            leb128::write_u32(out, *idx as u32);
+            out.push(*shift);
+        }
+        Op::F64LoadLSh { base, idx, shift, offset } => {
+            out.push(26);
+            leb128::write_u32(out, *base as u32);
+            leb128::write_u32(out, *idx as u32);
+            out.push(*shift);
+            leb128::write_u32(out, *offset);
+        }
+        Op::I32LoadLSh { base, idx, shift, offset } => {
+            out.push(27);
+            leb128::write_u32(out, *base as u32);
+            leb128::write_u32(out, *idx as u32);
+            out.push(*shift);
+            leb128::write_u32(out, *offset);
+        }
+        Op::F64LoadShlK { idx, shift, bias, offset } => {
+            out.push(28);
+            leb128::write_u32(out, *idx as u32);
+            out.push(*shift);
+            leb128::write_i32(out, *bias);
+            leb128::write_u32(out, *offset);
+        }
+        Op::I32LoadShlK { idx, shift, bias, offset } => {
+            out.push(29);
+            leb128::write_u32(out, *idx as u32);
+            out.push(*shift);
+            leb128::write_i32(out, *bias);
+            leb128::write_u32(out, *offset);
+        }
+        Op::F64MulAdd => out.push(30),
+        Op::BrIfCmpLL { cmp, a, b, dest } => {
+            out.push(31);
+            out.push(cmp.to_byte());
+            leb128::write_u32(out, *a as u32);
+            leb128::write_u32(out, *b as u32);
+            write_dest(out, dest);
+        }
+        Op::BrIfCmpLK { cmp, a, k, dest } => {
+            out.push(32);
+            out.push(cmp.to_byte());
+            leb128::write_u32(out, *a as u32);
+            leb128::write_i32(out, *k);
+            write_dest(out, dest);
+        }
+        Op::BrIfCmp { cmp, dest } => {
+            out.push(33);
+            out.push(cmp.to_byte());
+            write_dest(out, dest);
+        }
+        Op::BrIfEqz(d) => {
+            out.push(34);
+            write_dest(out, d);
+        }
     }
+}
+
+fn read_cmp(r: &mut Reader<'_>) -> Result<Cmp, String> {
+    let b = r.read_u8().map_err(|e| e.to_string())?;
+    Cmp::from_byte(b).ok_or_else(|| format!("bad cmp byte {b}"))
+}
+
+fn read_shift(r: &mut Reader<'_>) -> Result<u8, String> {
+    r.read_u8().map_err(|e| e.to_string())
 }
 
 fn read_dest(r: &mut Reader<'_>) -> Result<Dest, String> {
@@ -364,7 +458,9 @@ fn deserialize_flat(r: &mut Reader<'_>) -> Result<FlatFunc, String> {
             }
             6 => Op::Return,
             7 => Op::Unreachable,
-            8 => Op::Nop,
+            // Tag 8 (Nop) is never emitted: compact_nops strips Nops
+            // before serialization, so its presence means corruption.
+            8 => return Err("unexpected nop op in artifact".into()),
             9 => Op::I32AddLL(read_u16(r)?, read_u16(r)?),
             10 => Op::I64AddLL(read_u16(r)?, read_u16(r)?),
             11 => Op::F64AddLL(read_u16(r)?, read_u16(r)?),
@@ -374,10 +470,12 @@ fn deserialize_flat(r: &mut Reader<'_>) -> Result<FlatFunc, String> {
             15 => Op::I32IncL(read_u16(r)?, r.read_i32().map_err(|e| e.to_string())?),
             16 => Op::F64LoadL {
                 local: read_u16(r)?,
+                bias: r.read_i32().map_err(|e| e.to_string())?,
                 offset: r.read_u32().map_err(|e| e.to_string())?,
             },
             17 => Op::I32LoadL {
                 local: read_u16(r)?,
+                bias: r.read_i32().map_err(|e| e.to_string())?,
                 offset: r.read_u32().map_err(|e| e.to_string())?,
             },
             18 => Op::F64StoreLL {
@@ -387,11 +485,55 @@ fn deserialize_flat(r: &mut Reader<'_>) -> Result<FlatFunc, String> {
             },
             19 => Op::F64MulL(read_u16(r)?),
             20 => Op::F64AddL(read_u16(r)?),
+            21 => Op::Drop2,
+            22 => Op::Select2,
+            23 => Op::I32ShlLK(read_u16(r)?, read_shift(r)?),
+            24 => Op::I32AddK(r.read_i32().map_err(|e| e.to_string())?),
+            25 => Op::I32AddShlLL { base: read_u16(r)?, idx: read_u16(r)?, shift: read_shift(r)? },
+            26 => Op::F64LoadLSh {
+                base: read_u16(r)?,
+                idx: read_u16(r)?,
+                shift: read_shift(r)?,
+                offset: r.read_u32().map_err(|e| e.to_string())?,
+            },
+            27 => Op::I32LoadLSh {
+                base: read_u16(r)?,
+                idx: read_u16(r)?,
+                shift: read_shift(r)?,
+                offset: r.read_u32().map_err(|e| e.to_string())?,
+            },
+            28 => Op::F64LoadShlK {
+                idx: read_u16(r)?,
+                shift: read_shift(r)?,
+                bias: r.read_i32().map_err(|e| e.to_string())?,
+                offset: r.read_u32().map_err(|e| e.to_string())?,
+            },
+            29 => Op::I32LoadShlK {
+                idx: read_u16(r)?,
+                shift: read_shift(r)?,
+                bias: r.read_i32().map_err(|e| e.to_string())?,
+                offset: r.read_u32().map_err(|e| e.to_string())?,
+            },
+            30 => Op::F64MulAdd,
+            31 => Op::BrIfCmpLL {
+                cmp: read_cmp(r)?,
+                a: read_u16(r)?,
+                b: read_u16(r)?,
+                dest: read_dest(r)?,
+            },
+            32 => Op::BrIfCmpLK {
+                cmp: read_cmp(r)?,
+                a: read_u16(r)?,
+                k: r.read_i32().map_err(|e| e.to_string())?,
+                dest: read_dest(r)?,
+            },
+            33 => Op::BrIfCmp { cmp: read_cmp(r)?, dest: read_dest(r)? },
+            34 => Op::BrIfEqz(read_dest(r)?),
             b => return Err(format!("bad op tag {b}")),
         };
         ops.push(op);
     }
-    Ok(FlatFunc { ops, n_params, locals, result_arity })
+    Ok(FlatFunc { ops, n_params, locals, result_arity, ..Default::default() })
 }
 
 #[cfg(test)]
@@ -494,6 +636,30 @@ mod tests {
         let (compiled, hit) = cache.get_or_compile(&wasm, Tier::Max).unwrap();
         assert!(!hit, "corrupt artifact must not be served");
         assert_eq!(run_fib(&compiled, 10), 55);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_version_artifact_forces_recompile() {
+        // An artifact written by an older engine (different VERSION byte,
+        // e.g. the pre-slot-stack IR encoding) must not be served: the
+        // loader rejects it and the cache falls back to recompilation.
+        let cache = tmp_cache();
+        let wasm = sample_wasm();
+        cache.get_or_compile(&wasm, Tier::Max).unwrap();
+        let key = ModuleCache::key(&wasm, Tier::Max);
+        let path = cache.dir().join(format!("{key}.mwac"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[4], VERSION);
+        bytes[4] = VERSION - 1; // stale on-disk format
+        std::fs::write(&path, &bytes).unwrap();
+        let (compiled, hit) = cache.get_or_compile(&wasm, Tier::Max).unwrap();
+        assert!(!hit, "stale-version artifact must not be served");
+        assert_eq!(run_fib(&compiled, 10), 55);
+        // The stale file was replaced by a fresh, loadable artifact.
+        let fresh = std::fs::read(&path).unwrap();
+        assert_eq!(fresh[4], VERSION);
+        assert!(load_artifact(&fresh).is_ok());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

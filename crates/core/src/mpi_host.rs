@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use mpi_substrate::{Comm, MpiError, Source, Status, Tag};
 use wasm_engine::error::Trap;
-use wasm_engine::runtime::{Instance, Linker, Memory, Value};
+use wasm_engine::runtime::{Instance, Linker, Memory, Slot};
 use wasm_engine::types::{FuncType, ValType};
 
 use crate::env::Env;
@@ -30,8 +30,8 @@ fn env_of(data: &mut (dyn Any + Send)) -> &mut Env {
     data.downcast_mut::<Env>().expect("instance data is not an mpiwasm Env")
 }
 
-fn code(r: Result<(), MpiError>) -> Vec<Value> {
-    vec![Value::I32(match r {
+fn code(r: Result<(), MpiError>) -> Vec<Slot> {
+    vec![Slot::from_i32(match r {
         Ok(()) => handles::MPI_SUCCESS,
         Err(e) => e.code(),
     })]
@@ -123,10 +123,10 @@ pub fn register_mpi(linker: &mut Linker) {
         let env = env_of(inst.parts().1);
         env.mpi.initialized = true;
         env.mpi.charge_wasm_overhead();
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
-    mpi_fn!(linker, "MPI_Finalize", () -> I32, |inst: &mut Instance, _args: &[Value]| {
+    mpi_fn!(linker, "MPI_Finalize", () -> I32, |inst: &mut Instance, _args: &[Slot]| {
         let env = env_of(inst.parts().1);
         env.mpi.finalized = true;
         env.mpi.charge_wasm_overhead();
@@ -135,56 +135,56 @@ pub fn register_mpi(linker: &mut Linker) {
         Ok(code(r))
     });
 
-    mpi_fn!(linker, "MPI_Initialized", (I32) -> I32, |inst, args: &[Value]| {
-        let ptr = args[0].as_u32()?;
+    mpi_fn!(linker, "MPI_Initialized", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         mem.write_i32_at(ptr, env.mpi.initialized as i32)?;
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
-    mpi_fn!(linker, "MPI_Finalized", (I32) -> I32, |inst, args: &[Value]| {
-        let ptr = args[0].as_u32()?;
+    mpi_fn!(linker, "MPI_Finalized", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         mem.write_i32_at(ptr, env.mpi.finalized as i32)?;
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
-    mpi_fn!(linker, "MPI_Comm_rank", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let (comm_h, ptr) = (args[0].as_i32()?, args[1].as_u32()?);
+    mpi_fn!(linker, "MPI_Comm_rank", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let (comm_h, ptr) = (args[0].i32(), args[1].u32());
         let (mem, data) = inst.parts();
         let env = env_of(data);
         match env.mpi.comm(comm_h) {
             Ok(c) => {
                 mem.write_i32_at(ptr, c.rank() as i32)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
-    mpi_fn!(linker, "MPI_Comm_size", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let (comm_h, ptr) = (args[0].as_i32()?, args[1].as_u32()?);
+    mpi_fn!(linker, "MPI_Comm_size", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let (comm_h, ptr) = (args[0].i32(), args[1].u32());
         let (mem, data) = inst.parts();
         let env = env_of(data);
         match env.mpi.comm(comm_h) {
             Ok(c) => {
                 mem.write_i32_at(ptr, c.size() as i32)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Send(buf, count, datatype, dest, tag, comm)
-    mpi_fn!(linker, "MPI_Send", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let buf = args[0].as_u32()?;
-        let count = args[1].as_i32()?;
-        let dt_h = args[2].as_i32()?;
-        let dest = args[3].as_i32()?;
-        let tag = args[4].as_i32()?;
-        let comm_h = args[5].as_i32()?;
+    mpi_fn!(linker, "MPI_Send", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -202,14 +202,14 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Recv(buf, count, datatype, source, tag, comm, status)
-    mpi_fn!(linker, "MPI_Recv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let buf = args[0].as_u32()?;
-        let count = args[1].as_i32()?;
-        let dt_h = args[2].as_i32()?;
-        let src = args[3].as_i32()?;
-        let tag = args[4].as_i32()?;
-        let comm_h = args[5].as_i32()?;
-        let status_ptr = args[6].as_u32()?;
+    mpi_fn!(linker, "MPI_Recv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let src = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let status_ptr = args[6].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -236,18 +236,18 @@ pub fn register_mpi(linker: &mut Linker) {
     {
         let params = vec![I32; 12];
         linker.func("env", "MPI_Sendrecv", FuncType::new(params, vec![I32]), |inst, args| {
-            let sbuf = args[0].as_u32()?;
-            let scount = args[1].as_i32()?;
-            let stype = args[2].as_i32()?;
-            let dest = args[3].as_i32()?;
-            let stag = args[4].as_i32()?;
-            let rbuf = args[5].as_u32()?;
-            let rcount = args[6].as_i32()?;
-            let rtype = args[7].as_i32()?;
-            let src = args[8].as_i32()?;
-            let rtag = args[9].as_i32()?;
-            let comm_h = args[10].as_i32()?;
-            let status_ptr = args[11].as_u32()?;
+            let sbuf = args[0].u32();
+            let scount = args[1].i32();
+            let stype = args[2].i32();
+            let dest = args[3].i32();
+            let stag = args[4].i32();
+            let rbuf = args[5].u32();
+            let rcount = args[6].i32();
+            let rtype = args[7].i32();
+            let src = args[8].i32();
+            let rtag = args[9].i32();
+            let comm_h = args[10].i32();
+            let status_ptr = args[11].u32();
             let (mem, data) = inst.parts();
             let env = env_of(data);
             env.mpi.charge_wasm_overhead();
@@ -277,8 +277,8 @@ pub fn register_mpi(linker: &mut Linker) {
         });
     }
 
-    mpi_fn!(linker, "MPI_Barrier", (I32) -> I32, |inst, args: &[Value]| {
-        let comm_h = args[0].as_i32()?;
+    mpi_fn!(linker, "MPI_Barrier", (I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
         let env = env_of(inst.parts().1);
         env.mpi.charge_wasm_overhead();
         let r = env.mpi.comm(comm_h).and_then(|c| c.barrier());
@@ -286,12 +286,12 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Bcast(buf, count, datatype, root, comm)
-    mpi_fn!(linker, "MPI_Bcast", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let buf = args[0].as_u32()?;
-        let count = args[1].as_i32()?;
-        let dt_h = args[2].as_i32()?;
-        let root = args[3].as_i32()?;
-        let comm_h = args[4].as_i32()?;
+    mpi_fn!(linker, "MPI_Bcast", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let root = args[3].i32();
+        let comm_h = args[4].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -308,14 +308,14 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm)
-    mpi_fn!(linker, "MPI_Reduce", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let rbuf = args[1].as_u32()?;
-        let count = args[2].as_i32()?;
-        let dt_h = args[3].as_i32()?;
-        let op_h = args[4].as_i32()?;
-        let root = args[5].as_i32()?;
-        let comm_h = args[6].as_i32()?;
+    mpi_fn!(linker, "MPI_Reduce", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let rbuf = args[1].u32();
+        let count = args[2].i32();
+        let dt_h = args[3].i32();
+        let op_h = args[4].i32();
+        let root = args[5].i32();
+        let comm_h = args[6].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -340,13 +340,13 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm)
-    mpi_fn!(linker, "MPI_Allreduce", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let rbuf = args[1].as_u32()?;
-        let count = args[2].as_i32()?;
-        let dt_h = args[3].as_i32()?;
-        let op_h = args[4].as_i32()?;
-        let comm_h = args[5].as_i32()?;
+    mpi_fn!(linker, "MPI_Allreduce", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let rbuf = args[1].u32();
+        let count = args[2].i32();
+        let dt_h = args[3].i32();
+        let op_h = args[4].i32();
+        let comm_h = args[5].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -363,15 +363,15 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Gather(sbuf, scount, stype, rbuf, rcount, rtype, root, comm)
-    mpi_fn!(linker, "MPI_Gather", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let scount = args[1].as_i32()?;
-        let stype = args[2].as_i32()?;
-        let rbuf = args[3].as_u32()?;
-        let rcount = args[4].as_i32()?;
-        let rtype = args[5].as_i32()?;
-        let root = args[6].as_i32()?;
-        let comm_h = args[7].as_i32()?;
+    mpi_fn!(linker, "MPI_Gather", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let root = args[6].i32();
+        let comm_h = args[7].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -398,14 +398,14 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Allgather(sbuf, scount, stype, rbuf, rcount, rtype, comm)
-    mpi_fn!(linker, "MPI_Allgather", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let scount = args[1].as_i32()?;
-        let stype = args[2].as_i32()?;
-        let rbuf = args[3].as_u32()?;
-        let rcount = args[4].as_i32()?;
-        let rtype = args[5].as_i32()?;
-        let comm_h = args[6].as_i32()?;
+    mpi_fn!(linker, "MPI_Allgather", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let comm_h = args[6].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -423,15 +423,15 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Scatter(sbuf, scount, stype, rbuf, rcount, rtype, root, comm)
-    mpi_fn!(linker, "MPI_Scatter", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let scount = args[1].as_i32()?;
-        let stype = args[2].as_i32()?;
-        let rbuf = args[3].as_u32()?;
-        let rcount = args[4].as_i32()?;
-        let rtype = args[5].as_i32()?;
-        let root = args[6].as_i32()?;
-        let comm_h = args[7].as_i32()?;
+    mpi_fn!(linker, "MPI_Scatter", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let root = args[6].i32();
+        let comm_h = args[7].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -458,14 +458,14 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Alltoall(sbuf, scount, stype, rbuf, rcount, rtype, comm)
-    mpi_fn!(linker, "MPI_Alltoall", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let sbuf = args[0].as_u32()?;
-        let scount = args[1].as_i32()?;
-        let stype = args[2].as_i32()?;
-        let rbuf = args[3].as_u32()?;
-        let rcount = args[4].as_i32()?;
-        let rtype = args[5].as_i32()?;
-        let comm_h = args[6].as_i32()?;
+    mpi_fn!(linker, "MPI_Alltoall", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let comm_h = args[6].i32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -484,11 +484,11 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Comm_split(comm, color, key, newcomm_ptr)
-    mpi_fn!(linker, "MPI_Comm_split", (I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let comm_h = args[0].as_i32()?;
-        let color = args[1].as_i32()?;
-        let key = args[2].as_i32()?;
-        let out_ptr = args[3].as_u32()?;
+    mpi_fn!(linker, "MPI_Comm_split", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
+        let color = args[1].i32();
+        let key = args[2].i32();
+        let out_ptr = args[3].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -498,20 +498,20 @@ pub fn register_mpi(linker: &mut Linker) {
             Ok(Some(new_comm)) => {
                 let h = env.mpi.insert_comm(new_comm);
                 mem.write_i32_at(out_ptr, h)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Ok(None) => {
                 mem.write_i32_at(out_ptr, -1)?; // MPI_COMM_NULL
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Comm_dup(comm, newcomm_ptr)
-    mpi_fn!(linker, "MPI_Comm_dup", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let comm_h = args[0].as_i32()?;
-        let out_ptr = args[1].as_u32()?;
+    mpi_fn!(linker, "MPI_Comm_dup", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
+        let out_ptr = args[1].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -519,15 +519,15 @@ pub fn register_mpi(linker: &mut Linker) {
             Ok(new_comm) => {
                 let h = env.mpi.insert_comm(new_comm);
                 mem.write_i32_at(out_ptr, h)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Comm_free(comm_ptr)
-    mpi_fn!(linker, "MPI_Comm_free", (I32) -> I32, |inst, args: &[Value]| {
-        let ptr = args[0].as_u32()?;
+    mpi_fn!(linker, "MPI_Comm_free", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let h = mem.read_i32_at(ptr)?;
@@ -541,42 +541,42 @@ pub fn register_mpi(linker: &mut Linker) {
     // MPI_Wtime() -> f64
     linker.func("env", "MPI_Wtime", FuncType::new(vec![], vec![F64]), |inst, _args| {
         let env = env_of(inst.parts().1);
-        Ok(vec![Value::F64(env.mpi.world().wtime())])
+        Ok(vec![Slot::from_f64(env.mpi.world().wtime())])
     });
 
     // MPI_Wtick() -> f64
     linker.func("env", "MPI_Wtick", FuncType::new(vec![], vec![F64]), |_inst, _args| {
-        Ok(vec![Value::F64(1e-9)])
+        Ok(vec![Slot::from_f64(1e-9)])
     });
 
     // MPI_Abort(comm, errorcode): traps the instance.
-    mpi_fn!(linker, "MPI_Abort", (I32, I32) -> I32, |_inst, args: &[Value]| {
-        Err(Trap::host(format!("MPI_Abort called with code {}", args[1].as_i32()?)))
+    mpi_fn!(linker, "MPI_Abort", (I32, I32) -> I32, |_inst, args: &[Slot]| {
+        Err(Trap::host(format!("MPI_Abort called with code {}", args[1].i32())))
     });
 
     // MPI_Get_count(status_ptr, datatype, count_ptr)
-    mpi_fn!(linker, "MPI_Get_count", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let status_ptr = args[0].as_u32()?;
-        let dt_h = args[1].as_i32()?;
-        let out_ptr = args[2].as_u32()?;
+    mpi_fn!(linker, "MPI_Get_count", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let status_ptr = args[0].u32();
+        let dt_h = args[1].i32();
+        let out_ptr = args[2].u32();
         let mem = &mut inst.memory;
         match datatype_from_handle(dt_h) {
             Ok(dt) => {
                 let bytes = mem.read_i32_at(status_ptr + 12)?;
                 mem.write_i32_at(out_ptr, bytes / dt.size() as i32)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Iprobe(source, tag, comm, flag_ptr, status_ptr)
-    mpi_fn!(linker, "MPI_Iprobe", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let src = args[0].as_i32()?;
-        let tag = args[1].as_i32()?;
-        let comm_h = args[2].as_i32()?;
-        let flag_ptr = args[3].as_u32()?;
-        let status_ptr = args[4].as_u32()?;
+    mpi_fn!(linker, "MPI_Iprobe", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let src = args[0].i32();
+        let tag = args[1].i32();
+        let comm_h = args[2].i32();
+        let flag_ptr = args[3].u32();
+        let status_ptr = args[4].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         match env.mpi.comm(comm_h) {
@@ -588,59 +588,59 @@ pub fn register_mpi(linker: &mut Linker) {
                     }
                     None => mem.write_i32_at(flag_ptr, 0)?,
                 }
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Type_size(datatype, size_ptr)
-    mpi_fn!(linker, "MPI_Type_size", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let dt_h = args[0].as_i32()?;
-        let ptr = args[1].as_u32()?;
+    mpi_fn!(linker, "MPI_Type_size", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let dt_h = args[0].i32();
+        let ptr = args[1].u32();
         match datatype_from_handle(dt_h) {
             Ok(dt) => {
                 inst.memory.write_i32_at(ptr, dt.size() as i32)?;
-                Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Value::I32(e.code())]),
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
     });
 
     // MPI_Alloc_mem(size, info, baseptr_ptr): re-enters guest malloc (§3.7).
-    mpi_fn!(linker, "MPI_Alloc_mem", (I32, I32, I32) -> I32, |inst: &mut Instance, args: &[Value]| {
-        let size = args[0].as_i32()?;
-        let out_ptr = args[2].as_u32()?;
+    mpi_fn!(linker, "MPI_Alloc_mem", (I32, I32, I32) -> I32, |inst: &mut Instance, args: &[Slot]| {
+        let size = args[0].i32();
+        let out_ptr = args[2].u32();
         if inst.export_func("malloc").is_none() {
-            return Ok(vec![Value::I32(2 /* MPI_ERR_COUNT-ish: no allocator */)]);
+            return Ok(vec![Slot::from_i32(2 /* MPI_ERR_COUNT-ish: no allocator */)]);
         }
-        let results = inst.invoke("malloc", &[Value::I32(size)])?;
-        let guest_ptr = results.first().copied().unwrap_or(Value::I32(0)).as_i32()?;
+        let results = inst.invoke("malloc", &[wasm_engine::Value::I32(size)])?;
+        let guest_ptr = results.first().map(|v| v.as_i32()).transpose()?.unwrap_or(0);
         inst.memory.write_i32_at(out_ptr, guest_ptr)?;
-        Ok(vec![Value::I32(if guest_ptr == 0 { 2 } else { handles::MPI_SUCCESS })])
+        Ok(vec![Slot::from_i32(if guest_ptr == 0 { 2 } else { handles::MPI_SUCCESS })])
     });
 
     // MPI_Free_mem(ptr): re-enters guest free.
-    mpi_fn!(linker, "MPI_Free_mem", (I32) -> I32, |inst: &mut Instance, args: &[Value]| {
+    mpi_fn!(linker, "MPI_Free_mem", (I32) -> I32, |inst: &mut Instance, args: &[Slot]| {
         if inst.export_func("free").is_none() {
-            return Ok(vec![Value::I32(2)]);
+            return Ok(vec![Slot::from_i32(2)]);
         }
-        inst.invoke("free", &[args[0]])?;
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        inst.invoke("free", &[wasm_engine::Value::I32(args[0].i32())])?;
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
     // --- nonblocking operations (MPI_Request = i32 handle, 0 = NULL) ---
 
     // MPI_Isend(buf, count, datatype, dest, tag, comm, request_ptr):
     // eager-buffered, so the request is born complete.
-    mpi_fn!(linker, "MPI_Isend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let buf = args[0].as_u32()?;
-        let count = args[1].as_i32()?;
-        let dt_h = args[2].as_i32()?;
-        let dest = args[3].as_i32()?;
-        let tag = args[4].as_i32()?;
-        let comm_h = args[5].as_i32()?;
-        let req_ptr = args[6].as_u32()?;
+    mpi_fn!(linker, "MPI_Isend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
@@ -662,27 +662,27 @@ pub fn register_mpi(linker: &mut Linker) {
 
     // MPI_Irecv(buf, count, datatype, source, tag, comm, request_ptr):
     // deferred — matched and delivered at MPI_Wait/MPI_Test.
-    mpi_fn!(linker, "MPI_Irecv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let buf = args[0].as_u32()?;
-        let count = args[1].as_i32()?;
-        let dt_h = args[2].as_i32()?;
-        let src = args[3].as_i32()?;
-        let tag = args[4].as_i32()?;
-        let comm_h = args[5].as_i32()?;
-        let req_ptr = args[6].as_u32()?;
+    mpi_fn!(linker, "MPI_Irecv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let src = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
         let bytes = match translate_instrumented(env, count, dt_h) {
             Ok((_, b)) => b,
-            Err(e) => return Ok(vec![Value::I32(e.code())]),
+            Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
         };
         if let Err(e) = env.mpi.comm(comm_h) {
-            return Ok(vec![Value::I32(e.code())]);
+            return Ok(vec![Slot::from_i32(e.code())]);
         }
         // The target region must be valid now, as real MPI requires.
         if mem.slice(buf, bytes).is_err() {
-            return Ok(vec![Value::I32(MpiError::BadCount {
+            return Ok(vec![Slot::from_i32(MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
             }
@@ -696,13 +696,13 @@ pub fn register_mpi(linker: &mut Linker) {
             tag,
         });
         mem.write_i32_at(req_ptr, h)?;
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
     // MPI_Wait(request_ptr, status_ptr)
-    mpi_fn!(linker, "MPI_Wait", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let req_ptr = args[0].as_u32()?;
-        let status_ptr = args[1].as_u32()?;
+    mpi_fn!(linker, "MPI_Wait", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let req_ptr = args[0].u32();
+        let status_ptr = args[1].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let handle = mem.read_i32_at(req_ptr)?;
@@ -714,10 +714,10 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Waitall(count, requests_ptr, statuses_ptr)
-    mpi_fn!(linker, "MPI_Waitall", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let count = args[0].as_i32()?;
-        let reqs_ptr = args[1].as_u32()?;
-        let statuses_ptr = args[2].as_u32()?;
+    mpi_fn!(linker, "MPI_Waitall", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32();
+        let reqs_ptr = args[1].u32();
+        let statuses_ptr = args[2].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let r = (|| {
@@ -739,10 +739,10 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Test(request_ptr, flag_ptr, status_ptr)
-    mpi_fn!(linker, "MPI_Test", (I32, I32, I32) -> I32, |inst, args: &[Value]| {
-        let req_ptr = args[0].as_u32()?;
-        let flag_ptr = args[1].as_u32()?;
-        let status_ptr = args[2].as_u32()?;
+    mpi_fn!(linker, "MPI_Test", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let req_ptr = args[0].u32();
+        let flag_ptr = args[1].u32();
+        let status_ptr = args[2].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let handle = mem.read_i32_at(req_ptr)?;
@@ -752,27 +752,27 @@ pub fn register_mpi(linker: &mut Linker) {
             Some(crate::env::PendingRequest::Recv { comm, src, tag, .. }) => {
                 match env.mpi.comm(*comm) {
                     Ok(c) => c.iprobe(source_of(*src), tag_of(*tag)).is_some(),
-                    Err(e) => return Ok(vec![Value::I32(e.code())]),
+                    Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
                 }
             }
         };
         if ready {
             let r = complete_request(mem, env, handle, status_ptr);
             if let Err(e) = r {
-                return Ok(vec![Value::I32(e.code())]);
+                return Ok(vec![Slot::from_i32(e.code())]);
             }
             mem.write_i32_at(req_ptr, 0)?;
             mem.write_i32_at(flag_ptr, 1)?;
         } else {
             mem.write_i32_at(flag_ptr, 0)?;
         }
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
     // MPI_Get_processor_name(name_ptr, resultlen_ptr)
-    mpi_fn!(linker, "MPI_Get_processor_name", (I32, I32) -> I32, |inst, args: &[Value]| {
-        let name_ptr = args[0].as_u32()?;
-        let len_ptr = args[1].as_u32()?;
+    mpi_fn!(linker, "MPI_Get_processor_name", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let name_ptr = args[0].u32();
+        let len_ptr = args[1].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let name = format!("mpiwasm-rank-{}", env.mpi.world().rank());
@@ -780,6 +780,6 @@ pub fn register_mpi(linker: &mut Linker) {
             .copy_from_slice(name.as_bytes());
         mem.slice_mut(name_ptr + name.len() as u32, 1)?[0] = 0;
         mem.write_i32_at(len_ptr, name.len() as i32)?;
-        Ok(vec![Value::I32(handles::MPI_SUCCESS)])
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 }

@@ -167,8 +167,8 @@ impl Runner {
                 vec![],
             ),
             |inst, args| {
-                let key = args[0].as_i32()?;
-                let value = args[1].as_f64()?;
+                let key = args[0].i32();
+                let value = args[1].f64();
                 let env = inst.data_mut::<Env>().expect("instance data is not Env");
                 env.reports.push((key, value));
                 Ok(vec![])

@@ -28,19 +28,22 @@ const TAG_ALLGATHER: i32 = COLLECTIVE_TAG_BASE - 6;
 const TAG_ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 7;
 
 impl Comm {
-    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds.
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds. The
+    /// rounds are allocation-free: one stack byte in, one out.
     pub fn barrier(&self) -> Result<(), MpiError> {
         let p = self.size();
         if p == 1 {
             return Ok(());
         }
         let me = self.rank();
+        let token = [1u8];
+        let mut byte = [0u8; 1];
         let mut k = 1u32;
         while k < p {
             let to = (me + k) % p;
-            let from = (me + p - k % p) % p;
-            let mut byte = [0u8; 1];
-            self.send(&[1], to, TAG_BARRIER)?;
+            // k < p here, so no inner reduction of k is needed.
+            let from = (me + p - k) % p;
+            self.send(&token, to, TAG_BARRIER)?;
             self.recv(&mut byte, Source::Rank(from), Tag::Value(TAG_BARRIER))?;
             k <<= 1;
         }

@@ -9,7 +9,9 @@
 use std::any::Any;
 
 use wasm_engine::error::Trap;
-use wasm_engine::runtime::{Instance, Linker, Memory, Value};
+use wasm_engine::runtime::{Instance, Linker, Memory, Slot};
+#[cfg(test)]
+use wasm_engine::runtime::Value;
 use wasm_engine::types::{FuncType, ValType};
 
 use crate::ctx::WasiCtx;
@@ -32,12 +34,12 @@ pub mod rights {
 
 type Accessor = std::sync::Arc<dyn Fn(&mut (dyn Any + Send)) -> &mut WasiCtx + Send + Sync>;
 
-fn errno_val(e: Errno) -> Vec<Value> {
-    vec![Value::I32(e.raw())]
+fn errno_val(e: Errno) -> Vec<Slot> {
+    vec![Slot::from_i32(e.raw())]
 }
 
-fn ok() -> Vec<Value> {
-    vec![Value::I32(0)]
+fn ok() -> Vec<Slot> {
+    vec![Slot::from_i32(0)]
 }
 
 /// Gathered scatter/gather list: `(ptr, len)` pairs read from guest memory.
@@ -68,8 +70,8 @@ pub fn register_wasi(
             let ctx = acc(data);
             let argc = ctx.args.len() as u32;
             let buf_size: u32 = ctx.args.iter().map(|a| a.len() as u32 + 1).sum();
-            mem.write_u32_at(args[0].as_u32()?, argc)?;
-            mem.write_u32_at(args[1].as_u32()?, buf_size)?;
+            mem.write_u32_at(args[0].u32(), argc)?;
+            mem.write_u32_at(args[1].u32(), buf_size)?;
             Ok(ok())
         });
     }
@@ -79,8 +81,8 @@ pub fn register_wasi(
         linker.func(ns, "args_get", FuncType::new(i32s(2), i32s(1)), move |inst, args| {
             let (mem, data) = inst.parts();
             let ctx = acc(data);
-            let mut argv = args[0].as_u32()?;
-            let mut buf = args[1].as_u32()?;
+            let mut argv = args[0].u32();
+            let mut buf = args[1].u32();
             let owned: Vec<String> = ctx.args.clone();
             for a in owned {
                 mem.write_u32_at(argv, buf)?;
@@ -101,8 +103,8 @@ pub fn register_wasi(
             let ctx = acc(data);
             let count = ctx.env.len() as u32;
             let size: u32 = ctx.env.iter().map(|(k, v)| (k.len() + v.len() + 2) as u32).sum();
-            mem.write_u32_at(args[0].as_u32()?, count)?;
-            mem.write_u32_at(args[1].as_u32()?, size)?;
+            mem.write_u32_at(args[0].u32(), count)?;
+            mem.write_u32_at(args[1].u32(), size)?;
             Ok(ok())
         });
     }
@@ -111,8 +113,8 @@ pub fn register_wasi(
         linker.func(ns, "environ_get", FuncType::new(i32s(2), i32s(1)), move |inst, args| {
             let (mem, data) = inst.parts();
             let ctx = acc(data);
-            let mut envp = args[0].as_u32()?;
-            let mut buf = args[1].as_u32()?;
+            let mut envp = args[0].u32();
+            let mut buf = args[1].u32();
             let owned: Vec<(String, String)> = ctx.env.clone();
             for (k, v) in owned {
                 let entry = format!("{k}={v}");
@@ -132,7 +134,7 @@ pub fn register_wasi(
         "clock_time_get",
         FuncType::new(vec![ValType::I32, ValType::I64, ValType::I32], i32s(1)),
         move |inst, args| {
-            let now_ns: u64 = match args[0].as_i32()? {
+            let now_ns: u64 = match args[0].i32() {
                 // CLOCK_REALTIME
                 0 => std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
@@ -145,7 +147,7 @@ pub fn register_wasi(
                     START.get_or_init(std::time::Instant::now).elapsed().as_nanos() as u64
                 }
             };
-            inst.memory.write_u64_at(args[2].as_u32()?, now_ns)?;
+            inst.memory.write_u64_at(args[2].u32(), now_ns)?;
             Ok(ok())
         },
     );
@@ -153,7 +155,7 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "random_get", FuncType::new(i32s(2), i32s(1)), move |inst, args| {
-            let (ptr, len) = (args[0].as_u32()?, args[1].as_u32()?);
+            let (ptr, len) = (args[0].u32(), args[1].u32());
             let (mem, data) = inst.parts();
             let ctx = acc(data);
             let dst = mem.slice_mut(ptr, len)?;
@@ -171,9 +173,9 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_write", FuncType::new(i32s(4), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
+            let fd = args[0].u32();
             let (mem, data) = inst.parts();
-            let iovs = read_iovs(mem, args[1].as_u32()?, args[2].as_u32()?)?;
+            let iovs = read_iovs(mem, args[1].u32(), args[2].u32())?;
             let ctx = acc(data);
             let mut written = 0u32;
             for (ptr, len) in iovs {
@@ -183,7 +185,7 @@ pub fn register_wasi(
                     Err(e) => return Ok(errno_val(e)),
                 }
             }
-            mem.write_u32_at(args[3].as_u32()?, written)?;
+            mem.write_u32_at(args[3].u32(), written)?;
             Ok(ok())
         });
     }
@@ -191,9 +193,9 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_read", FuncType::new(i32s(4), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
+            let fd = args[0].u32();
             let (mem, data) = inst.parts();
-            let iovs = read_iovs(mem, args[1].as_u32()?, args[2].as_u32()?)?;
+            let iovs = read_iovs(mem, args[1].u32(), args[2].u32())?;
             let ctx = acc(data);
             let mut nread = 0u32;
             for (ptr, len) in iovs {
@@ -208,7 +210,7 @@ pub fn register_wasi(
                     Err(e) => return Ok(errno_val(e)),
                 }
             }
-            mem.write_u32_at(args[3].as_u32()?, nread)?;
+            mem.write_u32_at(args[3].u32(), nread)?;
             Ok(ok())
         });
     }
@@ -220,10 +222,10 @@ pub fn register_wasi(
             "fd_seek",
             FuncType::new(vec![ValType::I32, ValType::I64, ValType::I32, ValType::I32], i32s(1)),
             move |inst, args| {
-                let fd = args[0].as_u32()?;
-                let offset = args[1].as_i64()?;
-                let whence = args[2].as_i32()? as u8;
-                let out_ptr = args[3].as_u32()?;
+                let fd = args[0].u32();
+                let offset = args[1].i64();
+                let whence = args[2].i32() as u8;
+                let out_ptr = args[3].u32();
                 let (mem, data) = inst.parts();
                 let ctx = acc(data);
                 match ctx.seek(fd, offset, whence) {
@@ -240,7 +242,7 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_close", FuncType::new(i32s(1), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
+            let fd = args[0].u32();
             let (_, data) = inst.parts();
             let ctx = acc(data);
             match ctx.close(fd) {
@@ -253,8 +255,8 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_fdstat_get", FuncType::new(i32s(2), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
-            let ptr = args[1].as_u32()?;
+            let fd = args[0].u32();
+            let ptr = args[1].u32();
             let (mem, data) = inst.parts();
             let ctx = acc(data);
             let filetype: u8 = match ctx.entry(fd) {
@@ -273,8 +275,8 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_prestat_get", FuncType::new(i32s(2), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
-            let ptr = args[1].as_u32()?;
+            let fd = args[0].u32();
+            let ptr = args[1].u32();
             let (mem, data) = inst.parts();
             let ctx = acc(data);
             match ctx.entry(fd) {
@@ -293,9 +295,9 @@ pub fn register_wasi(
     {
         let acc = acc.clone();
         linker.func(ns, "fd_prestat_dir_name", FuncType::new(i32s(3), i32s(1)), move |inst, args| {
-            let fd = args[0].as_u32()?;
-            let ptr = args[1].as_u32()?;
-            let len = args[2].as_u32()?;
+            let fd = args[0].u32();
+            let ptr = args[1].u32();
+            let len = args[2].u32();
             let (mem, data) = inst.parts();
             let ctx = acc(data);
             match ctx.entry(fd) {
@@ -328,12 +330,12 @@ pub fn register_wasi(
             ValType::I32, // opened_fd_ptr
         ];
         linker.func(ns, "path_open", FuncType::new(params, i32s(1)), move |inst, args| {
-            let dirfd = args[0].as_u32()?;
-            let path_ptr = args[2].as_u32()?;
-            let path_len = args[3].as_u32()?;
-            let oflags = args[4].as_u32()?;
-            let rights_base = args[5].as_i64()? as u64;
-            let out_ptr = args[8].as_u32()?;
+            let dirfd = args[0].u32();
+            let path_ptr = args[2].u32();
+            let path_len = args[3].u32();
+            let oflags = args[4].u32();
+            let rights_base = args[5].i64() as u64;
+            let out_ptr = args[8].u32();
 
             let (mem, data) = inst.parts();
             let path_bytes = mem.slice(path_ptr, path_len)?.to_vec();
@@ -368,7 +370,7 @@ pub fn register_wasi(
     }
     // proc_exit(code) -> ! (renders as a trap carrying the exit code)
     linker.func(ns, "proc_exit", FuncType::new(i32s(1), vec![]), move |_inst, args| {
-        Err(Trap::Exit(args[0].as_i32()?))
+        Err(Trap::Exit(args[0].i32()))
     });
     let _ = acc;
 }

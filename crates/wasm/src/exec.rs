@@ -1,65 +1,47 @@
-//! Shared execution semantics for all straight-line (non-control)
-//! instructions, with spec-accurate numeric behaviour: wrapping integer
-//! arithmetic, trapping division and truncation, IEEE round-to-even
-//! `nearest`, NaN-propagating `min`/`max`, and the 128-bit SIMD lane ops.
+//! Shared execution semantics for straight-line (non-control)
+//! instructions over the untyped slot stack, with spec-accurate numeric
+//! behaviour: wrapping integer arithmetic, trapping division and
+//! truncation, IEEE round-to-even `nearest`, NaN-propagating `min`/`max`,
+//! and the 128-bit SIMD lane ops.
 //!
-//! Both execution tiers dispatch through [`step`]; control flow is the only
-//! thing each tier implements differently.
+//! Operands live on an untyped stack of 64-bit [`Slot`]s (v128 spans two
+//! slots, low half first). Validation statically proves every operand's
+//! type, so nothing here tags or checks values at run time. The baseline
+//! tier dispatches through [`step`]; the flat-IR tiers run their own fused
+//! dispatch loop in [`crate::ir`] and share the numeric helpers below.
+//!
+//! Control flow, calls, and the width-dependent `drop`/`select` are
+//! handled by each tier's driver, never passed here.
 
 use crate::error::Trap;
 use crate::instr::{Instr, MemArg};
-use crate::runtime::{Instance, Value};
+use crate::runtime::{Instance, Slot};
 
 #[inline]
-pub(crate) fn pop(stack: &mut Vec<Value>) -> Value {
-    // Validation guarantees the stack never underflows on executed paths.
+pub(crate) fn pop(stack: &mut Vec<Slot>) -> Slot {
+    // Validation guarantees the stack never underflows on executed paths;
+    // if an engine bug (miscompiled fusion, corrupt artifact) breaks that
+    // invariant, fail loudly rather than computing with silent zeros.
     stack.pop().expect("validated: operand stack underflow")
 }
 
 #[inline]
-fn pop_i32(stack: &mut Vec<Value>) -> i32 {
-    match pop(stack) {
-        Value::I32(v) => v,
-        v => unreachable!("validated: expected i32, got {}", v.ty()),
-    }
+pub(crate) fn pop_v128(stack: &mut Vec<Slot>) -> u128 {
+    let hi = pop(stack).0 as u128;
+    let lo = pop(stack).0 as u128;
+    lo | (hi << 64)
 }
 
 #[inline]
-fn pop_i64(stack: &mut Vec<Value>) -> i64 {
-    match pop(stack) {
-        Value::I64(v) => v,
-        v => unreachable!("validated: expected i64, got {}", v.ty()),
-    }
-}
-
-#[inline]
-fn pop_f32(stack: &mut Vec<Value>) -> f32 {
-    match pop(stack) {
-        Value::F32(v) => v,
-        v => unreachable!("validated: expected f32, got {}", v.ty()),
-    }
-}
-
-#[inline]
-fn pop_f64(stack: &mut Vec<Value>) -> f64 {
-    match pop(stack) {
-        Value::F64(v) => v,
-        v => unreachable!("validated: expected f64, got {}", v.ty()),
-    }
-}
-
-#[inline]
-fn pop_v128(stack: &mut Vec<Value>) -> u128 {
-    match pop(stack) {
-        Value::V128(v) => v,
-        v => unreachable!("validated: expected v128, got {}", v.ty()),
-    }
+pub(crate) fn push_v128(stack: &mut Vec<Slot>, v: u128) {
+    stack.push(Slot(v as u64));
+    stack.push(Slot((v >> 64) as u64));
 }
 
 // --- float helpers with Wasm semantics ---
 
 #[inline]
-fn fmin32(a: f32, b: f32) -> f32 {
+pub(crate) fn fmin32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -72,7 +54,7 @@ fn fmin32(a: f32, b: f32) -> f32 {
 }
 
 #[inline]
-fn fmax32(a: f32, b: f32) -> f32 {
+pub(crate) fn fmax32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -85,7 +67,7 @@ fn fmax32(a: f32, b: f32) -> f32 {
 }
 
 #[inline]
-fn fmin64(a: f64, b: f64) -> f64 {
+pub(crate) fn fmin64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -98,7 +80,7 @@ fn fmin64(a: f64, b: f64) -> f64 {
 }
 
 #[inline]
-fn fmax64(a: f64, b: f64) -> f64 {
+pub(crate) fn fmax64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -112,7 +94,7 @@ fn fmax64(a: f64, b: f64) -> f64 {
 
 /// Round half to even, the Wasm `nearest` semantics.
 #[inline]
-fn nearest32(v: f32) -> f32 {
+pub(crate) fn nearest32(v: f32) -> f32 {
     let r = v.round();
     if (r - v).abs() == 0.5 && r % 2.0 != 0.0 {
         r - v.signum()
@@ -122,7 +104,7 @@ fn nearest32(v: f32) -> f32 {
 }
 
 #[inline]
-fn nearest64(v: f64) -> f64 {
+pub(crate) fn nearest64(v: f64) -> f64 {
     let r = v.round();
     if (r - v).abs() == 0.5 && r % 2.0 != 0.0 {
         r - v.signum()
@@ -133,7 +115,7 @@ fn nearest64(v: f64) -> f64 {
 
 // --- trapping truncations ---
 
-fn trunc_f64_to_i32(v: f64) -> Result<i32, Trap> {
+pub(crate) fn trunc_f64_to_i32(v: f64) -> Result<i32, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversionToInteger);
     }
@@ -144,7 +126,7 @@ fn trunc_f64_to_i32(v: f64) -> Result<i32, Trap> {
     Ok(t as i32)
 }
 
-fn trunc_f64_to_u32(v: f64) -> Result<u32, Trap> {
+pub(crate) fn trunc_f64_to_u32(v: f64) -> Result<u32, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversionToInteger);
     }
@@ -155,7 +137,7 @@ fn trunc_f64_to_u32(v: f64) -> Result<u32, Trap> {
     Ok(t as u32)
 }
 
-fn trunc_f64_to_i64(v: f64) -> Result<i64, Trap> {
+pub(crate) fn trunc_f64_to_i64(v: f64) -> Result<i64, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversionToInteger);
     }
@@ -167,7 +149,7 @@ fn trunc_f64_to_i64(v: f64) -> Result<i64, Trap> {
     Ok(t as i64)
 }
 
-fn trunc_f64_to_u64(v: f64) -> Result<u64, Trap> {
+pub(crate) fn trunc_f64_to_u64(v: f64) -> Result<u64, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversionToInteger);
     }
@@ -178,10 +160,82 @@ fn trunc_f64_to_u64(v: f64) -> Result<u64, Trap> {
     Ok(t as u64)
 }
 
+// --- integer ops with Wasm trap semantics ---
+
+#[inline]
+pub(crate) fn i32_div_s(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    if a == i32::MIN && b == -1 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(a.wrapping_div(b))
+}
+
+#[inline]
+pub(crate) fn i32_div_u(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(((a as u32) / (b as u32)) as i32)
+}
+
+#[inline]
+pub(crate) fn i32_rem_s(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(a.wrapping_rem(b))
+}
+
+#[inline]
+pub(crate) fn i32_rem_u(a: i32, b: i32) -> Result<i32, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(((a as u32) % (b as u32)) as i32)
+}
+
+#[inline]
+pub(crate) fn i64_div_s(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    if a == i64::MIN && b == -1 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(a.wrapping_div(b))
+}
+
+#[inline]
+pub(crate) fn i64_div_u(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(((a as u64) / (b as u64)) as i64)
+}
+
+#[inline]
+pub(crate) fn i64_rem_s(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(a.wrapping_rem(b))
+}
+
+#[inline]
+pub(crate) fn i64_rem_u(a: i64, b: i64) -> Result<i64, Trap> {
+    if b == 0 {
+        return Err(Trap::IntegerDivideByZero);
+    }
+    Ok(((a as u64) % (b as u64)) as i64)
+}
+
 // --- v128 lane views ---
 
 #[inline]
-fn v_to_i32x4(v: u128) -> [i32; 4] {
+pub(crate) fn v_to_i32x4(v: u128) -> [i32; 4] {
     let b = v.to_le_bytes();
     [
         i32::from_le_bytes([b[0], b[1], b[2], b[3]]),
@@ -192,7 +246,7 @@ fn v_to_i32x4(v: u128) -> [i32; 4] {
 }
 
 #[inline]
-fn i32x4_to_v(l: [i32; 4]) -> u128 {
+pub(crate) fn i32x4_to_v(l: [i32; 4]) -> u128 {
     let mut b = [0u8; 16];
     for (i, v) in l.iter().enumerate() {
         b[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
@@ -201,7 +255,7 @@ fn i32x4_to_v(l: [i32; 4]) -> u128 {
 }
 
 #[inline]
-fn v_to_f32x4(v: u128) -> [f32; 4] {
+pub(crate) fn v_to_f32x4(v: u128) -> [f32; 4] {
     let b = v.to_le_bytes();
     [
         f32::from_le_bytes([b[0], b[1], b[2], b[3]]),
@@ -212,7 +266,7 @@ fn v_to_f32x4(v: u128) -> [f32; 4] {
 }
 
 #[inline]
-fn f32x4_to_v(l: [f32; 4]) -> u128 {
+pub(crate) fn f32x4_to_v(l: [f32; 4]) -> u128 {
     let mut b = [0u8; 16];
     for (i, v) in l.iter().enumerate() {
         b[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
@@ -238,15 +292,33 @@ pub(crate) fn f64x2_to_v(l: [f64; 2]) -> u128 {
 }
 
 #[inline]
-fn f64x2_cmp(a: u128, b: u128, f: impl Fn(f64, f64) -> bool) -> u128 {
+pub(crate) fn f64x2_cmp(a: u128, b: u128, f: impl Fn(f64, f64) -> bool) -> u128 {
     let (x, y) = (v_to_f64x2(a), v_to_f64x2(b));
     let lane = |i: usize| if f(x[i], y[i]) { u64::MAX } else { 0 };
     (lane(0) as u128) | ((lane(1) as u128) << 64)
 }
 
+#[inline]
+pub(crate) fn i32x4_bin(a: u128, b: u128, f: impl Fn(i32, i32) -> i32) -> u128 {
+    let (x, y) = (v_to_i32x4(a), v_to_i32x4(b));
+    i32x4_to_v([f(x[0], y[0]), f(x[1], y[1]), f(x[2], y[2]), f(x[3], y[3])])
+}
+
+#[inline]
+pub(crate) fn f32x4_bin(a: u128, b: u128, f: impl Fn(f32, f32) -> f32) -> u128 {
+    let (x, y) = (v_to_f32x4(a), v_to_f32x4(b));
+    f32x4_to_v([f(x[0], y[0]), f(x[1], y[1]), f(x[2], y[2]), f(x[3], y[3])])
+}
+
+#[inline]
+pub(crate) fn f64x2_bin(a: u128, b: u128, f: impl Fn(f64, f64) -> f64) -> u128 {
+    let (x, y) = (v_to_f64x2(a), v_to_f64x2(b));
+    f64x2_to_v([f(x[0], y[0]), f(x[1], y[1])])
+}
+
 macro_rules! load {
     ($inst:expr, $stack:expr, $m:expr, $n:expr, $raw:ty, $conv:ty, $wrap:path) => {{
-        let addr = pop_i32($stack) as u32;
+        let addr = pop($stack).u32();
         let start = $inst.memory.effective(addr, $m.offset, $n)?;
         let raw = <$raw>::from_le_bytes($inst.memory.load::<{ $n as usize }>(start));
         $stack.push($wrap(raw as $conv));
@@ -254,596 +326,490 @@ macro_rules! load {
 }
 
 macro_rules! store {
-    ($inst:expr, $stack:expr, $m:expr, $n:expr, $popper:ident, $cast:ty) => {{
-        let val = $popper($stack);
-        let addr = pop_i32($stack) as u32;
+    ($inst:expr, $stack:expr, $m:expr, $n:expr, $read:ident, $cast:ty) => {{
+        let val = pop($stack).$read();
+        let addr = pop($stack).u32();
         let start = $inst.memory.effective(addr, $m.offset, $n)?;
         $inst.memory.store(start, &((val as $cast).to_le_bytes()));
     }};
 }
 
-/// Execute one straight-line instruction. Control instructions must not be
-/// passed here; each tier's driver handles them.
+macro_rules! binop {
+    ($stack:expr, $read:ident, $wrap:path, $f:expr) => {{
+        let b = pop($stack).$read();
+        let a = pop($stack).$read();
+        $stack.push($wrap($f(a, b)));
+    }};
+}
+
+macro_rules! unop {
+    ($stack:expr, $read:ident, $wrap:path, $f:expr) => {{
+        let v = pop($stack).$read();
+        $stack.push($wrap($f(v)));
+    }};
+}
+
+/// Execute one straight-line instruction against the slot stack. The
+/// current frame's locals live in the same stack buffer at
+/// `locals_base`, mapped by `map` (packed `offset << 1 | is_v128` per
+/// local index). Control instructions, calls, and `drop`/`select` must
+/// not be passed here; each tier's driver handles them.
 #[inline]
 pub(crate) fn step(
     inst: &mut Instance,
-    stack: &mut Vec<Value>,
-    locals: &mut [Value],
+    stack: &mut Vec<Slot>,
+    locals_base: usize,
+    map: &[u32],
     instr: &Instr,
 ) -> Result<(), Trap> {
     use Instr::*;
     match instr {
-        Drop => {
-            pop(stack);
+        LocalGet(i) => {
+            let e = map[*i as usize];
+            let at = locals_base + (e >> 1) as usize;
+            let v = stack[at];
+            stack.push(v);
+            if e & 1 != 0 {
+                let hi = stack[at + 1];
+                stack.push(hi);
+            }
         }
-        Select => {
-            let c = pop_i32(stack);
-            let b = pop(stack);
-            let a = pop(stack);
-            stack.push(if c != 0 { a } else { b });
+        LocalSet(i) => {
+            let e = map[*i as usize];
+            let at = locals_base + (e >> 1) as usize;
+            if e & 1 != 0 {
+                stack[at + 1] = pop(stack);
+            }
+            stack[at] = pop(stack);
         }
-        LocalGet(i) => stack.push(locals[*i as usize]),
-        LocalSet(i) => locals[*i as usize] = pop(stack),
-        LocalTee(i) => locals[*i as usize] = *stack.last().expect("validated"),
+        LocalTee(i) => {
+            let e = map[*i as usize];
+            let at = locals_base + (e >> 1) as usize;
+            let len = stack.len();
+            if e & 1 != 0 {
+                stack[at] = stack[len - 2];
+                stack[at + 1] = stack[len - 1];
+            } else {
+                stack[at] = stack[len - 1];
+            }
+        }
         GlobalGet(i) => stack.push(inst.globals[*i as usize]),
         GlobalSet(i) => inst.globals[*i as usize] = pop(stack),
 
-        Call(f) => return call_push(inst, stack, *f),
-        CallIndirect { type_idx, .. } => {
-            let slot = pop_i32(stack) as u32;
-            let func_idx = inst
-                .table
-                .get(slot as usize)
-                .copied()
-                .flatten()
-                .ok_or(Trap::UndefinedTableElement { index: slot })?;
-            let expected = &inst.module.types[*type_idx as usize];
-            let actual = inst
-                .func_type(func_idx)
-                .ok_or(Trap::UndefinedTableElement { index: slot })?;
-            if expected != actual {
-                return Err(Trap::IndirectCallTypeMismatch);
-            }
-            return call_push(inst, stack, func_idx);
-        }
-
-        I32Load(m) => load!(inst, stack, m, 4, u32, i32, Value::I32),
-        I64Load(m) => load!(inst, stack, m, 8, u64, i64, Value::I64),
+        I32Load(m) => load!(inst, stack, m, 4, u32, u32, Slot::from_u32),
+        I64Load(m) => load!(inst, stack, m, 8, u64, u64, Slot::from_u64),
         F32Load(m) => {
-            let addr = pop_i32(stack) as u32;
+            let addr = pop(stack).u32();
             let start = inst.memory.effective(addr, m.offset, 4)?;
-            stack.push(Value::F32(f32::from_le_bytes(inst.memory.load::<4>(start))));
+            stack.push(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
         }
         F64Load(m) => {
-            let addr = pop_i32(stack) as u32;
+            let addr = pop(stack).u32();
             let start = inst.memory.effective(addr, m.offset, 8)?;
-            stack.push(Value::F64(f64::from_le_bytes(inst.memory.load::<8>(start))));
+            stack.push(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
         }
-        I32Load8S(m) => load!(inst, stack, m, 1, i8, i32, Value::I32),
-        I32Load8U(m) => load!(inst, stack, m, 1, u8, i32, Value::I32),
-        I32Load16S(m) => load!(inst, stack, m, 2, i16, i32, Value::I32),
-        I32Load16U(m) => load!(inst, stack, m, 2, u16, i32, Value::I32),
-        I64Load8S(m) => load!(inst, stack, m, 1, i8, i64, Value::I64),
-        I64Load8U(m) => load!(inst, stack, m, 1, u8, i64, Value::I64),
-        I64Load16S(m) => load!(inst, stack, m, 2, i16, i64, Value::I64),
-        I64Load16U(m) => load!(inst, stack, m, 2, u16, i64, Value::I64),
-        I64Load32S(m) => load!(inst, stack, m, 4, i32, i64, Value::I64),
-        I64Load32U(m) => load!(inst, stack, m, 4, u32, i64, Value::I64),
+        I32Load8S(m) => load!(inst, stack, m, 1, i8, i32, Slot::from_i32),
+        I32Load8U(m) => load!(inst, stack, m, 1, u8, i32, Slot::from_i32),
+        I32Load16S(m) => load!(inst, stack, m, 2, i16, i32, Slot::from_i32),
+        I32Load16U(m) => load!(inst, stack, m, 2, u16, i32, Slot::from_i32),
+        I64Load8S(m) => load!(inst, stack, m, 1, i8, i64, Slot::from_i64),
+        I64Load8U(m) => load!(inst, stack, m, 1, u8, i64, Slot::from_i64),
+        I64Load16S(m) => load!(inst, stack, m, 2, i16, i64, Slot::from_i64),
+        I64Load16U(m) => load!(inst, stack, m, 2, u16, i64, Slot::from_i64),
+        I64Load32S(m) => load!(inst, stack, m, 4, i32, i64, Slot::from_i64),
+        I64Load32U(m) => load!(inst, stack, m, 4, u32, i64, Slot::from_i64),
         V128Load(m) => {
-            let addr = pop_i32(stack) as u32;
+            let addr = pop(stack).u32();
             let start = inst.memory.effective(addr, m.offset, 16)?;
-            stack.push(Value::V128(u128::from_le_bytes(inst.memory.load::<16>(start))));
+            push_v128(stack, u128::from_le_bytes(inst.memory.load::<16>(start)));
         }
 
-        I32Store(m) => store!(inst, stack, m, 4, pop_i32, u32),
-        I64Store(m) => store!(inst, stack, m, 8, pop_i64, u64),
-        F32Store(m) => {
-            let val = pop_f32(stack);
-            let addr = pop_i32(stack) as u32;
-            let start = inst.memory.effective(addr, m.offset, 4)?;
-            inst.memory.store(start, &val.to_le_bytes());
-        }
-        F64Store(m) => {
-            let val = pop_f64(stack);
-            let addr = pop_i32(stack) as u32;
-            let start = inst.memory.effective(addr, m.offset, 8)?;
-            inst.memory.store(start, &val.to_le_bytes());
-        }
-        I32Store8(m) => store!(inst, stack, m, 1, pop_i32, u8),
-        I32Store16(m) => store!(inst, stack, m, 2, pop_i32, u16),
-        I64Store8(m) => store!(inst, stack, m, 1, pop_i64, u8),
-        I64Store16(m) => store!(inst, stack, m, 2, pop_i64, u16),
-        I64Store32(m) => store!(inst, stack, m, 4, pop_i64, u32),
+        I32Store(m) => store!(inst, stack, m, 4, i32, u32),
+        I64Store(m) => store!(inst, stack, m, 8, i64, u64),
+        F32Store(m) => store!(inst, stack, m, 4, u32, u32),
+        F64Store(m) => store!(inst, stack, m, 8, u64, u64),
+        I32Store8(m) => store!(inst, stack, m, 1, i32, u8),
+        I32Store16(m) => store!(inst, stack, m, 2, i32, u16),
+        I64Store8(m) => store!(inst, stack, m, 1, i64, u8),
+        I64Store16(m) => store!(inst, stack, m, 2, i64, u16),
+        I64Store32(m) => store!(inst, stack, m, 4, i64, u32),
         V128Store(m) => {
             let val = pop_v128(stack);
-            let addr = pop_i32(stack) as u32;
+            let addr = pop(stack).u32();
             let start = inst.memory.effective(addr, m.offset, 16)?;
             inst.memory.store(start, &val.to_le_bytes());
         }
 
-        MemorySize => stack.push(Value::I32(inst.memory.size_pages() as i32)),
+        MemorySize => stack.push(Slot::from_i32(inst.memory.size_pages() as i32)),
         MemoryGrow => {
-            let delta = pop_i32(stack);
+            let delta = pop(stack).i32();
             let r = if delta < 0 { -1 } else { inst.memory.grow(delta as u32) };
-            stack.push(Value::I32(r));
+            stack.push(Slot::from_i32(r));
         }
         MemoryCopy => {
-            let len = pop_i32(stack) as u32;
-            let src = pop_i32(stack) as u32;
-            let dst = pop_i32(stack) as u32;
+            let len = pop(stack).u32();
+            let src = pop(stack).u32();
+            let dst = pop(stack).u32();
             inst.memory.copy_within(dst, src, len)?;
         }
         MemoryFill => {
-            let len = pop_i32(stack) as u32;
-            let val = pop_i32(stack) as u8;
-            let dst = pop_i32(stack) as u32;
+            let len = pop(stack).u32();
+            let val = pop(stack).i32() as u8;
+            let dst = pop(stack).u32();
             inst.memory.fill(dst, val, len)?;
         }
 
-        I32Const(v) => stack.push(Value::I32(*v)),
-        I64Const(v) => stack.push(Value::I64(*v)),
-        F32Const(v) => stack.push(Value::F32(*v)),
-        F64Const(v) => stack.push(Value::F64(*v)),
-        V128Const(b) => stack.push(Value::V128(u128::from_le_bytes(*b))),
+        I32Const(v) => stack.push(Slot::from_i32(*v)),
+        I64Const(v) => stack.push(Slot::from_i64(*v)),
+        F32Const(v) => stack.push(Slot::from_f32(*v)),
+        F64Const(v) => stack.push(Slot::from_f64(*v)),
+        V128Const(b) => push_v128(stack, u128::from_le_bytes(*b)),
 
-        I32Eqz => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32((v == 0) as i32));
-        }
-        I64Eqz => {
-            let v = pop_i64(stack);
-            stack.push(Value::I32((v == 0) as i32));
-        }
+        I32Eqz => unop!(stack, i32, Slot::from_bool, |v| v == 0),
+        I64Eqz => unop!(stack, i64, Slot::from_bool, |v| v == 0),
 
-        I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
-        | I32GeU => {
-            let b = pop_i32(stack);
-            let a = pop_i32(stack);
-            let r = match instr {
-                I32Eq => a == b,
-                I32Ne => a != b,
-                I32LtS => a < b,
-                I32LtU => (a as u32) < (b as u32),
-                I32GtS => a > b,
-                I32GtU => (a as u32) > (b as u32),
-                I32LeS => a <= b,
-                I32LeU => (a as u32) <= (b as u32),
-                I32GeS => a >= b,
-                _ => (a as u32) >= (b as u32),
-            };
-            stack.push(Value::I32(r as i32));
-        }
-        I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS
-        | I64GeU => {
-            let b = pop_i64(stack);
-            let a = pop_i64(stack);
-            let r = match instr {
-                I64Eq => a == b,
-                I64Ne => a != b,
-                I64LtS => a < b,
-                I64LtU => (a as u64) < (b as u64),
-                I64GtS => a > b,
-                I64GtU => (a as u64) > (b as u64),
-                I64LeS => a <= b,
-                I64LeU => (a as u64) <= (b as u64),
-                I64GeS => a >= b,
-                _ => (a as u64) >= (b as u64),
-            };
-            stack.push(Value::I32(r as i32));
-        }
-        F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => {
-            let b = pop_f32(stack);
-            let a = pop_f32(stack);
-            let r = match instr {
-                F32Eq => a == b,
-                F32Ne => a != b,
-                F32Lt => a < b,
-                F32Gt => a > b,
-                F32Le => a <= b,
-                _ => a >= b,
-            };
-            stack.push(Value::I32(r as i32));
-        }
-        F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => {
-            let b = pop_f64(stack);
-            let a = pop_f64(stack);
-            let r = match instr {
-                F64Eq => a == b,
-                F64Ne => a != b,
-                F64Lt => a < b,
-                F64Gt => a > b,
-                F64Le => a <= b,
-                _ => a >= b,
-            };
-            stack.push(Value::I32(r as i32));
-        }
+        I32Eq => binop!(stack, i32, Slot::from_bool, |a, b| a == b),
+        I32Ne => binop!(stack, i32, Slot::from_bool, |a, b| a != b),
+        I32LtS => binop!(stack, i32, Slot::from_bool, |a, b| a < b),
+        I32LtU => binop!(stack, u32, Slot::from_bool, |a, b| a < b),
+        I32GtS => binop!(stack, i32, Slot::from_bool, |a, b| a > b),
+        I32GtU => binop!(stack, u32, Slot::from_bool, |a, b| a > b),
+        I32LeS => binop!(stack, i32, Slot::from_bool, |a, b| a <= b),
+        I32LeU => binop!(stack, u32, Slot::from_bool, |a, b| a <= b),
+        I32GeS => binop!(stack, i32, Slot::from_bool, |a, b| a >= b),
+        I32GeU => binop!(stack, u32, Slot::from_bool, |a, b| a >= b),
+        I64Eq => binop!(stack, i64, Slot::from_bool, |a, b| a == b),
+        I64Ne => binop!(stack, i64, Slot::from_bool, |a, b| a != b),
+        I64LtS => binop!(stack, i64, Slot::from_bool, |a, b| a < b),
+        I64LtU => binop!(stack, u64, Slot::from_bool, |a, b| a < b),
+        I64GtS => binop!(stack, i64, Slot::from_bool, |a, b| a > b),
+        I64GtU => binop!(stack, u64, Slot::from_bool, |a, b| a > b),
+        I64LeS => binop!(stack, i64, Slot::from_bool, |a, b| a <= b),
+        I64LeU => binop!(stack, u64, Slot::from_bool, |a, b| a <= b),
+        I64GeS => binop!(stack, i64, Slot::from_bool, |a, b| a >= b),
+        I64GeU => binop!(stack, u64, Slot::from_bool, |a, b| a >= b),
+        F32Eq => binop!(stack, f32, Slot::from_bool, |a, b| a == b),
+        F32Ne => binop!(stack, f32, Slot::from_bool, |a, b| a != b),
+        F32Lt => binop!(stack, f32, Slot::from_bool, |a, b| a < b),
+        F32Gt => binop!(stack, f32, Slot::from_bool, |a, b| a > b),
+        F32Le => binop!(stack, f32, Slot::from_bool, |a, b| a <= b),
+        F32Ge => binop!(stack, f32, Slot::from_bool, |a, b| a >= b),
+        F64Eq => binop!(stack, f64, Slot::from_bool, |a, b| a == b),
+        F64Ne => binop!(stack, f64, Slot::from_bool, |a, b| a != b),
+        F64Lt => binop!(stack, f64, Slot::from_bool, |a, b| a < b),
+        F64Gt => binop!(stack, f64, Slot::from_bool, |a, b| a > b),
+        F64Le => binop!(stack, f64, Slot::from_bool, |a, b| a <= b),
+        F64Ge => binop!(stack, f64, Slot::from_bool, |a, b| a >= b),
 
-        I32Clz => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32(v.leading_zeros() as i32));
+        I32Clz => unop!(stack, i32, Slot::from_i32, |v: i32| v.leading_zeros() as i32),
+        I32Ctz => unop!(stack, i32, Slot::from_i32, |v: i32| v.trailing_zeros() as i32),
+        I32Popcnt => unop!(stack, i32, Slot::from_i32, |v: i32| v.count_ones() as i32),
+        I32Add => binop!(stack, i32, Slot::from_i32, i32::wrapping_add),
+        I32Sub => binop!(stack, i32, Slot::from_i32, i32::wrapping_sub),
+        I32Mul => binop!(stack, i32, Slot::from_i32, i32::wrapping_mul),
+        I32And => binop!(stack, i32, Slot::from_i32, |a, b| a & b),
+        I32Or => binop!(stack, i32, Slot::from_i32, |a, b| a | b),
+        I32Xor => binop!(stack, i32, Slot::from_i32, |a, b| a ^ b),
+        I32Shl => binop!(stack, i32, Slot::from_i32, |a: i32, b| a.wrapping_shl(b as u32)),
+        I32ShrS => binop!(stack, i32, Slot::from_i32, |a: i32, b| a.wrapping_shr(b as u32)),
+        I32ShrU => {
+            binop!(stack, i32, Slot::from_i32, |a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
         }
-        I32Ctz => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32(v.trailing_zeros() as i32));
+        I32Rotl => binop!(stack, i32, Slot::from_i32, |a: i32, b| a.rotate_left((b as u32) & 31)),
+        I32Rotr => binop!(stack, i32, Slot::from_i32, |a: i32, b| a.rotate_right((b as u32) & 31)),
+        I32DivS => {
+            let b = pop(stack).i32();
+            let a = pop(stack).i32();
+            stack.push(Slot::from_i32(i32_div_s(a, b)?));
         }
-        I32Popcnt => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32(v.count_ones() as i32));
+        I32DivU => {
+            let b = pop(stack).i32();
+            let a = pop(stack).i32();
+            stack.push(Slot::from_i32(i32_div_u(a, b)?));
         }
-        I32Add | I32Sub | I32Mul | I32And | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU
-        | I32Rotl | I32Rotr => {
-            let b = pop_i32(stack);
-            let a = pop_i32(stack);
-            let r = match instr {
-                I32Add => a.wrapping_add(b),
-                I32Sub => a.wrapping_sub(b),
-                I32Mul => a.wrapping_mul(b),
-                I32And => a & b,
-                I32Or => a | b,
-                I32Xor => a ^ b,
-                I32Shl => a.wrapping_shl(b as u32),
-                I32ShrS => a.wrapping_shr(b as u32),
-                I32ShrU => ((a as u32).wrapping_shr(b as u32)) as i32,
-                I32Rotl => a.rotate_left((b as u32) & 31),
-                _ => a.rotate_right((b as u32) & 31),
-            };
-            stack.push(Value::I32(r));
+        I32RemS => {
+            let b = pop(stack).i32();
+            let a = pop(stack).i32();
+            stack.push(Slot::from_i32(i32_rem_s(a, b)?));
         }
-        I32DivS | I32DivU | I32RemS | I32RemU => {
-            let b = pop_i32(stack);
-            let a = pop_i32(stack);
-            if b == 0 {
-                return Err(Trap::IntegerDivideByZero);
-            }
-            let r = match instr {
-                I32DivS => {
-                    if a == i32::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    a.wrapping_div(b)
-                }
-                I32DivU => ((a as u32) / (b as u32)) as i32,
-                I32RemS => a.wrapping_rem(b),
-                _ => ((a as u32) % (b as u32)) as i32,
-            };
-            stack.push(Value::I32(r));
+        I32RemU => {
+            let b = pop(stack).i32();
+            let a = pop(stack).i32();
+            stack.push(Slot::from_i32(i32_rem_u(a, b)?));
         }
 
-        I64Clz => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v.leading_zeros() as i64));
+        I64Clz => unop!(stack, i64, Slot::from_i64, |v: i64| v.leading_zeros() as i64),
+        I64Ctz => unop!(stack, i64, Slot::from_i64, |v: i64| v.trailing_zeros() as i64),
+        I64Popcnt => unop!(stack, i64, Slot::from_i64, |v: i64| v.count_ones() as i64),
+        I64Add => binop!(stack, i64, Slot::from_i64, i64::wrapping_add),
+        I64Sub => binop!(stack, i64, Slot::from_i64, i64::wrapping_sub),
+        I64Mul => binop!(stack, i64, Slot::from_i64, i64::wrapping_mul),
+        I64And => binop!(stack, i64, Slot::from_i64, |a, b| a & b),
+        I64Or => binop!(stack, i64, Slot::from_i64, |a, b| a | b),
+        I64Xor => binop!(stack, i64, Slot::from_i64, |a, b| a ^ b),
+        I64Shl => binop!(stack, i64, Slot::from_i64, |a: i64, b| a.wrapping_shl(b as u32)),
+        I64ShrS => binop!(stack, i64, Slot::from_i64, |a: i64, b| a.wrapping_shr(b as u32)),
+        I64ShrU => {
+            binop!(stack, i64, Slot::from_i64, |a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
         }
-        I64Ctz => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v.trailing_zeros() as i64));
+        I64Rotl => {
+            binop!(stack, i64, Slot::from_i64, |a: i64, b| a.rotate_left((b as u64 & 63) as u32))
         }
-        I64Popcnt => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v.count_ones() as i64));
+        I64Rotr => {
+            binop!(stack, i64, Slot::from_i64, |a: i64, b| a.rotate_right((b as u64 & 63) as u32))
         }
-        I64Add | I64Sub | I64Mul | I64And | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU
-        | I64Rotl | I64Rotr => {
-            let b = pop_i64(stack);
-            let a = pop_i64(stack);
-            let r = match instr {
-                I64Add => a.wrapping_add(b),
-                I64Sub => a.wrapping_sub(b),
-                I64Mul => a.wrapping_mul(b),
-                I64And => a & b,
-                I64Or => a | b,
-                I64Xor => a ^ b,
-                I64Shl => a.wrapping_shl(b as u32),
-                I64ShrS => a.wrapping_shr(b as u32),
-                I64ShrU => ((a as u64).wrapping_shr(b as u32)) as i64,
-                I64Rotl => a.rotate_left((b as u64 & 63) as u32),
-                _ => a.rotate_right((b as u64 & 63) as u32),
-            };
-            stack.push(Value::I64(r));
+        I64DivS => {
+            let b = pop(stack).i64();
+            let a = pop(stack).i64();
+            stack.push(Slot::from_i64(i64_div_s(a, b)?));
         }
-        I64DivS | I64DivU | I64RemS | I64RemU => {
-            let b = pop_i64(stack);
-            let a = pop_i64(stack);
-            if b == 0 {
-                return Err(Trap::IntegerDivideByZero);
-            }
-            let r = match instr {
-                I64DivS => {
-                    if a == i64::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    a.wrapping_div(b)
-                }
-                I64DivU => ((a as u64) / (b as u64)) as i64,
-                I64RemS => a.wrapping_rem(b),
-                _ => ((a as u64) % (b as u64)) as i64,
-            };
-            stack.push(Value::I64(r));
+        I64DivU => {
+            let b = pop(stack).i64();
+            let a = pop(stack).i64();
+            stack.push(Slot::from_i64(i64_div_u(a, b)?));
+        }
+        I64RemS => {
+            let b = pop(stack).i64();
+            let a = pop(stack).i64();
+            stack.push(Slot::from_i64(i64_rem_s(a, b)?));
+        }
+        I64RemU => {
+            let b = pop(stack).i64();
+            let a = pop(stack).i64();
+            stack.push(Slot::from_i64(i64_rem_u(a, b)?));
         }
 
-        F32Abs => funop32(stack, f32::abs),
-        F32Neg => funop32(stack, |v| -v),
-        F32Ceil => funop32(stack, f32::ceil),
-        F32Floor => funop32(stack, f32::floor),
-        F32Trunc => funop32(stack, f32::trunc),
-        F32Nearest => funop32(stack, nearest32),
-        F32Sqrt => funop32(stack, f32::sqrt),
-        F32Add => fbinop32(stack, |a, b| a + b),
-        F32Sub => fbinop32(stack, |a, b| a - b),
-        F32Mul => fbinop32(stack, |a, b| a * b),
-        F32Div => fbinop32(stack, |a, b| a / b),
-        F32Min => fbinop32(stack, fmin32),
-        F32Max => fbinop32(stack, fmax32),
-        F32Copysign => fbinop32(stack, f32::copysign),
+        F32Abs => unop!(stack, f32, Slot::from_f32, f32::abs),
+        F32Neg => unop!(stack, f32, Slot::from_f32, |v: f32| -v),
+        F32Ceil => unop!(stack, f32, Slot::from_f32, f32::ceil),
+        F32Floor => unop!(stack, f32, Slot::from_f32, f32::floor),
+        F32Trunc => unop!(stack, f32, Slot::from_f32, f32::trunc),
+        F32Nearest => unop!(stack, f32, Slot::from_f32, nearest32),
+        F32Sqrt => unop!(stack, f32, Slot::from_f32, f32::sqrt),
+        F32Add => binop!(stack, f32, Slot::from_f32, |a, b| a + b),
+        F32Sub => binop!(stack, f32, Slot::from_f32, |a, b| a - b),
+        F32Mul => binop!(stack, f32, Slot::from_f32, |a, b| a * b),
+        F32Div => binop!(stack, f32, Slot::from_f32, |a, b| a / b),
+        F32Min => binop!(stack, f32, Slot::from_f32, fmin32),
+        F32Max => binop!(stack, f32, Slot::from_f32, fmax32),
+        F32Copysign => binop!(stack, f32, Slot::from_f32, f32::copysign),
 
-        F64Abs => funop64(stack, f64::abs),
-        F64Neg => funop64(stack, |v| -v),
-        F64Ceil => funop64(stack, f64::ceil),
-        F64Floor => funop64(stack, f64::floor),
-        F64Trunc => funop64(stack, f64::trunc),
-        F64Nearest => funop64(stack, nearest64),
-        F64Sqrt => funop64(stack, f64::sqrt),
-        F64Add => fbinop64(stack, |a, b| a + b),
-        F64Sub => fbinop64(stack, |a, b| a - b),
-        F64Mul => fbinop64(stack, |a, b| a * b),
-        F64Div => fbinop64(stack, |a, b| a / b),
-        F64Min => fbinop64(stack, fmin64),
-        F64Max => fbinop64(stack, fmax64),
-        F64Copysign => fbinop64(stack, f64::copysign),
+        F64Abs => unop!(stack, f64, Slot::from_f64, f64::abs),
+        F64Neg => unop!(stack, f64, Slot::from_f64, |v: f64| -v),
+        F64Ceil => unop!(stack, f64, Slot::from_f64, f64::ceil),
+        F64Floor => unop!(stack, f64, Slot::from_f64, f64::floor),
+        F64Trunc => unop!(stack, f64, Slot::from_f64, f64::trunc),
+        F64Nearest => unop!(stack, f64, Slot::from_f64, nearest64),
+        F64Sqrt => unop!(stack, f64, Slot::from_f64, f64::sqrt),
+        F64Add => binop!(stack, f64, Slot::from_f64, |a, b| a + b),
+        F64Sub => binop!(stack, f64, Slot::from_f64, |a, b| a - b),
+        F64Mul => binop!(stack, f64, Slot::from_f64, |a, b| a * b),
+        F64Div => binop!(stack, f64, Slot::from_f64, |a, b| a / b),
+        F64Min => binop!(stack, f64, Slot::from_f64, fmin64),
+        F64Max => binop!(stack, f64, Slot::from_f64, fmax64),
+        F64Copysign => binop!(stack, f64, Slot::from_f64, f64::copysign),
 
-        I32WrapI64 => {
-            let v = pop_i64(stack);
-            stack.push(Value::I32(v as i32));
-        }
+        I32WrapI64 => unop!(stack, i64, Slot::from_i32, |v| v as i32),
         I32TruncF32S => {
-            let v = pop_f32(stack);
-            stack.push(Value::I32(trunc_f64_to_i32(v as f64)?));
+            let v = pop(stack).f32();
+            stack.push(Slot::from_i32(trunc_f64_to_i32(v as f64)?));
         }
         I32TruncF32U => {
-            let v = pop_f32(stack);
-            stack.push(Value::I32(trunc_f64_to_u32(v as f64)? as i32));
+            let v = pop(stack).f32();
+            stack.push(Slot::from_i32(trunc_f64_to_u32(v as f64)? as i32));
         }
         I32TruncF64S => {
-            let v = pop_f64(stack);
-            stack.push(Value::I32(trunc_f64_to_i32(v)?));
+            let v = pop(stack).f64();
+            stack.push(Slot::from_i32(trunc_f64_to_i32(v)?));
         }
         I32TruncF64U => {
-            let v = pop_f64(stack);
-            stack.push(Value::I32(trunc_f64_to_u32(v)? as i32));
+            let v = pop(stack).f64();
+            stack.push(Slot::from_i32(trunc_f64_to_u32(v)? as i32));
         }
-        I64ExtendI32S => {
-            let v = pop_i32(stack);
-            stack.push(Value::I64(v as i64));
-        }
-        I64ExtendI32U => {
-            let v = pop_i32(stack);
-            stack.push(Value::I64(v as u32 as i64));
-        }
+        I64ExtendI32S => unop!(stack, i32, Slot::from_i64, |v| v as i64),
+        I64ExtendI32U => unop!(stack, i32, Slot::from_i64, |v| v as u32 as i64),
         I64TruncF32S => {
-            let v = pop_f32(stack);
-            stack.push(Value::I64(trunc_f64_to_i64(v as f64)?));
+            let v = pop(stack).f32();
+            stack.push(Slot::from_i64(trunc_f64_to_i64(v as f64)?));
         }
         I64TruncF32U => {
-            let v = pop_f32(stack);
-            stack.push(Value::I64(trunc_f64_to_u64(v as f64)? as i64));
+            let v = pop(stack).f32();
+            stack.push(Slot::from_i64(trunc_f64_to_u64(v as f64)? as i64));
         }
         I64TruncF64S => {
-            let v = pop_f64(stack);
-            stack.push(Value::I64(trunc_f64_to_i64(v)?));
+            let v = pop(stack).f64();
+            stack.push(Slot::from_i64(trunc_f64_to_i64(v)?));
         }
         I64TruncF64U => {
-            let v = pop_f64(stack);
-            stack.push(Value::I64(trunc_f64_to_u64(v)? as i64));
+            let v = pop(stack).f64();
+            stack.push(Slot::from_i64(trunc_f64_to_u64(v)? as i64));
         }
-        F32ConvertI32S => {
-            let v = pop_i32(stack);
-            stack.push(Value::F32(v as f32));
-        }
-        F32ConvertI32U => {
-            let v = pop_i32(stack);
-            stack.push(Value::F32(v as u32 as f32));
-        }
-        F32ConvertI64S => {
-            let v = pop_i64(stack);
-            stack.push(Value::F32(v as f32));
-        }
-        F32ConvertI64U => {
-            let v = pop_i64(stack);
-            stack.push(Value::F32(v as u64 as f32));
-        }
-        F32DemoteF64 => {
-            let v = pop_f64(stack);
-            stack.push(Value::F32(v as f32));
-        }
-        F64ConvertI32S => {
-            let v = pop_i32(stack);
-            stack.push(Value::F64(v as f64));
-        }
-        F64ConvertI32U => {
-            let v = pop_i32(stack);
-            stack.push(Value::F64(v as u32 as f64));
-        }
-        F64ConvertI64S => {
-            let v = pop_i64(stack);
-            stack.push(Value::F64(v as f64));
-        }
-        F64ConvertI64U => {
-            let v = pop_i64(stack);
-            stack.push(Value::F64(v as u64 as f64));
-        }
-        F64PromoteF32 => {
-            let v = pop_f32(stack);
-            stack.push(Value::F64(v as f64));
-        }
-        I32ReinterpretF32 => {
-            let v = pop_f32(stack);
-            stack.push(Value::I32(v.to_bits() as i32));
-        }
-        I64ReinterpretF64 => {
-            let v = pop_f64(stack);
-            stack.push(Value::I64(v.to_bits() as i64));
-        }
-        F32ReinterpretI32 => {
-            let v = pop_i32(stack);
-            stack.push(Value::F32(f32::from_bits(v as u32)));
-        }
-        F64ReinterpretI64 => {
-            let v = pop_i64(stack);
-            stack.push(Value::F64(f64::from_bits(v as u64)));
-        }
-        I32Extend8S => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32(v as i8 as i32));
-        }
-        I32Extend16S => {
-            let v = pop_i32(stack);
-            stack.push(Value::I32(v as i16 as i32));
-        }
-        I64Extend8S => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v as i8 as i64));
-        }
-        I64Extend16S => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v as i16 as i64));
-        }
-        I64Extend32S => {
-            let v = pop_i64(stack);
-            stack.push(Value::I64(v as i32 as i64));
-        }
+        F32ConvertI32S => unop!(stack, i32, Slot::from_f32, |v| v as f32),
+        F32ConvertI32U => unop!(stack, i32, Slot::from_f32, |v| v as u32 as f32),
+        F32ConvertI64S => unop!(stack, i64, Slot::from_f32, |v| v as f32),
+        F32ConvertI64U => unop!(stack, i64, Slot::from_f32, |v| v as u64 as f32),
+        F32DemoteF64 => unop!(stack, f64, Slot::from_f32, |v| v as f32),
+        F64ConvertI32S => unop!(stack, i32, Slot::from_f64, |v| v as f64),
+        F64ConvertI32U => unop!(stack, i32, Slot::from_f64, |v| v as u32 as f64),
+        F64ConvertI64S => unop!(stack, i64, Slot::from_f64, |v| v as f64),
+        F64ConvertI64U => unop!(stack, i64, Slot::from_f64, |v| v as u64 as f64),
+        F64PromoteF32 => unop!(stack, f32, Slot::from_f64, |v| v as f64),
+        // Reinterpretations are no-ops on raw slots.
+        I32ReinterpretF32 | F32ReinterpretI32 => {}
+        I64ReinterpretF64 | F64ReinterpretI64 => {}
+        I32Extend8S => unop!(stack, i32, Slot::from_i32, |v| v as i8 as i32),
+        I32Extend16S => unop!(stack, i32, Slot::from_i32, |v| v as i16 as i32),
+        I64Extend8S => unop!(stack, i64, Slot::from_i64, |v| v as i8 as i64),
+        I64Extend16S => unop!(stack, i64, Slot::from_i64, |v| v as i16 as i64),
+        I64Extend32S => unop!(stack, i64, Slot::from_i64, |v| v as i32 as i64),
 
         // --- SIMD ---
         I32x4Splat => {
-            let v = pop_i32(stack);
-            stack.push(Value::V128(i32x4_to_v([v; 4])));
+            let v = pop(stack).i32();
+            push_v128(stack, i32x4_to_v([v; 4]));
         }
         I64x2Splat => {
-            let v = pop_i64(stack) as u64;
-            stack.push(Value::V128((v as u128) | ((v as u128) << 64)));
+            let v = pop(stack).u64();
+            push_v128(stack, (v as u128) | ((v as u128) << 64));
         }
         F32x4Splat => {
-            let v = pop_f32(stack);
-            stack.push(Value::V128(f32x4_to_v([v; 4])));
+            let v = pop(stack).f32();
+            push_v128(stack, f32x4_to_v([v; 4]));
         }
         F64x2Splat => {
-            let v = pop_f64(stack);
-            stack.push(Value::V128(f64x2_to_v([v; 2])));
+            let v = pop(stack).f64();
+            push_v128(stack, f64x2_to_v([v; 2]));
         }
         I32x4ExtractLane(l) => {
             let v = pop_v128(stack);
-            stack.push(Value::I32(v_to_i32x4(v)[*l as usize]));
+            stack.push(Slot::from_i32(v_to_i32x4(v)[*l as usize]));
         }
         F32x4ExtractLane(l) => {
             let v = pop_v128(stack);
-            stack.push(Value::F32(v_to_f32x4(v)[*l as usize]));
+            stack.push(Slot::from_f32(v_to_f32x4(v)[*l as usize]));
         }
         F64x2ExtractLane(l) => {
             let v = pop_v128(stack);
-            stack.push(Value::F64(v_to_f64x2(v)[*l as usize]));
+            stack.push(Slot::from_f64(v_to_f64x2(v)[*l as usize]));
         }
         F64x2ReplaceLane(l) => {
-            let x = pop_f64(stack);
+            let x = pop(stack).f64();
             let v = pop_v128(stack);
             let mut lanes = v_to_f64x2(v);
             lanes[*l as usize] = x;
-            stack.push(Value::V128(f64x2_to_v(lanes)));
+            push_v128(stack, f64x2_to_v(lanes));
         }
-        I32x4Add | I32x4Sub | I32x4Mul => {
-            let b = v_to_i32x4(pop_v128(stack));
-            let a = v_to_i32x4(pop_v128(stack));
-            let mut out = [0i32; 4];
-            for i in 0..4 {
-                out[i] = match instr {
-                    I32x4Add => a[i].wrapping_add(b[i]),
-                    I32x4Sub => a[i].wrapping_sub(b[i]),
-                    _ => a[i].wrapping_mul(b[i]),
-                };
-            }
-            stack.push(Value::V128(i32x4_to_v(out)));
+        I32x4Add => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, i32x4_bin(a, b, i32::wrapping_add));
         }
-        F32x4Add | F32x4Sub | F32x4Mul | F32x4Div => {
-            let b = v_to_f32x4(pop_v128(stack));
-            let a = v_to_f32x4(pop_v128(stack));
-            let mut out = [0f32; 4];
-            for i in 0..4 {
-                out[i] = match instr {
-                    F32x4Add => a[i] + b[i],
-                    F32x4Sub => a[i] - b[i],
-                    F32x4Mul => a[i] * b[i],
-                    _ => a[i] / b[i],
-                };
-            }
-            stack.push(Value::V128(f32x4_to_v(out)));
+        I32x4Sub => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, i32x4_bin(a, b, i32::wrapping_sub));
         }
-        F64x2Add | F64x2Sub | F64x2Mul | F64x2Div => {
-            let b = v_to_f64x2(pop_v128(stack));
-            let a = v_to_f64x2(pop_v128(stack));
-            let mut out = [0f64; 2];
-            for i in 0..2 {
-                out[i] = match instr {
-                    F64x2Add => a[i] + b[i],
-                    F64x2Sub => a[i] - b[i],
-                    F64x2Mul => a[i] * b[i],
-                    _ => a[i] / b[i],
-                };
-            }
-            stack.push(Value::V128(f64x2_to_v(out)));
+        I32x4Mul => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, i32x4_bin(a, b, i32::wrapping_mul));
+        }
+        F32x4Add => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f32x4_bin(a, b, |x, y| x + y));
+        }
+        F32x4Sub => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f32x4_bin(a, b, |x, y| x - y));
+        }
+        F32x4Mul => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f32x4_bin(a, b, |x, y| x * y));
+        }
+        F32x4Div => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f32x4_bin(a, b, |x, y| x / y));
+        }
+        F64x2Add => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f64x2_bin(a, b, |x, y| x + y));
+        }
+        F64x2Sub => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f64x2_bin(a, b, |x, y| x - y));
+        }
+        F64x2Mul => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f64x2_bin(a, b, |x, y| x * y));
+        }
+        F64x2Div => {
+            let b = pop_v128(stack);
+            let a = pop_v128(stack);
+            push_v128(stack, f64x2_bin(a, b, |x, y| x / y));
         }
         F64x2Eq => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x == y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x == y));
         }
         F64x2Ne => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x != y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x != y));
         }
         F64x2Lt => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x < y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x < y));
         }
         F64x2Gt => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x > y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x > y));
         }
         F64x2Le => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x <= y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x <= y));
         }
         F64x2Ge => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(f64x2_cmp(a, b, |x, y| x >= y)));
+            push_v128(stack, f64x2_cmp(a, b, |x, y| x >= y));
         }
         V128And => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(a & b));
+            push_v128(stack, a & b);
         }
         V128Or => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(a | b));
+            push_v128(stack, a | b);
         }
         V128Xor => {
             let b = pop_v128(stack);
             let a = pop_v128(stack);
-            stack.push(Value::V128(a ^ b));
+            push_v128(stack, a ^ b);
         }
         V128Not => {
             let a = pop_v128(stack);
-            stack.push(Value::V128(!a));
+            push_v128(stack, !a);
         }
         V128AnyTrue => {
             let a = pop_v128(stack);
-            stack.push(Value::I32((a != 0) as i32));
+            stack.push(Slot::from_bool(a != 0));
         }
         I32x4AllTrue => {
             let a = v_to_i32x4(pop_v128(stack));
-            stack.push(Value::I32(a.iter().all(|&l| l != 0) as i32));
+            stack.push(Slot::from_bool(a.iter().all(|&l| l != 0)));
         }
         I32x4Bitmask => {
             let a = v_to_i32x4(pop_v128(stack));
@@ -853,48 +819,12 @@ pub(crate) fn step(
                     m |= 1 << i;
                 }
             }
-            stack.push(Value::I32(m));
+            stack.push(Slot::from_i32(m));
         }
 
-        other => unreachable!("control instruction {other:?} passed to exec::step"),
+        other => unreachable!("control/call/parametric instruction {other:?} in exec::step"),
     }
     Ok(())
-}
-
-#[inline]
-fn call_push(inst: &mut Instance, stack: &mut Vec<Value>, func_idx: u32) -> Result<(), Trap> {
-    let n_params = inst.func_types[func_idx as usize].params.len();
-    let at = stack.len() - n_params;
-    let args: Vec<Value> = stack.split_off(at);
-    let results = inst.call_func_unchecked(func_idx, &args)?;
-    stack.extend(results);
-    Ok(())
-}
-
-#[inline]
-fn funop32(stack: &mut Vec<Value>, f: impl Fn(f32) -> f32) {
-    let v = pop_f32(stack);
-    stack.push(Value::F32(f(v)));
-}
-
-#[inline]
-fn fbinop32(stack: &mut Vec<Value>, f: impl Fn(f32, f32) -> f32) {
-    let b = pop_f32(stack);
-    let a = pop_f32(stack);
-    stack.push(Value::F32(f(a, b)));
-}
-
-#[inline]
-fn funop64(stack: &mut Vec<Value>, f: impl Fn(f64) -> f64) {
-    let v = pop_f64(stack);
-    stack.push(Value::F64(f(v)));
-}
-
-#[inline]
-fn fbinop64(stack: &mut Vec<Value>, f: impl Fn(f64, f64) -> f64) {
-    let b = pop_f64(stack);
-    let a = pop_f64(stack);
-    stack.push(Value::F64(f(a, b)));
 }
 
 /// Placeholder for memarg-free tests.
@@ -954,5 +884,23 @@ mod tests {
         let lt = f64x2_cmp(a, b, |x, y| x < y);
         assert_eq!(lt & u64::MAX as u128, u64::MAX as u128);
         assert_eq!(lt >> 64, 0);
+    }
+
+    #[test]
+    fn slot_stack_v128_roundtrip() {
+        let mut stack = Vec::new();
+        push_v128(&mut stack, 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128);
+        assert_eq!(stack.len(), 2);
+        assert_eq!(pop_v128(&mut stack), 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128);
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn div_traps() {
+        assert!(matches!(i32_div_s(1, 0), Err(Trap::IntegerDivideByZero)));
+        assert!(matches!(i32_div_s(i32::MIN, -1), Err(Trap::IntegerOverflow)));
+        assert_eq!(i32_div_u(-2, 2).unwrap(), 0x7fff_ffff);
+        assert!(matches!(i64_rem_u(1, 0), Err(Trap::IntegerDivideByZero)));
+        assert_eq!(i64_rem_s(-7, 2).unwrap(), -1);
     }
 }

@@ -1,33 +1,123 @@
 //! The optimizing tiers: flattening of structured Wasm bytecode into a
-//! register-style flat IR with resolved jump targets, plus the optimization
-//! pipeline run by [`crate::tier::Tier::Max`].
+//! register-style flat IR with resolved jump targets, plus the
+//! optimization pipeline run by [`crate::tier::Tier::Max`].
 //!
 //! Flattening resolves all structured control flow (`block`/`loop`/`if`)
-//! into direct jumps with precomputed stack-unwind information, eliminating
-//! the label-stack bookkeeping of the baseline interpreter — this is the
-//! Cranelift analog. The Max tier then runs iterated peephole passes
-//! (constant folding, local/load/store fusion into superinstructions, and
-//! a final jump-threading + nop-compaction pass) — the LLVM analog.
+//! into direct jumps with precomputed stack-unwind information (in slot
+//! units), eliminating the label-stack bookkeeping of the baseline
+//! interpreter — this is the Cranelift analog. The Max tier then runs
+//! iterated peephole passes (constant folding, local/load/store/shift
+//! fusion into superinstructions, compare-and-branch fusion, and a final
+//! jump-threading + nop-compaction pass) — the LLVM analog.
+//!
+//! Two representations coexist:
+//!
+//! * [`Op`] — the serializable form stored in the module cache. Plain
+//!   instructions are embedded [`Instr`]s; superinstructions reference
+//!   locals by *index*.
+//! * [`ExecOp`] — the dense executable form derived by [`FlatFunc::finalize`]:
+//!   every straight-line instruction becomes its own flat variant with
+//!   immediates resolved (local indices → slot offsets), so the dispatch
+//!   loop is a single flat match with no nested `Instr` tag to re-decode
+//!   and no `Value` type tags at run time. Operands and locals live in the
+//!   per-instance slot arena; guest→guest calls push an activation frame
+//!   whose locals are a window into the same buffer (zero per-call
+//!   allocation).
+
+use std::sync::Arc;
 
 use crate::error::Trap;
 use crate::exec;
 use crate::instr::Instr;
 use crate::module::{Function, Module};
-use crate::runtime::{Instance, Value};
+use crate::runtime::{Instance, Slot};
 use crate::tier::CompiledBody;
 use crate::types::{BlockType, ValType};
+use crate::widths;
 
 /// A resolved branch destination.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dest {
     pub target: u32,
-    /// Operand-stack height to unwind to (relative to the frame base).
+    /// Operand-stack height (in slots) to unwind to, relative to the
+    /// frame's operand base.
     pub height: u32,
-    /// Number of values carried over the unwind.
+    /// Number of slots carried over the unwind.
     pub arity: u32,
 }
 
-/// One flat-IR operation.
+/// An i32 comparison fused into a branch superinstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Cmp {
+    Eq = 0,
+    Ne = 1,
+    LtS = 2,
+    LtU = 3,
+    GtS = 4,
+    GtU = 5,
+    LeS = 6,
+    LeU = 7,
+    GeS = 8,
+    GeU = 9,
+}
+
+impl Cmp {
+    #[inline]
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::LtS => a < b,
+            Cmp::LtU => (a as u32) < (b as u32),
+            Cmp::GtS => a > b,
+            Cmp::GtU => (a as u32) > (b as u32),
+            Cmp::LeS => a <= b,
+            Cmp::LeU => (a as u32) <= (b as u32),
+            Cmp::GeS => a >= b,
+            Cmp::GeU => (a as u32) >= (b as u32),
+        }
+    }
+
+    pub fn to_byte(self) -> u8 {
+        self as u8
+    }
+
+    pub fn from_byte(b: u8) -> Option<Cmp> {
+        Some(match b {
+            0 => Cmp::Eq,
+            1 => Cmp::Ne,
+            2 => Cmp::LtS,
+            3 => Cmp::LtU,
+            4 => Cmp::GtS,
+            5 => Cmp::GtU,
+            6 => Cmp::LeS,
+            7 => Cmp::LeU,
+            8 => Cmp::GeS,
+            9 => Cmp::GeU,
+            _ => return None,
+        })
+    }
+}
+
+/// Map an i32 comparison instruction to its fusible [`Cmp`].
+fn cmp_of(i: &Instr) -> Option<Cmp> {
+    Some(match i {
+        Instr::I32Eq => Cmp::Eq,
+        Instr::I32Ne => Cmp::Ne,
+        Instr::I32LtS => Cmp::LtS,
+        Instr::I32LtU => Cmp::LtU,
+        Instr::I32GtS => Cmp::GtS,
+        Instr::I32GtU => Cmp::GtU,
+        Instr::I32LeS => Cmp::LeS,
+        Instr::I32LeU => Cmp::LeU,
+        Instr::I32GeS => Cmp::GeS,
+        Instr::I32GeU => Cmp::GeU,
+        _ => return None,
+    })
+}
+
+/// One flat-IR operation (the cache-serializable form).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// A straight-line instruction with shared semantics.
@@ -49,6 +139,10 @@ pub enum Op {
     /// No-op left behind by peephole rewrites (compacted away by the final
     /// Max-tier pass).
     Nop,
+    /// `drop` of a two-slot (v128) operand.
+    Drop2,
+    /// `select` between two-slot (v128) operands.
+    Select2,
 
     // --- superinstructions produced by the Max tier ---
     /// `push locals[a] + locals[b]` (i32).
@@ -65,42 +159,98 @@ pub enum Op {
     I32AddLK(u16, i32),
     /// `locals[a] = locals[a] + k` (i32), the classic loop-counter step.
     I32IncL(u16, i32),
-    /// `push f64_load(locals[a] + offset)`.
-    F64LoadL { local: u16, offset: u32 },
-    /// `push i32_load(locals[a] + offset)`.
-    I32LoadL { local: u16, offset: u32 },
+    /// `push f64_load((locals[a] +wrap bias) + offset)` — `bias` joins the
+    /// dynamic address with i32 wrap-around (it fuses guest-level adds);
+    /// `offset` is the non-wrapping memarg immediate.
+    F64LoadL { local: u16, bias: i32, offset: u32 },
+    /// `push i32_load((locals[a] +wrap bias) + offset)`.
+    I32LoadL { local: u16, bias: i32, offset: u32 },
     /// `f64_store(locals[addr] + offset, locals[val])`.
     F64StoreLL { addr: u16, val: u16, offset: u32 },
     /// `push popped * locals[b]` (f64) — fuses a loaded value with a factor.
     F64MulL(u16),
     /// `push popped + locals[b]` (f64).
     F64AddL(u16),
+    /// `push locals[a] << k` (i32), the indexed-address scale step.
+    I32ShlLK(u16, u8),
+    /// `push popped + k` (i32).
+    I32AddK(i32),
+    /// `push locals[base] + (locals[idx] << shift)` (i32 address form).
+    I32AddShlLL { base: u16, idx: u16, shift: u8 },
+    /// `push f64_load(locals[base] + (locals[idx] << shift) + offset)`.
+    F64LoadLSh { base: u16, idx: u16, shift: u8, offset: u32 },
+    /// `push i32_load(locals[base] + (locals[idx] << shift) + offset)`.
+    I32LoadLSh { base: u16, idx: u16, shift: u8, offset: u32 },
+    /// `push f64_load(((locals[idx] << shift) +wrap bias) + offset)` — a
+    /// constant base fuses into `bias` with i32 wrap-around, matching the
+    /// guest's own address arithmetic; `offset` is the memarg immediate.
+    F64LoadShlK { idx: u16, shift: u8, bias: i32, offset: u32 },
+    /// `push i32_load(((locals[idx] << shift) +wrap bias) + offset)`.
+    I32LoadShlK { idx: u16, shift: u8, bias: i32, offset: u32 },
+    /// `push c + a * b` (f64): fused multiply-then-add (no FMA
+    /// contraction — both roundings are performed as in the unfused pair).
+    F64MulAdd,
+    /// Compare-and-branch: `if cmp(locals[a], locals[b]) branch dest`.
+    BrIfCmpLL { cmp: Cmp, a: u16, b: u16, dest: Dest },
+    /// Compare-and-branch against a constant.
+    BrIfCmpLK { cmp: Cmp, a: u16, k: i32, dest: Dest },
+    /// Compare-and-branch on the two topmost stack operands.
+    BrIfCmp { cmp: Cmp, dest: Dest },
+    /// `if popped == 0 branch dest` (fused `i32.eqz ; br_if`).
+    BrIfEqz(Dest),
 }
 
 /// A fully compiled flat function.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FlatFunc {
+    /// Serializable ops (the cache artifact form).
     pub ops: Vec<Op>,
+    /// Dense executable form derived from `ops` by [`FlatFunc::finalize`].
+    pub code: Vec<ExecOp>,
     pub n_params: u32,
     pub locals: Vec<ValType>,
+    /// Result count in values (kept for the cache format).
     pub result_arity: u32,
+    /// Result count in slots.
+    pub result_slots: u32,
+    /// Parameter count in slots.
+    pub param_slots: u32,
+    /// Total local (params + declared) slot count.
+    pub n_local_slots: u32,
+    /// Per local index: `slot_offset << 1 | is_v128`.
+    pub local_map: Vec<u32>,
 }
 
 impl FlatFunc {
-    /// Approximate in-memory size in bytes (ops dominate).
+    /// Approximate in-memory size in bytes (ops + code dominate).
     pub fn size_bytes(&self) -> usize {
         self.ops.len() * std::mem::size_of::<Op>()
+            + self.code.len() * std::mem::size_of::<ExecOp>()
             + self.locals.len()
+            + self.local_map.len() * 4
             + std::mem::size_of::<Self>()
+    }
+
+    /// Derive the executable form: slot layout plus the dense opcode
+    /// stream. Must be called (by [`compile`] or the cache loader) before
+    /// the function can run.
+    pub fn finalize(&mut self, module: &Module, func: &Function) {
+        let fty = &module.types[func.type_idx as usize];
+        let (map, n_slots) = widths::local_map(&fty.params, &func.locals);
+        self.param_slots = widths::slot_count(&fty.params);
+        self.result_slots = widths::slot_count(&fty.results);
+        self.n_local_slots = n_slots;
+        self.code = self.ops.iter().map(|op| lower(op, &map)).collect();
+        self.local_map = map;
     }
 }
 
 // --- compilation ---
 
 struct Ctrl {
+    /// Slot height of the frame (operand stack, frame-relative).
     height: u32,
     br_arity: u32,
-    end_arity: u32,
     /// Start ip for loops (branch target).
     loop_start: Option<u32>,
     /// Forward-branch op indices to patch to this frame's end.
@@ -118,19 +268,21 @@ enum Patch {
     Table(usize, usize),
 }
 
-fn block_arities(module: &Module, bt: &BlockType) -> (u32, u32) {
+fn block_arities_slots(module: &Module, bt: &BlockType) -> (u32, u32) {
     match bt {
         BlockType::Empty => (0, 0),
-        BlockType::Value(_) => (0, 1),
+        BlockType::Value(t) => (0, t.slot_width()),
         BlockType::Func(idx) => {
             let t = &module.types[*idx as usize];
-            (t.params.len() as u32, t.results.len() as u32)
+            (widths::slot_count(&t.params), widths::slot_count(&t.results))
         }
     }
 }
 
-/// Net stack effect of a straight-line instruction: (pops, pushes).
-fn stack_effect(module: &Module, i: &Instr) -> (u32, u32) {
+/// Net stack effect of a straight-line instruction in *values* (pops,
+/// pushes). Slot-accurate accounting is done by [`crate::widths`], which
+/// consumes these counts.
+pub(crate) fn stack_effect(module: &Module, i: &Instr) -> (u32, u32) {
     use Instr::*;
     match i {
         Drop => (1, 0),
@@ -195,23 +347,23 @@ fn stack_effect(module: &Module, i: &Instr) -> (u32, u32) {
 pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
     let fty = &module.types[func.type_idx as usize];
     let result_arity = fty.results.len() as u32;
+    let result_slots = widths::slot_count(&fty.results);
+    let info = widths::analyze(module, func);
 
     let mut ops: Vec<Op> = Vec::with_capacity(func.body.len());
     let mut ctrl: Vec<Ctrl> = vec![Ctrl {
         height: 0,
-        br_arity: result_arity,
-        end_arity: result_arity,
+        br_arity: result_slots,
         loop_start: None,
         patches: Vec::new(),
         if_patch: None,
         else_jump: None,
     }];
-    let mut height: u32 = 0;
     // When `Some(n)`, code is statically dead; n counts nested blocks opened
     // inside the dead region.
     let mut dead: Option<u32> = None;
 
-    for instr in &func.body {
+    for (pc, instr) in func.body.iter().enumerate() {
         if let Some(n) = dead {
             match instr {
                 i if i.opens_block() => dead = Some(n + 1),
@@ -233,11 +385,10 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
         match instr {
             Instr::Nop => {}
             Instr::Block(bt) => {
-                let (_, results) = block_arities(module, bt);
+                let (_, results) = block_arities_slots(module, bt);
                 ctrl.push(Ctrl {
-                    height,
+                    height: info.height[pc],
                     br_arity: results,
-                    end_arity: results,
                     loop_start: None,
                     patches: Vec::new(),
                     if_patch: None,
@@ -245,11 +396,10 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 });
             }
             Instr::Loop(bt) => {
-                let (_, results) = block_arities(module, bt);
+                let (params, _results) = block_arities_slots(module, bt);
                 ctrl.push(Ctrl {
-                    height,
-                    br_arity: 0,
-                    end_arity: results,
+                    height: info.height[pc],
+                    br_arity: params,
                     loop_start: Some(ops.len() as u32),
                     patches: Vec::new(),
                     if_patch: None,
@@ -257,14 +407,14 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 });
             }
             Instr::If(bt) => {
-                height -= 1; // condition
-                let (_, results) = block_arities(module, bt);
+                let (_, results) = block_arities_slots(module, bt);
                 let if_patch = ops.len();
                 ops.push(Op::JumpIfZero(u32::MAX));
                 ctrl.push(Ctrl {
-                    height,
+                    // analyze() records the height with the condition (and
+                    // any params) already popped.
+                    height: info.height[pc],
                     br_arity: results,
-                    end_arity: results,
                     loop_start: None,
                     patches: Vec::new(),
                     if_patch: Some(if_patch),
@@ -279,7 +429,6 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                     ops[p] = Op::JumpIfZero(ops.len() as u32);
                 }
                 frame.else_jump = Some(else_jump);
-                height = frame.height;
             }
             Instr::End => {
                 let frame = ctrl.pop().expect("validated");
@@ -299,27 +448,22 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 if ctrl.is_empty() {
                     // Function-level end.
                     ops.push(Op::Return);
-                } else {
-                    height = frame.height + frame.end_arity;
                 }
             }
             Instr::Br(depth) => {
-                emit_branch(&mut ops, &mut ctrl, *depth, height, false);
+                emit_branch(&mut ops, &mut ctrl, *depth, false);
                 dead = Some(0);
             }
             Instr::BrIf(depth) => {
-                height -= 1;
-                emit_branch(&mut ops, &mut ctrl, *depth, height, true);
+                emit_branch(&mut ops, &mut ctrl, *depth, true);
             }
             Instr::BrTable { targets, default } => {
-                height -= 1;
                 let op_idx = ops.len();
                 let mut dests = Vec::with_capacity(targets.len());
                 for (slot, t) in targets.iter().enumerate() {
-                    dests.push(make_dest(&mut ctrl, *t, height, op_idx, slot));
+                    dests.push(make_dest(&mut ctrl, *t, op_idx, slot));
                 }
-                let default_dest =
-                    make_dest(&mut ctrl, *default, height, op_idx, usize::MAX);
+                let default_dest = make_dest(&mut ctrl, *default, op_idx, usize::MAX);
                 ops.push(Op::BrTable { dests: dests.into_boxed_slice(), default: default_dest });
                 dead = Some(0);
             }
@@ -331,9 +475,13 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 ops.push(Op::Unreachable);
                 dead = Some(0);
             }
+            Instr::Drop => {
+                ops.push(if info.wide[pc] { Op::Drop2 } else { Op::Plain(Instr::Drop) });
+            }
+            Instr::Select => {
+                ops.push(if info.wide[pc] { Op::Select2 } else { Op::Plain(Instr::Select) });
+            }
             plain => {
-                let (pops, pushes) = stack_effect(module, plain);
-                height = height - pops + pushes;
                 ops.push(Op::Plain(plain.clone()));
             }
         }
@@ -341,13 +489,19 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
 
     let mut f = FlatFunc {
         ops,
+        code: Vec::new(),
         n_params: fty.params.len() as u32,
         locals: func.locals.clone(),
         result_arity,
+        result_slots: 0,
+        param_slots: 0,
+        n_local_slots: 0,
+        local_map: Vec::new(),
     };
     if opt_level > 0 {
         optimize(&mut f, opt_level);
     }
+    f.finalize(module, func);
     f
 }
 
@@ -371,16 +525,13 @@ fn set_table_target(op: &mut Op, slot: usize, target: u32) {
     }
 }
 
-fn emit_branch(ops: &mut Vec<Op>, ctrl: &mut [Ctrl], depth: u32, _height: u32, conditional: bool) {
+fn emit_branch(ops: &mut Vec<Op>, ctrl: &mut [Ctrl], depth: u32, conditional: bool) {
     let idx = ctrl.len() - 1 - depth as usize;
     if idx == 0 {
         // Branch to the function frame == return. A conditional return
-        // needs the jump form so fallthrough continues.
+        // needs the jump form so fallthrough continues:
+        // JumpIfZero(skip) ; Return ; skip:
         if conditional {
-            // `br_if` to function frame: pop cond (already accounted),
-            // return if non-zero. Encode as BrIf to a Return landing pad:
-            // simplest correct encoding is BrIf jumping over a Jump.
-            // We instead emit: JumpIfZero(skip) ; Return ; skip:
             let jz = ops.len();
             ops.push(Op::JumpIfZero(u32::MAX));
             ops.push(Op::Return);
@@ -405,18 +556,14 @@ fn emit_branch(ops: &mut Vec<Op>, ctrl: &mut [Ctrl], depth: u32, _height: u32, c
     }
 }
 
-fn make_dest(ctrl: &mut [Ctrl], depth: u32, height: u32, op_idx: usize, slot: usize) -> Dest {
+fn make_dest(ctrl: &mut [Ctrl], depth: u32, op_idx: usize, slot: usize) -> Dest {
     let idx = ctrl.len() - 1 - depth as usize;
     if idx == 0 {
-        // Branch to the function frame: encode as a jump to a Return that
-        // the finalization appends; use a special height/arity pair that
-        // unwinds to the results. We reuse target u32::MAX - 1 and fix it
-        // by pointing at the trailing Return emitted for the function end.
-        // Simpler and always correct: unwind to height 0 carrying the
-        // function results, then fall into Return at the patched target.
+        // Branch to the function frame: unwind to height 0 carrying the
+        // function results, then fall into the trailing Return that the
+        // function-level End appends (patched in by the frame's patch
+        // list).
         let frame = &ctrl[0];
-        // The function-level Return is appended at the very end of `ops`;
-        // register a patch so this dest points at it.
         let d = Dest { target: u32::MAX, height: 0, arity: frame.br_arity };
         let frame = &mut ctrl[0];
         frame.patches.push(Patch::Table(op_idx, slot));
@@ -428,7 +575,6 @@ fn make_dest(ctrl: &mut [Ctrl], depth: u32, height: u32, op_idx: usize, slot: us
         height: frame.height,
         arity: frame.br_arity,
     };
-    let _ = height;
     if frame.loop_start.is_none() {
         let frame = &mut ctrl[idx];
         frame.patches.push(Patch::Table(op_idx, slot));
@@ -440,17 +586,19 @@ fn make_dest(ctrl: &mut [Ctrl], depth: u32, height: u32, op_idx: usize, slot: us
 
 fn optimize(f: &mut FlatFunc, opt_level: u8) {
     // Iterate the peephole passes to a fixpoint (bounded), the honest way
-    // optimizers spend their compile-time budget.
+    // optimizers spend their compile-time budget. Nops are compacted after
+    // every round so multi-stage fusions (e.g. shift → indexed address →
+    // fused load) become adjacent again for the next round.
     let max_iters = 2 + opt_level as usize * 3;
     for _ in 0..max_iters {
         let targets = jump_targets(&f.ops);
         let a = fold_constants(&mut f.ops, &targets);
         let b = fuse_locals(&mut f.ops, &targets);
+        compact_nops(f);
         if !a && !b {
             break;
         }
     }
-    compact_nops(f);
 }
 
 /// Set of op indices that are jump targets; peephole windows must not span
@@ -465,7 +613,10 @@ fn jump_targets(ops: &[Op]) -> Vec<bool> {
     for op in ops {
         match op {
             Op::Jump(x) | Op::JumpIfZero(x) => mark(*x),
-            Op::Br(d) | Op::BrIf(d) => mark(d.target),
+            Op::Br(d) | Op::BrIf(d) | Op::BrIfEqz(d) => mark(d.target),
+            Op::BrIfCmpLL { dest, .. } | Op::BrIfCmpLK { dest, .. } | Op::BrIfCmp { dest, .. } => {
+                mark(dest.target)
+            }
             Op::BrTable { dests, default } => {
                 for d in dests.iter() {
                     mark(d.target);
@@ -537,7 +688,23 @@ fn as_local(op: &Op) -> Option<u16> {
     }
 }
 
-/// Fuse common local/load/store patterns into superinstructions.
+/// True for ops that pop nothing and push exactly one i32-compatible slot;
+/// safe to commute with a preceding `i32.const` across a commutative add.
+fn is_pure_push(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Plain(Instr::LocalGet(_) | Instr::GlobalGet(_) | Instr::MemorySize)
+            | Op::I32ShlLK(..)
+            | Op::I32AddLK(..)
+            | Op::I32AddShlLL { .. }
+            | Op::I32LoadL { .. }
+            | Op::I32LoadLSh { .. }
+            | Op::I32LoadShlK { .. }
+    )
+}
+
+/// Fuse common local/load/store/compare-branch patterns into
+/// superinstructions. Returns true if changed.
 fn fuse_locals(ops: &mut [Op], targets: &[bool]) -> bool {
     use Instr::*;
     let mut changed = false;
@@ -559,9 +726,40 @@ fn fuse_locals(ops: &mut [Op], targets: &[bool]) -> bool {
                     continue;
                 }
             }
+            // local.get a ; local.get b ; i32.cmp ; br_if  =>  fused branch
+            if let (Some(a), Some(b), Op::Plain(cmp_i), Op::BrIf(d)) =
+                (as_local(&ops[i]), as_local(&ops[i + 1]), &ops[i + 2], &ops[i + 3])
+            {
+                if let Some(cmp) = cmp_of(cmp_i) {
+                    let (dest, a, b) = (*d, a, b);
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = Op::Nop;
+                    ops[i + 3] = Op::BrIfCmpLL { cmp, a, b, dest };
+                    changed = true;
+                    i += 4;
+                    continue;
+                }
+            }
+            // local.get a ; i32.const k ; i32.cmp ; br_if  =>  fused branch
+            if let (Some(a), Op::Plain(I32Const(k)), Op::Plain(cmp_i), Op::BrIf(d)) =
+                (as_local(&ops[i]), &ops[i + 1], &ops[i + 2], &ops[i + 3])
+            {
+                if let Some(cmp) = cmp_of(cmp_i) {
+                    let (dest, a, k) = (*d, a, *k);
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = Op::Nop;
+                    ops[i + 3] = Op::BrIfCmpLK { cmp, a, k, dest };
+                    changed = true;
+                    i += 4;
+                    continue;
+                }
+            }
         }
-        // 3-wide: local.get a ; local.get b ; binop
+        // 3-wide windows.
         if i + 2 < ops.len() && window_clear(targets, i, 3) {
+            // local.get a ; local.get b ; binop / f64.store
             if let (Some(a), Some(b)) = (as_local(&ops[i]), as_local(&ops[i + 1])) {
                 let fused = match &ops[i + 2] {
                     Op::Plain(I32Add) => Some(Op::I32AddLL(a, b)),
@@ -583,25 +781,85 @@ fn fuse_locals(ops: &mut [Op], targets: &[bool]) -> bool {
                     continue;
                 }
             }
-            // local.get a ; i32.const k ; i32.add
-            if let (Some(a), Op::Plain(I32Const(k)), Op::Plain(I32Add)) =
+            // local.get a ; i32.const k ; i32.add / i32.shl
+            if let (Some(a), Op::Plain(I32Const(k))) = (as_local(&ops[i]), &ops[i + 1]) {
+                let fused = match &ops[i + 2] {
+                    Op::Plain(I32Add) => Some(Op::I32AddLK(a, *k)),
+                    Op::Plain(I32Shl) => Some(Op::I32ShlLK(a, (*k & 31) as u8)),
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = op;
+                    changed = true;
+                    i += 3;
+                    continue;
+                }
+            }
+            // local.get base ; (local.get idx << k) ; i32.add  =>  addr form
+            if let (Some(base), Op::I32ShlLK(idx, shift), Op::Plain(I32Add)) =
                 (as_local(&ops[i]), &ops[i + 1], &ops[i + 2])
             {
-                let k = *k;
+                let (idx, shift) = (*idx, *shift);
                 ops[i] = Op::Nop;
                 ops[i + 1] = Op::Nop;
-                ops[i + 2] = Op::I32AddLK(a, k);
+                ops[i + 2] = Op::I32AddShlLL { base, idx, shift };
                 changed = true;
                 i += 3;
                 continue;
             }
+            // (idx << shift) ; (+wrap k) ; load  =>  biased scaled load
+            // (the constant base of an indexed access; bias keeps the
+            // guest's i32 wrap-around, the memarg offset stays separate).
+            if let (Op::I32ShlLK(idx, shift), Op::I32AddK(k), load) =
+                (&ops[i], &ops[i + 1], &ops[i + 2])
+            {
+                let (idx, shift, k) = (*idx, *shift, *k);
+                let fused = match load {
+                    Op::Plain(F64Load(m)) => {
+                        Some(Op::F64LoadShlK { idx, shift, bias: k, offset: m.offset })
+                    }
+                    Op::Plain(I32Load(m)) => {
+                        Some(Op::I32LoadShlK { idx, shift, bias: k, offset: m.offset })
+                    }
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::Nop;
+                    ops[i + 2] = op;
+                    changed = true;
+                    i += 3;
+                    continue;
+                }
+            }
+            // i32.const k ; <pure push> ; i32.add  =>  <pure push> ; +k
+            if let (Op::Plain(I32Const(k)), x, Op::Plain(I32Add)) =
+                (&ops[i], &ops[i + 1], &ops[i + 2])
+            {
+                if is_pure_push(x) {
+                    let k = *k;
+                    ops[i] = Op::Nop;
+                    ops.swap(i + 1, i + 2);
+                    ops[i + 1] = std::mem::replace(&mut ops[i + 2], Op::I32AddK(k));
+                    // (swap + replace keeps the pure push first)
+                    changed = true;
+                    i += 3;
+                    continue;
+                }
+            }
         }
-        // 2-wide: local.get a ; load
+        // 2-wide windows.
         if i + 1 < ops.len() && window_clear(targets, i, 2) {
             if let Some(a) = as_local(&ops[i]) {
                 let fused = match &ops[i + 1] {
-                    Op::Plain(F64Load(m)) => Some(Op::F64LoadL { local: a, offset: m.offset }),
-                    Op::Plain(I32Load(m)) => Some(Op::I32LoadL { local: a, offset: m.offset }),
+                    Op::Plain(F64Load(m)) => {
+                        Some(Op::F64LoadL { local: a, bias: 0, offset: m.offset })
+                    }
+                    Op::Plain(I32Load(m)) => {
+                        Some(Op::I32LoadL { local: a, bias: 0, offset: m.offset })
+                    }
                     Op::Plain(F64Mul) => Some(Op::F64MulL(a)),
                     Op::Plain(F64Add) => Some(Op::F64AddL(a)),
                     _ => None,
@@ -613,6 +871,105 @@ fn fuse_locals(ops: &mut [Op], targets: &[bool]) -> bool {
                     i += 2;
                     continue;
                 }
+            }
+            // (base + (idx << shift)) ; load  =>  one fused indexed load
+            if let (Op::I32AddShlLL { base, idx, shift }, load) = (&ops[i], &ops[i + 1]) {
+                let (base, idx, shift) = (*base, *idx, *shift);
+                let fused = match load {
+                    Op::Plain(F64Load(m)) => {
+                        Some(Op::F64LoadLSh { base, idx, shift, offset: m.offset })
+                    }
+                    Op::Plain(I32Load(m)) => {
+                        Some(Op::I32LoadLSh { base, idx, shift, offset: m.offset })
+                    }
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = op;
+                    changed = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            // (idx << shift) ; load  =>  scaled load
+            if let (Op::I32ShlLK(idx, shift), load) = (&ops[i], &ops[i + 1]) {
+                let (idx, shift) = (*idx, *shift);
+                let fused = match load {
+                    Op::Plain(F64Load(m)) => {
+                        Some(Op::F64LoadShlK { idx, shift, bias: 0, offset: m.offset })
+                    }
+                    Op::Plain(I32Load(m)) => {
+                        Some(Op::I32LoadShlK { idx, shift, bias: 0, offset: m.offset })
+                    }
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = op;
+                    changed = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            // (local +wrap k) ; load  =>  biased load. The constant joins
+            // the *dynamic* address with i32 wrap-around — exactly the
+            // guest's own add — never the non-wrapping memarg offset.
+            if let (Op::I32AddLK(a, k), load) = (&ops[i], &ops[i + 1]) {
+                let (a, k) = (*a, *k);
+                let fused = match load {
+                    Op::Plain(F64Load(m)) => {
+                        Some(Op::F64LoadL { local: a, bias: k, offset: m.offset })
+                    }
+                    Op::Plain(I32Load(m)) => {
+                        Some(Op::I32LoadL { local: a, bias: k, offset: m.offset })
+                    }
+                    _ => None,
+                };
+                if let Some(op) = fused {
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = op;
+                    changed = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            // +k1 ; +k2  =>  +(k1+k2)
+            if let (Op::I32AddK(k1), Op::I32AddK(k2)) = (&ops[i], &ops[i + 1]) {
+                let k = k1.wrapping_add(*k2);
+                ops[i] = Op::Nop;
+                ops[i + 1] = Op::I32AddK(k);
+                changed = true;
+                i += 2;
+                continue;
+            }
+            // f64.mul ; f64.add  =>  fused multiply-add (both roundings kept)
+            if let (Op::Plain(F64Mul), Op::Plain(F64Add)) = (&ops[i], &ops[i + 1]) {
+                ops[i] = Op::Nop;
+                ops[i + 1] = Op::F64MulAdd;
+                changed = true;
+                i += 2;
+                continue;
+            }
+            // i32.cmp ; br_if  =>  fused compare-branch
+            if let (Op::Plain(cmp_i), Op::BrIf(d)) = (&ops[i], &ops[i + 1]) {
+                if let Some(cmp) = cmp_of(cmp_i) {
+                    let dest = *d;
+                    ops[i] = Op::Nop;
+                    ops[i + 1] = Op::BrIfCmp { cmp, dest };
+                    changed = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            // i32.eqz ; br_if  =>  branch-if-zero
+            if let (Op::Plain(I32Eqz), Op::BrIf(d)) = (&ops[i], &ops[i + 1]) {
+                let dest = *d;
+                ops[i] = Op::Nop;
+                ops[i + 1] = Op::BrIfEqz(dest);
+                changed = true;
+                i += 2;
+                continue;
             }
         }
         i += 1;
@@ -645,6 +1002,23 @@ fn compact_nops(f: &mut FlatFunc) {
             Op::JumpIfZero(t) => Op::JumpIfZero(remap(*t)),
             Op::Br(d) => Op::Br(Dest { target: remap(d.target), ..*d }),
             Op::BrIf(d) => Op::BrIf(Dest { target: remap(d.target), ..*d }),
+            Op::BrIfEqz(d) => Op::BrIfEqz(Dest { target: remap(d.target), ..*d }),
+            Op::BrIfCmpLL { cmp, a, b, dest } => Op::BrIfCmpLL {
+                cmp: *cmp,
+                a: *a,
+                b: *b,
+                dest: Dest { target: remap(dest.target), ..*dest },
+            },
+            Op::BrIfCmpLK { cmp, a, k, dest } => Op::BrIfCmpLK {
+                cmp: *cmp,
+                a: *a,
+                k: *k,
+                dest: Dest { target: remap(dest.target), ..*dest },
+            },
+            Op::BrIfCmp { cmp, dest } => Op::BrIfCmp {
+                cmp: *cmp,
+                dest: Dest { target: remap(dest.target), ..*dest },
+            },
             Op::BrTable { dests, default } => Op::BrTable {
                 dests: dests
                     .iter()
@@ -660,29 +1034,658 @@ fn compact_nops(f: &mut FlatFunc) {
     f.ops = out;
 }
 
+// --- dense executable form ---
+
+/// The dense executable opcode stream: one flat variant per operation,
+/// immediates resolved (memory offsets inline, local indices replaced by
+/// slot offsets), so the dispatch loop is a single flat match on the
+/// discriminant. Derived from [`Op`] by [`FlatFunc::finalize`]; never
+/// serialized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOp {
+    // Control.
+    Jump(u32),
+    JumpIfZero(u32),
+    Br(Dest),
+    BrIf(Dest),
+    BrTable { dests: Box<[Dest]>, default: Dest },
+    Return,
+    Unreachable,
+    Call(u32),
+    CallIndirect { type_idx: u32 },
+
+    // Parametric.
+    Drop,
+    Drop2,
+    Select,
+    Select2,
+
+    // Variables (payload = slot offset).
+    LocalGet(u32),
+    LocalGet2(u32),
+    LocalSet(u32),
+    LocalSet2(u32),
+    LocalTee(u32),
+    LocalTee2(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    // Memory (payload = constant offset).
+    I32Load(u32),
+    I64Load(u32),
+    F32Load(u32),
+    F64Load(u32),
+    I32Load8S(u32),
+    I32Load8U(u32),
+    I32Load16S(u32),
+    I32Load16U(u32),
+    I64Load8S(u32),
+    I64Load8U(u32),
+    I64Load16S(u32),
+    I64Load16U(u32),
+    I64Load32S(u32),
+    I64Load32U(u32),
+    V128Load(u32),
+    I32Store(u32),
+    I64Store(u32),
+    F32Store(u32),
+    F64Store(u32),
+    I32Store8(u32),
+    I32Store16(u32),
+    I64Store8(u32),
+    I64Store16(u32),
+    I64Store32(u32),
+    V128Store(u32),
+    MemorySize,
+    MemoryGrow,
+    MemoryCopy,
+    MemoryFill,
+
+    // Constants.
+    I32Const(i32),
+    I64Const(i64),
+    F32Const(f32),
+    F64Const(f64),
+    V128Const(u128),
+
+    // i32.
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    // i64.
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    // f32.
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+
+    // f64.
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    // Conversions.
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    Reinterpret, // all four reinterpretations are no-ops on raw slots
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+
+    // SIMD.
+    I32x4Splat,
+    I64x2Splat,
+    F32x4Splat,
+    F64x2Splat,
+    I32x4ExtractLane(u8),
+    F32x4ExtractLane(u8),
+    F64x2ExtractLane(u8),
+    F64x2ReplaceLane(u8),
+    I32x4Add,
+    I32x4Sub,
+    I32x4Mul,
+    F32x4Add,
+    F32x4Sub,
+    F32x4Mul,
+    F32x4Div,
+    F64x2Add,
+    F64x2Sub,
+    F64x2Mul,
+    F64x2Div,
+    F64x2Eq,
+    F64x2Ne,
+    F64x2Lt,
+    F64x2Gt,
+    F64x2Le,
+    F64x2Ge,
+    V128And,
+    V128Or,
+    V128Xor,
+    V128Not,
+    V128AnyTrue,
+    I32x4AllTrue,
+    I32x4Bitmask,
+
+    // Superinstructions (payloads = slot offsets).
+    I32AddLL(u32, u32),
+    I64AddLL(u32, u32),
+    F64AddLL(u32, u32),
+    F64MulLL(u32, u32),
+    F64SubLL(u32, u32),
+    I32AddLK(u32, i32),
+    I32IncL(u32, i32),
+    F64LoadL { local: u32, bias: i32, offset: u32 },
+    I32LoadL { local: u32, bias: i32, offset: u32 },
+    F64StoreLL { addr: u32, val: u32, offset: u32 },
+    F64MulL(u32),
+    F64AddL(u32),
+    I32ShlLK(u32, u8),
+    I32AddK(i32),
+    I32AddShlLL { base: u32, idx: u32, shift: u8 },
+    F64LoadLSh { base: u32, idx: u32, shift: u8, offset: u32 },
+    I32LoadLSh { base: u32, idx: u32, shift: u8, offset: u32 },
+    F64LoadShlK { idx: u32, shift: u8, bias: i32, offset: u32 },
+    I32LoadShlK { idx: u32, shift: u8, bias: i32, offset: u32 },
+    F64MulAdd,
+    BrIfCmpLL { cmp: Cmp, a: u32, b: u32, dest: Dest },
+    BrIfCmpLK { cmp: Cmp, a: u32, k: i32, dest: Dest },
+    BrIfCmp { cmp: Cmp, dest: Dest },
+    BrIfEqz(Dest),
+}
+
+#[inline]
+fn slot_of(map: &[u32], i: u32) -> u32 {
+    map[i as usize] >> 1
+}
+
+#[inline]
+fn is_wide(map: &[u32], i: u32) -> bool {
+    map[i as usize] & 1 != 0
+}
+
+/// Lower one serializable op to its dense executable form, resolving
+/// local indices to slot offsets through `map`.
+fn lower(op: &Op, map: &[u32]) -> ExecOp {
+    use ExecOp as E;
+    match op {
+        Op::Plain(instr) => lower_plain(instr, map),
+        Op::Jump(t) => E::Jump(*t),
+        Op::JumpIfZero(t) => E::JumpIfZero(*t),
+        Op::Br(d) => E::Br(*d),
+        Op::BrIf(d) => E::BrIf(*d),
+        Op::BrTable { dests, default } => {
+            E::BrTable { dests: dests.clone(), default: *default }
+        }
+        Op::Return => E::Return,
+        Op::Unreachable => E::Unreachable,
+        // Never produced by compile() (compact_nops strips Nops) and
+        // rejected by the cache loader, but lower defensively to a real
+        // no-op rather than a trap.
+        Op::Nop => E::Reinterpret,
+        Op::Drop2 => E::Drop2,
+        Op::Select2 => E::Select2,
+        Op::I32AddLL(a, b) => E::I32AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
+        Op::I64AddLL(a, b) => E::I64AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
+        Op::F64AddLL(a, b) => E::F64AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
+        Op::F64MulLL(a, b) => E::F64MulLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
+        Op::F64SubLL(a, b) => E::F64SubLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
+        Op::I32AddLK(a, k) => E::I32AddLK(slot_of(map, *a as u32), *k),
+        Op::I32IncL(a, k) => E::I32IncL(slot_of(map, *a as u32), *k),
+        Op::F64LoadL { local, bias, offset } => {
+            E::F64LoadL { local: slot_of(map, *local as u32), bias: *bias, offset: *offset }
+        }
+        Op::I32LoadL { local, bias, offset } => {
+            E::I32LoadL { local: slot_of(map, *local as u32), bias: *bias, offset: *offset }
+        }
+        Op::F64StoreLL { addr, val, offset } => E::F64StoreLL {
+            addr: slot_of(map, *addr as u32),
+            val: slot_of(map, *val as u32),
+            offset: *offset,
+        },
+        Op::F64MulL(a) => E::F64MulL(slot_of(map, *a as u32)),
+        Op::F64AddL(a) => E::F64AddL(slot_of(map, *a as u32)),
+        Op::I32ShlLK(a, k) => E::I32ShlLK(slot_of(map, *a as u32), *k),
+        Op::I32AddK(k) => E::I32AddK(*k),
+        Op::I32AddShlLL { base, idx, shift } => E::I32AddShlLL {
+            base: slot_of(map, *base as u32),
+            idx: slot_of(map, *idx as u32),
+            shift: *shift,
+        },
+        Op::F64LoadLSh { base, idx, shift, offset } => E::F64LoadLSh {
+            base: slot_of(map, *base as u32),
+            idx: slot_of(map, *idx as u32),
+            shift: *shift,
+            offset: *offset,
+        },
+        Op::I32LoadLSh { base, idx, shift, offset } => E::I32LoadLSh {
+            base: slot_of(map, *base as u32),
+            idx: slot_of(map, *idx as u32),
+            shift: *shift,
+            offset: *offset,
+        },
+        Op::F64LoadShlK { idx, shift, bias, offset } => E::F64LoadShlK {
+            idx: slot_of(map, *idx as u32),
+            shift: *shift,
+            bias: *bias,
+            offset: *offset,
+        },
+        Op::I32LoadShlK { idx, shift, bias, offset } => E::I32LoadShlK {
+            idx: slot_of(map, *idx as u32),
+            shift: *shift,
+            bias: *bias,
+            offset: *offset,
+        },
+        Op::F64MulAdd => E::F64MulAdd,
+        Op::BrIfCmpLL { cmp, a, b, dest } => E::BrIfCmpLL {
+            cmp: *cmp,
+            a: slot_of(map, *a as u32),
+            b: slot_of(map, *b as u32),
+            dest: *dest,
+        },
+        Op::BrIfCmpLK { cmp, a, k, dest } => {
+            E::BrIfCmpLK { cmp: *cmp, a: slot_of(map, *a as u32), k: *k, dest: *dest }
+        }
+        Op::BrIfCmp { cmp, dest } => E::BrIfCmp { cmp: *cmp, dest: *dest },
+        Op::BrIfEqz(d) => E::BrIfEqz(*d),
+    }
+}
+
+fn lower_plain(instr: &Instr, map: &[u32]) -> ExecOp {
+    use ExecOp as E;
+    use Instr as I;
+    macro_rules! same {
+        ($($n:ident),* $(,)?) => {
+            match instr {
+                $(I::$n => return E::$n,)*
+                _ => {}
+            }
+        };
+    }
+    same!(
+        MemorySize, MemoryGrow, MemoryCopy, MemoryFill, I32Eqz, I32Eq, I32Ne, I32LtS, I32LtU,
+        I32GtS, I32GtU, I32LeS, I32LeU, I32GeS, I32GeU, I32Clz, I32Ctz, I32Popcnt, I32Add,
+        I32Sub, I32Mul, I32DivS, I32DivU, I32RemS, I32RemU, I32And, I32Or, I32Xor, I32Shl,
+        I32ShrS, I32ShrU, I32Rotl, I32Rotr, I64Eqz, I64Eq, I64Ne, I64LtS, I64LtU, I64GtS,
+        I64GtU, I64LeS, I64LeU, I64GeS, I64GeU, I64Clz, I64Ctz, I64Popcnt, I64Add, I64Sub,
+        I64Mul, I64DivS, I64DivU, I64RemS, I64RemU, I64And, I64Or, I64Xor, I64Shl, I64ShrS,
+        I64ShrU, I64Rotl, I64Rotr, F32Eq, F32Ne, F32Lt, F32Gt, F32Le, F32Ge, F32Abs, F32Neg,
+        F32Ceil, F32Floor, F32Trunc, F32Nearest, F32Sqrt, F32Add, F32Sub, F32Mul, F32Div,
+        F32Min, F32Max, F32Copysign, F64Eq, F64Ne, F64Lt, F64Gt, F64Le, F64Ge, F64Abs,
+        F64Neg, F64Ceil, F64Floor, F64Trunc, F64Nearest, F64Sqrt, F64Add, F64Sub, F64Mul,
+        F64Div, F64Min, F64Max, F64Copysign, I32WrapI64, I32TruncF32S, I32TruncF32U,
+        I32TruncF64S, I32TruncF64U, I64ExtendI32S, I64ExtendI32U, I64TruncF32S, I64TruncF32U,
+        I64TruncF64S, I64TruncF64U, F32ConvertI32S, F32ConvertI32U, F32ConvertI64S,
+        F32ConvertI64U, F32DemoteF64, F64ConvertI32S, F64ConvertI32U, F64ConvertI64S,
+        F64ConvertI64U, F64PromoteF32, I32Extend8S, I32Extend16S, I64Extend8S, I64Extend16S,
+        I64Extend32S, I32x4Splat, I64x2Splat, F32x4Splat, F64x2Splat, I32x4Add, I32x4Sub,
+        I32x4Mul, F32x4Add, F32x4Sub, F32x4Mul, F32x4Div, F64x2Add, F64x2Sub, F64x2Mul,
+        F64x2Div, F64x2Eq, F64x2Ne, F64x2Lt, F64x2Gt, F64x2Le, F64x2Ge, V128And, V128Or,
+        V128Xor, V128Not, V128AnyTrue, I32x4AllTrue, I32x4Bitmask,
+    );
+    match instr {
+        I::Drop => E::Drop,
+        I::Select => E::Select,
+        I::LocalGet(i) => {
+            if is_wide(map, *i) {
+                E::LocalGet2(slot_of(map, *i))
+            } else {
+                E::LocalGet(slot_of(map, *i))
+            }
+        }
+        I::LocalSet(i) => {
+            if is_wide(map, *i) {
+                E::LocalSet2(slot_of(map, *i))
+            } else {
+                E::LocalSet(slot_of(map, *i))
+            }
+        }
+        I::LocalTee(i) => {
+            if is_wide(map, *i) {
+                E::LocalTee2(slot_of(map, *i))
+            } else {
+                E::LocalTee(slot_of(map, *i))
+            }
+        }
+        I::GlobalGet(i) => E::GlobalGet(*i),
+        I::GlobalSet(i) => E::GlobalSet(*i),
+        I::Call(f) => E::Call(*f),
+        I::CallIndirect { type_idx, .. } => E::CallIndirect { type_idx: *type_idx },
+        I::I32Load(m) => E::I32Load(m.offset),
+        I::I64Load(m) => E::I64Load(m.offset),
+        I::F32Load(m) => E::F32Load(m.offset),
+        I::F64Load(m) => E::F64Load(m.offset),
+        I::I32Load8S(m) => E::I32Load8S(m.offset),
+        I::I32Load8U(m) => E::I32Load8U(m.offset),
+        I::I32Load16S(m) => E::I32Load16S(m.offset),
+        I::I32Load16U(m) => E::I32Load16U(m.offset),
+        I::I64Load8S(m) => E::I64Load8S(m.offset),
+        I::I64Load8U(m) => E::I64Load8U(m.offset),
+        I::I64Load16S(m) => E::I64Load16S(m.offset),
+        I::I64Load16U(m) => E::I64Load16U(m.offset),
+        I::I64Load32S(m) => E::I64Load32S(m.offset),
+        I::I64Load32U(m) => E::I64Load32U(m.offset),
+        I::V128Load(m) => E::V128Load(m.offset),
+        I::I32Store(m) => E::I32Store(m.offset),
+        I::I64Store(m) => E::I64Store(m.offset),
+        I::F32Store(m) => E::F32Store(m.offset),
+        I::F64Store(m) => E::F64Store(m.offset),
+        I::I32Store8(m) => E::I32Store8(m.offset),
+        I::I32Store16(m) => E::I32Store16(m.offset),
+        I::I64Store8(m) => E::I64Store8(m.offset),
+        I::I64Store16(m) => E::I64Store16(m.offset),
+        I::I64Store32(m) => E::I64Store32(m.offset),
+        I::V128Store(m) => E::V128Store(m.offset),
+        I::I32Const(v) => E::I32Const(*v),
+        I::I64Const(v) => E::I64Const(*v),
+        I::F32Const(v) => E::F32Const(*v),
+        I::F64Const(v) => E::F64Const(*v),
+        I::V128Const(b) => E::V128Const(u128::from_le_bytes(*b)),
+        I::I32ReinterpretF32 | I::I64ReinterpretF64 | I::F32ReinterpretI32
+        | I::F64ReinterpretI64 => E::Reinterpret,
+        I::I32x4ExtractLane(l) => E::I32x4ExtractLane(*l),
+        I::F32x4ExtractLane(l) => E::F32x4ExtractLane(*l),
+        I::F64x2ExtractLane(l) => E::F64x2ExtractLane(*l),
+        I::F64x2ReplaceLane(l) => E::F64x2ReplaceLane(*l),
+        I::Nop => E::Reinterpret, // flatten never emits Plain(Nop); be safe
+        other => unreachable!("control instruction {other:?} reached lowering"),
+    }
+}
+
 // --- execution ---
 
-/// Execute flat-IR function `defined_idx` with `args`.
+/// A suspended caller activation in the flat-IR engine.
+struct Frame {
+    defined_idx: u32,
+    /// ip to resume at (the op after the call).
+    ret_ip: u32,
+    locals_base: u32,
+}
+
+fn flat(bodies: &[CompiledBody], defined_idx: usize) -> &FlatFunc {
+    match &bodies[defined_idx] {
+        CompiledBody::Flat(f) => f,
+        CompiledBody::Interp(_) => unreachable!("flat tier expected"),
+    }
+}
+
+/// Execute flat-IR function `defined_idx` with `args` (already as slots).
 pub(crate) fn call(
     inst: &mut Instance,
     defined_idx: usize,
-    args: &[Value],
-) -> Result<Vec<Value>, Trap> {
-    let bodies = std::sync::Arc::clone(&inst.bodies);
-    let f = match &bodies[defined_idx] {
-        CompiledBody::Flat(f) => f,
-        CompiledBody::Interp(_) => unreachable!("flat tier expected"),
-    };
+    args: &[Slot],
+) -> Result<Vec<Slot>, Trap> {
+    let mut stack = inst.take_stack();
+    stack.extend_from_slice(args);
+    let result = run(inst, &mut stack, defined_idx);
+    let out = result.map(|result_slots| {
+        let at = stack.len() - result_slots;
+        stack.split_off(at)
+    });
+    inst.put_stack(stack);
+    out
+}
 
-    let mut locals: Vec<Value> = Vec::with_capacity(args.len() + f.locals.len());
-    locals.extend_from_slice(args);
-    locals.extend(f.locals.iter().map(|&t| Value::zero(t)));
+#[inline]
+fn unwind(stack: &mut Vec<Slot>, opbase: usize, d: &Dest) {
+    let height = opbase + d.height as usize;
+    let arity = d.arity as usize;
+    if arity == 0 {
+        stack.truncate(height);
+        return;
+    }
+    // Move the carried slots down over the unwound region, in place.
+    let from = stack.len() - arity;
+    if from != height {
+        stack.copy_within(from.., height);
+    }
+    stack.truncate(height + arity);
+}
 
-    let mut stack: Vec<Value> = Vec::with_capacity(32);
+fn run(inst: &mut Instance, stack: &mut Vec<Slot>, defined_idx: usize) -> Result<usize, Trap> {
+    let bodies = Arc::clone(&inst.bodies);
+    let imported = inst.host_funcs.len() as u32;
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut f = flat(&bodies, defined_idx);
+    let mut cur_idx = defined_idx as u32;
+    let mut locals_base = stack.len() - f.param_slots as usize;
+    stack.resize(locals_base + f.n_local_slots as usize, Slot::ZERO);
+    let mut opbase = locals_base + f.n_local_slots as usize;
     let mut ip = 0usize;
-    let ops = &f.ops;
-    let result_arity = f.result_arity as usize;
     let mut limit_check = 0u32;
+
+    macro_rules! lg {
+        ($slot:expr) => {
+            stack[locals_base + $slot as usize]
+        };
+    }
+    macro_rules! pop {
+        () => {
+            exec::pop(stack)
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {
+            stack.push($v)
+        };
+    }
+    macro_rules! top {
+        () => {{
+            let l = stack.len() - 1;
+            &mut stack[l]
+        }};
+    }
+    macro_rules! bin {
+        ($read:ident, $wrap:path, $f:expr) => {{
+            let b = pop!().$read();
+            let a = pop!().$read();
+            push!($wrap($f(a, b)));
+            ip += 1;
+        }};
+    }
+    macro_rules! un {
+        ($read:ident, $wrap:path, $f:expr) => {{
+            let v = pop!().$read();
+            push!($wrap($f(v)));
+            ip += 1;
+        }};
+    }
+    macro_rules! vbin {
+        ($f:expr) => {{
+            let b = exec::pop_v128(stack);
+            let a = exec::pop_v128(stack);
+            exec::push_v128(stack, $f(a, b));
+            ip += 1;
+        }};
+    }
+    macro_rules! load {
+        ($off:expr, $n:expr, $raw:ty, $conv:ty, $wrap:path) => {{
+            let addr = pop!().u32();
+            let start = inst.memory.effective(addr, $off, $n)?;
+            let raw = <$raw>::from_le_bytes(inst.memory.load::<{ $n as usize }>(start));
+            push!($wrap(raw as $conv));
+            ip += 1;
+        }};
+    }
+    macro_rules! store {
+        ($off:expr, $n:expr, $read:ident, $cast:ty) => {{
+            let val = pop!().$read();
+            let addr = pop!().u32();
+            let start = inst.memory.effective(addr, $off, $n)?;
+            inst.memory.store(start, &((val as $cast).to_le_bytes()));
+            ip += 1;
+        }};
+    }
+    macro_rules! take_branch {
+        ($d:expr) => {{
+            let d = $d;
+            unwind(stack, opbase, d);
+            ip = d.target as usize;
+        }};
+    }
+    macro_rules! do_return {
+        () => {{
+            let result_slots = f.result_slots as usize;
+            let at = stack.len() - result_slots;
+            stack.copy_within(at.., locals_base);
+            stack.truncate(locals_base + result_slots);
+            match frames.pop() {
+                None => return Ok(result_slots),
+                Some(fr) => {
+                    cur_idx = fr.defined_idx;
+                    f = flat(&bodies, fr.defined_idx as usize);
+                    locals_base = fr.locals_base as usize;
+                    opbase = locals_base + f.n_local_slots as usize;
+                    ip = fr.ret_ip as usize;
+                    continue;
+                }
+            }
+        }};
+    }
+    macro_rules! do_call {
+        ($func_idx:expr) => {{
+            let func_idx: u32 = $func_idx;
+            if frames.len() + inst.depth + 1 >= inst.limits.max_call_depth {
+                return Err(Trap::StackExhausted);
+            }
+            if func_idx < imported {
+                let n_args = inst.host_arg_slots[func_idx as usize] as usize;
+                let at = stack.len() - n_args;
+                let hf = Arc::clone(&inst.host_funcs[func_idx as usize]);
+                inst.depth += 1;
+                let results = hf(inst, &stack[at..]);
+                inst.depth -= 1;
+                let results = results?;
+                stack.truncate(at);
+                stack.extend_from_slice(&results);
+                ip += 1;
+            } else {
+                let defined = (func_idx - imported) as usize;
+                frames.push(Frame {
+                    defined_idx: cur_idx,
+                    ret_ip: ip as u32 + 1,
+                    locals_base: locals_base as u32,
+                });
+                f = flat(&bodies, defined);
+                cur_idx = defined as u32;
+                locals_base = stack.len() - f.param_slots as usize;
+                stack.resize(locals_base + f.n_local_slots as usize, Slot::ZERO);
+                opbase = locals_base + f.n_local_slots as usize;
+                ip = 0;
+            }
+        }};
+    }
 
     loop {
         // Amortized stack-limit check: growth per op is O(1).
@@ -693,151 +1696,633 @@ pub(crate) fn call(
                 return Err(Trap::StackExhausted);
             }
         }
-        match &ops[ip] {
-            Op::Plain(instr) => {
-                exec::step(inst, &mut stack, &mut locals, instr)?;
-                ip += 1;
-            }
-            Op::Nop => ip += 1,
-            Op::Jump(t) => ip = *t as usize,
-            Op::JumpIfZero(t) => {
-                let c = match stack.pop() {
-                    Some(Value::I32(v)) => v,
-                    _ => unreachable!("validated"),
-                };
+        use ExecOp as E;
+        match &f.code[ip] {
+            E::Jump(t) => ip = *t as usize,
+            E::JumpIfZero(t) => {
+                let c = pop!().i32();
                 ip = if c == 0 { *t as usize } else { ip + 1 };
             }
-            Op::Br(d) => {
-                unwind(&mut stack, d);
-                ip = d.target as usize;
-            }
-            Op::BrIf(d) => {
-                let c = match stack.pop() {
-                    Some(Value::I32(v)) => v,
-                    _ => unreachable!("validated"),
-                };
+            E::Br(d) => take_branch!(d),
+            E::BrIf(d) => {
+                let c = pop!().i32();
                 if c != 0 {
-                    unwind(&mut stack, d);
-                    ip = d.target as usize;
+                    take_branch!(d);
                 } else {
                     ip += 1;
                 }
             }
-            Op::BrTable { dests, default } => {
-                let idx = exec::pop(&mut stack).as_i32().expect("validated") as usize;
+            E::BrTable { dests, default } => {
+                let idx = pop!().u32() as usize;
                 let d = dests.get(idx).unwrap_or(default);
-                unwind(&mut stack, d);
-                ip = d.target as usize;
+                take_branch!(d);
             }
-            Op::Return => {
-                let at = stack.len() - result_arity;
-                return Ok(stack.split_off(at));
+            E::Return => do_return!(),
+            E::Unreachable => return Err(Trap::Unreachable),
+            E::Call(func_idx) => do_call!(*func_idx),
+            E::CallIndirect { type_idx } => {
+                let slot = pop!().u32();
+                let func_idx = inst.resolve_indirect(slot, *type_idx)?;
+                do_call!(func_idx)
             }
-            Op::Unreachable => return Err(Trap::Unreachable),
 
-            Op::I32AddLL(a, b) => {
-                let (x, y) = (get_i32(&locals, *a), get_i32(&locals, *b));
-                stack.push(Value::I32(x.wrapping_add(y)));
+            E::Drop => {
+                pop!();
                 ip += 1;
             }
-            Op::I64AddLL(a, b) => {
-                let (x, y) = (get_i64(&locals, *a), get_i64(&locals, *b));
-                stack.push(Value::I64(x.wrapping_add(y)));
+            E::Drop2 => {
+                pop!();
+                pop!();
                 ip += 1;
             }
-            Op::F64AddLL(a, b) => {
-                stack.push(Value::F64(get_f64(&locals, *a) + get_f64(&locals, *b)));
+            E::Select => {
+                let c = pop!().i32();
+                let b = pop!();
+                let a = pop!();
+                push!(if c != 0 { a } else { b });
                 ip += 1;
             }
-            Op::F64MulLL(a, b) => {
-                stack.push(Value::F64(get_f64(&locals, *a) * get_f64(&locals, *b)));
+            E::Select2 => {
+                let c = pop!().i32();
+                let b = exec::pop_v128(stack);
+                let a = exec::pop_v128(stack);
+                exec::push_v128(stack, if c != 0 { a } else { b });
                 ip += 1;
             }
-            Op::F64SubLL(a, b) => {
-                stack.push(Value::F64(get_f64(&locals, *a) - get_f64(&locals, *b)));
+
+            E::LocalGet(s) => {
+                let v = lg!(*s);
+                push!(v);
                 ip += 1;
             }
-            Op::I32AddLK(a, k) => {
-                stack.push(Value::I32(get_i32(&locals, *a).wrapping_add(*k)));
+            E::LocalGet2(s) => {
+                let lo = lg!(*s);
+                let hi = lg!(*s + 1);
+                push!(lo);
+                push!(hi);
                 ip += 1;
             }
-            Op::I32IncL(a, k) => {
-                let v = get_i32(&locals, *a).wrapping_add(*k);
-                locals[*a as usize] = Value::I32(v);
+            E::LocalSet(s) => {
+                lg!(*s) = pop!();
                 ip += 1;
             }
-            Op::F64LoadL { local, offset } => {
-                let addr = get_i32(&locals, *local) as u32;
+            E::LocalSet2(s) => {
+                lg!(*s + 1) = pop!();
+                lg!(*s) = pop!();
+                ip += 1;
+            }
+            E::LocalTee(s) => {
+                let l = stack.len() - 1;
+                lg!(*s) = stack[l];
+                ip += 1;
+            }
+            E::LocalTee2(s) => {
+                let l = stack.len();
+                lg!(*s) = stack[l - 2];
+                lg!(*s + 1) = stack[l - 1];
+                ip += 1;
+            }
+            E::GlobalGet(i) => {
+                push!(inst.globals[*i as usize]);
+                ip += 1;
+            }
+            E::GlobalSet(i) => {
+                inst.globals[*i as usize] = pop!();
+                ip += 1;
+            }
+
+            E::I32Load(o) => load!(*o, 4, u32, u32, Slot::from_u32),
+            E::I64Load(o) => load!(*o, 8, u64, u64, Slot::from_u64),
+            E::F32Load(o) => load!(*o, 4, u32, u32, Slot::from_u32),
+            E::F64Load(o) => load!(*o, 8, u64, u64, Slot::from_u64),
+            E::I32Load8S(o) => load!(*o, 1, i8, i32, Slot::from_i32),
+            E::I32Load8U(o) => load!(*o, 1, u8, i32, Slot::from_i32),
+            E::I32Load16S(o) => load!(*o, 2, i16, i32, Slot::from_i32),
+            E::I32Load16U(o) => load!(*o, 2, u16, i32, Slot::from_i32),
+            E::I64Load8S(o) => load!(*o, 1, i8, i64, Slot::from_i64),
+            E::I64Load8U(o) => load!(*o, 1, u8, i64, Slot::from_i64),
+            E::I64Load16S(o) => load!(*o, 2, i16, i64, Slot::from_i64),
+            E::I64Load16U(o) => load!(*o, 2, u16, i64, Slot::from_i64),
+            E::I64Load32S(o) => load!(*o, 4, i32, i64, Slot::from_i64),
+            E::I64Load32U(o) => load!(*o, 4, u32, i64, Slot::from_i64),
+            E::V128Load(o) => {
+                let addr = pop!().u32();
+                let start = inst.memory.effective(addr, *o, 16)?;
+                exec::push_v128(stack, u128::from_le_bytes(inst.memory.load::<16>(start)));
+                ip += 1;
+            }
+            E::I32Store(o) => store!(*o, 4, i32, u32),
+            E::I64Store(o) => store!(*o, 8, i64, u64),
+            E::F32Store(o) => store!(*o, 4, u32, u32),
+            E::F64Store(o) => store!(*o, 8, u64, u64),
+            E::I32Store8(o) => store!(*o, 1, i32, u8),
+            E::I32Store16(o) => store!(*o, 2, i32, u16),
+            E::I64Store8(o) => store!(*o, 1, i64, u8),
+            E::I64Store16(o) => store!(*o, 2, i64, u16),
+            E::I64Store32(o) => store!(*o, 4, i64, u32),
+            E::V128Store(o) => {
+                let val = exec::pop_v128(stack);
+                let addr = pop!().u32();
+                let start = inst.memory.effective(addr, *o, 16)?;
+                inst.memory.store(start, &val.to_le_bytes());
+                ip += 1;
+            }
+            E::MemorySize => {
+                push!(Slot::from_i32(inst.memory.size_pages() as i32));
+                ip += 1;
+            }
+            E::MemoryGrow => {
+                let delta = pop!().i32();
+                let r = if delta < 0 { -1 } else { inst.memory.grow(delta as u32) };
+                push!(Slot::from_i32(r));
+                ip += 1;
+            }
+            E::MemoryCopy => {
+                let len = pop!().u32();
+                let src = pop!().u32();
+                let dst = pop!().u32();
+                inst.memory.copy_within(dst, src, len)?;
+                ip += 1;
+            }
+            E::MemoryFill => {
+                let len = pop!().u32();
+                let val = pop!().i32() as u8;
+                let dst = pop!().u32();
+                inst.memory.fill(dst, val, len)?;
+                ip += 1;
+            }
+
+            E::I32Const(v) => {
+                push!(Slot::from_i32(*v));
+                ip += 1;
+            }
+            E::I64Const(v) => {
+                push!(Slot::from_i64(*v));
+                ip += 1;
+            }
+            E::F32Const(v) => {
+                push!(Slot::from_f32(*v));
+                ip += 1;
+            }
+            E::F64Const(v) => {
+                push!(Slot::from_f64(*v));
+                ip += 1;
+            }
+            E::V128Const(v) => {
+                exec::push_v128(stack, *v);
+                ip += 1;
+            }
+
+            E::I32Eqz => un!(i32, Slot::from_bool, |v| v == 0),
+            E::I32Eq => bin!(i32, Slot::from_bool, |a, b| a == b),
+            E::I32Ne => bin!(i32, Slot::from_bool, |a, b| a != b),
+            E::I32LtS => bin!(i32, Slot::from_bool, |a, b| a < b),
+            E::I32LtU => bin!(u32, Slot::from_bool, |a, b| a < b),
+            E::I32GtS => bin!(i32, Slot::from_bool, |a, b| a > b),
+            E::I32GtU => bin!(u32, Slot::from_bool, |a, b| a > b),
+            E::I32LeS => bin!(i32, Slot::from_bool, |a, b| a <= b),
+            E::I32LeU => bin!(u32, Slot::from_bool, |a, b| a <= b),
+            E::I32GeS => bin!(i32, Slot::from_bool, |a, b| a >= b),
+            E::I32GeU => bin!(u32, Slot::from_bool, |a, b| a >= b),
+            E::I32Clz => un!(i32, Slot::from_i32, |v: i32| v.leading_zeros() as i32),
+            E::I32Ctz => un!(i32, Slot::from_i32, |v: i32| v.trailing_zeros() as i32),
+            E::I32Popcnt => un!(i32, Slot::from_i32, |v: i32| v.count_ones() as i32),
+            E::I32Add => bin!(i32, Slot::from_i32, i32::wrapping_add),
+            E::I32Sub => bin!(i32, Slot::from_i32, i32::wrapping_sub),
+            E::I32Mul => bin!(i32, Slot::from_i32, i32::wrapping_mul),
+            E::I32DivS => {
+                let b = pop!().i32();
+                let a = pop!().i32();
+                push!(Slot::from_i32(exec::i32_div_s(a, b)?));
+                ip += 1;
+            }
+            E::I32DivU => {
+                let b = pop!().i32();
+                let a = pop!().i32();
+                push!(Slot::from_i32(exec::i32_div_u(a, b)?));
+                ip += 1;
+            }
+            E::I32RemS => {
+                let b = pop!().i32();
+                let a = pop!().i32();
+                push!(Slot::from_i32(exec::i32_rem_s(a, b)?));
+                ip += 1;
+            }
+            E::I32RemU => {
+                let b = pop!().i32();
+                let a = pop!().i32();
+                push!(Slot::from_i32(exec::i32_rem_u(a, b)?));
+                ip += 1;
+            }
+            E::I32And => bin!(i32, Slot::from_i32, |a, b| a & b),
+            E::I32Or => bin!(i32, Slot::from_i32, |a, b| a | b),
+            E::I32Xor => bin!(i32, Slot::from_i32, |a, b| a ^ b),
+            E::I32Shl => bin!(i32, Slot::from_i32, |a: i32, b| a.wrapping_shl(b as u32)),
+            E::I32ShrS => bin!(i32, Slot::from_i32, |a: i32, b| a.wrapping_shr(b as u32)),
+            E::I32ShrU => {
+                bin!(i32, Slot::from_i32, |a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
+            }
+            E::I32Rotl => bin!(i32, Slot::from_i32, |a: i32, b| a.rotate_left((b as u32) & 31)),
+            E::I32Rotr => bin!(i32, Slot::from_i32, |a: i32, b| a.rotate_right((b as u32) & 31)),
+
+            E::I64Eqz => un!(i64, Slot::from_bool, |v| v == 0),
+            E::I64Eq => bin!(i64, Slot::from_bool, |a, b| a == b),
+            E::I64Ne => bin!(i64, Slot::from_bool, |a, b| a != b),
+            E::I64LtS => bin!(i64, Slot::from_bool, |a, b| a < b),
+            E::I64LtU => bin!(u64, Slot::from_bool, |a, b| a < b),
+            E::I64GtS => bin!(i64, Slot::from_bool, |a, b| a > b),
+            E::I64GtU => bin!(u64, Slot::from_bool, |a, b| a > b),
+            E::I64LeS => bin!(i64, Slot::from_bool, |a, b| a <= b),
+            E::I64LeU => bin!(u64, Slot::from_bool, |a, b| a <= b),
+            E::I64GeS => bin!(i64, Slot::from_bool, |a, b| a >= b),
+            E::I64GeU => bin!(u64, Slot::from_bool, |a, b| a >= b),
+            E::I64Clz => un!(i64, Slot::from_i64, |v: i64| v.leading_zeros() as i64),
+            E::I64Ctz => un!(i64, Slot::from_i64, |v: i64| v.trailing_zeros() as i64),
+            E::I64Popcnt => un!(i64, Slot::from_i64, |v: i64| v.count_ones() as i64),
+            E::I64Add => bin!(i64, Slot::from_i64, i64::wrapping_add),
+            E::I64Sub => bin!(i64, Slot::from_i64, i64::wrapping_sub),
+            E::I64Mul => bin!(i64, Slot::from_i64, i64::wrapping_mul),
+            E::I64DivS => {
+                let b = pop!().i64();
+                let a = pop!().i64();
+                push!(Slot::from_i64(exec::i64_div_s(a, b)?));
+                ip += 1;
+            }
+            E::I64DivU => {
+                let b = pop!().i64();
+                let a = pop!().i64();
+                push!(Slot::from_i64(exec::i64_div_u(a, b)?));
+                ip += 1;
+            }
+            E::I64RemS => {
+                let b = pop!().i64();
+                let a = pop!().i64();
+                push!(Slot::from_i64(exec::i64_rem_s(a, b)?));
+                ip += 1;
+            }
+            E::I64RemU => {
+                let b = pop!().i64();
+                let a = pop!().i64();
+                push!(Slot::from_i64(exec::i64_rem_u(a, b)?));
+                ip += 1;
+            }
+            E::I64And => bin!(i64, Slot::from_i64, |a, b| a & b),
+            E::I64Or => bin!(i64, Slot::from_i64, |a, b| a | b),
+            E::I64Xor => bin!(i64, Slot::from_i64, |a, b| a ^ b),
+            E::I64Shl => bin!(i64, Slot::from_i64, |a: i64, b| a.wrapping_shl(b as u32)),
+            E::I64ShrS => bin!(i64, Slot::from_i64, |a: i64, b| a.wrapping_shr(b as u32)),
+            E::I64ShrU => {
+                bin!(i64, Slot::from_i64, |a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
+            }
+            E::I64Rotl => {
+                bin!(i64, Slot::from_i64, |a: i64, b| a.rotate_left((b as u64 & 63) as u32))
+            }
+            E::I64Rotr => {
+                bin!(i64, Slot::from_i64, |a: i64, b| a.rotate_right((b as u64 & 63) as u32))
+            }
+
+            E::F32Eq => bin!(f32, Slot::from_bool, |a, b| a == b),
+            E::F32Ne => bin!(f32, Slot::from_bool, |a, b| a != b),
+            E::F32Lt => bin!(f32, Slot::from_bool, |a, b| a < b),
+            E::F32Gt => bin!(f32, Slot::from_bool, |a, b| a > b),
+            E::F32Le => bin!(f32, Slot::from_bool, |a, b| a <= b),
+            E::F32Ge => bin!(f32, Slot::from_bool, |a, b| a >= b),
+            E::F32Abs => un!(f32, Slot::from_f32, f32::abs),
+            E::F32Neg => un!(f32, Slot::from_f32, |v: f32| -v),
+            E::F32Ceil => un!(f32, Slot::from_f32, f32::ceil),
+            E::F32Floor => un!(f32, Slot::from_f32, f32::floor),
+            E::F32Trunc => un!(f32, Slot::from_f32, f32::trunc),
+            E::F32Nearest => un!(f32, Slot::from_f32, exec::nearest32),
+            E::F32Sqrt => un!(f32, Slot::from_f32, f32::sqrt),
+            E::F32Add => bin!(f32, Slot::from_f32, |a, b| a + b),
+            E::F32Sub => bin!(f32, Slot::from_f32, |a, b| a - b),
+            E::F32Mul => bin!(f32, Slot::from_f32, |a, b| a * b),
+            E::F32Div => bin!(f32, Slot::from_f32, |a, b| a / b),
+            E::F32Min => bin!(f32, Slot::from_f32, exec::fmin32),
+            E::F32Max => bin!(f32, Slot::from_f32, exec::fmax32),
+            E::F32Copysign => bin!(f32, Slot::from_f32, f32::copysign),
+
+            E::F64Eq => bin!(f64, Slot::from_bool, |a, b| a == b),
+            E::F64Ne => bin!(f64, Slot::from_bool, |a, b| a != b),
+            E::F64Lt => bin!(f64, Slot::from_bool, |a, b| a < b),
+            E::F64Gt => bin!(f64, Slot::from_bool, |a, b| a > b),
+            E::F64Le => bin!(f64, Slot::from_bool, |a, b| a <= b),
+            E::F64Ge => bin!(f64, Slot::from_bool, |a, b| a >= b),
+            E::F64Abs => un!(f64, Slot::from_f64, f64::abs),
+            E::F64Neg => un!(f64, Slot::from_f64, |v: f64| -v),
+            E::F64Ceil => un!(f64, Slot::from_f64, f64::ceil),
+            E::F64Floor => un!(f64, Slot::from_f64, f64::floor),
+            E::F64Trunc => un!(f64, Slot::from_f64, f64::trunc),
+            E::F64Nearest => un!(f64, Slot::from_f64, exec::nearest64),
+            E::F64Sqrt => un!(f64, Slot::from_f64, f64::sqrt),
+            E::F64Add => bin!(f64, Slot::from_f64, |a, b| a + b),
+            E::F64Sub => bin!(f64, Slot::from_f64, |a, b| a - b),
+            E::F64Mul => bin!(f64, Slot::from_f64, |a, b| a * b),
+            E::F64Div => bin!(f64, Slot::from_f64, |a, b| a / b),
+            E::F64Min => bin!(f64, Slot::from_f64, exec::fmin64),
+            E::F64Max => bin!(f64, Slot::from_f64, exec::fmax64),
+            E::F64Copysign => bin!(f64, Slot::from_f64, f64::copysign),
+
+            E::I32WrapI64 => un!(i64, Slot::from_i32, |v| v as i32),
+            E::I32TruncF32S => {
+                let v = pop!().f32();
+                push!(Slot::from_i32(exec::trunc_f64_to_i32(v as f64)?));
+                ip += 1;
+            }
+            E::I32TruncF32U => {
+                let v = pop!().f32();
+                push!(Slot::from_i32(exec::trunc_f64_to_u32(v as f64)? as i32));
+                ip += 1;
+            }
+            E::I32TruncF64S => {
+                let v = pop!().f64();
+                push!(Slot::from_i32(exec::trunc_f64_to_i32(v)?));
+                ip += 1;
+            }
+            E::I32TruncF64U => {
+                let v = pop!().f64();
+                push!(Slot::from_i32(exec::trunc_f64_to_u32(v)? as i32));
+                ip += 1;
+            }
+            E::I64ExtendI32S => un!(i32, Slot::from_i64, |v| v as i64),
+            E::I64ExtendI32U => un!(i32, Slot::from_i64, |v| v as u32 as i64),
+            E::I64TruncF32S => {
+                let v = pop!().f32();
+                push!(Slot::from_i64(exec::trunc_f64_to_i64(v as f64)?));
+                ip += 1;
+            }
+            E::I64TruncF32U => {
+                let v = pop!().f32();
+                push!(Slot::from_i64(exec::trunc_f64_to_u64(v as f64)? as i64));
+                ip += 1;
+            }
+            E::I64TruncF64S => {
+                let v = pop!().f64();
+                push!(Slot::from_i64(exec::trunc_f64_to_i64(v)?));
+                ip += 1;
+            }
+            E::I64TruncF64U => {
+                let v = pop!().f64();
+                push!(Slot::from_i64(exec::trunc_f64_to_u64(v)? as i64));
+                ip += 1;
+            }
+            E::F32ConvertI32S => un!(i32, Slot::from_f32, |v| v as f32),
+            E::F32ConvertI32U => un!(i32, Slot::from_f32, |v| v as u32 as f32),
+            E::F32ConvertI64S => un!(i64, Slot::from_f32, |v| v as f32),
+            E::F32ConvertI64U => un!(i64, Slot::from_f32, |v| v as u64 as f32),
+            E::F32DemoteF64 => un!(f64, Slot::from_f32, |v| v as f32),
+            E::F64ConvertI32S => un!(i32, Slot::from_f64, |v| v as f64),
+            E::F64ConvertI32U => un!(i32, Slot::from_f64, |v| v as u32 as f64),
+            E::F64ConvertI64S => un!(i64, Slot::from_f64, |v| v as f64),
+            E::F64ConvertI64U => un!(i64, Slot::from_f64, |v| v as u64 as f64),
+            E::F64PromoteF32 => un!(f32, Slot::from_f64, |v| v as f64),
+            E::Reinterpret => ip += 1,
+            E::I32Extend8S => un!(i32, Slot::from_i32, |v| v as i8 as i32),
+            E::I32Extend16S => un!(i32, Slot::from_i32, |v| v as i16 as i32),
+            E::I64Extend8S => un!(i64, Slot::from_i64, |v| v as i8 as i64),
+            E::I64Extend16S => un!(i64, Slot::from_i64, |v| v as i16 as i64),
+            E::I64Extend32S => un!(i64, Slot::from_i64, |v| v as i32 as i64),
+
+            E::I32x4Splat => {
+                let v = pop!().i32();
+                exec::push_v128(stack, exec::i32x4_to_v([v; 4]));
+                ip += 1;
+            }
+            E::I64x2Splat => {
+                let v = pop!().u64();
+                exec::push_v128(stack, (v as u128) | ((v as u128) << 64));
+                ip += 1;
+            }
+            E::F32x4Splat => {
+                let v = pop!().f32();
+                exec::push_v128(stack, exec::f32x4_to_v([v; 4]));
+                ip += 1;
+            }
+            E::F64x2Splat => {
+                let v = pop!().f64();
+                exec::push_v128(stack, exec::f64x2_to_v([v; 2]));
+                ip += 1;
+            }
+            E::I32x4ExtractLane(l) => {
+                let v = exec::pop_v128(stack);
+                push!(Slot::from_i32(exec::v_to_i32x4(v)[*l as usize]));
+                ip += 1;
+            }
+            E::F32x4ExtractLane(l) => {
+                let v = exec::pop_v128(stack);
+                push!(Slot::from_f32(exec::v_to_f32x4(v)[*l as usize]));
+                ip += 1;
+            }
+            E::F64x2ExtractLane(l) => {
+                let v = exec::pop_v128(stack);
+                push!(Slot::from_f64(exec::v_to_f64x2(v)[*l as usize]));
+                ip += 1;
+            }
+            E::F64x2ReplaceLane(l) => {
+                let x = pop!().f64();
+                let v = exec::pop_v128(stack);
+                let mut lanes = exec::v_to_f64x2(v);
+                lanes[*l as usize] = x;
+                exec::push_v128(stack, exec::f64x2_to_v(lanes));
+                ip += 1;
+            }
+            E::I32x4Add => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_add)),
+            E::I32x4Sub => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_sub)),
+            E::I32x4Mul => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_mul)),
+            E::F32x4Add => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x + y)),
+            E::F32x4Sub => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x - y)),
+            E::F32x4Mul => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x * y)),
+            E::F32x4Div => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x / y)),
+            E::F64x2Add => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x + y)),
+            E::F64x2Sub => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x - y)),
+            E::F64x2Mul => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x * y)),
+            E::F64x2Div => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x / y)),
+            E::F64x2Eq => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x == y)),
+            E::F64x2Ne => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x != y)),
+            E::F64x2Lt => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x < y)),
+            E::F64x2Gt => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x > y)),
+            E::F64x2Le => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x <= y)),
+            E::F64x2Ge => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x >= y)),
+            E::V128And => vbin!(|a, b| a & b),
+            E::V128Or => vbin!(|a, b| a | b),
+            E::V128Xor => vbin!(|a, b| a ^ b),
+            E::V128Not => {
+                let a = exec::pop_v128(stack);
+                exec::push_v128(stack, !a);
+                ip += 1;
+            }
+            E::V128AnyTrue => {
+                let a = exec::pop_v128(stack);
+                push!(Slot::from_bool(a != 0));
+                ip += 1;
+            }
+            E::I32x4AllTrue => {
+                let a = exec::v_to_i32x4(exec::pop_v128(stack));
+                push!(Slot::from_bool(a.iter().all(|&l| l != 0)));
+                ip += 1;
+            }
+            E::I32x4Bitmask => {
+                let a = exec::v_to_i32x4(exec::pop_v128(stack));
+                let mut m = 0;
+                for (i, l) in a.iter().enumerate() {
+                    if *l < 0 {
+                        m |= 1 << i;
+                    }
+                }
+                push!(Slot::from_i32(m));
+                ip += 1;
+            }
+
+            // --- superinstructions ---
+            E::I32AddLL(a, b) => {
+                let r = lg!(*a).i32().wrapping_add(lg!(*b).i32());
+                push!(Slot::from_i32(r));
+                ip += 1;
+            }
+            E::I64AddLL(a, b) => {
+                let r = lg!(*a).i64().wrapping_add(lg!(*b).i64());
+                push!(Slot::from_i64(r));
+                ip += 1;
+            }
+            E::F64AddLL(a, b) => {
+                push!(Slot::from_f64(lg!(*a).f64() + lg!(*b).f64()));
+                ip += 1;
+            }
+            E::F64MulLL(a, b) => {
+                push!(Slot::from_f64(lg!(*a).f64() * lg!(*b).f64()));
+                ip += 1;
+            }
+            E::F64SubLL(a, b) => {
+                push!(Slot::from_f64(lg!(*a).f64() - lg!(*b).f64()));
+                ip += 1;
+            }
+            E::I32AddLK(a, k) => {
+                push!(Slot::from_i32(lg!(*a).i32().wrapping_add(*k)));
+                ip += 1;
+            }
+            E::I32IncL(a, k) => {
+                let v = lg!(*a).i32().wrapping_add(*k);
+                lg!(*a) = Slot::from_i32(v);
+                ip += 1;
+            }
+            E::F64LoadL { local, bias, offset } => {
+                let addr = lg!(*local).i32().wrapping_add(*bias) as u32;
                 let start = inst.memory.effective(addr, *offset, 8)?;
-                stack.push(Value::F64(f64::from_le_bytes(inst.memory.load::<8>(start))));
+                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
                 ip += 1;
             }
-            Op::I32LoadL { local, offset } => {
-                let addr = get_i32(&locals, *local) as u32;
+            E::I32LoadL { local, bias, offset } => {
+                let addr = lg!(*local).i32().wrapping_add(*bias) as u32;
                 let start = inst.memory.effective(addr, *offset, 4)?;
-                stack.push(Value::I32(i32::from_le_bytes(inst.memory.load::<4>(start))));
+                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
                 ip += 1;
             }
-            Op::F64StoreLL { addr, val, offset } => {
-                let a = get_i32(&locals, *addr) as u32;
-                let v = get_f64(&locals, *val);
+            E::F64StoreLL { addr, val, offset } => {
+                let a = lg!(*addr).u32();
+                let v = lg!(*val).f64();
                 let start = inst.memory.effective(a, *offset, 8)?;
                 inst.memory.store(start, &v.to_le_bytes());
                 ip += 1;
             }
-            Op::F64MulL(b) => {
-                let a = exec::pop(&mut stack).as_f64().expect("validated");
-                stack.push(Value::F64(a * get_f64(&locals, *b)));
+            E::F64MulL(b) => {
+                let m = lg!(*b).f64();
+                let t = top!();
+                *t = Slot::from_f64(t.f64() * m);
                 ip += 1;
             }
-            Op::F64AddL(b) => {
-                let a = exec::pop(&mut stack).as_f64().expect("validated");
-                stack.push(Value::F64(a + get_f64(&locals, *b)));
+            E::F64AddL(b) => {
+                let m = lg!(*b).f64();
+                let t = top!();
+                *t = Slot::from_f64(t.f64() + m);
                 ip += 1;
             }
+            E::I32ShlLK(a, k) => {
+                push!(Slot::from_i32(lg!(*a).i32().wrapping_shl(*k as u32)));
+                ip += 1;
+            }
+            E::I32AddK(k) => {
+                let t = top!();
+                *t = Slot::from_i32(t.i32().wrapping_add(*k));
+                ip += 1;
+            }
+            E::I32AddShlLL { base, idx, shift } => {
+                let r = lg!(*base)
+                    .i32()
+                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32));
+                push!(Slot::from_i32(r));
+                ip += 1;
+            }
+            E::F64LoadLSh { base, idx, shift, offset } => {
+                let addr = lg!(*base)
+                    .i32()
+                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32))
+                    as u32;
+                let start = inst.memory.effective(addr, *offset, 8)?;
+                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
+                ip += 1;
+            }
+            E::I32LoadLSh { base, idx, shift, offset } => {
+                let addr = lg!(*base)
+                    .i32()
+                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32))
+                    as u32;
+                let start = inst.memory.effective(addr, *offset, 4)?;
+                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
+                ip += 1;
+            }
+            E::F64LoadShlK { idx, shift, bias, offset } => {
+                let addr =
+                    lg!(*idx).i32().wrapping_shl(*shift as u32).wrapping_add(*bias) as u32;
+                let start = inst.memory.effective(addr, *offset, 8)?;
+                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
+                ip += 1;
+            }
+            E::I32LoadShlK { idx, shift, bias, offset } => {
+                let addr =
+                    lg!(*idx).i32().wrapping_shl(*shift as u32).wrapping_add(*bias) as u32;
+                let start = inst.memory.effective(addr, *offset, 4)?;
+                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
+                ip += 1;
+            }
+            E::F64MulAdd => {
+                let b = pop!().f64();
+                let a = pop!().f64();
+                let t = top!();
+                *t = Slot::from_f64(t.f64() + a * b);
+                ip += 1;
+            }
+            E::BrIfCmpLL { cmp, a, b, dest } => {
+                if cmp.eval(lg!(*a).i32(), lg!(*b).i32()) {
+                    take_branch!(dest);
+                } else {
+                    ip += 1;
+                }
+            }
+            E::BrIfCmpLK { cmp, a, k, dest } => {
+                if cmp.eval(lg!(*a).i32(), *k) {
+                    take_branch!(dest);
+                } else {
+                    ip += 1;
+                }
+            }
+            E::BrIfCmp { cmp, dest } => {
+                let b = pop!().i32();
+                let a = pop!().i32();
+                if cmp.eval(a, b) {
+                    take_branch!(dest);
+                } else {
+                    ip += 1;
+                }
+            }
+            E::BrIfEqz(dest) => {
+                let v = pop!().i32();
+                if v == 0 {
+                    take_branch!(dest);
+                } else {
+                    ip += 1;
+                }
+            }
         }
-    }
-}
-
-#[inline]
-fn unwind(stack: &mut Vec<Value>, d: &Dest) {
-    let height = d.height as usize;
-    let arity = d.arity as usize;
-    if arity == 0 {
-        stack.truncate(height);
-        return;
-    }
-    // Move the carried values down over the unwound region, in place.
-    let from = stack.len() - arity;
-    if from != height {
-        for i in 0..arity {
-            stack[height + i] = stack[from + i];
-        }
-    }
-    stack.truncate(height + arity);
-}
-
-#[inline]
-fn get_i32(locals: &[Value], i: u16) -> i32 {
-    match locals[i as usize] {
-        Value::I32(v) => v,
-        _ => unreachable!("validated"),
-    }
-}
-
-#[inline]
-fn get_i64(locals: &[Value], i: u16) -> i64 {
-    match locals[i as usize] {
-        Value::I64(v) => v,
-        _ => unreachable!("validated"),
-    }
-}
-
-#[inline]
-fn get_f64(locals: &[Value], i: u16) -> f64 {
-    match locals[i as usize] {
-        Value::F64(v) => v,
-        _ => unreachable!("validated"),
     }
 }
 
@@ -884,6 +2369,71 @@ mod tests {
     }
 
     #[test]
+    fn fuse_compare_and_branch() {
+        let d = Dest { target: 7, height: 0, arity: 0 };
+        // The for_range loop exit: local.get i ; local.get n ; ge_s ; br_if
+        let mut ops = vec![
+            Op::Plain(Instr::LocalGet(0)),
+            Op::Plain(Instr::LocalGet(1)),
+            Op::Plain(Instr::I32GeS),
+            Op::BrIf(d),
+        ];
+        let targets = vec![false; 5];
+        assert!(fuse_locals(&mut ops, &targets));
+        assert_eq!(ops[3], Op::BrIfCmpLL { cmp: Cmp::GeS, a: 0, b: 1, dest: d });
+
+        // Stack-operand form: cmp ; br_if.
+        let mut ops = vec![Op::Plain(Instr::I32LtS), Op::BrIf(d)];
+        let targets = vec![false; 3];
+        assert!(fuse_locals(&mut ops, &targets));
+        assert_eq!(ops[1], Op::BrIfCmp { cmp: Cmp::LtS, dest: d });
+
+        // eqz ; br_if (the while-loop exit).
+        let mut ops = vec![Op::Plain(Instr::I32Eqz), Op::BrIf(d)];
+        let targets = vec![false; 3];
+        assert!(fuse_locals(&mut ops, &targets));
+        assert_eq!(ops[1], Op::BrIfEqz(d));
+    }
+
+    #[test]
+    fn fuse_indexed_load_chain() {
+        use crate::instr::MemArg;
+        // local.get a ; local.get i ; const 3 ; shl ; add ; f64.load —
+        // the canonical vector-element address — fuses to one op.
+        let ops = vec![
+            Op::Plain(Instr::LocalGet(4)),
+            Op::Plain(Instr::LocalGet(2)),
+            Op::Plain(Instr::I32Const(3)),
+            Op::Plain(Instr::I32Shl),
+            Op::Plain(Instr::I32Add),
+            Op::Plain(Instr::F64Load(MemArg::offset(16))),
+        ];
+        let mut f = FlatFunc { ops, ..Default::default() };
+        optimize(&mut f, 2);
+        assert_eq!(f.ops, vec![Op::F64LoadLSh { base: 4, idx: 2, shift: 3, offset: 16 }]);
+    }
+
+    #[test]
+    fn fuse_const_base_load() {
+        use crate::instr::MemArg;
+        // const 4096 ; local.get i ; const 3 ; shl ; add ; f64.load
+        let ops = vec![
+            Op::Plain(Instr::I32Const(4096)),
+            Op::Plain(Instr::LocalGet(1)),
+            Op::Plain(Instr::I32Const(3)),
+            Op::Plain(Instr::I32Shl),
+            Op::Plain(Instr::I32Add),
+            Op::Plain(Instr::F64Load(MemArg::offset(0))),
+        ];
+        let mut f = FlatFunc { ops, ..Default::default() };
+        optimize(&mut f, 2);
+        assert_eq!(
+            f.ops,
+            vec![Op::F64LoadShlK { idx: 1, shift: 3, bias: 4096, offset: 0 }]
+        );
+    }
+
+    #[test]
     fn compact_nops_remaps_jumps() {
         let mut f = FlatFunc {
             ops: vec![
@@ -893,13 +2443,78 @@ mod tests {
                 Op::Plain(Instr::I32Const(1)),
                 Op::Return,
             ],
-            n_params: 0,
-            locals: vec![],
-            result_arity: 1,
+            ..Default::default()
         };
+        f.result_arity = 1;
         compact_nops(&mut f);
         assert_eq!(f.ops.len(), 3);
         // Jump(3) pointed at the const; after compaction the const is at 1.
         assert_eq!(f.ops[0], Op::Jump(1));
+    }
+
+    #[test]
+    fn compact_remaps_fused_branch_targets() {
+        let d = Dest { target: 3, height: 0, arity: 0 };
+        let mut f = FlatFunc {
+            ops: vec![
+                Op::BrIfCmpLL { cmp: Cmp::LtS, a: 0, b: 1, dest: d },
+                Op::Nop,
+                Op::Nop,
+                Op::Return,
+            ],
+            ..Default::default()
+        };
+        compact_nops(&mut f);
+        assert_eq!(
+            f.ops[0],
+            Op::BrIfCmpLL {
+                cmp: Cmp::LtS,
+                a: 0,
+                b: 1,
+                dest: Dest { target: 1, height: 0, arity: 0 }
+            }
+        );
+    }
+
+    #[test]
+    fn addk_never_folds_into_pure_push_loads() {
+        use crate::instr::MemArg;
+        // Regression: `counts[b] = counts[b] + 1` lowers to
+        //   [ShlLK b][AddK counts]  (store address, stays on the stack)
+        //   [LoadShlK b counts][Const 1][Add][I32Store]
+        // The AddK feeds the *store*, not the following load; folding it
+        // into the LoadShlK offset both corrupted the loaded address and
+        // dropped the base from the store address.
+        let ops = vec![
+            Op::I32ShlLK(6, 2),
+            Op::I32AddK(1000),
+            Op::I32LoadShlK { idx: 6, shift: 2, bias: 1000, offset: 0 },
+            Op::Plain(Instr::I32Const(1)),
+            Op::Plain(Instr::I32Add),
+            Op::Plain(Instr::I32Store(MemArg::offset(0))),
+        ];
+        let mut f = FlatFunc { ops: ops.clone(), ..Default::default() };
+        optimize(&mut f, 2);
+        assert!(
+            f.ops.contains(&Op::I32AddK(1000)),
+            "store-address AddK must survive: {:?}",
+            f.ops
+        );
+        assert!(
+            f.ops.contains(&Op::I32LoadShlK { idx: 6, shift: 2, bias: 1000, offset: 0 }),
+            "load address must be unchanged: {:?}",
+            f.ops
+        );
+    }
+
+    #[test]
+    fn cmp_byte_roundtrip() {
+        for b in 0..=9u8 {
+            assert_eq!(Cmp::from_byte(b).unwrap().to_byte(), b);
+        }
+        assert!(Cmp::from_byte(10).is_none());
+        assert!(Cmp::LtS.eval(-1, 0));
+        assert!(!Cmp::LtU.eval(-1, 0));
+        assert!(Cmp::GeS.eval(3, 3));
     }
 }

@@ -37,6 +37,7 @@ pub mod tier;
 pub mod types;
 pub mod validate;
 pub mod wat;
+pub(crate) mod widths;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use decode::decode_module;
@@ -44,7 +45,7 @@ pub use encode::encode_module;
 pub use error::{DecodeError, Trap, ValidateError};
 pub use instr::Instr;
 pub use module::Module;
-pub use runtime::{Caller, HostFn, Instance, Linker, Memory, Value};
+pub use runtime::{Caller, HostFn, Instance, Linker, Memory, Slot, Value};
 pub use tier::Tier;
 pub use types::{FuncType, ValType};
 pub use validate::validate_module;

@@ -20,20 +20,24 @@ use std::sync::Arc;
 use crate::error::{Trap, ValidateError};
 use crate::module::{ExportKind, Module};
 use crate::tier::{self, CompiledBody, Tier};
-use crate::types::{FuncType, Limits};
+use crate::types::{FuncType, Limits, ValType};
 use crate::validate::validate_module;
+use crate::widths;
 
 use super::memory::Memory;
-use super::value::Value;
+use super::value::{Slot, Value};
 
 /// Alias kept for API familiarity with mainstream embedders: host functions
 /// are called with the instance as their "caller" context.
 pub type Caller = Instance;
 
 /// A host function: receives the calling instance (for memory access and
-/// guest re-entry) and the arguments; returns the results.
+/// guest re-entry) and the argument slots; returns the result slots.
+/// Arguments arrive as untyped [`Slot`]s — the registered [`FuncType`] is
+/// the contract for how to read them (`args[i].i32()` etc.), exactly as
+/// validation guarantees for guest-side operands.
 pub type HostFn =
-    Arc<dyn Fn(&mut Instance, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync>;
+    Arc<dyn Fn(&mut Instance, &[Slot]) -> Result<Vec<Slot>, Trap> + Send + Sync>;
 
 /// Errors produced while instantiating a module.
 #[derive(Debug)]
@@ -181,7 +185,7 @@ impl Linker {
         module: &str,
         name: &str,
         ty: FuncType,
-        f: impl Fn(&mut Instance, &[Value]) -> Result<Vec<Value>, Trap> + Send + Sync + 'static,
+        f: impl Fn(&mut Instance, &[Slot]) -> Result<Vec<Slot>, Trap> + Send + Sync + 'static,
     ) -> &mut Self {
         self.funcs.insert((module.into(), name.into()), (ty, Arc::new(f)));
         self
@@ -245,18 +249,20 @@ impl Linker {
             dst.copy_from_slice(&seg.bytes);
         }
 
-        // Globals.
+        // Globals, stored untyped; the declared types are kept for the
+        // typed accessor.
         let globals = module
             .globals
             .iter()
             .map(|g| match g.init {
-                crate::instr::Instr::I32Const(v) => Value::I32(v),
-                crate::instr::Instr::I64Const(v) => Value::I64(v),
-                crate::instr::Instr::F32Const(v) => Value::F32(v),
-                crate::instr::Instr::F64Const(v) => Value::F64(v),
+                crate::instr::Instr::I32Const(v) => Slot::from_i32(v),
+                crate::instr::Instr::I64Const(v) => Slot::from_i64(v),
+                crate::instr::Instr::F32Const(v) => Slot::from_f32(v),
+                crate::instr::Instr::F64Const(v) => Slot::from_f64(v),
                 _ => unreachable!("validated"),
             })
             .collect();
+        let global_types: Vec<ValType> = module.globals.iter().map(|g| g.ty.val_type).collect();
 
         // Table + element segments.
         let table_limits = module.tables.first().copied().unwrap_or(Limits::new(0, Some(0)));
@@ -272,7 +278,8 @@ impl Linker {
             }
         }
 
-        // Precompute the function-index-space type list.
+        // Precompute the function-index-space type list and, for imports,
+        // the argument slot counts (the host-call boundary works in slots).
         let mut func_types = Vec::with_capacity(module.num_funcs());
         for (_, _, type_idx) in module.imported_funcs() {
             func_types.push(module.types[type_idx as usize].clone());
@@ -280,6 +287,10 @@ impl Linker {
         for f in &module.functions {
             func_types.push(module.types[f.type_idx as usize].clone());
         }
+        let host_arg_slots: Vec<u32> = func_types[..host_funcs.len()]
+            .iter()
+            .map(|t| widths::slot_count(&t.params))
+            .collect();
 
         let mut instance = Instance {
             module,
@@ -287,12 +298,15 @@ impl Linker {
             bodies: Arc::clone(&compiled.bodies),
             memory,
             globals,
+            global_types,
             table,
             host_funcs,
+            host_arg_slots,
             func_types,
             data,
             limits: InstanceLimits::default(),
             depth: 0,
+            spare_stack: None,
         };
 
         if let Some(start) = instance.module.start {
@@ -311,14 +325,23 @@ pub struct Instance {
     /// The instance's linear memory. Public so host functions can translate
     /// guest pointers with zero copies.
     pub memory: Memory,
-    pub(crate) globals: Vec<Value>,
+    pub(crate) globals: Vec<Slot>,
+    pub(crate) global_types: Vec<ValType>,
     pub(crate) table: Vec<Option<u32>>,
     pub(crate) host_funcs: Vec<HostFn>,
+    /// Per imported function: argument count in slots.
+    pub(crate) host_arg_slots: Vec<u32>,
     pub(crate) func_types: Vec<FuncType>,
     /// Embedder state (e.g. the MPIWasm `Env`); downcast with [`Instance::data`].
     pub(crate) data: Box<dyn Any + Send>,
     pub(crate) limits: InstanceLimits,
     pub(crate) depth: usize,
+    /// The frame arena: one slot buffer shared by the operand stacks and
+    /// locals of all activation frames of an invocation. Parked here
+    /// between invocations so repeated calls allocate nothing; taken by
+    /// the active driver loop (a host re-entry simply allocates a fresh
+    /// one for its nested invocation).
+    pub(crate) spare_stack: Option<Vec<Slot>>,
 }
 
 impl std::fmt::Debug for Instance {
@@ -401,16 +424,30 @@ impl Instance {
                 "argument mismatch calling function {func_idx}: expected {ty}",
             )));
         }
-        self.call_func_unchecked(func_idx, args)
+        // Typed boundary: convert to slots, run untyped, convert back.
+        let result_types = ty.results.clone();
+        let mut slots = Vec::with_capacity(args.len());
+        for a in args {
+            a.push_slots(&mut slots);
+        }
+        let out = self.call_func_unchecked(func_idx, &slots)?;
+        let mut values = Vec::with_capacity(result_types.len());
+        let mut at = 0;
+        for ty in &result_types {
+            let (v, n) = Value::from_slots(*ty, &out[at..]);
+            values.push(v);
+            at += n;
+        }
+        Ok(values)
     }
 
-    /// Internal call path used by the interpreter (`call`, `call_indirect`)
-    /// where types were already validated.
+    /// Internal call path on the untyped slot representation, used by the
+    /// execution engines and host re-entry once types were validated.
     pub(crate) fn call_func_unchecked(
         &mut self,
         func_idx: u32,
-        args: &[Value],
-    ) -> Result<Vec<Value>, Trap> {
+        args: &[Slot],
+    ) -> Result<Vec<Slot>, Trap> {
         if self.depth >= self.limits.max_call_depth {
             return Err(Trap::StackExhausted);
         }
@@ -432,9 +469,50 @@ impl Instance {
         result
     }
 
+    /// Resolve a `call_indirect` through the table, checking the declared
+    /// signature against the callee's actual type.
+    pub(crate) fn resolve_indirect(&self, slot: u32, type_idx: u32) -> Result<u32, Trap> {
+        let func_idx = self
+            .table
+            .get(slot as usize)
+            .copied()
+            .flatten()
+            .ok_or(Trap::UndefinedTableElement { index: slot })?;
+        let expected = &self.module.types[type_idx as usize];
+        let actual = self
+            .func_type(func_idx)
+            .ok_or(Trap::UndefinedTableElement { index: slot })?;
+        if expected != actual {
+            return Err(Trap::IndirectCallTypeMismatch);
+        }
+        Ok(func_idx)
+    }
+
+    /// Take the frame arena for a driver loop (or a fresh one when a host
+    /// re-entry finds it already in use).
+    #[inline]
+    pub(crate) fn take_stack(&mut self) -> Vec<Slot> {
+        self.spare_stack.take().unwrap_or_else(|| Vec::with_capacity(4096))
+    }
+
+    /// Park the frame arena again, keeping its capacity for the next call.
+    /// When a nested (host re-entry) invocation parked its stack first,
+    /// keep whichever buffer is larger so the warmed-up outer arena is
+    /// not thrown away.
+    #[inline]
+    pub(crate) fn put_stack(&mut self, mut stack: Vec<Slot>) {
+        stack.clear();
+        match &self.spare_stack {
+            Some(parked) if parked.capacity() >= stack.capacity() => {}
+            _ => self.spare_stack = Some(stack),
+        }
+    }
+
     /// Read a global by index (diagnostics / tests).
     pub fn global(&self, idx: u32) -> Option<Value> {
-        self.globals.get(idx as usize).copied()
+        let slot = *self.globals.get(idx as usize)?;
+        let ty = *self.global_types.get(idx as usize)?;
+        Some(Value::from_slots(ty, &[slot]).0)
     }
 }
 
@@ -540,7 +618,8 @@ mod tests {
         let compiled = CompiledModule::compile(b.finish(), Tier::Baseline).unwrap();
         let mut linker = Linker::new();
         linker.func("env", "alloc_hook", FuncType::new(vec![], vec![ValType::I32]), |inst, _| {
-            inst.invoke("bump", &[])
+            let out = inst.invoke("bump", &[])?;
+            Ok(vec![Slot::from_i32(out[0].as_i32()?)])
         });
         let mut inst = linker.instantiate(&compiled, Box::new(())).unwrap();
         assert_eq!(inst.invoke("go", &[]).unwrap(), vec![Value::I32(4096)]);

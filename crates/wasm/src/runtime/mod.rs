@@ -9,4 +9,4 @@ pub use instance::{
     Caller, CompiledModule, HostFn, Instance, InstanceLimits, InstantiateError, Linker,
 };
 pub use memory::Memory;
-pub use value::Value;
+pub use value::{Slot, Value};

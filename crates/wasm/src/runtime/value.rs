@@ -1,7 +1,132 @@
-//! Runtime values: the dynamic counterpart of [`crate::types::ValType`].
+//! Runtime values: the dynamic counterpart of [`crate::types::ValType`],
+//! and the untyped 64-bit [`Slot`] representation the execution engine
+//! uses on its hot path.
 
 use crate::error::Trap;
 use crate::types::ValType;
+
+/// An untyped 64-bit stack slot.
+///
+/// Validation statically proves every operand's type, so the execution
+/// engine stores values as raw bits and never tags or checks them at run
+/// time: i32 is zero-extended into the low 32 bits, i64 is the raw two's
+/// complement word, floats are their IEEE bit patterns, and v128 spans two
+/// slots (low half first). [`Value`] remains the typed representation used
+/// at API boundaries (arguments, results, globals accessors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    pub const ZERO: Slot = Slot(0);
+
+    #[inline]
+    pub fn from_i32(v: i32) -> Slot {
+        Slot(v as u32 as u64)
+    }
+
+    #[inline]
+    pub fn from_u32(v: u32) -> Slot {
+        Slot(v as u64)
+    }
+
+    #[inline]
+    pub fn from_i64(v: i64) -> Slot {
+        Slot(v as u64)
+    }
+
+    #[inline]
+    pub fn from_u64(v: u64) -> Slot {
+        Slot(v)
+    }
+
+    #[inline]
+    pub fn from_f32(v: f32) -> Slot {
+        Slot(v.to_bits() as u64)
+    }
+
+    #[inline]
+    pub fn from_f64(v: f64) -> Slot {
+        Slot(v.to_bits())
+    }
+
+    #[inline]
+    pub fn from_bool(v: bool) -> Slot {
+        Slot(v as u64)
+    }
+
+    #[inline]
+    pub fn i32(self) -> i32 {
+        self.0 as u32 as i32
+    }
+
+    #[inline]
+    pub fn u32(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    pub fn i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    #[inline]
+    pub fn u64(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn f32(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+
+    #[inline]
+    pub fn f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<i32> for Slot {
+    fn from(v: i32) -> Slot {
+        Slot::from_i32(v)
+    }
+}
+
+impl From<u32> for Slot {
+    fn from(v: u32) -> Slot {
+        Slot::from_u32(v)
+    }
+}
+
+impl From<i64> for Slot {
+    fn from(v: i64) -> Slot {
+        Slot::from_i64(v)
+    }
+}
+
+impl From<u64> for Slot {
+    fn from(v: u64) -> Slot {
+        Slot::from_u64(v)
+    }
+}
+
+impl From<f32> for Slot {
+    fn from(v: f32) -> Slot {
+        Slot::from_f32(v)
+    }
+}
+
+impl From<f64> for Slot {
+    fn from(v: f64) -> Slot {
+        Slot::from_f64(v)
+    }
+}
+
+impl From<bool> for Slot {
+    fn from(v: bool) -> Slot {
+        Slot::from_bool(v)
+    }
+}
 
 /// A runtime value on the operand stack, in a local, or in a global.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +197,38 @@ impl Value {
         match self {
             Value::V128(v) => Ok(*v),
             other => Err(Trap::host(format!("expected v128, found {}", other.ty()))),
+        }
+    }
+}
+
+impl Value {
+    /// Append this value's slot representation (v128 = two slots, low
+    /// half first).
+    pub fn push_slots(self, out: &mut Vec<Slot>) {
+        match self {
+            Value::I32(v) => out.push(Slot::from_i32(v)),
+            Value::I64(v) => out.push(Slot::from_i64(v)),
+            Value::F32(v) => out.push(Slot::from_f32(v)),
+            Value::F64(v) => out.push(Slot::from_f64(v)),
+            Value::V128(v) => {
+                out.push(Slot(v as u64));
+                out.push(Slot((v >> 64) as u64));
+            }
+        }
+    }
+
+    /// Rebuild a typed value from its slot representation. `slots` must
+    /// hold at least `ty.slot_width()` entries; returns the value and the
+    /// number of slots consumed.
+    pub fn from_slots(ty: ValType, slots: &[Slot]) -> (Value, usize) {
+        match ty {
+            ValType::I32 => (Value::I32(slots[0].i32()), 1),
+            ValType::I64 => (Value::I64(slots[0].i64()), 1),
+            ValType::F32 => (Value::F32(slots[0].f32()), 1),
+            ValType::F64 => (Value::F64(slots[0].f64()), 1),
+            ValType::V128 => {
+                (Value::V128(slots[0].0 as u128 | (slots[1].0 as u128) << 64), 2)
+            }
         }
     }
 }

@@ -3,12 +3,16 @@
 //!
 //! | Paper backend | Tier              | Strategy |
 //! |---------------|-------------------|----------|
-//! | Singlepass    | [`Tier::Baseline`]  | structured interpreter, linear-time prepare |
-//! | Cranelift     | [`Tier::Optimizing`]| flatten to register-style IR with resolved jumps |
-//! | LLVM          | [`Tier::Max`]       | IR + iterated optimization passes (folding, fusion, jump threading) |
+//! | Singlepass    | [`Tier::Baseline`]  | structured interpreter over the untyped slot stack; linear-time prepare (side table + width pass) |
+//! | Cranelift     | [`Tier::Optimizing`]| flatten to register-style IR with resolved jumps, lowered to the dense [`crate::ir::ExecOp`] stream |
+//! | LLVM          | [`Tier::Max`]       | flat IR plus iterated optimization passes (constant folding, local/load/shift fusion, compare-and-branch fusion, jump threading), same dense lowering |
 //!
-//! The tiers preserve the paper's ordering: compile time grows and run time
-//! shrinks from Baseline to Max.
+//! All tiers share the untyped execution engine: operands are raw 64-bit
+//! slots (f32/f64 bit-cast, v128 in two slots) with no runtime type tags —
+//! validation proves the types statically — and activation frames live in
+//! one per-instance slot arena, so guest→guest calls allocate nothing.
+//! The tiers preserve the paper's ordering: compile time grows and run
+//! time shrinks from Baseline to Max.
 
 use crate::interp::SideTable;
 use crate::ir::FlatFunc;
@@ -68,7 +72,7 @@ impl CompiledBody {
 /// Compile one function body for the given tier.
 pub fn compile_body(module: &Module, func: &Function, tier: Tier) -> CompiledBody {
     match tier {
-        Tier::Baseline => CompiledBody::Interp(SideTable::build(&func.body)),
+        Tier::Baseline => CompiledBody::Interp(SideTable::build(module, func)),
         Tier::Optimizing => CompiledBody::Flat(crate::ir::compile(module, func, 0)),
         Tier::Max => CompiledBody::Flat(crate::ir::compile(module, func, 2)),
     }

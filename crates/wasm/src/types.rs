@@ -16,6 +16,16 @@ pub enum ValType {
 }
 
 impl ValType {
+    /// Number of 64-bit stack slots a value of this type occupies in the
+    /// untyped execution engine (`v128` spans two slots, low half first).
+    #[inline]
+    pub fn slot_width(self) -> u32 {
+        match self {
+            ValType::V128 => 2,
+            _ => 1,
+        }
+    }
+
     /// Binary encoding byte for this type.
     pub fn to_byte(self) -> u8 {
         match self {

@@ -17,6 +17,9 @@ use wasm_engine::types::ValType;
 use wasm_engine::{encode_module, ModuleBuilder, Tier};
 
 /// A reference-evaluatable arithmetic expression over two i32 inputs.
+/// `Div`/`Rem` bring the wasm trap semantics into the differential net:
+/// the reference evaluation reports a trap as `Err(())` and every tier
+/// must trap too.
 #[derive(Debug, Clone)]
 enum Ast {
     X,
@@ -25,6 +28,8 @@ enum Ast {
     Add(Box<Ast>, Box<Ast>),
     Sub(Box<Ast>, Box<Ast>),
     Mul(Box<Ast>, Box<Ast>),
+    Div(Box<Ast>, Box<Ast>),
+    Rem(Box<Ast>, Box<Ast>),
     And(Box<Ast>, Box<Ast>),
     Or(Box<Ast>, Box<Ast>),
     Xor(Box<Ast>, Box<Ast>),
@@ -32,25 +37,42 @@ enum Ast {
 }
 
 impl Ast {
-    fn eval(&self, x: i32, y: i32) -> i32 {
-        match self {
+    fn eval(&self, x: i32, y: i32) -> Result<i32, ()> {
+        Ok(match self {
             Ast::X => x,
             Ast::Y => y,
             Ast::Const(c) => *c,
-            Ast::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
-            Ast::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
-            Ast::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
-            Ast::And(a, b) => a.eval(x, y) & b.eval(x, y),
-            Ast::Or(a, b) => a.eval(x, y) | b.eval(x, y),
-            Ast::Xor(a, b) => a.eval(x, y) ^ b.eval(x, y),
+            Ast::Add(a, b) => a.eval(x, y)?.wrapping_add(b.eval(x, y)?),
+            Ast::Sub(a, b) => a.eval(x, y)?.wrapping_sub(b.eval(x, y)?),
+            Ast::Mul(a, b) => a.eval(x, y)?.wrapping_mul(b.eval(x, y)?),
+            Ast::Div(a, b) => {
+                let (a, b) = (a.eval(x, y)?, b.eval(x, y)?);
+                if b == 0 || (a == i32::MIN && b == -1) {
+                    return Err(()); // divide-by-zero / overflow trap
+                }
+                a.wrapping_div(b)
+            }
+            Ast::Rem(a, b) => {
+                let (a, b) = (a.eval(x, y)?, b.eval(x, y)?);
+                if b == 0 {
+                    return Err(());
+                }
+                a.wrapping_rem(b)
+            }
+            Ast::And(a, b) => a.eval(x, y)? & b.eval(x, y)?,
+            Ast::Or(a, b) => a.eval(x, y)? | b.eval(x, y)?,
+            Ast::Xor(a, b) => a.eval(x, y)? ^ b.eval(x, y)?,
             Ast::Select(c, a, b) => {
-                if c.eval(x, y) != 0 {
-                    a.eval(x, y)
+                // Wasm `select` is strict: both arms evaluate (and may
+                // trap) before the choice.
+                let (c, a, b) = (c.eval(x, y)?, a.eval(x, y)?, b.eval(x, y)?);
+                if c != 0 {
+                    a
                 } else {
-                    b.eval(x, y)
+                    b
                 }
             }
-        }
+        })
     }
 
     fn to_dsl(&self) -> Expr {
@@ -61,6 +83,8 @@ impl Ast {
             Ast::Add(a, b) => a.to_dsl() + b.to_dsl(),
             Ast::Sub(a, b) => a.to_dsl() - b.to_dsl(),
             Ast::Mul(a, b) => a.to_dsl() * b.to_dsl(),
+            Ast::Div(a, b) => a.to_dsl() / b.to_dsl(),
+            Ast::Rem(a, b) => a.to_dsl() % b.to_dsl(),
             Ast::And(a, b) => a.to_dsl().and(b.to_dsl()),
             Ast::Or(a, b) => a.to_dsl().or(b.to_dsl()),
             Ast::Xor(a, b) => a.to_dsl().xor(b.to_dsl()),
@@ -80,6 +104,8 @@ fn ast_strategy() -> impl Strategy<Value = Ast> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Add(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Sub(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Rem(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::And(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Or(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Xor(a.into(), b.into())),
@@ -103,18 +129,42 @@ fn compile_ast(ast: &Ast) -> Vec<u8> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Differential execution: all three tiers agree with ground truth.
+    /// Differential execution: all three tiers agree with ground truth on
+    /// both results and traps (the safety net for the untyped-slot engine
+    /// and the Max tier's superinstruction fusion).
     #[test]
     fn tiers_agree_with_reference(ast in ast_strategy(), x in any::<i32>(), y in any::<i32>()) {
         let wasm = compile_ast(&ast);
         let module = wasm_engine::decode_module(&wasm).unwrap();
         wasm_engine::validate_module(&module).unwrap();
         let expected = ast.eval(x, y);
+        let mut trap_messages: Vec<String> = Vec::new();
         for tier in Tier::ALL {
             let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
             let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
-            let out = inst.invoke("f", &[Value::I32(x), Value::I32(y)]).unwrap();
-            prop_assert_eq!(out[0], Value::I32(expected), "tier {}", tier);
+            let out = inst.invoke("f", &[Value::I32(x), Value::I32(y)]);
+            match (&expected, out) {
+                (Ok(v), Ok(got)) => {
+                    prop_assert_eq!(got[0], Value::I32(*v), "tier {}", tier);
+                }
+                (Err(()), Err(trap)) => trap_messages.push(trap.to_string()),
+                (Ok(v), Err(trap)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "tier {tier} trapped ({trap}) but reference produced {v}"
+                    )));
+                }
+                (Err(()), Ok(got)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "tier {tier} produced {:?} but reference trapped", got[0]
+                    )));
+                }
+            }
+        }
+        // When it traps, every tier must report the same trap.
+        if !trap_messages.is_empty() {
+            prop_assert_eq!(trap_messages.len(), 3);
+            prop_assert_eq!(&trap_messages[0], &trap_messages[1]);
+            prop_assert_eq!(&trap_messages[1], &trap_messages[2]);
         }
     }
 
@@ -137,9 +187,12 @@ proptest! {
         let compiled = CompiledModule::compile(module, Tier::Max).unwrap();
         let artifact = mpiwasm::cache::store_artifact(&wasm, &compiled);
         let loaded = mpiwasm::cache::load_artifact(&artifact).unwrap();
+        // Compare outcomes including traps (the AST can divide by zero).
         let run = |c: &CompiledModule| {
             let mut inst = Linker::new().instantiate(c, Box::new(())).unwrap();
-            inst.invoke("f", &[Value::I32(x), Value::I32(y)]).unwrap()[0]
+            inst.invoke("f", &[Value::I32(x), Value::I32(y)])
+                .map(|out| out[0])
+                .map_err(|t| t.to_string())
         };
         prop_assert_eq!(run(&compiled), run(&loaded));
     }
