@@ -1,0 +1,168 @@
+//! Point-to-point protocol benchmark: eager vs rendezvous bandwidth and
+//! communication/computation overlap, emitting `BENCH_p2p.json` so
+//! protocol changes have a recorded perf trajectory.
+//!
+//! Usage: `bench_p2p [out.json]` (default `BENCH_p2p.json`).
+//!
+//! Three sections:
+//!
+//! * **bandwidth** — real-clock PingPong at sizes straddling the
+//!   rendezvous threshold, interleaved A/B between the progress engine's
+//!   default protocol and the seed's eager-only behavior
+//!   (`ProtocolConfig::eager_only()`), best-of-N per arm. Above the
+//!   threshold the rendezvous path copies each payload once
+//!   (sender buffer → receive buffer) instead of twice (sender → mailbox
+//!   heap box → receive buffer), which is the bandwidth win.
+//! * **overlap** — Iallreduce and Isend/Irecv overlap kernels
+//!   (`hpc_benchmarks::overlap`), blocking vs nonblocking per-iteration
+//!   times.
+//! * **imb_nbc_smoke** — the Wasm overlap guest through the full embedder
+//!   under both clock modes (the CI smoke for the nonblocking guest ABI).
+
+use std::sync::Arc;
+
+use hpc_benchmarks::overlap::{self, OverlapParams};
+use mpi_substrate::{
+    run_world_with_protocol, ClockMode, ProtocolConfig, Source, Tag,
+};
+use mpiwasm::{JobConfig, Runner};
+use netsim::{CostModel, SystemProfile};
+
+const SIZES: [usize; 5] = [4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+const REPS: usize = 5;
+
+/// One timed pingpong run: returns the best per-iteration one-way time in
+/// ns for `bytes` under `protocol`.
+fn pingpong_ns(bytes: usize, protocol: ProtocolConfig) -> f64 {
+    let iters: usize = if bytes >= 1 << 20 { 20 } else { 100 };
+    let out = run_world_with_protocol(2, ClockMode::Real, protocol, move |comm| {
+        let sbuf = vec![0x5au8; bytes];
+        let mut rbuf = vec![0u8; bytes];
+        comm.barrier().unwrap();
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(&sbuf, 1, 0).unwrap();
+                comm.recv(&mut rbuf, Source::Rank(1), Tag::Value(0)).unwrap();
+            } else {
+                comm.recv(&mut rbuf, Source::Rank(0), Tag::Value(0)).unwrap();
+                comm.send(&sbuf, 0, 0).unwrap();
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (2.0 * iters as f64)
+    });
+    // Rank 0's measurement (both agree to within the final barrier).
+    out[0]
+}
+
+fn mb_per_s(bytes: usize, ns: f64) -> f64 {
+    bytes as f64 / ns * 1e9 / 1e6
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_p2p.json".into());
+    let mut lines: Vec<String> = Vec::new();
+
+    // --- bandwidth: interleaved A/B, default (rendezvous) vs eager-only -
+    println!("== p2p bandwidth (PingPong, np=2, real clock) ==");
+    for &bytes in &SIZES {
+        let mut best_rdv = f64::INFINITY;
+        let mut best_eager = f64::INFINITY;
+        for _ in 0..REPS {
+            // Interleave the arms so scheduler noise hits both equally.
+            best_rdv = best_rdv.min(pingpong_ns(bytes, ProtocolConfig::default_real()));
+            best_eager = best_eager.min(pingpong_ns(bytes, ProtocolConfig::eager_only()));
+        }
+        let (r, e) = (mb_per_s(bytes, best_rdv), mb_per_s(bytes, best_eager));
+        println!(
+            "{:>9} B  default {:>9.1} MB/s   eager-only {:>9.1} MB/s   ratio {:.2}x",
+            bytes,
+            r,
+            e,
+            r / e
+        );
+        lines.push(format!(
+            "  {{\"section\": \"bandwidth\", \"bytes\": {bytes}, \
+             \"default_mb_s\": {r:.1}, \"eager_only_mb_s\": {e:.1}}}"
+        ));
+    }
+
+    // --- overlap kernels -------------------------------------------------
+    println!("== overlap (np=4 Iallreduce, np=2 p2p, real clock) ==");
+    let coll_params = OverlapParams {
+        bytes: 64 << 10,
+        iters: 10,
+        compute_units: 200_000,
+        virtual_compute_us: 50.0,
+    };
+    let coll = run_world_with_protocol(
+        4,
+        ClockMode::Real,
+        ProtocolConfig::default_real(),
+        move |comm| overlap::run_native(&comm, coll_params),
+    );
+    let coll_block = coll.iter().map(|r| r.blocking_us).fold(0.0, f64::max);
+    let coll_nb = coll.iter().map(|r| r.nonblocking_us).fold(0.0, f64::max);
+    println!("iallreduce: blocking {coll_block:.1} us/iter, nonblocking {coll_nb:.1} us/iter");
+    lines.push(format!(
+        "  {{\"section\": \"overlap\", \"kernel\": \"iallreduce\", \
+         \"blocking_us\": {coll_block:.2}, \"nonblocking_us\": {coll_nb:.2}}}"
+    ));
+
+    let p2p_params = OverlapParams {
+        bytes: 1 << 20,
+        iters: 10,
+        compute_units: 200_000,
+        virtual_compute_us: 50.0,
+    };
+    let p2p = run_world_with_protocol(
+        2,
+        ClockMode::Real,
+        ProtocolConfig::default_real(),
+        move |comm| overlap::run_native_p2p(&comm, p2p_params),
+    );
+    let p2p_block = p2p.iter().map(|r| r.blocking_us).fold(0.0, f64::max);
+    let p2p_nb = p2p.iter().map(|r| r.nonblocking_us).fold(0.0, f64::max);
+    println!("p2p 1MiB:   blocking {p2p_block:.1} us/iter, nonblocking {p2p_nb:.1} us/iter");
+    lines.push(format!(
+        "  {{\"section\": \"overlap\", \"kernel\": \"p2p_1mib\", \
+         \"blocking_us\": {p2p_block:.2}, \"nonblocking_us\": {p2p_nb:.2}}}"
+    ));
+
+    // --- IMB-NBC guest smoke --------------------------------------------
+    println!("== imb nbc guest smoke (np=4, real + virtual clocks) ==");
+    let wasm = Arc::new(overlap::build_guest(OverlapParams {
+        bytes: 4096,
+        iters: 4,
+        compute_units: 1000,
+        virtual_compute_us: 5.0,
+    }));
+    let runner = Runner::new();
+    for (name, clock) in [
+        ("real", ClockMode::Real),
+        ("virtual", ClockMode::Virtual(CostModel::native(SystemProfile::container()))),
+    ] {
+        let result = runner
+            .run(&wasm, JobConfig { np: 4, clock, ..Default::default() })
+            .expect("overlap guest launch");
+        assert!(
+            result.success(),
+            "overlap guest failed under {name} clock: {:?}",
+            result.ranks.iter().filter_map(|r| r.error.clone()).collect::<Vec<_>>()
+        );
+        let reports = &result.ranks[0].reports;
+        println!(
+            "{name:>8} clock: blocking {:.1} us/iter, nonblocking {:.1} us/iter",
+            reports[0].1, reports[1].1
+        );
+        lines.push(format!(
+            "  {{\"section\": \"imb_nbc_smoke\", \"clock\": \"{name}\", \
+             \"blocking_us\": {:.2}, \"nonblocking_us\": {:.2}}}",
+            reports[0].1, reports[1].1
+        ));
+    }
+
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+}

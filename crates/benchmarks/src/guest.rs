@@ -50,7 +50,19 @@ pub struct MpiImports {
     pub irecv: u32,
     pub wait: u32,
     pub waitall: u32,
+    pub waitany: u32,
+    pub waitsome: u32,
     pub test: u32,
+    pub testall: u32,
+    pub testany: u32,
+    pub send_init: u32,
+    pub recv_init: u32,
+    pub start: u32,
+    pub startall: u32,
+    pub request_free: u32,
+    pub ibarrier: u32,
+    pub ibcast: u32,
+    pub iallreduce: u32,
     /// `bench.report(key, value)` harness hook.
     pub report: u32,
 }
@@ -92,7 +104,19 @@ impl MpiImports {
             irecv: i(b, "MPI_Irecv", vec![I32; 7], vec![I32]),
             wait: i(b, "MPI_Wait", vec![I32; 2], vec![I32]),
             waitall: i(b, "MPI_Waitall", vec![I32; 3], vec![I32]),
+            waitany: i(b, "MPI_Waitany", vec![I32; 4], vec![I32]),
+            waitsome: i(b, "MPI_Waitsome", vec![I32; 5], vec![I32]),
             test: i(b, "MPI_Test", vec![I32; 3], vec![I32]),
+            testall: i(b, "MPI_Testall", vec![I32; 4], vec![I32]),
+            testany: i(b, "MPI_Testany", vec![I32; 5], vec![I32]),
+            send_init: i(b, "MPI_Send_init", vec![I32; 7], vec![I32]),
+            recv_init: i(b, "MPI_Recv_init", vec![I32; 7], vec![I32]),
+            start: i(b, "MPI_Start", vec![I32; 1], vec![I32]),
+            startall: i(b, "MPI_Startall", vec![I32; 2], vec![I32]),
+            request_free: i(b, "MPI_Request_free", vec![I32; 1], vec![I32]),
+            ibarrier: i(b, "MPI_Ibarrier", vec![I32; 2], vec![I32]),
+            ibcast: i(b, "MPI_Ibcast", vec![I32; 6], vec![I32]),
+            iallreduce: i(b, "MPI_Iallreduce", vec![I32; 7], vec![I32]),
             report: b.import_func("bench", "report", vec![I32, F64], vec![]),
         }
     }
@@ -223,6 +247,65 @@ impl MpiImports {
                 root,
                 int(handles::MPI_COMM_WORLD),
             ],
+        )
+    }
+
+    /// Nonblocking allreduce over `MPI_COMM_WORLD`; the request handle is
+    /// written to `req_ptr`.
+    pub fn iallreduce_nb(
+        &self,
+        sbuf: Expr,
+        rbuf: Expr,
+        count: Expr,
+        dt: i32,
+        op: i32,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.iallreduce,
+            vec![sbuf, rbuf, count, int(dt), int(op), int(handles::MPI_COMM_WORLD), req_ptr],
+        )
+    }
+
+    /// Nonblocking barrier over `MPI_COMM_WORLD`.
+    pub fn ibarrier_nb(&self, req_ptr: Expr) -> Stmt {
+        call_drop(self.ibarrier, vec![int(handles::MPI_COMM_WORLD), req_ptr])
+    }
+
+    /// `MPI_Wait(req_ptr, MPI_STATUS_IGNORE)`.
+    pub fn wait_nb(&self, req_ptr: Expr) -> Stmt {
+        call_drop(self.wait, vec![req_ptr, int(handles::MPI_STATUS_IGNORE)])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend_nb(
+        &self,
+        buf: Expr,
+        count: Expr,
+        dt: i32,
+        dest: Expr,
+        tag: i32,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.isend,
+            vec![buf, count, int(dt), dest, int(tag), int(handles::MPI_COMM_WORLD), req_ptr],
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn irecv_nb(
+        &self,
+        buf: Expr,
+        count: Expr,
+        dt: i32,
+        src: Expr,
+        tag: i32,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.irecv,
+            vec![buf, count, int(dt), src, int(tag), int(handles::MPI_COMM_WORLD), req_ptr],
         )
     }
 
@@ -394,6 +477,154 @@ mod tests {
         let reports = &result.ranks[0].reports;
         assert_eq!(reports[0].1, layout::HEAP as f64);
         assert_eq!(reports[1].1, (layout::HEAP + 256) as f64);
+    }
+
+    /// The canonical halo-exchange shape: both ranks Isend a
+    /// rendezvous-sized payload, Irecv the peer's, then Waitall both.
+    /// Regression test for the host progress engine — waiting on the send
+    /// must keep driving the posted receive, or the exchange deadlocks.
+    #[test]
+    fn symmetric_rendezvous_waitall_completes() {
+        const BYTES: i32 = 256 << 10; // above every eager threshold
+        let reqs = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            let peer = int(1) - rank.get();
+            stmts.extend([
+                store(int(layout::SEND_BUF), 0, rank.get() + int(7)),
+                mpi.isend_nb(int(layout::SEND_BUF), int(BYTES), MPI_BYTE, peer.clone(), 5, int(reqs)),
+                mpi.irecv_nb(int(layout::RECV_BUF), int(BYTES), MPI_BYTE, peer, 5, int(reqs + 4)),
+                call_drop(mpi.waitall, vec![int(2), int(reqs), int(0 /* STATUSES_IGNORE */)]),
+                mpi.report(int(0), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        // Each rank received the peer's first word.
+        assert_eq!(result.ranks[0].reports, vec![(0, 8.0)]);
+        assert_eq!(result.ranks[1].reports, vec![(0, 7.0)]);
+    }
+
+    /// The MPI-guaranteed Irecv-then-blocking-Send exchange: both ranks
+    /// post a large Irecv, then call blocking MPI_Send of a
+    /// rendezvous-sized payload, then Wait the receive. The host's
+    /// blocking send must keep the posted receive progressing or both
+    /// ranks park on their rendezvous slots forever.
+    #[test]
+    fn posted_irecv_unblocks_symmetric_blocking_send() {
+        const BYTES: i32 = 256 << 10;
+        let req = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            let peer = int(1) - rank.get();
+            stmts.extend([
+                store(int(layout::SEND_BUF), 0, rank.get() + int(40)),
+                mpi.irecv_nb(int(layout::RECV_BUF), int(BYTES), MPI_BYTE, peer.clone(), 9, int(req)),
+                mpi.send(int(layout::SEND_BUF), int(BYTES), MPI_BYTE, peer, int(9)),
+                mpi.wait_nb(int(req)),
+                mpi.report(int(0), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(result.ranks[0].reports, vec![(0, 41.0)]);
+        assert_eq!(result.ranks[1].reports, vec![(0, 40.0)]);
+    }
+
+    /// MPI_Request_free must return immediately (mark-for-deletion):
+    /// Isend → Request_free → Barrier → peer receives. Blocking inside
+    /// Request_free until the send drained would deadlock at the barrier.
+    #[test]
+    fn request_free_on_inflight_send_is_nonblocking() {
+        const BYTES: i32 = 256 << 10;
+        let req = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            let peer = int(1) - rank.get();
+            stmts.extend([
+                store(int(layout::SEND_BUF), 0, rank.get() + int(60)),
+                mpi.isend_nb(int(layout::SEND_BUF), int(BYTES), MPI_BYTE, peer.clone(), 2, int(req)),
+                call_drop(mpi.request_free, vec![int(req)]),
+                mpi.barrier_world(),
+                mpi.recv(int(layout::RECV_BUF), int(BYTES), MPI_BYTE, peer, int(2)),
+                mpi.report(int(0), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(result.ranks[0].reports, vec![(0, 61.0)]);
+        assert_eq!(result.ranks[1].reports, vec![(0, 60.0)]);
+    }
+
+    /// A collective must keep the rank's posted receives progressing:
+    /// rank 0 posts an Irecv and enters a barrier; rank 1 Isends and
+    /// Waits *before* its barrier. Rank 1's send can only complete when
+    /// rank 0's parked barrier drives the posted receive.
+    #[test]
+    fn barrier_progresses_posted_receives() {
+        const BYTES: i32 = 256 << 10;
+        let req = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(0)),
+                &[
+                    mpi.irecv_nb(int(layout::RECV_BUF), int(BYTES), MPI_BYTE, int(1), 4, int(req)),
+                    mpi.barrier_world(),
+                    mpi.wait_nb(int(req)),
+                    mpi.report(int(0), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                ],
+                &[
+                    store(int(layout::SEND_BUF), 0, int(77)),
+                    mpi.isend_nb(int(layout::SEND_BUF), int(BYTES), MPI_BYTE, int(0), 4, int(req)),
+                    mpi.wait_nb(int(req)),
+                    mpi.barrier_world(),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(result.ranks[0].reports, vec![(0, 77.0)]);
     }
 
     /// Collectives through the full stack, all tiers.

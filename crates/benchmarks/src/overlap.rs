@@ -1,0 +1,304 @@
+//! IMB-NBC-style communication/computation overlap kernels.
+//!
+//! The paper's motivation for running real MPI codes in Wasm is that they
+//! overlap communication with computation; this module measures how much
+//! of an `Iallreduce` the substrate actually hides behind compute. Each
+//! kernel runs the same loop twice:
+//!
+//! * **blocking** — `Allreduce` then compute (fully serialized);
+//! * **nonblocking** — `Iallreduce`, compute, `Wait` (overlappable).
+//!
+//! Like the IMB modules, it exists as a Wasm guest builder
+//! ([`build_guest`], reporting `(0, blocking_us)` and
+//! `(1, nonblocking_us)` per iteration) and a native implementation
+//! ([`run_native`]). Under a virtual clock the compute phase charges
+//! simulated time, so the overlap is visible in the LogP model too: the
+//! wire delay and the compute charge combine through `max()` on the
+//! receive path.
+
+use mpi_substrate::{Comm, Datatype, ReduceOp, Request};
+use wasm_engine::dsl::*;
+use wasm_engine::types::ValType;
+use wasm_engine::{encode_module, ModuleBuilder};
+
+use crate::guest::{layout, MpiImports};
+
+/// One overlap measurement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapParams {
+    /// Allreduce payload in bytes (rounded down to whole doubles).
+    pub bytes: u32,
+    /// Iterations per timing loop.
+    pub iters: u32,
+    /// Compute-kernel inner iterations between initiation and completion.
+    pub compute_units: u32,
+    /// Simulated cost of the compute kernel (µs), charged per iteration
+    /// in virtual-clock worlds.
+    pub virtual_compute_us: f64,
+}
+
+impl Default for OverlapParams {
+    fn default() -> Self {
+        OverlapParams { bytes: 4096, iters: 8, compute_units: 2000, virtual_compute_us: 5.0 }
+    }
+}
+
+/// Result of one native overlap run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapResult {
+    /// Per-iteration time of the serialized Allreduce + compute loop, µs.
+    pub blocking_us: f64,
+    /// Per-iteration time of the Iallreduce / compute / Wait loop, µs.
+    pub nonblocking_us: f64,
+}
+
+impl OverlapResult {
+    /// `blocking / nonblocking`: > 1 means the nonblocking formulation
+    /// hid communication behind compute.
+    pub fn speedup(&self) -> f64 {
+        self.blocking_us / self.nonblocking_us.max(1e-9)
+    }
+}
+
+/// Build the Wasm overlap guest. Reports `(0, blocking_us_per_iter)` and
+/// `(1, nonblocking_us_per_iter)`.
+pub fn build_guest(params: OverlapParams) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.name("imb-nbc-overlap");
+    b.memory(layout::PAGES, Some(layout::PAGES));
+    let mpi = MpiImports::declare(&mut b);
+    let count = (params.bytes / 8).max(1) as i32;
+    let iters = params.iters.max(1) as i32;
+    let units = params.compute_units as i32;
+    let req_addr = layout::SCRATCH + 16;
+
+    b.func("_start", vec![], vec![], move |f| {
+        let rank = Var::new(f, ValType::I32);
+        let size = Var::new(f, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        let j = Var::new(f, ValType::I32);
+        let t0 = Var::new(f, ValType::F64);
+        let acc = Var::new(f, ValType::F64);
+
+        let sbuf = int(layout::SEND_BUF);
+        let rbuf = int(layout::RECV_BUF);
+
+        // The compute kernel: a dependent multiply-add chain the engine
+        // cannot elide, reading the receive buffer's first double.
+        let compute = for_range(j, int(0), int(units), &[acc.set(
+            acc.get() * double(0.999_999) + rbuf.clone().load(ValType::F64, 0),
+        )]);
+
+        let mut stmts = vec![mpi.init()];
+        stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+        stmts.extend(mpi.load_size(layout::SCRATCH + 8, size));
+        stmts.push(store(sbuf.clone(), 0, rank.get().to(ValType::F64) + double(1.0)));
+
+        // Serialized: Allreduce, then compute.
+        stmts.push(mpi.barrier_world());
+        stmts.push(t0.set(mpi.wtime()));
+        stmts.push(for_range(i, int(0), int(iters), &[
+            mpi.allreduce(
+                sbuf.clone(),
+                rbuf.clone(),
+                int(count),
+                crate::guest::MPI_DOUBLE,
+                crate::guest::MPI_SUM,
+            ),
+            compute.clone(),
+        ]));
+        stmts.push(mpi.report(int(0), (mpi.wtime() - t0.get()) * double(1e6 / iters as f64)));
+
+        // Overlapped: Iallreduce, compute, Wait.
+        stmts.push(mpi.barrier_world());
+        stmts.push(t0.set(mpi.wtime()));
+        stmts.push(for_range(i, int(0), int(iters), &[
+            mpi.iallreduce_nb(
+                sbuf.clone(),
+                rbuf.clone(),
+                int(count),
+                crate::guest::MPI_DOUBLE,
+                crate::guest::MPI_SUM,
+                int(req_addr),
+            ),
+            compute.clone(),
+            mpi.wait_nb(int(req_addr)),
+        ]));
+        stmts.push(mpi.report(int(1), (mpi.wtime() - t0.get()) * double(1e6 / iters as f64)));
+
+        // Keep the compute result observable so the kernel is never dead.
+        stmts.push(mpi.report(int(2), acc.get()));
+        stmts.push(mpi.finalize());
+        emit_block(f, &stmts);
+    });
+    encode_module(&b.finish())
+}
+
+/// Busy compute kernel for the native path; charges `virtual_compute_us`
+/// to the rank's clock in virtual worlds so the simulated timeline sees
+/// the same overlap structure.
+fn compute(comm: &Comm, units: u32, virtual_us: f64, seed: &mut f64) {
+    let mut acc = *seed;
+    for _ in 0..units {
+        acc = acc * 0.999_999 + 1.25;
+    }
+    *seed = std::hint::black_box(acc);
+    comm.charge_overhead_us(virtual_us);
+}
+
+/// Native execution of the overlap kernel on an existing communicator.
+pub fn run_native(comm: &Comm, params: OverlapParams) -> OverlapResult {
+    let count = ((params.bytes as usize / 8).max(1)) * 8;
+    let sbuf = vec![1u8; count];
+    let mut rbuf = vec![0u8; count];
+    let iters = params.iters.max(1);
+    let mut seed = comm.rank() as f64;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        comm.allreduce(&sbuf, &mut rbuf, Datatype::Double, ReduceOp::Sum).unwrap();
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+    }
+    let blocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        let mut req = comm
+            .iallreduce(&sbuf, &mut rbuf, Datatype::Double, ReduceOp::Sum)
+            .unwrap();
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+        req.wait().unwrap();
+    }
+    let nonblocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    OverlapResult { blocking_us, nonblocking_us }
+}
+
+/// Native pingpong overlap: Isend/Irecv + compute + Waitall vs blocking
+/// send/recv + compute. Exercises the point-to-point engine's overlap
+/// (including rendezvous payloads) rather than the collective path.
+pub fn run_native_p2p(comm: &Comm, params: OverlapParams) -> OverlapResult {
+    assert!(comm.size() >= 2, "p2p overlap needs 2 ranks");
+    let n = params.bytes as usize;
+    let sbuf = vec![7u8; n];
+    let mut rbuf = vec![0u8; n];
+    let iters = params.iters.max(1);
+    let me = comm.rank();
+    let mut seed = me as f64;
+    if me > 1 {
+        // Spectators still hit the barriers.
+        comm.barrier().unwrap();
+        comm.barrier().unwrap();
+        return OverlapResult { blocking_us: 0.0, nonblocking_us: 0.0 };
+    }
+    let other = 1 - me;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        let st = comm.sendrecv(
+            &sbuf,
+            other,
+            0,
+            &mut rbuf,
+            mpi_substrate::Source::Rank(other),
+            mpi_substrate::Tag::Value(0),
+        );
+        st.unwrap();
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+    }
+    let blocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        let mut reqs = vec![
+            comm.isend(&sbuf, other, 1).unwrap(),
+            comm.irecv(&mut rbuf, mpi_substrate::Source::Rank(other), mpi_substrate::Tag::Value(1))
+                .unwrap(),
+        ];
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+        Request::wait_all(&mut reqs).unwrap();
+    }
+    let nonblocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    OverlapResult { blocking_us, nonblocking_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_substrate::{run_world, run_world_with, ClockMode};
+    use mpiwasm::{JobConfig, Runner};
+    use netsim::{CostModel, SystemProfile};
+
+    fn virtual_mode() -> ClockMode {
+        ClockMode::Virtual(CostModel::native(SystemProfile::container()))
+    }
+
+    #[test]
+    fn overlap_guest_validates() {
+        let wasm = build_guest(OverlapParams::default());
+        let module = wasm_engine::decode_module(&wasm).unwrap();
+        wasm_engine::validate_module(&module).unwrap();
+    }
+
+    #[test]
+    fn overlap_guest_runs_real_and_virtual() {
+        let wasm = build_guest(OverlapParams {
+            bytes: 2048,
+            iters: 3,
+            compute_units: 500,
+            virtual_compute_us: 3.0,
+        });
+        for clock in [ClockMode::Real, virtual_mode()] {
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 4, clock, ..Default::default() })
+                .unwrap();
+            assert!(
+                result.success(),
+                "{:?}",
+                result.ranks.iter().filter_map(|r| r.error.clone()).collect::<Vec<_>>()
+            );
+            let reports = &result.ranks[0].reports;
+            assert_eq!(reports.len(), 3);
+            assert_eq!(reports[0].0, 0);
+            assert_eq!(reports[1].0, 1);
+            assert!(reports[0].1 >= 0.0 && reports[1].1 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn virtual_overlap_is_not_slower_than_serialized() {
+        let params = OverlapParams {
+            bytes: 8192,
+            iters: 4,
+            compute_units: 100,
+            virtual_compute_us: 10.0,
+        };
+        let out = run_world_with(4, virtual_mode(), move |comm| run_native(&comm, params));
+        for r in &out {
+            assert!(
+                r.nonblocking_us <= r.blocking_us * 1.05 + 1.0,
+                "overlap slower than serialized: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2p_overlap_covers_rendezvous_sizes() {
+        // 256 KiB is rendezvous in every configuration.
+        let params = OverlapParams {
+            bytes: 256 << 10,
+            iters: 3,
+            compute_units: 1000,
+            virtual_compute_us: 20.0,
+        };
+        let out = run_world(2, move |comm| run_native_p2p(&comm, params));
+        for r in &out {
+            assert!(r.blocking_us > 0.0 && r.nonblocking_us > 0.0);
+        }
+    }
+}

@@ -5,34 +5,43 @@
 //! instance; the instance's data slot holds an `Env` containing the rank's
 //! communicator table, the WASI context, and the instrumentation counters.
 
-use mpi_substrate::{Comm, MpiError};
+use mpi_substrate::{Comm, MpiError, Request};
 use wasi_layer::WasiCtx;
 
 use crate::translate::{handles, TranslationStats};
 
-/// A pending nonblocking operation (guest `MPI_Request`).
-///
-/// Sends complete eagerly (the substrate buffers them), so an Isend
-/// request is born complete. Receives are *deferred*: the matching and
-/// the copy into guest memory happen at `MPI_Wait`/`MPI_Test` — a legal
-/// MPI progress model (implementations may progress at completion calls),
-/// documented as this embedder's choice.
-#[derive(Debug, Clone)]
-pub enum PendingRequest {
-    /// Completed operation (Isend, or an already-waited request).
-    Done,
-    /// Deferred receive: where to deliver and what to match.
-    Recv { comm: i32, buf: u32, bytes: u32, src: i32, tag: i32 },
-}
-
 /// MPI-side state of one rank.
+///
+/// # Guest request-handle encoding
+///
+/// A guest `MPI_Request` is an `i32` handle into this rank's request
+/// table: handle `h ≥ 1` maps to table slot `h - 1`; `0` is
+/// `MPI_REQUEST_NULL`. Each slot holds a live substrate
+/// [`mpi_substrate::Request`] — a true pending operation (eager send
+/// awaiting credit, rendezvous handshake in flight, posted receive, or a
+/// nonblocking-collective state machine). One-shot requests are removed
+/// from the table when they complete and the guest's handle word is
+/// rewritten to `MPI_REQUEST_NULL`; persistent requests (from
+/// `MPI_Send_init`/`MPI_Recv_init`) stay in the table across
+/// `Start`/completion cycles until `MPI_Request_free`.
+///
+/// The table stores `Request<'static>` built from raw pointers into the
+/// instance's linear memory. This is sound because the embedder pins
+/// linear memory while requests are pending: the benchmark guests
+/// pre-size their memories, and growing memory with requests in flight is
+/// undefined behavior in real MPI terms too (the buffer moved).
 pub struct MpiState {
     /// Communicator handle table: index = guest handle.
     /// Slot 0 is `MPI_COMM_WORLD`, slot 1 is `MPI_COMM_SELF`.
     comms: Vec<Option<Comm>>,
     /// Nonblocking-request table: guest handle = index + 1
     /// (0 is `MPI_REQUEST_NULL`).
-    requests: Vec<Option<PendingRequest>>,
+    requests: Vec<Option<Request<'static>>>,
+    /// Requests freed by the guest while still active (`MPI_Request_free`
+    /// on an in-flight send): no handle points here anymore; they are
+    /// kept alive until the peer drains them, then dropped by
+    /// [`MpiState::progress_all`].
+    detached: Vec<Request<'static>>,
     /// `MPI_Init` has been called.
     pub initialized: bool,
     /// `MPI_Finalize` has been called.
@@ -53,6 +62,7 @@ impl MpiState {
         MpiState {
             comms: vec![Some(world), Some(comm_self)],
             requests: Vec::new(),
+            detached: Vec::new(),
             initialized: false,
             finalized: false,
             stats: TranslationStats::new(),
@@ -110,38 +120,88 @@ impl MpiState {
     }
 
     /// Register a pending request; returns its guest handle (≥ 1).
-    pub fn insert_request(&mut self, req: PendingRequest) -> i32 {
-        if let Some(slot) = self.requests.iter().position(|r| r.is_none()) {
-            self.requests[slot] = Some(req);
-            return slot as i32 + 1;
-        }
+    ///
+    /// Slots are append-only (freed interior slots are *not* reused), so
+    /// table order is posting order — which `progress_all` relies on to
+    /// progress same-`(source, tag)` receives first-posted-first (the
+    /// non-overtaking guarantee). The tail is reclaimed as requests
+    /// retire, bounding the table by the live-request high-water mark.
+    pub fn insert_request(&mut self, req: Request<'static>) -> i32 {
         self.requests.push(Some(req));
         self.requests.len() as i32
     }
 
-    /// Take (and clear) a pending request by guest handle.
-    pub fn take_request(&mut self, handle: i32) -> Result<PendingRequest, MpiError> {
+    /// Borrow a live request by guest handle (progress/test/start).
+    pub fn request_mut(&mut self, handle: i32) -> Result<&mut Request<'static>, MpiError> {
         if handle <= 0 {
-            // MPI_REQUEST_NULL: waiting on it is a no-op per the standard.
-            return Ok(PendingRequest::Done);
+            return Err(MpiError::InvalidComm(handle as u32));
         }
         self.requests
             .get_mut(handle as usize - 1)
-            .and_then(|r| r.take())
+            .and_then(|r| r.as_mut())
             .ok_or(MpiError::InvalidComm(handle as u32))
     }
 
-    /// Peek at a pending request without consuming it (`MPI_Test`).
-    pub fn peek_request(&self, handle: i32) -> Option<&PendingRequest> {
+    /// Remove a request from the table (completion of a one-shot request,
+    /// or `MPI_Request_free`). Trailing freed slots are popped so the
+    /// append-only table stays bounded.
+    pub fn remove_request(&mut self, handle: i32) -> Result<Request<'static>, MpiError> {
         if handle <= 0 {
-            return None;
+            return Err(MpiError::InvalidComm(handle as u32));
         }
-        self.requests.get(handle as usize - 1).and_then(|r| r.as_ref())
+        let req = self
+            .requests
+            .get_mut(handle as usize - 1)
+            .and_then(|r| r.take())
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        while self.requests.last().is_some_and(|s| s.is_none()) {
+            self.requests.pop();
+        }
+        Ok(req)
     }
 
     /// Number of live (unwaited) requests, for leak diagnostics.
     pub fn live_requests(&self) -> usize {
         self.requests.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of table requests that need active driving (pending
+    /// receives and collectives — see `Request::needs_progress`). Gates
+    /// the completion calls' condvar-park fast path: inactive persistent
+    /// handles, latched outcomes, and passive sends don't force polling.
+    pub fn progress_work(&self) -> usize {
+        self.requests.iter().flatten().filter(|r| r.needs_progress()).count()
+    }
+
+    /// Drive every live request one progress step. Called while a
+    /// completion call is parked on one request so the rank's other
+    /// pending operations (posted receives in particular) keep moving —
+    /// without this, two ranks waiting on symmetric rendezvous sends
+    /// before their receives would deadlock. Outcomes (including errors)
+    /// latch inside each request until its owner retrieves them.
+    /// Detached requests that finished are dropped here.
+    pub fn progress_all(&mut self) {
+        for req in self.requests.iter_mut().flatten() {
+            req.progress();
+        }
+        self.detached.retain_mut(|req| {
+            req.progress();
+            !req.is_complete()
+        });
+    }
+
+    /// Free a request immediately (`MPI_Request_free`). In-flight sends
+    /// are parked in the detached list until the peer drains them — the
+    /// payload must still arrive ("marked for deletion on completion");
+    /// everything else (pending receives, finished requests) is dropped:
+    /// a freed speculative receive may never match, and its message stays
+    /// queued for other receives.
+    pub fn detach_request(&mut self, handle: i32) -> Result<(), MpiError> {
+        let req = self.remove_request(handle)?;
+        if req.completes_passively() {
+            self.detached.push(req);
+        }
+        Ok(())
     }
 
     /// Charge the configured per-call embedder overhead to the rank's

@@ -14,6 +14,7 @@
 use std::any::Any;
 use std::time::Instant;
 
+use mpi_substrate::request::backoff;
 use mpi_substrate::{Comm, MpiError, Source, Status, Tag};
 use wasm_engine::error::Trap;
 use wasm_engine::runtime::{Instance, Linker, Memory, Slot};
@@ -64,26 +65,198 @@ fn tag_of(h: i32) -> Tag {
     }
 }
 
-/// Complete one nonblocking request: no-op for finished sends, a real
-/// (blocking) receive into guest memory for deferred receives.
-fn complete_request(
+/// Wait for one request by guest handle. Handles `MPI_REQUEST_NULL`
+/// (returns the empty status), writes the status back (tolerating
+/// `MPI_STATUS_IGNORE`), removes completed one-shot requests from the
+/// table, and rewrites the guest's handle word to `MPI_REQUEST_NULL` —
+/// *also on failure*, so error paths never leave dangling handles behind.
+///
+/// While parked, the rank's whole request table keeps progressing: a
+/// guest waiting on a rendezvous Isend before its posted Irecv must still
+/// service the peer's symmetric exchange, exactly like a real MPI
+/// progress engine.
+fn wait_one(
     mem: &mut Memory,
     env: &mut Env,
+    handle_ptr: u32,
     handle: i32,
     status_ptr: u32,
 ) -> Result<(), MpiError> {
-    match env.mpi.take_request(handle)? {
-        crate::env::PendingRequest::Done => Ok(()),
-        crate::env::PendingRequest::Recv { comm, buf, bytes, src, tag } => {
-            let comm = env.mpi.comm(comm)?;
-            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
-                bytes: bytes as usize,
-                type_size: 1,
-            })?;
-            let st = comm.recv(view, source_of(src), tag_of(tag))?;
-            let _ = write_status(mem, status_ptr, &st);
-            Ok(())
+    if handle <= 0 {
+        let _ = write_status(mem, status_ptr, &Status::empty());
+        return Ok(());
+    }
+    let mut spins = 0u32;
+    loop {
+        // Table first, in posting order (see wait_local): the waited
+        // handle must not overtake older same-matcher receives.
+        env.mpi.progress_all();
+        match try_complete(mem, env, handle_ptr, handle)? {
+            Completion::Done(st) => {
+                let _ = write_status(mem, status_ptr, &st);
+                return Ok(());
+            }
+            Completion::Error(e) => return Err(e),
+            Completion::NotReady => {
+                let target_drives = env.mpi.request_mut(handle)?.needs_progress();
+                if env.mpi.progress_work() == usize::from(target_drives) {
+                    // Nothing else needs driving: park on this request's
+                    // blocking wait (condvar/slot) instead of polling.
+                    let req = env.mpi.request_mut(handle)?;
+                    let persistent = req.is_persistent();
+                    let outcome = req.wait();
+                    if !persistent {
+                        let _ = env.mpi.remove_request(handle);
+                        let _ = mem.write_i32_at(handle_ptr, handles::MPI_REQUEST_NULL);
+                    }
+                    let st = outcome?;
+                    let _ = write_status(mem, status_ptr, &st);
+                    return Ok(());
+                }
+                backoff(&mut spins);
+            }
         }
+    }
+}
+
+/// Outcome of [`try_complete`] on one live request.
+enum Completion {
+    NotReady,
+    Done(Status),
+    Error(MpiError),
+}
+
+/// Progress request `handle`; if it completed — or failed — retire it:
+/// non-persistent requests leave the table and the guest's handle word at
+/// `handle_ptr` is rewritten to `MPI_REQUEST_NULL` (persistent requests
+/// survive both completion and errors, as `MPI_Start` must remain legal).
+/// The outer `Err` is an invalid handle.
+fn try_complete(
+    mem: &mut Memory,
+    env: &mut Env,
+    handle_ptr: u32,
+    handle: i32,
+) -> Result<Completion, MpiError> {
+    let req = env.mpi.request_mut(handle)?;
+    let persistent = req.is_persistent();
+    let outcome = req.test();
+    let finished = !matches!(outcome, Ok(None));
+    if finished && !persistent {
+        let _ = env.mpi.remove_request(handle);
+        let _ = mem.write_i32_at(handle_ptr, handles::MPI_REQUEST_NULL);
+    }
+    Ok(match outcome {
+        Ok(Some(st)) => Completion::Done(st),
+        Ok(None) => Completion::NotReady,
+        Err(e) => Completion::Error(e),
+    })
+}
+
+/// Whether `handle` participates in `*any`/`*some` completion sets
+/// (pending or completed-unretired; inactive persistent requests do not).
+fn handle_participates(env: &mut Env, handle: i32) -> Result<bool, MpiError> {
+    Ok(env.mpi.request_mut(handle)?.participates())
+}
+
+/// One scan step of the `*any`/`*some` completion loops: read the handle
+/// word at `handle_ptr` and drive it. `None` means there is nothing to
+/// wait for in this slot (null handle or inactive persistent request);
+/// invalid handles surface as `Completion::Error`.
+fn scan_slot(
+    mem: &mut Memory,
+    env: &mut Env,
+    handle_ptr: u32,
+) -> Result<Option<Completion>, Trap> {
+    let handle = mem.read_i32_at(handle_ptr)?;
+    if handle <= 0 {
+        return Ok(None);
+    }
+    match handle_participates(env, handle) {
+        Ok(true) => {}
+        Ok(false) => return Ok(None),
+        Err(e) => return Ok(Some(Completion::Error(e))),
+    }
+    match try_complete(mem, env, handle_ptr, handle) {
+        Ok(c) => Ok(Some(c)),
+        Err(e) => Ok(Some(Completion::Error(e))),
+    }
+}
+
+/// Progress one live request (outcomes latch inside it): is it complete?
+fn progress_handle(env: &mut Env, handle: i32) -> Result<bool, MpiError> {
+    let req = env.mpi.request_mut(handle)?;
+    req.progress();
+    Ok(req.is_complete())
+}
+
+/// Retire a completed request: `(is_persistent, outcome)`.
+fn retire_handle(
+    env: &mut Env,
+    handle: i32,
+) -> Result<(bool, Result<Status, MpiError>), MpiError> {
+    let req = env.mpi.request_mut(handle)?;
+    let persistent = req.is_persistent();
+    let outcome = req.take_result();
+    Ok((persistent, outcome))
+}
+
+/// Complete a local (untabled) request while keeping the rank's request
+/// table progressing — the blocking p2p host functions are composed from
+/// request primitives so a rank parked in `MPI_Send`/`MPI_Recv` still
+/// services its posted receives (real-MPI progress guarantee: a posted
+/// `MPI_Irecv` lets the peer's matching standard-mode send proceed).
+///
+/// With an empty request table (the overwhelmingly common plain
+/// `MPI_Recv`/`MPI_Send` case) there is nothing else to drive, so the
+/// request parks on the substrate's condvar/slot instead of polling.
+fn wait_local(
+    env: &mut Env,
+    req: &mut mpi_substrate::Request<'static>,
+) -> Result<Status, MpiError> {
+    let mut spins = 0u32;
+    loop {
+        // Table first: older posted receives must get first claim on
+        // queued messages (non-overtaking for same-matcher receives); the
+        // local request is the newest operation on this rank.
+        env.mpi.progress_all();
+        req.progress();
+        if req.is_complete() {
+            return req.take_result();
+        }
+        if env.mpi.progress_work() == 0 {
+            // Nothing older to drive: park on the condvar/slot.
+            return req.wait();
+        }
+        backoff(&mut spins);
+    }
+}
+
+/// Register a freshly created request and write its guest handle, or
+/// surface the creation error as an MPI code — the shared tail of every
+/// request-creating host function.
+fn finish_request(
+    mem: &mut Memory,
+    env: &mut Env,
+    req_ptr: u32,
+    req: Result<mpi_substrate::Request<'static>, MpiError>,
+) -> Result<Vec<Slot>, Trap> {
+    match req {
+        Ok(req) => {
+            let h = env.mpi.insert_request(req);
+            mem.write_i32_at(req_ptr, h)?;
+            Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+        }
+        Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+    }
+}
+
+/// Status slot for request `i` of a completion array, honoring
+/// `MPI_STATUSES_IGNORE`.
+fn status_slot(statuses_ptr: u32, i: u32) -> u32 {
+    if statuses_ptr == handles::MPI_STATUSES_IGNORE as u32 {
+        handles::MPI_STATUS_IGNORE as u32
+    } else {
+        statuses_ptr + i * STATUS_SIZE
     }
 }
 
@@ -130,8 +303,11 @@ pub fn register_mpi(linker: &mut Linker) {
         let env = env_of(inst.parts().1);
         env.mpi.finalized = true;
         env.mpi.charge_wasm_overhead();
-        // Ranks synchronize at finalize, as real MPI implementations do.
-        let r = env.mpi.world().barrier();
+        // Ranks synchronize at finalize, as real MPI implementations do —
+        // via the nonblocking barrier so detached sends and leftover
+        // posted receives keep progressing while parked.
+        let req = env.mpi.world().ibarrier();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -188,16 +364,18 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
-            let comm = env.mpi.comm(comm_h)?;
             // Zero-copy: the slice *is* guest memory (§3.5).
             let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
             })?;
-            comm.send(view, dest as u32, tag)
+            let (ptr, len) = (view.as_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.isend_raw(ptr, len, dest as u32, tag) }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -213,22 +391,24 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let mut status = None;
-        let r = (|| {
+        let req = (|| {
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
-            let comm = env.mpi.comm(comm_h)?;
             let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
             })?;
-            let st = comm.recv(view, source_of(src), tag_of(tag))?;
-            status = Some(st);
-            Ok(())
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.irecv_raw_uncharged(ptr, len, source_of(src), tag_of(tag)) }
         })();
-        if let Some(st) = status {
-            write_status(mem, status_ptr, &st)?;
+        let r = req.and_then(|mut req| wait_local(env, &mut req));
+        match r {
+            Ok(st) => {
+                write_status(mem, status_ptr, &st)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
-        Ok(code(r))
     });
 
     // MPI_Sendrecv(sbuf, scount, stype, dest, stag,
@@ -251,41 +431,57 @@ pub fn register_mpi(linker: &mut Linker) {
             let (mem, data) = inst.parts();
             let env = env_of(data);
             env.mpi.charge_wasm_overhead();
-            let mut status = None;
-            let r = (|| {
+            let reqs = (|| {
                 let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
                 let (_rdt, rbytes) = translate_instrumented(env, rcount, rtype)?;
-                let comm = env.mpi.comm(comm_h)?;
                 let (sview, rview) = mem
                     .disjoint_pair((sbuf, sbytes), (rbuf, rbytes))
                     .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-                let st = comm.sendrecv(
-                    sview,
-                    dest as u32,
-                    stag,
-                    rview,
-                    source_of(src),
-                    tag_of(rtag),
-                )?;
-                status = Some(st);
-                Ok(())
+                let (sptr, slen) = (sview.as_ptr(), sview.len());
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                let comm = env.mpi.comm(comm_h)?;
+                let sreq = unsafe { comm.isend_raw(sptr, slen, dest as u32, stag) }?;
+                let rreq = unsafe {
+                    comm.irecv_raw_uncharged(rptr, rlen, source_of(src), tag_of(rtag))
+                }?;
+                Ok((sreq, rreq))
             })();
-            if let Some(st) = status {
-                write_status(mem, status_ptr, &st)?;
+            let r: Result<Status, MpiError> = reqs.and_then(|(mut sreq, mut rreq)| {
+                // Receive first (it needs active progress); the send then
+                // completes passively once the peer drains it. The send is
+                // driven to completion even when the receive errors —
+                // cancelling it would un-send a message the peer may be
+                // blocked waiting for.
+                let recv_result = wait_local(env, &mut rreq);
+                let send_result = wait_local(env, &mut sreq);
+                let st = recv_result?;
+                send_result?;
+                Ok(st)
+            });
+            match r {
+                Ok(st) => {
+                    write_status(mem, status_ptr, &st)?;
+                    Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+                }
+                Err(e) => Ok(vec![Slot::from_i32(e.code())]),
             }
-            Ok(code(r))
         });
     }
 
+    // MPI_Barrier(comm): the nonblocking barrier driven to completion, so
+    // a rank parked here still services its posted receives (a peer may
+    // be waiting on one before it can reach this same barrier).
     mpi_fn!(linker, "MPI_Barrier", (I32) -> I32, |inst, args: &[Slot]| {
         let comm_h = args[0].i32();
         let env = env_of(inst.parts().1);
         env.mpi.charge_wasm_overhead();
-        let r = env.mpi.comm(comm_h).and_then(|c| c.barrier());
+        let req = env.mpi.comm(comm_h).and_then(|c| c.ibarrier());
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
-    // MPI_Bcast(buf, count, datatype, root, comm)
+    // MPI_Bcast(buf, count, datatype, root, comm): the nonblocking
+    // broadcast driven to completion (keeps the request table moving).
     mpi_fn!(linker, "MPI_Bcast", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let buf = args[0].u32();
         let count = args[1].i32();
@@ -295,15 +491,17 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
-            let comm = env.mpi.comm(comm_h)?;
             let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
             })?;
-            comm.bcast(view, root as u32)
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.ibcast_raw(ptr, len, root as u32) }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -339,7 +537,9 @@ pub fn register_mpi(linker: &mut Linker) {
         Ok(code(r))
     });
 
-    // MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm)
+    // MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm): the
+    // nonblocking allreduce driven to completion (keeps the request table
+    // moving).
     mpi_fn!(linker, "MPI_Allreduce", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let sbuf = args[0].u32();
         let rbuf = args[1].u32();
@@ -350,15 +550,18 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
             let op = op_from_handle(op_h)?;
-            let comm = env.mpi.comm(comm_h)?;
             let (sview, rview) = mem
                 .disjoint_pair((sbuf, bytes), (rbuf, bytes))
                 .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-            comm.allreduce(sview, rview, dt, op)
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            let send: &[u8] = sview;
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.iallreduce_raw(send, rptr, rlen, dt, op) }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -630,9 +833,13 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // --- nonblocking operations (MPI_Request = i32 handle, 0 = NULL) ---
+    //
+    // Requests are true pending operations in the substrate's progress
+    // engine (see crate::env for the handle encoding). The buffers live in
+    // the instance's linear memory, which the embedder pins while requests
+    // are pending, so the raw-pointer substrate API is sound here.
 
-    // MPI_Isend(buf, count, datatype, dest, tag, comm, request_ptr):
-    // eager-buffered, so the request is born complete.
+    // MPI_Isend(buf, count, datatype, dest, tag, comm, request_ptr)
     mpi_fn!(linker, "MPI_Isend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let buf = args[0].u32();
         let count = args[1].i32();
@@ -644,24 +851,20 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
-            let comm = env.mpi.comm(comm_h)?;
             let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
             })?;
-            comm.send(view, dest as u32, tag)
+            let (ptr, len) = (view.as_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.isend_raw(ptr, len, dest as u32, tag) }
         })();
-        if r.is_ok() {
-            let h = env.mpi.insert_request(crate::env::PendingRequest::Done);
-            mem.write_i32_at(req_ptr, h)?;
-        }
-        Ok(code(r))
+        finish_request(mem, env, req_ptr, req)
     });
 
-    // MPI_Irecv(buf, count, datatype, source, tag, comm, request_ptr):
-    // deferred — matched and delivered at MPI_Wait/MPI_Test.
+    // MPI_Irecv(buf, count, datatype, source, tag, comm, request_ptr)
     mpi_fn!(linker, "MPI_Irecv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let buf = args[0].u32();
         let count = args[1].i32();
@@ -673,30 +876,138 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let bytes = match translate_instrumented(env, count, dt_h) {
-            Ok((_, b)) => b,
-            Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
-        };
-        if let Err(e) = env.mpi.comm(comm_h) {
-            return Ok(vec![Slot::from_i32(e.code())]);
-        }
-        // The target region must be valid now, as real MPI requires.
-        if mem.slice(buf, bytes).is_err() {
-            return Ok(vec![Slot::from_i32(MpiError::BadCount {
+        let req = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            // The target region must be valid now, as real MPI requires.
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
                 type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.irecv_raw(ptr, len, source_of(src), tag_of(tag)) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Send_init(buf, count, datatype, dest, tag, comm, request_ptr)
+    mpi_fn!(linker, "MPI_Send_init", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let req = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.send_init_raw(ptr, len, dest as u32, tag) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Recv_init(buf, count, datatype, source, tag, comm, request_ptr)
+    mpi_fn!(linker, "MPI_Recv_init", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let src = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let req = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.recv_init_raw(ptr, len, source_of(src), tag_of(tag)) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Start(request_ptr)
+    mpi_fn!(linker, "MPI_Start", (I32) -> I32, |inst, args: &[Slot]| {
+        let req_ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let handle = mem.read_i32_at(req_ptr)?;
+        let r = env.mpi.request_mut(handle).and_then(|req| req.start());
+        Ok(code(r))
+    });
+
+    // MPI_Startall(count, requests_ptr)
+    mpi_fn!(linker, "MPI_Startall", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32();
+        let reqs_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            for i in 0..count.max(0) as u32 {
+                let handle = mem.read_i32_at(reqs_ptr + i * 4).map_err(|_| {
+                    MpiError::BadCount { bytes: count as usize * 4, type_size: 4 }
+                })?;
+                env.mpi.request_mut(handle)?.start()?;
             }
-            .code())]);
+            Ok(())
+        })();
+        Ok(code(r))
+    });
+
+    // MPI_Request_free(request_ptr): active requests are completed first
+    // (the simple rendering of "marked for deletion on completion").
+    mpi_fn!(linker, "MPI_Request_free", (I32) -> I32, |inst, args: &[Slot]| {
+        let req_ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let handle = mem.read_i32_at(req_ptr)?;
+        if handle <= 0 {
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
         }
-        let h = env.mpi.insert_request(crate::env::PendingRequest::Recv {
-            comm: comm_h,
-            buf,
-            bytes,
-            src,
-            tag,
-        });
-        mem.write_i32_at(req_ptr, h)?;
-        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+        let r = (|| {
+            // MPI_Request_free must return immediately ("marked for
+            // deletion on completion"). Receives and finished requests
+            // are dropped outright — a freed speculative receive may
+            // never match, and its message (if any) stays queued for
+            // other receives. In-flight sends are *detached*: parked
+            // alive until the peer drains them, since the payload must
+            // still arrive. Only active nonblocking collectives — which
+            // MPI-3 §5.12 forbids freeing — are driven to completion
+            // rather than corrupting the schedule for every peer.
+            let mut spins = 0u32;
+            loop {
+                let req = env.mpi.request_mut(handle)?;
+                if req.safe_to_detach() || req.completes_passively() {
+                    env.mpi.detach_request(handle)?;
+                    return Ok(());
+                }
+                req.progress();
+                if req.is_complete() {
+                    let _ = req.take_result();
+                    break;
+                }
+                env.mpi.progress_all();
+                backoff(&mut spins);
+            }
+            env.mpi.remove_request(handle)?;
+            Ok(())
+        })();
+        if r.is_ok() {
+            mem.write_i32_at(req_ptr, handles::MPI_REQUEST_NULL)?;
+        }
+        Ok(code(r))
     });
 
     // MPI_Wait(request_ptr, status_ptr)
@@ -706,36 +1017,118 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let handle = mem.read_i32_at(req_ptr)?;
-        let r = complete_request(mem, env, handle, status_ptr);
-        if r.is_ok() {
-            mem.write_i32_at(req_ptr, 0)?; // MPI_REQUEST_NULL
-        }
+        let r = wait_one(mem, env, req_ptr, handle, status_ptr);
         Ok(code(r))
     });
 
-    // MPI_Waitall(count, requests_ptr, statuses_ptr)
+    // MPI_Waitall(count, requests_ptr, statuses_ptr). Tolerates
+    // MPI_STATUSES_IGNORE; every completed handle is rewritten to
+    // MPI_REQUEST_NULL even when a later request fails (the first error
+    // code is returned after attempting every request).
     mpi_fn!(linker, "MPI_Waitall", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let count = args[0].i32();
         let reqs_ptr = args[1].u32();
         let statuses_ptr = args[2].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
-        let r = (|| {
-            for i in 0..count.max(0) as u32 {
-                let handle = mem.read_i32_at(reqs_ptr + i * 4).map_err(|_| {
-                    MpiError::BadCount { bytes: count as usize * 4, type_size: 4 }
-                })?;
-                let st_ptr = if statuses_ptr == handles::MPI_STATUS_IGNORE as u32 {
-                    handles::MPI_STATUS_IGNORE as u32
-                } else {
-                    statuses_ptr + i * STATUS_SIZE
-                };
-                complete_request(mem, env, handle, st_ptr)?;
-                let _ = mem.write_i32_at(reqs_ptr + i * 4, 0);
+        let mut first_err: Option<MpiError> = None;
+        for i in 0..count.max(0) as u32 {
+            let handle = match mem.read_i32_at(reqs_ptr + i * 4) {
+                Ok(h) => h,
+                Err(_) => {
+                    first_err.get_or_insert(MpiError::BadCount {
+                        bytes: count as usize * 4,
+                        type_size: 4,
+                    });
+                    continue;
+                }
+            };
+            if let Err(e) = wait_one(mem, env, reqs_ptr + i * 4, handle, status_slot(statuses_ptr, i)) {
+                first_err.get_or_insert(e);
             }
-            Ok(())
-        })();
-        Ok(code(r))
+        }
+        Ok(code(first_err.map_or(Ok(()), Err)))
+    });
+
+    // MPI_Waitany(count, requests_ptr, index_ptr, status_ptr)
+    mpi_fn!(linker, "MPI_Waitany", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32().max(0) as u32;
+        let reqs_ptr = args[1].u32();
+        let index_ptr = args[2].u32();
+        let status_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let mut spins = 0u32;
+        loop {
+            let mut any_active = false;
+            for i in 0..count {
+                match scan_slot(mem, env, reqs_ptr + i * 4)? {
+                    None => {}
+                    Some(Completion::NotReady) => any_active = true,
+                    Some(Completion::Done(st)) => {
+                        mem.write_i32_at(index_ptr, i as i32)?;
+                        write_status(mem, status_ptr, &st)?;
+                        return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+                    }
+                    Some(Completion::Error(e)) => {
+                        mem.write_i32_at(index_ptr, i as i32)?;
+                        return Ok(vec![Slot::from_i32(e.code())]);
+                    }
+                }
+            }
+            if !any_active {
+                mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED)?;
+                let _ = write_status(mem, status_ptr, &Status::empty());
+                return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+            }
+            env.mpi.progress_all();
+            backoff(&mut spins);
+        }
+    });
+
+    // MPI_Waitsome(incount, requests_ptr, outcount_ptr, indices_ptr,
+    //              statuses_ptr)
+    mpi_fn!(linker, "MPI_Waitsome", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let incount = args[0].i32().max(0) as u32;
+        let reqs_ptr = args[1].u32();
+        let outcount_ptr = args[2].u32();
+        let indices_ptr = args[3].u32();
+        let statuses_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let mut spins = 0u32;
+        loop {
+            let mut any_active = false;
+            let mut ndone = 0u32;
+            for i in 0..incount {
+                match scan_slot(mem, env, reqs_ptr + i * 4)? {
+                    None => {}
+                    Some(Completion::NotReady) => any_active = true,
+                    Some(Completion::Done(st)) => {
+                        mem.write_i32_at(indices_ptr + ndone * 4, i as i32)?;
+                        write_status(mem, status_slot(statuses_ptr, ndone), &st)?;
+                        ndone += 1;
+                    }
+                    Some(Completion::Error(e)) => {
+                        // Completions retired earlier in this pass must
+                        // still be reported, or the guest can never learn
+                        // about them (their handles are already null).
+                        mem.write_i32_at(outcount_ptr, ndone as i32)?;
+                        return Ok(vec![Slot::from_i32(e.code())]);
+                    }
+                }
+            }
+            if ndone > 0 {
+                mem.write_i32_at(outcount_ptr, ndone as i32)?;
+                return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+            }
+            if !any_active {
+                mem.write_i32_at(outcount_ptr, handles::MPI_UNDEFINED)?;
+                return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+            }
+            env.mpi.progress_all();
+            backoff(&mut spins);
+        }
     });
 
     // MPI_Test(request_ptr, flag_ptr, status_ptr)
@@ -746,27 +1139,189 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let handle = mem.read_i32_at(req_ptr)?;
-        let ready = match env.mpi.peek_request(handle) {
-            None => true, // REQUEST_NULL or already completed
-            Some(crate::env::PendingRequest::Done) => true,
-            Some(crate::env::PendingRequest::Recv { comm, src, tag, .. }) => {
-                match env.mpi.comm(*comm) {
-                    Ok(c) => c.iprobe(source_of(*src), tag_of(*tag)).is_some(),
-                    Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
-                }
-            }
+        if handle <= 0 {
+            mem.write_i32_at(flag_ptr, 1)?;
+            let _ = write_status(mem, status_ptr, &Status::empty());
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+        }
+        let completion = match try_complete(mem, env, req_ptr, handle) {
+            Ok(c) => c,
+            Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
         };
-        if ready {
-            let r = complete_request(mem, env, handle, status_ptr);
-            if let Err(e) = r {
+        match completion {
+            Completion::Done(st) => {
+                mem.write_i32_at(flag_ptr, 1)?;
+                write_status(mem, status_ptr, &st)?;
+            }
+            Completion::NotReady => mem.write_i32_at(flag_ptr, 0)?,
+            Completion::Error(e) => {
+                // Leave the out-params benign even on failure: guests
+                // that forget to check the return code must not act on a
+                // stale flag word.
+                let _ = mem.write_i32_at(flag_ptr, 0);
                 return Ok(vec![Slot::from_i32(e.code())]);
             }
-            mem.write_i32_at(req_ptr, 0)?;
-            mem.write_i32_at(flag_ptr, 1)?;
-        } else {
-            mem.write_i32_at(flag_ptr, 0)?;
         }
         Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+    });
+
+    // MPI_Testall(count, requests_ptr, flag_ptr, statuses_ptr)
+    mpi_fn!(linker, "MPI_Testall", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32().max(0) as u32;
+        let reqs_ptr = args[1].u32();
+        let flag_ptr = args[2].u32();
+        let statuses_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        // First pass: progress everything, check completion.
+        let mut all_done = true;
+        for i in 0..count {
+            let handle = mem.read_i32_at(reqs_ptr + i * 4)?;
+            if handle <= 0 {
+                continue;
+            }
+            match progress_handle(env, handle) {
+                Ok(complete) => all_done &= complete,
+                Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
+            }
+        }
+        if !all_done {
+            mem.write_i32_at(flag_ptr, 0)?;
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+        }
+        // Second pass: retire everything, statuses in request order; the
+        // first latched error is reported after all requests are retired.
+        let mut first_err: Option<MpiError> = None;
+        for i in 0..count {
+            let handle = mem.read_i32_at(reqs_ptr + i * 4)?;
+            let st_ptr = status_slot(statuses_ptr, i);
+            if handle <= 0 {
+                let _ = write_status(mem, st_ptr, &Status::empty());
+                continue;
+            }
+            let (persistent, outcome) = match retire_handle(env, handle) {
+                Ok(v) => v,
+                Err(e) => return Ok(vec![Slot::from_i32(e.code())]),
+            };
+            if !persistent {
+                let _ = env.mpi.remove_request(handle);
+                mem.write_i32_at(reqs_ptr + i * 4, handles::MPI_REQUEST_NULL)?;
+            }
+            match outcome {
+                Ok(st) => write_status(mem, st_ptr, &st)?,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        mem.write_i32_at(flag_ptr, 1)?;
+        Ok(code(first_err.map_or(Ok(()), Err)))
+    });
+
+    // MPI_Testany(count, requests_ptr, index_ptr, flag_ptr, status_ptr)
+    mpi_fn!(linker, "MPI_Testany", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32().max(0) as u32;
+        let reqs_ptr = args[1].u32();
+        let index_ptr = args[2].u32();
+        let flag_ptr = args[3].u32();
+        let status_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let mut any_active = false;
+        for i in 0..count {
+            match scan_slot(mem, env, reqs_ptr + i * 4)? {
+                None => {}
+                Some(Completion::NotReady) => any_active = true,
+                Some(Completion::Done(st)) => {
+                    mem.write_i32_at(index_ptr, i as i32)?;
+                    mem.write_i32_at(flag_ptr, 1)?;
+                    write_status(mem, status_ptr, &st)?;
+                    return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+                }
+                Some(Completion::Error(e)) => {
+                    // Benign out-params on failure (see MPI_Test).
+                    let _ = mem.write_i32_at(flag_ptr, 0);
+                    let _ = mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED);
+                    return Ok(vec![Slot::from_i32(e.code())]);
+                }
+            }
+        }
+        // Testany with nothing ready: flag=0, index=MPI_UNDEFINED (MPI
+        // 3.1 §3.7.5); with nothing active at all, MPI sets flag=1 with
+        // the empty status and index MPI_UNDEFINED.
+        if any_active {
+            mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED)?;
+            mem.write_i32_at(flag_ptr, 0)?;
+        } else {
+            mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED)?;
+            mem.write_i32_at(flag_ptr, 1)?;
+            let _ = write_status(mem, status_ptr, &Status::empty());
+        }
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+    });
+
+    // --- nonblocking collectives ---------------------------------------
+
+    // MPI_Ibarrier(comm, request_ptr)
+    mpi_fn!(linker, "MPI_Ibarrier", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
+        let req_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = env.mpi.comm(comm_h).and_then(|c| c.ibarrier());
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Ibcast(buf, count, datatype, root, comm, request_ptr)
+    mpi_fn!(linker, "MPI_Ibcast", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let root = args[3].i32();
+        let comm_h = args[4].i32();
+        let req_ptr = args[5].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.ibcast_raw(ptr, len, root as u32) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Iallreduce(sendbuf, recvbuf, count, datatype, op, comm,
+    //                request_ptr)
+    mpi_fn!(linker, "MPI_Iallreduce", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let rbuf = args[1].u32();
+        let count = args[2].i32();
+        let dt_h = args[3].i32();
+        let op_h = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let op = op_from_handle(op_h)?;
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, bytes), (rbuf, bytes))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            let send: &[u8] = sview;
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.iallreduce_raw(send, rptr, rlen, dt, op) }
+        })();
+        finish_request(mem, env, req_ptr, req)
     });
 
     // MPI_Get_processor_name(name_ptr, resultlen_ptr)

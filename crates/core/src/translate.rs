@@ -52,6 +52,12 @@ pub mod handles {
     pub const MPI_ANY_TAG: i32 = -1;
     /// Null status pointer (`MPI_STATUS_IGNORE`).
     pub const MPI_STATUS_IGNORE: i32 = 0;
+    /// Null statuses-array pointer (`MPI_STATUSES_IGNORE`).
+    pub const MPI_STATUSES_IGNORE: i32 = 0;
+    /// Null request handle (`MPI_REQUEST_NULL`).
+    pub const MPI_REQUEST_NULL: i32 = 0;
+    /// `MPI_UNDEFINED`: no active request in a completion set.
+    pub const MPI_UNDEFINED: i32 = -1;
     pub const MPI_SUCCESS: i32 = 0;
 }
 

@@ -28,8 +28,11 @@ const TAG_ALLGATHER: i32 = COLLECTIVE_TAG_BASE - 6;
 const TAG_ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 7;
 
 impl Comm {
-    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds. The
-    /// rounds are allocation-free: one stack byte in, one out.
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds. Each
+    /// round's token goes out nonblockingly: the schedule is a cycle
+    /// (every rank sends before it receives), so a blocking send that
+    /// parked — e.g. a token deferred to rendezvous under eager-credit
+    /// exhaustion — would deadlock the whole ring.
     pub fn barrier(&self) -> Result<(), MpiError> {
         let p = self.size();
         if p == 1 {
@@ -43,8 +46,9 @@ impl Comm {
             let to = (me + k) % p;
             // k < p here, so no inner reduction of k is needed.
             let from = (me + p - k) % p;
-            self.send(&token, to, TAG_BARRIER)?;
+            let mut sreq = self.isend(&token, to, TAG_BARRIER)?;
             self.recv(&mut byte, Source::Rank(from), Tag::Value(TAG_BARRIER))?;
+            sreq.wait()?;
             k <<= 1;
         }
         Ok(())
@@ -242,23 +246,24 @@ impl Comm {
                 )));
             }
             out[root as usize * n..root as usize * n + n].copy_from_slice(send_buf);
-            // Receive from each specific source: wildcard receives could
+            // Receive from each specific source (wildcard receives could
             // match a later gather's message from a fast rank while this
-            // gather is still collecting from slow ranks.
+            // gather is still collecting from slow ranks), straight into
+            // the rank's slot of the output buffer — rendezvous blocks
+            // land with a single copy.
             for r in 0..p {
                 if r == root {
                     continue;
                 }
-                let (data, st) = self.recv_vec(Source::Rank(r), Tag::Value(TAG_GATHER))?;
-                if data.len() != n {
+                let off = r as usize * n;
+                let st =
+                    self.recv(&mut out[off..off + n], Source::Rank(r), Tag::Value(TAG_GATHER))?;
+                if st.bytes != n {
                     return Err(MpiError::CollectiveMismatch(format!(
-                        "gather block from {} is {} bytes, expected {n}",
-                        st.source,
-                        data.len()
+                        "gather block from {r} is {} bytes, expected {n}",
+                        st.bytes
                     )));
                 }
-                let off = st.source as usize * n;
-                out[off..off + n].copy_from_slice(&data);
             }
         } else {
             self.send(send_buf, root, TAG_GATHER)?;
@@ -290,14 +295,18 @@ impl Comm {
                     n * p as usize
                 )));
             }
+            // Post every block nonblockingly so slow children drain the
+            // root's rendezvous handshakes concurrently.
+            let mut pending = Vec::with_capacity(p as usize - 1);
             for r in 0..p {
                 if r == root {
                     continue;
                 }
                 let off = r as usize * n;
-                self.send(&src[off..off + n], r, TAG_SCATTER)?;
+                pending.push(self.isend(&src[off..off + n], r, TAG_SCATTER)?);
             }
             recv_buf.copy_from_slice(&src[root as usize * n..root as usize * n + n]);
+            crate::request::Request::wait_all(&mut pending)?;
         } else {
             self.recv(recv_buf, Source::Rank(root), Tag::Value(TAG_SCATTER))?;
         }
@@ -355,25 +364,33 @@ impl Comm {
         let n = send_buf.len() / p;
         let me = self.rank() as usize;
         recv_buf[me * n..me * n + n].copy_from_slice(&send_buf[me * n..me * n + n]);
-        // Eager exchange: post all sends, then collect from each specific
-        // source (wildcards could cross-match a subsequent alltoall).
+        // Post all sends nonblockingly (every rank is about to sit in its
+        // receive loop, so blocking rendezvous sends here would deadlock),
+        // then collect from each specific source (wildcards could
+        // cross-match a subsequent alltoall).
+        let mut pending = Vec::with_capacity(p - 1);
         for i in 1..p {
             let dst = (me + i) % p;
-            self.send(&send_buf[dst * n..dst * n + n], dst as u32, TAG_ALLTOALL)?;
+            pending.push(self.isend(&send_buf[dst * n..dst * n + n], dst as u32, TAG_ALLTOALL)?);
         }
         for i in 1..p {
             let src = (me + p - i) % p;
-            let (data, st) = self.recv_vec(Source::Rank(src as u32), Tag::Value(TAG_ALLTOALL))?;
-            if data.len() != n {
+            let off = src * n;
+            // Receive straight into place: rendezvous blocks land with a
+            // single sender-buffer → recv_buf copy.
+            let st = self.recv(
+                &mut recv_buf[off..off + n],
+                Source::Rank(src as u32),
+                Tag::Value(TAG_ALLTOALL),
+            )?;
+            if st.bytes != n {
                 return Err(MpiError::CollectiveMismatch(format!(
-                    "alltoall block from {} is {} bytes, expected {n}",
-                    st.source,
-                    data.len()
+                    "alltoall block from {src} is {} bytes, expected {n}",
+                    st.bytes
                 )));
             }
-            let off = st.source as usize * n;
-            recv_buf[off..off + n].copy_from_slice(&data);
         }
+        crate::request::Request::wait_all(&mut pending)?;
         Ok(())
     }
 }

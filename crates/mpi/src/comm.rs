@@ -7,7 +7,13 @@ use parking_lot::Mutex;
 use crate::clock::{Clock, ClockMode};
 use crate::error::MpiError;
 use crate::message::Message;
+use crate::progress::{CommCtx, ProtocolSnapshot};
+use crate::request::{
+    nbc_tag, CollState, IallreduceState, IbarrierState, IbcastState, Request,
+    NBC_KIND_ALLREDUCE, NBC_KIND_BARRIER, NBC_KIND_BCAST,
+};
 use crate::world::World;
+use crate::{Datatype, ReduceOp};
 
 /// Receive-source selector (`MPI_ANY_SOURCE` or a specific rank).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +59,11 @@ pub struct Comm {
     clock: Arc<Mutex<Clock>>,
     /// Per-communicator sequence number for deterministic derived-comm ids.
     derive_seq: std::cell::Cell<u64>,
+    /// Nonblocking-collective sequence number: every rank issues
+    /// collectives on a communicator in the same order (an MPI rule), so
+    /// per-rank counters agree and give each outstanding collective its
+    /// own tag.
+    nbc_seq: std::cell::Cell<u64>,
 }
 
 impl Comm {
@@ -66,6 +77,7 @@ impl Comm {
             rank,
             clock: Arc::new(Mutex::new(Clock::new())),
             derive_seq: std::cell::Cell::new(0),
+            nbc_seq: std::cell::Cell::new(0),
         }
     }
 
@@ -118,77 +130,80 @@ impl Comm {
         }
     }
 
-    /// Blocking standard-mode send (`MPI_Send`). Buffered (eager): never
-    /// blocks on the receiver.
-    pub fn send(&self, buf: &[u8], dest: u32, tag: i32) -> Result<(), MpiError> {
-        self.check_rank(dest)?;
-        self.charge_call();
-        let sent_at_us = self.clock.lock().virtual_us;
-        let dest_world = self.group[dest as usize];
-        self.world.mailboxes[dest_world as usize].push(Message {
-            src_in_comm: self.rank,
-            tag,
+    /// The detached operation context handed to requests (cheap Arc
+    /// clones of this communicator's internals).
+    pub(crate) fn ctx(&self) -> CommCtx {
+        CommCtx {
+            world: Arc::clone(&self.world),
+            group: Arc::clone(&self.group),
+            rank: self.rank,
             comm_id: self.id,
-            data: buf.into(),
-            sent_at_us,
-            src_world: self.group[self.rank as usize],
-        });
-        Ok(())
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// Allocate the tag for the next nonblocking collective of `kind`.
+    fn next_nbc_tag(&self, kind: i32) -> i32 {
+        let seq = self.nbc_seq.get();
+        self.nbc_seq.set(seq + 1);
+        nbc_tag(seq, kind)
+    }
+
+    /// World-wide protocol counters (eager vs rendezvous traffic).
+    pub fn protocol_stats(&self) -> ProtocolSnapshot {
+        self.world.stats.snapshot()
+    }
+
+    /// Blocking standard-mode send (`MPI_Send`). Payloads at or below the
+    /// protocol's eager threshold are buffered (waiting for mailbox credit
+    /// when the destination's eager budget is full); larger payloads use
+    /// the rendezvous protocol and return once the receiver has drained
+    /// the bytes straight out of `buf` — standard-mode semantics: the call
+    /// may block until the matching receive.
+    ///
+    /// Note the progress-at-completion matching model: a blocking send
+    /// does not drive this rank's *own* posted [`Comm::irecv`] requests
+    /// while parked. Ranks that post receives and then block in symmetric
+    /// sends should use [`Comm::sendrecv`] or `isend` + `Request::wait_all`
+    /// (the Wasm embedder's host functions progress the whole per-rank
+    /// request table instead, restoring the MPI progress guarantee).
+    pub fn send(&self, buf: &[u8], dest: u32, tag: i32) -> Result<(), MpiError> {
+        self.charge_call();
+        self.ctx().send_blocking(buf, dest, tag)
     }
 
     /// Blocking receive into `buf` (`MPI_Recv`). The matched message must
     /// fit (`MPI_ERR_TRUNCATE` otherwise, with the message consumed, as
-    /// real MPI does).
+    /// real MPI does). Rendezvous payloads are copied directly from the
+    /// sender's buffer into `buf`.
     pub fn recv(&self, buf: &mut [u8], src: Source, tag: Tag) -> Result<Status, MpiError> {
-        let (msg, status) = self.recv_raw(src, tag)?;
-        if msg.data.len() > buf.len() {
-            return Err(MpiError::Truncated {
-                message_len: msg.data.len(),
-                buffer_len: buf.len(),
-            });
-        }
-        buf[..msg.data.len()].copy_from_slice(&msg.data);
+        let (ctx, msg) = self.recv_raw(src, tag)?;
+        let (status, _) = ctx.deliver(msg, Some(buf))?;
         Ok(status)
     }
 
     /// Blocking receive returning an owned buffer (no size known upfront).
     pub fn recv_vec(&self, src: Source, tag: Tag) -> Result<(Vec<u8>, Status), MpiError> {
-        let (msg, status) = self.recv_raw(src, tag)?;
-        Ok((msg.data.into_vec(), status))
+        let (ctx, msg) = self.recv_raw(src, tag)?;
+        let (status, data) = ctx.deliver(msg, None)?;
+        Ok((data.expect("owned delivery"), status))
     }
 
-    fn recv_raw(&self, src: Source, tag: Tag) -> Result<(Message, Status), MpiError> {
+    fn recv_raw(&self, src: Source, tag: Tag) -> Result<(CommCtx, Message), MpiError> {
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
-        let my_world = self.group[self.rank as usize];
-        let comm_id = self.id;
-        let msg = self.world.mailboxes[my_world as usize]
-            .take_matching(|m| {
-                m.comm_id == comm_id
-                    && match src {
-                        Source::Any => true,
-                        Source::Rank(r) => m.src_in_comm == r,
-                    }
-                    && match tag {
-                        Tag::Any => true,
-                        Tag::Value(t) => m.tag == t,
-                    }
-            })
-            .ok_or(MpiError::WorldShutdown)?;
-
-        if let ClockMode::Virtual(model) = &self.world.mode {
-            let wire = model.profile.p2p_time(msg.src_world, my_world, msg.data.len());
-            let mut clock = self.clock.lock();
-            clock.advance_to(msg.sent_at_us + wire.as_micros());
-            clock.charge(model.call_overhead_us);
-        }
-
-        let status = Status { source: msg.src_in_comm, tag: msg.tag, bytes: msg.data.len() };
-        Ok((msg, status))
+        let ctx = self.ctx();
+        let msg = ctx.take_blocking(src, tag)?;
+        Ok((ctx, msg))
     }
 
-    /// Combined send + receive (`MPI_Sendrecv`).
+    /// Combined send + receive (`MPI_Sendrecv`). The send is initiated
+    /// nonblockingly before the receive so paired exchanges cannot
+    /// deadlock even when both payloads use the rendezvous protocol. The
+    /// send is always driven to completion — even when the receive errors
+    /// — because cancelling it would un-send a message the peer may
+    /// already be blocked waiting for.
     #[allow(clippy::too_many_arguments)]
     pub fn sendrecv(
         &self,
@@ -199,28 +214,231 @@ impl Comm {
         src: Source,
         recv_tag: Tag,
     ) -> Result<Status, MpiError> {
-        self.send(send_buf, dest, send_tag)?;
-        self.recv(recv_buf, src, recv_tag)
+        let mut sreq = self.isend(send_buf, dest, send_tag)?;
+        let recv_result = self.recv(recv_buf, src, recv_tag);
+        let send_result = sreq.wait();
+        let st = recv_result?;
+        send_result?;
+        Ok(st)
     }
 
     /// Non-blocking probe (`MPI_Iprobe`): returns the status of the first
-    /// matching pending message without receiving it.
+    /// matching pending message without receiving it. Wildcards skip
+    /// internal collective traffic, like receives do.
     pub fn iprobe(&self, src: Source, tag: Tag) -> Option<Status> {
         let my_world = self.group[self.rank as usize];
-        let comm_id = self.id;
         self.world.mailboxes[my_world as usize]
-            .peek_matching(|m| {
-                m.comm_id == comm_id
-                    && match src {
-                        Source::Any => true,
-                        Source::Rank(r) => m.src_in_comm == r,
-                    }
-                    && match tag {
-                        Tag::Any => true,
-                        Tag::Value(t) => m.tag == t,
-                    }
-            })
+            .peek_matching(CommCtx::matcher(self.id, src, tag))
             .map(|(source, tag, bytes)| Status { source, tag, bytes })
+    }
+
+    // --- nonblocking operations (see crate::request) --------------------
+
+    /// Nonblocking send (`MPI_Isend`). `buf` must stay untouched until the
+    /// request completes — enforced by the borrow for the request's
+    /// lifetime. Above the eager threshold no copy of `buf` is ever made:
+    /// the receiver drains it directly at its matching receive.
+    pub fn isend<'a>(&self, buf: &'a [u8], dest: u32, tag: i32) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        Request::send(self.ctx(), buf.as_ptr(), buf.len(), dest, tag)
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`): matching and delivery happen as
+    /// the request is progressed (`wait`/`test`/completion sets).
+    pub fn irecv<'a>(
+        &self,
+        buf: &'a mut [u8],
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        Request::recv(self.ctx(), buf.as_mut_ptr(), buf.len(), src, tag)
+    }
+
+    /// Persistent send (`MPI_Send_init`): inactive until started.
+    pub fn send_init<'a>(
+        &self,
+        buf: &'a [u8],
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'a>, MpiError> {
+        Request::send_init(self.ctx(), buf.as_ptr(), buf.len(), dest, tag)
+    }
+
+    /// Persistent receive (`MPI_Recv_init`).
+    pub fn recv_init<'a>(
+        &self,
+        buf: &'a mut [u8],
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'a>, MpiError> {
+        Request::recv_init(self.ctx(), buf.as_mut_ptr(), buf.len(), src, tag)
+    }
+
+    /// Nonblocking barrier (`MPI_Ibarrier`): a dissemination schedule
+    /// advanced by the progress loop.
+    pub fn ibarrier(&self) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let tag = self.next_nbc_tag(NBC_KIND_BARRIER);
+        Ok(Request::coll(self.ctx(), CollState::Barrier(IbarrierState::new(tag))))
+    }
+
+    /// Nonblocking broadcast (`MPI_Ibcast`).
+    pub fn ibcast<'a>(&self, buf: &'a mut [u8], root: u32) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_BCAST);
+        let state = IbcastState::new(&ctx, buf.as_mut_ptr(), buf.len(), root, tag)?;
+        Ok(Request::coll(ctx, CollState::Bcast(state)))
+    }
+
+    /// Nonblocking allreduce (`MPI_Iallreduce`): recursive doubling as a
+    /// request state machine; the result lands in `recv_buf` when the
+    /// request completes.
+    pub fn iallreduce<'a>(
+        &self,
+        send_buf: &[u8],
+        recv_buf: &'a mut [u8],
+        dt: Datatype,
+        op: ReduceOp,
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLREDUCE);
+        let state = IallreduceState::new(
+            &ctx,
+            send_buf,
+            recv_buf.as_mut_ptr(),
+            recv_buf.len(),
+            dt,
+            op,
+            tag,
+        )?;
+        Ok(Request::coll(ctx, CollState::Allreduce(state)))
+    }
+
+    // --- raw (embedder) variants ----------------------------------------
+    //
+    // The Wasm embedder stores requests in a per-rank table that outlives
+    // any borrow of the instance's linear memory, so it passes raw
+    // pointers. Callers must uphold MPI's own rule: the buffer stays valid
+    // and (for sends) unmodified until the request completes, and the
+    // backing allocation must not move (the embedder pins linear memory
+    // while requests are pending).
+
+    /// Raw-pointer `MPI_Isend` for embedders.
+    ///
+    /// # Safety
+    /// `buf..buf+len` must remain valid and unmodified until the request
+    /// completes or is dropped.
+    pub unsafe fn isend_raw(
+        &self,
+        buf: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        Request::send(self.ctx(), buf, len, dest, tag)
+    }
+
+    /// Raw-pointer `MPI_Irecv` for embedders.
+    ///
+    /// # Safety
+    /// `buf..buf+len` must remain valid and unaliased until the request
+    /// completes or is dropped.
+    pub unsafe fn irecv_raw(
+        &self,
+        buf: *mut u8,
+        len: usize,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        Request::recv(self.ctx(), buf, len, src, tag)
+    }
+
+    /// Raw-pointer receive post *without* the per-call clock charge: for
+    /// embedders composing a blocking receive out of request primitives
+    /// (post + progress loop). The delivery path charges the one receive
+    /// call; charging here too would double-bill `MPI_Recv`.
+    ///
+    /// # Safety
+    /// As [`Comm::irecv_raw`].
+    pub unsafe fn irecv_raw_uncharged(
+        &self,
+        buf: *mut u8,
+        len: usize,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'static>, MpiError> {
+        Request::recv(self.ctx(), buf, len, src, tag)
+    }
+
+    /// Raw-pointer `MPI_Send_init`.
+    ///
+    /// # Safety
+    /// As [`Comm::isend_raw`], for every `Start`/completion cycle.
+    pub unsafe fn send_init_raw(
+        &self,
+        buf: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'static>, MpiError> {
+        Request::send_init(self.ctx(), buf, len, dest, tag)
+    }
+
+    /// Raw-pointer `MPI_Recv_init`.
+    ///
+    /// # Safety
+    /// As [`Comm::irecv_raw`], for every `Start`/completion cycle.
+    pub unsafe fn recv_init_raw(
+        &self,
+        buf: *mut u8,
+        len: usize,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'static>, MpiError> {
+        Request::recv_init(self.ctx(), buf, len, src, tag)
+    }
+
+    /// Raw-pointer `MPI_Ibcast`.
+    ///
+    /// # Safety
+    /// As [`Comm::irecv_raw`] (the root's buffer is only read).
+    pub unsafe fn ibcast_raw(
+        &self,
+        buf: *mut u8,
+        len: usize,
+        root: u32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_BCAST);
+        let state = IbcastState::new(&ctx, buf, len, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Bcast(state)))
+    }
+
+    /// Raw-pointer `MPI_Iallreduce`. The send buffer is consumed
+    /// immediately (copied into the accumulator); only `recv_buf` must
+    /// stay pinned.
+    ///
+    /// # Safety
+    /// `recv_buf..recv_buf+len` must remain valid until completion.
+    pub unsafe fn iallreduce_raw(
+        &self,
+        send_buf: &[u8],
+        recv_buf: *mut u8,
+        len: usize,
+        dt: Datatype,
+        op: ReduceOp,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLREDUCE);
+        let state = IallreduceState::new(&ctx, send_buf, recv_buf, len, dt, op, tag)?;
+        Ok(Request::coll(ctx, CollState::Allreduce(state)))
     }
 
     /// Split into sub-communicators by color, ordered by `(key, rank)`
@@ -272,6 +490,7 @@ impl Comm {
             rank: new_rank,
             clock: Arc::clone(&self.clock),
             derive_seq: std::cell::Cell::new(0),
+            nbc_seq: std::cell::Cell::new(0),
         }))
     }
 
@@ -292,6 +511,7 @@ impl Comm {
             rank: self.rank,
             clock: Arc::clone(&self.clock),
             derive_seq: std::cell::Cell::new(0),
+            nbc_seq: std::cell::Cell::new(0),
         })
     }
 

@@ -7,6 +7,40 @@
 //! trees, recursive doubling, ring, pairwise exchange) on top of the
 //! point-to-point layer.
 //!
+//! # The progress engine
+//!
+//! Point-to-point transfers pick a protocol by payload size
+//! ([`progress::ProtocolConfig`]):
+//!
+//! * **Eager** (≤ threshold): the payload is copied into the receiver's
+//!   mailbox, consuming credit from a bounded per-mailbox byte budget.
+//!   Credit returns when the receiver drains the message; sends that
+//!   miss credit — blocking or not — fall back to a sender-owned
+//!   rendezvous, so FIFO order holds without unbounded buffering and the
+//!   backpressure stays matchable by posted receives. Self-sends are
+//!   always eager (a rendezvous with yourself could never be answered).
+//! * **Rendezvous** (> threshold): the sender enqueues a tiny RTS control
+//!   message and keeps the payload in place; the receiver copies the bytes
+//!   *directly* from the sender's buffer into the posted receive buffer —
+//!   no intermediate heap copy — and completes the handshake. Blocking
+//!   sends are synchronous (they return when the receiver has the data),
+//!   matching standard-mode MPI semantics for large messages.
+//!
+//! Nonblocking operations are [`request::Request`] state machines:
+//!
+//! * `Isend`/`Irecv` ([`Comm::isend`], [`Comm::irecv`]) — true pending
+//!   operations driven by `wait`/`test` and the completion sets
+//!   (`wait_all`/`wait_any`/`wait_some`/`test_all`/`test_any`).
+//! * Persistent requests ([`Comm::send_init`], [`Comm::recv_init`],
+//!   [`request::Request::start`], [`request::Request::start_all`]).
+//! * Nonblocking collectives ([`Comm::ibarrier`], [`Comm::ibcast`],
+//!   [`Comm::iallreduce`]) — the blocking schedules re-expressed as
+//!   incremental state machines advanced by the same progress loop, so
+//!   communication overlaps with computation between initiation and
+//!   completion.
+//!
+//! # Timing
+//!
 //! Timing comes in two modes ([`clock::ClockMode`]):
 //!
 //! * **Real** — `wtime` reads the host monotonic clock; used for
@@ -14,17 +48,22 @@
 //! * **Virtual** — every rank carries a LogP-style virtual clock. Sends
 //!   stamp their departure time, receives complete at
 //!   `max(local_clock, departure + wire_time)`, and every call charges the
-//!   per-call software overhead of its [`netsim::CostModel`]. Collectives
-//!   then exhibit realistic log-p / linear-p scaling *by construction*,
-//!   because they execute their actual communication schedules. This is
-//!   how iteration times for systems much larger than the host machine are
-//!   produced (the paper's 768- and 6144-rank figures).
+//!   per-call software overhead of its [`netsim::CostModel`]. The wire
+//!   model includes the eager→rendezvous handshake latency above the
+//!   profile's threshold, and rendezvous senders synchronize to the
+//!   receiver's completion time — so simulated runs see the protocol
+//!   switch. Collectives then exhibit realistic log-p / linear-p scaling
+//!   *by construction*, because they execute their actual communication
+//!   schedules. This is how iteration times for systems much larger than
+//!   the host machine are produced (the paper's 768- and 6144-rank
+//!   figures).
 //!
 //! The public API mirrors the subset of MPI-2.2 the paper's benchmarks
 //! exercise: `Send`/`Recv`/`Sendrecv` with tags, wildcards and `Status`,
-//! the collectives `Barrier`/`Bcast`/`Reduce`/`Allreduce`/`Gather`/
-//! `Allgather`/`Scatter`/`Alltoall`, reduction ops over the standard
-//! datatypes, `Comm_split`/`Comm_dup`, and `Wtime`.
+//! the nonblocking and persistent point-to-point surface, the collectives
+//! `Barrier`/`Bcast`/`Reduce`/`Allreduce`/`Gather`/`Allgather`/`Scatter`/
+//! `Alltoall` plus `Ibarrier`/`Ibcast`/`Iallreduce`, reduction ops over
+//! the standard datatypes, `Comm_split`/`Comm_dup`, and `Wtime`.
 
 pub mod clock;
 pub mod collectives;
@@ -32,13 +71,17 @@ pub mod comm;
 pub mod datatype;
 pub mod error;
 pub(crate) mod message;
+pub mod progress;
+pub mod request;
 pub mod world;
 
 pub use clock::ClockMode;
 pub use comm::{Comm, Source, Status, Tag};
 pub use datatype::{Datatype, ReduceOp};
 pub use error::MpiError;
-pub use world::{run_world, run_world_with, World};
+pub use progress::{ProtocolConfig, ProtocolSnapshot};
+pub use request::{Request, TestAny};
+pub use world::{run_world, run_world_with, run_world_with_protocol, World};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Source = Source::Any;

@@ -1,8 +1,55 @@
 //! Internal message representation and per-rank mailboxes.
+//!
+//! A mailbox is an ordered queue (preserving MPI's non-overtaking
+//! guarantee per sender) with **bounded eager buffering**: eager payloads
+//! consume credit from a per-mailbox byte budget that is returned when the
+//! receiver drains the message. Senders that cannot obtain credit fall
+//! back to the rendezvous protocol (see [`crate::progress`]), which keeps
+//! the payload on the sender's side — announced by a matchable RTS in the
+//! queue — until the receiver is ready. Rendezvous RTS control messages
+//! travel through the same queue so the per-sender FIFO order is
+//! preserved across protocol switches.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::error::MpiError;
+use crate::progress::RendezvousSlot;
+
+/// Payload of an in-flight message: either an eagerly copied buffer or a
+/// rendezvous RTS carrying a handle to the sender-side payload.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// Eager protocol: the bytes were copied into the mailbox.
+    Eager(Box<[u8]>),
+    /// Rendezvous protocol: ready-to-send announcement. The payload stays
+    /// with the sender; the receiver copies it straight into the posted
+    /// buffer and completes the slot (the CTS + transfer in one step).
+    Rendezvous(RtsPayload),
+}
+
+impl Payload {
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Eager(data) => data.len(),
+            Payload::Rendezvous(rts) => rts.0.len(),
+        }
+    }
+}
+
+/// RTS handle wrapper: if the message is destroyed without the receiver
+/// completing the transfer (shutdown, teardown with queued messages), the
+/// sender blocked on the slot must still be woken.
+#[derive(Debug)]
+pub(crate) struct RtsPayload(pub Arc<RendezvousSlot>);
+
+impl Drop for RtsPayload {
+    fn drop(&mut self) {
+        self.0.fail_if_posted();
+    }
+}
 
 /// One in-flight message.
 #[derive(Debug)]
@@ -11,39 +58,99 @@ pub(crate) struct Message {
     pub src_in_comm: u32,
     pub tag: i32,
     pub comm_id: u64,
-    pub data: Box<[u8]>,
+    pub payload: Payload,
     /// Sender's virtual clock at departure, µs (0 in real-clock mode).
     pub sent_at_us: f64,
     /// Sender's world rank (for wire-time computation).
     pub src_world: u32,
 }
 
-/// A rank's mailbox: an ordered queue (preserves MPI's non-overtaking
-/// guarantee per sender) plus a condvar for blocking receives.
-#[derive(Default)]
+/// A rank's mailbox: the message queue plus a condvar for blocking
+/// receivers. Eager senders never wait for credit — a credit miss is
+/// converted into a sender-owned rendezvous by the progress engine, so
+/// backpressure is always visible to matching (no invisible parking).
 pub(crate) struct Mailbox {
     pub queue: Mutex<MailboxState>,
     pub available: Condvar,
+    /// Eager-buffer byte budget for this mailbox.
+    capacity: usize,
 }
 
 #[derive(Default)]
 pub(crate) struct MailboxState {
     pub messages: VecDeque<Message>,
+    /// Bytes of eager payload currently buffered (credit in use).
+    pub eager_bytes: usize,
     /// Set when the world is tearing down; receivers must stop blocking.
     pub shutdown: bool,
 }
 
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox::new(usize::MAX)
+    }
+}
+
 impl Mailbox {
-    /// Deposit a message and wake any blocked receiver.
+    pub fn new(capacity: usize) -> Mailbox {
+        Mailbox {
+            queue: Mutex::new(MailboxState::default()),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Deposit a message unconditionally and wake any blocked receiver.
+    /// Used for rendezvous RTS control messages (which carry no payload
+    /// bytes) — eager payloads go through the credit-checked variants.
+    /// After shutdown the message is discarded instead of queued, which
+    /// fails its rendezvous slot (via `RtsPayload::drop`) so the sender
+    /// wakes with `WorldShutdown` rather than parking forever on a
+    /// handshake nobody will answer.
     pub fn push(&self, msg: Message) {
         let mut q = self.queue.lock();
+        if q.shutdown {
+            drop(q);
+            drop(msg);
+            return;
+        }
+        if let Payload::Eager(data) = &msg.payload {
+            q.eager_bytes += data.len();
+        }
         q.messages.push_back(msg);
         drop(q);
         self.available.notify_all();
     }
 
+    /// Try to claim eager credit and deposit the message; hands the
+    /// message back when the buffer budget is exhausted or the world has
+    /// shut down (the caller's deferral path then reports the shutdown).
+    /// A message is always admitted into an empty buffer so payloads
+    /// larger than the whole budget still make progress.
+    pub fn try_push_eager(&self, msg: Message) -> Result<(), Message> {
+        let len = msg.payload.len();
+        let mut q = self.queue.lock();
+        if q.shutdown || (q.eager_bytes > 0 && q.eager_bytes + len > self.capacity) {
+            return Err(msg);
+        }
+        q.eager_bytes += len;
+        q.messages.push_back(msg);
+        drop(q);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    fn remove_at(&self, q: &mut MailboxState, pos: usize) -> Message {
+        let msg = q.messages.remove(pos).expect("position just found");
+        if let Payload::Eager(data) = &msg.payload {
+            q.eager_bytes -= data.len();
+        }
+        msg
+    }
+
     /// Find and remove the first message matching the predicate, blocking
-    /// until one arrives. Returns `None` on shutdown.
+    /// until one arrives. Returns `None` on shutdown. Removing an eager
+    /// message returns its credit.
     pub fn take_matching(
         &self,
         mut matches: impl FnMut(&Message) -> bool,
@@ -51,7 +158,7 @@ impl Mailbox {
         let mut q = self.queue.lock();
         loop {
             if let Some(pos) = q.messages.iter().position(&mut matches) {
-                return q.messages.remove(pos);
+                return Some(self.remove_at(&mut q, pos));
             }
             if q.shutdown {
                 return None;
@@ -60,18 +167,41 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking take: remove the first matching message if one is
+    /// already queued. `Err(WorldShutdown)` after teardown.
+    pub fn try_take_matching(
+        &self,
+        mut matches: impl FnMut(&Message) -> bool,
+    ) -> Result<Option<Message>, MpiError> {
+        let mut q = self.queue.lock();
+        if let Some(pos) = q.messages.iter().position(&mut matches) {
+            return Ok(Some(self.remove_at(&mut q, pos)));
+        }
+        if q.shutdown {
+            return Err(MpiError::WorldShutdown);
+        }
+        Ok(None)
+    }
+
     /// Non-blocking variant: check without waiting (used by `Iprobe`).
     pub fn peek_matching(&self, mut matches: impl FnMut(&Message) -> bool) -> Option<(u32, i32, usize)> {
         let q = self.queue.lock();
         q.messages
             .iter()
             .find(|m| matches(m))
-            .map(|m| (m.src_in_comm, m.tag, m.data.len()))
+            .map(|m| (m.src_in_comm, m.tag, m.payload.len()))
     }
 
     pub fn shutdown(&self) {
         let mut q = self.queue.lock();
         q.shutdown = true;
+        // Wake senders blocked on queued rendezvous handshakes that will
+        // never be matched.
+        for msg in &q.messages {
+            if let Payload::Rendezvous(rts) = &msg.payload {
+                rts.0.fail_if_posted();
+            }
+        }
         drop(q);
         self.available.notify_all();
     }
@@ -87,9 +217,16 @@ mod tests {
             src_in_comm: src,
             tag,
             comm_id: 0,
-            data: data.into(),
+            payload: Payload::Eager(data.into()),
             sent_at_us: 0.0,
             src_world: src,
+        }
+    }
+
+    fn data(m: &Message) -> &[u8] {
+        match &m.payload {
+            Payload::Eager(d) => d,
+            Payload::Rendezvous(_) => panic!("expected eager payload"),
         }
     }
 
@@ -99,9 +236,9 @@ mod tests {
         mb.push(msg(0, 1, b"first"));
         mb.push(msg(0, 1, b"second"));
         let a = mb.take_matching(|m| m.tag == 1).unwrap();
-        assert_eq!(&*a.data, b"first");
+        assert_eq!(data(&a), b"first");
         let b = mb.take_matching(|m| m.tag == 1).unwrap();
-        assert_eq!(&*b.data, b"second");
+        assert_eq!(data(&b), b"second");
     }
 
     #[test]
@@ -110,10 +247,10 @@ mod tests {
         mb.push(msg(3, 7, b"three"));
         mb.push(msg(5, 9, b"five"));
         let m = mb.take_matching(|m| m.src_in_comm == 5).unwrap();
-        assert_eq!(&*m.data, b"five");
+        assert_eq!(data(&m), b"five");
         // The earlier message is still there.
         let m = mb.take_matching(|_| true).unwrap();
-        assert_eq!(&*m.data, b"three");
+        assert_eq!(data(&m), b"three");
     }
 
     #[test]
@@ -124,7 +261,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb.push(msg(1, 42, b"late"));
         let got = t.join().unwrap().unwrap();
-        assert_eq!(&*got.data, b"late");
+        assert_eq!(data(&got), b"late");
     }
 
     #[test]
@@ -144,5 +281,25 @@ mod tests {
         let peeked = mb.peek_matching(|m| m.tag == 5).unwrap();
         assert_eq!(peeked, (2, 5, 3));
         assert!(mb.take_matching(|m| m.tag == 5).is_some());
+    }
+
+    #[test]
+    fn eager_credit_is_claimed_and_returned() {
+        let mb = Mailbox::new(8);
+        mb.try_push_eager(msg(0, 0, b"123456")).unwrap();
+        // Budget exhausted: a second 6-byte message bounces.
+        let back = mb.try_push_eager(msg(0, 0, b"abcdef")).unwrap_err();
+        assert_eq!(data(&back), b"abcdef");
+        // Draining the first returns the credit.
+        mb.take_matching(|_| true).unwrap();
+        mb.try_push_eager(msg(0, 0, b"abcdef")).unwrap();
+    }
+
+    #[test]
+    fn oversized_message_admitted_into_empty_buffer() {
+        let mb = Mailbox::new(4);
+        // Larger than the whole budget, but the buffer is empty.
+        mb.try_push_eager(msg(0, 0, b"12345678")).unwrap();
+        assert!(mb.try_push_eager(msg(0, 0, b"x")).is_err());
     }
 }

@@ -1,0 +1,573 @@
+//! The progress engine: protocol selection (eager vs rendezvous), the
+//! rendezvous handshake, and the shared delivery path used by blocking
+//! receives and the request machinery in [`crate::request`].
+//!
+//! # Protocols
+//!
+//! * **Eager** (payload ≤ [`ProtocolConfig::eager_threshold`]): the bytes
+//!   are copied into the destination mailbox, consuming credit from its
+//!   bounded buffer budget. Sends that cannot obtain credit — blocking or
+//!   not — fall back to a rendezvous with a sender-owned copy, so the
+//!   per-sender FIFO order is preserved without unbounded mailbox growth
+//!   and backpressure stays *matchable* (a posted receive always lets a
+//!   credit-starved sender through).
+//! * **Rendezvous** (payload above the threshold): the sender enqueues a
+//!   tiny RTS control message carrying a [`RendezvousSlot`] and keeps the
+//!   payload in place. When the receiver matches the RTS it copies the
+//!   bytes *directly* from the sender's buffer into the posted receive
+//!   buffer — no intermediate heap copy — and completes the slot, which
+//!   is the CTS + transfer collapsed into one step. Blocking sends wait on
+//!   the slot; nonblocking sends complete at `Wait`/`Test`.
+//!
+//! # Virtual time
+//!
+//! The receive path charges the wire time of [`netsim::SystemProfile::p2p_time`],
+//! which already includes the extra handshake latency above the profile's
+//! rendezvous threshold — so simulated runs see the protocol switch. A
+//! rendezvous *sender* additionally synchronizes its clock to the
+//! receiver's completion time (the moment the CTS/done notification comes
+//! back), making rendezvous sends synchronous in virtual time, as on real
+//! fabrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::{Clock, ClockMode};
+use crate::comm::{Source, Status, Tag};
+use crate::error::MpiError;
+use crate::message::{Message, Payload, RtsPayload};
+use crate::world::World;
+
+/// Message-protocol parameters of a world. Derived from the netsim
+/// profile in virtual-clock worlds; real-clock worlds use the defaults
+/// (or an explicit config via `run_world_with_protocol`).
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Payloads above this many bytes use the rendezvous protocol.
+    pub eager_threshold: usize,
+    /// Per-mailbox eager-buffer byte budget (credit pool).
+    pub eager_capacity: usize,
+}
+
+impl ProtocolConfig {
+    /// Default for real-clock worlds: 64 KiB eager limit, 16 MiB of
+    /// buffered eager traffic per rank.
+    pub fn default_real() -> ProtocolConfig {
+        ProtocolConfig { eager_threshold: 64 << 10, eager_capacity: 16 << 20 }
+    }
+
+    /// The seed's legacy behavior: every message is eagerly copied into an
+    /// unbounded mailbox. Kept for A/B benchmarking.
+    pub fn eager_only() -> ProtocolConfig {
+        ProtocolConfig { eager_threshold: usize::MAX, eager_capacity: usize::MAX }
+    }
+
+    /// Config implied by a clock mode: virtual worlds switch protocols at
+    /// the profile's rendezvous threshold (so the cost model and the
+    /// executed protocol agree), real worlds use the defaults.
+    pub fn from_mode(mode: &ClockMode) -> ProtocolConfig {
+        match mode {
+            ClockMode::Real => ProtocolConfig::default_real(),
+            ClockMode::Virtual(model) => ProtocolConfig {
+                eager_threshold: model.profile.rendezvous_threshold,
+                eager_capacity: (model.profile.rendezvous_threshold * 8).max(16 << 20),
+            },
+        }
+    }
+}
+
+/// World-wide protocol counters (diagnostics and the zero-copy tests).
+#[derive(Debug, Default)]
+pub struct ProtocolStats {
+    pub eager_messages: AtomicU64,
+    /// Payload bytes that were heap-copied into mailboxes (eager path).
+    pub eager_bytes_copied: AtomicU64,
+    /// Nonblocking eager sends that could not obtain credit and were
+    /// deferred through a sender-owned rendezvous.
+    pub deferred_eager_messages: AtomicU64,
+    pub rendezvous_messages: AtomicU64,
+    /// Payload bytes moved by the rendezvous protocol (single direct copy,
+    /// never buffered in a mailbox).
+    pub rendezvous_bytes: AtomicU64,
+}
+
+/// Point-in-time copy of [`ProtocolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolSnapshot {
+    pub eager_messages: u64,
+    pub eager_bytes_copied: u64,
+    pub deferred_eager_messages: u64,
+    pub rendezvous_messages: u64,
+    pub rendezvous_bytes: u64,
+}
+
+impl ProtocolStats {
+    pub fn snapshot(&self) -> ProtocolSnapshot {
+        ProtocolSnapshot {
+            eager_messages: self.eager_messages.load(Ordering::Relaxed),
+            eager_bytes_copied: self.eager_bytes_copied.load(Ordering::Relaxed),
+            deferred_eager_messages: self.deferred_eager_messages.load(Ordering::Relaxed),
+            rendezvous_messages: self.rendezvous_messages.load(Ordering::Relaxed),
+            rendezvous_bytes: self.rendezvous_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// --- rendezvous slot ----------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RdvState {
+    /// RTS posted; payload waiting on the sender's side.
+    Posted,
+    /// Receiver copied the payload. Carries the receiver's virtual clock
+    /// at completion (µs; 0 in real-clock mode) for sender-side charging.
+    Complete(u64 /* f64 bits */),
+    /// The transfer will never happen (shutdown / teardown).
+    Failed,
+}
+
+/// Sender-side payload handle for one rendezvous transfer.
+///
+/// `src`/`len` describe the payload bytes. The protocol guarantees their
+/// validity for the receiver's read: either the sending thread is blocked
+/// inside `send` until [`RendezvousSlot::complete`] runs, or (nonblocking
+/// sends) the buffer is pinned by MPI semantics until the matching
+/// `Wait`/`Test` — and `Request::drop` cancels or completes the transfer
+/// before releasing the borrow. Deferred eager sends pin their own copy
+/// in `_owned`.
+pub(crate) struct RendezvousSlot {
+    src: *const u8,
+    len: usize,
+    /// Backing storage for credit-deferred eager sends; `src` points into
+    /// it. `None` for true zero-copy rendezvous of user buffers.
+    _owned: Option<Box<[u8]>>,
+    state: Mutex<RdvState>,
+    done: Condvar,
+}
+
+// Safety: the raw pointer is only dereferenced by the receiving thread
+// while the protocol pins the sender buffer (see struct docs).
+unsafe impl Send for RendezvousSlot {}
+unsafe impl Sync for RendezvousSlot {}
+
+impl std::fmt::Debug for RendezvousSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RendezvousSlot")
+            .field("len", &self.len)
+            .field("owned", &self._owned.is_some())
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl RendezvousSlot {
+    pub fn for_buffer(ptr: *const u8, len: usize) -> Arc<RendezvousSlot> {
+        Arc::new(RendezvousSlot {
+            src: ptr,
+            len,
+            _owned: None,
+            state: Mutex::new(RdvState::Posted),
+            done: Condvar::new(),
+        })
+    }
+
+    pub fn for_owned(data: Box<[u8]>) -> Arc<RendezvousSlot> {
+        let (src, len) = (data.as_ptr(), data.len());
+        Arc::new(RendezvousSlot {
+            src,
+            len,
+            _owned: Some(data),
+            state: Mutex::new(RdvState::Posted),
+            done: Condvar::new(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Receiver: copy the payload into `dst` (the first `dst.len()`
+    /// bytes) and complete the handshake — all under the state lock, so
+    /// the copy can never race the sender's buffer being released: the
+    /// sender only unblocks once the state leaves `Posted`, and a slot
+    /// failed by shutdown (whose buffer may already be gone) is never
+    /// read.
+    pub fn consume_into(&self, dst: &mut [u8], recv_clock_us: f64) -> Result<(), MpiError> {
+        let mut st = self.state.lock();
+        match *st {
+            RdvState::Posted => {
+                let take = dst.len().min(self.len);
+                dst[..take].copy_from_slice(unsafe {
+                    std::slice::from_raw_parts(self.src, take)
+                });
+                *st = RdvState::Complete(recv_clock_us.to_bits());
+                drop(st);
+                self.done.notify_all();
+                Ok(())
+            }
+            _ => Err(MpiError::WorldShutdown),
+        }
+    }
+
+    /// Receiver: copy the payload into an owned buffer and complete.
+    pub fn consume_vec(&self, recv_clock_us: f64) -> Result<Vec<u8>, MpiError> {
+        let mut out = vec![0u8; self.len];
+        self.consume_into(&mut out, recv_clock_us)?;
+        Ok(out)
+    }
+
+    /// Receiver: finish the handshake without reading the payload (the
+    /// truncation path consumes the message but cannot take the bytes).
+    pub fn complete(&self, recv_clock_us: f64) {
+        let mut st = self.state.lock();
+        if *st == RdvState::Posted {
+            *st = RdvState::Complete(recv_clock_us.to_bits());
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Mark the transfer as dead if still pending (shutdown paths).
+    pub fn fail_if_posted(&self) {
+        let mut st = self.state.lock();
+        if *st == RdvState::Posted {
+            *st = RdvState::Failed;
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Sender: block until the receiver finishes. Returns the receiver's
+    /// completion clock (µs).
+    pub fn wait_done(&self) -> Result<f64, MpiError> {
+        let mut st = self.state.lock();
+        loop {
+            match *st {
+                RdvState::Complete(bits) => return Ok(f64::from_bits(bits)),
+                RdvState::Failed => return Err(MpiError::WorldShutdown),
+                RdvState::Posted => self.done.wait(&mut st),
+            }
+        }
+    }
+
+    /// Sender: non-blocking completion check.
+    pub fn poll_done(&self) -> Result<Option<f64>, MpiError> {
+        match *self.state.lock() {
+            RdvState::Complete(bits) => Ok(Some(f64::from_bits(bits))),
+            RdvState::Failed => Err(MpiError::WorldShutdown),
+            RdvState::Posted => Ok(None),
+        }
+    }
+}
+
+// --- per-request communicator context -----------------------------------
+
+/// Everything a detached operation (a [`crate::request::Request`]) needs
+/// from its communicator: the world, the group mapping, identity, and the
+/// rank's clock. Cheap Arc clones of the `Comm` internals.
+#[derive(Clone)]
+pub(crate) struct CommCtx {
+    pub world: Arc<World>,
+    pub group: Arc<Vec<u32>>,
+    pub rank: u32,
+    pub comm_id: u64,
+    pub clock: Arc<Mutex<Clock>>,
+}
+
+impl CommCtx {
+    pub fn size(&self) -> u32 {
+        self.group.len() as u32
+    }
+
+    pub fn my_world(&self) -> u32 {
+        self.group[self.rank as usize]
+    }
+
+    /// Charge the per-call software overhead (virtual-clock worlds only).
+    pub fn charge_call(&self) {
+        if let ClockMode::Virtual(model) = &self.world.mode {
+            self.clock.lock().charge(model.call_overhead_us);
+        }
+    }
+
+    pub fn check_rank(&self, rank: u32) -> Result<(), MpiError> {
+        if rank >= self.size() {
+            return Err(MpiError::InvalidRank { rank, size: self.size() });
+        }
+        Ok(())
+    }
+
+    /// Matching predicate for a user-visible receive. `Tag::Any` never
+    /// matches the internal collective tag space (all at or below
+    /// [`COLLECTIVE_TAG_BASE`]): collective traffic must stay invisible
+    /// to wildcard point-to-point receives, as MPI requires.
+    pub(crate) fn matcher(
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+    ) -> impl FnMut(&Message) -> bool {
+        move |m: &Message| {
+            m.comm_id == comm_id
+                && match src {
+                    Source::Any => true,
+                    Source::Rank(r) => m.src_in_comm == r,
+                }
+                && match tag {
+                    Tag::Any => m.tag > crate::comm::COLLECTIVE_TAG_BASE,
+                    Tag::Value(t) => m.tag == t,
+                }
+        }
+    }
+
+    /// Blocking matched take from this rank's mailbox.
+    pub fn take_blocking(&self, src: Source, tag: Tag) -> Result<Message, MpiError> {
+        self.world.mailboxes[self.my_world() as usize]
+            .take_matching(Self::matcher(self.comm_id, src, tag))
+            .ok_or(MpiError::WorldShutdown)
+    }
+
+    /// Non-blocking matched take.
+    pub fn try_take(&self, src: Source, tag: Tag) -> Result<Option<Message>, MpiError> {
+        self.world.mailboxes[self.my_world() as usize]
+            .try_take_matching(Self::matcher(self.comm_id, src, tag))
+    }
+
+    /// Stamp a new outgoing message (departure time, identity).
+    fn message(&self, tag: i32, payload: Payload) -> Message {
+        Message {
+            src_in_comm: self.rank,
+            tag,
+            comm_id: self.comm_id,
+            payload,
+            sent_at_us: self.clock.lock().virtual_us,
+            src_world: self.my_world(),
+        }
+    }
+
+    /// Build (and count) an eager message carrying a copy of `buf`.
+    fn eager_message(&self, buf: &[u8], tag: i32) -> Message {
+        let stats = &self.world.stats;
+        stats.eager_messages.fetch_add(1, Ordering::Relaxed);
+        stats.eager_bytes_copied.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.message(tag, Payload::Eager(buf.into()))
+    }
+
+    /// Initiate a send without blocking: eager when the payload fits under
+    /// the threshold and credit is available, rendezvous otherwise.
+    ///
+    /// # Safety contract (not enforced by types)
+    /// `ptr..ptr+len` must stay valid and unmodified until the returned
+    /// [`SendOp`] completes (`poll`/`wait`) or is cancelled.
+    pub fn start_send(
+        &self,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<SendOp, MpiError> {
+        self.check_rank(dest)?;
+        let dest_world = self.group[dest as usize];
+        let mailbox = &self.world.mailboxes[dest_world as usize];
+        let stats = &self.world.stats;
+
+        if dest_world == self.my_world() {
+            // Self-sends are always eagerly buffered, regardless of size
+            // or credit: the same thread must later receive the message,
+            // so a rendezvous handshake could never be answered and a
+            // credit wait could never be satisfied.
+            let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
+            mailbox.push(self.eager_message(buf, tag));
+            return Ok(SendOp::done());
+        }
+
+        if len <= self.world.protocol.eager_threshold {
+            let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
+            match mailbox.try_push_eager(self.eager_message(buf, tag)) {
+                Ok(()) => Ok(SendOp::done()),
+                Err(mut msg) => {
+                    // No credit: defer through a sender-owned rendezvous so
+                    // FIFO order is preserved without growing the mailbox.
+                    let payload =
+                        std::mem::replace(&mut msg.payload, Payload::Eager(Box::new([])));
+                    let Payload::Eager(data) = payload else { unreachable!() };
+                    stats.deferred_eager_messages.fetch_add(1, Ordering::Relaxed);
+                    let slot = RendezvousSlot::for_owned(data);
+                    mailbox.push(Message {
+                        payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
+                        ..msg
+                    });
+                    Ok(SendOp::in_flight(slot))
+                }
+            }
+        } else {
+            stats.rendezvous_messages.fetch_add(1, Ordering::Relaxed);
+            stats.rendezvous_bytes.fetch_add(len as u64, Ordering::Relaxed);
+            let slot = RendezvousSlot::for_buffer(ptr, len);
+            mailbox
+                .push(self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot)))));
+            Ok(SendOp::in_flight(slot))
+        }
+    }
+
+    /// Blocking send: the same initiation as the nonblocking path, then
+    /// park until complete. Eager sends with credit return immediately;
+    /// credit-starved eager sends and rendezvous sends park on their slot
+    /// — which the receiver can *match* (the RTS rides the queue), unlike
+    /// a wait for buffer credit, so a posted matching receive always lets
+    /// a blocking send through (MPI's progress guarantee: rooted
+    /// collectives like gather would otherwise deadlock once aggregate
+    /// eager traffic exceeds the budget).
+    pub fn send_blocking(
+        &self,
+        buf: &[u8],
+        dest: u32,
+        tag: i32,
+    ) -> Result<(), MpiError> {
+        let mut op = self.start_send(buf.as_ptr(), buf.len(), dest, tag)?;
+        op.wait(self)
+    }
+
+    /// Deliver a matched message into `dst` (or an owned vec when `dst` is
+    /// `None`), advancing the receiver's virtual clock and completing the
+    /// rendezvous handshake when applicable.
+    ///
+    /// On truncation the message is consumed and the handshake still
+    /// completes (the sender must not hang on the receiver's error), as in
+    /// real MPI.
+    pub fn deliver(
+        &self,
+        msg: Message,
+        dst: Option<&mut [u8]>,
+    ) -> Result<(Status, Option<Vec<u8>>), MpiError> {
+        let len = msg.payload.len();
+        let mut recv_clock_us = 0.0;
+        if let ClockMode::Virtual(model) = &self.world.mode {
+            let wire = model.profile.p2p_time(msg.src_world, self.my_world(), len);
+            let mut clock = self.clock.lock();
+            clock.advance_to(msg.sent_at_us + wire.as_micros());
+            clock.charge(model.call_overhead_us);
+            recv_clock_us = clock.virtual_us;
+        }
+        let status = Status { source: msg.src_in_comm, tag: msg.tag, bytes: len };
+
+        match msg.payload {
+            Payload::Eager(data) => match dst {
+                Some(buf) => {
+                    if data.len() > buf.len() {
+                        return Err(MpiError::Truncated {
+                            message_len: data.len(),
+                            buffer_len: buf.len(),
+                        });
+                    }
+                    buf[..data.len()].copy_from_slice(&data);
+                    Ok((status, None))
+                }
+                None => Ok((status, Some(data.into_vec()))),
+            },
+            Payload::Rendezvous(rts) => {
+                let slot = &rts.0;
+                match dst {
+                    Some(buf) => {
+                        if slot.len() > buf.len() {
+                            // Consume + complete so the sender proceeds.
+                            slot.complete(recv_clock_us);
+                            return Err(MpiError::Truncated {
+                                message_len: slot.len(),
+                                buffer_len: buf.len(),
+                            });
+                        }
+                        // The direct handoff: sender buffer -> posted
+                        // receive buffer, no intermediate copy. Errors if
+                        // the slot already failed (shutdown): a stale RTS
+                        // must never be read, its buffer may be gone.
+                        slot.consume_into(&mut buf[..slot.len()], recv_clock_us)?;
+                        Ok((status, None))
+                    }
+                    None => {
+                        let data = slot.consume_vec(recv_clock_us)?;
+                        Ok((status, Some(data)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- send operation handle ----------------------------------------------
+
+/// An initiated send. Eager sends with credit complete immediately;
+/// rendezvous (and credit-deferred) sends complete when the receiver
+/// drains the payload.
+pub(crate) struct SendOp {
+    state: SendState,
+}
+
+enum SendState {
+    Done,
+    InFlight { slot: Arc<RendezvousSlot> },
+}
+
+impl SendOp {
+    fn done() -> SendOp {
+        SendOp { state: SendState::Done }
+    }
+
+    fn in_flight(slot: Arc<RendezvousSlot>) -> SendOp {
+        SendOp { state: SendState::InFlight { slot } }
+    }
+
+    fn on_complete(ctx: &CommCtx, recv_clock_us: f64) {
+        // Rendezvous sends are synchronous: the sender's clock catches up
+        // to the receiver's completion time (the CTS/done round trip is
+        // inside the profile's handshake latency, already charged on the
+        // receive path).
+        if matches!(ctx.world.mode, ClockMode::Virtual(_)) {
+            ctx.clock.lock().advance_to(recv_clock_us);
+        }
+    }
+
+    /// Non-blocking completion check.
+    pub fn poll(&mut self, ctx: &CommCtx) -> Result<bool, MpiError> {
+        match &self.state {
+            SendState::Done => Ok(true),
+            SendState::InFlight { slot, .. } => match slot.poll_done()? {
+                Some(recv_us) => {
+                    Self::on_complete(ctx, recv_us);
+                    self.state = SendState::Done;
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+        }
+    }
+
+    /// Block until the receiver completes the transfer.
+    pub fn wait(&mut self, ctx: &CommCtx) -> Result<(), MpiError> {
+        match &self.state {
+            SendState::Done => Ok(()),
+            SendState::InFlight { slot, .. } => {
+                let recv_us = slot.wait_done()?;
+                Self::on_complete(ctx, recv_us);
+                self.state = SendState::Done;
+                Ok(())
+            }
+        }
+    }
+
+    /// Cancel or finish the transfer so the sender-side buffer can be
+    /// released (called from `Request::drop` and error paths). The RTS
+    /// stays queued: failing the slot means a receiver that matches it
+    /// wakes with an error instead of waiting forever for a message that
+    /// was un-sent, and the state-locked consume path guarantees the (now
+    /// invalid) buffer pointer is never dereferenced. If the receiver is
+    /// mid-copy, `fail_if_posted` blocks on the state lock until the copy
+    /// finishes, so the buffer outlives every read either way.
+    pub fn cancel(&mut self, _ctx: &CommCtx) {
+        if let SendState::InFlight { slot, .. } = &self.state {
+            slot.fail_if_posted();
+            self.state = SendState::Done;
+        }
+    }
+}

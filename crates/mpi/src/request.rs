@@ -1,0 +1,1012 @@
+//! Nonblocking requests: the `MPI_Request` state machines.
+//!
+//! A [`Request`] is a detached operation bound to a communicator context.
+//! Its lifecycle mirrors MPI-2.2:
+//!
+//! ```text
+//!              Isend/Irecv/I<coll>            progress()
+//!   (created) ───────────────────► Active ───────────────► Done(Status)
+//!                                     ▲                        │
+//!                        Start ───────┘          take_status() │
+//!                                                              ▼
+//!   Send_init/Recv_init ─► Inactive ◄──────(persistent)── Null/Inactive
+//! ```
+//!
+//! * `progress()` drives the operation as far as it can without blocking
+//!   (the *progress loop*); completed operations park in `Done` with
+//!   their status — failures latch in `Failed` — until `take_result()`
+//!   retires them: to `Null` for one-shot requests, back to `Inactive`
+//!   for persistent ones (also after failures, so `Start` stays legal).
+//!   Because outcomes latch, `progress()` is safe to call on requests the
+//!   caller does not own — which is how an embedder can drive a whole
+//!   request table while one operation waits.
+//! * `test()` = `progress` + conditional `take_result`; `wait()` blocks
+//!   (receives park on the mailbox condvar, sends on the rendezvous slot,
+//!   collectives poll with backoff).
+//! * The completion set operations ([`Request::wait_all`],
+//!   [`Request::wait_any`], [`Request::wait_some`], [`Request::test_all`],
+//!   [`Request::test_any`]) progress requests in index order, which makes
+//!   same-`(source, tag)` receives match in posting order.
+//!
+//! **Matching model.** Receives match at *progress* time, not at posting
+//! time (progress-at-completion, the embedder's documented substitute for
+//! a posted-receive queue). Callers holding several receives with the
+//! same `(source, tag)` matcher must progress them in posting order —
+//! the completion sets do this automatically; testing only the newest of
+//! several same-matcher requests may legally deliver it the oldest
+//! message. A true pre-posted matching queue is future work (ROADMAP).
+//!
+//! Nonblocking collectives (`Ibarrier`/`Ibcast`/`Iallreduce`) are
+//! expressed as schedules of the same eager/rendezvous point-to-point
+//! steps, advanced by the shared progress loop; their rounds interleave
+//! freely with unrelated traffic.
+
+use std::marker::PhantomData;
+
+use crate::comm::{Source, Status, Tag, COLLECTIVE_TAG_BASE};
+use crate::datatype::{reduce_in_place, Datatype, ReduceOp};
+use crate::error::MpiError;
+use crate::progress::{CommCtx, SendOp};
+
+/// Base of the nonblocking-collective tag space, below every blocking
+/// collective tag. Each initiated nonblocking collective draws a unique
+/// tag from here (see [`crate::Comm`]'s per-communicator sequence
+/// counter) so the rounds of two outstanding collectives of the same type
+/// can never cross-match.
+pub(crate) const NBC_TAG_BASE: i32 = COLLECTIVE_TAG_BASE - 64;
+
+/// Per-operation offset within one sequence slot.
+pub(crate) const NBC_KIND_BARRIER: i32 = 0;
+pub(crate) const NBC_KIND_BCAST: i32 = 1;
+pub(crate) const NBC_KIND_ALLREDUCE: i32 = 2;
+
+/// Tag for nonblocking collective number `seq` of kind `kind` on a
+/// communicator. MPI requires every rank to issue collectives on a
+/// communicator in the same order, so per-rank counters agree. The
+/// sequence wraps far before the i32 tag space runs out; a wrap-distance
+/// collision would need ~2^20 simultaneously outstanding collectives.
+pub(crate) fn nbc_tag(seq: u64, kind: i32) -> i32 {
+    NBC_TAG_BASE - ((seq & 0xF_FFFF) as i32 * 4 + kind)
+}
+
+/// Outcome of [`Request::test_any`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestAny {
+    /// `index`, `status` of a completed request.
+    Completed(usize, Status),
+    /// Active requests exist but none has completed yet.
+    NoneReady,
+    /// No active request in the set (`MPI_UNDEFINED`).
+    NoneActive,
+}
+
+/// A nonblocking operation handle (`MPI_Request`).
+///
+/// The lifetime ties the request to the buffers it references; the
+/// `*_raw` constructors on [`crate::Comm`] produce `Request<'static>` for
+/// embedders whose buffers (guest linear memory) outlive the request
+/// table.
+pub struct Request<'buf> {
+    ctx: CommCtx,
+    kind: Kind,
+    persistent: Option<PersistentOp>,
+    _buf: PhantomData<&'buf mut [u8]>,
+}
+
+// Safety: the raw buffer pointers inside `kind` are only dereferenced by
+// the owning rank's thread (requests never migrate mid-operation; the
+// embedder keeps each rank's request table on its own thread).
+unsafe impl Send for Request<'_> {}
+
+#[derive(Clone, Copy)]
+enum PersistentOp {
+    Send { ptr: *const u8, len: usize, dest: u32, tag: i32 },
+    Recv { ptr: *mut u8, len: usize, src: Source, tag: Tag },
+}
+
+enum Kind {
+    /// `MPI_REQUEST_NULL` (or a retired one-shot request).
+    Null,
+    /// Persistent request between `Start` calls.
+    Inactive,
+    /// Completed, status not yet retrieved.
+    Done(Status),
+    /// Failed during progress; the error is latched until retrieved by
+    /// `wait`/`test`/a completion set (so errors discovered while another
+    /// operation drives the progress loop are not lost, and a failed
+    /// persistent request returns to a restartable `Inactive`).
+    Failed(MpiError),
+    Send { op: SendOp, dest: u32, tag: i32, len: usize },
+    Recv { ptr: *mut u8, len: usize, src: Source, tag: Tag },
+    Coll(Box<CollState>),
+}
+
+impl Status {
+    /// The "empty" status MPI returns for null/inactive requests.
+    pub fn empty() -> Status {
+        Status { source: u32::MAX, tag: -1, bytes: 0 }
+    }
+}
+
+impl<'buf> Request<'buf> {
+    // --- constructors (crate-internal; the public surface is on Comm) ---
+
+    pub(crate) fn send(
+        ctx: CommCtx,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'buf>, MpiError> {
+        let op = ctx.start_send(ptr, len, dest, tag)?;
+        Ok(Request {
+            ctx,
+            kind: Kind::Send { op, dest, tag, len },
+            persistent: None,
+            _buf: PhantomData,
+        })
+    }
+
+    pub(crate) fn recv(
+        ctx: CommCtx,
+        ptr: *mut u8,
+        len: usize,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'buf>, MpiError> {
+        if let Source::Rank(r) = src {
+            ctx.check_rank(r)?;
+        }
+        Ok(Request {
+            ctx,
+            kind: Kind::Recv { ptr, len, src, tag },
+            persistent: None,
+            _buf: PhantomData,
+        })
+    }
+
+    pub(crate) fn send_init(
+        ctx: CommCtx,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'buf>, MpiError> {
+        ctx.check_rank(dest)?;
+        Ok(Request {
+            ctx,
+            kind: Kind::Inactive,
+            persistent: Some(PersistentOp::Send { ptr, len, dest, tag }),
+            _buf: PhantomData,
+        })
+    }
+
+    pub(crate) fn recv_init(
+        ctx: CommCtx,
+        ptr: *mut u8,
+        len: usize,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Request<'buf>, MpiError> {
+        if let Source::Rank(r) = src {
+            ctx.check_rank(r)?;
+        }
+        Ok(Request {
+            ctx,
+            kind: Kind::Inactive,
+            persistent: Some(PersistentOp::Recv { ptr, len, src, tag }),
+            _buf: PhantomData,
+        })
+    }
+
+    pub(crate) fn coll(ctx: CommCtx, state: CollState) -> Request<'buf> {
+        Request { ctx, kind: Kind::Coll(Box::new(state)), persistent: None, _buf: PhantomData }
+    }
+
+    // --- introspection --------------------------------------------------
+
+    /// True for `MPI_REQUEST_NULL` / retired requests.
+    pub fn is_null(&self) -> bool {
+        matches!(self.kind, Kind::Null)
+    }
+
+    /// True for persistent requests (created by `send_init`/`recv_init`).
+    pub fn is_persistent(&self) -> bool {
+        self.persistent.is_some()
+    }
+
+    /// True when the operation has finished (or there is nothing to wait
+    /// for): `Done`, `Failed`, `Null`, or an inactive persistent request.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.kind, Kind::Done(_) | Kind::Failed(_) | Kind::Null | Kind::Inactive)
+    }
+
+    /// An operation is still running.
+    fn is_pending(&self) -> bool {
+        matches!(self.kind, Kind::Send { .. } | Kind::Recv { .. } | Kind::Coll(_))
+    }
+
+    /// The request participates in `*any`/`*some` completion-set
+    /// operations: pending, or completed (or failed) with an unretrieved
+    /// outcome. Null and inactive persistent requests do not participate
+    /// (MPI's `MPI_UNDEFINED` cases).
+    pub fn participates(&self) -> bool {
+        self.is_pending() || matches!(self.kind, Kind::Done(_) | Kind::Failed(_))
+    }
+
+    /// Completed with an unretrieved outcome (success or failure).
+    fn is_retirable(&self) -> bool {
+        matches!(self.kind, Kind::Done(_) | Kind::Failed(_))
+    }
+
+    /// True when dropping this request without completing it is harmless
+    /// to peers: receives leave their (unmatched) message queued for
+    /// other receives, and finished/null/inactive requests hold nothing.
+    /// Active sends and collectives must run to completion first or the
+    /// peer would lose data (`MPI_Request_free` semantics).
+    pub fn safe_to_detach(&self) -> bool {
+        !matches!(self.kind, Kind::Send { .. } | Kind::Coll(_))
+    }
+
+    /// True when the operation finishes without any further action from
+    /// this rank: an initiated send's payload is drained by the
+    /// *receiver* (eager from the mailbox, rendezvous straight from the
+    /// pinned buffer), so the request only needs to stay alive — parked,
+    /// not driven — until the peer gets to it.
+    pub fn completes_passively(&self) -> bool {
+        matches!(self.kind, Kind::Send { .. })
+    }
+
+    /// True when this request requires active driving from the owning
+    /// rank's progress loop: pending receives and collectives. Sends
+    /// complete passively and retired/inactive requests hold nothing, so
+    /// a rank whose table contains none of these can park on a condvar
+    /// instead of polling.
+    pub fn needs_progress(&self) -> bool {
+        matches!(self.kind, Kind::Recv { .. } | Kind::Coll(_))
+    }
+
+    // --- lifecycle ------------------------------------------------------
+
+    /// Activate a persistent request (`MPI_Start`). Errors on non-persistent
+    /// or still-active requests.
+    pub fn start(&mut self) -> Result<(), MpiError> {
+        let Some(op) = self.persistent else {
+            return Err(MpiError::CollectiveMismatch(
+                "MPI_Start on a non-persistent request".into(),
+            ));
+        };
+        if self.participates() {
+            return Err(MpiError::CollectiveMismatch(
+                "MPI_Start on an active request".into(),
+            ));
+        }
+        self.ctx.charge_call();
+        self.kind = match op {
+            PersistentOp::Send { ptr, len, dest, tag } => {
+                let op = self.ctx.start_send(ptr, len, dest, tag)?;
+                Kind::Send { op, dest, tag, len }
+            }
+            PersistentOp::Recv { ptr, len, src, tag } => Kind::Recv { ptr, len, src, tag },
+        };
+        Ok(())
+    }
+
+    /// `MPI_Startall`.
+    pub fn start_all(reqs: &mut [Request<'_>]) -> Result<(), MpiError> {
+        for r in reqs {
+            r.start()?;
+        }
+        Ok(())
+    }
+
+    /// Drive the operation as far as possible without blocking. Completed
+    /// operations transition to `Done`; failures latch in `Failed` (after
+    /// cancelling any in-flight rendezvous so no dangling buffer pointer
+    /// survives). Both park until retrieved by [`Request::take_result`] /
+    /// `wait` / `test` / a completion set — so this is safe to call on
+    /// requests someone else owns (the whole-table progress loop).
+    pub fn progress(&mut self) {
+        let outcome: Result<Option<Status>, MpiError> = match &mut self.kind {
+            Kind::Null | Kind::Inactive | Kind::Done(_) | Kind::Failed(_) => return,
+            Kind::Send { op, dest, tag, len } => op.poll(&self.ctx).map(|done| {
+                done.then(|| Status { source: *dest, tag: *tag, bytes: *len })
+            }),
+            Kind::Recv { ptr, len, src, tag } => {
+                match self.ctx.try_take(*src, *tag) {
+                    Ok(Some(msg)) => {
+                        let dst = unsafe { std::slice::from_raw_parts_mut(*ptr, *len) };
+                        self.ctx.deliver(msg, Some(dst)).map(|(st, _)| Some(st))
+                    }
+                    Ok(None) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            }
+            Kind::Coll(state) => state.poll(&self.ctx),
+        };
+        match outcome {
+            Ok(Some(st)) => self.kind = Kind::Done(st),
+            Ok(None) => {}
+            Err(e) => {
+                self.kind.cancel_in_flight(&self.ctx);
+                self.kind = Kind::Failed(e);
+            }
+        }
+    }
+
+    /// Retire a completed request: returns its status — or the latched
+    /// error — and resets the request to `Null` (one-shot) or `Inactive`
+    /// (persistent, which stays restartable even after a failure). Null
+    /// and inactive requests yield the empty status.
+    ///
+    /// # Panics
+    /// On a still-pending request; check [`Request::is_complete`] first.
+    pub fn take_result(&mut self) -> Result<Status, MpiError> {
+        let retired = if self.persistent.is_some() { Kind::Inactive } else { Kind::Null };
+        match std::mem::replace(&mut self.kind, retired) {
+            Kind::Done(st) => Ok(st),
+            Kind::Failed(e) => Err(e),
+            Kind::Inactive => {
+                self.kind = Kind::Inactive;
+                Ok(Status::empty())
+            }
+            Kind::Null => {
+                self.kind = Kind::Null;
+                Ok(Status::empty())
+            }
+            active => {
+                self.kind = active;
+                panic!("take_result on an incomplete request");
+            }
+        }
+    }
+
+    fn latch_error(&mut self, e: MpiError) {
+        // Discarding the operation state must not leave queued rendezvous
+        // RTS messages pointing into buffers we are about to free.
+        self.kind.cancel_in_flight(&self.ctx);
+        self.kind = Kind::Failed(e);
+    }
+
+    /// `MPI_Test`: progress, and if complete return the status (retiring
+    /// the request; a latched failure surfaces as the `Err`).
+    pub fn test(&mut self) -> Result<Option<Status>, MpiError> {
+        self.progress();
+        if self.is_complete() {
+            self.take_result().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Wait`: block until complete, return the status.
+    pub fn wait(&mut self) -> Result<Status, MpiError> {
+        // Receives can park on the mailbox condvar instead of polling.
+        if let Kind::Recv { ptr, len, src, tag } = self.kind {
+            let took = self.ctx.take_blocking(src, tag);
+            match took {
+                Ok(msg) => {
+                    let dst = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+                    let delivered = self.ctx.deliver(msg, Some(dst));
+                    match delivered {
+                        Ok((st, _)) => self.kind = Kind::Done(st),
+                        Err(e) => self.latch_error(e),
+                    }
+                }
+                Err(e) => self.latch_error(e),
+            }
+            return self.take_result();
+        }
+        // Sends park on the rendezvous slot.
+        let send_outcome = match &mut self.kind {
+            Kind::Send { op, dest, tag, len } => {
+                Some((op.wait(&self.ctx), Status { source: *dest, tag: *tag, bytes: *len }))
+            }
+            _ => None,
+        };
+        if let Some((result, st)) = send_outcome {
+            match result {
+                Ok(()) => self.kind = Kind::Done(st),
+                Err(e) => self.latch_error(e),
+            }
+            return self.take_result();
+        }
+        // Collectives (and null/inactive/done/failed): poll with backoff.
+        let mut spins = 0u32;
+        loop {
+            self.progress();
+            if self.is_complete() {
+                return self.take_result();
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    // --- completion sets ------------------------------------------------
+
+    /// `MPI_Waitall`: wait for every request; statuses in request order.
+    /// On failure the first error is returned after every request has
+    /// been driven to completion and retired.
+    pub fn wait_all(reqs: &mut [Request<'_>]) -> Result<Vec<Status>, MpiError> {
+        // Progress in index order until all complete, then retire. Driving
+        // them jointly (rather than waiting one by one) lets later
+        // requests run their protocols while earlier ones are stuck.
+        let mut spins = 0u32;
+        loop {
+            let mut all = true;
+            for r in reqs.iter_mut() {
+                r.progress();
+                all &= r.is_complete();
+            }
+            if all {
+                let mut statuses = Vec::with_capacity(reqs.len());
+                let mut first_err = None;
+                for r in reqs.iter_mut() {
+                    match r.take_result() {
+                        Ok(st) => statuses.push(st),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                return match first_err {
+                    None => Ok(statuses),
+                    Some(e) => Err(e),
+                };
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// `MPI_Waitany`: block until one active request completes; `None`
+    /// when the set has no active request (`MPI_UNDEFINED`).
+    pub fn wait_any(reqs: &mut [Request<'_>]) -> Result<Option<(usize, Status)>, MpiError> {
+        let mut spins = 0u32;
+        loop {
+            match Self::test_any(reqs)? {
+                TestAny::Completed(i, st) => return Ok(Some((i, st))),
+                TestAny::NoneActive => return Ok(None),
+                TestAny::NoneReady => backoff(&mut spins),
+            }
+        }
+    }
+
+    /// `MPI_Waitsome`: block until at least one active request completes;
+    /// returns every request completed in that pass. Empty result means no
+    /// active request existed (`MPI_UNDEFINED`).
+    pub fn wait_some(reqs: &mut [Request<'_>]) -> Result<Vec<(usize, Status)>, MpiError> {
+        if !reqs.iter().any(|r| r.participates()) {
+            return Ok(Vec::new());
+        }
+        let mut spins = 0u32;
+        loop {
+            let mut done = Vec::new();
+            let mut failed: Option<usize> = None;
+            for (i, r) in reqs.iter_mut().enumerate() {
+                if !r.participates() {
+                    continue;
+                }
+                r.progress();
+                match &r.kind {
+                    Kind::Done(_) => {
+                        done.push((i, r.take_result().expect("done retires cleanly")));
+                    }
+                    // Leave failures latched: successful completions from
+                    // this pass must be reported first, never discarded.
+                    Kind::Failed(_) => failed = failed.or(Some(i)),
+                    _ => {}
+                }
+            }
+            if !done.is_empty() {
+                return Ok(done);
+            }
+            if let Some(i) = failed {
+                return Err(reqs[i].take_result().expect_err("failed retires to error"));
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// `MPI_Testall`: `Some(statuses)` iff every request is complete
+    /// (retiring them all); `None` otherwise (none retired). On failure
+    /// the first error is returned, with every request retired.
+    pub fn test_all(reqs: &mut [Request<'_>]) -> Result<Option<Vec<Status>>, MpiError> {
+        let mut all = true;
+        for r in reqs.iter_mut() {
+            r.progress();
+            all &= r.is_complete();
+        }
+        if !all {
+            return Ok(None);
+        }
+        let mut statuses = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
+        for r in reqs.iter_mut() {
+            match r.take_result() {
+                Ok(st) => statuses.push(st),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(Some(statuses)),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// `MPI_Testany`: progress in index order, retiring and returning the
+    /// first request found complete.
+    pub fn test_any(reqs: &mut [Request<'_>]) -> Result<TestAny, MpiError> {
+        let mut any_active = false;
+        for (i, r) in reqs.iter_mut().enumerate() {
+            if !r.participates() {
+                continue;
+            }
+            any_active = true;
+            r.progress();
+            if r.is_retirable() {
+                return Ok(TestAny::Completed(i, r.take_result()?));
+            }
+        }
+        Ok(if any_active { TestAny::NoneReady } else { TestAny::NoneActive })
+    }
+}
+
+impl Kind {
+    /// Cancel (or ride out) any rendezvous send still referencing buffers
+    /// owned by this request's state — called before the state is dropped
+    /// so no dangling RTS pointer survives in a destination mailbox.
+    fn cancel_in_flight(&mut self, ctx: &CommCtx) {
+        match self {
+            Kind::Send { op, .. } => op.cancel(ctx),
+            Kind::Coll(state) => state.cancel(ctx),
+            _ => {}
+        }
+    }
+}
+
+impl Drop for Request<'_> {
+    fn drop(&mut self) {
+        // A dropped in-flight operation must not leave a dangling buffer
+        // pointer in a destination mailbox (user buffers for sends,
+        // state-owned accumulators for collectives).
+        self.kind.cancel_in_flight(&self.ctx);
+    }
+}
+
+/// Escalating wait-loop backoff: spin, then yield, then sleep — shared by
+/// every polling wait in the substrate and by embedder-level completion
+/// loops, so parked ranks don't burn a core while their peers compute.
+/// Callers keep a counter starting at 0 and pass it on every idle pass.
+pub fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else if *spins < 256 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(20));
+    }
+}
+
+// --- nonblocking collective state machines ------------------------------
+
+/// One in-progress nonblocking collective.
+pub(crate) enum CollState {
+    Barrier(IbarrierState),
+    Bcast(IbcastState),
+    Allreduce(IallreduceState),
+}
+
+impl CollState {
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        match self {
+            CollState::Barrier(s) => s.poll(ctx),
+            CollState::Bcast(s) => s.poll(ctx),
+            CollState::Allreduce(s) => s.poll(ctx),
+        }
+    }
+
+    fn cancel(&mut self, ctx: &CommCtx) {
+        match self {
+            CollState::Barrier(s) => s.send.cancel(ctx),
+            CollState::Bcast(s) => s.send.cancel(ctx),
+            CollState::Allreduce(s) => s.send.cancel(ctx),
+        }
+    }
+}
+
+/// A point-to-point sub-step of a collective schedule: a send that may be
+/// in flight plus a receive that may not have arrived yet.
+struct StepSend(Option<SendOp>);
+
+impl StepSend {
+    fn new() -> StepSend {
+        StepSend(None)
+    }
+
+    /// Ensure the send is started, then poll it.
+    fn drive(
+        &mut self,
+        ctx: &CommCtx,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<bool, MpiError> {
+        if self.0.is_none() {
+            self.0 = Some(ctx.start_send(ptr, len, dest, tag)?);
+        }
+        self.0.as_mut().unwrap().poll(ctx)
+    }
+
+    fn reset(&mut self) {
+        self.0 = None;
+    }
+
+    fn cancel(&mut self, ctx: &CommCtx) {
+        if let Some(op) = &mut self.0 {
+            op.cancel(ctx);
+        }
+        self.0 = None;
+    }
+}
+
+/// `MPI_Ibarrier`: dissemination, ⌈log₂ p⌉ rounds driven incrementally.
+pub(crate) struct IbarrierState {
+    tag: i32,
+    k: u32,
+    token_out: Box<[u8; 1]>,
+    token_in: Box<[u8; 1]>,
+    send: StepSend,
+    sent: bool,
+    received: bool,
+}
+
+impl IbarrierState {
+    pub fn new(tag: i32) -> IbarrierState {
+        IbarrierState {
+            tag,
+            k: 1,
+            token_out: Box::new([1]),
+            token_in: Box::new([0]),
+            send: StepSend::new(),
+            sent: false,
+            received: false,
+        }
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size();
+        let me = ctx.rank;
+        loop {
+            if p == 1 || self.k >= p {
+                return Ok(Some(Status { source: me, tag: 0, bytes: 0 }));
+            }
+            let to = (me + self.k) % p;
+            let from = (me + p - self.k) % p;
+            if !self.sent {
+                self.sent = self.send.drive(
+                    ctx,
+                    self.token_out.as_ptr(),
+                    1,
+                    to,
+                    self.tag,
+                )?;
+            }
+            if !self.received {
+                match ctx.try_take(Source::Rank(from), Tag::Value(self.tag))? {
+                    Some(msg) => {
+                        ctx.deliver(msg, Some(&mut self.token_in[..]))?;
+                        self.received = true;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            if self.sent && self.received {
+                self.k <<= 1;
+                self.send.reset();
+                self.sent = false;
+                self.received = false;
+            } else {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// `MPI_Ibcast`: the binomial tree of [`crate::Comm::bcast`] as a state
+/// machine. Non-roots first await the block from their parent (written
+/// straight into the user buffer — rendezvous payloads land zero-copy),
+/// then relay it to their subtree.
+pub(crate) struct IbcastState {
+    buf: *mut u8,
+    len: usize,
+    root: u32,
+    tag: i32,
+    /// Current tree mask: the receive mask while `receiving`, then the
+    /// send mask walking down.
+    mask: u32,
+    receiving: bool,
+    send: StepSend,
+}
+
+impl IbcastState {
+    pub fn new(
+        ctx: &CommCtx,
+        buf: *mut u8,
+        len: usize,
+        root: u32,
+        tag: i32,
+    ) -> Result<IbcastState, MpiError> {
+        ctx.check_rank(root)?;
+        let p = ctx.size();
+        let vr = (ctx.rank + p - root) % p;
+        let (mask, receiving) = if p == 1 {
+            (0, false)
+        } else if vr == 0 {
+            // Root: highest tree level, send-only.
+            let mut m = 1u32;
+            while m < p {
+                m <<= 1;
+            }
+            (m >> 1, false)
+        } else {
+            // Parent hangs off our lowest set bit.
+            (vr & vr.wrapping_neg(), true)
+        };
+        Ok(IbcastState { buf, len, root, tag, mask, receiving, send: StepSend::new() })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size();
+        let vr = (ctx.rank + p - self.root) % p;
+        if self.receiving {
+            let src = (vr - self.mask + self.root) % p;
+            match ctx.try_take(Source::Rank(src), Tag::Value(self.tag))? {
+                Some(msg) => {
+                    let got = msg.payload.len();
+                    if got != self.len {
+                        // Consume (completing any handshake) then report.
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(self.buf, self.len)
+                        };
+                        let _ = ctx.deliver(msg, Some(&mut dst[..self.len.min(got)]));
+                        return Err(MpiError::CollectiveMismatch(format!(
+                            "ibcast buffers differ: got {got} bytes, expected {}",
+                            self.len
+                        )));
+                    }
+                    let dst =
+                        unsafe { std::slice::from_raw_parts_mut(self.buf, self.len) };
+                    ctx.deliver(msg, Some(dst))?;
+                    self.receiving = false;
+                    self.mask >>= 1;
+                }
+                None => return Ok(None),
+            }
+        }
+        while self.mask > 0 {
+            if vr + self.mask < p {
+                let dst = (vr + self.mask + self.root) % p;
+                if !self.send.drive(ctx, self.buf, self.len, dst, self.tag)? {
+                    return Ok(None);
+                }
+                self.send.reset();
+            }
+            self.mask >>= 1;
+        }
+        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: self.len }))
+    }
+}
+
+/// `MPI_Iallreduce`: recursive doubling with the non-power-of-two fold of
+/// [`crate::Comm::allreduce`], advanced round by round. The accumulator
+/// and round buffers are owned by the state; the result lands in the
+/// caller's receive buffer at completion.
+pub(crate) struct IallreduceState {
+    out: *mut u8,
+    dt: Datatype,
+    op: ReduceOp,
+    tag: i32,
+    acc: Vec<u8>,
+    incoming: Vec<u8>,
+    p2: u32,
+    rem: u32,
+    new_rank: i64,
+    mask: u32,
+    phase: ArPhase,
+    send: StepSend,
+    sent: bool,
+    received: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArPhase {
+    FoldSend,
+    FoldRecv,
+    Round,
+    UnfoldSend,
+    UnfoldRecv,
+    Finish,
+}
+
+impl IallreduceState {
+    pub fn new(
+        ctx: &CommCtx,
+        send_buf: &[u8],
+        out: *mut u8,
+        out_len: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        tag: i32,
+    ) -> Result<IallreduceState, MpiError> {
+        if out_len != send_buf.len() {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "iallreduce buffers differ: send {}, recv {out_len}",
+                send_buf.len()
+            )));
+        }
+        let p = ctx.size();
+        let me = ctx.rank;
+        let (p2, rem) = if p == 1 {
+            (1, 0)
+        } else {
+            let p2 = 1u32 << (31 - p.leading_zeros());
+            (p2, p - p2)
+        };
+        let (phase, new_rank) = if p == 1 {
+            (ArPhase::Finish, 0)
+        } else if me < 2 * rem {
+            if me % 2 == 0 {
+                (ArPhase::FoldSend, -1)
+            } else {
+                (ArPhase::FoldRecv, (me / 2) as i64)
+            }
+        } else {
+            (ArPhase::Round, (me - rem) as i64)
+        };
+        Ok(IallreduceState {
+            out,
+            dt,
+            op,
+            tag,
+            acc: send_buf.to_vec(),
+            incoming: vec![0u8; send_buf.len()],
+            p2,
+            rem,
+            new_rank,
+            mask: 1,
+            phase,
+            send: StepSend::new(),
+            sent: false,
+            received: false,
+        })
+    }
+
+    fn recv_exact(
+        &mut self,
+        ctx: &CommCtx,
+        src: u32,
+    ) -> Result<bool, MpiError> {
+        match ctx.try_take(Source::Rank(src), Tag::Value(self.tag))? {
+            Some(msg) => {
+                let got = msg.payload.len();
+                if got != self.incoming.len() {
+                    let keep = self.incoming.len().min(got);
+                    let _ = ctx.deliver(msg, Some(&mut self.incoming[..keep]));
+                    return Err(MpiError::CollectiveMismatch(format!(
+                        "iallreduce round block is {got} bytes, expected {}",
+                        self.incoming.len()
+                    )));
+                }
+                ctx.deliver(msg, Some(&mut self.incoming[..]))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let me = ctx.rank;
+        loop {
+            match self.phase {
+                ArPhase::FoldSend => {
+                    if !self.send.drive(
+                        ctx,
+                        self.acc.as_ptr(),
+                        self.acc.len(),
+                        me + 1,
+                        self.tag,
+                    )? {
+                        return Ok(None);
+                    }
+                    self.send.reset();
+                    self.phase = ArPhase::UnfoldRecv;
+                }
+                ArPhase::FoldRecv => {
+                    if !self.recv_exact(ctx, me - 1)? {
+                        return Ok(None);
+                    }
+                    reduce_in_place(self.dt, self.op, &mut self.acc, &self.incoming)?;
+                    self.phase = ArPhase::Round;
+                }
+                ArPhase::Round => {
+                    if self.mask >= self.p2 {
+                        self.phase = if me < 2 * self.rem {
+                            // Odd folded ranks return the result.
+                            ArPhase::UnfoldSend
+                        } else {
+                            ArPhase::Finish
+                        };
+                        continue;
+                    }
+                    let nr = self.new_rank as u32;
+                    let partner_nr = nr ^ self.mask;
+                    let partner = if partner_nr < self.rem {
+                        partner_nr * 2 + 1
+                    } else {
+                        partner_nr + self.rem
+                    };
+                    if !self.sent {
+                        self.sent = self.send.drive(
+                            ctx,
+                            self.acc.as_ptr(),
+                            self.acc.len(),
+                            partner,
+                            self.tag,
+                        )?;
+                    }
+                    if !self.received {
+                        self.received = self.recv_exact(ctx, partner)?;
+                    }
+                    if self.sent && self.received {
+                        reduce_in_place(self.dt, self.op, &mut self.acc, &self.incoming)?;
+                        self.mask <<= 1;
+                        self.send.reset();
+                        self.sent = false;
+                        self.received = false;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+                ArPhase::UnfoldSend => {
+                    if !self.send.drive(
+                        ctx,
+                        self.acc.as_ptr(),
+                        self.acc.len(),
+                        me - 1,
+                        self.tag,
+                    )? {
+                        return Ok(None);
+                    }
+                    self.send.reset();
+                    self.phase = ArPhase::Finish;
+                }
+                ArPhase::UnfoldRecv => {
+                    if !self.recv_exact(ctx, me + 1)? {
+                        return Ok(None);
+                    }
+                    self.acc.copy_from_slice(&self.incoming);
+                    self.phase = ArPhase::Finish;
+                }
+                ArPhase::Finish => {
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(self.out, self.acc.len())
+                    };
+                    out.copy_from_slice(&self.acc);
+                    return Ok(Some(Status {
+                        source: me,
+                        tag: 0,
+                        bytes: self.acc.len(),
+                    }));
+                }
+            }
+        }
+    }
+}

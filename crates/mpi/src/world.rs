@@ -7,19 +7,33 @@ use std::sync::Arc;
 use crate::clock::ClockMode;
 use crate::comm::Comm;
 use crate::message::Mailbox;
+use crate::progress::{ProtocolConfig, ProtocolStats};
 
 /// Shared world state.
 pub struct World {
     pub(crate) size: u32,
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) mode: ClockMode,
+    /// Eager/rendezvous switch point and eager-buffer budgets.
+    pub(crate) protocol: ProtocolConfig,
+    /// Protocol traffic counters.
+    pub(crate) stats: ProtocolStats,
 }
 
 impl World {
     pub(crate) fn new(size: u32, mode: ClockMode) -> Arc<World> {
+        let protocol = ProtocolConfig::from_mode(&mode);
+        Self::new_with_protocol(size, mode, protocol)
+    }
+
+    pub(crate) fn new_with_protocol(
+        size: u32,
+        mode: ClockMode,
+        protocol: ProtocolConfig,
+    ) -> Arc<World> {
         assert!(size >= 1, "world must have at least one rank");
-        let mailboxes = (0..size).map(|_| Mailbox::default()).collect();
-        Arc::new(World { size, mailboxes, mode })
+        let mailboxes = (0..size).map(|_| Mailbox::new(protocol.eager_capacity)).collect();
+        Arc::new(World { size, mailboxes, mode, protocol, stats: ProtocolStats::default() })
     }
 
     pub fn size(&self) -> u32 {
@@ -27,7 +41,8 @@ impl World {
     }
 
     /// Unblock every rank (used when a rank panics so the others do not
-    /// hang forever on a receive that will never be satisfied).
+    /// hang forever on a receive that will never be satisfied). Also fails
+    /// queued rendezvous handshakes so blocked senders wake up.
     pub(crate) fn shutdown(&self) {
         for mb in &self.mailboxes {
             mb.shutdown();
@@ -49,13 +64,38 @@ where
 
 /// [`run_world`] with an explicit clock mode. Passing
 /// [`ClockMode::Virtual`] makes every rank track LogP-style simulated time
-/// (see crate docs); `Comm::wtime` then reads the virtual clock.
+/// (see crate docs); `Comm::wtime` then reads the virtual clock. The
+/// message protocol (eager threshold, buffer budgets) is derived from the
+/// mode; use [`run_world_with_protocol`] to override it.
 pub fn run_world_with<R, F>(size: u32, mode: ClockMode, body: F) -> Vec<R>
 where
     R: Send + 'static,
     F: Fn(Comm) -> R + Send + Sync + 'static,
 {
-    let world = World::new(size, mode);
+    run_world_on(World::new(size, mode), body)
+}
+
+/// [`run_world_with`] with an explicit [`ProtocolConfig`] — used by the
+/// protocol A/B benchmarks (e.g. forcing the seed's eager-only behavior).
+pub fn run_world_with_protocol<R, F>(
+    size: u32,
+    mode: ClockMode,
+    protocol: ProtocolConfig,
+    body: F,
+) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    run_world_on(World::new_with_protocol(size, mode, protocol), body)
+}
+
+fn run_world_on<R, F>(world: Arc<World>, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    let size = world.size;
     let body = Arc::new(body);
 
     let handles: Vec<_> = (0..size)

@@ -1,0 +1,670 @@
+//! Progress-engine integration tests: the rendezvous protocol, bounded
+//! eager buffering, true nonblocking requests, persistent requests, and
+//! nonblocking collectives.
+//!
+//! The centerpiece is a differential property test: random interleavings
+//! of `Isend`/`Irecv`/`Wait`/`Test`/persistent-start must produce
+//! byte-identical data and statuses to the plain blocking send/recv
+//! formulation, in both real-time and virtual-clock worlds.
+
+use proptest::prelude::*;
+
+use mpi_substrate::{
+    run_world_with, run_world_with_protocol, ClockMode, Comm, Datatype, ProtocolConfig,
+    ReduceOp, Request, Source, Status, Tag, TestAny,
+};
+use netsim::{CostModel, SystemProfile};
+
+fn virtual_mode() -> ClockMode {
+    ClockMode::Virtual(CostModel::native(SystemProfile::container()))
+}
+
+/// Deterministic payload for message `i` of `len` bytes.
+fn payload(i: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|j| (i * 31 + j * 7 + 13) as u8).collect()
+}
+
+// --- zero-copy rendezvous (ISSUE acceptance criterion) ------------------
+
+/// Large messages must travel by rendezvous with no intermediate heap
+/// copy of the payload: the eager-copy counter stays at the small-message
+/// traffic while the rendezvous counters account for the large payload.
+#[test]
+fn large_messages_skip_the_eager_copy() {
+    const BIG: usize = 256 << 10; // far above every profile's threshold
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&payload(1, BIG), 1, 5).unwrap();
+        } else {
+            let mut buf = vec![0u8; BIG];
+            let st = comm.recv(&mut buf, Source::Rank(0), Tag::Value(5)).unwrap();
+            assert_eq!(st.bytes, BIG);
+            assert_eq!(buf, payload(1, BIG));
+        }
+        comm.protocol_stats()
+    });
+    let stats = out[0];
+    assert_eq!(stats.rendezvous_messages, 1, "{stats:?}");
+    assert_eq!(stats.rendezvous_bytes, BIG as u64, "{stats:?}");
+    // No eager copy of the big payload was ever made.
+    assert!(
+        stats.eager_bytes_copied < BIG as u64 / 2,
+        "large payload was heap-copied: {stats:?}"
+    );
+}
+
+#[test]
+fn eager_messages_still_buffer() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&payload(0, 100), 1, 1).unwrap();
+        } else {
+            let mut buf = [0u8; 100];
+            comm.recv(&mut buf, Source::Rank(0), Tag::Value(1)).unwrap();
+        }
+        comm.protocol_stats()
+    });
+    assert_eq!(out[0].eager_messages, 1);
+    assert_eq!(out[0].rendezvous_messages, 0);
+}
+
+/// A tiny eager budget forces nonblocking sends through the sender-owned
+/// deferred path; everything still arrives in order.
+#[test]
+fn bounded_eager_buffer_backpressure_preserves_order() {
+    let protocol = ProtocolConfig { eager_threshold: 1 << 20, eager_capacity: 512 };
+    let out = run_world_with_protocol(2, ClockMode::Real, protocol, |comm| {
+        const N: usize = 40;
+        if comm.rank() == 0 {
+            let bufs: Vec<Vec<u8>> = (0..N).map(|m| payload(m, 200)).collect();
+            let mut reqs: Vec<Request> = bufs
+                .iter()
+                .map(|b| comm.isend(b, 1, 0).unwrap())
+                .collect();
+            Request::wait_all(&mut reqs).unwrap();
+            comm.protocol_stats().deferred_eager_messages
+        } else {
+            // Drain slowly so the sender exhausts its credit.
+            for i in 0..N {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                let mut buf = vec![0u8; 200];
+                comm.recv(&mut buf, Source::Rank(0), Tag::Value(0)).unwrap();
+                assert_eq!(buf, payload(i, 200), "message {i} out of order");
+            }
+            0
+        }
+    });
+    // 512-byte budget, 200-byte messages: at most 2 in flight eagerly.
+    assert!(out[0] > 0, "expected deferred eager sends, got none");
+}
+
+/// A rank blocked in (or initiating) a rendezvous send must be released
+/// when the world shuts down — the panic has to propagate instead of the
+/// join hanging on a handshake nobody will answer.
+#[test]
+#[should_panic(expected = "boom")]
+fn rendezvous_send_unblocks_on_peer_panic() {
+    run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 1 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            panic!("boom");
+        }
+        // Large payload: the send parks on the rendezvous slot until the
+        // peer's shutdown fails it.
+        let big = payload(0, 256 << 10);
+        let _ = comm.send(&big, 1, 0);
+        // Sends initiated after the shutdown must fail fast too.
+        let err = comm.send(&big, 1, 0);
+        assert!(matches!(err, Err(mpi_substrate::MpiError::WorldShutdown) | Ok(())));
+    });
+}
+
+/// Send-to-self must stay eager at every size: the same thread receives
+/// later, so a rendezvous handshake could never be answered (the seed's
+/// semantics, preserved).
+#[test]
+fn large_self_send_completes_eagerly() {
+    run_world_with(1, ClockMode::Real, |comm| {
+        let big = payload(5, 256 << 10);
+        comm.send(&big, 0, 1).unwrap();
+        let mut back = vec![0u8; 256 << 10];
+        let st = comm.recv(&mut back, Source::Rank(0), Tag::Value(1)).unwrap();
+        assert_eq!(st.bytes, 256 << 10);
+        assert_eq!(back, big);
+    });
+}
+
+/// Rooted collectives must survive eager-credit exhaustion: with a budget
+/// far smaller than the aggregate traffic, blocking sends convert to
+/// matchable deferred rendezvous instead of parking invisibly on credit
+/// (which deadlocked gather: the root drains sources in rank order).
+#[test]
+fn gather_survives_tiny_eager_budget() {
+    let protocol = ProtocolConfig { eager_threshold: 1 << 20, eager_capacity: 64 };
+    run_world_with_protocol(6, ClockMode::Real, protocol, |comm| {
+        let mine = payload(comm.rank() as usize, 200);
+        let mut out = vec![0u8; 200 * 6];
+        let root_buf = (comm.rank() == 0).then_some(&mut out[..]);
+        comm.gather(&mine, root_buf, 0).unwrap();
+        if comm.rank() == 0 {
+            for r in 0..6 {
+                assert_eq!(&out[r * 200..(r + 1) * 200], &payload(r, 200)[..], "rank {r}");
+            }
+        }
+    });
+}
+
+// --- completion sets ----------------------------------------------------
+
+#[test]
+fn waitany_returns_indices_in_matching_order() {
+    run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            for i in 0..3u8 {
+                comm.send(&[i; 8], 1, i as i32).unwrap();
+            }
+        } else {
+            let mut b0 = [0u8; 8];
+            let mut b1 = [0u8; 8];
+            let mut b2 = [0u8; 8];
+            let mut seen = Vec::new();
+            {
+                // Post in tag order 2, 1, 0 — completion follows arrival.
+                let mut reqs = vec![
+                    comm.irecv(&mut b2, Source::Rank(0), Tag::Value(2)).unwrap(),
+                    comm.irecv(&mut b1, Source::Rank(0), Tag::Value(1)).unwrap(),
+                    comm.irecv(&mut b0, Source::Rank(0), Tag::Value(0)).unwrap(),
+                ];
+                while let Some((idx, st)) = Request::wait_any(&mut reqs).unwrap() {
+                    seen.push((idx, st.tag));
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(0, 2), (1, 1), (2, 0)]);
+            assert_eq!(b0, [0u8; 8]);
+            assert_eq!(b1, [1u8; 8]);
+            assert_eq!(b2, [2u8; 8]);
+        }
+    });
+}
+
+#[test]
+fn waitsome_and_testall_cover_mixed_sets() {
+    run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            let data = payload(7, 64);
+            let mut reqs = vec![comm.isend(&data, 1, 3).unwrap()];
+            // Testall until the send drains.
+            loop {
+                match Request::test_all(&mut reqs).unwrap() {
+                    Some(sts) => {
+                        assert_eq!(sts.len(), 1);
+                        break;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        } else {
+            let mut buf = vec![0u8; 64];
+            {
+                let mut reqs = vec![comm.irecv(&mut buf, Source::Any, Tag::Any).unwrap()];
+                let done = Request::wait_some(&mut reqs).unwrap();
+                assert_eq!(done.len(), 1);
+                assert_eq!(done[0].0, 0);
+                assert_eq!(done[0].1.bytes, 64);
+                // The set is now all-null: wait_some reports MPI_UNDEFINED.
+                assert!(Request::wait_some(&mut reqs).unwrap().is_empty());
+                assert!(matches!(Request::test_any(&mut reqs).unwrap(), TestAny::NoneActive));
+            }
+            assert_eq!(buf, payload(7, 64));
+        }
+    });
+}
+
+// --- persistent requests ------------------------------------------------
+
+#[test]
+fn persistent_requests_cycle_through_start() {
+    // Uses the raw (embedder) API: rewriting the buffer between Start
+    // cycles is the whole point of persistent requests, which the safe
+    // borrow-based API intentionally forbids.
+    run_world_with(2, ClockMode::Real, |comm| {
+        const ROUNDS: usize = 5;
+        if comm.rank() == 0 {
+            let mut buf = vec![0u8; 128];
+            let mut req =
+                unsafe { comm.send_init_raw(buf.as_ptr(), 128, 1, 9) }.unwrap();
+            assert!(req.is_persistent());
+            for round in 0..ROUNDS {
+                buf.copy_from_slice(&payload(round, 128));
+                req.start().unwrap();
+                req.wait().unwrap();
+            }
+        } else {
+            let mut buf = vec![0u8; 128];
+            let mut req = unsafe {
+                comm.recv_init_raw(buf.as_mut_ptr(), 128, Source::Rank(0), Tag::Value(9))
+            }
+            .unwrap();
+            for round in 0..ROUNDS {
+                req.start().unwrap();
+                let st = req.wait().unwrap();
+                assert_eq!(st.bytes, 128);
+                assert_eq!(buf, payload(round, 128), "round {round}");
+            }
+        }
+    });
+}
+
+#[test]
+fn wait_on_inactive_persistent_returns_empty_status() {
+    run_world_with(1, ClockMode::Real, |comm| {
+        let buf = [0u8; 4];
+        let mut req = comm.send_init(&buf, 0, 0).unwrap();
+        let st = req.wait().unwrap();
+        assert_eq!(st, Status::empty());
+        // Double Start without completion is an error.
+        req.start().unwrap();
+        assert!(req.start().is_err());
+        let mut slice = [req];
+        Request::wait_all(&mut slice).unwrap();
+    });
+}
+
+// --- nonblocking collectives --------------------------------------------
+
+#[test]
+fn ibarrier_completes_at_various_sizes() {
+    for p in [1u32, 2, 3, 4, 7] {
+        run_world_with(p, ClockMode::Real, |comm| {
+            let mut req = comm.ibarrier().unwrap();
+            req.wait().unwrap();
+        });
+    }
+}
+
+#[test]
+fn ibcast_matches_blocking_bcast() {
+    for p in [1u32, 2, 3, 5, 8] {
+        for root in [0, p - 1] {
+            run_world_with(p, ClockMode::Real, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    payload(42, 1000)
+                } else {
+                    vec![0u8; 1000]
+                };
+                {
+                    let mut req = comm.ibcast(&mut buf, root).unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(buf, payload(42, 1000), "rank {}", comm.rank());
+            });
+        }
+    }
+}
+
+#[test]
+fn iallreduce_matches_blocking_oracle() {
+    for p in [1u32, 2, 3, 5, 6, 8] {
+        for mode in [ClockMode::Real, virtual_mode()] {
+            let out = run_world_with(p, mode, |comm| {
+                let mine: Vec<u8> = (0..4)
+                    .flat_map(|k| ((comm.rank() as f64 + 1.0) * (k as f64 + 0.5)).to_le_bytes())
+                    .collect();
+                // Oracle: blocking allreduce.
+                let mut expect = vec![0u8; 32];
+                comm.allreduce(&mine, &mut expect, Datatype::Double, ReduceOp::Sum).unwrap();
+                // Subject: nonblocking.
+                let mut got = vec![0u8; 32];
+                {
+                    let mut req = comm
+                        .iallreduce(&mine, &mut got, Datatype::Double, ReduceOp::Sum)
+                        .unwrap();
+                    req.wait().unwrap();
+                }
+                (got, expect)
+            });
+            for (rank, (got, expect)) in out.iter().enumerate() {
+                assert_eq!(got, expect, "rank {rank} p {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn iallreduce_overlaps_with_virtual_compute() {
+    // Charging local compute between initiation and completion must not
+    // add to the communication time: the wire delay and the compute
+    // overlap via max().
+    let times = run_world_with(4, virtual_mode(), |comm| {
+        let v = [1u8; 4096];
+        let mut r = [0u8; 4096];
+        let t0 = comm.virtual_time_us();
+        let mut req = comm.iallreduce(&v, &mut r, Datatype::Byte, ReduceOp::Max).unwrap();
+        comm.charge_overhead_us(2.0); // overlapped compute
+        req.wait().unwrap();
+        comm.virtual_time_us() - t0
+    });
+    let blocking = run_world_with(4, virtual_mode(), |comm| {
+        let v = [1u8; 4096];
+        let mut r = [0u8; 4096];
+        let t0 = comm.virtual_time_us();
+        comm.allreduce(&v, &mut r, Datatype::Byte, ReduceOp::Max).unwrap();
+        comm.charge_overhead_us(2.0); // serialized compute
+        comm.virtual_time_us() - t0
+    });
+    let t_nb = times.into_iter().fold(0.0f64, f64::max);
+    let t_b = blocking.into_iter().fold(0.0f64, f64::max);
+    assert!(
+        t_nb <= t_b + 1e-9,
+        "overlap must not be slower than serialize: {t_nb} vs {t_b}"
+    );
+}
+
+/// Wildcard receives must never match internal collective traffic: a
+/// `(ANY_SOURCE, ANY_TAG)` receive progressed concurrently with an
+/// `Ibarrier` has to skip the barrier tokens and take the app message.
+#[test]
+fn wildcard_receive_skips_collective_traffic() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            let mut app = [0u8; 8];
+            let mut reqs = vec![
+                comm.irecv(&mut app, Source::Any, Tag::Any).unwrap(),
+                comm.ibarrier().unwrap(),
+            ];
+            // wait_any progresses in index order: the wildcard receive is
+            // polled first, with the peer's barrier token likely queued.
+            while Request::wait_any(&mut reqs).unwrap().is_some() {}
+            drop(reqs);
+            u64::from_le_bytes(app)
+        } else {
+            let mut req = comm.ibarrier().unwrap();
+            req.wait().unwrap();
+            comm.send(&0xDEAD_BEEFu64.to_le_bytes(), 0, 3).unwrap();
+            0
+        }
+    });
+    assert_eq!(out[0], 0xDEAD_BEEF);
+}
+
+/// Two outstanding nonblocking collectives of the same type on one
+/// communicator must not cross-match each other's round messages, even
+/// when the second is completed first.
+#[test]
+fn outstanding_iallreduces_do_not_cross_match() {
+    for p in [2u32, 3, 4, 5] {
+        let out = run_world_with(p, ClockMode::Real, |comm| {
+            let a_in = (comm.rank() as i32 + 1).to_le_bytes();
+            let b_in = ((comm.rank() as i32 + 1) * 100).to_le_bytes();
+            let mut a_out = [0u8; 4];
+            let mut b_out = [0u8; 4];
+            let mut req_a =
+                comm.iallreduce(&a_in, &mut a_out, Datatype::Int, ReduceOp::Sum).unwrap();
+            // Progress A so its first-round messages are actually in
+            // flight while B runs.
+            let _ = req_a.test().unwrap();
+            let mut req_b =
+                comm.iallreduce(&b_in, &mut b_out, Datatype::Int, ReduceOp::Sum).unwrap();
+            // Complete B first: its rounds must skip A's queued messages.
+            req_b.wait().unwrap();
+            req_a.wait().unwrap();
+            drop((req_a, req_b));
+            (i32::from_le_bytes(a_out), i32::from_le_bytes(b_out))
+        });
+        let expect: i32 = (1..=p as i32).sum();
+        for (rank, &(a, b)) in out.iter().enumerate() {
+            assert_eq!(a, expect, "collective A at rank {rank} p {p}");
+            assert_eq!(b, expect * 100, "collective B at rank {rank} p {p}");
+        }
+    }
+}
+
+/// Dropping an unfinished nonblocking collective must cancel its queued
+/// rendezvous announcements (the payload pointers live in the dropped
+/// state), leaving no dangling RTS for a peer to read and no hang.
+#[test]
+fn dropping_unfinished_collective_is_safe() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        let send = payload(3, 128 << 10); // above every rendezvous threshold
+        let mut recv = vec![0u8; 128 << 10];
+        let mut req =
+            comm.iallreduce(&send, &mut recv, Datatype::Byte, ReduceOp::Max).unwrap();
+        // One progress step posts the first round's rendezvous RTS (the
+        // payload pointer targets the request's own accumulator). It may
+        // legitimately error if it consumes the RTS of a peer that has
+        // already cancelled (dropped) its own collective.
+        let _ = req.test();
+        // The drop must fail our announcement so a peer that matches it
+        // errors out instead of reading freed state or hanging.
+        drop(req);
+        comm.rank()
+    });
+    assert_eq!(out, vec![0, 1]);
+}
+
+// --- the differential property test -------------------------------------
+
+/// How the sender issues message `i`.
+#[derive(Debug, Clone, Copy)]
+enum SendMode {
+    Blocking,
+    Isend,
+    Persistent,
+}
+
+/// How the receiver takes message `i`.
+#[derive(Debug, Clone, Copy)]
+enum RecvMode {
+    Blocking,
+    Irecv,
+    Persistent,
+}
+
+#[derive(Debug, Clone)]
+struct Script {
+    /// Per message: (large?, tag 0..3, send mode, recv mode, test-poll?).
+    msgs: Vec<(bool, i32, SendMode, RecvMode, bool)>,
+}
+
+fn script_strategy() -> BoxedStrategy<Script> {
+    proptest::collection::vec(
+        (any::<bool>(), 0i32..3, 0u8..3, 0u8..3, any::<bool>()),
+        1..6,
+    )
+    .prop_map(|raw| Script {
+        msgs: raw
+            .into_iter()
+            .map(|(large, tag, s, r, t)| {
+                let sm = match s {
+                    0 => SendMode::Blocking,
+                    1 => SendMode::Isend,
+                    _ => SendMode::Persistent,
+                };
+                let rm = match r {
+                    0 => RecvMode::Blocking,
+                    1 => RecvMode::Irecv,
+                    _ => RecvMode::Persistent,
+                };
+                (large, tag, sm, rm, t)
+            })
+            .collect(),
+    })
+}
+
+/// 96 KiB clears the real-mode default (64 KiB) and the container
+/// profile's virtual threshold (32 KiB); 1 KiB stays eager everywhere.
+fn msg_len(large: bool) -> usize {
+    if large {
+        96 << 10
+    } else {
+        1 << 10
+    }
+}
+
+/// Oracle: plain blocking send/recv in posting order.
+fn run_blocking(script: &Script, mode: ClockMode) -> Vec<(Vec<u8>, Status)> {
+    let script = script.clone();
+    let mut out = run_world_with(2, mode, move |comm| {
+        if comm.rank() == 0 {
+            for (i, &(large, tag, _, _, _)) in script.msgs.iter().enumerate() {
+                comm.send(&payload(i, msg_len(large)), 1, tag).unwrap();
+            }
+            Vec::new()
+        } else {
+            script
+                .msgs
+                .iter()
+                .enumerate()
+                .map(|(_, &(large, tag, _, _, _))| {
+                    let mut buf = vec![0u8; msg_len(large)];
+                    let st =
+                        comm.recv(&mut buf, Source::Rank(0), Tag::Value(tag)).unwrap();
+                    (buf, st)
+                })
+                .collect()
+        }
+    });
+    out.pop().unwrap()
+}
+
+/// Subject: the scripted mix of nonblocking / persistent operations.
+/// Receives are posted in message order and completed via `wait_any`,
+/// which progresses in index order — so same-tag streams match FIFO.
+fn run_scripted(script: &Script, mode: ClockMode) -> Vec<(Vec<u8>, Status)> {
+    let script = script.clone();
+    let mut out = run_world_with(2, mode, move |comm| {
+        if comm.rank() == 0 {
+            sender_side(&comm, &script);
+            Vec::new()
+        } else {
+            receiver_side(&comm, &script)
+        }
+    });
+    out.pop().unwrap()
+}
+
+fn sender_side(comm: &Comm, script: &Script) {
+    let bufs: Vec<Vec<u8>> = script
+        .msgs
+        .iter()
+        .enumerate()
+        .map(|(i, &(large, ..))| payload(i, msg_len(large)))
+        .collect();
+    let mut pending: Vec<Request> = Vec::new();
+    for (i, &(_, tag, mode, _, poll)) in script.msgs.iter().enumerate() {
+        match mode {
+            SendMode::Blocking => {
+                // A blocking send may rendezvous; the receiver drains in
+                // posted order, so it cannot deadlock behind our own
+                // earlier nonblocking sends.
+                comm.send(&bufs[i], 1, tag).unwrap();
+            }
+            SendMode::Isend => {
+                let mut req = comm.isend(&bufs[i], 1, tag).unwrap();
+                if poll {
+                    let _ = req.test().unwrap(); // may or may not finish
+                }
+                if !req.is_null() {
+                    pending.push(req);
+                } else {
+                    drop(req);
+                }
+            }
+            SendMode::Persistent => {
+                let mut req = comm.send_init(&bufs[i], 1, tag).unwrap();
+                req.start().unwrap();
+                pending.push(req);
+            }
+        }
+    }
+    Request::wait_all(&mut pending).unwrap();
+}
+
+fn receiver_side(comm: &Comm, script: &Script) -> Vec<(Vec<u8>, Status)> {
+    let n = script.msgs.len();
+    let mut bufs: Vec<Vec<u8>> = script
+        .msgs
+        .iter()
+        .map(|&(large, ..)| vec![0u8; msg_len(large)])
+        .collect();
+    let mut statuses: Vec<Option<Status>> = vec![None; n];
+    {
+        let mut reqs: Vec<(usize, i32, Request)> = Vec::new();
+        // Split buffers so each request borrows its own element.
+        let mut rest: &mut [Vec<u8>] = &mut bufs;
+        for (i, &(_, tag, _, mode, poll)) in script.msgs.iter().enumerate() {
+            let (buf, tail) = rest.split_first_mut().unwrap();
+            rest = tail;
+            // The engine's contract: receives with the same matcher must
+            // be progressed in posting order (progress-at-completion
+            // matching; see crate::request docs). Testing a *new* request
+            // while an older same-tag request is unprogressed would
+            // legally steal the older message.
+            let same_tag_pending = reqs.iter().any(|&(_, t, _)| t == tag);
+            match mode {
+                RecvMode::Blocking => {
+                    // Complete everything posted so far first: a blocking
+                    // recv on the same tag would otherwise race the
+                    // posted irecvs.
+                    for (j, _, req) in reqs.iter_mut() {
+                        statuses[*j] = Some(req.wait().unwrap());
+                    }
+                    reqs.clear();
+                    statuses[i] =
+                        Some(comm.recv(buf, Source::Rank(0), Tag::Value(tag)).unwrap());
+                }
+                RecvMode::Irecv => {
+                    let mut req =
+                        comm.irecv(buf, Source::Rank(0), Tag::Value(tag)).unwrap();
+                    if poll && !same_tag_pending {
+                        if let Some(st) = req.test().unwrap() {
+                            statuses[i] = Some(st);
+                        }
+                    }
+                    if statuses[i].is_none() {
+                        reqs.push((i, tag, req));
+                    }
+                }
+                RecvMode::Persistent => {
+                    let mut req = comm
+                        .recv_init(buf, Source::Rank(0), Tag::Value(tag))
+                        .unwrap();
+                    req.start().unwrap();
+                    reqs.push((i, tag, req));
+                }
+            }
+        }
+        // Drain the remainder with wait_any (index order = posting order).
+        let mut handles: Vec<Request> = Vec::new();
+        let mut idx: Vec<usize> = Vec::new();
+        for (j, _, req) in reqs {
+            idx.push(j);
+            handles.push(req);
+        }
+        while let Some((k, st)) = Request::wait_any(&mut handles).unwrap() {
+            statuses[idx[k]] = Some(st);
+        }
+    }
+    bufs.into_iter()
+        .zip(statuses)
+        .map(|(b, st)| (b, st.expect("all messages received")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn nonblocking_matches_blocking_differentially(script in script_strategy()) {
+        for mode in [ClockMode::Real, virtual_mode()] {
+            let oracle = run_blocking(&script, mode.clone());
+            let subject = run_scripted(&script, mode);
+            prop_assert_eq!(oracle.len(), subject.len());
+            for (i, ((od, os), (sd, ss))) in oracle.iter().zip(&subject).enumerate() {
+                prop_assert_eq!(os, ss, "status mismatch at message {} ({:?})", i, script);
+                prop_assert!(od == sd, "data mismatch at message {} ({:?})", i, script);
+            }
+        }
+    }
+}

@@ -11,17 +11,41 @@ use crate::types::Limits;
 use crate::{MAX_PAGES, PAGE_SIZE};
 
 /// A 32-bit addressed linear memory.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Memory {
     bytes: Vec<u8>,
     max_pages: u32,
 }
 
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        // Preserve the full-capacity reservation (a derived clone would
+        // copy only the contents, losing the pinning guarantee).
+        let mut bytes = vec![0u8; self.max_pages as usize * PAGE_SIZE];
+        bytes.truncate(self.bytes.len());
+        bytes.copy_from_slice(&self.bytes);
+        Memory { bytes, max_pages: self.max_pages }
+    }
+}
+
 impl Memory {
     /// Create a memory honoring the module's declared limits.
+    ///
+    /// The backing buffer's full capacity (up to the declared or spec
+    /// maximum) is reserved up front, so [`Memory::grow`] never
+    /// reallocates and the base address is stable for the life of the
+    /// instance. This is the *pinning* guarantee the MPI embedder's
+    /// zero-copy pending requests rely on (raw pointers into linear
+    /// memory stay valid across `memory.grow`). The reservation is
+    /// zeroed lazily (calloc-style): it costs virtual address space, not
+    /// resident memory or memset time — which assumes an overcommitting
+    /// OS (standard Linux); strict-commit platforms would need an
+    /// mmap-reserve here instead.
     pub fn new(limits: Limits) -> Self {
         let max_pages = limits.max.unwrap_or(MAX_PAGES).min(MAX_PAGES);
-        Self { bytes: vec![0; limits.min as usize * PAGE_SIZE], max_pages }
+        let mut bytes = vec![0u8; max_pages as usize * PAGE_SIZE];
+        bytes.truncate(limits.min as usize * PAGE_SIZE);
+        Self { bytes, max_pages }
     }
 
     /// Current size in pages.
@@ -36,13 +60,16 @@ impl Memory {
 
     /// Grow by `delta` pages. Returns the previous size in pages, or -1 if
     /// the grow would exceed the declared maximum (the Wasm failure mode).
+    /// Never moves the backing buffer (see [`Memory::new`]).
     pub fn grow(&mut self, delta: u32) -> i32 {
         let old = self.size_pages();
         let Some(new) = old.checked_add(delta) else { return -1 };
         if new > self.max_pages {
             return -1;
         }
+        let base = self.bytes.as_ptr();
         self.bytes.resize(new as usize * PAGE_SIZE, 0);
+        debug_assert_eq!(base, self.bytes.as_ptr(), "linear memory must stay pinned");
         old as i32
     }
 
@@ -230,6 +257,18 @@ mod tests {
         assert_eq!(m.grow(1), 2);
         assert_eq!(m.grow(1), -1);
         assert_eq!(m.size_pages(), 3);
+    }
+
+    #[test]
+    fn grow_keeps_base_address_pinned() {
+        // The MPI embedder stores raw pointers into linear memory across
+        // host calls; growing must never move the allocation.
+        let mut m = Memory::new(Limits::new(1, Some(64)));
+        let base = m.base_ptr();
+        for _ in 0..63 {
+            assert_ne!(m.grow(1), -1);
+            assert_eq!(m.base_ptr(), base);
+        }
     }
 
     #[test]
