@@ -2,10 +2,18 @@
 //! emitting `BENCH_tiers.json` so successive engine changes have a
 //! recorded perf trajectory to compare against.
 //!
-//! Usage: `bench_tiers [out.json]` (default `BENCH_tiers.json`). Each
-//! kernel runs single-rank through the full embedder (compile once, then
-//! repeated runs); the reported figure is the best-of-N wall-clock
-//! nanoseconds per run, which is the stable measure on shared CI boxes.
+//! Usage: `bench_tiers [out.json] [--check committed.json]` (default out
+//! `BENCH_tiers.json`). Each kernel runs single-rank through the full
+//! embedder (compile once, then repeated runs); the reported figure is
+//! the best-of-N wall-clock nanoseconds per run, which is the stable
+//! measure on shared CI boxes.
+//!
+//! With `--check`, the fresh numbers are compared against a committed
+//! baseline and the process exits non-zero if any (kernel, tier) cell
+//! regressed by more than [`REGRESSION_TOLERANCE`] — the CI gate that
+//! locks in engine perf wins. The tolerance absorbs shared-runner noise;
+//! the committed file is only refreshed deliberately, with an engine
+//! change that moves the numbers.
 
 use std::time::Instant;
 
@@ -50,10 +58,65 @@ fn bench_one(runner: &Runner, wasm: &[u8], tier: Tier) -> u64 {
     (0..reps).map(|_| run()).min().unwrap()
 }
 
+/// Maximum tolerated slowdown vs the committed baseline before the check
+/// fails: `new <= committed * (1 + tolerance)`.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Parse the (self-emitted) results format: one
+/// `{"kernel": "K", "tier": "T", "ns_per_op": N}` object per line.
+fn parse_results(json: &str) -> Vec<(String, String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let field = |key: &str| -> Option<&str> {
+            let at = line.find(key)? + key.len();
+            let rest = line[at..].trim_start_matches([':', ' ', '"']);
+            Some(rest.split(['"', ',', '}']).next().unwrap_or("").trim())
+        };
+        if let (Some(k), Some(t), Some(n)) =
+            (field("\"kernel\""), field("\"tier\""), field("\"ns_per_op\""))
+        {
+            if let Ok(ns) = n.parse::<u64>() {
+                out.push((k.to_string(), t.to_string(), ns));
+            }
+        }
+    }
+    out
+}
+
+/// Compare fresh results against the committed baseline. Returns the
+/// regressed cells as (kernel, tier, committed, new).
+fn check_regressions(
+    committed: &[(String, String, u64)],
+    fresh: &[(String, String, u64)],
+) -> Vec<(String, String, u64, u64)> {
+    let mut bad = Vec::new();
+    for (k, t, old) in committed {
+        let Some((_, _, new)) = fresh.iter().find(|(fk, ft, _)| fk == k && ft == t) else {
+            continue; // kernel/tier removed: not a regression
+        };
+        if (*new as f64) > (*old as f64) * (1.0 + REGRESSION_TOLERANCE) {
+            bad.push((k.clone(), t.clone(), *old, *new));
+        }
+    }
+    bad
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_tiers.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_tiers.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--check" {
+            check_path = Some(it.next().expect("--check needs a baseline path"));
+        } else {
+            out_path = a;
+        }
+    }
+
     let runner = Runner::new();
     let mut lines = Vec::new();
+    let mut fresh = Vec::new();
     for k in kernels() {
         for tier in Tier::ALL {
             let ns = bench_one(&runner, &k.wasm, tier);
@@ -67,9 +130,57 @@ fn main() {
                 "  {{\"kernel\": \"{}\", \"tier\": \"{}\", \"ns_per_op\": {}}}",
                 k.name, tier_key, ns
             ));
+            fresh.push((k.name.to_string(), tier_key.to_string(), ns));
         }
     }
     let json = format!("[\n{}\n]\n", lines.join(",\n"));
     std::fs::write(&out_path, json).expect("write json");
     println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = parse_results(&std::fs::read_to_string(&path).expect("read baseline"));
+        assert!(!committed.is_empty(), "no baseline cells parsed from {path}");
+        let bad = check_regressions(&committed, &fresh);
+        if bad.is_empty() {
+            println!(
+                "perf check OK: all {} cells within {:.0}% of {path}",
+                committed.len(),
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for (k, t, old, new) in &bad {
+                eprintln!(
+                    "PERF REGRESSION {k}/{t}: {old} -> {new} ns/op ({:+.1}%)",
+                    (*new as f64 / *old as f64 - 1.0) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_format_and_flags_regressions() {
+        let json = "[\n  {\"kernel\": \"hpcg\", \"tier\": \"max\", \"ns_per_op\": 1000},\n  {\"kernel\": \"is\", \"tier\": \"baseline\", \"ns_per_op\": 2000}\n]\n";
+        let cells = parse_results(json);
+        assert_eq!(
+            cells,
+            vec![
+                ("hpcg".into(), "max".into(), 1000),
+                ("is".into(), "baseline".into(), 2000)
+            ]
+        );
+        // 10% slower: within tolerance. 20% slower: regression.
+        let fresh = vec![
+            ("hpcg".to_string(), "max".to_string(), 1100u64),
+            ("is".to_string(), "baseline".to_string(), 2400u64),
+        ];
+        let bad = check_regressions(&cells, &fresh);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "is");
+    }
 }

@@ -257,8 +257,9 @@ fn run(inst: &mut Instance, stack: &mut Vec<Slot>, defined_idx: usize) -> Result
             // Hot straight-line ops dispatched directly (one match, not
             // two); everything else falls through to exec::step below.
             // These arms intentionally mirror exec::step — any semantics
-            // change there must be applied here (and to the ExecOp arms
-            // in ir.rs); the differential tests are the safety net.
+            // change there must be applied here (and to the register-form
+            // handlers in dispatch.rs); the differential tests are the
+            // safety net.
             Instr::LocalGet(i) => {
                 let e = map[*i as usize];
                 let at = locals_base + (e >> 1) as usize;

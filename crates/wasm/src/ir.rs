@@ -1,38 +1,39 @@
 //! The optimizing tiers: flattening of structured Wasm bytecode into a
-//! register-style flat IR with resolved jump targets, plus the
-//! optimization pipeline run by [`crate::tier::Tier::Max`].
+//! flat IR with resolved jump targets, plus the optimization pipeline run
+//! by [`crate::tier::Tier::Max`].
 //!
 //! Flattening resolves all structured control flow (`block`/`loop`/`if`)
 //! into direct jumps with precomputed stack-unwind information (in slot
 //! units), eliminating the label-stack bookkeeping of the baseline
-//! interpreter — this is the Cranelift analog. The Max tier then runs
-//! iterated peephole passes (constant folding, local/load/store/shift
-//! fusion into superinstructions, compare-and-branch fusion, and a final
+//! interpreter — this is the Cranelift analog. The walk is **fused with
+//! the width pass**: the same single traversal of the body tracks operand
+//! widths (slot heights, v128-ness of `drop`/`select`), so the flat tiers
+//! never walk a function body twice. The Max tier then runs iterated
+//! peephole passes (constant folding, local/load/store/shift fusion into
+//! superinstructions, compare-and-branch fusion, and a final
 //! jump-threading + nop-compaction pass) — the LLVM analog.
 //!
 //! Two representations coexist:
 //!
-//! * [`Op`] — the serializable form stored in the module cache. Plain
-//!   instructions are embedded [`Instr`]s; superinstructions reference
-//!   locals by *index*.
-//! * [`ExecOp`] — the dense executable form derived by [`FlatFunc::finalize`]:
-//!   every straight-line instruction becomes its own flat variant with
-//!   immediates resolved (local indices → slot offsets), so the dispatch
-//!   loop is a single flat match with no nested `Instr` tag to re-decode
-//!   and no `Value` type tags at run time. Operands and locals live in the
-//!   per-instance slot arena; guest→guest calls push an activation frame
-//!   whose locals are a window into the same buffer (zero per-call
-//!   allocation).
-
-use std::sync::Arc;
+//! * [`Op`] — the serializable form stored in the module cache (artifact
+//!   VERSION 2). Plain instructions are embedded [`Instr`]s;
+//!   superinstructions reference locals by *index*. After the cache
+//!   artifact is persisted the stream can be dropped
+//!   ([`FlatFunc::discard_ops`]) and regenerated on demand, halving
+//!   resident compiled-module memory.
+//! * [`crate::regalloc::RegOp`] — the stackless register form derived by
+//!   [`FlatFunc::finalize`] at load time: every stack temporary is mapped
+//!   to a fixed frame slot, operands become explicit register fields, and
+//!   the stream is executed by the threaded handler table in
+//!   [`crate::dispatch`]. See the `regalloc` module docs for the frame
+//!   layout and the invariants the executor relies on.
 
 use crate::error::Trap;
-use crate::exec;
 use crate::instr::Instr;
 use crate::module::{Function, Module};
+use crate::regalloc;
 use crate::runtime::{Instance, Slot};
-use crate::tier::CompiledBody;
-use crate::types::{BlockType, ValType};
+use crate::types::ValType;
 use crate::widths;
 
 /// A resolved branch destination.
@@ -203,45 +204,43 @@ pub enum Op {
 /// A fully compiled flat function.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FlatFunc {
-    /// Serializable ops (the cache artifact form).
+    /// Serializable ops (the cache artifact form). May be empty after
+    /// [`FlatFunc::discard_ops`]; the cache regenerates the stream by
+    /// recompiling when it needs to serialize again.
     pub ops: Vec<Op>,
-    /// Dense executable form derived from `ops` by [`FlatFunc::finalize`].
-    pub code: Vec<ExecOp>,
+    /// Stackless register form derived from `ops` by
+    /// [`FlatFunc::finalize`]; the form the engine executes.
+    pub reg: regalloc::RegFunc,
     pub n_params: u32,
     pub locals: Vec<ValType>,
     /// Result count in values (kept for the cache format).
     pub result_arity: u32,
-    /// Result count in slots.
-    pub result_slots: u32,
-    /// Parameter count in slots.
-    pub param_slots: u32,
-    /// Total local (params + declared) slot count.
-    pub n_local_slots: u32,
-    /// Per local index: `slot_offset << 1 | is_v128`.
-    pub local_map: Vec<u32>,
 }
 
 impl FlatFunc {
-    /// Approximate in-memory size in bytes (ops + code dominate).
+    /// Approximate in-memory size in bytes (ops + register code dominate).
     pub fn size_bytes(&self) -> usize {
         self.ops.len() * std::mem::size_of::<Op>()
-            + self.code.len() * std::mem::size_of::<ExecOp>()
+            + self.reg.size_bytes()
             + self.locals.len()
-            + self.local_map.len() * 4
             + std::mem::size_of::<Self>()
     }
 
-    /// Derive the executable form: slot layout plus the dense opcode
-    /// stream. Must be called (by [`compile`] or the cache loader) before
-    /// the function can run.
-    pub fn finalize(&mut self, module: &Module, func: &Function) {
-        let fty = &module.types[func.type_idx as usize];
-        let (map, n_slots) = widths::local_map(&fty.params, &func.locals);
-        self.param_slots = widths::slot_count(&fty.params);
-        self.result_slots = widths::slot_count(&fty.results);
-        self.n_local_slots = n_slots;
-        self.code = self.ops.iter().map(|op| lower(op, &map)).collect();
-        self.local_map = map;
+    /// Derive the executable register form (see [`crate::regalloc`]).
+    /// Must be called (by [`compile`] or the cache loader) before the
+    /// function can run. Fails on malformed op streams (corrupt cache
+    /// artifacts); the loader treats that as a miss and recompiles.
+    pub fn finalize(&mut self, module: &Module, func: &Function) -> Result<(), String> {
+        self.reg = regalloc::lower(module, func, &self.ops)?;
+        Ok(())
+    }
+
+    /// Drop the portable op stream to halve resident memory once the
+    /// cache artifact is stored (or intentionally not wanted). The
+    /// executable register form is unaffected; serialization regenerates
+    /// the stream by recompiling the (deterministic) pipeline.
+    pub fn discard_ops(&mut self) {
+        self.ops = Vec::new();
     }
 }
 
@@ -259,6 +258,12 @@ struct Ctrl {
     if_patch: Option<usize>,
     /// `Jump` emitted at `else` (then-arm fallthrough), patched at `end`.
     else_jump: Option<usize>,
+    /// Width-stack depth at block entry (params popped) — the fused
+    /// width pass's reset point for `else`/`end`.
+    wbase: usize,
+    /// Operand widths of the block's params / results (true = v128).
+    wparams: Vec<bool>,
+    wresults: Vec<bool>,
 }
 
 enum Patch {
@@ -268,15 +273,9 @@ enum Patch {
     Table(usize, usize),
 }
 
-fn block_arities_slots(module: &Module, bt: &BlockType) -> (u32, u32) {
-    match bt {
-        BlockType::Empty => (0, 0),
-        BlockType::Value(t) => (0, t.slot_width()),
-        BlockType::Func(idx) => {
-            let t = &module.types[*idx as usize];
-            (widths::slot_count(&t.params), widths::slot_count(&t.results))
-        }
-    }
+/// Slot count of a width list (v128 entries span two slots).
+fn wslots(ws: &[bool]) -> u32 {
+    ws.iter().map(|&w| if w { 2 } else { 1 }).sum()
 }
 
 /// Net stack effect of a straight-line instruction in *values* (pops,
@@ -344,13 +343,38 @@ pub(crate) fn stack_effect(module: &Module, i: &Instr) -> (u32, u32) {
 }
 
 /// Flatten (and, for `opt_level > 0`, optimize) one function body.
+///
+/// The flatten walk is fused with the width pass: a single traversal
+/// resolves control flow *and* tracks operand widths (slot heights for
+/// branch unwinding, v128-ness of `drop`/`select`), where earlier
+/// engines walked every body twice (`widths::analyze` + flatten). The
+/// standalone [`widths::analyze`] remains for the baseline tier.
 pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
+    let mut f = compile_ops(module, func, opt_level);
+    f.finalize(module, func)
+        .expect("freshly compiled flat IR must lower to register form");
+    f
+}
+
+/// [`compile`] without the register-form lowering: produces only the
+/// portable op stream. Used when the caller needs the serializable form
+/// alone (the cache regenerating a discarded stream for
+/// `store_artifact`) — skipping `finalize` halves that recompile cost.
+pub fn compile_ops(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
     let fty = &module.types[func.type_idx as usize];
     let result_arity = fty.results.len() as u32;
     let result_slots = widths::slot_count(&fty.results);
-    let info = widths::analyze(module, func);
+    let local_wide: Vec<bool> = fty
+        .params
+        .iter()
+        .chain(func.locals.iter())
+        .map(|t| *t == ValType::V128)
+        .collect();
 
     let mut ops: Vec<Op> = Vec::with_capacity(func.body.len());
+    // Fused width state: operand widths plus the running height in slots.
+    let mut w: Vec<bool> = Vec::with_capacity(32);
+    let mut slots: u32 = 0;
     let mut ctrl: Vec<Ctrl> = vec![Ctrl {
         height: 0,
         br_arity: result_slots,
@@ -358,12 +382,40 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
         patches: Vec::new(),
         if_patch: None,
         else_jump: None,
+        wbase: 0,
+        wparams: Vec::new(),
+        wresults: widths::widths_of(&fty.results),
     }];
     // When `Some(n)`, code is statically dead; n counts nested blocks opened
     // inside the dead region.
     let mut dead: Option<u32> = None;
 
-    for (pc, instr) in func.body.iter().enumerate() {
+    macro_rules! wpush {
+        ($wide:expr) => {{
+            let x: bool = $wide;
+            w.push(x);
+            slots += if x { 2 } else { 1 };
+        }};
+    }
+    macro_rules! wpop {
+        () => {{
+            let x = w.pop().expect("validated: width stack underflow");
+            slots -= if x { 2 } else { 1 };
+            x
+        }};
+    }
+    macro_rules! wreset {
+        ($base:expr, $push:expr) => {{
+            while w.len() > $base {
+                wpop!();
+            }
+            for &x in $push {
+                wpush!(x);
+            }
+        }};
+    }
+
+    for instr in func.body.iter() {
         if let Some(n) = dead {
             match instr {
                 i if i.opens_block() => dead = Some(n + 1),
@@ -384,41 +436,53 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
         }
         match instr {
             Instr::Nop => {}
-            Instr::Block(bt) => {
-                let (_, results) = block_arities_slots(module, bt);
+            Instr::Block(bt) | Instr::Loop(bt) => {
+                let (wparams, wresults) = widths::block_widths(module, bt);
+                for _ in 0..wparams.len() {
+                    wpop!();
+                }
+                let wbase = w.len();
+                // Branch heights exclude the block's params.
+                let height = slots;
+                for &x in &wparams {
+                    wpush!(x);
+                }
+                let is_loop = matches!(instr, Instr::Loop(_));
                 ctrl.push(Ctrl {
-                    height: info.height[pc],
-                    br_arity: results,
-                    loop_start: None,
+                    height,
+                    br_arity: if is_loop { wslots(&wparams) } else { wslots(&wresults) },
+                    loop_start: is_loop.then(|| ops.len() as u32),
                     patches: Vec::new(),
                     if_patch: None,
                     else_jump: None,
-                });
-            }
-            Instr::Loop(bt) => {
-                let (params, _results) = block_arities_slots(module, bt);
-                ctrl.push(Ctrl {
-                    height: info.height[pc],
-                    br_arity: params,
-                    loop_start: Some(ops.len() as u32),
-                    patches: Vec::new(),
-                    if_patch: None,
-                    else_jump: None,
+                    wbase,
+                    wparams,
+                    wresults,
                 });
             }
             Instr::If(bt) => {
-                let (_, results) = block_arities_slots(module, bt);
+                wpop!(); // condition
+                let (wparams, wresults) = widths::block_widths(module, bt);
+                for _ in 0..wparams.len() {
+                    wpop!();
+                }
+                let wbase = w.len();
+                let height = slots;
+                for &x in &wparams {
+                    wpush!(x);
+                }
                 let if_patch = ops.len();
                 ops.push(Op::JumpIfZero(u32::MAX));
                 ctrl.push(Ctrl {
-                    // analyze() records the height with the condition (and
-                    // any params) already popped.
-                    height: info.height[pc],
-                    br_arity: results,
+                    height,
+                    br_arity: wslots(&wresults),
                     loop_start: None,
                     patches: Vec::new(),
                     if_patch: Some(if_patch),
                     else_jump: None,
+                    wbase,
+                    wparams,
+                    wresults,
                 });
             }
             Instr::Else => {
@@ -429,6 +493,8 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                     ops[p] = Op::JumpIfZero(ops.len() as u32);
                 }
                 frame.else_jump = Some(else_jump);
+                let (wbase, wparams) = (frame.wbase, frame.wparams.clone());
+                wreset!(wbase, &wparams);
             }
             Instr::End => {
                 let frame = ctrl.pop().expect("validated");
@@ -445,9 +511,11 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                         Patch::Table(idx, slot) => set_table_target(&mut ops[idx], slot, here),
                     }
                 }
+                wreset!(frame.wbase, &frame.wresults);
                 if ctrl.is_empty() {
-                    // Function-level end.
+                    // Function-level end; nothing may follow.
                     ops.push(Op::Return);
+                    break;
                 }
             }
             Instr::Br(depth) => {
@@ -455,6 +523,7 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 dead = Some(0);
             }
             Instr::BrIf(depth) => {
+                wpop!(); // condition
                 emit_branch(&mut ops, &mut ctrl, *depth, true);
             }
             Instr::BrTable { targets, default } => {
@@ -476,12 +545,62 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
                 dead = Some(0);
             }
             Instr::Drop => {
-                ops.push(if info.wide[pc] { Op::Drop2 } else { Op::Plain(Instr::Drop) });
+                let wide = wpop!();
+                ops.push(if wide { Op::Drop2 } else { Op::Plain(Instr::Drop) });
             }
             Instr::Select => {
-                ops.push(if info.wide[pc] { Op::Select2 } else { Op::Plain(Instr::Select) });
+                wpop!(); // condition
+                let a = wpop!();
+                let _b = wpop!();
+                wpush!(a);
+                ops.push(if a { Op::Select2 } else { Op::Plain(Instr::Select) });
+            }
+            Instr::LocalGet(i) => {
+                wpush!(local_wide[*i as usize]);
+                ops.push(Op::Plain(instr.clone()));
+            }
+            Instr::LocalSet(_) | Instr::GlobalSet(_) => {
+                wpop!();
+                ops.push(Op::Plain(instr.clone()));
+            }
+            Instr::LocalTee(_) => {
+                // Pops and re-pushes the same width.
+                ops.push(Op::Plain(instr.clone()));
+            }
+            Instr::GlobalGet(_) => {
+                wpush!(false);
+                ops.push(Op::Plain(instr.clone()));
+            }
+            Instr::Call(f) => {
+                let ty = module.func_type(*f).expect("validated");
+                for _ in 0..ty.params.len() {
+                    wpop!();
+                }
+                for r in &ty.results {
+                    wpush!(*r == ValType::V128);
+                }
+                ops.push(Op::Plain(instr.clone()));
+            }
+            Instr::CallIndirect { type_idx, .. } => {
+                wpop!(); // table index
+                let ty = &module.types[*type_idx as usize];
+                for _ in 0..ty.params.len() {
+                    wpop!();
+                }
+                for r in &ty.results {
+                    wpush!(*r == ValType::V128);
+                }
+                ops.push(Op::Plain(instr.clone()));
             }
             plain => {
+                let (pops, pushes) = stack_effect(module, plain);
+                for _ in 0..pops {
+                    wpop!();
+                }
+                debug_assert!(pushes <= 1);
+                for _ in 0..pushes {
+                    wpush!(widths::pushes_wide(plain));
+                }
                 ops.push(Op::Plain(plain.clone()));
             }
         }
@@ -489,19 +608,14 @@ pub fn compile(module: &Module, func: &Function, opt_level: u8) -> FlatFunc {
 
     let mut f = FlatFunc {
         ops,
-        code: Vec::new(),
+        reg: regalloc::RegFunc::default(),
         n_params: fty.params.len() as u32,
         locals: func.locals.clone(),
         result_arity,
-        result_slots: 0,
-        param_slots: 0,
-        n_local_slots: 0,
-        local_map: Vec::new(),
     };
     if opt_level > 0 {
         optimize(&mut f, opt_level);
     }
-    f.finalize(module, func);
     f
 }
 
@@ -1034,492 +1148,10 @@ fn compact_nops(f: &mut FlatFunc) {
     f.ops = out;
 }
 
-// --- dense executable form ---
-
-/// The dense executable opcode stream: one flat variant per operation,
-/// immediates resolved (memory offsets inline, local indices replaced by
-/// slot offsets), so the dispatch loop is a single flat match on the
-/// discriminant. Derived from [`Op`] by [`FlatFunc::finalize`]; never
-/// serialized.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ExecOp {
-    // Control.
-    Jump(u32),
-    JumpIfZero(u32),
-    Br(Dest),
-    BrIf(Dest),
-    BrTable { dests: Box<[Dest]>, default: Dest },
-    Return,
-    Unreachable,
-    Call(u32),
-    CallIndirect { type_idx: u32 },
-
-    // Parametric.
-    Drop,
-    Drop2,
-    Select,
-    Select2,
-
-    // Variables (payload = slot offset).
-    LocalGet(u32),
-    LocalGet2(u32),
-    LocalSet(u32),
-    LocalSet2(u32),
-    LocalTee(u32),
-    LocalTee2(u32),
-    GlobalGet(u32),
-    GlobalSet(u32),
-
-    // Memory (payload = constant offset).
-    I32Load(u32),
-    I64Load(u32),
-    F32Load(u32),
-    F64Load(u32),
-    I32Load8S(u32),
-    I32Load8U(u32),
-    I32Load16S(u32),
-    I32Load16U(u32),
-    I64Load8S(u32),
-    I64Load8U(u32),
-    I64Load16S(u32),
-    I64Load16U(u32),
-    I64Load32S(u32),
-    I64Load32U(u32),
-    V128Load(u32),
-    I32Store(u32),
-    I64Store(u32),
-    F32Store(u32),
-    F64Store(u32),
-    I32Store8(u32),
-    I32Store16(u32),
-    I64Store8(u32),
-    I64Store16(u32),
-    I64Store32(u32),
-    V128Store(u32),
-    MemorySize,
-    MemoryGrow,
-    MemoryCopy,
-    MemoryFill,
-
-    // Constants.
-    I32Const(i32),
-    I64Const(i64),
-    F32Const(f32),
-    F64Const(f64),
-    V128Const(u128),
-
-    // i32.
-    I32Eqz,
-    I32Eq,
-    I32Ne,
-    I32LtS,
-    I32LtU,
-    I32GtS,
-    I32GtU,
-    I32LeS,
-    I32LeU,
-    I32GeS,
-    I32GeU,
-    I32Clz,
-    I32Ctz,
-    I32Popcnt,
-    I32Add,
-    I32Sub,
-    I32Mul,
-    I32DivS,
-    I32DivU,
-    I32RemS,
-    I32RemU,
-    I32And,
-    I32Or,
-    I32Xor,
-    I32Shl,
-    I32ShrS,
-    I32ShrU,
-    I32Rotl,
-    I32Rotr,
-
-    // i64.
-    I64Eqz,
-    I64Eq,
-    I64Ne,
-    I64LtS,
-    I64LtU,
-    I64GtS,
-    I64GtU,
-    I64LeS,
-    I64LeU,
-    I64GeS,
-    I64GeU,
-    I64Clz,
-    I64Ctz,
-    I64Popcnt,
-    I64Add,
-    I64Sub,
-    I64Mul,
-    I64DivS,
-    I64DivU,
-    I64RemS,
-    I64RemU,
-    I64And,
-    I64Or,
-    I64Xor,
-    I64Shl,
-    I64ShrS,
-    I64ShrU,
-    I64Rotl,
-    I64Rotr,
-
-    // f32.
-    F32Eq,
-    F32Ne,
-    F32Lt,
-    F32Gt,
-    F32Le,
-    F32Ge,
-    F32Abs,
-    F32Neg,
-    F32Ceil,
-    F32Floor,
-    F32Trunc,
-    F32Nearest,
-    F32Sqrt,
-    F32Add,
-    F32Sub,
-    F32Mul,
-    F32Div,
-    F32Min,
-    F32Max,
-    F32Copysign,
-
-    // f64.
-    F64Eq,
-    F64Ne,
-    F64Lt,
-    F64Gt,
-    F64Le,
-    F64Ge,
-    F64Abs,
-    F64Neg,
-    F64Ceil,
-    F64Floor,
-    F64Trunc,
-    F64Nearest,
-    F64Sqrt,
-    F64Add,
-    F64Sub,
-    F64Mul,
-    F64Div,
-    F64Min,
-    F64Max,
-    F64Copysign,
-
-    // Conversions.
-    I32WrapI64,
-    I32TruncF32S,
-    I32TruncF32U,
-    I32TruncF64S,
-    I32TruncF64U,
-    I64ExtendI32S,
-    I64ExtendI32U,
-    I64TruncF32S,
-    I64TruncF32U,
-    I64TruncF64S,
-    I64TruncF64U,
-    F32ConvertI32S,
-    F32ConvertI32U,
-    F32ConvertI64S,
-    F32ConvertI64U,
-    F32DemoteF64,
-    F64ConvertI32S,
-    F64ConvertI32U,
-    F64ConvertI64S,
-    F64ConvertI64U,
-    F64PromoteF32,
-    Reinterpret, // all four reinterpretations are no-ops on raw slots
-    I32Extend8S,
-    I32Extend16S,
-    I64Extend8S,
-    I64Extend16S,
-    I64Extend32S,
-
-    // SIMD.
-    I32x4Splat,
-    I64x2Splat,
-    F32x4Splat,
-    F64x2Splat,
-    I32x4ExtractLane(u8),
-    F32x4ExtractLane(u8),
-    F64x2ExtractLane(u8),
-    F64x2ReplaceLane(u8),
-    I32x4Add,
-    I32x4Sub,
-    I32x4Mul,
-    F32x4Add,
-    F32x4Sub,
-    F32x4Mul,
-    F32x4Div,
-    F64x2Add,
-    F64x2Sub,
-    F64x2Mul,
-    F64x2Div,
-    F64x2Eq,
-    F64x2Ne,
-    F64x2Lt,
-    F64x2Gt,
-    F64x2Le,
-    F64x2Ge,
-    V128And,
-    V128Or,
-    V128Xor,
-    V128Not,
-    V128AnyTrue,
-    I32x4AllTrue,
-    I32x4Bitmask,
-
-    // Superinstructions (payloads = slot offsets).
-    I32AddLL(u32, u32),
-    I64AddLL(u32, u32),
-    F64AddLL(u32, u32),
-    F64MulLL(u32, u32),
-    F64SubLL(u32, u32),
-    I32AddLK(u32, i32),
-    I32IncL(u32, i32),
-    F64LoadL { local: u32, bias: i32, offset: u32 },
-    I32LoadL { local: u32, bias: i32, offset: u32 },
-    F64StoreLL { addr: u32, val: u32, offset: u32 },
-    F64MulL(u32),
-    F64AddL(u32),
-    I32ShlLK(u32, u8),
-    I32AddK(i32),
-    I32AddShlLL { base: u32, idx: u32, shift: u8 },
-    F64LoadLSh { base: u32, idx: u32, shift: u8, offset: u32 },
-    I32LoadLSh { base: u32, idx: u32, shift: u8, offset: u32 },
-    F64LoadShlK { idx: u32, shift: u8, bias: i32, offset: u32 },
-    I32LoadShlK { idx: u32, shift: u8, bias: i32, offset: u32 },
-    F64MulAdd,
-    BrIfCmpLL { cmp: Cmp, a: u32, b: u32, dest: Dest },
-    BrIfCmpLK { cmp: Cmp, a: u32, k: i32, dest: Dest },
-    BrIfCmp { cmp: Cmp, dest: Dest },
-    BrIfEqz(Dest),
-}
-
-#[inline]
-fn slot_of(map: &[u32], i: u32) -> u32 {
-    map[i as usize] >> 1
-}
-
-#[inline]
-fn is_wide(map: &[u32], i: u32) -> bool {
-    map[i as usize] & 1 != 0
-}
-
-/// Lower one serializable op to its dense executable form, resolving
-/// local indices to slot offsets through `map`.
-fn lower(op: &Op, map: &[u32]) -> ExecOp {
-    use ExecOp as E;
-    match op {
-        Op::Plain(instr) => lower_plain(instr, map),
-        Op::Jump(t) => E::Jump(*t),
-        Op::JumpIfZero(t) => E::JumpIfZero(*t),
-        Op::Br(d) => E::Br(*d),
-        Op::BrIf(d) => E::BrIf(*d),
-        Op::BrTable { dests, default } => {
-            E::BrTable { dests: dests.clone(), default: *default }
-        }
-        Op::Return => E::Return,
-        Op::Unreachable => E::Unreachable,
-        // Never produced by compile() (compact_nops strips Nops) and
-        // rejected by the cache loader, but lower defensively to a real
-        // no-op rather than a trap.
-        Op::Nop => E::Reinterpret,
-        Op::Drop2 => E::Drop2,
-        Op::Select2 => E::Select2,
-        Op::I32AddLL(a, b) => E::I32AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
-        Op::I64AddLL(a, b) => E::I64AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
-        Op::F64AddLL(a, b) => E::F64AddLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
-        Op::F64MulLL(a, b) => E::F64MulLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
-        Op::F64SubLL(a, b) => E::F64SubLL(slot_of(map, *a as u32), slot_of(map, *b as u32)),
-        Op::I32AddLK(a, k) => E::I32AddLK(slot_of(map, *a as u32), *k),
-        Op::I32IncL(a, k) => E::I32IncL(slot_of(map, *a as u32), *k),
-        Op::F64LoadL { local, bias, offset } => {
-            E::F64LoadL { local: slot_of(map, *local as u32), bias: *bias, offset: *offset }
-        }
-        Op::I32LoadL { local, bias, offset } => {
-            E::I32LoadL { local: slot_of(map, *local as u32), bias: *bias, offset: *offset }
-        }
-        Op::F64StoreLL { addr, val, offset } => E::F64StoreLL {
-            addr: slot_of(map, *addr as u32),
-            val: slot_of(map, *val as u32),
-            offset: *offset,
-        },
-        Op::F64MulL(a) => E::F64MulL(slot_of(map, *a as u32)),
-        Op::F64AddL(a) => E::F64AddL(slot_of(map, *a as u32)),
-        Op::I32ShlLK(a, k) => E::I32ShlLK(slot_of(map, *a as u32), *k),
-        Op::I32AddK(k) => E::I32AddK(*k),
-        Op::I32AddShlLL { base, idx, shift } => E::I32AddShlLL {
-            base: slot_of(map, *base as u32),
-            idx: slot_of(map, *idx as u32),
-            shift: *shift,
-        },
-        Op::F64LoadLSh { base, idx, shift, offset } => E::F64LoadLSh {
-            base: slot_of(map, *base as u32),
-            idx: slot_of(map, *idx as u32),
-            shift: *shift,
-            offset: *offset,
-        },
-        Op::I32LoadLSh { base, idx, shift, offset } => E::I32LoadLSh {
-            base: slot_of(map, *base as u32),
-            idx: slot_of(map, *idx as u32),
-            shift: *shift,
-            offset: *offset,
-        },
-        Op::F64LoadShlK { idx, shift, bias, offset } => E::F64LoadShlK {
-            idx: slot_of(map, *idx as u32),
-            shift: *shift,
-            bias: *bias,
-            offset: *offset,
-        },
-        Op::I32LoadShlK { idx, shift, bias, offset } => E::I32LoadShlK {
-            idx: slot_of(map, *idx as u32),
-            shift: *shift,
-            bias: *bias,
-            offset: *offset,
-        },
-        Op::F64MulAdd => E::F64MulAdd,
-        Op::BrIfCmpLL { cmp, a, b, dest } => E::BrIfCmpLL {
-            cmp: *cmp,
-            a: slot_of(map, *a as u32),
-            b: slot_of(map, *b as u32),
-            dest: *dest,
-        },
-        Op::BrIfCmpLK { cmp, a, k, dest } => {
-            E::BrIfCmpLK { cmp: *cmp, a: slot_of(map, *a as u32), k: *k, dest: *dest }
-        }
-        Op::BrIfCmp { cmp, dest } => E::BrIfCmp { cmp: *cmp, dest: *dest },
-        Op::BrIfEqz(d) => E::BrIfEqz(*d),
-    }
-}
-
-fn lower_plain(instr: &Instr, map: &[u32]) -> ExecOp {
-    use ExecOp as E;
-    use Instr as I;
-    macro_rules! same {
-        ($($n:ident),* $(,)?) => {
-            match instr {
-                $(I::$n => return E::$n,)*
-                _ => {}
-            }
-        };
-    }
-    same!(
-        MemorySize, MemoryGrow, MemoryCopy, MemoryFill, I32Eqz, I32Eq, I32Ne, I32LtS, I32LtU,
-        I32GtS, I32GtU, I32LeS, I32LeU, I32GeS, I32GeU, I32Clz, I32Ctz, I32Popcnt, I32Add,
-        I32Sub, I32Mul, I32DivS, I32DivU, I32RemS, I32RemU, I32And, I32Or, I32Xor, I32Shl,
-        I32ShrS, I32ShrU, I32Rotl, I32Rotr, I64Eqz, I64Eq, I64Ne, I64LtS, I64LtU, I64GtS,
-        I64GtU, I64LeS, I64LeU, I64GeS, I64GeU, I64Clz, I64Ctz, I64Popcnt, I64Add, I64Sub,
-        I64Mul, I64DivS, I64DivU, I64RemS, I64RemU, I64And, I64Or, I64Xor, I64Shl, I64ShrS,
-        I64ShrU, I64Rotl, I64Rotr, F32Eq, F32Ne, F32Lt, F32Gt, F32Le, F32Ge, F32Abs, F32Neg,
-        F32Ceil, F32Floor, F32Trunc, F32Nearest, F32Sqrt, F32Add, F32Sub, F32Mul, F32Div,
-        F32Min, F32Max, F32Copysign, F64Eq, F64Ne, F64Lt, F64Gt, F64Le, F64Ge, F64Abs,
-        F64Neg, F64Ceil, F64Floor, F64Trunc, F64Nearest, F64Sqrt, F64Add, F64Sub, F64Mul,
-        F64Div, F64Min, F64Max, F64Copysign, I32WrapI64, I32TruncF32S, I32TruncF32U,
-        I32TruncF64S, I32TruncF64U, I64ExtendI32S, I64ExtendI32U, I64TruncF32S, I64TruncF32U,
-        I64TruncF64S, I64TruncF64U, F32ConvertI32S, F32ConvertI32U, F32ConvertI64S,
-        F32ConvertI64U, F32DemoteF64, F64ConvertI32S, F64ConvertI32U, F64ConvertI64S,
-        F64ConvertI64U, F64PromoteF32, I32Extend8S, I32Extend16S, I64Extend8S, I64Extend16S,
-        I64Extend32S, I32x4Splat, I64x2Splat, F32x4Splat, F64x2Splat, I32x4Add, I32x4Sub,
-        I32x4Mul, F32x4Add, F32x4Sub, F32x4Mul, F32x4Div, F64x2Add, F64x2Sub, F64x2Mul,
-        F64x2Div, F64x2Eq, F64x2Ne, F64x2Lt, F64x2Gt, F64x2Le, F64x2Ge, V128And, V128Or,
-        V128Xor, V128Not, V128AnyTrue, I32x4AllTrue, I32x4Bitmask,
-    );
-    match instr {
-        I::Drop => E::Drop,
-        I::Select => E::Select,
-        I::LocalGet(i) => {
-            if is_wide(map, *i) {
-                E::LocalGet2(slot_of(map, *i))
-            } else {
-                E::LocalGet(slot_of(map, *i))
-            }
-        }
-        I::LocalSet(i) => {
-            if is_wide(map, *i) {
-                E::LocalSet2(slot_of(map, *i))
-            } else {
-                E::LocalSet(slot_of(map, *i))
-            }
-        }
-        I::LocalTee(i) => {
-            if is_wide(map, *i) {
-                E::LocalTee2(slot_of(map, *i))
-            } else {
-                E::LocalTee(slot_of(map, *i))
-            }
-        }
-        I::GlobalGet(i) => E::GlobalGet(*i),
-        I::GlobalSet(i) => E::GlobalSet(*i),
-        I::Call(f) => E::Call(*f),
-        I::CallIndirect { type_idx, .. } => E::CallIndirect { type_idx: *type_idx },
-        I::I32Load(m) => E::I32Load(m.offset),
-        I::I64Load(m) => E::I64Load(m.offset),
-        I::F32Load(m) => E::F32Load(m.offset),
-        I::F64Load(m) => E::F64Load(m.offset),
-        I::I32Load8S(m) => E::I32Load8S(m.offset),
-        I::I32Load8U(m) => E::I32Load8U(m.offset),
-        I::I32Load16S(m) => E::I32Load16S(m.offset),
-        I::I32Load16U(m) => E::I32Load16U(m.offset),
-        I::I64Load8S(m) => E::I64Load8S(m.offset),
-        I::I64Load8U(m) => E::I64Load8U(m.offset),
-        I::I64Load16S(m) => E::I64Load16S(m.offset),
-        I::I64Load16U(m) => E::I64Load16U(m.offset),
-        I::I64Load32S(m) => E::I64Load32S(m.offset),
-        I::I64Load32U(m) => E::I64Load32U(m.offset),
-        I::V128Load(m) => E::V128Load(m.offset),
-        I::I32Store(m) => E::I32Store(m.offset),
-        I::I64Store(m) => E::I64Store(m.offset),
-        I::F32Store(m) => E::F32Store(m.offset),
-        I::F64Store(m) => E::F64Store(m.offset),
-        I::I32Store8(m) => E::I32Store8(m.offset),
-        I::I32Store16(m) => E::I32Store16(m.offset),
-        I::I64Store8(m) => E::I64Store8(m.offset),
-        I::I64Store16(m) => E::I64Store16(m.offset),
-        I::I64Store32(m) => E::I64Store32(m.offset),
-        I::V128Store(m) => E::V128Store(m.offset),
-        I::I32Const(v) => E::I32Const(*v),
-        I::I64Const(v) => E::I64Const(*v),
-        I::F32Const(v) => E::F32Const(*v),
-        I::F64Const(v) => E::F64Const(*v),
-        I::V128Const(b) => E::V128Const(u128::from_le_bytes(*b)),
-        I::I32ReinterpretF32 | I::I64ReinterpretF64 | I::F32ReinterpretI32
-        | I::F64ReinterpretI64 => E::Reinterpret,
-        I::I32x4ExtractLane(l) => E::I32x4ExtractLane(*l),
-        I::F32x4ExtractLane(l) => E::F32x4ExtractLane(*l),
-        I::F64x2ExtractLane(l) => E::F64x2ExtractLane(*l),
-        I::F64x2ReplaceLane(l) => E::F64x2ReplaceLane(*l),
-        I::Nop => E::Reinterpret, // flatten never emits Plain(Nop); be safe
-        other => unreachable!("control instruction {other:?} reached lowering"),
-    }
-}
-
 // --- execution ---
 
-/// A suspended caller activation in the flat-IR engine.
-struct Frame {
-    defined_idx: u32,
-    /// ip to resume at (the op after the call).
-    ret_ip: u32,
-    locals_base: u32,
-}
-
-fn flat(bodies: &[CompiledBody], defined_idx: usize) -> &FlatFunc {
-    match &bodies[defined_idx] {
-        CompiledBody::Flat(f) => f,
-        CompiledBody::Interp(_) => unreachable!("flat tier expected"),
-    }
-}
-
-/// Execute flat-IR function `defined_idx` with `args` (already as slots).
+/// Execute flat-IR function `defined_idx` with `args` (already as slots),
+/// through the register-form threaded-dispatch engine.
 pub(crate) fn call(
     inst: &mut Instance,
     defined_idx: usize,
@@ -1527,803 +1159,13 @@ pub(crate) fn call(
 ) -> Result<Vec<Slot>, Trap> {
     let mut stack = inst.take_stack();
     stack.extend_from_slice(args);
-    let result = run(inst, &mut stack, defined_idx);
+    let result = crate::dispatch::run(inst, &mut stack, defined_idx);
     let out = result.map(|result_slots| {
         let at = stack.len() - result_slots;
         stack.split_off(at)
     });
     inst.put_stack(stack);
     out
-}
-
-#[inline]
-fn unwind(stack: &mut Vec<Slot>, opbase: usize, d: &Dest) {
-    let height = opbase + d.height as usize;
-    let arity = d.arity as usize;
-    if arity == 0 {
-        stack.truncate(height);
-        return;
-    }
-    // Move the carried slots down over the unwound region, in place.
-    let from = stack.len() - arity;
-    if from != height {
-        stack.copy_within(from.., height);
-    }
-    stack.truncate(height + arity);
-}
-
-fn run(inst: &mut Instance, stack: &mut Vec<Slot>, defined_idx: usize) -> Result<usize, Trap> {
-    let bodies = Arc::clone(&inst.bodies);
-    let imported = inst.host_funcs.len() as u32;
-
-    let mut frames: Vec<Frame> = Vec::new();
-    let mut f = flat(&bodies, defined_idx);
-    let mut cur_idx = defined_idx as u32;
-    let mut locals_base = stack.len() - f.param_slots as usize;
-    stack.resize(locals_base + f.n_local_slots as usize, Slot::ZERO);
-    let mut opbase = locals_base + f.n_local_slots as usize;
-    let mut ip = 0usize;
-    let mut limit_check = 0u32;
-
-    macro_rules! lg {
-        ($slot:expr) => {
-            stack[locals_base + $slot as usize]
-        };
-    }
-    macro_rules! pop {
-        () => {
-            exec::pop(stack)
-        };
-    }
-    macro_rules! push {
-        ($v:expr) => {
-            stack.push($v)
-        };
-    }
-    macro_rules! top {
-        () => {{
-            let l = stack.len() - 1;
-            &mut stack[l]
-        }};
-    }
-    macro_rules! bin {
-        ($read:ident, $wrap:path, $f:expr) => {{
-            let b = pop!().$read();
-            let a = pop!().$read();
-            push!($wrap($f(a, b)));
-            ip += 1;
-        }};
-    }
-    macro_rules! un {
-        ($read:ident, $wrap:path, $f:expr) => {{
-            let v = pop!().$read();
-            push!($wrap($f(v)));
-            ip += 1;
-        }};
-    }
-    macro_rules! vbin {
-        ($f:expr) => {{
-            let b = exec::pop_v128(stack);
-            let a = exec::pop_v128(stack);
-            exec::push_v128(stack, $f(a, b));
-            ip += 1;
-        }};
-    }
-    macro_rules! load {
-        ($off:expr, $n:expr, $raw:ty, $conv:ty, $wrap:path) => {{
-            let addr = pop!().u32();
-            let start = inst.memory.effective(addr, $off, $n)?;
-            let raw = <$raw>::from_le_bytes(inst.memory.load::<{ $n as usize }>(start));
-            push!($wrap(raw as $conv));
-            ip += 1;
-        }};
-    }
-    macro_rules! store {
-        ($off:expr, $n:expr, $read:ident, $cast:ty) => {{
-            let val = pop!().$read();
-            let addr = pop!().u32();
-            let start = inst.memory.effective(addr, $off, $n)?;
-            inst.memory.store(start, &((val as $cast).to_le_bytes()));
-            ip += 1;
-        }};
-    }
-    macro_rules! take_branch {
-        ($d:expr) => {{
-            let d = $d;
-            unwind(stack, opbase, d);
-            ip = d.target as usize;
-        }};
-    }
-    macro_rules! do_return {
-        () => {{
-            let result_slots = f.result_slots as usize;
-            let at = stack.len() - result_slots;
-            stack.copy_within(at.., locals_base);
-            stack.truncate(locals_base + result_slots);
-            match frames.pop() {
-                None => return Ok(result_slots),
-                Some(fr) => {
-                    cur_idx = fr.defined_idx;
-                    f = flat(&bodies, fr.defined_idx as usize);
-                    locals_base = fr.locals_base as usize;
-                    opbase = locals_base + f.n_local_slots as usize;
-                    ip = fr.ret_ip as usize;
-                    continue;
-                }
-            }
-        }};
-    }
-    macro_rules! do_call {
-        ($func_idx:expr) => {{
-            let func_idx: u32 = $func_idx;
-            if frames.len() + inst.depth + 1 >= inst.limits.max_call_depth {
-                return Err(Trap::StackExhausted);
-            }
-            if func_idx < imported {
-                let n_args = inst.host_arg_slots[func_idx as usize] as usize;
-                let at = stack.len() - n_args;
-                let hf = Arc::clone(&inst.host_funcs[func_idx as usize]);
-                inst.depth += 1;
-                let results = hf(inst, &stack[at..]);
-                inst.depth -= 1;
-                let results = results?;
-                stack.truncate(at);
-                stack.extend_from_slice(&results);
-                ip += 1;
-            } else {
-                let defined = (func_idx - imported) as usize;
-                frames.push(Frame {
-                    defined_idx: cur_idx,
-                    ret_ip: ip as u32 + 1,
-                    locals_base: locals_base as u32,
-                });
-                f = flat(&bodies, defined);
-                cur_idx = defined as u32;
-                locals_base = stack.len() - f.param_slots as usize;
-                stack.resize(locals_base + f.n_local_slots as usize, Slot::ZERO);
-                opbase = locals_base + f.n_local_slots as usize;
-                ip = 0;
-            }
-        }};
-    }
-
-    loop {
-        // Amortized stack-limit check: growth per op is O(1).
-        limit_check += 1;
-        if limit_check >= 1024 {
-            limit_check = 0;
-            if stack.len() > inst.limits.max_value_stack {
-                return Err(Trap::StackExhausted);
-            }
-        }
-        use ExecOp as E;
-        match &f.code[ip] {
-            E::Jump(t) => ip = *t as usize,
-            E::JumpIfZero(t) => {
-                let c = pop!().i32();
-                ip = if c == 0 { *t as usize } else { ip + 1 };
-            }
-            E::Br(d) => take_branch!(d),
-            E::BrIf(d) => {
-                let c = pop!().i32();
-                if c != 0 {
-                    take_branch!(d);
-                } else {
-                    ip += 1;
-                }
-            }
-            E::BrTable { dests, default } => {
-                let idx = pop!().u32() as usize;
-                let d = dests.get(idx).unwrap_or(default);
-                take_branch!(d);
-            }
-            E::Return => do_return!(),
-            E::Unreachable => return Err(Trap::Unreachable),
-            E::Call(func_idx) => do_call!(*func_idx),
-            E::CallIndirect { type_idx } => {
-                let slot = pop!().u32();
-                let func_idx = inst.resolve_indirect(slot, *type_idx)?;
-                do_call!(func_idx)
-            }
-
-            E::Drop => {
-                pop!();
-                ip += 1;
-            }
-            E::Drop2 => {
-                pop!();
-                pop!();
-                ip += 1;
-            }
-            E::Select => {
-                let c = pop!().i32();
-                let b = pop!();
-                let a = pop!();
-                push!(if c != 0 { a } else { b });
-                ip += 1;
-            }
-            E::Select2 => {
-                let c = pop!().i32();
-                let b = exec::pop_v128(stack);
-                let a = exec::pop_v128(stack);
-                exec::push_v128(stack, if c != 0 { a } else { b });
-                ip += 1;
-            }
-
-            E::LocalGet(s) => {
-                let v = lg!(*s);
-                push!(v);
-                ip += 1;
-            }
-            E::LocalGet2(s) => {
-                let lo = lg!(*s);
-                let hi = lg!(*s + 1);
-                push!(lo);
-                push!(hi);
-                ip += 1;
-            }
-            E::LocalSet(s) => {
-                lg!(*s) = pop!();
-                ip += 1;
-            }
-            E::LocalSet2(s) => {
-                lg!(*s + 1) = pop!();
-                lg!(*s) = pop!();
-                ip += 1;
-            }
-            E::LocalTee(s) => {
-                let l = stack.len() - 1;
-                lg!(*s) = stack[l];
-                ip += 1;
-            }
-            E::LocalTee2(s) => {
-                let l = stack.len();
-                lg!(*s) = stack[l - 2];
-                lg!(*s + 1) = stack[l - 1];
-                ip += 1;
-            }
-            E::GlobalGet(i) => {
-                push!(inst.globals[*i as usize]);
-                ip += 1;
-            }
-            E::GlobalSet(i) => {
-                inst.globals[*i as usize] = pop!();
-                ip += 1;
-            }
-
-            E::I32Load(o) => load!(*o, 4, u32, u32, Slot::from_u32),
-            E::I64Load(o) => load!(*o, 8, u64, u64, Slot::from_u64),
-            E::F32Load(o) => load!(*o, 4, u32, u32, Slot::from_u32),
-            E::F64Load(o) => load!(*o, 8, u64, u64, Slot::from_u64),
-            E::I32Load8S(o) => load!(*o, 1, i8, i32, Slot::from_i32),
-            E::I32Load8U(o) => load!(*o, 1, u8, i32, Slot::from_i32),
-            E::I32Load16S(o) => load!(*o, 2, i16, i32, Slot::from_i32),
-            E::I32Load16U(o) => load!(*o, 2, u16, i32, Slot::from_i32),
-            E::I64Load8S(o) => load!(*o, 1, i8, i64, Slot::from_i64),
-            E::I64Load8U(o) => load!(*o, 1, u8, i64, Slot::from_i64),
-            E::I64Load16S(o) => load!(*o, 2, i16, i64, Slot::from_i64),
-            E::I64Load16U(o) => load!(*o, 2, u16, i64, Slot::from_i64),
-            E::I64Load32S(o) => load!(*o, 4, i32, i64, Slot::from_i64),
-            E::I64Load32U(o) => load!(*o, 4, u32, i64, Slot::from_i64),
-            E::V128Load(o) => {
-                let addr = pop!().u32();
-                let start = inst.memory.effective(addr, *o, 16)?;
-                exec::push_v128(stack, u128::from_le_bytes(inst.memory.load::<16>(start)));
-                ip += 1;
-            }
-            E::I32Store(o) => store!(*o, 4, i32, u32),
-            E::I64Store(o) => store!(*o, 8, i64, u64),
-            E::F32Store(o) => store!(*o, 4, u32, u32),
-            E::F64Store(o) => store!(*o, 8, u64, u64),
-            E::I32Store8(o) => store!(*o, 1, i32, u8),
-            E::I32Store16(o) => store!(*o, 2, i32, u16),
-            E::I64Store8(o) => store!(*o, 1, i64, u8),
-            E::I64Store16(o) => store!(*o, 2, i64, u16),
-            E::I64Store32(o) => store!(*o, 4, i64, u32),
-            E::V128Store(o) => {
-                let val = exec::pop_v128(stack);
-                let addr = pop!().u32();
-                let start = inst.memory.effective(addr, *o, 16)?;
-                inst.memory.store(start, &val.to_le_bytes());
-                ip += 1;
-            }
-            E::MemorySize => {
-                push!(Slot::from_i32(inst.memory.size_pages() as i32));
-                ip += 1;
-            }
-            E::MemoryGrow => {
-                let delta = pop!().i32();
-                let r = if delta < 0 { -1 } else { inst.memory.grow(delta as u32) };
-                push!(Slot::from_i32(r));
-                ip += 1;
-            }
-            E::MemoryCopy => {
-                let len = pop!().u32();
-                let src = pop!().u32();
-                let dst = pop!().u32();
-                inst.memory.copy_within(dst, src, len)?;
-                ip += 1;
-            }
-            E::MemoryFill => {
-                let len = pop!().u32();
-                let val = pop!().i32() as u8;
-                let dst = pop!().u32();
-                inst.memory.fill(dst, val, len)?;
-                ip += 1;
-            }
-
-            E::I32Const(v) => {
-                push!(Slot::from_i32(*v));
-                ip += 1;
-            }
-            E::I64Const(v) => {
-                push!(Slot::from_i64(*v));
-                ip += 1;
-            }
-            E::F32Const(v) => {
-                push!(Slot::from_f32(*v));
-                ip += 1;
-            }
-            E::F64Const(v) => {
-                push!(Slot::from_f64(*v));
-                ip += 1;
-            }
-            E::V128Const(v) => {
-                exec::push_v128(stack, *v);
-                ip += 1;
-            }
-
-            E::I32Eqz => un!(i32, Slot::from_bool, |v| v == 0),
-            E::I32Eq => bin!(i32, Slot::from_bool, |a, b| a == b),
-            E::I32Ne => bin!(i32, Slot::from_bool, |a, b| a != b),
-            E::I32LtS => bin!(i32, Slot::from_bool, |a, b| a < b),
-            E::I32LtU => bin!(u32, Slot::from_bool, |a, b| a < b),
-            E::I32GtS => bin!(i32, Slot::from_bool, |a, b| a > b),
-            E::I32GtU => bin!(u32, Slot::from_bool, |a, b| a > b),
-            E::I32LeS => bin!(i32, Slot::from_bool, |a, b| a <= b),
-            E::I32LeU => bin!(u32, Slot::from_bool, |a, b| a <= b),
-            E::I32GeS => bin!(i32, Slot::from_bool, |a, b| a >= b),
-            E::I32GeU => bin!(u32, Slot::from_bool, |a, b| a >= b),
-            E::I32Clz => un!(i32, Slot::from_i32, |v: i32| v.leading_zeros() as i32),
-            E::I32Ctz => un!(i32, Slot::from_i32, |v: i32| v.trailing_zeros() as i32),
-            E::I32Popcnt => un!(i32, Slot::from_i32, |v: i32| v.count_ones() as i32),
-            E::I32Add => bin!(i32, Slot::from_i32, i32::wrapping_add),
-            E::I32Sub => bin!(i32, Slot::from_i32, i32::wrapping_sub),
-            E::I32Mul => bin!(i32, Slot::from_i32, i32::wrapping_mul),
-            E::I32DivS => {
-                let b = pop!().i32();
-                let a = pop!().i32();
-                push!(Slot::from_i32(exec::i32_div_s(a, b)?));
-                ip += 1;
-            }
-            E::I32DivU => {
-                let b = pop!().i32();
-                let a = pop!().i32();
-                push!(Slot::from_i32(exec::i32_div_u(a, b)?));
-                ip += 1;
-            }
-            E::I32RemS => {
-                let b = pop!().i32();
-                let a = pop!().i32();
-                push!(Slot::from_i32(exec::i32_rem_s(a, b)?));
-                ip += 1;
-            }
-            E::I32RemU => {
-                let b = pop!().i32();
-                let a = pop!().i32();
-                push!(Slot::from_i32(exec::i32_rem_u(a, b)?));
-                ip += 1;
-            }
-            E::I32And => bin!(i32, Slot::from_i32, |a, b| a & b),
-            E::I32Or => bin!(i32, Slot::from_i32, |a, b| a | b),
-            E::I32Xor => bin!(i32, Slot::from_i32, |a, b| a ^ b),
-            E::I32Shl => bin!(i32, Slot::from_i32, |a: i32, b| a.wrapping_shl(b as u32)),
-            E::I32ShrS => bin!(i32, Slot::from_i32, |a: i32, b| a.wrapping_shr(b as u32)),
-            E::I32ShrU => {
-                bin!(i32, Slot::from_i32, |a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
-            }
-            E::I32Rotl => bin!(i32, Slot::from_i32, |a: i32, b| a.rotate_left((b as u32) & 31)),
-            E::I32Rotr => bin!(i32, Slot::from_i32, |a: i32, b| a.rotate_right((b as u32) & 31)),
-
-            E::I64Eqz => un!(i64, Slot::from_bool, |v| v == 0),
-            E::I64Eq => bin!(i64, Slot::from_bool, |a, b| a == b),
-            E::I64Ne => bin!(i64, Slot::from_bool, |a, b| a != b),
-            E::I64LtS => bin!(i64, Slot::from_bool, |a, b| a < b),
-            E::I64LtU => bin!(u64, Slot::from_bool, |a, b| a < b),
-            E::I64GtS => bin!(i64, Slot::from_bool, |a, b| a > b),
-            E::I64GtU => bin!(u64, Slot::from_bool, |a, b| a > b),
-            E::I64LeS => bin!(i64, Slot::from_bool, |a, b| a <= b),
-            E::I64LeU => bin!(u64, Slot::from_bool, |a, b| a <= b),
-            E::I64GeS => bin!(i64, Slot::from_bool, |a, b| a >= b),
-            E::I64GeU => bin!(u64, Slot::from_bool, |a, b| a >= b),
-            E::I64Clz => un!(i64, Slot::from_i64, |v: i64| v.leading_zeros() as i64),
-            E::I64Ctz => un!(i64, Slot::from_i64, |v: i64| v.trailing_zeros() as i64),
-            E::I64Popcnt => un!(i64, Slot::from_i64, |v: i64| v.count_ones() as i64),
-            E::I64Add => bin!(i64, Slot::from_i64, i64::wrapping_add),
-            E::I64Sub => bin!(i64, Slot::from_i64, i64::wrapping_sub),
-            E::I64Mul => bin!(i64, Slot::from_i64, i64::wrapping_mul),
-            E::I64DivS => {
-                let b = pop!().i64();
-                let a = pop!().i64();
-                push!(Slot::from_i64(exec::i64_div_s(a, b)?));
-                ip += 1;
-            }
-            E::I64DivU => {
-                let b = pop!().i64();
-                let a = pop!().i64();
-                push!(Slot::from_i64(exec::i64_div_u(a, b)?));
-                ip += 1;
-            }
-            E::I64RemS => {
-                let b = pop!().i64();
-                let a = pop!().i64();
-                push!(Slot::from_i64(exec::i64_rem_s(a, b)?));
-                ip += 1;
-            }
-            E::I64RemU => {
-                let b = pop!().i64();
-                let a = pop!().i64();
-                push!(Slot::from_i64(exec::i64_rem_u(a, b)?));
-                ip += 1;
-            }
-            E::I64And => bin!(i64, Slot::from_i64, |a, b| a & b),
-            E::I64Or => bin!(i64, Slot::from_i64, |a, b| a | b),
-            E::I64Xor => bin!(i64, Slot::from_i64, |a, b| a ^ b),
-            E::I64Shl => bin!(i64, Slot::from_i64, |a: i64, b| a.wrapping_shl(b as u32)),
-            E::I64ShrS => bin!(i64, Slot::from_i64, |a: i64, b| a.wrapping_shr(b as u32)),
-            E::I64ShrU => {
-                bin!(i64, Slot::from_i64, |a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
-            }
-            E::I64Rotl => {
-                bin!(i64, Slot::from_i64, |a: i64, b| a.rotate_left((b as u64 & 63) as u32))
-            }
-            E::I64Rotr => {
-                bin!(i64, Slot::from_i64, |a: i64, b| a.rotate_right((b as u64 & 63) as u32))
-            }
-
-            E::F32Eq => bin!(f32, Slot::from_bool, |a, b| a == b),
-            E::F32Ne => bin!(f32, Slot::from_bool, |a, b| a != b),
-            E::F32Lt => bin!(f32, Slot::from_bool, |a, b| a < b),
-            E::F32Gt => bin!(f32, Slot::from_bool, |a, b| a > b),
-            E::F32Le => bin!(f32, Slot::from_bool, |a, b| a <= b),
-            E::F32Ge => bin!(f32, Slot::from_bool, |a, b| a >= b),
-            E::F32Abs => un!(f32, Slot::from_f32, f32::abs),
-            E::F32Neg => un!(f32, Slot::from_f32, |v: f32| -v),
-            E::F32Ceil => un!(f32, Slot::from_f32, f32::ceil),
-            E::F32Floor => un!(f32, Slot::from_f32, f32::floor),
-            E::F32Trunc => un!(f32, Slot::from_f32, f32::trunc),
-            E::F32Nearest => un!(f32, Slot::from_f32, exec::nearest32),
-            E::F32Sqrt => un!(f32, Slot::from_f32, f32::sqrt),
-            E::F32Add => bin!(f32, Slot::from_f32, |a, b| a + b),
-            E::F32Sub => bin!(f32, Slot::from_f32, |a, b| a - b),
-            E::F32Mul => bin!(f32, Slot::from_f32, |a, b| a * b),
-            E::F32Div => bin!(f32, Slot::from_f32, |a, b| a / b),
-            E::F32Min => bin!(f32, Slot::from_f32, exec::fmin32),
-            E::F32Max => bin!(f32, Slot::from_f32, exec::fmax32),
-            E::F32Copysign => bin!(f32, Slot::from_f32, f32::copysign),
-
-            E::F64Eq => bin!(f64, Slot::from_bool, |a, b| a == b),
-            E::F64Ne => bin!(f64, Slot::from_bool, |a, b| a != b),
-            E::F64Lt => bin!(f64, Slot::from_bool, |a, b| a < b),
-            E::F64Gt => bin!(f64, Slot::from_bool, |a, b| a > b),
-            E::F64Le => bin!(f64, Slot::from_bool, |a, b| a <= b),
-            E::F64Ge => bin!(f64, Slot::from_bool, |a, b| a >= b),
-            E::F64Abs => un!(f64, Slot::from_f64, f64::abs),
-            E::F64Neg => un!(f64, Slot::from_f64, |v: f64| -v),
-            E::F64Ceil => un!(f64, Slot::from_f64, f64::ceil),
-            E::F64Floor => un!(f64, Slot::from_f64, f64::floor),
-            E::F64Trunc => un!(f64, Slot::from_f64, f64::trunc),
-            E::F64Nearest => un!(f64, Slot::from_f64, exec::nearest64),
-            E::F64Sqrt => un!(f64, Slot::from_f64, f64::sqrt),
-            E::F64Add => bin!(f64, Slot::from_f64, |a, b| a + b),
-            E::F64Sub => bin!(f64, Slot::from_f64, |a, b| a - b),
-            E::F64Mul => bin!(f64, Slot::from_f64, |a, b| a * b),
-            E::F64Div => bin!(f64, Slot::from_f64, |a, b| a / b),
-            E::F64Min => bin!(f64, Slot::from_f64, exec::fmin64),
-            E::F64Max => bin!(f64, Slot::from_f64, exec::fmax64),
-            E::F64Copysign => bin!(f64, Slot::from_f64, f64::copysign),
-
-            E::I32WrapI64 => un!(i64, Slot::from_i32, |v| v as i32),
-            E::I32TruncF32S => {
-                let v = pop!().f32();
-                push!(Slot::from_i32(exec::trunc_f64_to_i32(v as f64)?));
-                ip += 1;
-            }
-            E::I32TruncF32U => {
-                let v = pop!().f32();
-                push!(Slot::from_i32(exec::trunc_f64_to_u32(v as f64)? as i32));
-                ip += 1;
-            }
-            E::I32TruncF64S => {
-                let v = pop!().f64();
-                push!(Slot::from_i32(exec::trunc_f64_to_i32(v)?));
-                ip += 1;
-            }
-            E::I32TruncF64U => {
-                let v = pop!().f64();
-                push!(Slot::from_i32(exec::trunc_f64_to_u32(v)? as i32));
-                ip += 1;
-            }
-            E::I64ExtendI32S => un!(i32, Slot::from_i64, |v| v as i64),
-            E::I64ExtendI32U => un!(i32, Slot::from_i64, |v| v as u32 as i64),
-            E::I64TruncF32S => {
-                let v = pop!().f32();
-                push!(Slot::from_i64(exec::trunc_f64_to_i64(v as f64)?));
-                ip += 1;
-            }
-            E::I64TruncF32U => {
-                let v = pop!().f32();
-                push!(Slot::from_i64(exec::trunc_f64_to_u64(v as f64)? as i64));
-                ip += 1;
-            }
-            E::I64TruncF64S => {
-                let v = pop!().f64();
-                push!(Slot::from_i64(exec::trunc_f64_to_i64(v)?));
-                ip += 1;
-            }
-            E::I64TruncF64U => {
-                let v = pop!().f64();
-                push!(Slot::from_i64(exec::trunc_f64_to_u64(v)? as i64));
-                ip += 1;
-            }
-            E::F32ConvertI32S => un!(i32, Slot::from_f32, |v| v as f32),
-            E::F32ConvertI32U => un!(i32, Slot::from_f32, |v| v as u32 as f32),
-            E::F32ConvertI64S => un!(i64, Slot::from_f32, |v| v as f32),
-            E::F32ConvertI64U => un!(i64, Slot::from_f32, |v| v as u64 as f32),
-            E::F32DemoteF64 => un!(f64, Slot::from_f32, |v| v as f32),
-            E::F64ConvertI32S => un!(i32, Slot::from_f64, |v| v as f64),
-            E::F64ConvertI32U => un!(i32, Slot::from_f64, |v| v as u32 as f64),
-            E::F64ConvertI64S => un!(i64, Slot::from_f64, |v| v as f64),
-            E::F64ConvertI64U => un!(i64, Slot::from_f64, |v| v as u64 as f64),
-            E::F64PromoteF32 => un!(f32, Slot::from_f64, |v| v as f64),
-            E::Reinterpret => ip += 1,
-            E::I32Extend8S => un!(i32, Slot::from_i32, |v| v as i8 as i32),
-            E::I32Extend16S => un!(i32, Slot::from_i32, |v| v as i16 as i32),
-            E::I64Extend8S => un!(i64, Slot::from_i64, |v| v as i8 as i64),
-            E::I64Extend16S => un!(i64, Slot::from_i64, |v| v as i16 as i64),
-            E::I64Extend32S => un!(i64, Slot::from_i64, |v| v as i32 as i64),
-
-            E::I32x4Splat => {
-                let v = pop!().i32();
-                exec::push_v128(stack, exec::i32x4_to_v([v; 4]));
-                ip += 1;
-            }
-            E::I64x2Splat => {
-                let v = pop!().u64();
-                exec::push_v128(stack, (v as u128) | ((v as u128) << 64));
-                ip += 1;
-            }
-            E::F32x4Splat => {
-                let v = pop!().f32();
-                exec::push_v128(stack, exec::f32x4_to_v([v; 4]));
-                ip += 1;
-            }
-            E::F64x2Splat => {
-                let v = pop!().f64();
-                exec::push_v128(stack, exec::f64x2_to_v([v; 2]));
-                ip += 1;
-            }
-            E::I32x4ExtractLane(l) => {
-                let v = exec::pop_v128(stack);
-                push!(Slot::from_i32(exec::v_to_i32x4(v)[*l as usize]));
-                ip += 1;
-            }
-            E::F32x4ExtractLane(l) => {
-                let v = exec::pop_v128(stack);
-                push!(Slot::from_f32(exec::v_to_f32x4(v)[*l as usize]));
-                ip += 1;
-            }
-            E::F64x2ExtractLane(l) => {
-                let v = exec::pop_v128(stack);
-                push!(Slot::from_f64(exec::v_to_f64x2(v)[*l as usize]));
-                ip += 1;
-            }
-            E::F64x2ReplaceLane(l) => {
-                let x = pop!().f64();
-                let v = exec::pop_v128(stack);
-                let mut lanes = exec::v_to_f64x2(v);
-                lanes[*l as usize] = x;
-                exec::push_v128(stack, exec::f64x2_to_v(lanes));
-                ip += 1;
-            }
-            E::I32x4Add => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_add)),
-            E::I32x4Sub => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_sub)),
-            E::I32x4Mul => vbin!(|a, b| exec::i32x4_bin(a, b, i32::wrapping_mul)),
-            E::F32x4Add => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x + y)),
-            E::F32x4Sub => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x - y)),
-            E::F32x4Mul => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x * y)),
-            E::F32x4Div => vbin!(|a, b| exec::f32x4_bin(a, b, |x, y| x / y)),
-            E::F64x2Add => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x + y)),
-            E::F64x2Sub => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x - y)),
-            E::F64x2Mul => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x * y)),
-            E::F64x2Div => vbin!(|a, b| exec::f64x2_bin(a, b, |x, y| x / y)),
-            E::F64x2Eq => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x == y)),
-            E::F64x2Ne => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x != y)),
-            E::F64x2Lt => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x < y)),
-            E::F64x2Gt => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x > y)),
-            E::F64x2Le => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x <= y)),
-            E::F64x2Ge => vbin!(|a, b| exec::f64x2_cmp(a, b, |x, y| x >= y)),
-            E::V128And => vbin!(|a, b| a & b),
-            E::V128Or => vbin!(|a, b| a | b),
-            E::V128Xor => vbin!(|a, b| a ^ b),
-            E::V128Not => {
-                let a = exec::pop_v128(stack);
-                exec::push_v128(stack, !a);
-                ip += 1;
-            }
-            E::V128AnyTrue => {
-                let a = exec::pop_v128(stack);
-                push!(Slot::from_bool(a != 0));
-                ip += 1;
-            }
-            E::I32x4AllTrue => {
-                let a = exec::v_to_i32x4(exec::pop_v128(stack));
-                push!(Slot::from_bool(a.iter().all(|&l| l != 0)));
-                ip += 1;
-            }
-            E::I32x4Bitmask => {
-                let a = exec::v_to_i32x4(exec::pop_v128(stack));
-                let mut m = 0;
-                for (i, l) in a.iter().enumerate() {
-                    if *l < 0 {
-                        m |= 1 << i;
-                    }
-                }
-                push!(Slot::from_i32(m));
-                ip += 1;
-            }
-
-            // --- superinstructions ---
-            E::I32AddLL(a, b) => {
-                let r = lg!(*a).i32().wrapping_add(lg!(*b).i32());
-                push!(Slot::from_i32(r));
-                ip += 1;
-            }
-            E::I64AddLL(a, b) => {
-                let r = lg!(*a).i64().wrapping_add(lg!(*b).i64());
-                push!(Slot::from_i64(r));
-                ip += 1;
-            }
-            E::F64AddLL(a, b) => {
-                push!(Slot::from_f64(lg!(*a).f64() + lg!(*b).f64()));
-                ip += 1;
-            }
-            E::F64MulLL(a, b) => {
-                push!(Slot::from_f64(lg!(*a).f64() * lg!(*b).f64()));
-                ip += 1;
-            }
-            E::F64SubLL(a, b) => {
-                push!(Slot::from_f64(lg!(*a).f64() - lg!(*b).f64()));
-                ip += 1;
-            }
-            E::I32AddLK(a, k) => {
-                push!(Slot::from_i32(lg!(*a).i32().wrapping_add(*k)));
-                ip += 1;
-            }
-            E::I32IncL(a, k) => {
-                let v = lg!(*a).i32().wrapping_add(*k);
-                lg!(*a) = Slot::from_i32(v);
-                ip += 1;
-            }
-            E::F64LoadL { local, bias, offset } => {
-                let addr = lg!(*local).i32().wrapping_add(*bias) as u32;
-                let start = inst.memory.effective(addr, *offset, 8)?;
-                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
-                ip += 1;
-            }
-            E::I32LoadL { local, bias, offset } => {
-                let addr = lg!(*local).i32().wrapping_add(*bias) as u32;
-                let start = inst.memory.effective(addr, *offset, 4)?;
-                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
-                ip += 1;
-            }
-            E::F64StoreLL { addr, val, offset } => {
-                let a = lg!(*addr).u32();
-                let v = lg!(*val).f64();
-                let start = inst.memory.effective(a, *offset, 8)?;
-                inst.memory.store(start, &v.to_le_bytes());
-                ip += 1;
-            }
-            E::F64MulL(b) => {
-                let m = lg!(*b).f64();
-                let t = top!();
-                *t = Slot::from_f64(t.f64() * m);
-                ip += 1;
-            }
-            E::F64AddL(b) => {
-                let m = lg!(*b).f64();
-                let t = top!();
-                *t = Slot::from_f64(t.f64() + m);
-                ip += 1;
-            }
-            E::I32ShlLK(a, k) => {
-                push!(Slot::from_i32(lg!(*a).i32().wrapping_shl(*k as u32)));
-                ip += 1;
-            }
-            E::I32AddK(k) => {
-                let t = top!();
-                *t = Slot::from_i32(t.i32().wrapping_add(*k));
-                ip += 1;
-            }
-            E::I32AddShlLL { base, idx, shift } => {
-                let r = lg!(*base)
-                    .i32()
-                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32));
-                push!(Slot::from_i32(r));
-                ip += 1;
-            }
-            E::F64LoadLSh { base, idx, shift, offset } => {
-                let addr = lg!(*base)
-                    .i32()
-                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32))
-                    as u32;
-                let start = inst.memory.effective(addr, *offset, 8)?;
-                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
-                ip += 1;
-            }
-            E::I32LoadLSh { base, idx, shift, offset } => {
-                let addr = lg!(*base)
-                    .i32()
-                    .wrapping_add(lg!(*idx).i32().wrapping_shl(*shift as u32))
-                    as u32;
-                let start = inst.memory.effective(addr, *offset, 4)?;
-                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
-                ip += 1;
-            }
-            E::F64LoadShlK { idx, shift, bias, offset } => {
-                let addr =
-                    lg!(*idx).i32().wrapping_shl(*shift as u32).wrapping_add(*bias) as u32;
-                let start = inst.memory.effective(addr, *offset, 8)?;
-                push!(Slot::from_u64(u64::from_le_bytes(inst.memory.load::<8>(start))));
-                ip += 1;
-            }
-            E::I32LoadShlK { idx, shift, bias, offset } => {
-                let addr =
-                    lg!(*idx).i32().wrapping_shl(*shift as u32).wrapping_add(*bias) as u32;
-                let start = inst.memory.effective(addr, *offset, 4)?;
-                push!(Slot::from_u32(u32::from_le_bytes(inst.memory.load::<4>(start))));
-                ip += 1;
-            }
-            E::F64MulAdd => {
-                let b = pop!().f64();
-                let a = pop!().f64();
-                let t = top!();
-                *t = Slot::from_f64(t.f64() + a * b);
-                ip += 1;
-            }
-            E::BrIfCmpLL { cmp, a, b, dest } => {
-                if cmp.eval(lg!(*a).i32(), lg!(*b).i32()) {
-                    take_branch!(dest);
-                } else {
-                    ip += 1;
-                }
-            }
-            E::BrIfCmpLK { cmp, a, k, dest } => {
-                if cmp.eval(lg!(*a).i32(), *k) {
-                    take_branch!(dest);
-                } else {
-                    ip += 1;
-                }
-            }
-            E::BrIfCmp { cmp, dest } => {
-                let b = pop!().i32();
-                let a = pop!().i32();
-                if cmp.eval(a, b) {
-                    take_branch!(dest);
-                } else {
-                    ip += 1;
-                }
-            }
-            E::BrIfEqz(dest) => {
-                let v = pop!().i32();
-                if v == 0 {
-                    take_branch!(dest);
-                } else {
-                    ip += 1;
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]

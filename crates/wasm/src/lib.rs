@@ -23,6 +23,7 @@
 
 pub mod builder;
 pub mod decode;
+pub(crate) mod dispatch;
 pub(crate) mod exec;
 pub mod interp;
 pub mod dsl;
@@ -32,6 +33,7 @@ pub mod instr;
 pub mod ir;
 pub mod leb128;
 pub mod module;
+pub mod regalloc;
 pub mod runtime;
 pub mod tier;
 pub mod types;

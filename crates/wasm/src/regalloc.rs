@@ -1,0 +1,2379 @@
+//! Register allocation over the flat IR: the load-time lowering from the
+//! serializable [`Op`](crate::ir::Op) stream into the stackless
+//! three-address [`RegOp`] form executed by [`crate::dispatch`].
+//!
+//! # The register model
+//!
+//! Validation proves that the operand stack height at every instruction is
+//! a static quantity. This pass exploits that: each stack temporary at
+//! height `h` is assigned the fixed frame slot `n_local_slots + h`, so
+//! locals and stack temporaries share one flat **register space** — a
+//! register number is simply an offset into the activation frame, which is
+//! a statically-sized window (`frame_size` slots) of the per-instance slot
+//! arena. The hot loop performs no push/pop traffic at all: every operand
+//! read and result write is `frame[imm]`.
+//!
+//! Collapsing the spaces also collapses the superinstruction set: the
+//! stack form `i32.add` and the fused `I32AddLL(a, b)` both lower to the
+//! same [`Rc::Add32`] `{a, b, c}` — only the register fields differ
+//! (stack temps for the former, local slots for the latter). The
+//! remaining specialized opcodes are the addressing forms (scaled /
+//! biased loads and stores) and the fused compare-and-branches.
+//!
+//! # Invariants established here and relied on by the executor
+//!
+//! * **Frame layout**: registers `0..param_slots` are the parameters
+//!   (written by the caller in place), `param_slots..n_local_slots` the
+//!   declared locals (zeroed at call entry), `n_local_slots..frame_size`
+//!   the stack temporaries (no init — validation guarantees every read is
+//!   preceded by a write on every path).
+//! * **Liveness**: a stack temporary is dead once execution moves below
+//!   its height; branch unwinding copies the `arity` carried slots from
+//!   their static source offset to the target height's offset, so merge
+//!   points always find operands at the registers the target expects.
+//! * **Bounds**: [`verify`] (always run by [`lower`]) proves every
+//!   register operand `< frame_size`, every branch target in range and
+//!   every pool reference valid, which makes the executor's unchecked
+//!   frame accesses sound even for hand-corrupted cache artifacts —
+//!   `lower` returns `Err` (and the cache recompiles) rather than
+//!   executing out-of-model code.
+//!
+//! The pass is a single forward walk (heights propagate to branch targets
+//! before the targets are visited — flat code from structured Wasm always
+//! reaches a label's height before the label), followed by a register
+//! peephole for the addressing forms the serializable IR cannot express
+//! (scaled stores with value-computation windows, i64/f32 scaled loads)
+//! and a nop compaction that keeps the dispatched stream dense.
+
+use crate::instr::Instr;
+use crate::ir::{Cmp, Dest, Op};
+use crate::module::{Function, Module};
+use crate::widths;
+
+/// One executable register-form operation. 24 bytes, fixed layout; the
+/// meaning of `a`/`b`/`c`/`aux`/`imm` depends on [`Rc`] (documented
+/// per-family on the enum). By convention `a`/`b` are source registers and
+/// `c` is the destination register; branch targets live in `c`, constants
+/// and packed unwind info in `imm`, and small immediates (shift counts,
+/// comparison codes, lane indices) in `aux`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegOp {
+    pub imm: u64,
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+    pub code: Rc,
+    pub aux: u8,
+}
+
+/// Register-form opcodes. Families share operand conventions:
+///
+/// * compute ops: `frame[c] = frame[a] ⊕ frame[b]` (binary) or
+///   `frame[c] = ⊕ frame[a]` (unary); `Cmp*` carry the comparison in
+///   `aux` ([`Cmp`] codes for integers, 0..=5 `eq ne lt gt le ge` for
+///   floats).
+/// * loads: address `= wrap(frame[a].i32 + bias) + offset` with
+///   `imm = offset | bias << 32`; result to `c`. Scaled forms add
+///   `frame[b]` (base register, `*Shl`) or use a constant base folded
+///   into `bias` (`*ShlK`), scaling `frame[a] << aux`.
+/// * stores: address register `a`, value register `b`, `imm = offset`
+///   (scaled stores move the value to `b`, index to `a`, base to `c`
+///   or bias into `imm` high half).
+/// * branches: target in `c`, packed unwind copy in `imm`
+///   ([`pack_unwind`]), operands in `a`/`b` (`BrIfCmp32K` compares
+///   `frame[a]` with the constant in `b`).
+/// * calls: `b` = frame-relative offset where the argument slots start
+///   (the callee's frame base); `a` = defined-function index
+///   (`CallGuest`), host-function index (`CallHost`) or type index
+///   (`CallIndirect`, table-index register in `c`).
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rc {
+    // -- control --
+    Nop = 0,
+    Jump,
+    Br,
+    BrIf,
+    /// Branch when `frame[a] == 0` (fused `eqz`/`if` polarity).
+    BrIfZ,
+    BrIfCmp32,
+    BrIfCmp32K,
+    BrTable,
+    Return,
+    Unreachable,
+    CallGuest,
+    CallHost,
+    CallIndirect,
+    // -- moves / parametric --
+    Copy,
+    Copy2,
+    /// `frame[a] = cond(frame[c]) ? frame[a] : frame[b]` (dst == a).
+    Select,
+    Select2,
+    GlobalGet,
+    GlobalSet,
+    // -- constants --
+    Const,
+    V128Const,
+    // -- memory --
+    Load32,
+    Load64,
+    Load8S32,
+    Load8U32,
+    Load16S32,
+    Load16U32,
+    Load8S64,
+    Load8U64,
+    Load16S64,
+    Load16U64,
+    Load32S64,
+    Load32U64,
+    V128Load,
+    Store8,
+    Store16,
+    Store32,
+    Store64,
+    V128Store,
+    Load32Shl,
+    Load64Shl,
+    Load32ShlK,
+    Load64ShlK,
+    Store32Shl,
+    Store64Shl,
+    Store32ShlK,
+    Store64ShlK,
+    MemSize,
+    MemGrow,
+    MemCopy,
+    MemFill,
+    // -- i32 --
+    Eqz32,
+    Cmp32,
+    Clz32,
+    Ctz32,
+    Popcnt32,
+    Add32,
+    Sub32,
+    Mul32,
+    DivS32,
+    DivU32,
+    RemS32,
+    RemU32,
+    And32,
+    Or32,
+    Xor32,
+    Shl32,
+    ShrS32,
+    ShrU32,
+    Rotl32,
+    Rotr32,
+    /// `frame[c] = frame[a] +wrap (b as i32)` — covers `I32AddK`,
+    /// `I32AddLK` and (with `c == a` a local) `I32IncL`.
+    AddK32,
+    ShlK32,
+    /// `frame[c] = frame[b] +wrap (frame[a] << aux)` (address form).
+    AddShl32,
+    // -- i64 --
+    Eqz64,
+    Cmp64,
+    Clz64,
+    Ctz64,
+    Popcnt64,
+    Add64,
+    Sub64,
+    Mul64,
+    DivS64,
+    DivU64,
+    RemS64,
+    RemU64,
+    And64,
+    Or64,
+    Xor64,
+    Shl64,
+    ShrS64,
+    ShrU64,
+    Rotl64,
+    Rotr64,
+    // -- f32 --
+    CmpF32,
+    AbsF32,
+    NegF32,
+    CeilF32,
+    FloorF32,
+    TruncF32,
+    NearestF32,
+    SqrtF32,
+    AddF32,
+    SubF32,
+    MulF32,
+    DivF32,
+    MinF32,
+    MaxF32,
+    CopysignF32,
+    // -- f64 --
+    CmpF64,
+    AbsF64,
+    NegF64,
+    CeilF64,
+    FloorF64,
+    TruncF64,
+    NearestF64,
+    SqrtF64,
+    AddF64,
+    SubF64,
+    MulF64,
+    DivF64,
+    MinF64,
+    MaxF64,
+    CopysignF64,
+    /// `frame[c] = frame[c] + frame[a] * frame[b]` (both roundings kept).
+    Fma64,
+    // -- conversions --
+    Wrap64,
+    TruncF32S32,
+    TruncF32U32,
+    TruncF64S32,
+    TruncF64U32,
+    ExtS3264,
+    ExtU3264,
+    TruncF32S64,
+    TruncF32U64,
+    TruncF64S64,
+    TruncF64U64,
+    ConvS32F32,
+    ConvU32F32,
+    ConvS64F32,
+    ConvU64F32,
+    Demote,
+    ConvS32F64,
+    ConvU32F64,
+    ConvS64F64,
+    ConvU64F64,
+    Promote,
+    Ext8S32,
+    Ext16S32,
+    Ext8S64,
+    Ext16S64,
+    Ext32S64,
+    // -- simd (wide registers occupy two slots, low half first) --
+    Splat32,
+    Splat64,
+    Extract32,
+    Extract64,
+    Replace64,
+    AddI32x4,
+    SubI32x4,
+    MulI32x4,
+    AddF32x4,
+    SubF32x4,
+    MulF32x4,
+    DivF32x4,
+    AddF64x2,
+    SubF64x2,
+    MulF64x2,
+    DivF64x2,
+    CmpF64x2,
+    VAnd,
+    VOr,
+    VXor,
+    VNot,
+    VAnyTrue,
+    AllTrueI32x4,
+    BitmaskI32x4,
+    /// `frame[c] = cmp(frame[a], b as i32)` — formed by constant
+    /// forwarding (no serializable counterpart).
+    Cmp32K,
+}
+
+/// One `br_table` destination in the side pool: resolved target plus the
+/// packed unwind copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrDest {
+    pub target: u32,
+    pub unwind: u64,
+}
+
+/// A function lowered to register form: the executable artifact derived
+/// from the portable [`Op`] stream at load time (never serialized).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegFunc {
+    pub code: Vec<RegOp>,
+    /// `br_table` destinations; an op references `[b, b + c]` (the entry
+    /// at `b + c` is the default).
+    pub dest_pool: Vec<BrDest>,
+    /// v128 constants (too wide for `imm`).
+    pub v128_pool: Vec<u128>,
+    /// Total frame slots: locals plus the maximum operand-stack height.
+    pub frame_size: u32,
+    pub n_local_slots: u32,
+    pub param_slots: u32,
+    pub result_slots: u32,
+}
+
+impl RegFunc {
+    pub fn size_bytes(&self) -> usize {
+        self.code.len() * std::mem::size_of::<RegOp>()
+            + self.dest_pool.len() * std::mem::size_of::<BrDest>()
+            + self.v128_pool.len() * 16
+    }
+}
+
+/// Registers and unwind offsets must fit the packed branch encoding.
+const MAX_REG: u32 = (1 << 24) - 1;
+
+/// Pack a branch's unwind copy: move `arity` slots from frame offset
+/// `src` down to `dst`. `0` means "no copy needed" (encoded when the
+/// slots are already in place).
+pub fn pack_unwind(src: u32, dst: u32, arity: u32) -> Result<u64, String> {
+    if arity == 0 || src == dst {
+        return Ok(0);
+    }
+    if arity > 0xffff || src > MAX_REG || dst > MAX_REG {
+        return Err("branch unwind exceeds encodable range".into());
+    }
+    Ok(arity as u64 | (src as u64) << 16 | (dst as u64) << 40)
+}
+
+/// Unpack [`pack_unwind`]: `(src, dst, arity)`.
+#[inline(always)]
+pub fn unwind_parts(imm: u64) -> (usize, usize, usize) {
+    (
+        ((imm >> 16) & 0xff_ffff) as usize,
+        (imm >> 40) as usize,
+        (imm & 0xffff) as usize,
+    )
+}
+
+#[inline]
+fn rop(code: Rc, a: u32, b: u32, c: u32, aux: u8, imm: u64) -> RegOp {
+    RegOp { imm, a, b, c, code, aux }
+}
+
+/// Float comparison codes shared by `CmpF32`/`CmpF64`/`CmpF64x2`.
+pub const FEQ: u8 = 0;
+pub const FNE: u8 = 1;
+pub const FLT: u8 = 2;
+pub const FGT: u8 = 3;
+pub const FLE: u8 = 4;
+pub const FGE: u8 = 5;
+
+#[inline(always)]
+pub fn feval<T: PartialOrd>(code: u8, a: T, b: T) -> bool {
+    match code {
+        FEQ => a == b,
+        FNE => a != b,
+        FLT => a < b,
+        FGT => a > b,
+        FLE => a <= b,
+        _ => a >= b,
+    }
+}
+
+/// Successor shape of one lowered op, driving height propagation.
+enum Next {
+    Fall(u32),
+    Jump { target: u32, th: u32 },
+    CondFall { fall: u32, target: u32, th: u32 },
+    Stop,
+}
+
+/// Lower one function's flat ops to register form. Runs the full
+/// pipeline: heights + translation, register peephole, nop compaction,
+/// verification. Returns `Err` on malformed input (corrupt cache
+/// artifacts) — the caller falls back to recompilation.
+pub(crate) fn lower(module: &Module, func: &Function, ops: &[Op]) -> Result<RegFunc, String> {
+    let fty = &module.types[func.type_idx as usize];
+    let (local_map, n_local_slots) = widths::local_map(&fty.params, &func.locals);
+    let param_slots = widths::slot_count(&fty.params);
+    let result_slots = widths::slot_count(&fty.results);
+    let imported = module.num_imported_funcs() as u32;
+
+    let mut code: Vec<RegOp> = Vec::with_capacity(ops.len());
+    let mut dest_pool: Vec<BrDest> = Vec::new();
+    let mut v128_pool: Vec<u128> = Vec::new();
+    let mut heights: Vec<Option<u32>> = vec![None; ops.len()];
+    if !ops.is_empty() {
+        heights[0] = Some(0);
+    }
+    let mut max_h: u32 = 0;
+
+    // Shared height-setting with merge check.
+    fn set_h(
+        heights: &mut [Option<u32>],
+        max_h: &mut u32,
+        at: usize,
+        h: u32,
+    ) -> Result<(), String> {
+        if at >= heights.len() {
+            return Err(format!("branch target {at} out of range"));
+        }
+        match heights[at] {
+            None => heights[at] = Some(h),
+            Some(prev) if prev == h => {}
+            Some(prev) => {
+                return Err(format!("height mismatch at op {at}: {prev} vs {h}"));
+            }
+        }
+        *max_h = (*max_h).max(h);
+        Ok(())
+    }
+
+    let slot = |i: u32| -> Result<u32, String> {
+        local_map
+            .get(i as usize)
+            .map(|m| m >> 1)
+            .ok_or_else(|| format!("local index {i} out of range"))
+    };
+    let wide = |i: u32| -> bool { local_map.get(i as usize).map_or(false, |m| m & 1 != 0) };
+
+    for (i, op) in ops.iter().enumerate() {
+        let Some(h) = heights[i] else {
+            // Statically unreachable op (possible only in corrupt or
+            // hand-built streams); keep indices 1:1 with a trap.
+            code.push(rop(Rc::Unreachable, 0, 0, 0, 0, 0));
+            continue;
+        };
+        max_h = max_h.max(h);
+        let base = n_local_slots;
+        // Register of the stack temp at height `x`.
+        let r = |x: u32| base + x;
+        macro_rules! need {
+            ($n:expr) => {
+                if h < $n {
+                    return Err(format!("operand stack underflow at op {i}"));
+                }
+            };
+        }
+        // Unwind for a branch evaluated at (post-pop) height `ph`.
+        macro_rules! unwind_to {
+            ($d:expr, $ph:expr) => {{
+                let d: &Dest = $d;
+                let ph: u32 = $ph;
+                if d.arity > ph || d.height + d.arity > ph {
+                    return Err(format!("branch unwind out of range at op {i}"));
+                }
+                pack_unwind(r(ph - d.arity), r(d.height), d.arity)?
+            }};
+        }
+
+        let (regop, next) = match op {
+            Op::Nop => (rop(Rc::Nop, 0, 0, 0, 0, 0), Next::Fall(h)),
+            Op::Jump(t) => (rop(Rc::Jump, 0, 0, *t, 0, 0), Next::Jump { target: *t, th: h }),
+            Op::JumpIfZero(t) => {
+                need!(1);
+                (
+                    rop(Rc::BrIfZ, r(h - 1), 0, *t, 0, 0),
+                    Next::CondFall { fall: h - 1, target: *t, th: h - 1 },
+                )
+            }
+            Op::Br(d) => {
+                let u = unwind_to!(d, h);
+                (
+                    rop(Rc::Br, 0, 0, d.target, 0, u),
+                    Next::Jump { target: d.target, th: d.height + d.arity },
+                )
+            }
+            Op::BrIf(d) => {
+                need!(1);
+                let u = unwind_to!(d, h - 1);
+                (
+                    rop(Rc::BrIf, r(h - 1), 0, d.target, 0, u),
+                    Next::CondFall { fall: h - 1, target: d.target, th: d.height + d.arity },
+                )
+            }
+            Op::BrIfEqz(d) => {
+                need!(1);
+                let u = unwind_to!(d, h - 1);
+                (
+                    rop(Rc::BrIfZ, r(h - 1), 0, d.target, 0, u),
+                    Next::CondFall { fall: h - 1, target: d.target, th: d.height + d.arity },
+                )
+            }
+            Op::BrIfCmp { cmp, dest } => {
+                need!(2);
+                let u = unwind_to!(dest, h - 2);
+                (
+                    rop(Rc::BrIfCmp32, r(h - 2), r(h - 1), dest.target, cmp.to_byte(), u),
+                    Next::CondFall {
+                        fall: h - 2,
+                        target: dest.target,
+                        th: dest.height + dest.arity,
+                    },
+                )
+            }
+            Op::BrIfCmpLL { cmp, a, b, dest } => {
+                let u = unwind_to!(dest, h);
+                (
+                    rop(
+                        Rc::BrIfCmp32,
+                        slot(*a as u32)?,
+                        slot(*b as u32)?,
+                        dest.target,
+                        cmp.to_byte(),
+                        u,
+                    ),
+                    Next::CondFall { fall: h, target: dest.target, th: dest.height + dest.arity },
+                )
+            }
+            Op::BrIfCmpLK { cmp, a, k, dest } => {
+                let u = unwind_to!(dest, h);
+                (
+                    rop(
+                        Rc::BrIfCmp32K,
+                        slot(*a as u32)?,
+                        *k as u32,
+                        dest.target,
+                        cmp.to_byte(),
+                        u,
+                    ),
+                    Next::CondFall { fall: h, target: dest.target, th: dest.height + dest.arity },
+                )
+            }
+            Op::BrTable { dests, default } => {
+                need!(1);
+                let ph = h - 1;
+                let start = dest_pool.len() as u32;
+                for d in dests.iter().chain(std::iter::once(default)) {
+                    let u = unwind_to!(d, ph);
+                    set_h(&mut heights, &mut max_h, d.target as usize, d.height + d.arity)?;
+                    dest_pool.push(BrDest { target: d.target, unwind: u });
+                }
+                (
+                    rop(Rc::BrTable, r(h - 1), start, dests.len() as u32, 0, 0),
+                    Next::Stop,
+                )
+            }
+            Op::Return => {
+                need!(result_slots);
+                (rop(Rc::Return, r(h - result_slots), 0, 0, 0, 0), Next::Stop)
+            }
+            Op::Unreachable => (rop(Rc::Unreachable, 0, 0, 0, 0, 0), Next::Stop),
+            Op::Drop2 => {
+                need!(2);
+                (rop(Rc::Nop, 0, 0, 0, 0, 0), Next::Fall(h - 2))
+            }
+            Op::Select2 => {
+                need!(5);
+                (
+                    rop(Rc::Select2, r(h - 5), r(h - 3), r(h - 1), 0, 0),
+                    Next::Fall(h - 3),
+                )
+            }
+
+            // --- superinstructions: register fields point at locals ---
+            Op::I32AddLL(a, b) => (
+                rop(Rc::Add32, slot(*a as u32)?, slot(*b as u32)?, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::I64AddLL(a, b) => (
+                rop(Rc::Add64, slot(*a as u32)?, slot(*b as u32)?, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::F64AddLL(a, b) => (
+                rop(Rc::AddF64, slot(*a as u32)?, slot(*b as u32)?, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::F64MulLL(a, b) => (
+                rop(Rc::MulF64, slot(*a as u32)?, slot(*b as u32)?, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::F64SubLL(a, b) => (
+                rop(Rc::SubF64, slot(*a as u32)?, slot(*b as u32)?, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::I32AddLK(a, k) => (
+                rop(Rc::AddK32, slot(*a as u32)?, *k as u32, r(h), 0, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::I32IncL(a, k) => {
+                let s = slot(*a as u32)?;
+                (rop(Rc::AddK32, s, *k as u32, s, 0, 0), Next::Fall(h))
+            }
+            Op::I32AddK(k) => {
+                need!(1);
+                (rop(Rc::AddK32, r(h - 1), *k as u32, r(h - 1), 0, 0), Next::Fall(h))
+            }
+            Op::I32ShlLK(a, k) => (
+                rop(Rc::ShlK32, slot(*a as u32)?, 0, r(h), *k & 31, 0),
+                Next::Fall(h + 1),
+            ),
+            Op::I32AddShlLL { base: bl, idx, shift } => (
+                rop(
+                    Rc::AddShl32,
+                    slot(*idx as u32)?,
+                    slot(*bl as u32)?,
+                    r(h),
+                    *shift,
+                    0,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::F64LoadL { local, bias, offset } => (
+                rop(
+                    Rc::Load64,
+                    slot(*local as u32)?,
+                    0,
+                    r(h),
+                    0,
+                    *offset as u64 | (*bias as u32 as u64) << 32,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::I32LoadL { local, bias, offset } => (
+                rop(
+                    Rc::Load32,
+                    slot(*local as u32)?,
+                    0,
+                    r(h),
+                    0,
+                    *offset as u64 | (*bias as u32 as u64) << 32,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::F64StoreLL { addr, val, offset } => (
+                rop(
+                    Rc::Store64,
+                    slot(*addr as u32)?,
+                    slot(*val as u32)?,
+                    0,
+                    0,
+                    *offset as u64,
+                ),
+                Next::Fall(h),
+            ),
+            Op::F64MulL(b) => {
+                need!(1);
+                (
+                    rop(Rc::MulF64, r(h - 1), slot(*b as u32)?, r(h - 1), 0, 0),
+                    Next::Fall(h),
+                )
+            }
+            Op::F64AddL(b) => {
+                need!(1);
+                (
+                    rop(Rc::AddF64, r(h - 1), slot(*b as u32)?, r(h - 1), 0, 0),
+                    Next::Fall(h),
+                )
+            }
+            Op::F64LoadLSh { base: bl, idx, shift, offset } => (
+                rop(
+                    Rc::Load64Shl,
+                    slot(*idx as u32)?,
+                    slot(*bl as u32)?,
+                    r(h),
+                    *shift,
+                    *offset as u64,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::I32LoadLSh { base: bl, idx, shift, offset } => (
+                rop(
+                    Rc::Load32Shl,
+                    slot(*idx as u32)?,
+                    slot(*bl as u32)?,
+                    r(h),
+                    *shift,
+                    *offset as u64,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::F64LoadShlK { idx, shift, bias, offset } => (
+                rop(
+                    Rc::Load64ShlK,
+                    slot(*idx as u32)?,
+                    0,
+                    r(h),
+                    *shift,
+                    *offset as u64 | (*bias as u32 as u64) << 32,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::I32LoadShlK { idx, shift, bias, offset } => (
+                rop(
+                    Rc::Load32ShlK,
+                    slot(*idx as u32)?,
+                    0,
+                    r(h),
+                    *shift,
+                    *offset as u64 | (*bias as u32 as u64) << 32,
+                ),
+                Next::Fall(h + 1),
+            ),
+            Op::F64MulAdd => {
+                need!(3);
+                (
+                    rop(Rc::Fma64, r(h - 2), r(h - 1), r(h - 3), 0, 0),
+                    Next::Fall(h - 2),
+                )
+            }
+
+            Op::Plain(instr) => lower_plain(
+                instr, module, i, h, base, imported, &slot, &wide, &mut v128_pool,
+            )?,
+        };
+        code.push(regop);
+        match next {
+            Next::Fall(nh) => set_h(&mut heights, &mut max_h, i + 1, nh)?,
+            Next::Jump { target, th } => {
+                set_h(&mut heights, &mut max_h, target as usize, th)?
+            }
+            Next::CondFall { fall, target, th } => {
+                set_h(&mut heights, &mut max_h, i + 1, fall)?;
+                set_h(&mut heights, &mut max_h, target as usize, th)?;
+            }
+            Next::Stop => {}
+        }
+    }
+
+    if code.is_empty() {
+        return Err("empty op stream".into());
+    }
+    let frame_size = n_local_slots
+        .checked_add(max_h)
+        .filter(|&f| f <= MAX_REG)
+        .ok_or("frame size exceeds encodable range")?;
+
+    let mut rf = RegFunc {
+        code,
+        dest_pool,
+        v128_pool,
+        frame_size,
+        n_local_slots,
+        param_slots,
+        result_slots,
+    };
+    // Entry heights per op, kept index-aligned with `rf.code` through
+    // every pass (compaction remaps them alongside the targets). They are
+    // the liveness oracle: at an op with entry height `h`, every register
+    // `>= n_local_slots + h` is dead.
+    let mut hs: Vec<u32> = heights
+        .iter()
+        .map(|h| h.unwrap_or(u32::MAX))
+        .collect();
+    compact(&mut rf, &mut hs);
+    // Iterate forwarding / dead-code / addressing fusion to a bounded
+    // fixpoint: each pass exposes opportunities for the others (a
+    // forwarded constant turns Mul32 into ShlK32, which the addressing
+    // pass folds into a scaled load, which leaves the Copy dead...).
+    for _ in 0..3 {
+        let a = forward(&mut rf);
+        let b = eliminate(&mut rf, &hs);
+        let c = peephole(&mut rf, &hs);
+        if !(a || b || c) {
+            break;
+        }
+        compact(&mut rf, &mut hs);
+    }
+    verify(&rf, module)?;
+    Ok(rf)
+}
+
+/// Lower one straight-line instruction at entry height `h`. Returns the
+/// register op and the successor shape (always `Fall`).
+#[allow(clippy::too_many_arguments)]
+fn lower_plain(
+    instr: &Instr,
+    module: &Module,
+    i: usize,
+    h: u32,
+    base: u32,
+    imported: u32,
+    slot: &dyn Fn(u32) -> Result<u32, String>,
+    wide: &dyn Fn(u32) -> bool,
+    v128_pool: &mut Vec<u128>,
+) -> Result<(RegOp, Next), String> {
+    use Instr as I;
+    let r = |x: u32| base + x;
+    macro_rules! need {
+        ($n:expr) => {
+            if h < $n {
+                return Err(format!("operand stack underflow at op {i}"));
+            }
+        };
+    }
+    // Shape helpers. Each returns (RegOp, Next).
+    macro_rules! bin {
+        ($rc:expr) => {{
+            need!(2);
+            (rop($rc, r(h - 2), r(h - 1), r(h - 2), 0, 0), Next::Fall(h - 1))
+        }};
+    }
+    macro_rules! cmp {
+        ($rc:expr, $code:expr) => {{
+            need!(2);
+            (rop($rc, r(h - 2), r(h - 1), r(h - 2), $code, 0), Next::Fall(h - 1))
+        }};
+    }
+    macro_rules! un {
+        ($rc:expr) => {{
+            need!(1);
+            (rop($rc, r(h - 1), 0, r(h - 1), 0, 0), Next::Fall(h))
+        }};
+    }
+    macro_rules! ld {
+        ($rc:expr, $m:expr) => {{
+            need!(1);
+            (
+                rop($rc, r(h - 1), 0, r(h - 1), 0, $m.offset as u64),
+                Next::Fall(h),
+            )
+        }};
+    }
+    macro_rules! st {
+        ($rc:expr, $m:expr) => {{
+            need!(2);
+            (
+                rop($rc, r(h - 2), r(h - 1), 0, 0, $m.offset as u64),
+                Next::Fall(h - 2),
+            )
+        }};
+    }
+    macro_rules! cst {
+        ($bits:expr) => {{
+            (rop(Rc::Const, 0, 0, r(h), 0, $bits), Next::Fall(h + 1))
+        }};
+    }
+    macro_rules! vbin {
+        ($rc:expr) => {{
+            need!(4);
+            (rop($rc, r(h - 4), r(h - 2), r(h - 4), 0, 0), Next::Fall(h - 2))
+        }};
+    }
+
+    Ok(match instr {
+        I::Nop => (rop(Rc::Nop, 0, 0, 0, 0, 0), Next::Fall(h)),
+        I::Drop => {
+            need!(1);
+            (rop(Rc::Nop, 0, 0, 0, 0, 0), Next::Fall(h - 1))
+        }
+        I::Select => {
+            need!(3);
+            (
+                rop(Rc::Select, r(h - 3), r(h - 2), r(h - 1), 0, 0),
+                Next::Fall(h - 2),
+            )
+        }
+        I::LocalGet(x) => {
+            let s = slot(*x)?;
+            if wide(*x) {
+                (rop(Rc::Copy2, s, 0, r(h), 0, 0), Next::Fall(h + 2))
+            } else {
+                (rop(Rc::Copy, s, 0, r(h), 0, 0), Next::Fall(h + 1))
+            }
+        }
+        I::LocalSet(x) => {
+            let s = slot(*x)?;
+            if wide(*x) {
+                need!(2);
+                (rop(Rc::Copy2, r(h - 2), 0, s, 0, 0), Next::Fall(h - 2))
+            } else {
+                need!(1);
+                (rop(Rc::Copy, r(h - 1), 0, s, 0, 0), Next::Fall(h - 1))
+            }
+        }
+        I::LocalTee(x) => {
+            let s = slot(*x)?;
+            if wide(*x) {
+                need!(2);
+                (rop(Rc::Copy2, r(h - 2), 0, s, 0, 0), Next::Fall(h))
+            } else {
+                need!(1);
+                (rop(Rc::Copy, r(h - 1), 0, s, 0, 0), Next::Fall(h))
+            }
+        }
+        I::GlobalGet(g) => (rop(Rc::GlobalGet, *g, 0, r(h), 0, 0), Next::Fall(h + 1)),
+        I::GlobalSet(g) => {
+            need!(1);
+            (rop(Rc::GlobalSet, *g, r(h - 1), 0, 0, 0), Next::Fall(h - 1))
+        }
+        I::Call(f) => {
+            let ty = module
+                .func_type(*f)
+                .ok_or_else(|| format!("call target {f} out of range"))?;
+            let p = widths::slot_count(&ty.params);
+            let res = widths::slot_count(&ty.results);
+            need!(p);
+            let arg_base = r(h - p);
+            let op = if *f < imported {
+                rop(Rc::CallHost, *f, arg_base, 0, 0, 0)
+            } else {
+                rop(Rc::CallGuest, *f - imported, arg_base, 0, 0, 0)
+            };
+            (op, Next::Fall(h - p + res))
+        }
+        I::CallIndirect { type_idx, .. } => {
+            let ty = module
+                .types
+                .get(*type_idx as usize)
+                .ok_or_else(|| format!("call_indirect type {type_idx} out of range"))?;
+            let p = widths::slot_count(&ty.params);
+            let res = widths::slot_count(&ty.results);
+            need!(p + 1);
+            (
+                rop(Rc::CallIndirect, *type_idx, r(h - 1 - p), r(h - 1), 0, 0),
+                Next::Fall(h - 1 - p + res),
+            )
+        }
+
+        // Memory.
+        I::I32Load(m) | I::F32Load(m) => ld!(Rc::Load32, m),
+        I::I64Load(m) | I::F64Load(m) => ld!(Rc::Load64, m),
+        I::I32Load8S(m) => ld!(Rc::Load8S32, m),
+        I::I32Load8U(m) => ld!(Rc::Load8U32, m),
+        I::I32Load16S(m) => ld!(Rc::Load16S32, m),
+        I::I32Load16U(m) => ld!(Rc::Load16U32, m),
+        I::I64Load8S(m) => ld!(Rc::Load8S64, m),
+        I::I64Load8U(m) => ld!(Rc::Load8U64, m),
+        I::I64Load16S(m) => ld!(Rc::Load16S64, m),
+        I::I64Load16U(m) => ld!(Rc::Load16U64, m),
+        I::I64Load32S(m) => ld!(Rc::Load32S64, m),
+        I::I64Load32U(m) => ld!(Rc::Load32U64, m),
+        I::V128Load(m) => {
+            need!(1);
+            (
+                rop(Rc::V128Load, r(h - 1), 0, r(h - 1), 0, m.offset as u64),
+                Next::Fall(h + 1),
+            )
+        }
+        I::I32Store(m) | I::F32Store(m) | I::I64Store32(m) => st!(Rc::Store32, m),
+        I::I64Store(m) | I::F64Store(m) => st!(Rc::Store64, m),
+        I::I32Store8(m) | I::I64Store8(m) => st!(Rc::Store8, m),
+        I::I32Store16(m) | I::I64Store16(m) => st!(Rc::Store16, m),
+        I::V128Store(m) => {
+            need!(3);
+            (
+                rop(Rc::V128Store, r(h - 3), r(h - 2), 0, 0, m.offset as u64),
+                Next::Fall(h - 3),
+            )
+        }
+        I::MemorySize => (rop(Rc::MemSize, 0, 0, r(h), 0, 0), Next::Fall(h + 1)),
+        I::MemoryGrow => un!(Rc::MemGrow),
+        I::MemoryCopy => {
+            need!(3);
+            (
+                rop(Rc::MemCopy, r(h - 3), r(h - 2), r(h - 1), 0, 0),
+                Next::Fall(h - 3),
+            )
+        }
+        I::MemoryFill => {
+            need!(3);
+            (
+                rop(Rc::MemFill, r(h - 3), r(h - 2), r(h - 1), 0, 0),
+                Next::Fall(h - 3),
+            )
+        }
+
+        // Constants.
+        I::I32Const(v) => cst!(*v as u32 as u64),
+        I::I64Const(v) => cst!(*v as u64),
+        I::F32Const(v) => cst!(v.to_bits() as u64),
+        I::F64Const(v) => cst!(v.to_bits()),
+        I::V128Const(bytes) => {
+            let idx = v128_pool.len() as u32;
+            v128_pool.push(u128::from_le_bytes(*bytes));
+            (rop(Rc::V128Const, idx, 0, r(h), 0, 0), Next::Fall(h + 2))
+        }
+
+        // i32.
+        I::I32Eqz => un!(Rc::Eqz32),
+        I::I32Eq => cmp!(Rc::Cmp32, Cmp::Eq.to_byte()),
+        I::I32Ne => cmp!(Rc::Cmp32, Cmp::Ne.to_byte()),
+        I::I32LtS => cmp!(Rc::Cmp32, Cmp::LtS.to_byte()),
+        I::I32LtU => cmp!(Rc::Cmp32, Cmp::LtU.to_byte()),
+        I::I32GtS => cmp!(Rc::Cmp32, Cmp::GtS.to_byte()),
+        I::I32GtU => cmp!(Rc::Cmp32, Cmp::GtU.to_byte()),
+        I::I32LeS => cmp!(Rc::Cmp32, Cmp::LeS.to_byte()),
+        I::I32LeU => cmp!(Rc::Cmp32, Cmp::LeU.to_byte()),
+        I::I32GeS => cmp!(Rc::Cmp32, Cmp::GeS.to_byte()),
+        I::I32GeU => cmp!(Rc::Cmp32, Cmp::GeU.to_byte()),
+        I::I32Clz => un!(Rc::Clz32),
+        I::I32Ctz => un!(Rc::Ctz32),
+        I::I32Popcnt => un!(Rc::Popcnt32),
+        I::I32Add => bin!(Rc::Add32),
+        I::I32Sub => bin!(Rc::Sub32),
+        I::I32Mul => bin!(Rc::Mul32),
+        I::I32DivS => bin!(Rc::DivS32),
+        I::I32DivU => bin!(Rc::DivU32),
+        I::I32RemS => bin!(Rc::RemS32),
+        I::I32RemU => bin!(Rc::RemU32),
+        I::I32And => bin!(Rc::And32),
+        I::I32Or => bin!(Rc::Or32),
+        I::I32Xor => bin!(Rc::Xor32),
+        I::I32Shl => bin!(Rc::Shl32),
+        I::I32ShrS => bin!(Rc::ShrS32),
+        I::I32ShrU => bin!(Rc::ShrU32),
+        I::I32Rotl => bin!(Rc::Rotl32),
+        I::I32Rotr => bin!(Rc::Rotr32),
+
+        // i64.
+        I::I64Eqz => un!(Rc::Eqz64),
+        I::I64Eq => cmp!(Rc::Cmp64, Cmp::Eq.to_byte()),
+        I::I64Ne => cmp!(Rc::Cmp64, Cmp::Ne.to_byte()),
+        I::I64LtS => cmp!(Rc::Cmp64, Cmp::LtS.to_byte()),
+        I::I64LtU => cmp!(Rc::Cmp64, Cmp::LtU.to_byte()),
+        I::I64GtS => cmp!(Rc::Cmp64, Cmp::GtS.to_byte()),
+        I::I64GtU => cmp!(Rc::Cmp64, Cmp::GtU.to_byte()),
+        I::I64LeS => cmp!(Rc::Cmp64, Cmp::LeS.to_byte()),
+        I::I64LeU => cmp!(Rc::Cmp64, Cmp::LeU.to_byte()),
+        I::I64GeS => cmp!(Rc::Cmp64, Cmp::GeS.to_byte()),
+        I::I64GeU => cmp!(Rc::Cmp64, Cmp::GeU.to_byte()),
+        I::I64Clz => un!(Rc::Clz64),
+        I::I64Ctz => un!(Rc::Ctz64),
+        I::I64Popcnt => un!(Rc::Popcnt64),
+        I::I64Add => bin!(Rc::Add64),
+        I::I64Sub => bin!(Rc::Sub64),
+        I::I64Mul => bin!(Rc::Mul64),
+        I::I64DivS => bin!(Rc::DivS64),
+        I::I64DivU => bin!(Rc::DivU64),
+        I::I64RemS => bin!(Rc::RemS64),
+        I::I64RemU => bin!(Rc::RemU64),
+        I::I64And => bin!(Rc::And64),
+        I::I64Or => bin!(Rc::Or64),
+        I::I64Xor => bin!(Rc::Xor64),
+        I::I64Shl => bin!(Rc::Shl64),
+        I::I64ShrS => bin!(Rc::ShrS64),
+        I::I64ShrU => bin!(Rc::ShrU64),
+        I::I64Rotl => bin!(Rc::Rotl64),
+        I::I64Rotr => bin!(Rc::Rotr64),
+
+        // f32.
+        I::F32Eq => cmp!(Rc::CmpF32, FEQ),
+        I::F32Ne => cmp!(Rc::CmpF32, FNE),
+        I::F32Lt => cmp!(Rc::CmpF32, FLT),
+        I::F32Gt => cmp!(Rc::CmpF32, FGT),
+        I::F32Le => cmp!(Rc::CmpF32, FLE),
+        I::F32Ge => cmp!(Rc::CmpF32, FGE),
+        I::F32Abs => un!(Rc::AbsF32),
+        I::F32Neg => un!(Rc::NegF32),
+        I::F32Ceil => un!(Rc::CeilF32),
+        I::F32Floor => un!(Rc::FloorF32),
+        I::F32Trunc => un!(Rc::TruncF32),
+        I::F32Nearest => un!(Rc::NearestF32),
+        I::F32Sqrt => un!(Rc::SqrtF32),
+        I::F32Add => bin!(Rc::AddF32),
+        I::F32Sub => bin!(Rc::SubF32),
+        I::F32Mul => bin!(Rc::MulF32),
+        I::F32Div => bin!(Rc::DivF32),
+        I::F32Min => bin!(Rc::MinF32),
+        I::F32Max => bin!(Rc::MaxF32),
+        I::F32Copysign => bin!(Rc::CopysignF32),
+
+        // f64.
+        I::F64Eq => cmp!(Rc::CmpF64, FEQ),
+        I::F64Ne => cmp!(Rc::CmpF64, FNE),
+        I::F64Lt => cmp!(Rc::CmpF64, FLT),
+        I::F64Gt => cmp!(Rc::CmpF64, FGT),
+        I::F64Le => cmp!(Rc::CmpF64, FLE),
+        I::F64Ge => cmp!(Rc::CmpF64, FGE),
+        I::F64Abs => un!(Rc::AbsF64),
+        I::F64Neg => un!(Rc::NegF64),
+        I::F64Ceil => un!(Rc::CeilF64),
+        I::F64Floor => un!(Rc::FloorF64),
+        I::F64Trunc => un!(Rc::TruncF64),
+        I::F64Nearest => un!(Rc::NearestF64),
+        I::F64Sqrt => un!(Rc::SqrtF64),
+        I::F64Add => bin!(Rc::AddF64),
+        I::F64Sub => bin!(Rc::SubF64),
+        I::F64Mul => bin!(Rc::MulF64),
+        I::F64Div => bin!(Rc::DivF64),
+        I::F64Min => bin!(Rc::MinF64),
+        I::F64Max => bin!(Rc::MaxF64),
+        I::F64Copysign => bin!(Rc::CopysignF64),
+
+        // Conversions. The four reinterpretations are no-ops on raw slots.
+        I::I32WrapI64 => un!(Rc::Wrap64),
+        I::I32TruncF32S => un!(Rc::TruncF32S32),
+        I::I32TruncF32U => un!(Rc::TruncF32U32),
+        I::I32TruncF64S => un!(Rc::TruncF64S32),
+        I::I32TruncF64U => un!(Rc::TruncF64U32),
+        I::I64ExtendI32S => un!(Rc::ExtS3264),
+        I::I64ExtendI32U => un!(Rc::ExtU3264),
+        I::I64TruncF32S => un!(Rc::TruncF32S64),
+        I::I64TruncF32U => un!(Rc::TruncF32U64),
+        I::I64TruncF64S => un!(Rc::TruncF64S64),
+        I::I64TruncF64U => un!(Rc::TruncF64U64),
+        I::F32ConvertI32S => un!(Rc::ConvS32F32),
+        I::F32ConvertI32U => un!(Rc::ConvU32F32),
+        I::F32ConvertI64S => un!(Rc::ConvS64F32),
+        I::F32ConvertI64U => un!(Rc::ConvU64F32),
+        I::F32DemoteF64 => un!(Rc::Demote),
+        I::F64ConvertI32S => un!(Rc::ConvS32F64),
+        I::F64ConvertI32U => un!(Rc::ConvU32F64),
+        I::F64ConvertI64S => un!(Rc::ConvS64F64),
+        I::F64ConvertI64U => un!(Rc::ConvU64F64),
+        I::F64PromoteF32 => un!(Rc::Promote),
+        I::I32ReinterpretF32 | I::I64ReinterpretF64 | I::F32ReinterpretI32
+        | I::F64ReinterpretI64 => {
+            need!(1);
+            (rop(Rc::Nop, 0, 0, 0, 0, 0), Next::Fall(h))
+        }
+        I::I32Extend8S => un!(Rc::Ext8S32),
+        I::I32Extend16S => un!(Rc::Ext16S32),
+        I::I64Extend8S => un!(Rc::Ext8S64),
+        I::I64Extend16S => un!(Rc::Ext16S64),
+        I::I64Extend32S => un!(Rc::Ext32S64),
+
+        // SIMD. i32x4/f32x4 splats broadcast the same low 32 bits, and
+        // i64x2/f64x2 the same 64 bits, so each pair shares an opcode
+        // (same for the 32-bit lane extracts).
+        I::I32x4Splat | I::F32x4Splat => {
+            need!(1);
+            (rop(Rc::Splat32, r(h - 1), 0, r(h - 1), 0, 0), Next::Fall(h + 1))
+        }
+        I::I64x2Splat | I::F64x2Splat => {
+            need!(1);
+            (rop(Rc::Splat64, r(h - 1), 0, r(h - 1), 0, 0), Next::Fall(h + 1))
+        }
+        I::I32x4ExtractLane(l) | I::F32x4ExtractLane(l) => {
+            need!(2);
+            (
+                rop(Rc::Extract32, r(h - 2), 0, r(h - 2), *l & 3, 0),
+                Next::Fall(h - 1),
+            )
+        }
+        I::F64x2ExtractLane(l) => {
+            need!(2);
+            (
+                rop(Rc::Extract64, r(h - 2), 0, r(h - 2), *l & 1, 0),
+                Next::Fall(h - 1),
+            )
+        }
+        I::F64x2ReplaceLane(l) => {
+            need!(3);
+            (
+                rop(Rc::Replace64, r(h - 3), r(h - 1), r(h - 3), *l & 1, 0),
+                Next::Fall(h - 1),
+            )
+        }
+        I::I32x4Add => vbin!(Rc::AddI32x4),
+        I::I32x4Sub => vbin!(Rc::SubI32x4),
+        I::I32x4Mul => vbin!(Rc::MulI32x4),
+        I::F32x4Add => vbin!(Rc::AddF32x4),
+        I::F32x4Sub => vbin!(Rc::SubF32x4),
+        I::F32x4Mul => vbin!(Rc::MulF32x4),
+        I::F32x4Div => vbin!(Rc::DivF32x4),
+        I::F64x2Add => vbin!(Rc::AddF64x2),
+        I::F64x2Sub => vbin!(Rc::SubF64x2),
+        I::F64x2Mul => vbin!(Rc::MulF64x2),
+        I::F64x2Div => vbin!(Rc::DivF64x2),
+        I::F64x2Eq => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FEQ, 0), Next::Fall(h - 2))
+        }
+        I::F64x2Ne => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FNE, 0), Next::Fall(h - 2))
+        }
+        I::F64x2Lt => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FLT, 0), Next::Fall(h - 2))
+        }
+        I::F64x2Gt => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FGT, 0), Next::Fall(h - 2))
+        }
+        I::F64x2Le => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FLE, 0), Next::Fall(h - 2))
+        }
+        I::F64x2Ge => {
+            need!(4);
+            (rop(Rc::CmpF64x2, r(h - 4), r(h - 2), r(h - 4), FGE, 0), Next::Fall(h - 2))
+        }
+        I::V128And => vbin!(Rc::VAnd),
+        I::V128Or => vbin!(Rc::VOr),
+        I::V128Xor => vbin!(Rc::VXor),
+        I::V128Not => {
+            need!(2);
+            (rop(Rc::VNot, r(h - 2), 0, r(h - 2), 0, 0), Next::Fall(h))
+        }
+        I::V128AnyTrue => {
+            need!(2);
+            (rop(Rc::VAnyTrue, r(h - 2), 0, r(h - 2), 0, 0), Next::Fall(h - 1))
+        }
+        I::I32x4AllTrue => {
+            need!(2);
+            (rop(Rc::AllTrueI32x4, r(h - 2), 0, r(h - 2), 0, 0), Next::Fall(h - 1))
+        }
+        I::I32x4Bitmask => {
+            need!(2);
+            (rop(Rc::BitmaskI32x4, r(h - 2), 0, r(h - 2), 0, 0), Next::Fall(h - 1))
+        }
+
+        other => {
+            return Err(format!("control instruction {other:?} in straight-line position"));
+        }
+    })
+}
+
+// --- register peephole ---
+
+/// Destination registers an op writes, for the store-window safety scan.
+/// `None` = writes nothing; `Some((start, width))` = contiguous slots.
+/// Ops outside the scan's allowlist are rejected before this is consulted.
+fn writes(op: &RegOp) -> Option<(u32, u32)> {
+    use Rc::*;
+    match op.code {
+        Nop | Store8 | Store16 | Store32 | Store64 | V128Store | Store32Shl | Store64Shl
+        | Store32ShlK | Store64ShlK | GlobalSet | MemCopy | MemFill => None,
+        Copy | GlobalGet | Const | MemSize | MemGrow | Eqz32 | Cmp32 | Clz32 | Ctz32
+        | Popcnt32 | Add32 | Sub32 | Mul32 | DivS32 | DivU32 | RemS32 | RemU32 | And32
+        | Or32 | Xor32 | Shl32 | ShrS32 | ShrU32 | Rotl32 | Rotr32 | AddK32 | ShlK32
+        | AddShl32 | Eqz64 | Cmp64 | Clz64 | Ctz64 | Popcnt64 | Add64 | Sub64 | Mul64
+        | DivS64 | DivU64 | RemS64 | RemU64 | And64 | Or64 | Xor64 | Shl64 | ShrS64
+        | ShrU64 | Rotl64 | Rotr64 | CmpF32 | AbsF32 | NegF32 | CeilF32 | FloorF32
+        | TruncF32 | NearestF32 | SqrtF32 | AddF32 | SubF32 | MulF32 | DivF32 | MinF32
+        | MaxF32 | CopysignF32 | CmpF64 | AbsF64 | NegF64 | CeilF64 | FloorF64 | TruncF64
+        | NearestF64 | SqrtF64 | AddF64 | SubF64 | MulF64 | DivF64 | MinF64 | MaxF64
+        | CopysignF64 | Fma64 | Wrap64 | TruncF32S32 | TruncF32U32 | TruncF64S32
+        | TruncF64U32 | ExtS3264 | ExtU3264 | TruncF32S64 | TruncF32U64 | TruncF64S64
+        | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32 | ConvU64F32 | Demote
+        | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64 | Promote | Ext8S32 | Ext16S32
+        | Ext8S64 | Ext16S64 | Ext32S64 | Extract32 | Extract64 | VAnyTrue | AllTrueI32x4
+        | BitmaskI32x4 | Cmp32K | Load32 | Load64 | Load8S32 | Load8U32 | Load16S32
+        | Load16U32 | Load8S64 | Load8U64 | Load16S64 | Load16U64 | Load32S64 | Load32U64
+        | Load32Shl | Load64Shl | Load32ShlK | Load64ShlK => Some((op.c, 1)),
+        Copy2 | V128Const | V128Load | Splat32 | Splat64 | Replace64 | AddI32x4 | SubI32x4
+        | MulI32x4 | AddF32x4 | SubF32x4 | MulF32x4 | DivF32x4 | AddF64x2 | SubF64x2
+        | MulF64x2 | DivF64x2 | CmpF64x2 | VAnd | VOr | VXor | VNot => Some((op.c, 2)),
+        Select => Some((op.a, 1)),
+        Select2 => Some((op.a, 2)),
+        // Control / calls never appear inside a scan window.
+        Jump | Br | BrIf | BrIfZ | BrIfCmp32 | BrIfCmp32K | BrTable | Return | Unreachable
+        | CallGuest | CallHost | CallIndirect => None,
+    }
+}
+
+/// True if the op is safe to sit inside a store-fusion window: pure
+/// straight-line data flow (no control transfer, no calls — calls can
+/// re-enter the guest and observe memory ordering).
+fn window_safe(op: &RegOp) -> bool {
+    use Rc::*;
+    !matches!(
+        op.code,
+        Jump | Br
+            | BrIf
+            | BrIfZ
+            | BrIfCmp32
+            | BrIfCmp32K
+            | BrTable
+            | Return
+            | Unreachable
+            | CallGuest
+            | CallHost
+            | CallIndirect
+    )
+}
+
+/// True if the op can be discarded when its result is dead: no traps, no
+/// memory or global writes, no control effects. (Float arithmetic never
+/// traps in Wasm; integer div/rem and float→int truncation do.)
+fn is_pure(code: Rc) -> bool {
+    use Rc::*;
+    matches!(
+        code,
+        Copy | Copy2
+            | Const
+            | V128Const
+            | GlobalGet
+            | MemSize
+            | Eqz32
+            | Cmp32
+            | Cmp32K
+            | Clz32
+            | Ctz32
+            | Popcnt32
+            | Add32
+            | Sub32
+            | Mul32
+            | And32
+            | Or32
+            | Xor32
+            | Shl32
+            | ShrS32
+            | ShrU32
+            | Rotl32
+            | Rotr32
+            | AddK32
+            | ShlK32
+            | AddShl32
+            | Eqz64
+            | Cmp64
+            | Clz64
+            | Ctz64
+            | Popcnt64
+            | Add64
+            | Sub64
+            | Mul64
+            | And64
+            | Or64
+            | Xor64
+            | Shl64
+            | ShrS64
+            | ShrU64
+            | Rotl64
+            | Rotr64
+            | CmpF32
+            | AbsF32
+            | NegF32
+            | CeilF32
+            | FloorF32
+            | TruncF32
+            | NearestF32
+            | SqrtF32
+            | AddF32
+            | SubF32
+            | MulF32
+            | DivF32
+            | MinF32
+            | MaxF32
+            | CopysignF32
+            | CmpF64
+            | AbsF64
+            | NegF64
+            | CeilF64
+            | FloorF64
+            | TruncF64
+            | NearestF64
+            | SqrtF64
+            | AddF64
+            | SubF64
+            | MulF64
+            | DivF64
+            | MinF64
+            | MaxF64
+            | CopysignF64
+            | Fma64
+            | Wrap64
+            | ExtS3264
+            | ExtU3264
+            | ConvS32F32
+            | ConvU32F32
+            | ConvS64F32
+            | ConvU64F32
+            | Demote
+            | ConvS32F64
+            | ConvU32F64
+            | ConvS64F64
+            | ConvU64F64
+            | Promote
+            | Ext8S32
+            | Ext16S32
+            | Ext8S64
+            | Ext16S64
+            | Ext32S64
+    )
+}
+
+/// True if executing `op` reads register `t` (exact, per opcode family —
+/// including branch unwind source ranges, return result ranges, and a
+/// conservative open range for call arguments).
+fn reads_reg(op: &RegOp, f: &RegFunc, t: u32) -> bool {
+    use Rc::*;
+    let r1 = |r: u32| r == t;
+    let r2 = |r: u32| r == t || r + 1 == t;
+    let range = |s: u32, n: u32| s <= t && t < s.saturating_add(n);
+    let unwind_reads = |imm: u64| {
+        let (src, _, arity) = unwind_parts(imm);
+        range(src as u32, arity as u32)
+    };
+    match op.code {
+        Nop | Unreachable | Jump | Const | MemSize | GlobalGet | V128Const => false,
+        Br => unwind_reads(op.imm),
+        BrIf | BrIfZ => r1(op.a) || unwind_reads(op.imm),
+        BrIfCmp32 => r1(op.a) || r1(op.b) || unwind_reads(op.imm),
+        BrIfCmp32K => r1(op.a) || unwind_reads(op.imm),
+        BrTable => {
+            if r1(op.a) {
+                return true;
+            }
+            let start = op.b as usize;
+            let end = (start + op.c as usize + 1).min(f.dest_pool.len());
+            f.dest_pool[start.min(end)..end]
+                .iter()
+                .any(|d| unwind_reads(d.unwind))
+        }
+        Return => range(op.a, f.result_slots),
+        // Calls consume their argument window; its width depends on the
+        // callee, so treat everything at or above the window as read.
+        CallGuest | CallHost => t >= op.b,
+        CallIndirect => r1(op.c) || t >= op.b,
+        Copy => r1(op.a),
+        Copy2 => r2(op.a),
+        Select => r1(op.a) || r1(op.b) || r1(op.c),
+        Select2 => r2(op.a) || r2(op.b) || r1(op.c),
+        GlobalSet => r1(op.b),
+        Load32 | Load64 | Load8S32 | Load8U32 | Load16S32 | Load16U32 | Load8S64 | Load8U64
+        | Load16S64 | Load16U64 | Load32S64 | Load32U64 | V128Load => r1(op.a),
+        Store8 | Store16 | Store32 | Store64 => r1(op.a) || r1(op.b),
+        V128Store => r1(op.a) || r2(op.b),
+        Load32Shl | Load64Shl => r1(op.a) || r1(op.b),
+        Load32ShlK | Load64ShlK => r1(op.a),
+        Store32Shl | Store64Shl => r1(op.a) || r1(op.b) || r1(op.c),
+        Store32ShlK | Store64ShlK => r1(op.a) || r1(op.b),
+        MemGrow => r1(op.a),
+        MemCopy | MemFill => r1(op.a) || r1(op.b) || r1(op.c),
+        Eqz32 | Clz32 | Ctz32 | Popcnt32 | Eqz64 | Clz64 | Ctz64 | Popcnt64 | AbsF32
+        | NegF32 | CeilF32 | FloorF32 | TruncF32 | NearestF32 | SqrtF32 | AbsF64 | NegF64
+        | CeilF64 | FloorF64 | TruncF64 | NearestF64 | SqrtF64 | Wrap64 | TruncF32S32
+        | TruncF32U32 | TruncF64S32 | TruncF64U32 | ExtS3264 | ExtU3264 | TruncF32S64
+        | TruncF32U64 | TruncF64S64 | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32
+        | ConvU64F32 | Demote | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64
+        | Promote | Ext8S32 | Ext16S32 | Ext8S64 | Ext16S64 | Ext32S64 | AddK32 | ShlK32
+        | Cmp32K | Splat32 | Splat64 => r1(op.a),
+        Cmp32 | Cmp64 | CmpF32 | CmpF64 | Add32 | Sub32 | Mul32 | DivS32 | DivU32 | RemS32
+        | RemU32 | And32 | Or32 | Xor32 | Shl32 | ShrS32 | ShrU32 | Rotl32 | Rotr32
+        | Add64 | Sub64 | Mul64 | DivS64 | DivU64 | RemS64 | RemU64 | And64 | Or64
+        | Xor64 | Shl64 | ShrS64 | ShrU64 | Rotl64 | Rotr64 | AddF32 | SubF32 | MulF32
+        | DivF32 | MinF32 | MaxF32 | CopysignF32 | AddF64 | SubF64 | MulF64 | DivF64
+        | MinF64 | MaxF64 | CopysignF64 | AddShl32 => r1(op.a) || r1(op.b),
+        Fma64 => r1(op.a) || r1(op.b) || r1(op.c),
+        Extract32 | Extract64 | VAnyTrue | AllTrueI32x4 | BitmaskI32x4 | VNot => r2(op.a),
+        Replace64 => r2(op.a) || r1(op.b),
+        AddI32x4 | SubI32x4 | MulI32x4 | AddF32x4 | SubF32x4 | MulF32x4 | DivF32x4
+        | AddF64x2 | SubF64x2 | MulF64x2 | DivF64x2 | CmpF64x2 | VAnd | VOr | VXor => {
+            r2(op.a) || r2(op.b)
+        }
+    }
+}
+
+/// True if `op` unconditionally overwrites register `t` (kills the value
+/// that was there). `Select`/`Select2` write conditionally and so never
+/// count.
+fn definitely_writes(op: &RegOp, t: u32) -> bool {
+    if matches!(op.code, Rc::Select | Rc::Select2) {
+        return false;
+    }
+    writes(op).is_some_and(|(s, w)| s <= t && t < s + w)
+}
+
+/// Is the value written to register `t` at op `def` possibly read later?
+/// Uses the static heights as the liveness oracle: at an op whose entry
+/// height is `h`, every register `>= n_local_slots + h` is dead (the
+/// operand stack has popped below it; any later value at that offset is a
+/// fresh definition). Conservative on calls, unknown heights and bounded
+/// scan length.
+fn value_live(f: &RegFunc, hs: &[u32], def: usize, t: u32) -> bool {
+    use Rc::*;
+    let h0 = f.n_local_slots;
+    if t < h0 {
+        return true; // locals are always live (the heights oracle only covers temps)
+    }
+    // Whether the value is (possibly) live when control enters op `j`.
+    let live_at = |j: u32| -> bool {
+        match hs.get(j as usize) {
+            Some(&h) if h != u32::MAX => t < h0 + h,
+            _ => true, // unknown height: conservative
+        }
+    };
+    let mut j = def + 1;
+    for _ in 0..64 {
+        if j >= f.code.len() {
+            return true; // fell off the end: conservative (corrupt input)
+        }
+        if !live_at(j as u32) {
+            return false;
+        }
+        let op = &f.code[j];
+        if reads_reg(op, f, t) {
+            return true;
+        }
+        if definitely_writes(op, t) {
+            return false;
+        }
+        match op.code {
+            Jump | Br => return live_at(op.c),
+            BrIf | BrIfZ | BrIfCmp32 | BrIfCmp32K => {
+                if live_at(op.c) {
+                    return true; // maybe live on the taken path
+                }
+                j += 1; // dead if taken; keep scanning the fallthrough
+            }
+            BrTable => {
+                let start = op.b as usize;
+                let end = (start + op.c as usize + 1).min(f.dest_pool.len());
+                return f.dest_pool[start.min(end)..end].iter().any(|d| live_at(d.target));
+            }
+            Return | Unreachable => return false,
+            _ => j += 1,
+        }
+    }
+    true // scan budget exhausted: conservative
+}
+
+/// Copy/constant forwarding over straight-line regions: rewrites source
+/// registers to read through trivial copies (`local.get` residue) and
+/// folds known constants into immediate forms (`AddK32`, `ShlK32`,
+/// `Cmp32K`, `BrIfCmp32K`, multiply-by-power-of-two into shifts). State
+/// resets at jump targets and across calls. Returns true if changed.
+fn forward(f: &mut RegFunc) -> bool {
+    use Rc::*;
+    let targets = jump_targets(f);
+    #[derive(Clone, Copy, PartialEq)]
+    enum Val {
+        Opaque,
+        /// Holds the same value as register `.0` (valid while the source
+        /// generation matches).
+        CopyOf(u32, u32),
+        Const(u64),
+    }
+    let n = f.frame_size as usize;
+    let mut avail: Vec<Val> = vec![Val::Opaque; n];
+    let mut gen: Vec<u32> = vec![0; n];
+    let mut changed = false;
+
+    for i in 0..f.code.len() {
+        if targets[i] {
+            avail.iter_mut().for_each(|v| *v = Val::Opaque);
+        }
+        let op = &mut f.code[i];
+        // 1. Forward one-slot source registers through known copies.
+        let fwd = |r: &mut u32, avail: &[Val], gen: &[u32], changed: &mut bool| {
+            if let Some(Val::CopyOf(x, g)) = avail.get(*r as usize).copied() {
+                if gen[x as usize] == g && *r != x {
+                    *r = x;
+                    *changed = true;
+                }
+            }
+        };
+        let kconst = |r: u32, avail: &[Val]| match avail.get(r as usize) {
+            Some(Val::Const(k)) => Some(*k),
+            _ => None,
+        };
+        match op.code {
+            // One-slot sources in `a`.
+            Copy | GlobalSet | Load32 | Load64 | Load8S32 | Load8U32 | Load16S32
+            | Load16U32 | Load8S64 | Load8U64 | Load16S64 | Load16U64 | Load32S64
+            | Load32U64 | V128Load | MemGrow | Eqz32 | Clz32 | Ctz32 | Popcnt32 | Eqz64
+            | Clz64 | Ctz64 | Popcnt64 | AbsF32 | NegF32 | CeilF32 | FloorF32 | TruncF32
+            | NearestF32 | SqrtF32 | AbsF64 | NegF64 | CeilF64 | FloorF64 | TruncF64
+            | NearestF64 | SqrtF64 | Wrap64 | TruncF32S32 | TruncF32U32 | TruncF64S32
+            | TruncF64U32 | ExtS3264 | ExtU3264 | TruncF32S64 | TruncF32U64 | TruncF64S64
+            | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32 | ConvU64F32 | Demote
+            | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64 | Promote | Ext8S32
+            | Ext16S32 | Ext8S64 | Ext16S64 | Ext32S64 | AddK32 | ShlK32 | Cmp32K
+            | Splat32 | Splat64 | BrIf | BrIfZ | BrIfCmp32K | BrTable => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+            }
+            // Two one-slot sources in `a`, `b`.
+            Cmp32 | Cmp64 | CmpF32 | CmpF64 | Add32 | Sub32 | Mul32 | DivS32 | DivU32
+            | RemS32 | RemU32 | And32 | Or32 | Xor32 | Shl32 | ShrS32 | ShrU32 | Rotl32
+            | Rotr32 | Add64 | Sub64 | Mul64 | DivS64 | DivU64 | RemS64 | RemU64 | And64
+            | Or64 | Xor64 | Shl64 | ShrS64 | ShrU64 | Rotl64 | Rotr64 | AddF32 | SubF32
+            | MulF32 | DivF32 | MinF32 | MaxF32 | CopysignF32 | AddF64 | SubF64 | MulF64
+            | DivF64 | MinF64 | MaxF64 | CopysignF64 | AddShl32 | Store8 | Store16
+            | Store32 | Store64 | Load32Shl | Load64Shl | BrIfCmp32 => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+            }
+            Fma64 => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+            }
+            Select => {
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+                fwd(&mut op.c, &avail, &gen, &mut changed);
+            }
+            Store32Shl | Store64Shl => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+                fwd(&mut op.c, &avail, &gen, &mut changed);
+            }
+            Store32ShlK | Store64ShlK => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+            }
+            MemCopy | MemFill => {
+                fwd(&mut op.a, &avail, &gen, &mut changed);
+                fwd(&mut op.b, &avail, &gen, &mut changed);
+                fwd(&mut op.c, &avail, &gen, &mut changed);
+            }
+            CallIndirect => fwd(&mut op.c, &avail, &gen, &mut changed),
+            _ => {}
+        }
+        // 2. Fold known constants into immediate forms.
+        match op.code {
+            Copy => {
+                if let Some(k) = kconst(op.a, &avail) {
+                    *op = rop(Const, 0, 0, op.c, 0, k);
+                    changed = true;
+                } else if op.a == op.c {
+                    // Self-copy (a `local.set x; local.get x` round-trip
+                    // whose set was forwarded): pure no-op.
+                    *op = rop(Nop, 0, 0, 0, 0, 0);
+                    changed = true;
+                }
+            }
+            Add32 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(AddK32, op.a, k as u32, op.c, 0, 0);
+                    changed = true;
+                } else if let Some(k) = kconst(op.a, &avail) {
+                    *op = rop(AddK32, op.b, k as u32, op.c, 0, 0);
+                    changed = true;
+                }
+            }
+            Sub32 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(AddK32, op.a, (k as i32).wrapping_neg() as u32, op.c, 0, 0);
+                    changed = true;
+                }
+            }
+            Shl32 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(ShlK32, op.a, 0, op.c, (k as u32 & 31) as u8, 0);
+                    changed = true;
+                }
+            }
+            Mul32 => {
+                let shift_of = |k: u64| {
+                    let k = k as u32;
+                    (k.is_power_of_two()).then(|| k.trailing_zeros() as u8)
+                };
+                if let Some(s) = kconst(op.b, &avail).and_then(shift_of) {
+                    *op = rop(ShlK32, op.a, 0, op.c, s, 0);
+                    changed = true;
+                } else if let Some(s) = kconst(op.a, &avail).and_then(shift_of) {
+                    *op = rop(ShlK32, op.b, 0, op.c, s, 0);
+                    changed = true;
+                }
+            }
+            Cmp32 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(Cmp32K, op.a, k as u32, op.c, op.aux, 0);
+                    changed = true;
+                }
+            }
+            BrIfCmp32 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    op.code = BrIfCmp32K;
+                    op.b = k as u32;
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+        // 3. Update the value table for this op's writes.
+        let op = f.code[i];
+        let clobber = |r: u32, avail: &mut [Val], gen: &mut [u32]| {
+            if let Some(g) = gen.get_mut(r as usize) {
+                *g += 1;
+                avail[r as usize] = Val::Opaque;
+            }
+        };
+        match op.code {
+            Copy => {
+                clobber(op.c, &mut avail, &mut gen);
+                // Record the aliasing only for LOCAL sources: forwarding a
+                // read to a stack temporary could create reads above the
+                // abstract stack height, which would break the
+                // heights-as-liveness oracle every later pass relies on.
+                // Locals are always live, so reads of them are always
+                // safe to introduce.
+                if op.a < f.n_local_slots && (op.a as usize) < n {
+                    avail[op.c as usize] = Val::CopyOf(op.a, gen[op.a as usize]);
+                }
+            }
+            Const => {
+                clobber(op.c, &mut avail, &mut gen);
+                avail[op.c as usize] = Val::Const(op.imm);
+            }
+            // Calls write an unknown-width result window; drop everything.
+            CallGuest | CallHost | CallIndirect => {
+                avail.iter_mut().for_each(|v| *v = Val::Opaque);
+            }
+            _ => {
+                if let Some((s, w)) = writes(&op) {
+                    for r in s..s + w {
+                        clobber(r, &mut avail, &mut gen);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Remove pure ops whose (one-slot, stack-temporary) result is dead per
+/// [`value_live`]. Returns true if changed.
+fn eliminate(f: &mut RegFunc, hs: &[u32]) -> bool {
+    let h0 = f.n_local_slots;
+    let mut changed = false;
+    for i in 0..f.code.len() {
+        let op = f.code[i];
+        if op.code == Rc::Nop || !is_pure(op.code) {
+            continue;
+        }
+        let Some((t, w)) = writes(&op) else { continue };
+        if t < h0 || w != 1 {
+            continue;
+        }
+        if !value_live(f, hs, i, t) {
+            f.code[i] = rop(Rc::Nop, 0, 0, 0, 0, 0);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Fuse addressing patterns the serializable IR cannot express:
+///
+/// * `[ShlK32 → t][Add32 base + t → d]` → `AddShl32` (the scaled-index
+///   address form, reconstructed after constant forwarding turned the
+///   guest's multiply into a shift).
+/// * `[AddShl32 → t][load addr=t]` → scaled load — covers the i64/f32
+///   scaled-index loads the Op-level peephole has no form for (all
+///   widths share `Load32Shl`/`Load64Shl`).
+/// * `[ShlK32 → t][load addr=t]` → constant-base scaled load.
+/// * `[AddShl32 → t] …value ops… [store addr=t]` → scaled store: the
+///   classic `a[i] = expr` window where the value computation separates
+///   the address from the store.
+/// * `[ShlK32 → t][AddK32 t → u] …value ops… [store addr=u]` →
+///   constant-base scaled store (`counts[k[i]] += 1` in NPB IS).
+///
+/// Replaced ops become `Nop` (removed by [`compact`]). Returns true if
+/// changed.
+fn peephole(f: &mut RegFunc, hs: &[u32]) -> bool {
+    use Rc::*;
+    let targets = jump_targets(f);
+    let max_gap = 12usize;
+    let mut changed = false;
+    for i in 0..f.code.len() {
+        // Sink a one-slot result straight into the register the following
+        // Copy moves it to: `[op → t][Copy t → x]` becomes `[op → x]`
+        // when the temp dies there — every `local.set` of a computed
+        // value. (`Select` writes `a`, `Fma64` reads its destination;
+        // both are excluded.)
+        if i + 1 < f.code.len() && !targets[i + 1] {
+            let nx = f.code[i + 1];
+            if nx.code == Copy
+                && nx.a != nx.c
+                && nx.a >= f.n_local_slots
+                && f.code[i].c == nx.a
+                && writes(&f.code[i]) == Some((nx.a, 1))
+                && !matches!(f.code[i].code, Select | Fma64 | Nop)
+                && !value_live(f, hs, i + 1, nx.a)
+            {
+                f.code[i].c = nx.c;
+                f.code[i + 1] = rop(Nop, 0, 0, 0, 0, 0);
+                changed = true;
+            }
+        }
+        let (t, fused_addr) = match f.code[i].code {
+            AddShl32 => (f.code[i].c, true),
+            ShlK32 => (f.code[i].c, false),
+            _ => continue,
+        };
+        if t < f.n_local_slots {
+            continue;
+        }
+        let addr = f.code[i];
+        if i + 1 < f.code.len() && !targets[i + 1] {
+            let nx = f.code[i + 1];
+            // ShlK feeding a plain add of a register base → AddShl32,
+            // provided the scaled temp dies with the add.
+            if !fused_addr && nx.code == Add32 && (nx.a == t) != (nx.b == t) {
+                let base = if nx.a == t { nx.b } else { nx.a };
+                if base != t && !value_live(f, hs, i + 1, t) {
+                    f.code[i] = rop(Nop, 0, 0, 0, 0, 0);
+                    f.code[i + 1] = rop(AddShl32, addr.a, base, nx.c, addr.aux, 0);
+                    changed = true;
+                    continue;
+                }
+            }
+            // Adjacent load: address produced then immediately consumed.
+            let (is_load, wide_bias) = match nx.code {
+                Load32 | Load64 => (true, (nx.imm >> 32) as u32),
+                _ => (false, 0),
+            };
+            if is_load && nx.a == t && (nx.c == t || !value_live(f, hs, i + 1, t)) {
+                let offset = nx.imm as u32 as u64;
+                let fused = if fused_addr {
+                    if wide_bias != 0 {
+                        continue; // bias not representable in the Shl form
+                    }
+                    rop(
+                        if nx.code == Load64 { Load64Shl } else { Load32Shl },
+                        addr.a,
+                        addr.b,
+                        nx.c,
+                        addr.aux,
+                        offset,
+                    )
+                } else {
+                    rop(
+                        if nx.code == Load64 { Load64ShlK } else { Load32ShlK },
+                        addr.a,
+                        0,
+                        nx.c,
+                        addr.aux,
+                        offset | (wide_bias as u64) << 32,
+                    )
+                };
+                f.code[i] = rop(Nop, 0, 0, 0, 0, 0);
+                f.code[i + 1] = fused;
+                changed = true;
+                continue;
+            }
+        }
+        // Store window: [addr → t] (+ AddK for the ShlK form) then value
+        // computation, then a store addressing t. Every op in the gap
+        // must be pure straight-line flow not touching the address regs.
+        let mut j = i + 1;
+        let mut bias = 0u32;
+        let mut store_addr = t;
+        if !fused_addr {
+            // ShlK needs the following AddK folding the constant base.
+            if j >= f.code.len() || targets[j] || f.code[j].code != AddK32 || f.code[j].a != t
+            {
+                continue;
+            }
+            bias = f.code[j].b;
+            store_addr = f.code[j].c;
+            if store_addr < f.n_local_slots || (store_addr != t && value_live(f, hs, j, t)) {
+                continue;
+            }
+            j += 1;
+        }
+        // The gap may freely *read* the address source registers (the
+        // value computation usually does); it must not write them, and it
+        // must not touch the address temporaries at all (their only
+        // consumer is the store).
+        let srcs_arr = [addr.a, addr.b];
+        let addr_srcs: &[u32] = if fused_addr { &srcs_arr } else { &srcs_arr[..1] };
+        let temps_arr = [t, store_addr];
+        let temps: &[u32] =
+            if store_addr != t { &temps_arr } else { &temps_arr[..1] };
+        let window_end = (j + max_gap).min(f.code.len());
+        let mut found = None;
+        while j < window_end {
+            if targets[j] || !window_safe(&f.code[j]) {
+                break;
+            }
+            let op = f.code[j];
+            if matches!(op.code, Store32 | Store64) && op.a == store_addr {
+                found = Some(j);
+                break;
+            }
+            let writes_hit = |g: u32| writes(&op).is_some_and(|(s, w)| s <= g && g < s + w);
+            if addr_srcs.iter().any(|&g| writes_hit(g))
+                || temps.iter().any(|&g| writes_hit(g) || reads_reg(&op, f, g))
+            {
+                break;
+            }
+            j += 1;
+        }
+        let Some(sj) = found else { continue };
+        let st = f.code[sj];
+        // The address temp must die at the store.
+        if value_live(f, hs, sj, store_addr) {
+            continue;
+        }
+        let offset = st.imm as u32 as u64;
+        let fused = if fused_addr {
+            rop(
+                if st.code == Store64 { Store64Shl } else { Store32Shl },
+                addr.a,
+                st.b,
+                addr.b,
+                addr.aux,
+                offset,
+            )
+        } else {
+            rop(
+                if st.code == Store64 { Store64ShlK } else { Store32ShlK },
+                addr.a,
+                st.b,
+                0,
+                addr.aux,
+                offset | (bias as u64) << 32,
+            )
+        };
+        f.code[i] = rop(Nop, 0, 0, 0, 0, 0);
+        if !fused_addr {
+            f.code[i + 1] = rop(Nop, 0, 0, 0, 0, 0);
+        }
+        f.code[sj] = fused;
+        changed = true;
+    }
+    changed
+}
+
+/// Op indices that are jump targets (fusion windows must not span them).
+fn jump_targets(f: &RegFunc) -> Vec<bool> {
+    use Rc::*;
+    let mut t = vec![false; f.code.len() + 1];
+    let mut mark = |x: u32| {
+        if (x as usize) < t.len() {
+            t[x as usize] = true;
+        }
+    };
+    for op in &f.code {
+        match op.code {
+            Jump | Br | BrIf | BrIfZ | BrIfCmp32 | BrIfCmp32K => mark(op.c),
+            BrTable => {
+                let start = op.b as usize;
+                let end = start + op.c as usize + 1;
+                for d in f.dest_pool.get(start..end).unwrap_or(&[]) {
+                    mark(d.target);
+                }
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Remove `Nop`s, remapping branch targets (including the dest pool) and
+/// keeping the per-op entry-height array index-aligned.
+fn compact(f: &mut RegFunc, hs: &mut Vec<u32>) {
+    use Rc::*;
+    if !f.code.iter().any(|op| op.code == Nop) {
+        return;
+    }
+    let mut new_index = vec![0u32; f.code.len() + 1];
+    let mut count = 0u32;
+    for (i, op) in f.code.iter().enumerate() {
+        new_index[i] = count;
+        if op.code != Nop {
+            count += 1;
+        }
+    }
+    new_index[f.code.len()] = count;
+    let remap = |t: u32| new_index.get(t as usize).copied().unwrap_or(count);
+    let mut out = Vec::with_capacity(count as usize);
+    let mut out_h = Vec::with_capacity(count as usize);
+    for (i, op) in f.code.iter().enumerate() {
+        let mut op = *op;
+        match op.code {
+            Nop => continue,
+            Jump | Br | BrIf | BrIfZ | BrIfCmp32 | BrIfCmp32K => op.c = remap(op.c),
+            _ => {}
+        }
+        out.push(op);
+        out_h.push(hs.get(i).copied().unwrap_or(u32::MAX));
+    }
+    for d in &mut f.dest_pool {
+        d.target = remap(d.target);
+    }
+    f.code = out;
+    *hs = out_h;
+}
+
+/// Prove the register stream safe for the executor's unchecked frame
+/// accesses: every register operand within `frame_size`, every branch
+/// target and pool reference in range, every unwind copy in-frame. Calls
+/// and globals are checked against the module's static tables; the
+/// remaining dynamic quantities (memory bounds, table contents) are
+/// checked by the handlers at run time.
+pub(crate) fn verify(f: &RegFunc, module: &Module) -> Result<(), String> {
+    use Rc::*;
+    let fs = f.frame_size;
+    let len = f.code.len() as u32;
+    let err = |i: usize, what: &str| Err(format!("regalloc verify: op {i}: {what}"));
+    if f.n_local_slots > fs || f.param_slots > f.n_local_slots {
+        return Err("regalloc verify: inconsistent frame layout".into());
+    }
+    let imported = module.num_imported_funcs() as u32;
+    for (i, op) in f.code.iter().enumerate() {
+        // Register-width demands per field for this opcode: (reg, slots).
+        let mut regs: [(u32, u32); 3] = [(0, 0); 3];
+        let mut target: Option<u32> = None;
+        let mut unwind = 0u64;
+        match op.code {
+            Nop | Unreachable | Jump => {
+                if op.code == Jump {
+                    target = Some(op.c);
+                }
+            }
+            Br => {
+                target = Some(op.c);
+                unwind = op.imm;
+            }
+            BrIf | BrIfZ => {
+                regs[0] = (op.a, 1);
+                target = Some(op.c);
+                unwind = op.imm;
+            }
+            BrIfCmp32 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                target = Some(op.c);
+                unwind = op.imm;
+            }
+            BrIfCmp32K => {
+                regs[0] = (op.a, 1);
+                target = Some(op.c);
+                unwind = op.imm;
+            }
+            BrTable => {
+                regs[0] = (op.a, 1);
+                let start = op.b as usize;
+                let end = start
+                    .checked_add(op.c as usize)
+                    .and_then(|e| e.checked_add(1))
+                    .ok_or("regalloc verify: dest pool overflow")?;
+                let pool = f
+                    .dest_pool
+                    .get(start..end)
+                    .ok_or("regalloc verify: dest pool range out of bounds")?;
+                for d in pool {
+                    if d.target >= len {
+                        return err(i, "br_table target out of range");
+                    }
+                    let (src, dst, arity) = unwind_parts(d.unwind);
+                    if src + arity > fs as usize || dst + arity > fs as usize {
+                        return err(i, "br_table unwind out of frame");
+                    }
+                }
+            }
+            Return => {
+                if op.a + f.result_slots > fs {
+                    return err(i, "return source out of frame");
+                }
+            }
+            CallGuest => {
+                if op.a as usize >= module.functions.len() {
+                    return err(i, "call target out of range");
+                }
+                if op.b > fs {
+                    return err(i, "call arg base out of frame");
+                }
+            }
+            CallHost => {
+                if op.a >= imported {
+                    return err(i, "host call target out of range");
+                }
+                if op.b > fs {
+                    return err(i, "call arg base out of frame");
+                }
+            }
+            CallIndirect => {
+                if op.a as usize >= module.types.len() {
+                    return err(i, "call_indirect type out of range");
+                }
+                if op.b > fs {
+                    return err(i, "call arg base out of frame");
+                }
+                regs[0] = (op.c, 1);
+            }
+            Copy => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            Copy2 => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.c, 2);
+            }
+            Select => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            Select2 => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.b, 2);
+                regs[2] = (op.c, 1);
+            }
+            GlobalGet | GlobalSet => {
+                if op.a as usize >= module.globals.len() {
+                    return err(i, "global index out of range");
+                }
+                regs[0] = if op.code == GlobalGet { (op.c, 1) } else { (op.b, 1) };
+            }
+            Const => regs[0] = (op.c, 1),
+            V128Const => {
+                if op.a as usize >= f.v128_pool.len() {
+                    return err(i, "v128 pool index out of range");
+                }
+                regs[0] = (op.c, 2);
+            }
+            Load32 | Load64 | Load8S32 | Load8U32 | Load16S32 | Load16U32 | Load8S64
+            | Load8U64 | Load16S64 | Load16U64 | Load32S64 | Load32U64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            V128Load => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 2);
+            }
+            Store8 | Store16 | Store32 | Store64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+            }
+            V128Store => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 2);
+            }
+            Load32Shl | Load64Shl => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            Load32ShlK | Load64ShlK => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            Store32Shl | Store64Shl => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            Store32ShlK | Store64ShlK => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+            }
+            MemSize => regs[0] = (op.c, 1),
+            MemGrow => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            MemCopy | MemFill => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            AddK32 | ShlK32 | Cmp32K => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            AddShl32 | Fma64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            // Unary compute: a → c.
+            Eqz32 | Clz32 | Ctz32 | Popcnt32 | Eqz64 | Clz64 | Ctz64 | Popcnt64 | AbsF32
+            | NegF32 | CeilF32 | FloorF32 | TruncF32 | NearestF32 | SqrtF32 | AbsF64
+            | NegF64 | CeilF64 | FloorF64 | TruncF64 | NearestF64 | SqrtF64 | Wrap64
+            | TruncF32S32 | TruncF32U32 | TruncF64S32 | TruncF64U32 | ExtS3264 | ExtU3264
+            | TruncF32S64 | TruncF32U64 | TruncF64S64 | TruncF64U64 | ConvS32F32
+            | ConvU32F32 | ConvS64F32 | ConvU64F32 | Demote | ConvS32F64 | ConvU32F64
+            | ConvS64F64 | ConvU64F64 | Promote | Ext8S32 | Ext16S32 | Ext8S64 | Ext16S64
+            | Ext32S64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 1);
+            }
+            // Binary compute: a, b → c.
+            Cmp32 | Cmp64 | CmpF32 | CmpF64 | Add32 | Sub32 | Mul32 | DivS32 | DivU32
+            | RemS32 | RemU32 | And32 | Or32 | Xor32 | Shl32 | ShrS32 | ShrU32 | Rotl32
+            | Rotr32 | Add64 | Sub64 | Mul64 | DivS64 | DivU64 | RemS64 | RemU64 | And64
+            | Or64 | Xor64 | Shl64 | ShrS64 | ShrU64 | Rotl64 | Rotr64 | AddF32 | SubF32
+            | MulF32 | DivF32 | MinF32 | MaxF32 | CopysignF32 | AddF64 | SubF64 | MulF64
+            | DivF64 | MinF64 | MaxF64 | CopysignF64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 1);
+            }
+            Splat32 | Splat64 => {
+                regs[0] = (op.a, 1);
+                regs[1] = (op.c, 2);
+            }
+            Extract32 | Extract64 | VAnyTrue | AllTrueI32x4 | BitmaskI32x4 => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.c, 1);
+            }
+            Replace64 => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.b, 1);
+                regs[2] = (op.c, 2);
+            }
+            AddI32x4 | SubI32x4 | MulI32x4 | AddF32x4 | SubF32x4 | MulF32x4 | DivF32x4
+            | AddF64x2 | SubF64x2 | MulF64x2 | DivF64x2 | CmpF64x2 | VAnd | VOr | VXor => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.b, 2);
+                regs[2] = (op.c, 2);
+            }
+            VNot => {
+                regs[0] = (op.a, 2);
+                regs[1] = (op.c, 2);
+            }
+        }
+        for &(reg, width) in &regs {
+            if width != 0 && reg + width > fs {
+                return err(i, "register out of frame");
+            }
+        }
+        if let Some(t) = target {
+            if t >= len {
+                return err(i, "branch target out of range");
+            }
+        }
+        if unwind != 0 {
+            let (src, dst, arity) = unwind_parts(unwind);
+            if src + arity > fs as usize || dst + arity > fs as usize {
+                return err(i, "unwind copy out of frame");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::MemArg;
+    use crate::tier::{CompiledBody, Tier};
+    use crate::types::ValType;
+
+    /// Compile one body at the given tier and return its register form.
+    fn reg_of(build: impl Fn(&mut crate::builder::FunctionBuilder), tier: Tier) -> RegFunc {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.func("f", vec![ValType::I32, ValType::I32], vec![], build);
+        let module = b.finish();
+        crate::validate::validate_module(&module).unwrap();
+        let compiled =
+            crate::runtime::CompiledModule::compile(module, tier).unwrap();
+        match &compiled.bodies()[0] {
+            CompiledBody::Flat(f) => f.reg.clone(),
+            CompiledBody::Interp(_) => panic!("flat tier expected"),
+        }
+    }
+
+    fn count(rf: &RegFunc, code: Rc) -> usize {
+        rf.code.iter().filter(|op| op.code == code).count()
+    }
+
+    #[test]
+    fn regop_is_compact() {
+        assert_eq!(std::mem::size_of::<RegOp>(), 24);
+    }
+
+    #[test]
+    fn i64_scaled_load_fuses_at_register_level() {
+        // base + (idx << 3) ; i64.load — the Op-level peephole has no i64
+        // form; the register peephole must produce Load64Shl.
+        use crate::instr::Instr as I;
+        let rf = reg_of(
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::LocalGet(1),
+                    I::I32Const(3),
+                    I::I32Shl,
+                    I::I32Add,
+                    I::I64Load(MemArg::offset(16)),
+                    I::Drop,
+                ]);
+            },
+            Tier::Max,
+        );
+        assert_eq!(count(&rf, Rc::Load64Shl), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Load64), 0);
+    }
+
+    #[test]
+    fn f32_scaled_load_fuses_at_register_level() {
+        use crate::instr::Instr as I;
+        let rf = reg_of(
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::LocalGet(1),
+                    I::I32Const(2),
+                    I::I32Shl,
+                    I::I32Add,
+                    I::F32Load(MemArg::offset(0)),
+                    I::Drop,
+                ]);
+            },
+            Tier::Max,
+        );
+        assert_eq!(count(&rf, Rc::Load32Shl), 1, "{:?}", rf.code);
+    }
+
+    #[test]
+    fn store_with_value_window_fuses() {
+        // a[i] = f64(load(b)) — address first, value computation between
+        // it and the store: the "value window" the Op-level peephole
+        // cannot match, fused here into Store64Shl.
+        use crate::instr::Instr as I;
+        let rf = reg_of(
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::LocalGet(1),
+                    I::I32Const(3),
+                    I::I32Shl,
+                    I::I32Add,
+                    I::LocalGet(1),
+                    I::F64Load(MemArg::offset(64)),
+                    I::F64Sqrt,
+                    I::F64Store(MemArg::offset(8)),
+                ]);
+            },
+            Tier::Max,
+        );
+        assert_eq!(count(&rf, Rc::Store64Shl), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Store64), 0);
+    }
+
+    #[test]
+    fn const_base_store_window_fuses() {
+        // counts[x<<2 + K] = value — the NPB IS histogram update.
+        use crate::instr::Instr as I;
+        let rf = reg_of(
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::I32Const(2),
+                    I::I32Shl,
+                    I::I32Const(4096),
+                    I::I32Add,
+                    I::LocalGet(1),
+                    I::I32Const(1),
+                    I::I32Add,
+                    I::I32Store(MemArg::offset(0)),
+                ]);
+            },
+            Tier::Max,
+        );
+        assert_eq!(count(&rf, Rc::Store32ShlK), 1, "{:?}", rf.code);
+    }
+
+    #[test]
+    fn forwarding_eliminates_copy_and_const_traffic() {
+        // x*8 via the generic optimizing tier (no Op-level fusion at
+        // opt 0): forwarding must fold the const multiply into a shift
+        // and leave no Copy of the local behind.
+        use crate::instr::Instr as I;
+        let rf = reg_of(
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::I32Const(8),
+                    I::I32Mul,
+                    I::LocalSet(1),
+                ]);
+            },
+            Tier::Optimizing,
+        );
+        assert_eq!(count(&rf, Rc::ShlK32), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Mul32), 0, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Copy), 0, "copies should forward: {:?}", rf.code);
+    }
+
+    #[test]
+    fn unwind_roundtrip() {
+        let u = pack_unwind(100, 7, 3).unwrap();
+        assert_eq!(unwind_parts(u), (100, 7, 3));
+        // In-place carries encode as "no copy".
+        assert_eq!(pack_unwind(5, 5, 2).unwrap(), 0);
+        assert_eq!(pack_unwind(9, 4, 0).unwrap(), 0);
+        assert!(pack_unwind(1 << 24, 0, 1).is_err());
+    }
+
+    #[test]
+    fn feval_codes() {
+        assert!(feval(FEQ, 1.0, 1.0));
+        assert!(feval(FNE, 1.0, 2.0));
+        assert!(feval(FLT, 1.0, 2.0));
+        assert!(feval(FGT, 2.0, 1.0));
+        assert!(feval(FLE, 1.0, 1.0));
+        assert!(feval(FGE, 1.0, 1.0));
+        assert!(!feval(FEQ, f64::NAN, f64::NAN));
+    }
+}

@@ -164,6 +164,26 @@ impl CompiledModule {
     pub fn bodies(&self) -> &[CompiledBody] {
         &self.bodies
     }
+
+    /// Drop every flat body's portable op stream (the cache-format form),
+    /// roughly halving resident compiled-module memory. Only possible
+    /// while the compiled module is unshared (no clones / instances hold
+    /// the bodies yet); returns whether the streams were dropped. The
+    /// cache regenerates the streams by recompiling when it needs to
+    /// serialize again.
+    pub fn discard_portable_ops(&mut self) -> bool {
+        match Arc::get_mut(&mut self.bodies) {
+            Some(bodies) => {
+                for body in bodies.iter_mut() {
+                    if let CompiledBody::Flat(f) = body {
+                        f.discard_ops();
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Registry of host-provided import definitions.

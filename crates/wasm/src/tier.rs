@@ -4,8 +4,8 @@
 //! | Paper backend | Tier              | Strategy |
 //! |---------------|-------------------|----------|
 //! | Singlepass    | [`Tier::Baseline`]  | structured interpreter over the untyped slot stack; linear-time prepare (side table + width pass) |
-//! | Cranelift     | [`Tier::Optimizing`]| flatten to register-style IR with resolved jumps, lowered to the dense [`crate::ir::ExecOp`] stream |
-//! | LLVM          | [`Tier::Max`]       | flat IR plus iterated optimization passes (constant folding, local/load/shift fusion, compare-and-branch fusion, jump threading), same dense lowering |
+//! | Cranelift     | [`Tier::Optimizing`]| flatten to flat IR with resolved jumps (width pass fused into the same walk), register-allocated to the stackless [`crate::regalloc::RegOp`] form |
+//! | LLVM          | [`Tier::Max`]       | flat IR plus iterated optimization passes (constant folding, local/load/shift fusion, compare-and-branch fusion, jump threading), same register lowering plus register-level scaled load/store fusion |
 //!
 //! All tiers share the untyped execution engine: operands are raw 64-bit
 //! slots (f32/f64 bit-cast, v128 in two slots) with no runtime type tags —

@@ -22,7 +22,11 @@ use crate::types::{BlockType, ValType};
 /// position; entries inside statically dead regions are unspecified.
 pub(crate) struct BodyInfo {
     /// Operand-stack height in slots before each instruction, relative to
-    /// the frame's operand base (0 = empty operand stack).
+    /// the frame's operand base (0 = empty operand stack). The flat tiers
+    /// compute heights in their own fused walk (`ir::compile`) and the
+    /// baseline tier tracks them at run time, so outside tests this is
+    /// bookkeeping the pass maintains anyway to derive `wide`.
+    #[allow(dead_code)]
     pub height: Vec<u32>,
     /// For `Drop`/`Select` positions: the popped/selected operand is v128.
     pub wide: Vec<bool>,
@@ -35,11 +39,11 @@ struct Ctrl {
     results: Vec<bool>,
 }
 
-fn widths_of(types: &[ValType]) -> Vec<bool> {
+pub(crate) fn widths_of(types: &[ValType]) -> Vec<bool> {
     types.iter().map(|t| *t == ValType::V128).collect()
 }
 
-fn block_widths(module: &Module, bt: &BlockType) -> (Vec<bool>, Vec<bool>) {
+pub(crate) fn block_widths(module: &Module, bt: &BlockType) -> (Vec<bool>, Vec<bool>) {
     match bt {
         BlockType::Empty => (Vec::new(), Vec::new()),
         BlockType::Value(t) => (Vec::new(), vec![*t == ValType::V128]),
@@ -52,7 +56,7 @@ fn block_widths(module: &Module, bt: &BlockType) -> (Vec<bool>, Vec<bool>) {
 
 /// True for instructions whose (single) result is v128. Everything else
 /// the generic fallback handles as one-slot results.
-fn pushes_wide(i: &Instr) -> bool {
+pub(crate) fn pushes_wide(i: &Instr) -> bool {
     use Instr::*;
     matches!(
         i,

@@ -230,3 +230,287 @@ proptest! {
         }
     }
 }
+
+// --- register-form coverage: v128 two-slot operands and trap paths ---
+//
+// The second generator targets what the first cannot express: wide
+// (two-slot) operands flowing through copies, select, drop and lane ops,
+// plus the trapping instructions (integer division, out-of-bounds
+// memory). Every tier must produce the identical value *or* the identical
+// trap as the plain-Rust reference — this is the conformance gate for the
+// register-form executor, which maps all of these onto fixed frame slots.
+
+use wasm_engine::error::Trap;
+use wasm_engine::instr::{Instr, MemArg};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RefTrap {
+    DivZero,
+    Overflow,
+    Oob,
+}
+
+#[derive(Debug, Clone)]
+enum XS {
+    Assign(usize, E),
+    /// `dst = a / b` (signed; traps on zero and INT_MIN / -1).
+    DivS(usize, usize, usize),
+    /// `dst = a %u b` (traps on zero).
+    RemU(usize, usize, usize),
+    /// `dst = lane0(splat(dst) +i32x4 splat(src))` — wide temporaries.
+    V128Mix(usize, usize),
+    /// `dst = lane1(select(splat(dst), splat(src), cond))` — Select2.
+    V128Select(usize, usize, usize),
+    /// Round-trip through a v128 local with a dropped wide temp;
+    /// net effect `dst = !dst` (bitwise).
+    V128TeeDrop(usize),
+    /// `mem[addr] = var; var = mem[addr]` — traps when addr is OOB.
+    StoreAt(usize, u32),
+    If(E, Vec<XS>, Vec<XS>),
+    Repeat(u8, Vec<XS>),
+}
+
+const XPAGE: u32 = 65536;
+
+fn xeval(stmts: &[XS], vars: &mut [i32; N_VARS], mem: &mut Vec<u8>) -> Result<(), RefTrap> {
+    for s in stmts {
+        match s {
+            XS::Assign(i, e) => vars[*i] = eval_e(e, vars),
+            XS::DivS(d, a, b) => {
+                let (x, y) = (vars[*a], vars[*b]);
+                if y == 0 {
+                    return Err(RefTrap::DivZero);
+                }
+                if x == i32::MIN && y == -1 {
+                    return Err(RefTrap::Overflow);
+                }
+                vars[*d] = x.wrapping_div(y);
+            }
+            XS::RemU(d, a, b) => {
+                let (x, y) = (vars[*a] as u32, vars[*b] as u32);
+                if y == 0 {
+                    return Err(RefTrap::DivZero);
+                }
+                vars[*d] = (x % y) as i32;
+            }
+            XS::V128Mix(d, s) => vars[*d] = vars[*d].wrapping_add(vars[*s]),
+            XS::V128Select(d, s, c) => {
+                if vars[*c] == 0 {
+                    vars[*d] = vars[*s];
+                }
+            }
+            XS::V128TeeDrop(d) => vars[*d] = !vars[*d],
+            XS::StoreAt(i, addr) => {
+                if *addr > XPAGE - 4 {
+                    return Err(RefTrap::Oob);
+                }
+                let at = *addr as usize;
+                mem[at..at + 4].copy_from_slice(&vars[*i].to_le_bytes());
+                vars[*i] = i32::from_le_bytes(mem[at..at + 4].try_into().unwrap());
+            }
+            XS::If(c, t, e) => {
+                if eval_e(c, vars) != 0 {
+                    xeval(t, vars, mem)?;
+                } else {
+                    xeval(e, vars, mem)?;
+                }
+            }
+            XS::Repeat(n, body) => {
+                for _ in 0..*n {
+                    xeval(body, vars, mem)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn xs_to_dsl(
+    stmts: &[XS],
+    vars: &[Var; N_VARS],
+    v128_tmp: u32,
+    counters: &mut Vec<Var>,
+    depth: usize,
+    f: &mut wasm_engine::FunctionBuilder,
+) -> Vec<dsl::Stmt> {
+    let lg = |i: usize| Instr::LocalGet(vars[i].idx);
+    let ls = |i: usize| Instr::LocalSet(vars[i].idx);
+    stmts
+        .iter()
+        .map(|s| match s {
+            XS::Assign(i, e) => vars[*i].set(e_to_dsl(e, vars)),
+            XS::DivS(d, a, b) => {
+                dsl::Stmt::Raw(vec![lg(*a), lg(*b), Instr::I32DivS, ls(*d)])
+            }
+            XS::RemU(d, a, b) => {
+                dsl::Stmt::Raw(vec![lg(*a), lg(*b), Instr::I32RemU, ls(*d)])
+            }
+            XS::V128Mix(d, s) => dsl::Stmt::Raw(vec![
+                lg(*d),
+                Instr::I32x4Splat,
+                lg(*s),
+                Instr::I32x4Splat,
+                Instr::I32x4Add,
+                Instr::I32x4ExtractLane(0),
+                ls(*d),
+            ]),
+            XS::V128Select(d, s, c) => dsl::Stmt::Raw(vec![
+                lg(*d),
+                Instr::I32x4Splat,
+                lg(*s),
+                Instr::I32x4Splat,
+                lg(*c),
+                Instr::Select,
+                Instr::I32x4ExtractLane(1),
+                ls(*d),
+            ]),
+            XS::V128TeeDrop(d) => dsl::Stmt::Raw(vec![
+                // vl = splat(d); drop a wide temp; d = lane2(vl) ^ -1.
+                lg(*d),
+                Instr::I32x4Splat,
+                Instr::LocalSet(v128_tmp),
+                Instr::LocalGet(v128_tmp),
+                Instr::Drop,
+                Instr::LocalGet(v128_tmp),
+                Instr::I32x4ExtractLane(2),
+                Instr::I32Const(-1),
+                Instr::I32Xor,
+                ls(*d),
+            ]),
+            XS::StoreAt(i, addr) => dsl::Stmt::Raw(vec![
+                Instr::I32Const(*addr as i32),
+                lg(*i),
+                Instr::I32Store(MemArg::offset(0)),
+                Instr::I32Const(*addr as i32),
+                Instr::I32Load(MemArg::offset(0)),
+                ls(*i),
+            ]),
+            XS::If(c, t, e) => dsl::if_else(
+                e_to_dsl(c, vars).ne(dsl::int(0)),
+                &xs_to_dsl(t, vars, v128_tmp, counters, depth, f),
+                &xs_to_dsl(e, vars, v128_tmp, counters, depth, f),
+            ),
+            XS::Repeat(n, body) => {
+                if counters.len() <= depth {
+                    counters.push(Var::new(f, ValType::I32));
+                }
+                let counter = counters[depth];
+                dsl::for_range(
+                    counter,
+                    dsl::int(0),
+                    dsl::int(*n as i32),
+                    &xs_to_dsl(body, vars, v128_tmp, counters, depth + 1, f),
+                )
+            }
+        })
+        .collect()
+}
+
+fn xstmt_strategy() -> impl Strategy<Value = XS> {
+    let leaf = prop_oneof![
+        (0..N_VARS, expr_strategy()).prop_map(|(i, e)| XS::Assign(i, e)),
+        (0..N_VARS, 0..N_VARS, 0..N_VARS).prop_map(|(d, a, b)| XS::DivS(d, a, b)),
+        (0..N_VARS, 0..N_VARS, 0..N_VARS).prop_map(|(d, a, b)| XS::RemU(d, a, b)),
+        (0..N_VARS, 0..N_VARS).prop_map(|(d, s)| XS::V128Mix(d, s)),
+        (0..N_VARS, 0..N_VARS, 0..N_VARS).prop_map(|(d, s, c)| XS::V128Select(d, s, c)),
+        (0..N_VARS).prop_map(XS::V128TeeDrop),
+        // In-bounds addresses plus an out-of-bounds tail so both the
+        // success and the trap path are exercised.
+        (0..N_VARS, prop_oneof![0u32..65532, 65520u32..65600])
+            .prop_map(|(i, a)| XS::StoreAt(i, a)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, f)| XS::If(c, t, f)),
+            (0u8..4, proptest::collection::vec(inner, 1..3))
+                .prop_map(|(n, b)| XS::Repeat(n, b)),
+        ]
+    })
+}
+
+fn trap_matches(expected: RefTrap, got: &Trap) -> bool {
+    matches!(
+        (expected, got),
+        (RefTrap::DivZero, Trap::IntegerDivideByZero)
+            | (RefTrap::Overflow, Trap::IntegerOverflow)
+            | (RefTrap::Oob, Trap::MemoryOutOfBounds { .. })
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wide_and_trapping_programs_agree_across_tiers(
+        program in proptest::collection::vec(xstmt_strategy(), 1..6),
+        inits in proptest::array::uniform4(-50i32..50),
+    ) {
+        // Reference execution (plain Rust).
+        let mut ref_vars = inits;
+        let mut ref_mem = vec![0u8; XPAGE as usize];
+        let ref_result = xeval(&program, &mut ref_vars, &mut ref_mem);
+
+        let mut b = ModuleBuilder::new();
+        b.memory(1, Some(1)); // fixed one page so OOB is deterministic
+        let prog = program.clone();
+        b.func(
+            "run",
+            vec![ValType::I32; N_VARS],
+            vec![ValType::I32],
+            move |f| {
+                let vars = [
+                    dsl::local(0, ValType::I32),
+                    dsl::local(1, ValType::I32),
+                    dsl::local(2, ValType::I32),
+                    dsl::local(3, ValType::I32),
+                ];
+                let v128_tmp = f.local(ValType::V128);
+                let mut counters = Vec::new();
+                let mut stmts =
+                    xs_to_dsl(&prog, &vars, v128_tmp, &mut counters, 0, f);
+                stmts.push(dsl::ret(Some(
+                    vars[0]
+                        .get()
+                        .xor(vars[1].get())
+                        .xor(vars[2].get())
+                        .xor(vars[3].get()),
+                )));
+                dsl::emit_block(f, &stmts);
+            },
+        );
+        let module = b.finish();
+        wasm_engine::validate_module(&module).unwrap();
+        let wasm = encode_module(&module);
+        let decoded = wasm_engine::decode_module(&wasm).unwrap();
+
+        for tier in Tier::ALL {
+            let compiled = CompiledModule::compile(decoded.clone(), tier).unwrap();
+            let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+            let args: Vec<Value> = inits.iter().map(|&v| Value::I32(v)).collect();
+            let out = inst.invoke("run", &args);
+            match (&ref_result, out) {
+                (Ok(()), Ok(vals)) => {
+                    let expected = ref_vars[0] ^ ref_vars[1] ^ ref_vars[2] ^ ref_vars[3];
+                    prop_assert_eq!(vals[0], Value::I32(expected), "tier {} value", tier);
+                }
+                (Err(kind), Err(trap)) => {
+                    prop_assert!(
+                        trap_matches(*kind, &trap),
+                        "tier {}: expected {:?}, trapped with {:?}",
+                        tier, kind, trap
+                    );
+                }
+                (expected, got) => {
+                    return Err(TestCaseError::fail(format!(
+                        "tier {tier}: reference {expected:?} but engine returned {got:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
