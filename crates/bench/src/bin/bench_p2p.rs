@@ -2,7 +2,8 @@
 //! communication/computation overlap, emitting `BENCH_p2p.json` so
 //! protocol changes have a recorded perf trajectory.
 //!
-//! Usage: `bench_p2p [out.json]` (default `BENCH_p2p.json`).
+//! Usage: `bench_p2p [out.json] [--check committed.json]` (default out
+//! `BENCH_p2p.json`).
 //!
 //! Three sections:
 //!
@@ -13,23 +14,35 @@
 //!   threshold the rendezvous path copies each payload once
 //!   (sender buffer → receive buffer) instead of twice (sender → mailbox
 //!   heap box → receive buffer), which is the bandwidth win.
-//! * **overlap** — Iallreduce and Isend/Irecv overlap kernels
-//!   (`hpc_benchmarks::overlap`), blocking vs nonblocking per-iteration
-//!   times.
-//! * **imb_nbc_smoke** — the Wasm overlap guest through the full embedder
-//!   under both clock modes (the CI smoke for the nonblocking guest ABI).
+//! * **overlap** — Iallreduce, Isend/Irecv, and IMB-NBC-style Ialltoall
+//!   overlap kernels (`hpc_benchmarks::overlap`), blocking vs nonblocking
+//!   per-iteration times, best-of-N.
+//! * **imb_nbc_smoke** — the Wasm overlap guests (Iallreduce and
+//!   Ialltoall) through the full embedder under both clock modes (the CI
+//!   smoke for the nonblocking guest ABI).
+//!
+//! With `--check`, the fresh numbers are compared against a committed
+//! baseline, mirroring `bench_tiers --check`: a bandwidth cell more than
+//! [`REGRESSION_TOLERANCE`] *slower* (lower MB/s) or an overlap cell more
+//! than the tolerance *higher* (µs/iter) than the committed value exits
+//! non-zero. The noisy guest-smoke cells are reported but not gated.
 
 use std::sync::Arc;
 
-use hpc_benchmarks::overlap::{self, OverlapParams};
+use hpc_benchmarks::overlap::{self, OverlapParams, OverlapResult};
 use mpi_substrate::{
-    run_world_with_protocol, ClockMode, ProtocolConfig, Source, Tag,
+    run_world_with_protocol, ClockMode, Comm, ProtocolConfig, Source, Tag,
 };
 use mpiwasm::{JobConfig, Runner};
 use netsim::{CostModel, SystemProfile};
 
 const SIZES: [usize; 5] = [4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
 const REPS: usize = 5;
+/// Best-of reps for the overlap kernels (they feed the `--check` gate).
+const OVERLAP_REPS: usize = 3;
+
+/// Maximum tolerated regression vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.15;
 
 /// One timed pingpong run: returns the best per-iteration one-way time in
 /// ns for `bytes` under `protocol`.
@@ -59,8 +72,98 @@ fn mb_per_s(bytes: usize, ns: f64) -> f64 {
     bytes as f64 / ns * 1e9 / 1e6
 }
 
+/// Best-of-N of an overlap kernel at `np` ranks, reduced across ranks by
+/// max (slowest rank bounds the iteration).
+fn overlap_best(
+    np: u32,
+    params: OverlapParams,
+    kernel: impl Fn(&Comm, OverlapParams) -> OverlapResult + Send + Sync + Copy + 'static,
+) -> (f64, f64) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..OVERLAP_REPS {
+        let out = run_world_with_protocol(
+            np,
+            ClockMode::Real,
+            ProtocolConfig::default_real(),
+            move |comm| kernel(&comm, params),
+        );
+        let block = out.iter().map(|r| r.blocking_us).fold(0.0, f64::max);
+        let nb = out.iter().map(|r| r.nonblocking_us).fold(0.0, f64::max);
+        best.0 = best.0.min(block);
+        best.1 = best.1.min(nb);
+    }
+    best
+}
+
+/// Parse the (self-emitted) results format into gateable cells:
+/// `(section, key, value)` where bandwidth cells carry `default_mb_s`
+/// (higher is better) and overlap cells `nonblocking_us` (lower is
+/// better). Smoke cells are skipped.
+fn parse_cells(json: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let field = |key: &str| -> Option<&str> {
+            let at = line.find(key)? + key.len();
+            let rest = line[at..].trim_start_matches([':', ' ', '"']);
+            Some(rest.split(['"', ',', '}']).next().unwrap_or("").trim())
+        };
+        match field("\"section\"") {
+            Some("bandwidth") => {
+                if let (Some(bytes), Some(v)) = (field("\"bytes\""), field("\"default_mb_s\"")) {
+                    if let Ok(v) = v.parse::<f64>() {
+                        out.push(("bandwidth".into(), bytes.to_string(), v));
+                    }
+                }
+            }
+            Some("overlap") => {
+                if let (Some(k), Some(v)) = (field("\"kernel\""), field("\"nonblocking_us\"")) {
+                    if let Ok(v) = v.parse::<f64>() {
+                        out.push(("overlap".into(), k.to_string(), v));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Compare fresh cells against the committed baseline. Bandwidth
+/// regresses downward, overlap upward. Returns (section, key, committed,
+/// fresh) per regressed cell.
+fn check_regressions(
+    committed: &[(String, String, f64)],
+    fresh: &[(String, String, f64)],
+) -> Vec<(String, String, f64, f64)> {
+    let mut bad = Vec::new();
+    for (sec, key, old) in committed {
+        let Some((_, _, new)) = fresh.iter().find(|(s, k, _)| s == sec && k == key) else {
+            continue; // cell removed: not a regression
+        };
+        let regressed = match sec.as_str() {
+            "bandwidth" => *new < *old * (1.0 - REGRESSION_TOLERANCE),
+            _ => *new > *old * (1.0 + REGRESSION_TOLERANCE),
+        };
+        if regressed {
+            bad.push((sec.clone(), key.clone(), *old, *new));
+        }
+    }
+    bad
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_p2p.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_p2p.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--check" {
+            check_path = Some(it.next().expect("--check needs a baseline path"));
+        } else {
+            out_path = a;
+        }
+    }
+
     let mut lines: Vec<String> = Vec::new();
 
     // --- bandwidth: interleaved A/B, default (rendezvous) vs eager-only -
@@ -88,21 +191,14 @@ fn main() {
     }
 
     // --- overlap kernels -------------------------------------------------
-    println!("== overlap (np=4 Iallreduce, np=2 p2p, real clock) ==");
+    println!("== overlap (np=4 Iallreduce/Ialltoall, np=2 p2p, real clock) ==");
     let coll_params = OverlapParams {
         bytes: 64 << 10,
         iters: 10,
         compute_units: 200_000,
         virtual_compute_us: 50.0,
     };
-    let coll = run_world_with_protocol(
-        4,
-        ClockMode::Real,
-        ProtocolConfig::default_real(),
-        move |comm| overlap::run_native(&comm, coll_params),
-    );
-    let coll_block = coll.iter().map(|r| r.blocking_us).fold(0.0, f64::max);
-    let coll_nb = coll.iter().map(|r| r.nonblocking_us).fold(0.0, f64::max);
+    let (coll_block, coll_nb) = overlap_best(4, coll_params, overlap::run_native);
     println!("iallreduce: blocking {coll_block:.1} us/iter, nonblocking {coll_nb:.1} us/iter");
     lines.push(format!(
         "  {{\"section\": \"overlap\", \"kernel\": \"iallreduce\", \
@@ -115,54 +211,132 @@ fn main() {
         compute_units: 200_000,
         virtual_compute_us: 50.0,
     };
-    let p2p = run_world_with_protocol(
-        2,
-        ClockMode::Real,
-        ProtocolConfig::default_real(),
-        move |comm| overlap::run_native_p2p(&comm, p2p_params),
-    );
-    let p2p_block = p2p.iter().map(|r| r.blocking_us).fold(0.0, f64::max);
-    let p2p_nb = p2p.iter().map(|r| r.nonblocking_us).fold(0.0, f64::max);
+    let (p2p_block, p2p_nb) = overlap_best(2, p2p_params, overlap::run_native_p2p);
     println!("p2p 1MiB:   blocking {p2p_block:.1} us/iter, nonblocking {p2p_nb:.1} us/iter");
     lines.push(format!(
         "  {{\"section\": \"overlap\", \"kernel\": \"p2p_1mib\", \
          \"blocking_us\": {p2p_block:.2}, \"nonblocking_us\": {p2p_nb:.2}}}"
     ));
 
+    // IMB-style Ialltoall: 96 KiB per-peer blocks are rendezvous-sized,
+    // so the kernel measures how much of the pairwise exchange the
+    // request state machine hides behind compute.
+    let a2a_params = OverlapParams {
+        bytes: 96 << 10,
+        iters: 10,
+        compute_units: 200_000,
+        virtual_compute_us: 50.0,
+    };
+    let (a2a_block, a2a_nb) = overlap_best(4, a2a_params, overlap::run_native_alltoall);
+    println!("ialltoall:  blocking {a2a_block:.1} us/iter, nonblocking {a2a_nb:.1} us/iter");
+    lines.push(format!(
+        "  {{\"section\": \"overlap\", \"kernel\": \"ialltoall_96k\", \
+         \"blocking_us\": {a2a_block:.2}, \"nonblocking_us\": {a2a_nb:.2}}}"
+    ));
+
     // --- IMB-NBC guest smoke --------------------------------------------
     println!("== imb nbc guest smoke (np=4, real + virtual clocks) ==");
-    let wasm = Arc::new(overlap::build_guest(OverlapParams {
+    let smoke_params = OverlapParams {
         bytes: 4096,
         iters: 4,
         compute_units: 1000,
         virtual_compute_us: 5.0,
-    }));
+    };
     let runner = Runner::new();
-    for (name, clock) in [
-        ("real", ClockMode::Real),
-        ("virtual", ClockMode::Virtual(CostModel::native(SystemProfile::container()))),
+    for (kernel, wasm) in [
+        ("iallreduce", Arc::new(overlap::build_guest(smoke_params))),
+        ("ialltoall", Arc::new(overlap::build_alltoall_guest(smoke_params))),
     ] {
-        let result = runner
-            .run(&wasm, JobConfig { np: 4, clock, ..Default::default() })
-            .expect("overlap guest launch");
-        assert!(
-            result.success(),
-            "overlap guest failed under {name} clock: {:?}",
-            result.ranks.iter().filter_map(|r| r.error.clone()).collect::<Vec<_>>()
-        );
-        let reports = &result.ranks[0].reports;
-        println!(
-            "{name:>8} clock: blocking {:.1} us/iter, nonblocking {:.1} us/iter",
-            reports[0].1, reports[1].1
-        );
-        lines.push(format!(
-            "  {{\"section\": \"imb_nbc_smoke\", \"clock\": \"{name}\", \
-             \"blocking_us\": {:.2}, \"nonblocking_us\": {:.2}}}",
-            reports[0].1, reports[1].1
-        ));
+        for (name, clock) in [
+            ("real", ClockMode::Real),
+            ("virtual", ClockMode::Virtual(CostModel::native(SystemProfile::container()))),
+        ] {
+            let result = runner
+                .run(&wasm, JobConfig { np: 4, clock, ..Default::default() })
+                .expect("overlap guest launch");
+            assert!(
+                result.success(),
+                "{kernel} guest failed under {name} clock: {:?}",
+                result.ranks.iter().filter_map(|r| r.error.clone()).collect::<Vec<_>>()
+            );
+            let reports = &result.ranks[0].reports;
+            println!(
+                "{kernel:>10} {name:>8} clock: blocking {:.1} us/iter, nonblocking {:.1} us/iter",
+                reports[0].1, reports[1].1
+            );
+            lines.push(format!(
+                "  {{\"section\": \"imb_nbc_smoke\", \"kernel\": \"{kernel}\", \
+                 \"clock\": \"{name}\", \
+                 \"blocking_us\": {:.2}, \"nonblocking_us\": {:.2}}}",
+                reports[0].1, reports[1].1
+            ));
+        }
     }
 
     let json = format!("[\n{}\n]\n", lines.join(",\n"));
-    std::fs::write(&out_path, json).expect("write json");
+    std::fs::write(&out_path, &json).expect("write json");
     println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = parse_cells(&std::fs::read_to_string(&path).expect("read baseline"));
+        assert!(!committed.is_empty(), "no baseline cells parsed from {path}");
+        let fresh = parse_cells(&json);
+        let bad = check_regressions(&committed, &fresh);
+        if bad.is_empty() {
+            println!(
+                "perf check OK: all {} cells within {:.0}% of {path}",
+                committed.len(),
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for (sec, key, old, new) in &bad {
+                eprintln!(
+                    "PERF REGRESSION {sec}/{key}: {old:.1} -> {new:.1} ({:+.1}%)",
+                    (new / old - 1.0) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_format_and_flags_directional_regressions() {
+        let json = concat!(
+            "[\n",
+            "  {\"section\": \"bandwidth\", \"bytes\": 4096, \"default_mb_s\": 1000.0, \"eager_only_mb_s\": 900.0},\n",
+            "  {\"section\": \"overlap\", \"kernel\": \"ialltoall_96k\", \"blocking_us\": 50.00, \"nonblocking_us\": 40.00},\n",
+            "  {\"section\": \"imb_nbc_smoke\", \"kernel\": \"ialltoall\", \"clock\": \"real\", \"blocking_us\": 1.00, \"nonblocking_us\": 1.00}\n",
+            "]\n"
+        );
+        let cells = parse_cells(json);
+        // Smoke cells are not gated.
+        assert_eq!(
+            cells,
+            vec![
+                ("bandwidth".into(), "4096".into(), 1000.0),
+                ("overlap".into(), "ialltoall_96k".into(), 40.0),
+            ]
+        );
+        // Bandwidth regresses downward; overlap upward. 10% either way is
+        // tolerated, 20% is flagged.
+        let fresh = vec![
+            ("bandwidth".to_string(), "4096".to_string(), 800.0),
+            ("overlap".to_string(), "ialltoall_96k".to_string(), 44.0),
+        ];
+        let bad = check_regressions(&cells, &fresh);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "bandwidth");
+        let fresh_ok = vec![
+            ("bandwidth".to_string(), "4096".to_string(), 900.0),
+            ("overlap".to_string(), "ialltoall_96k".to_string(), 60.0),
+        ];
+        let bad = check_regressions(&cells, &fresh_ok);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "overlap");
+    }
 }

@@ -37,6 +37,7 @@ pub struct MpiImports {
     pub allgather: u32,
     pub scatter: u32,
     pub alltoall: u32,
+    pub alltoallv: u32,
     pub comm_split: u32,
     pub comm_dup: u32,
     pub comm_free: u32,
@@ -63,6 +64,12 @@ pub struct MpiImports {
     pub ibarrier: u32,
     pub ibcast: u32,
     pub iallreduce: u32,
+    pub ireduce: u32,
+    pub igather: u32,
+    pub iscatter: u32,
+    pub iallgather: u32,
+    pub ialltoall: u32,
+    pub ialltoallv: u32,
     /// `bench.report(key, value)` harness hook.
     pub report: u32,
 }
@@ -91,6 +98,7 @@ impl MpiImports {
             allgather: i(b, "MPI_Allgather", vec![I32; 7], vec![I32]),
             scatter: i(b, "MPI_Scatter", vec![I32; 8], vec![I32]),
             alltoall: i(b, "MPI_Alltoall", vec![I32; 7], vec![I32]),
+            alltoallv: i(b, "MPI_Alltoallv", vec![I32; 9], vec![I32]),
             comm_split: i(b, "MPI_Comm_split", vec![I32; 4], vec![I32]),
             comm_dup: i(b, "MPI_Comm_dup", vec![I32; 2], vec![I32]),
             comm_free: i(b, "MPI_Comm_free", vec![I32], vec![I32]),
@@ -117,6 +125,12 @@ impl MpiImports {
             ibarrier: i(b, "MPI_Ibarrier", vec![I32; 2], vec![I32]),
             ibcast: i(b, "MPI_Ibcast", vec![I32; 6], vec![I32]),
             iallreduce: i(b, "MPI_Iallreduce", vec![I32; 7], vec![I32]),
+            ireduce: i(b, "MPI_Ireduce", vec![I32; 8], vec![I32]),
+            igather: i(b, "MPI_Igather", vec![I32; 9], vec![I32]),
+            iscatter: i(b, "MPI_Iscatter", vec![I32; 9], vec![I32]),
+            iallgather: i(b, "MPI_Iallgather", vec![I32; 8], vec![I32]),
+            ialltoall: i(b, "MPI_Ialltoall", vec![I32; 8], vec![I32]),
+            ialltoallv: i(b, "MPI_Ialltoallv", vec![I32; 10], vec![I32]),
             report: b.import_func("bench", "report", vec![I32, F64], vec![]),
         }
     }
@@ -270,6 +284,168 @@ impl MpiImports {
     /// Nonblocking barrier over `MPI_COMM_WORLD`.
     pub fn ibarrier_nb(&self, req_ptr: Expr) -> Stmt {
         call_drop(self.ibarrier, vec![int(handles::MPI_COMM_WORLD), req_ptr])
+    }
+
+    /// Nonblocking all-to-all over `MPI_COMM_WORLD` (equal counts on the
+    /// send and receive side, as the blocking helper).
+    pub fn ialltoall_nb(
+        &self,
+        sbuf: Expr,
+        count: Expr,
+        dt: i32,
+        rbuf: Expr,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.ialltoall,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                int(handles::MPI_COMM_WORLD),
+                req_ptr,
+            ],
+        )
+    }
+
+    /// Nonblocking gather over `MPI_COMM_WORLD`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn igather_nb(
+        &self,
+        sbuf: Expr,
+        count: Expr,
+        dt: i32,
+        rbuf: Expr,
+        root: Expr,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.igather,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                root,
+                int(handles::MPI_COMM_WORLD),
+                req_ptr,
+            ],
+        )
+    }
+
+    /// Nonblocking scatter over `MPI_COMM_WORLD`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn iscatter_nb(
+        &self,
+        sbuf: Expr,
+        count: Expr,
+        dt: i32,
+        rbuf: Expr,
+        root: Expr,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.iscatter,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                root,
+                int(handles::MPI_COMM_WORLD),
+                req_ptr,
+            ],
+        )
+    }
+
+    /// Nonblocking allgather over `MPI_COMM_WORLD`.
+    pub fn iallgather_nb(
+        &self,
+        sbuf: Expr,
+        count: Expr,
+        dt: i32,
+        rbuf: Expr,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.iallgather,
+            vec![
+                sbuf,
+                count.clone(),
+                int(dt),
+                rbuf,
+                count,
+                int(dt),
+                int(handles::MPI_COMM_WORLD),
+                req_ptr,
+            ],
+        )
+    }
+
+    /// Blocking vector all-to-all over `MPI_COMM_WORLD` (counts and
+    /// displacements are `i32[p]` arrays in guest memory, in elements).
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv(
+        &self,
+        sbuf: Expr,
+        scounts: Expr,
+        sdispls: Expr,
+        dt: i32,
+        rbuf: Expr,
+        rcounts: Expr,
+        rdispls: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.alltoallv,
+            vec![
+                sbuf,
+                scounts,
+                sdispls,
+                int(dt),
+                rbuf,
+                rcounts,
+                rdispls,
+                int(dt),
+                int(handles::MPI_COMM_WORLD),
+            ],
+        )
+    }
+
+    /// Nonblocking vector all-to-all over `MPI_COMM_WORLD`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ialltoallv_nb(
+        &self,
+        sbuf: Expr,
+        scounts: Expr,
+        sdispls: Expr,
+        dt: i32,
+        rbuf: Expr,
+        rcounts: Expr,
+        rdispls: Expr,
+        req_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.ialltoallv,
+            vec![
+                sbuf,
+                scounts,
+                sdispls,
+                int(dt),
+                rbuf,
+                rcounts,
+                rdispls,
+                int(dt),
+                int(handles::MPI_COMM_WORLD),
+                req_ptr,
+            ],
+        )
     }
 
     /// `MPI_Wait(req_ptr, MPI_STATUS_IGNORE)`.
@@ -625,6 +801,199 @@ mod tests {
             .unwrap();
         assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
         assert_eq!(result.ranks[0].reports, vec![(0, 77.0)]);
+    }
+
+    /// `MPI_Waitall` partial-failure audit: a set mixing a p2p request
+    /// with a nonblocking collective that fails (mismatched Ibcast
+    /// counts) must return the collective's error code *and* rewrite
+    /// every completed handle word to `MPI_REQUEST_NULL`, exactly like
+    /// the one-shot p2p encoding documented on `env::MpiState`.
+    #[test]
+    fn waitall_partial_failure_nulls_collective_handles() {
+        let reqs = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let code = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.extend([
+                store(int(layout::SEND_BUF), 0, int(41)),
+                // Slot 0: a p2p pair that completes cleanly.
+                if_else(
+                    rank.get().eq(int(0)),
+                    &[mpi.isend_nb(int(layout::SEND_BUF), int(1), MPI_INT, int(1), 5, int(reqs))],
+                    &[mpi.irecv_nb(int(layout::RECV_BUF), int(1), MPI_INT, int(0), 5, int(reqs))],
+                ),
+                // Slot 1: Ibcast with count 2 on the root, 1 elsewhere —
+                // the non-root's state machine latches CollectiveMismatch.
+                call_drop(
+                    mpi.ibcast,
+                    vec![
+                        int(layout::SEND_BUF + 64),
+                        int(2) - rank.get(),
+                        int(MPI_INT),
+                        int(0),
+                        int(handles::MPI_COMM_WORLD),
+                        int(reqs + 4),
+                    ],
+                ),
+                code.set(call(
+                    mpi.waitall,
+                    vec![int(2), int(reqs), int(0 /* STATUSES_IGNORE */)],
+                    ValType::I32,
+                )),
+                mpi.report(int(0), code.get().to(ValType::F64)),
+                mpi.report(int(1), int(reqs).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.report(int(2), int(reqs + 4).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        // Rank 0 (root, matching counts): clean success.
+        assert_eq!(result.ranks[0].reports[0].1, 0.0, "root waitall code");
+        // Rank 1: the collective's error code surfaces (16 =
+        // CollectiveMismatch)...
+        assert_eq!(result.ranks[1].reports[0].1, 16.0, "non-root waitall code");
+        // ...and on BOTH ranks every handle word is nulled, including the
+        // failed collective's.
+        for r in &result.ranks {
+            assert_eq!(r.reports[1].1, 0.0, "rank {} p2p handle nulled", r.rank);
+            assert_eq!(r.reports[2].1, 0.0, "rank {} coll handle nulled", r.rank);
+        }
+    }
+
+    /// The guest-visible `MPI_Alltoallv` ABI end to end: element counts
+    /// and displacements are translated per rank (block to rank `r` holds
+    /// `r + 1` ints), routed through the nonblocking state machine, and
+    /// land transposed.
+    #[test]
+    fn alltoallv_through_embedder() {
+        const P: i32 = 3;
+        let scounts = layout::SCRATCH + 64;
+        let sdispls = scounts + 4 * P;
+        let rcounts = sdispls + 4 * P;
+        let rdispls = rcounts + 4 * P;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let size = Var::new(f, ValType::I32);
+            let r = Var::new(f, ValType::I32);
+            let k = Var::new(f, ValType::I32);
+            let acc = Var::new(f, ValType::I32);
+            let sum = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.extend(mpi.load_size(layout::SCRATCH + 8, size));
+            stmts.extend([
+                // Build the count/displacement arrays: block to rank r is
+                // r+1 ints; receive side expects rank+1 ints from everyone.
+                acc.set(int(0)),
+                for_range(r, int(0), size.get(), &[
+                    store(int(scounts) + r.get() * int(4), 0, r.get() + int(1)),
+                    store(int(sdispls) + r.get() * int(4), 0, acc.get()),
+                    // Fill block r with the value rank*100 + r.
+                    for_range(k, int(0), r.get() + int(1), &[store(
+                        int(layout::SEND_BUF) + (acc.get() + k.get()) * int(4),
+                        0,
+                        rank.get() * int(100) + r.get(),
+                    )]),
+                    acc.set(acc.get() + r.get() + int(1)),
+                    store(int(rcounts) + r.get() * int(4), 0, rank.get() + int(1)),
+                    store(
+                        int(rdispls) + r.get() * int(4),
+                        0,
+                        r.get() * (rank.get() + int(1)),
+                    ),
+                ]),
+                mpi.alltoallv(
+                    int(layout::SEND_BUF),
+                    int(scounts),
+                    int(sdispls),
+                    MPI_INT,
+                    int(layout::RECV_BUF),
+                    int(rcounts),
+                    int(rdispls),
+                ),
+                // Sum everything received: rank+1 ints from each sender
+                // s, each s*100 + rank.
+                sum.set(int(0)),
+                for_range(r, int(0), size.get() * (rank.get() + int(1)), &[sum.set(
+                    sum.get() + (int(layout::RECV_BUF) + r.get() * int(4)).load(ValType::I32, 0),
+                )]),
+                mpi.report(int(0), sum.get().to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: P as u32, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        for rank in 0..P {
+            let expected: i32 = (0..P).map(|s| (rank + 1) * (s * 100 + rank)).sum();
+            assert_eq!(
+                result.ranks[rank as usize].reports,
+                vec![(0, expected as f64)],
+                "rank {rank}"
+            );
+        }
+    }
+
+    /// Symmetric `Ialltoall` + `Waitall` through the full guest ABI with
+    /// rendezvous-sized blocks: the parked `Waitall` must keep each
+    /// rank's collective state machine draining its peers.
+    #[test]
+    fn guest_symmetric_ialltoall_waitall_completes() {
+        const BLOCK: i32 = 256 << 10; // per-peer block, rendezvous-sized
+        let req = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.extend([
+                // First word of each outgoing block: 10 + rank.
+                store(int(layout::SEND_BUF), 0, rank.get() + int(10)),
+                store(int(layout::SEND_BUF + BLOCK), 0, rank.get() + int(10)),
+                mpi.ialltoall_nb(
+                    int(layout::SEND_BUF),
+                    int(BLOCK),
+                    MPI_BYTE,
+                    int(layout::RECV_BUF),
+                    int(req),
+                ),
+                call_drop(mpi.waitall, vec![int(1), int(req), int(0)]),
+                // Peer block landed at RECV_BUF + peer*BLOCK.
+                mpi.report(
+                    int(0),
+                    (int(layout::RECV_BUF) + (int(1) - rank.get()) * int(BLOCK))
+                        .load(ValType::I32, 0)
+                        .to(ValType::F64),
+                ),
+                mpi.finalize(),
+            ]);
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(result.ranks[0].reports, vec![(0, 11.0)]);
+        assert_eq!(result.ranks[1].reports, vec![(0, 10.0)]);
     }
 
     /// Collectives through the full stack, all tiers.

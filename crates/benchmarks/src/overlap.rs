@@ -2,19 +2,20 @@
 //!
 //! The paper's motivation for running real MPI codes in Wasm is that they
 //! overlap communication with computation; this module measures how much
-//! of an `Iallreduce` the substrate actually hides behind compute. Each
-//! kernel runs the same loop twice:
+//! of an `Iallreduce` (and, IMB-NBC `Ialltoall`-style, of a pairwise
+//! exchange) the substrate actually hides behind compute. Each kernel
+//! runs the same loop twice:
 //!
-//! * **blocking** — `Allreduce` then compute (fully serialized);
-//! * **nonblocking** — `Iallreduce`, compute, `Wait` (overlappable).
+//! * **blocking** — the blocking collective then compute (serialized);
+//! * **nonblocking** — initiate, compute, `Wait` (overlappable).
 //!
-//! Like the IMB modules, it exists as a Wasm guest builder
-//! ([`build_guest`], reporting `(0, blocking_us)` and
-//! `(1, nonblocking_us)` per iteration) and a native implementation
-//! ([`run_native`]). Under a virtual clock the compute phase charges
-//! simulated time, so the overlap is visible in the LogP model too: the
-//! wire delay and the compute charge combine through `max()` on the
-//! receive path.
+//! Like the IMB modules, each kernel exists as a Wasm guest builder
+//! ([`build_guest`], [`build_alltoall_guest`] — reporting
+//! `(0, blocking_us)` and `(1, nonblocking_us)` per iteration) and a
+//! native implementation ([`run_native`], [`run_native_alltoall`]).
+//! Under a virtual clock the compute phase charges simulated time, so
+//! the overlap is visible in the LogP model too: the wire delay and the
+//! compute charge combine through `max()` on the receive path.
 
 use mpi_substrate::{Comm, Datatype, ReduceOp, Request};
 use wasm_engine::dsl::*;
@@ -134,6 +135,73 @@ pub fn build_guest(params: OverlapParams) -> Vec<u8> {
     encode_module(&b.finish())
 }
 
+/// Build the IMB-NBC-style `Ialltoall` overlap guest: every rank
+/// exchanges `bytes`-sized blocks with every peer, blocking vs
+/// initiate/compute/wait. Reports `(0, blocking_us_per_iter)` and
+/// `(1, nonblocking_us_per_iter)`.
+pub fn build_alltoall_guest(params: OverlapParams) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.name("imb-nbc-ialltoall");
+    b.memory(layout::PAGES, Some(layout::PAGES));
+    let mpi = MpiImports::declare(&mut b);
+    let count = params.bytes.max(1) as i32; // MPI_BYTE block per peer
+    let iters = params.iters.max(1) as i32;
+    let units = params.compute_units as i32;
+    let req_addr = layout::SCRATCH + 16;
+
+    b.func("_start", vec![], vec![], move |f| {
+        let rank = Var::new(f, ValType::I32);
+        let size = Var::new(f, ValType::I32);
+        let i = Var::new(f, ValType::I32);
+        let j = Var::new(f, ValType::I32);
+        let t0 = Var::new(f, ValType::F64);
+        let acc = Var::new(f, ValType::F64);
+
+        let sbuf = int(layout::SEND_BUF);
+        let rbuf = int(layout::RECV_BUF);
+
+        // Dependent multiply-add chain reading the receive buffer.
+        let compute = for_range(j, int(0), int(units), &[acc.set(
+            acc.get() * double(0.999_999) + rbuf.clone().load(ValType::F64, 0),
+        )]);
+
+        let mut stmts = vec![mpi.init()];
+        stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+        stmts.extend(mpi.load_size(layout::SCRATCH + 8, size));
+        stmts.push(store(sbuf.clone(), 0, rank.get().to(ValType::F64) + double(1.0)));
+
+        // Serialized: Alltoall, then compute.
+        stmts.push(mpi.barrier_world());
+        stmts.push(t0.set(mpi.wtime()));
+        stmts.push(for_range(i, int(0), int(iters), &[
+            mpi.alltoall(sbuf.clone(), int(count), crate::guest::MPI_BYTE, rbuf.clone()),
+            compute.clone(),
+        ]));
+        stmts.push(mpi.report(int(0), (mpi.wtime() - t0.get()) * double(1e6 / iters as f64)));
+
+        // Overlapped: Ialltoall, compute, Wait.
+        stmts.push(mpi.barrier_world());
+        stmts.push(t0.set(mpi.wtime()));
+        stmts.push(for_range(i, int(0), int(iters), &[
+            mpi.ialltoall_nb(
+                sbuf.clone(),
+                int(count),
+                crate::guest::MPI_BYTE,
+                rbuf.clone(),
+                int(req_addr),
+            ),
+            compute.clone(),
+            mpi.wait_nb(int(req_addr)),
+        ]));
+        stmts.push(mpi.report(int(1), (mpi.wtime() - t0.get()) * double(1e6 / iters as f64)));
+
+        stmts.push(mpi.report(int(2), acc.get()));
+        stmts.push(mpi.finalize());
+        emit_block(f, &stmts);
+    });
+    encode_module(&b.finish())
+}
+
 /// Busy compute kernel for the native path; charges `virtual_compute_us`
 /// to the rank's clock in virtual worlds so the simulated timeline sees
 /// the same overlap structure.
@@ -168,6 +236,37 @@ pub fn run_native(comm: &Comm, params: OverlapParams) -> OverlapResult {
         let mut req = comm
             .iallreduce(&sbuf, &mut rbuf, Datatype::Double, ReduceOp::Sum)
             .unwrap();
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+        req.wait().unwrap();
+    }
+    let nonblocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    OverlapResult { blocking_us, nonblocking_us }
+}
+
+/// Native execution of the IMB-NBC-style `Ialltoall` overlap kernel:
+/// blocking `alltoall` + compute vs `ialltoall` / compute / `wait`.
+/// `params.bytes` is the per-peer block size.
+pub fn run_native_alltoall(comm: &Comm, params: OverlapParams) -> OverlapResult {
+    let p = comm.size() as usize;
+    let n = params.bytes.max(1) as usize;
+    let sbuf = vec![0x3cu8; n * p];
+    let mut rbuf = vec![0u8; n * p];
+    let iters = params.iters.max(1);
+    let mut seed = comm.rank() as f64;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        comm.alltoall(&sbuf, &mut rbuf).unwrap();
+        compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
+    }
+    let blocking_us = (comm.wtime() - t0) * 1e6 / iters as f64;
+
+    comm.barrier().unwrap();
+    let t0 = comm.wtime();
+    for _ in 0..iters {
+        let mut req = comm.ialltoall(&sbuf, &mut rbuf).unwrap();
         compute(comm, params.compute_units, params.virtual_compute_us, &mut seed);
         req.wait().unwrap();
     }
@@ -284,6 +383,45 @@ mod tests {
                 r.nonblocking_us <= r.blocking_us * 1.05 + 1.0,
                 "overlap slower than serialized: {r:?}"
             );
+        }
+    }
+
+    #[test]
+    fn alltoall_guest_runs_real_and_virtual() {
+        let wasm = build_alltoall_guest(OverlapParams {
+            bytes: 1024,
+            iters: 3,
+            compute_units: 500,
+            virtual_compute_us: 3.0,
+        });
+        for clock in [ClockMode::Real, virtual_mode()] {
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 4, clock, ..Default::default() })
+                .unwrap();
+            assert!(
+                result.success(),
+                "{:?}",
+                result.ranks.iter().filter_map(|r| r.error.clone()).collect::<Vec<_>>()
+            );
+            let reports = &result.ranks[0].reports;
+            assert_eq!(reports[0].0, 0);
+            assert_eq!(reports[1].0, 1);
+            assert!(reports[0].1 >= 0.0 && reports[1].1 >= 0.0);
+        }
+    }
+
+    #[test]
+    fn native_alltoall_overlap_covers_rendezvous_blocks() {
+        // 96 KiB per peer block is rendezvous under the real default.
+        let params = OverlapParams {
+            bytes: 96 << 10,
+            iters: 3,
+            compute_units: 1000,
+            virtual_compute_us: 20.0,
+        };
+        let out = run_world(3, move |comm| run_native_alltoall(&comm, params));
+        for r in &out {
+            assert!(r.blocking_us > 0.0 && r.nonblocking_us > 0.0);
         }
     }
 

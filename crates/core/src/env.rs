@@ -122,10 +122,13 @@ impl MpiState {
     /// Register a pending request; returns its guest handle (≥ 1).
     ///
     /// Slots are append-only (freed interior slots are *not* reused), so
-    /// table order is posting order — which `progress_all` relies on to
-    /// progress same-`(source, tag)` receives first-posted-first (the
-    /// non-overtaking guarantee). The tail is reclaimed as requests
-    /// retire, bounding the table by the live-request high-water mark.
+    /// table order is posting order. Matching itself is pinned at
+    /// arrival by the substrate's posted-receive queues (a newer
+    /// same-matcher receive can never steal an older one's message), so
+    /// table order is no longer load-bearing for correctness — it is
+    /// kept because posting-order progress retires older requests first.
+    /// The tail is reclaimed as requests retire, bounding the table by
+    /// the live-request high-water mark.
     pub fn insert_request(&mut self, req: Request<'static>) -> i32 {
         self.requests.push(Some(req));
         self.requests.len() as i32

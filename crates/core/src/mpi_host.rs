@@ -88,8 +88,10 @@ fn wait_one(
     }
     let mut spins = 0u32;
     loop {
-        // Table first, in posting order (see wait_local): the waited
-        // handle must not overtake older same-matcher receives.
+        // Drive the whole table first: matching is pinned at arrival by
+        // the substrate's posted-receive queues, but matched receives
+        // still need their delivery step, and rendezvous peers park
+        // until it runs.
         env.mpi.progress_all();
         match try_complete(mem, env, handle_ptr, handle)? {
             Completion::Done(st) => {
@@ -215,9 +217,9 @@ fn wait_local(
 ) -> Result<Status, MpiError> {
     let mut spins = 0u32;
     loop {
-        // Table first: older posted receives must get first claim on
-        // queued messages (non-overtaking for same-matcher receives); the
-        // local request is the newest operation on this rank.
+        // Table first: posted receives claim their messages at arrival,
+        // but the delivery step (payload copy, clock charge, rendezvous
+        // completion) runs here, and parked peers depend on it.
         env.mpi.progress_all();
         req.progress();
         if req.is_complete() {
@@ -279,6 +281,73 @@ fn translate_instrumented(
         let dt = datatype_from_handle(dt_handle)?;
         let bytes = byte_len(count, dt)?;
         Ok((dt, bytes))
+    }
+}
+
+/// Read a guest `i32[p]` counts/displacements array and scale it to
+/// bytes by the datatype's element size (`MPI_Alltoallv` translation).
+fn read_extents(
+    mem: &Memory,
+    ptr: u32,
+    p: u32,
+    elem_size: usize,
+) -> Result<Vec<usize>, MpiError> {
+    let mut out = Vec::with_capacity(p as usize);
+    for i in 0..p {
+        let v = mem
+            .read_i32_at(ptr + i * 4)
+            .map_err(|_| MpiError::BadCount { bytes: p as usize * 4, type_size: 4 })?;
+        if v < 0 {
+            return Err(MpiError::BadCount {
+                bytes: v as isize as usize,
+                type_size: elem_size,
+            });
+        }
+        out.push(v as usize * elem_size);
+    }
+    Ok(out)
+}
+
+/// Byte extent a vector collective touches: `max(displ + count)`.
+fn extent_of(counts: &[usize], displs: &[usize]) -> usize {
+    counts.iter().zip(displs).map(|(c, d)| c + d).max().unwrap_or(0)
+}
+
+/// Shared translation for `MPI_Alltoallv`/`MPI_Ialltoallv`: build the
+/// raw-pointer substrate request from the guest's count/displacement
+/// arrays and buffer addresses.
+#[allow(clippy::too_many_arguments)]
+fn alltoallv_request(
+    mem: &mut Memory,
+    env: &mut Env,
+    sbuf: u32,
+    scounts_ptr: u32,
+    sdispls_ptr: u32,
+    stype: i32,
+    rbuf: u32,
+    rcounts_ptr: u32,
+    rdispls_ptr: u32,
+    rtype: i32,
+    comm_h: i32,
+) -> Result<mpi_substrate::Request<'static>, MpiError> {
+    let sdt = datatype_from_handle(stype)?;
+    let rdt = datatype_from_handle(rtype)?;
+    let comm = env.mpi.comm(comm_h)?;
+    let p = comm.size();
+    let scounts = read_extents(mem, scounts_ptr, p, sdt.size())?;
+    let sdispls = read_extents(mem, sdispls_ptr, p, sdt.size())?;
+    let rcounts = read_extents(mem, rcounts_ptr, p, rdt.size())?;
+    let rdispls = read_extents(mem, rdispls_ptr, p, rdt.size())?;
+    let s_extent = extent_of(&scounts, &sdispls) as u32;
+    let r_extent = extent_of(&rcounts, &rdispls) as u32;
+    let (sview, rview) = mem
+        .disjoint_pair((sbuf, s_extent), (rbuf, r_extent))
+        .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+    let (sptr, slen) = (sview.as_ptr(), sview.len());
+    let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+    let comm = env.mpi.comm(comm_h)?;
+    unsafe {
+        comm.ialltoallv_raw(sptr, slen, scounts, sdispls, rptr, rlen, rcounts, rdispls)
     }
 }
 
@@ -505,7 +574,9 @@ pub fn register_mpi(linker: &mut Linker) {
         Ok(code(r))
     });
 
-    // MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm)
+    // MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm): the
+    // nonblocking reduce driven to completion (keeps the request table
+    // moving), like every other host collective.
     mpi_fn!(linker, "MPI_Reduce", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let sbuf = args[0].u32();
         let rbuf = args[1].u32();
@@ -517,7 +588,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
             let op = op_from_handle(op_h)?;
             let comm = env.mpi.comm(comm_h)?;
@@ -525,15 +596,20 @@ pub fn register_mpi(linker: &mut Linker) {
                 let (sview, rview) = mem
                     .disjoint_pair((sbuf, bytes), (rbuf, bytes))
                     .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-                comm.reduce(sview, Some(rview), dt, op, root as u32)
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                let send: &[u8] = sview;
+                unsafe { comm.ireduce_raw(send, rptr, rlen, dt, op, root as u32) }
             } else {
                 let sview = mem.slice(sbuf, bytes).map_err(|_| MpiError::BadCount {
                     bytes: bytes as usize,
                     type_size: 1,
                 })?;
-                comm.reduce(sview, None, dt, op, root as u32)
+                unsafe {
+                    comm.ireduce_raw(sview, std::ptr::null_mut(), 0, dt, op, root as u32)
+                }
             }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -578,7 +654,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
             let comm = env.mpi.comm(comm_h)?;
             if comm.rank() == root as u32 {
@@ -588,15 +664,27 @@ pub fn register_mpi(linker: &mut Linker) {
                 let (sview, rview) = mem
                     .disjoint_pair((sbuf, sbytes), (rbuf, total))
                     .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-                comm.gather(sview, Some(rview), root as u32)
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                unsafe {
+                    comm.igather_raw(sview.as_ptr(), sview.len(), rptr, rlen, root as u32)
+                }
             } else {
                 let sview = mem.slice(sbuf, sbytes).map_err(|_| MpiError::BadCount {
                     bytes: sbytes as usize,
                     type_size: 1,
                 })?;
-                comm.gather(sview, None, root as u32)
+                unsafe {
+                    comm.igather_raw(
+                        sview.as_ptr(),
+                        sview.len(),
+                        std::ptr::null_mut(),
+                        0,
+                        root as u32,
+                    )
+                }
             }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -612,7 +700,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
             let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
             let comm = env.mpi.comm(comm_h)?;
@@ -620,8 +708,11 @@ pub fn register_mpi(linker: &mut Linker) {
             let (sview, rview) = mem
                 .disjoint_pair((sbuf, sbytes), (rbuf, total))
                 .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-            comm.allgather(sview, rview)
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            let send: &[u8] = sview;
+            unsafe { comm.iallgather_raw(send, rptr, rlen) }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -638,7 +729,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_rdt, rbytes) = translate_instrumented(env, rcount, rtype)?;
             let comm = env.mpi.comm(comm_h)?;
             if comm.rank() == root as u32 {
@@ -648,15 +739,27 @@ pub fn register_mpi(linker: &mut Linker) {
                 let (sview, rview) = mem
                     .disjoint_pair((sbuf, total), (rbuf, rbytes))
                     .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-                comm.scatter(Some(sview), rview, root as u32)
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                unsafe {
+                    comm.iscatter_raw(sview.as_ptr(), sview.len(), rptr, rlen, root as u32)
+                }
             } else {
                 let rview = mem.slice_mut(rbuf, rbytes).map_err(|_| MpiError::BadCount {
                     bytes: rbytes as usize,
                     type_size: 1,
                 })?;
-                comm.scatter(None, rview, root as u32)
+                unsafe {
+                    comm.iscatter_raw(
+                        std::ptr::null(),
+                        0,
+                        rview.as_mut_ptr(),
+                        rview.len(),
+                        root as u32,
+                    )
+                }
             }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
 
@@ -672,7 +775,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let r = (|| {
+        let req = (|| {
             let (_sdt, sbytes_each) = translate_instrumented(env, scount, stype)?;
             let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
             let comm = env.mpi.comm(comm_h)?;
@@ -681,10 +784,38 @@ pub fn register_mpi(linker: &mut Linker) {
             let (sview, rview) = mem
                 .disjoint_pair((sbuf, stotal), (rbuf, rtotal))
                 .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
-            comm.alltoall(sview, rview)
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            unsafe { comm.ialltoall_raw(sview.as_ptr(), sview.len(), rptr, rlen) }
         })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
         Ok(code(r))
     });
+
+    // MPI_Alltoallv(sbuf, scounts, sdispls, stype,
+    //               rbuf, rcounts, rdispls, rtype, comm)
+    {
+        let params = vec![I32; 9];
+        linker.func("env", "MPI_Alltoallv", FuncType::new(params, vec![I32]), |inst, args| {
+            let (mem, data) = inst.parts();
+            let env = env_of(data);
+            env.mpi.charge_wasm_overhead();
+            let req = alltoallv_request(
+                mem,
+                env,
+                args[0].u32(),
+                args[1].u32(),
+                args[2].u32(),
+                args[3].i32(),
+                args[4].u32(),
+                args[5].u32(),
+                args[6].u32(),
+                args[7].i32(),
+                args[8].i32(),
+            );
+            let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
+            Ok(code(r))
+        });
+    }
 
     // MPI_Comm_split(comm, color, key, newcomm_ptr)
     mpi_fn!(linker, "MPI_Comm_split", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
@@ -1323,6 +1454,227 @@ pub fn register_mpi(linker: &mut Linker) {
         })();
         finish_request(mem, env, req_ptr, req)
     });
+
+    // MPI_Ireduce(sendbuf, recvbuf, count, datatype, op, root, comm,
+    //             request_ptr)
+    mpi_fn!(linker, "MPI_Ireduce", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let rbuf = args[1].u32();
+        let count = args[2].i32();
+        let dt_h = args[3].i32();
+        let op_h = args[4].i32();
+        let root = args[5].i32();
+        let comm_h = args[6].i32();
+        let req_ptr = args[7].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let op = op_from_handle(op_h)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, bytes), (rbuf, bytes))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                let send: &[u8] = sview;
+                let comm = env.mpi.comm(comm_h)?;
+                unsafe { comm.ireduce_raw(send, rptr, rlen, dt, op, root as u32) }
+            } else {
+                let sview = mem.slice(sbuf, bytes).map_err(|_| MpiError::BadCount {
+                    bytes: bytes as usize,
+                    type_size: 1,
+                })?;
+                unsafe {
+                    comm.ireduce_raw(sview, std::ptr::null_mut(), 0, dt, op, root as u32)
+                }
+            }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Igather(sbuf, scount, stype, rbuf, rcount, rtype, root, comm,
+    //             request_ptr)
+    mpi_fn!(linker, "MPI_Igather", (I32, I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let root = args[6].i32();
+        let comm_h = args[7].i32();
+        let req_ptr = args[8].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+                let comm = env.mpi.comm(comm_h)?;
+                let total = rbytes_each * comm.size();
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, sbytes), (rbuf, total))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                unsafe {
+                    comm.igather_raw(sview.as_ptr(), sview.len(), rptr, rlen, root as u32)
+                }
+            } else {
+                let sview = mem.slice(sbuf, sbytes).map_err(|_| MpiError::BadCount {
+                    bytes: sbytes as usize,
+                    type_size: 1,
+                })?;
+                unsafe {
+                    comm.igather_raw(
+                        sview.as_ptr(),
+                        sview.len(),
+                        std::ptr::null_mut(),
+                        0,
+                        root as u32,
+                    )
+                }
+            }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Iscatter(sbuf, scount, stype, rbuf, rcount, rtype, root, comm,
+    //              request_ptr)
+    mpi_fn!(linker, "MPI_Iscatter", (I32, I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let root = args[6].i32();
+        let comm_h = args[7].i32();
+        let req_ptr = args[8].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (_rdt, rbytes) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            if comm.rank() == root as u32 {
+                let (_sdt, sbytes_each) = translate_instrumented(env, scount, stype)?;
+                let comm = env.mpi.comm(comm_h)?;
+                let total = sbytes_each * comm.size();
+                let (sview, rview) = mem
+                    .disjoint_pair((sbuf, total), (rbuf, rbytes))
+                    .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+                let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+                unsafe {
+                    comm.iscatter_raw(sview.as_ptr(), sview.len(), rptr, rlen, root as u32)
+                }
+            } else {
+                let rview = mem.slice_mut(rbuf, rbytes).map_err(|_| MpiError::BadCount {
+                    bytes: rbytes as usize,
+                    type_size: 1,
+                })?;
+                unsafe {
+                    comm.iscatter_raw(
+                        std::ptr::null(),
+                        0,
+                        rview.as_mut_ptr(),
+                        rview.len(),
+                        root as u32,
+                    )
+                }
+            }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Iallgather(sbuf, scount, stype, rbuf, rcount, rtype, comm,
+    //                request_ptr)
+    mpi_fn!(linker, "MPI_Iallgather", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let comm_h = args[6].i32();
+        let req_ptr = args[7].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (_sdt, sbytes) = translate_instrumented(env, scount, stype)?;
+            let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let total = rbytes_each * comm.size();
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, sbytes), (rbuf, total))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            let send: &[u8] = sview;
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.iallgather_raw(send, rptr, rlen) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Ialltoall(sbuf, scount, stype, rbuf, rcount, rtype, comm,
+    //               request_ptr)
+    mpi_fn!(linker, "MPI_Ialltoall", (I32, I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let sbuf = args[0].u32();
+        let scount = args[1].i32();
+        let stype = args[2].i32();
+        let rbuf = args[3].u32();
+        let rcount = args[4].i32();
+        let rtype = args[5].i32();
+        let comm_h = args[6].i32();
+        let req_ptr = args[7].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            let (_sdt, sbytes_each) = translate_instrumented(env, scount, stype)?;
+            let (_rdt, rbytes_each) = translate_instrumented(env, rcount, rtype)?;
+            let comm = env.mpi.comm(comm_h)?;
+            let stotal = sbytes_each * comm.size();
+            let rtotal = rbytes_each * comm.size();
+            let (sview, rview) = mem
+                .disjoint_pair((sbuf, stotal), (rbuf, rtotal))
+                .map_err(|t| MpiError::CollectiveMismatch(t.to_string()))?;
+            let (rptr, rlen) = (rview.as_mut_ptr(), rview.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.ialltoall_raw(sview.as_ptr(), sview.len(), rptr, rlen) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Ialltoallv(sbuf, scounts, sdispls, stype,
+    //                rbuf, rcounts, rdispls, rtype, comm, request_ptr)
+    {
+        let params = vec![I32; 10];
+        linker.func("env", "MPI_Ialltoallv", FuncType::new(params, vec![I32]), |inst, args| {
+            let req_ptr = args[9].u32();
+            let (mem, data) = inst.parts();
+            let env = env_of(data);
+            env.mpi.charge_wasm_overhead();
+            let req = alltoallv_request(
+                mem,
+                env,
+                args[0].u32(),
+                args[1].u32(),
+                args[2].u32(),
+                args[3].i32(),
+                args[4].u32(),
+                args[5].u32(),
+                args[6].u32(),
+                args[7].i32(),
+                args[8].i32(),
+            );
+            finish_request(mem, env, req_ptr, req)
+        });
+    }
 
     // MPI_Get_processor_name(name_ptr, resultlen_ptr)
     mpi_fn!(linker, "MPI_Get_processor_name", (I32, I32) -> I32, |inst, args: &[Slot]| {

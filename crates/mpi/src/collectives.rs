@@ -26,6 +26,7 @@ const TAG_GATHER: i32 = COLLECTIVE_TAG_BASE - 4;
 const TAG_SCATTER: i32 = COLLECTIVE_TAG_BASE - 5;
 const TAG_ALLGATHER: i32 = COLLECTIVE_TAG_BASE - 6;
 const TAG_ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 7;
+const TAG_ALLTOALLV: i32 = COLLECTIVE_TAG_BASE - 8;
 
 impl Comm {
     /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds. Each
@@ -387,6 +388,76 @@ impl Comm {
                 return Err(MpiError::CollectiveMismatch(format!(
                     "alltoall block from {src} is {} bytes, expected {n}",
                     st.bytes
+                )));
+            }
+        }
+        crate::request::Request::wait_all(&mut pending)?;
+        Ok(())
+    }
+
+    /// `MPI_Alltoallv`: the vector all-to-all. Counts and displacements
+    /// are in bytes; every pair exchanges exactly one (possibly empty)
+    /// block, like [`Comm::alltoall`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv(
+        &self,
+        send_buf: &[u8],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv_buf: &mut [u8],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> Result<(), MpiError> {
+        let p = self.size() as usize;
+        if send_counts.len() != p
+            || send_displs.len() != p
+            || recv_counts.len() != p
+            || recv_displs.len() != p
+        {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoallv takes {p} counts/displacements per array"
+            )));
+        }
+        for r in 0..p {
+            if send_displs[r] + send_counts[r] > send_buf.len()
+                || recv_displs[r] + recv_counts[r] > recv_buf.len()
+            {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "alltoallv block {r} exceeds its buffer"
+                )));
+            }
+        }
+        let me = self.rank() as usize;
+        if send_counts[me] != recv_counts[me] {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoallv self block differs: send {} recv {}",
+                send_counts[me], recv_counts[me]
+            )));
+        }
+        recv_buf[recv_displs[me]..recv_displs[me] + recv_counts[me]]
+            .copy_from_slice(&send_buf[send_displs[me]..send_displs[me] + send_counts[me]]);
+        // Post all sends nonblockingly (as alltoall does), then collect
+        // from each specific source.
+        let mut pending = Vec::with_capacity(p - 1);
+        for i in 1..p {
+            let dst = (me + i) % p;
+            pending.push(self.isend(
+                &send_buf[send_displs[dst]..send_displs[dst] + send_counts[dst]],
+                dst as u32,
+                TAG_ALLTOALLV,
+            )?);
+        }
+        for i in 1..p {
+            let src = (me + p - i) % p;
+            let st = self.recv(
+                &mut recv_buf[recv_displs[src]..recv_displs[src] + recv_counts[src]],
+                Source::Rank(src as u32),
+                Tag::Value(TAG_ALLTOALLV),
+            )?;
+            if st.bytes != recv_counts[src] {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "alltoallv block from {src} is {} bytes, expected {}",
+                    st.bytes, recv_counts[src]
                 )));
             }
         }

@@ -6,11 +6,12 @@ use parking_lot::Mutex;
 
 use crate::clock::{Clock, ClockMode};
 use crate::error::MpiError;
-use crate::message::Message;
 use crate::progress::{CommCtx, ProtocolSnapshot};
 use crate::request::{
-    nbc_tag, CollState, IallreduceState, IbarrierState, IbcastState, Request,
-    NBC_KIND_ALLREDUCE, NBC_KIND_BARRIER, NBC_KIND_BCAST,
+    nbc_tag, CollState, IallgatherState, IallreduceState, IalltoallState, IalltoallvState,
+    IbarrierState, IbcastState, IgatherState, IreduceState, IscatterState, Request,
+    NBC_KIND_ALLGATHER, NBC_KIND_ALLREDUCE, NBC_KIND_ALLTOALL, NBC_KIND_ALLTOALLV,
+    NBC_KIND_BARRIER, NBC_KIND_BCAST, NBC_KIND_GATHER, NBC_KIND_REDUCE, NBC_KIND_SCATTER,
 };
 use crate::world::World;
 use crate::{Datatype, ReduceOp};
@@ -172,30 +173,34 @@ impl Comm {
         self.ctx().send_blocking(buf, dest, tag)
     }
 
-    /// Blocking receive into `buf` (`MPI_Recv`). The matched message must
-    /// fit (`MPI_ERR_TRUNCATE` otherwise, with the message consumed, as
-    /// real MPI does). Rendezvous payloads are copied directly from the
+    /// Blocking receive into `buf` (`MPI_Recv`). Posts a receive with the
+    /// rank's mailbox (claiming the earliest queued match, or parking on
+    /// the posted queue where arrivals match it in posted order) and
+    /// delivers the matched message. The message must fit
+    /// (`MPI_ERR_TRUNCATE` otherwise, with the message consumed, as real
+    /// MPI does). Rendezvous payloads are copied directly from the
     /// sender's buffer into `buf`.
     pub fn recv(&self, buf: &mut [u8], src: Source, tag: Tag) -> Result<Status, MpiError> {
-        let (ctx, msg) = self.recv_raw(src, tag)?;
+        if let Source::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let ctx = self.ctx();
+        let entry = ctx.post_recv(src, tag);
+        let msg = entry.wait()?;
         let (status, _) = ctx.deliver(msg, Some(buf))?;
         Ok(status)
     }
 
     /// Blocking receive returning an owned buffer (no size known upfront).
     pub fn recv_vec(&self, src: Source, tag: Tag) -> Result<(Vec<u8>, Status), MpiError> {
-        let (ctx, msg) = self.recv_raw(src, tag)?;
-        let (status, data) = ctx.deliver(msg, None)?;
-        Ok((data.expect("owned delivery"), status))
-    }
-
-    fn recv_raw(&self, src: Source, tag: Tag) -> Result<(CommCtx, Message), MpiError> {
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
         let ctx = self.ctx();
-        let msg = ctx.take_blocking(src, tag)?;
-        Ok((ctx, msg))
+        let entry = ctx.post_recv(src, tag);
+        let msg = entry.wait()?;
+        let (status, data) = ctx.deliver(msg, None)?;
+        Ok((data.expect("owned delivery"), status))
     }
 
     /// Combined send + receive (`MPI_Sendrecv`). The send is initiated
@@ -315,6 +320,161 @@ impl Comm {
             tag,
         )?;
         Ok(Request::coll(ctx, CollState::Allreduce(state)))
+    }
+
+    /// Nonblocking reduce (`MPI_Ireduce`): the binomial tree as a request
+    /// state machine. The send buffer is copied into the state-owned
+    /// accumulator at initiation; only the root's `recv_buf` must stay
+    /// pinned.
+    pub fn ireduce<'a>(
+        &self,
+        send_buf: &[u8],
+        recv_buf: Option<&'a mut [u8]>,
+        dt: Datatype,
+        op: ReduceOp,
+        root: u32,
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_REDUCE);
+        let (out, out_len) = match recv_buf {
+            Some(b) => (b.as_mut_ptr(), b.len()),
+            None => (std::ptr::null_mut(), 0),
+        };
+        if self.rank == root && out.is_null() {
+            return Err(MpiError::CollectiveMismatch(
+                "root ireduce requires a receive buffer".into(),
+            ));
+        }
+        let state = IreduceState::new(&ctx, send_buf, out, out_len, dt, op, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Reduce(state)))
+    }
+
+    /// Nonblocking gather (`MPI_Igather`): non-roots send `send_buf` (which
+    /// must stay pinned); the root's `recv_buf` collects the blocks in
+    /// rank order as they arrive.
+    pub fn igather<'a>(
+        &self,
+        send_buf: &'a [u8],
+        recv_buf: Option<&'a mut [u8]>,
+        root: u32,
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_GATHER);
+        let (out, out_len) = match recv_buf {
+            Some(b) => (b.as_mut_ptr(), b.len()),
+            None => (std::ptr::null_mut(), 0),
+        };
+        if self.rank == root && out.is_null() {
+            return Err(MpiError::CollectiveMismatch(
+                "root igather requires a receive buffer".into(),
+            ));
+        }
+        let state = IgatherState::new(&ctx, send_buf, out, out_len, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Gather(state)))
+    }
+
+    /// Nonblocking scatter (`MPI_Iscatter`): the root's `send_buf` (which
+    /// must stay pinned) holds `p` equal blocks; each rank's block lands
+    /// in `recv_buf` at completion.
+    pub fn iscatter<'a>(
+        &self,
+        send_buf: Option<&'a [u8]>,
+        recv_buf: &'a mut [u8],
+        root: u32,
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_SCATTER);
+        let (sbuf, sbuf_len) = match send_buf {
+            Some(b) => (b.as_ptr(), b.len()),
+            None => (std::ptr::null(), 0),
+        };
+        if self.rank == root && sbuf.is_null() {
+            return Err(MpiError::CollectiveMismatch(
+                "root iscatter requires a send buffer".into(),
+            ));
+        }
+        let state = IscatterState::new(
+            &ctx,
+            sbuf,
+            sbuf_len,
+            recv_buf.as_mut_ptr(),
+            recv_buf.len(),
+            root,
+            tag,
+        )?;
+        Ok(Request::coll(ctx, CollState::Scatter(state)))
+    }
+
+    /// Nonblocking allgather (`MPI_Iallgather`): the ring as a request
+    /// state machine. `send_buf` is consumed at initiation (copied into
+    /// this rank's output block); only `recv_buf` must stay pinned.
+    pub fn iallgather<'a>(
+        &self,
+        send_buf: &[u8],
+        recv_buf: &'a mut [u8],
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLGATHER);
+        let state =
+            IallgatherState::new(&ctx, send_buf, recv_buf.as_mut_ptr(), recv_buf.len(), tag)?;
+        Ok(Request::coll(ctx, CollState::Allgather(state)))
+    }
+
+    /// Nonblocking all-to-all (`MPI_Ialltoall`): pairwise exchange as a
+    /// request state machine; both buffers must stay pinned until
+    /// completion (peer blocks are drained straight out of `send_buf`).
+    pub fn ialltoall<'a>(
+        &self,
+        send_buf: &'a [u8],
+        recv_buf: &'a mut [u8],
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLTOALL);
+        let state = IalltoallState::new(
+            &ctx,
+            send_buf.as_ptr(),
+            send_buf.len(),
+            recv_buf.as_mut_ptr(),
+            recv_buf.len(),
+            tag,
+        )?;
+        Ok(Request::coll(ctx, CollState::Alltoall(state)))
+    }
+
+    /// Nonblocking vector all-to-all (`MPI_Ialltoallv`). Counts and
+    /// displacements are in bytes; both buffers must stay pinned until
+    /// completion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ialltoallv<'a>(
+        &self,
+        send_buf: &'a [u8],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv_buf: &'a mut [u8],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> Result<Request<'a>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLTOALLV);
+        let state = IalltoallvState::new(
+            &ctx,
+            send_buf.as_ptr(),
+            send_buf.len(),
+            send_counts.to_vec(),
+            send_displs.to_vec(),
+            recv_buf.as_mut_ptr(),
+            recv_buf.len(),
+            recv_counts.to_vec(),
+            recv_displs.to_vec(),
+            tag,
+        )?;
+        Ok(Request::coll(ctx, CollState::Alltoallv(state)))
     }
 
     // --- raw (embedder) variants ----------------------------------------
@@ -439,6 +599,141 @@ impl Comm {
         let tag = self.next_nbc_tag(NBC_KIND_ALLREDUCE);
         let state = IallreduceState::new(&ctx, send_buf, recv_buf, len, dt, op, tag)?;
         Ok(Request::coll(ctx, CollState::Allreduce(state)))
+    }
+
+    /// Raw-pointer `MPI_Ireduce`. The send buffer is consumed immediately;
+    /// only the root's `recv_buf` must stay pinned.
+    ///
+    /// # Safety
+    /// On the root, `recv_buf..recv_buf+len` must remain valid until
+    /// completion (`recv_buf` is ignored elsewhere).
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn ireduce_raw(
+        &self,
+        send_buf: &[u8],
+        recv_buf: *mut u8,
+        len: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        root: u32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_REDUCE);
+        let state = IreduceState::new(&ctx, send_buf, recv_buf, len, dt, op, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Reduce(state)))
+    }
+
+    /// Raw-pointer `MPI_Igather`.
+    ///
+    /// # Safety
+    /// Non-roots: `sbuf..sbuf+n` stays valid and unmodified until
+    /// completion. Root: `rbuf..rbuf+n*p` stays valid until completion.
+    pub unsafe fn igather_raw(
+        &self,
+        sbuf: *const u8,
+        n: usize,
+        rbuf: *mut u8,
+        rbuf_len: usize,
+        root: u32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_GATHER);
+        let send_buf = std::slice::from_raw_parts(sbuf, n);
+        let state = IgatherState::new(&ctx, send_buf, rbuf, rbuf_len, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Gather(state)))
+    }
+
+    /// Raw-pointer `MPI_Iscatter`.
+    ///
+    /// # Safety
+    /// Root: `sbuf..sbuf+n*p` stays valid and unmodified until completion.
+    /// All ranks: `rbuf..rbuf+n` stays valid until completion.
+    pub unsafe fn iscatter_raw(
+        &self,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        rbuf: *mut u8,
+        n: usize,
+        root: u32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_SCATTER);
+        let state = IscatterState::new(&ctx, sbuf, sbuf_len, rbuf, n, root, tag)?;
+        Ok(Request::coll(ctx, CollState::Scatter(state)))
+    }
+
+    /// Raw-pointer `MPI_Iallgather`. The send buffer is consumed
+    /// immediately; only `rbuf` must stay pinned.
+    ///
+    /// # Safety
+    /// `rbuf..rbuf+rbuf_len` must remain valid until completion.
+    pub unsafe fn iallgather_raw(
+        &self,
+        send_buf: &[u8],
+        rbuf: *mut u8,
+        rbuf_len: usize,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLGATHER);
+        let state = IallgatherState::new(&ctx, send_buf, rbuf, rbuf_len, tag)?;
+        Ok(Request::coll(ctx, CollState::Allgather(state)))
+    }
+
+    /// Raw-pointer `MPI_Ialltoall`.
+    ///
+    /// # Safety
+    /// Both buffers must remain valid (and `sbuf` unmodified) until
+    /// completion; peers drain their blocks straight out of `sbuf`.
+    pub unsafe fn ialltoall_raw(
+        &self,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        rbuf: *mut u8,
+        rbuf_len: usize,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLTOALL);
+        let state = IalltoallState::new(&ctx, sbuf, sbuf_len, rbuf, rbuf_len, tag)?;
+        Ok(Request::coll(ctx, CollState::Alltoall(state)))
+    }
+
+    /// Raw-pointer `MPI_Ialltoallv` (counts/displacements in bytes).
+    ///
+    /// # Safety
+    /// As [`Comm::ialltoall_raw`], over the count/displacement extents.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn ialltoallv_raw(
+        &self,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        send_counts: Vec<usize>,
+        send_displs: Vec<usize>,
+        rbuf: *mut u8,
+        rbuf_len: usize,
+        recv_counts: Vec<usize>,
+        recv_displs: Vec<usize>,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        let ctx = self.ctx();
+        let tag = self.next_nbc_tag(NBC_KIND_ALLTOALLV);
+        let state = IalltoallvState::new(
+            &ctx,
+            sbuf,
+            sbuf_len,
+            send_counts,
+            send_displs,
+            rbuf,
+            rbuf_len,
+            recv_counts,
+            recv_displs,
+            tag,
+        )?;
+        Ok(Request::coll(ctx, CollState::Alltoallv(state)))
     }
 
     /// Split into sub-communicators by color, ordered by `(key, rank)`

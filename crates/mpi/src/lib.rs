@@ -26,6 +26,25 @@
 //!   sends are synchronous (they return when the receiver has the data),
 //!   matching standard-mode MPI semantics for large messages.
 //!
+//! # Posted-receive matching
+//!
+//! Receives match at **posting** time: every receive (blocking or
+//! `Irecv`) registers a posted-receive entry with its rank's mailbox,
+//! and arrivals match posted entries *in posting order* under the
+//! mailbox lock — full `MPI_ANY_SOURCE`/`MPI_ANY_TAG` wildcard
+//! semantics, with collective traffic invisible to wildcards. The two
+//! mailbox queues (arrived-unmatched messages, posted-unmatched
+//! receives) keep the invariant that no queued message matches any
+//! posted entry, which is what pins MPI's matching rules: same-matcher
+//! receives complete in posted order no matter how they are tested, a
+//! wildcard races a specific receive purely by posting position, and a
+//! pre-posted receive lets eager arrivals skip mailbox buffering (and
+//! its credit) entirely. Matching moves only the message into the
+//! entry; delivery — the payload copy and the virtual-clock charge —
+//! stays with the receiving rank, so the sender-side matching path
+//! never runs receiver accounting (see `crate::message` for the queue
+//! invariants and what the arrival path may assume).
+//!
 //! Nonblocking operations are [`request::Request`] state machines:
 //!
 //! * `Isend`/`Irecv` ([`Comm::isend`], [`Comm::irecv`]) — true pending
@@ -34,10 +53,14 @@
 //! * Persistent requests ([`Comm::send_init`], [`Comm::recv_init`],
 //!   [`request::Request::start`], [`request::Request::start_all`]).
 //! * Nonblocking collectives ([`Comm::ibarrier`], [`Comm::ibcast`],
-//!   [`Comm::iallreduce`]) — the blocking schedules re-expressed as
-//!   incremental state machines advanced by the same progress loop, so
-//!   communication overlaps with computation between initiation and
-//!   completion.
+//!   [`Comm::ireduce`], [`Comm::iallreduce`], [`Comm::igather`],
+//!   [`Comm::iscatter`], [`Comm::iallgather`], [`Comm::ialltoall`],
+//!   [`Comm::ialltoallv`]) — the blocking schedules re-expressed as
+//!   incremental per-round state machines advanced by the same progress
+//!   loop, each initiation drawing a unique per-communicator sequence
+//!   tag, so communication overlaps with computation between initiation
+//!   and completion and outstanding same-type collectives never
+//!   cross-match.
 //!
 //! # Timing
 //!
@@ -62,8 +85,10 @@
 //! exercise: `Send`/`Recv`/`Sendrecv` with tags, wildcards and `Status`,
 //! the nonblocking and persistent point-to-point surface, the collectives
 //! `Barrier`/`Bcast`/`Reduce`/`Allreduce`/`Gather`/`Allgather`/`Scatter`/
-//! `Alltoall` plus `Ibarrier`/`Ibcast`/`Iallreduce`, reduction ops over
-//! the standard datatypes, `Comm_split`/`Comm_dup`, and `Wtime`.
+//! `Alltoall`/`Alltoallv` plus the full nonblocking family
+//! (`Ibarrier`/`Ibcast`/`Ireduce`/`Iallreduce`/`Igather`/`Iscatter`/
+//! `Iallgather`/`Ialltoall`/`Ialltoallv`), reduction ops over the
+//! standard datatypes, `Comm_split`/`Comm_dup`, and `Wtime`.
 
 pub mod clock;
 pub mod collectives;

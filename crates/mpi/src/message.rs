@@ -1,20 +1,49 @@
-//! Internal message representation and per-rank mailboxes.
+//! Internal message representation, per-rank mailboxes, and the
+//! **posted-receive queue**.
 //!
-//! A mailbox is an ordered queue (preserving MPI's non-overtaking
-//! guarantee per sender) with **bounded eager buffering**: eager payloads
-//! consume credit from a per-mailbox byte budget that is returned when the
-//! receiver drains the message. Senders that cannot obtain credit fall
-//! back to the rendezvous protocol (see [`crate::progress`]), which keeps
-//! the payload on the sender's side — announced by a matchable RTS in the
-//! queue — until the receiver is ready. Rendezvous RTS control messages
-//! travel through the same queue so the per-sender FIFO order is
-//! preserved across protocol switches.
+//! A mailbox holds two queues under one lock:
+//!
+//! * the **message queue** — arrived-but-unmatched messages in arrival
+//!   order (preserving MPI's non-overtaking guarantee per sender), with
+//!   **bounded eager buffering**: eager payloads consume credit from a
+//!   per-mailbox byte budget that is returned when the message leaves the
+//!   queue. Senders that cannot obtain credit fall back to the rendezvous
+//!   protocol (see [`crate::progress`]), which keeps the payload on the
+//!   sender's side — announced by a matchable RTS in the queue — until the
+//!   receiver is ready.
+//! * the **posted queue** — receives posted before their message arrived
+//!   ([`RecvEntry`]), in posting order.
+//!
+//! # Matching invariant
+//!
+//! Both queues are updated atomically under the mailbox lock, maintaining
+//! the invariant that **no queued message matches any posted receive**:
+//!
+//! * an arriving message first scans the posted queue *in posting order*
+//!   and, on a match, parks in that entry (never touching the message
+//!   queue — matched eager arrivals consume no buffer credit, and a
+//!   matched RTS is answerable the moment the receiver drains it);
+//! * a receive being posted first scans the message queue *in arrival
+//!   order* and claims the first match; only if none matches does it
+//!   enter the posted queue.
+//!
+//! Together these give MPI's matching rules by construction: same-matcher
+//! receives match in posted order, wildcard (`ANY_SOURCE`/`ANY_TAG`)
+//! entries race specific entries purely by posting position, and per-pair
+//! FIFO survives because a message can only bypass the message queue when
+//! nothing queued could have matched its receiver.
+//!
+//! Matching transfers only the *message* into the entry. Delivery — the
+//! payload copy and the virtual-clock charge — stays with the receiving
+//! rank (see [`crate::progress::CommCtx::deliver`]), so arrival-time
+//! matching never runs receiver-side accounting on the sender's thread.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::comm::{Source, Tag, COLLECTIVE_TAG_BASE};
 use crate::error::MpiError;
 use crate::progress::RendezvousSlot;
 
@@ -40,8 +69,9 @@ impl Payload {
 }
 
 /// RTS handle wrapper: if the message is destroyed without the receiver
-/// completing the transfer (shutdown, teardown with queued messages), the
-/// sender blocked on the slot must still be woken.
+/// completing the transfer (shutdown, teardown with queued messages, a
+/// cancelled posted receive dropping its matched message), the sender
+/// blocked on the slot must still be woken.
 #[derive(Debug)]
 pub(crate) struct RtsPayload(pub Arc<RendezvousSlot>);
 
@@ -63,12 +93,159 @@ pub(crate) struct Message {
     pub sent_at_us: f64,
     /// Sender's world rank (for wire-time computation).
     pub src_world: u32,
+    /// Arrival sequence number within the destination mailbox, assigned
+    /// at deposit. The message queue is kept in `seq` order so a message
+    /// reclaimed from a cancelled posted receive can be reinserted at its
+    /// original arrival position (no overtaking through cancellation).
+    pub seq: u64,
 }
 
-/// A rank's mailbox: the message queue plus a condvar for blocking
-/// receivers. Eager senders never wait for credit — a credit miss is
-/// converted into a sender-owned rendezvous by the progress engine, so
-/// backpressure is always visible to matching (no invisible parking).
+impl Message {
+    /// The posted-receive matching predicate. `Tag::Any` never matches
+    /// the internal collective tag space (all at or below
+    /// [`COLLECTIVE_TAG_BASE`]): collective traffic must stay invisible
+    /// to wildcard point-to-point receives, as MPI requires.
+    pub fn matches(&self, comm_id: u64, src: Source, tag: Tag) -> bool {
+        self.comm_id == comm_id
+            && match src {
+                Source::Any => true,
+                Source::Rank(r) => self.src_in_comm == r,
+            }
+            && match tag {
+                Tag::Any => self.tag > COLLECTIVE_TAG_BASE,
+                Tag::Value(t) => self.tag == t,
+            }
+    }
+}
+
+// --- posted receives -----------------------------------------------------
+
+/// State of one posted receive.
+#[derive(Debug)]
+enum EntryState {
+    /// Waiting in the mailbox's posted queue for an arrival.
+    Posted,
+    /// An arrival matched this entry; the message parks here until the
+    /// receiving rank delivers it (copy + clock charge).
+    Matched(Message),
+    /// The receiver took the message (terminal).
+    Taken,
+    /// Failed before a match: world shutdown (terminal).
+    Failed,
+    /// Unposted by the receiver before a match (terminal).
+    Cancelled,
+}
+
+/// A pre-posted receive: the matchbox a receive registers with its rank's
+/// mailbox. Holds no buffer pointers — the receiving rank keeps those and
+/// performs delivery itself — so the sender-side matching path never
+/// touches receiver memory.
+pub(crate) struct RecvEntry {
+    comm_id: u64,
+    src: Source,
+    tag: Tag,
+    state: Mutex<EntryState>,
+    ready: Condvar,
+}
+
+impl RecvEntry {
+    pub fn new(comm_id: u64, src: Source, tag: Tag) -> Arc<RecvEntry> {
+        Arc::new(RecvEntry {
+            comm_id,
+            src,
+            tag,
+            state: Mutex::new(EntryState::Posted),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn matches(&self, m: &Message) -> bool {
+        m.matches(self.comm_id, self.src, self.tag)
+    }
+
+    /// Latch a matched message and wake the receiver. Called under the
+    /// mailbox lock, only while the entry sits in the posted queue (so the
+    /// state here is always `Posted`).
+    fn fulfill(&self, msg: Message) {
+        let mut st = self.state.lock();
+        debug_assert!(matches!(*st, EntryState::Posted));
+        *st = EntryState::Matched(msg);
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn fail(&self) {
+        let mut st = self.state.lock();
+        if matches!(*st, EntryState::Posted) {
+            *st = EntryState::Failed;
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Receiver: non-blocking poll. `None` while unmatched; the matched
+    /// message exactly once; `WorldShutdown` after a pre-match teardown.
+    pub fn poll(&self) -> Result<Option<Message>, MpiError> {
+        let mut st = self.state.lock();
+        match &*st {
+            EntryState::Posted => Ok(None),
+            EntryState::Matched(_) => {
+                let EntryState::Matched(msg) = std::mem::replace(&mut *st, EntryState::Taken)
+                else {
+                    unreachable!()
+                };
+                Ok(Some(msg))
+            }
+            EntryState::Failed => Err(MpiError::WorldShutdown),
+            EntryState::Taken | EntryState::Cancelled => {
+                panic!("polling a retired posted receive")
+            }
+        }
+    }
+
+    /// Receiver: park until matched (or failed) and take the message.
+    pub fn wait(&self) -> Result<Message, MpiError> {
+        let mut st = self.state.lock();
+        loop {
+            match &*st {
+                EntryState::Matched(_) => {
+                    let EntryState::Matched(msg) =
+                        std::mem::replace(&mut *st, EntryState::Taken)
+                    else {
+                        unreachable!()
+                    };
+                    return Ok(msg);
+                }
+                EntryState::Failed => return Err(MpiError::WorldShutdown),
+                EntryState::Posted => self.ready.wait(&mut st),
+                EntryState::Taken | EntryState::Cancelled => {
+                    panic!("waiting on a retired posted receive")
+                }
+            }
+        }
+    }
+}
+
+// --- mailbox -------------------------------------------------------------
+
+/// Outcome of depositing a message into a mailbox.
+#[derive(Debug)]
+pub(crate) enum Deposit {
+    /// The message matched a posted receive and parks in its entry — it
+    /// never entered the message queue and consumed no eager credit.
+    Matched,
+    /// The message joined the message queue.
+    Queued,
+    /// Eager credit exhausted (or the world shut down): the message is
+    /// handed back for the sender-owned rendezvous deferral.
+    NoCredit(Message),
+}
+
+/// A rank's mailbox: the two matched queues plus a condvar for receivers
+/// blocked in [`Mailbox::take_matching`]. Eager senders never wait for
+/// credit — a credit miss is converted into a sender-owned rendezvous by
+/// the progress engine, so backpressure is always visible to matching (no
+/// invisible parking).
 pub(crate) struct Mailbox {
     pub queue: Mutex<MailboxState>,
     pub available: Condvar,
@@ -79,8 +256,12 @@ pub(crate) struct Mailbox {
 #[derive(Default)]
 pub(crate) struct MailboxState {
     pub messages: VecDeque<Message>,
+    /// Receives posted before their message arrived, in posting order.
+    pub posted: VecDeque<Arc<RecvEntry>>,
     /// Bytes of eager payload currently buffered (credit in use).
     pub eager_bytes: usize,
+    /// Arrival counter: assigns [`Message::seq`].
+    pub next_seq: u64,
     /// Set when the world is tearing down; receivers must stop blocking.
     pub shutdown: bool,
 }
@@ -100,44 +281,133 @@ impl Mailbox {
         }
     }
 
-    /// Deposit a message unconditionally and wake any blocked receiver.
-    /// Used for rendezvous RTS control messages (which carry no payload
-    /// bytes) — eager payloads go through the credit-checked variants.
-    /// After shutdown the message is discarded instead of queued, which
-    /// fails its rendezvous slot (via `RtsPayload::drop`) so the sender
-    /// wakes with `WorldShutdown` rather than parking forever on a
-    /// handshake nobody will answer.
-    pub fn push(&self, msg: Message) {
+    /// First posted entry (in posting order) matching `msg`, removed from
+    /// the posted queue. Must run under the state lock.
+    fn claim_posted(q: &mut MailboxState, msg: &Message) -> Option<Arc<RecvEntry>> {
+        let pos = q.posted.iter().position(|e| e.matches(msg))?;
+        q.posted.remove(pos)
+    }
+
+    /// Deposit a message: match it against the posted queue (posting
+    /// order) or append it to the message queue. With `enforce_credit`,
+    /// an unmatched message must claim eager credit and is handed back in
+    /// [`Deposit::NoCredit`] when the budget is exhausted (a message is
+    /// always admitted into an empty buffer so payloads larger than the
+    /// whole budget still make progress). Without it the message is
+    /// queued unconditionally (rendezvous RTS control messages,
+    /// self-sends, credit-deferred rendezvous).
+    ///
+    /// After shutdown the message is discarded (credit-free path) or
+    /// bounced (`NoCredit`), which ultimately fails its rendezvous slot
+    /// (via `RtsPayload::drop`) so the sender wakes with `WorldShutdown`
+    /// rather than parking forever on a handshake nobody will answer.
+    pub fn deposit(&self, mut msg: Message, enforce_credit: bool) -> Deposit {
         let mut q = self.queue.lock();
         if q.shutdown {
+            if enforce_credit {
+                return Deposit::NoCredit(msg);
+            }
             drop(q);
             drop(msg);
-            return;
+            return Deposit::Queued;
         }
-        if let Payload::Eager(data) = &msg.payload {
+        msg.seq = q.next_seq;
+        q.next_seq += 1;
+        if let Some(entry) = Self::claim_posted(&mut q, &msg) {
+            // Fulfill while still holding the mailbox lock: a concurrent
+            // cancel (which also takes the mailbox lock first) must see
+            // either the entry still posted or the message latched —
+            // never a removed-but-unmatched entry, whose message would
+            // be lost.
+            entry.fulfill(msg);
+            return Deposit::Matched;
+        }
+        if enforce_credit {
+            let len = msg.payload.len();
+            if q.eager_bytes > 0 && q.eager_bytes + len > self.capacity {
+                return Deposit::NoCredit(msg);
+            }
+            q.eager_bytes += len;
+        } else if let Payload::Eager(data) = &msg.payload {
             q.eager_bytes += data.len();
         }
         q.messages.push_back(msg);
         drop(q);
         self.available.notify_all();
+        Deposit::Queued
     }
 
-    /// Try to claim eager credit and deposit the message; hands the
-    /// message back when the buffer budget is exhausted or the world has
-    /// shut down (the caller's deferral path then reports the shutdown).
-    /// A message is always admitted into an empty buffer so payloads
-    /// larger than the whole budget still make progress.
-    pub fn try_push_eager(&self, msg: Message) -> Result<(), Message> {
-        let len = msg.payload.len();
+    /// Register a posted receive: claim the first queued match (arrival
+    /// order) or append the entry to the posted queue. Returns `true`
+    /// when an already-queued message was claimed.
+    pub fn post_recv(&self, entry: &Arc<RecvEntry>) -> bool {
         let mut q = self.queue.lock();
-        if q.shutdown || (q.eager_bytes > 0 && q.eager_bytes + len > self.capacity) {
-            return Err(msg);
+        if q.shutdown {
+            drop(q);
+            entry.fail();
+            return false;
         }
-        q.eager_bytes += len;
-        q.messages.push_back(msg);
-        drop(q);
-        self.available.notify_all();
-        Ok(())
+        if let Some(pos) = q.messages.iter().position(|m| entry.matches(m)) {
+            let msg = self.remove_at(&mut q, pos);
+            entry.fulfill(msg); // under the mailbox lock, as in `deposit`
+            return true;
+        }
+        q.posted.push_back(Arc::clone(entry));
+        false
+    }
+
+    /// Unpost a receive (request drop / `MPI_Request_free` on a pending
+    /// receive / persistent teardown). If an arrival already matched the
+    /// entry, the unclaimed message is re-offered to the remaining
+    /// posted entries (upholding the no-queued-match invariant) and only
+    /// then reinserted into the message queue at its original arrival
+    /// position (`seq` order), so it stays available to other receives
+    /// with no overtaking.
+    pub fn cancel_posted(&self, entry: &Arc<RecvEntry>) {
+        let mut q = self.queue.lock();
+        if let Some(pos) = q.posted.iter().position(|e| Arc::ptr_eq(e, entry)) {
+            q.posted.remove(pos);
+            drop(q);
+            let mut st = entry.state.lock();
+            if matches!(*st, EntryState::Posted) {
+                *st = EntryState::Cancelled;
+            }
+            return;
+        }
+        // Not in the queue: either retired, or holding a matched message.
+        let msg = {
+            let mut st = entry.state.lock();
+            match &*st {
+                EntryState::Matched(_) => {
+                    let EntryState::Matched(msg) =
+                        std::mem::replace(&mut *st, EntryState::Cancelled)
+                    else {
+                        unreachable!()
+                    };
+                    Some(msg)
+                }
+                _ => None,
+            }
+        };
+        if let Some(msg) = msg {
+            if q.shutdown {
+                return; // dropping the message fails any rendezvous slot
+            }
+            // Another posted entry may match the reclaimed message —
+            // queueing it past a waiting receiver would both break the
+            // invariant and strand that receiver on its condvar.
+            if let Some(next) = Self::claim_posted(&mut q, &msg) {
+                next.fulfill(msg);
+                return;
+            }
+            if let Payload::Eager(data) = &msg.payload {
+                q.eager_bytes += data.len();
+            }
+            let at = q.messages.partition_point(|m| m.seq < msg.seq);
+            q.messages.insert(at, msg);
+            drop(q);
+            self.available.notify_all();
+        }
     }
 
     fn remove_at(&self, q: &mut MailboxState, pos: usize) -> Message {
@@ -148,9 +418,14 @@ impl Mailbox {
         msg
     }
 
-    /// Find and remove the first message matching the predicate, blocking
-    /// until one arrives. Returns `None` on shutdown. Removing an eager
-    /// message returns its credit.
+    /// Find and remove the first *queued* message matching the predicate,
+    /// blocking until one arrives. Returns `None` on shutdown. Removing
+    /// an eager message returns its credit.
+    ///
+    /// Production receives go through [`Mailbox::post_recv`] (blocking
+    /// ones park on the entry condvar); this queue-scanning variant
+    /// survives for the mailbox unit tests.
+    #[cfg(test)]
     pub fn take_matching(
         &self,
         mut matches: impl FnMut(&Message) -> bool,
@@ -167,8 +442,8 @@ impl Mailbox {
         }
     }
 
-    /// Non-blocking take: remove the first matching message if one is
-    /// already queued. `Err(WorldShutdown)` after teardown.
+    /// Non-blocking take: remove the first matching queued message if one
+    /// is present. `Err(WorldShutdown)` after teardown.
     pub fn try_take_matching(
         &self,
         mut matches: impl FnMut(&Message) -> bool,
@@ -184,6 +459,8 @@ impl Mailbox {
     }
 
     /// Non-blocking variant: check without waiting (used by `Iprobe`).
+    /// Messages already matched to a posted receive are consumed and thus
+    /// no longer probe-visible, as in real MPI.
     pub fn peek_matching(&self, mut matches: impl FnMut(&Message) -> bool) -> Option<(u32, i32, usize)> {
         let q = self.queue.lock();
         q.messages
@@ -196,13 +473,20 @@ impl Mailbox {
         let mut q = self.queue.lock();
         q.shutdown = true;
         // Wake senders blocked on queued rendezvous handshakes that will
-        // never be matched.
+        // never be matched, and receivers parked on posted entries that
+        // will never be fulfilled. Entries holding matched messages are
+        // left for their receivers: the matched message is still
+        // deliverable.
         for msg in &q.messages {
             if let Payload::Rendezvous(rts) = &msg.payload {
                 rts.0.fail_if_posted();
             }
         }
+        let posted = std::mem::take(&mut q.posted);
         drop(q);
+        for entry in posted {
+            entry.fail();
+        }
         self.available.notify_all();
     }
 }
@@ -220,6 +504,7 @@ mod tests {
             payload: Payload::Eager(data.into()),
             sent_at_us: 0.0,
             src_world: src,
+            seq: 0,
         }
     }
 
@@ -230,11 +515,15 @@ mod tests {
         }
     }
 
+    fn push(mb: &Mailbox, m: Message) -> Deposit {
+        mb.deposit(m, false)
+    }
+
     #[test]
     fn fifo_per_matching_predicate() {
         let mb = Mailbox::default();
-        mb.push(msg(0, 1, b"first"));
-        mb.push(msg(0, 1, b"second"));
+        push(&mb, msg(0, 1, b"first"));
+        push(&mb, msg(0, 1, b"second"));
         let a = mb.take_matching(|m| m.tag == 1).unwrap();
         assert_eq!(data(&a), b"first");
         let b = mb.take_matching(|m| m.tag == 1).unwrap();
@@ -244,8 +533,8 @@ mod tests {
     #[test]
     fn selective_receive_skips_nonmatching() {
         let mb = Mailbox::default();
-        mb.push(msg(3, 7, b"three"));
-        mb.push(msg(5, 9, b"five"));
+        push(&mb, msg(3, 7, b"three"));
+        push(&mb, msg(5, 9, b"five"));
         let m = mb.take_matching(|m| m.src_in_comm == 5).unwrap();
         assert_eq!(data(&m), b"five");
         // The earlier message is still there.
@@ -259,7 +548,7 @@ mod tests {
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || mb2.take_matching(|m| m.tag == 42));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        mb.push(msg(1, 42, b"late"));
+        push(&mb, msg(1, 42, b"late"));
         let got = t.join().unwrap().unwrap();
         assert_eq!(data(&got), b"late");
     }
@@ -277,7 +566,7 @@ mod tests {
     #[test]
     fn peek_does_not_remove() {
         let mb = Mailbox::default();
-        mb.push(msg(2, 5, b"abc"));
+        push(&mb, msg(2, 5, b"abc"));
         let peeked = mb.peek_matching(|m| m.tag == 5).unwrap();
         assert_eq!(peeked, (2, 5, 3));
         assert!(mb.take_matching(|m| m.tag == 5).is_some());
@@ -286,20 +575,144 @@ mod tests {
     #[test]
     fn eager_credit_is_claimed_and_returned() {
         let mb = Mailbox::new(8);
-        mb.try_push_eager(msg(0, 0, b"123456")).unwrap();
+        assert!(matches!(mb.deposit(msg(0, 0, b"123456"), true), Deposit::Queued));
         // Budget exhausted: a second 6-byte message bounces.
-        let back = mb.try_push_eager(msg(0, 0, b"abcdef")).unwrap_err();
+        let Deposit::NoCredit(back) = mb.deposit(msg(0, 0, b"abcdef"), true) else {
+            panic!("expected NoCredit");
+        };
         assert_eq!(data(&back), b"abcdef");
         // Draining the first returns the credit.
         mb.take_matching(|_| true).unwrap();
-        mb.try_push_eager(msg(0, 0, b"abcdef")).unwrap();
+        assert!(matches!(mb.deposit(msg(0, 0, b"abcdef"), true), Deposit::Queued));
     }
 
     #[test]
     fn oversized_message_admitted_into_empty_buffer() {
         let mb = Mailbox::new(4);
         // Larger than the whole budget, but the buffer is empty.
-        mb.try_push_eager(msg(0, 0, b"12345678")).unwrap();
-        assert!(mb.try_push_eager(msg(0, 0, b"x")).is_err());
+        assert!(matches!(mb.deposit(msg(0, 0, b"12345678"), true), Deposit::Queued));
+        assert!(matches!(mb.deposit(msg(0, 0, b"x"), true), Deposit::NoCredit(_)));
+    }
+
+    // --- posted-receive matching ----------------------------------------
+
+    #[test]
+    fn arrival_matches_posted_entry_and_skips_queue() {
+        let mb = Mailbox::new(8);
+        let entry = RecvEntry::new(0, Source::Rank(1), Tag::Value(5));
+        assert!(!mb.post_recv(&entry));
+        // Even with zero remaining credit the matched arrival goes
+        // through: it parks in the entry, not the buffer.
+        assert!(matches!(mb.deposit(msg(9, 9, b"12345678"), true), Deposit::Queued));
+        assert!(matches!(mb.deposit(msg(1, 5, b"matched!"), true), Deposit::Matched));
+        let got = entry.poll().unwrap().expect("matched");
+        assert_eq!(data(&got), b"matched!");
+    }
+
+    #[test]
+    fn same_matcher_entries_match_in_posted_order() {
+        let mb = Mailbox::default();
+        let first = RecvEntry::new(0, Source::Rank(0), Tag::Value(1));
+        let second = RecvEntry::new(0, Source::Rank(0), Tag::Value(1));
+        mb.post_recv(&first);
+        mb.post_recv(&second);
+        push(&mb, msg(0, 1, b"one"));
+        push(&mb, msg(0, 1, b"two"));
+        // Polling the *newest* entry cannot steal the oldest message.
+        assert_eq!(data(&second.poll().unwrap().unwrap()), b"two");
+        assert_eq!(data(&first.poll().unwrap().unwrap()), b"one");
+    }
+
+    #[test]
+    fn wildcard_race_respects_posting_position() {
+        let mb = Mailbox::default();
+        let specific = RecvEntry::new(0, Source::Rank(1), Tag::Value(5));
+        let wildcard = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&specific);
+        mb.post_recv(&wildcard);
+        // Matches both; the earlier-posted specific entry wins.
+        push(&mb, msg(1, 5, b"exact"));
+        // Matches only the wildcard.
+        push(&mb, msg(2, 7, b"other"));
+        assert_eq!(data(&specific.poll().unwrap().unwrap()), b"exact");
+        assert_eq!(data(&wildcard.poll().unwrap().unwrap()), b"other");
+    }
+
+    #[test]
+    fn wildcard_posted_first_beats_later_specific_entry() {
+        let mb = Mailbox::default();
+        let wildcard = RecvEntry::new(0, Source::Any, Tag::Any);
+        let specific = RecvEntry::new(0, Source::Rank(1), Tag::Value(5));
+        mb.post_recv(&wildcard);
+        mb.post_recv(&specific);
+        push(&mb, msg(1, 5, b"taken-by-wildcard"));
+        assert_eq!(data(&wildcard.poll().unwrap().unwrap()), b"taken-by-wildcard");
+        assert!(specific.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn post_claims_earliest_queued_match() {
+        let mb = Mailbox::default();
+        push(&mb, msg(0, 3, b"early"));
+        push(&mb, msg(0, 3, b"late"));
+        let entry = RecvEntry::new(0, Source::Rank(0), Tag::Value(3));
+        assert!(mb.post_recv(&entry));
+        assert_eq!(data(&entry.poll().unwrap().unwrap()), b"early");
+        assert_eq!(data(&mb.take_matching(|_| true).unwrap()), b"late");
+    }
+
+    #[test]
+    fn cancel_requeues_matched_message_at_arrival_position() {
+        let mb = Mailbox::default();
+        push(&mb, msg(0, 7, b"first-arrival"));
+        // Posted after the tag-7 message is queued, so it matches the
+        // *next* tag-5 arrival directly.
+        let entry = RecvEntry::new(0, Source::Rank(0), Tag::Value(5));
+        mb.post_recv(&entry);
+        push(&mb, msg(0, 5, b"second-arrival"));
+        push(&mb, msg(0, 5, b"third-arrival"));
+        mb.cancel_posted(&entry);
+        // The reclaimed message sits between the tag-7 and the later
+        // tag-5 arrival: same-tag FIFO survives the cancellation.
+        assert_eq!(data(&mb.take_matching(|m| m.tag == 5).unwrap()), b"second-arrival");
+        assert_eq!(data(&mb.take_matching(|m| m.tag == 5).unwrap()), b"third-arrival");
+        assert_eq!(data(&mb.take_matching(|_| true).unwrap()), b"first-arrival");
+    }
+
+    #[test]
+    fn cancel_rematches_message_to_other_posted_entries() {
+        let mb = Mailbox::default();
+        let first = RecvEntry::new(0, Source::Any, Tag::Any);
+        let second = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&first);
+        mb.post_recv(&second);
+        push(&mb, msg(1, 2, b"payload")); // parks in `first`
+        mb.cancel_posted(&first);
+        // The reclaimed message must fulfill the still-posted entry, not
+        // sit in the queue past its condvar.
+        assert_eq!(data(&second.poll().unwrap().expect("rematched")), b"payload");
+    }
+
+    #[test]
+    fn cancel_unmatched_entry_stops_future_matching() {
+        let mb = Mailbox::default();
+        let entry = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&entry);
+        mb.cancel_posted(&entry);
+        push(&mb, msg(0, 1, b"nobody-home"));
+        // The message queued instead of vanishing into the dead entry.
+        assert!(mb.peek_matching(|_| true).is_some());
+    }
+
+    #[test]
+    fn shutdown_fails_posted_entries() {
+        let mb = Arc::new(Mailbox::default());
+        let entry = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&entry);
+        let (mb2, e2) = (Arc::clone(&mb), Arc::clone(&entry));
+        let t = std::thread::spawn(move || e2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb2.shutdown();
+        assert!(matches!(t.join().unwrap(), Err(MpiError::WorldShutdown)));
     }
 }

@@ -2,6 +2,16 @@
 //! rendezvous handshake, and the shared delivery path used by blocking
 //! receives and the request machinery in [`crate::request`].
 //!
+//! Matching is **arrival-time against posted receives**: every receive
+//! registers a [`crate::message::RecvEntry`] with its rank's mailbox via
+//! [`CommCtx::post_recv`], and [`CommCtx::start_send`]'s deposit matches
+//! arrivals against the posted queue in posting order (wildcard rules
+//! included) before any mailbox buffering happens. The matched message
+//! parks in the entry; [`CommCtx::deliver`] then runs on the *receiving*
+//! rank — copying the payload (straight from the sender's pinned buffer
+//! for rendezvous), charging the virtual clock, and completing the
+//! handshake — so sender threads never touch receiver buffers or clocks.
+//!
 //! # Protocols
 //!
 //! * **Eager** (payload ≤ [`ProtocolConfig::eager_threshold`]): the bytes
@@ -37,7 +47,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::clock::{Clock, ClockMode};
 use crate::comm::{Source, Status, Tag};
 use crate::error::MpiError;
-use crate::message::{Message, Payload, RtsPayload};
+use crate::message::{Deposit, Message, Payload, RecvEntry, RtsPayload};
 use crate::world::World;
 
 /// Message-protocol parameters of a world. Derived from the netsim
@@ -91,6 +101,10 @@ pub struct ProtocolStats {
     /// Payload bytes moved by the rendezvous protocol (single direct copy,
     /// never buffered in a mailbox).
     pub rendezvous_bytes: AtomicU64,
+    /// Arrivals that matched an already-posted receive (the pre-posted
+    /// fast path: no mailbox buffering, no eager credit; a rendezvous RTS
+    /// matched this way is answerable straight into the posted buffer).
+    pub preposted_matches: AtomicU64,
 }
 
 /// Point-in-time copy of [`ProtocolStats`].
@@ -101,6 +115,7 @@ pub struct ProtocolSnapshot {
     pub deferred_eager_messages: u64,
     pub rendezvous_messages: u64,
     pub rendezvous_bytes: u64,
+    pub preposted_matches: u64,
 }
 
 impl ProtocolStats {
@@ -111,6 +126,7 @@ impl ProtocolStats {
             deferred_eager_messages: self.deferred_eager_messages.load(Ordering::Relaxed),
             rendezvous_messages: self.rendezvous_messages.load(Ordering::Relaxed),
             rendezvous_bytes: self.rendezvous_bytes.load(Ordering::Relaxed),
+            preposted_matches: self.preposted_matches.load(Ordering::Relaxed),
         }
     }
 }
@@ -299,42 +315,44 @@ impl CommCtx {
         Ok(())
     }
 
-    /// Matching predicate for a user-visible receive. `Tag::Any` never
-    /// matches the internal collective tag space (all at or below
-    /// [`COLLECTIVE_TAG_BASE`]): collective traffic must stay invisible
-    /// to wildcard point-to-point receives, as MPI requires.
+    /// Matching predicate for a receive (delegates to
+    /// [`Message::matches`]; see there for the wildcard rules).
     pub(crate) fn matcher(
         comm_id: u64,
         src: Source,
         tag: Tag,
     ) -> impl FnMut(&Message) -> bool {
-        move |m: &Message| {
-            m.comm_id == comm_id
-                && match src {
-                    Source::Any => true,
-                    Source::Rank(r) => m.src_in_comm == r,
-                }
-                && match tag {
-                    Tag::Any => m.tag > crate::comm::COLLECTIVE_TAG_BASE,
-                    Tag::Value(t) => m.tag == t,
-                }
-        }
+        move |m: &Message| m.matches(comm_id, src, tag)
     }
 
-    /// Blocking matched take from this rank's mailbox.
-    pub fn take_blocking(&self, src: Source, tag: Tag) -> Result<Message, MpiError> {
-        self.world.mailboxes[self.my_world() as usize]
-            .take_matching(Self::matcher(self.comm_id, src, tag))
-            .ok_or(MpiError::WorldShutdown)
+    /// Post a receive with this rank's mailbox: either claims the
+    /// earliest queued match immediately or enters the posted queue,
+    /// where arrivals match it in posting order (see `crate::message`).
+    /// The caller keeps the destination buffer and performs delivery via
+    /// [`CommCtx::deliver`] once the entry yields its message.
+    pub fn post_recv(&self, src: Source, tag: Tag) -> Arc<RecvEntry> {
+        let entry = RecvEntry::new(self.comm_id, src, tag);
+        self.world.mailboxes[self.my_world() as usize].post_recv(&entry);
+        entry
     }
 
-    /// Non-blocking matched take.
+    /// Unpost a receive (request drop / free). A message already matched
+    /// to the entry is reinserted into the mailbox at its arrival
+    /// position, staying available to other receives.
+    pub fn cancel_recv(&self, entry: &Arc<RecvEntry>) {
+        self.world.mailboxes[self.my_world() as usize].cancel_posted(entry);
+    }
+
+    /// Non-blocking matched take from the *message queue* only. Used by
+    /// the collective schedules, whose internal tags never overlap a
+    /// posted receive's matcher.
     pub fn try_take(&self, src: Source, tag: Tag) -> Result<Option<Message>, MpiError> {
         self.world.mailboxes[self.my_world() as usize]
             .try_take_matching(Self::matcher(self.comm_id, src, tag))
     }
 
-    /// Stamp a new outgoing message (departure time, identity).
+    /// Stamp a new outgoing message (departure time, identity). The
+    /// mailbox assigns `seq` at deposit.
     fn message(&self, tag: i32, payload: Payload) -> Message {
         Message {
             src_in_comm: self.rank,
@@ -343,6 +361,7 @@ impl CommCtx {
             payload,
             sent_at_us: self.clock.lock().virtual_us,
             src_world: self.my_world(),
+            seq: 0,
         }
     }
 
@@ -372,21 +391,30 @@ impl CommCtx {
         let mailbox = &self.world.mailboxes[dest_world as usize];
         let stats = &self.world.stats;
 
+        let count_match = |d: &Deposit| {
+            if matches!(d, Deposit::Matched) {
+                stats.preposted_matches.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+
         if dest_world == self.my_world() {
             // Self-sends are always eagerly buffered, regardless of size
             // or credit: the same thread must later receive the message,
             // so a rendezvous handshake could never be answered and a
             // credit wait could never be satisfied.
             let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
-            mailbox.push(self.eager_message(buf, tag));
+            count_match(&mailbox.deposit(self.eager_message(buf, tag), false));
             return Ok(SendOp::done());
         }
 
         if len <= self.world.protocol.eager_threshold {
             let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
-            match mailbox.try_push_eager(self.eager_message(buf, tag)) {
-                Ok(()) => Ok(SendOp::done()),
-                Err(mut msg) => {
+            match mailbox.deposit(self.eager_message(buf, tag), true) {
+                d @ (Deposit::Queued | Deposit::Matched) => {
+                    count_match(&d);
+                    Ok(SendOp::done())
+                }
+                Deposit::NoCredit(mut msg) => {
                     // No credit: defer through a sender-owned rendezvous so
                     // FIFO order is preserved without growing the mailbox.
                     let payload =
@@ -394,10 +422,13 @@ impl CommCtx {
                     let Payload::Eager(data) = payload else { unreachable!() };
                     stats.deferred_eager_messages.fetch_add(1, Ordering::Relaxed);
                     let slot = RendezvousSlot::for_owned(data);
-                    mailbox.push(Message {
-                        payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
-                        ..msg
-                    });
+                    count_match(&mailbox.deposit(
+                        Message {
+                            payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
+                            ..msg
+                        },
+                        false,
+                    ));
                     Ok(SendOp::in_flight(slot))
                 }
             }
@@ -405,8 +436,10 @@ impl CommCtx {
             stats.rendezvous_messages.fetch_add(1, Ordering::Relaxed);
             stats.rendezvous_bytes.fetch_add(len as u64, Ordering::Relaxed);
             let slot = RendezvousSlot::for_buffer(ptr, len);
-            mailbox
-                .push(self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot)))));
+            count_match(&mailbox.deposit(
+                self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot)))),
+                false,
+            ));
             Ok(SendOp::in_flight(slot))
         }
     }

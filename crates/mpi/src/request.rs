@@ -21,31 +21,36 @@
 //!   caller does not own — which is how an embedder can drive a whole
 //!   request table while one operation waits.
 //! * `test()` = `progress` + conditional `take_result`; `wait()` blocks
-//!   (receives park on the mailbox condvar, sends on the rendezvous slot,
-//!   collectives poll with backoff).
+//!   (receives park on their posted entry's condvar, sends on the
+//!   rendezvous slot, collectives poll with backoff).
 //! * The completion set operations ([`Request::wait_all`],
 //!   [`Request::wait_any`], [`Request::wait_some`], [`Request::test_all`],
-//!   [`Request::test_any`]) progress requests in index order, which makes
-//!   same-`(source, tag)` receives match in posting order.
+//!   [`Request::test_any`]) progress requests in index order.
 //!
-//! **Matching model.** Receives match at *progress* time, not at posting
-//! time (progress-at-completion, the embedder's documented substitute for
-//! a posted-receive queue). Callers holding several receives with the
-//! same `(source, tag)` matcher must progress them in posting order —
-//! the completion sets do this automatically; testing only the newest of
-//! several same-matcher requests may legally deliver it the oldest
-//! message. A true pre-posted matching queue is future work (ROADMAP).
+//! **Matching model.** Receives match at *posting* time: `Irecv`
+//! registers a [`crate::message::RecvEntry`] with the rank's mailbox, and
+//! arrivals match posted entries in posting order with full
+//! `ANY_SOURCE`/`ANY_TAG` wildcard semantics (see `crate::message` for
+//! the queue invariants). Matching transfers only the message into the
+//! entry; *delivery* — the payload copy and the virtual-clock charge —
+//! happens on the receiving rank when the request is progressed, so
+//! testing requests in any order is safe: a newer same-matcher request
+//! can never steal an older one's message.
 //!
-//! Nonblocking collectives (`Ibarrier`/`Ibcast`/`Iallreduce`) are
+//! Nonblocking collectives (`Ibarrier`/`Ibcast`/`Ireduce`/`Iallreduce`/
+//! `Igather`/`Iscatter`/`Iallgather`/`Ialltoall`/`Ialltoallv`) are
 //! expressed as schedules of the same eager/rendezvous point-to-point
 //! steps, advanced by the shared progress loop; their rounds interleave
-//! freely with unrelated traffic.
+//! freely with unrelated traffic (each initiation draws its own tag from
+//! the per-communicator sequence space).
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use crate::comm::{Source, Status, Tag, COLLECTIVE_TAG_BASE};
 use crate::datatype::{reduce_in_place, Datatype, ReduceOp};
 use crate::error::MpiError;
+use crate::message::RecvEntry;
 use crate::progress::{CommCtx, SendOp};
 
 /// Base of the nonblocking-collective tag space, below every blocking
@@ -59,6 +64,12 @@ pub(crate) const NBC_TAG_BASE: i32 = COLLECTIVE_TAG_BASE - 64;
 pub(crate) const NBC_KIND_BARRIER: i32 = 0;
 pub(crate) const NBC_KIND_BCAST: i32 = 1;
 pub(crate) const NBC_KIND_ALLREDUCE: i32 = 2;
+pub(crate) const NBC_KIND_REDUCE: i32 = 3;
+pub(crate) const NBC_KIND_GATHER: i32 = 4;
+pub(crate) const NBC_KIND_SCATTER: i32 = 5;
+pub(crate) const NBC_KIND_ALLGATHER: i32 = 6;
+pub(crate) const NBC_KIND_ALLTOALL: i32 = 7;
+pub(crate) const NBC_KIND_ALLTOALLV: i32 = 8;
 
 /// Tag for nonblocking collective number `seq` of kind `kind` on a
 /// communicator. MPI requires every rank to issue collectives on a
@@ -66,7 +77,7 @@ pub(crate) const NBC_KIND_ALLREDUCE: i32 = 2;
 /// sequence wraps far before the i32 tag space runs out; a wrap-distance
 /// collision would need ~2^20 simultaneously outstanding collectives.
 pub(crate) fn nbc_tag(seq: u64, kind: i32) -> i32 {
-    NBC_TAG_BASE - ((seq & 0xF_FFFF) as i32 * 4 + kind)
+    NBC_TAG_BASE - ((seq & 0xF_FFFF) as i32 * 16 + kind)
 }
 
 /// Outcome of [`Request::test_any`].
@@ -117,7 +128,10 @@ enum Kind {
     /// persistent request returns to a restartable `Inactive`).
     Failed(MpiError),
     Send { op: SendOp, dest: u32, tag: i32, len: usize },
-    Recv { ptr: *mut u8, len: usize, src: Source, tag: Tag },
+    /// A posted receive: the entry is registered with the rank's mailbox
+    /// (arrival-matched in posted order); `ptr`/`len` is the destination
+    /// buffer the owning rank delivers into once the entry is matched.
+    Recv { ptr: *mut u8, len: usize, entry: Arc<RecvEntry> },
     Coll(Box<CollState>),
 }
 
@@ -157,9 +171,10 @@ impl<'buf> Request<'buf> {
         if let Source::Rank(r) = src {
             ctx.check_rank(r)?;
         }
+        let entry = ctx.post_recv(src, tag);
         Ok(Request {
             ctx,
-            kind: Kind::Recv { ptr, len, src, tag },
+            kind: Kind::Recv { ptr, len, entry },
             persistent: None,
             _buf: PhantomData,
         })
@@ -287,7 +302,10 @@ impl<'buf> Request<'buf> {
                 let op = self.ctx.start_send(ptr, len, dest, tag)?;
                 Kind::Send { op, dest, tag, len }
             }
-            PersistentOp::Recv { ptr, len, src, tag } => Kind::Recv { ptr, len, src, tag },
+            PersistentOp::Recv { ptr, len, src, tag } => {
+                let entry = self.ctx.post_recv(src, tag);
+                Kind::Recv { ptr, len, entry }
+            }
         };
         Ok(())
     }
@@ -312,8 +330,8 @@ impl<'buf> Request<'buf> {
             Kind::Send { op, dest, tag, len } => op.poll(&self.ctx).map(|done| {
                 done.then(|| Status { source: *dest, tag: *tag, bytes: *len })
             }),
-            Kind::Recv { ptr, len, src, tag } => {
-                match self.ctx.try_take(*src, *tag) {
+            Kind::Recv { ptr, len, entry } => {
+                match entry.poll() {
                     Ok(Some(msg)) => {
                         let dst = unsafe { std::slice::from_raw_parts_mut(*ptr, *len) };
                         self.ctx.deliver(msg, Some(dst)).map(|(st, _)| Some(st))
@@ -381,10 +399,14 @@ impl<'buf> Request<'buf> {
 
     /// `MPI_Wait`: block until complete, return the status.
     pub fn wait(&mut self) -> Result<Status, MpiError> {
-        // Receives can park on the mailbox condvar instead of polling.
-        if let Kind::Recv { ptr, len, src, tag } = self.kind {
-            let took = self.ctx.take_blocking(src, tag);
-            match took {
+        // Receives park on their posted entry's condvar instead of
+        // polling: the matching arrival wakes them directly.
+        let recv_parts = match &self.kind {
+            Kind::Recv { ptr, len, entry } => Some((*ptr, *len, Arc::clone(entry))),
+            _ => None,
+        };
+        if let Some((ptr, len, entry)) = recv_parts {
+            match entry.wait() {
                 Ok(msg) => {
                     let dst = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
                     let delivered = self.ctx.deliver(msg, Some(dst));
@@ -558,13 +580,16 @@ impl<'buf> Request<'buf> {
 }
 
 impl Kind {
-    /// Cancel (or ride out) any rendezvous send still referencing buffers
-    /// owned by this request's state — called before the state is dropped
-    /// so no dangling RTS pointer survives in a destination mailbox.
+    /// Cancel (or ride out) any protocol state still referencing buffers
+    /// owned by this request — called before the state is dropped so no
+    /// dangling RTS pointer survives in a destination mailbox and no dead
+    /// posted entry keeps claiming arrivals. A receive's already-matched
+    /// message is requeued at its arrival position for other receives.
     fn cancel_in_flight(&mut self, ctx: &CommCtx) {
         match self {
             Kind::Send { op, .. } => op.cancel(ctx),
             Kind::Coll(state) => state.cancel(ctx),
+            Kind::Recv { entry, .. } => ctx.cancel_recv(entry),
             _ => {}
         }
     }
@@ -601,6 +626,12 @@ pub(crate) enum CollState {
     Barrier(IbarrierState),
     Bcast(IbcastState),
     Allreduce(IallreduceState),
+    Reduce(IreduceState),
+    Gather(IgatherState),
+    Scatter(IscatterState),
+    Allgather(IallgatherState),
+    Alltoall(IalltoallState),
+    Alltoallv(IalltoallvState),
 }
 
 impl CollState {
@@ -609,6 +640,12 @@ impl CollState {
             CollState::Barrier(s) => s.poll(ctx),
             CollState::Bcast(s) => s.poll(ctx),
             CollState::Allreduce(s) => s.poll(ctx),
+            CollState::Reduce(s) => s.poll(ctx),
+            CollState::Gather(s) => s.poll(ctx),
+            CollState::Scatter(s) => s.poll(ctx),
+            CollState::Allgather(s) => s.poll(ctx),
+            CollState::Alltoall(s) => s.poll(ctx),
+            CollState::Alltoallv(s) => s.poll(ctx),
         }
     }
 
@@ -617,8 +654,72 @@ impl CollState {
             CollState::Barrier(s) => s.send.cancel(ctx),
             CollState::Bcast(s) => s.send.cancel(ctx),
             CollState::Allreduce(s) => s.send.cancel(ctx),
+            CollState::Reduce(s) => s.send.cancel(ctx),
+            CollState::Gather(s) => s.send.cancel(ctx),
+            CollState::Scatter(s) => cancel_sends(ctx, &mut s.sends),
+            CollState::Allgather(s) => s.send.cancel(ctx),
+            CollState::Alltoall(s) => cancel_sends(ctx, &mut s.sends),
+            CollState::Alltoallv(s) => cancel_sends(ctx, &mut s.sends),
         }
     }
+}
+
+/// Deliver a matched collective block into `dst`, requiring an exact
+/// size. On a size mismatch the message is consumed (completing any
+/// rendezvous handshake so the sender proceeds) and the mismatch is
+/// reported, as the blocking schedules do.
+fn deliver_block(
+    ctx: &CommCtx,
+    msg: crate::message::Message,
+    dst: &mut [u8],
+    coll: &str,
+) -> Result<(), MpiError> {
+    let got = msg.payload.len();
+    let src = msg.src_in_comm;
+    if got != dst.len() {
+        let keep = dst.len().min(got);
+        let _ = ctx.deliver(msg, Some(&mut dst[..keep]));
+        return Err(MpiError::CollectiveMismatch(format!(
+            "{coll} block from rank {src} is {got} bytes, expected {}",
+            dst.len()
+        )));
+    }
+    ctx.deliver(msg, Some(dst))?;
+    Ok(())
+}
+
+/// Poll one tagged block from communicator rank `src` into `buf`,
+/// requiring an exact size (see [`deliver_block`]).
+fn poll_exact(
+    ctx: &CommCtx,
+    src: u32,
+    tag: i32,
+    buf: &mut [u8],
+    coll: &str,
+) -> Result<bool, MpiError> {
+    match ctx.try_take(Source::Rank(src), Tag::Value(tag))? {
+        Some(msg) => {
+            deliver_block(ctx, msg, buf, coll)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Drive a fan-out of already-initiated sends one poll step.
+fn poll_sends(ctx: &CommCtx, ops: &mut [SendOp]) -> Result<bool, MpiError> {
+    let mut all = true;
+    for op in ops.iter_mut() {
+        all &= op.poll(ctx)?;
+    }
+    Ok(all)
+}
+
+fn cancel_sends(ctx: &CommCtx, ops: &mut Vec<SendOp>) {
+    for op in ops.iter_mut() {
+        op.cancel(ctx);
+    }
+    ops.clear();
 }
 
 /// A point-to-point sub-step of a collective schedule: a send that may be
@@ -894,22 +995,7 @@ impl IallreduceState {
         ctx: &CommCtx,
         src: u32,
     ) -> Result<bool, MpiError> {
-        match ctx.try_take(Source::Rank(src), Tag::Value(self.tag))? {
-            Some(msg) => {
-                let got = msg.payload.len();
-                if got != self.incoming.len() {
-                    let keep = self.incoming.len().min(got);
-                    let _ = ctx.deliver(msg, Some(&mut self.incoming[..keep]));
-                    return Err(MpiError::CollectiveMismatch(format!(
-                        "iallreduce round block is {got} bytes, expected {}",
-                        self.incoming.len()
-                    )));
-                }
-                ctx.deliver(msg, Some(&mut self.incoming[..]))?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        poll_exact(ctx, src, self.tag, &mut self.incoming, "iallreduce")
     }
 
     fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
@@ -1008,5 +1094,564 @@ impl IallreduceState {
                 }
             }
         }
+    }
+}
+
+/// `MPI_Ireduce`: the binomial tree of [`crate::Comm::reduce`] advanced
+/// round by round. The accumulator is state-owned; the root's result
+/// lands in `out` at completion.
+pub(crate) struct IreduceState {
+    /// Root's output buffer (null on non-root ranks).
+    out: *mut u8,
+    root: u32,
+    dt: Datatype,
+    op: ReduceOp,
+    tag: i32,
+    acc: Vec<u8>,
+    incoming: Vec<u8>,
+    mask: u32,
+    send: StepSend,
+}
+
+impl IreduceState {
+    pub fn new(
+        ctx: &CommCtx,
+        send_buf: &[u8],
+        out: *mut u8,
+        out_len: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        root: u32,
+        tag: i32,
+    ) -> Result<IreduceState, MpiError> {
+        ctx.check_rank(root)?;
+        if ctx.rank == root && out_len != send_buf.len() {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "ireduce output buffer {out_len} bytes, data {} bytes",
+                send_buf.len()
+            )));
+        }
+        Ok(IreduceState {
+            out,
+            root,
+            dt,
+            op,
+            tag,
+            acc: send_buf.to_vec(),
+            incoming: vec![0u8; send_buf.len()],
+            mask: 1,
+            send: StepSend::new(),
+        })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size();
+        let me = ctx.rank;
+        let vr = (me + p - self.root) % p;
+        loop {
+            if self.mask >= p {
+                // All subtrees folded in: only the root gets here (every
+                // other rank exits through the send branch below).
+                let out =
+                    unsafe { std::slice::from_raw_parts_mut(self.out, self.acc.len()) };
+                out.copy_from_slice(&self.acc);
+                return Ok(Some(Status { source: me, tag: 0, bytes: self.acc.len() }));
+            }
+            if vr & self.mask == 0 {
+                let partner = vr | self.mask;
+                if partner < p {
+                    let src = (partner + self.root) % p;
+                    if !poll_exact(ctx, src, self.tag, &mut self.incoming, "ireduce")? {
+                        return Ok(None);
+                    }
+                    reduce_in_place(self.dt, self.op, &mut self.acc, &self.incoming)?;
+                }
+                self.mask <<= 1;
+            } else {
+                let dst = (vr - self.mask + self.root) % p;
+                if !self.send.drive(ctx, self.acc.as_ptr(), self.acc.len(), dst, self.tag)? {
+                    return Ok(None);
+                }
+                self.send.reset();
+                return Ok(Some(Status { source: me, tag: 0, bytes: self.acc.len() }));
+            }
+        }
+    }
+}
+
+/// `MPI_Igather`: linear rooted. The root drains one block per peer —
+/// matched by the collective's unique tag, placed by source rank, so
+/// arrival order is free — while non-roots drive a single send.
+pub(crate) struct IgatherState {
+    /// Root's output buffer (`p * n` bytes; null on non-root ranks).
+    out: *mut u8,
+    /// Non-root's send buffer (null on the root: its block is copied at
+    /// initiation).
+    sbuf: *const u8,
+    n: usize,
+    root: u32,
+    tag: i32,
+    send: StepSend,
+    /// Root: peers still to be received.
+    remaining: u32,
+}
+
+impl IgatherState {
+    pub fn new(
+        ctx: &CommCtx,
+        send_buf: &[u8],
+        out: *mut u8,
+        out_len: usize,
+        root: u32,
+        tag: i32,
+    ) -> Result<IgatherState, MpiError> {
+        ctx.check_rank(root)?;
+        let p = ctx.size();
+        let n = send_buf.len();
+        let (sbuf, remaining) = if ctx.rank == root {
+            if out_len != n * p as usize {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "igather output is {out_len} bytes, expected {}",
+                    n * p as usize
+                )));
+            }
+            // The root's own contribution lands at initiation.
+            let own = unsafe {
+                std::slice::from_raw_parts_mut(out.wrapping_add(root as usize * n), n)
+            };
+            own.copy_from_slice(send_buf);
+            (std::ptr::null(), p - 1)
+        } else {
+            (send_buf.as_ptr(), 0)
+        };
+        Ok(IgatherState { out, sbuf, n, root, tag, send: StepSend::new(), remaining })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let me = ctx.rank;
+        if me == self.root {
+            while self.remaining > 0 {
+                match ctx.try_take(Source::Any, Tag::Value(self.tag))? {
+                    Some(msg) => {
+                        let src = msg.src_in_comm as usize;
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                self.out.wrapping_add(src * self.n),
+                                self.n,
+                            )
+                        };
+                        deliver_block(ctx, msg, dst, "igather")?;
+                        self.remaining -= 1;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let total = self.n * ctx.size() as usize;
+            Ok(Some(Status { source: me, tag: 0, bytes: total }))
+        } else {
+            if !self.send.drive(ctx, self.sbuf, self.n, self.root, self.tag)? {
+                return Ok(None);
+            }
+            self.send.reset();
+            Ok(Some(Status { source: me, tag: 0, bytes: self.n }))
+        }
+    }
+}
+
+/// `MPI_Iscatter`: linear rooted fan-out. The root initiates every
+/// peer's send on the first poll and then drives them jointly; non-roots
+/// await their block.
+pub(crate) struct IscatterState {
+    /// Root's input buffer (`p * n` bytes; null on non-root ranks).
+    sbuf: *const u8,
+    out: *mut u8,
+    n: usize,
+    root: u32,
+    tag: i32,
+    sends: Vec<SendOp>,
+    started: bool,
+}
+
+impl IscatterState {
+    pub fn new(
+        ctx: &CommCtx,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        out: *mut u8,
+        out_len: usize,
+        root: u32,
+        tag: i32,
+    ) -> Result<IscatterState, MpiError> {
+        ctx.check_rank(root)?;
+        let p = ctx.size();
+        if ctx.rank == root && sbuf_len != out_len * p as usize {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "iscatter input is {sbuf_len} bytes, expected {}",
+                out_len * p as usize
+            )));
+        }
+        Ok(IscatterState {
+            sbuf,
+            out,
+            n: out_len,
+            root,
+            tag,
+            sends: Vec::new(),
+            started: false,
+        })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size();
+        let me = ctx.rank;
+        let st = Status { source: me, tag: 0, bytes: self.n };
+        if me == self.root {
+            if !self.started {
+                // Post every block so slow children drain the root's
+                // rendezvous handshakes concurrently, then copy our own.
+                for r in 0..p {
+                    if r == self.root {
+                        continue;
+                    }
+                    self.sends.push(ctx.start_send(
+                        self.sbuf.wrapping_add(r as usize * self.n),
+                        self.n,
+                        r,
+                        self.tag,
+                    )?);
+                }
+                let own = unsafe {
+                    std::slice::from_raw_parts(
+                        self.sbuf.wrapping_add(self.root as usize * self.n),
+                        self.n,
+                    )
+                };
+                unsafe { std::slice::from_raw_parts_mut(self.out, self.n) }
+                    .copy_from_slice(own);
+                self.started = true;
+            }
+            if !poll_sends(ctx, &mut self.sends)? {
+                return Ok(None);
+            }
+            Ok(Some(st))
+        } else {
+            let dst = unsafe { std::slice::from_raw_parts_mut(self.out, self.n) };
+            if !poll_exact(ctx, self.root, self.tag, dst, "iscatter")? {
+                return Ok(None);
+            }
+            Ok(Some(st))
+        }
+    }
+}
+
+/// `MPI_Iallgather`: the ring of [`crate::Comm::allgather`] as a state
+/// machine, p−1 rounds. Each round's outgoing block is copied into a
+/// state-owned buffer (so the pending send never aliases the block being
+/// written), sent right, and the left neighbour's block lands straight in
+/// the caller's output buffer.
+pub(crate) struct IallgatherState {
+    out: *mut u8,
+    n: usize,
+    tag: i32,
+    step: u32,
+    outgoing: Vec<u8>,
+    outgoing_valid: bool,
+    send: StepSend,
+    sent: bool,
+    received: bool,
+}
+
+impl IallgatherState {
+    pub fn new(
+        ctx: &CommCtx,
+        send_buf: &[u8],
+        out: *mut u8,
+        out_len: usize,
+        tag: i32,
+    ) -> Result<IallgatherState, MpiError> {
+        let p = ctx.size() as usize;
+        let n = send_buf.len();
+        if out_len != n * p {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "iallgather output is {out_len} bytes, expected {}",
+                n * p
+            )));
+        }
+        let me = ctx.rank as usize;
+        unsafe { std::slice::from_raw_parts_mut(out.wrapping_add(me * n), n) }
+            .copy_from_slice(send_buf);
+        Ok(IallgatherState {
+            out,
+            n,
+            tag,
+            step: 0,
+            outgoing: Vec::with_capacity(n),
+            outgoing_valid: false,
+            send: StepSend::new(),
+            sent: false,
+            received: false,
+        })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size() as usize;
+        let me = ctx.rank as usize;
+        let n = self.n;
+        loop {
+            if p == 1 || self.step as usize >= p - 1 {
+                return Ok(Some(Status { source: ctx.rank, tag: 0, bytes: n * p }));
+            }
+            let right = ((me + 1) % p) as u32;
+            let left = ((me + p - 1) % p) as u32;
+            let step = self.step as usize;
+            let send_block = (me + p - step) % p;
+            let recv_block = (me + p - step - 1) % p;
+            if !self.outgoing_valid {
+                self.outgoing.clear();
+                self.outgoing.extend_from_slice(unsafe {
+                    std::slice::from_raw_parts(self.out.wrapping_add(send_block * n), n)
+                });
+                self.outgoing_valid = true;
+            }
+            if !self.sent {
+                self.sent =
+                    self.send.drive(ctx, self.outgoing.as_ptr(), n, right, self.tag)?;
+            }
+            if !self.received {
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(self.out.wrapping_add(recv_block * n), n)
+                };
+                self.received = poll_exact(ctx, left, self.tag, dst, "iallgather")?;
+            }
+            if self.sent && self.received {
+                self.step += 1;
+                self.send.reset();
+                self.sent = false;
+                self.received = false;
+                self.outgoing_valid = false;
+            } else {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// `MPI_Ialltoall`: pairwise exchange. Every peer send is initiated on
+/// the first poll (so rendezvous announcements are matchable while this
+/// rank drains its own arrivals); incoming blocks are matched by the
+/// collective's unique tag and placed by source rank.
+pub(crate) struct IalltoallState {
+    sbuf: *const u8,
+    out: *mut u8,
+    n: usize,
+    tag: i32,
+    sends: Vec<SendOp>,
+    started: bool,
+    remaining: u32,
+}
+
+impl IalltoallState {
+    pub fn new(
+        ctx: &CommCtx,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        out: *mut u8,
+        out_len: usize,
+        tag: i32,
+    ) -> Result<IalltoallState, MpiError> {
+        let p = ctx.size() as usize;
+        if sbuf_len != out_len || sbuf_len % p != 0 {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "ialltoall buffers must be equal and divisible by p: {sbuf_len} vs {out_len}"
+            )));
+        }
+        Ok(IalltoallState {
+            sbuf,
+            out,
+            n: sbuf_len / p,
+            tag,
+            sends: Vec::new(),
+            started: false,
+            remaining: ctx.size() - 1,
+        })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size() as usize;
+        let me = ctx.rank as usize;
+        let n = self.n;
+        if !self.started {
+            for i in 1..p {
+                let dst = (me + i) % p;
+                self.sends.push(ctx.start_send(
+                    self.sbuf.wrapping_add(dst * n),
+                    n,
+                    dst as u32,
+                    self.tag,
+                )?);
+            }
+            unsafe { std::slice::from_raw_parts_mut(self.out.wrapping_add(me * n), n) }
+                .copy_from_slice(unsafe {
+                    std::slice::from_raw_parts(self.sbuf.wrapping_add(me * n), n)
+                });
+            self.started = true;
+        }
+        let sends_done = poll_sends(ctx, &mut self.sends)?;
+        while self.remaining > 0 {
+            match ctx.try_take(Source::Any, Tag::Value(self.tag))? {
+                Some(msg) => {
+                    let src = msg.src_in_comm as usize;
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(self.out.wrapping_add(src * n), n)
+                    };
+                    deliver_block(ctx, msg, dst, "ialltoall")?;
+                    self.remaining -= 1;
+                }
+                None => return Ok(None),
+            }
+        }
+        if !sends_done {
+            return Ok(None);
+        }
+        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: n * p }))
+    }
+}
+
+/// `MPI_Ialltoallv`: the vector pairwise exchange. Counts and
+/// displacements are in **bytes** at this layer (the embedder translates
+/// element counts); zero-length blocks still travel so every rank sees
+/// exactly `p − 1` arrivals per collective.
+pub(crate) struct IalltoallvState {
+    sbuf: *const u8,
+    out: *mut u8,
+    tag: i32,
+    scounts: Vec<usize>,
+    sdispls: Vec<usize>,
+    rcounts: Vec<usize>,
+    rdispls: Vec<usize>,
+    sends: Vec<SendOp>,
+    started: bool,
+    /// Per-source arrival flag (a peer must contribute exactly once).
+    received: Vec<bool>,
+    remaining: u32,
+}
+
+impl IalltoallvState {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ctx: &CommCtx,
+        sbuf: *const u8,
+        sbuf_len: usize,
+        scounts: Vec<usize>,
+        sdispls: Vec<usize>,
+        out: *mut u8,
+        out_len: usize,
+        rcounts: Vec<usize>,
+        rdispls: Vec<usize>,
+        tag: i32,
+    ) -> Result<IalltoallvState, MpiError> {
+        let p = ctx.size() as usize;
+        if scounts.len() != p || sdispls.len() != p || rcounts.len() != p || rdispls.len() != p
+        {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "ialltoallv takes {p} counts/displacements per array"
+            )));
+        }
+        for r in 0..p {
+            if sdispls[r] + scounts[r] > sbuf_len {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "ialltoallv send block {r} ({} + {}) exceeds buffer of {sbuf_len}",
+                    sdispls[r], scounts[r]
+                )));
+            }
+            if rdispls[r] + rcounts[r] > out_len {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "ialltoallv recv block {r} ({} + {}) exceeds buffer of {out_len}",
+                    rdispls[r], rcounts[r]
+                )));
+            }
+        }
+        let me = ctx.rank as usize;
+        if scounts[me] != rcounts[me] {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "ialltoallv self block differs: send {} recv {}",
+                scounts[me], rcounts[me]
+            )));
+        }
+        Ok(IalltoallvState {
+            sbuf,
+            out,
+            tag,
+            scounts,
+            sdispls,
+            rcounts,
+            rdispls,
+            sends: Vec::new(),
+            started: false,
+            received: vec![false; p],
+            remaining: ctx.size() - 1,
+        })
+    }
+
+    fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        let p = ctx.size() as usize;
+        let me = ctx.rank as usize;
+        if !self.started {
+            for i in 1..p {
+                let dst = (me + i) % p;
+                self.sends.push(ctx.start_send(
+                    self.sbuf.wrapping_add(self.sdispls[dst]),
+                    self.scounts[dst],
+                    dst as u32,
+                    self.tag,
+                )?);
+            }
+            let own = unsafe {
+                std::slice::from_raw_parts(
+                    self.sbuf.wrapping_add(self.sdispls[me]),
+                    self.scounts[me],
+                )
+            };
+            unsafe {
+                std::slice::from_raw_parts_mut(
+                    self.out.wrapping_add(self.rdispls[me]),
+                    self.rcounts[me],
+                )
+            }
+            .copy_from_slice(own);
+            self.started = true;
+        }
+        let sends_done = poll_sends(ctx, &mut self.sends)?;
+        while self.remaining > 0 {
+            match ctx.try_take(Source::Any, Tag::Value(self.tag))? {
+                Some(msg) => {
+                    let src = msg.src_in_comm as usize;
+                    let want = self.rcounts[src];
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            self.out.wrapping_add(self.rdispls[src]),
+                            want,
+                        )
+                    };
+                    if self.received[src] {
+                        // Consume (completing any handshake) then report.
+                        let keep = want.min(msg.payload.len());
+                        let _ = ctx.deliver(msg, Some(&mut dst[..keep]));
+                        return Err(MpiError::CollectiveMismatch(format!(
+                            "ialltoallv got a second block from rank {src}"
+                        )));
+                    }
+                    deliver_block(ctx, msg, dst, "ialltoallv")?;
+                    self.received[src] = true;
+                    self.remaining -= 1;
+                }
+                None => return Ok(None),
+            }
+        }
+        if !sends_done {
+            return Ok(None);
+        }
+        let total: usize = self.rcounts.iter().sum();
+        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: total }))
     }
 }

@@ -1,0 +1,510 @@
+//! Differential conformance tests for the nonblocking collective suite
+//! (`Igather`/`Iscatter`/`Iallgather`/`Ialltoall`/`Ialltoallv`, plus
+//! `Ireduce`) and the posted-receive matching engine they ride on.
+//!
+//! The centerpiece is a property test: random sequences of the new
+//! nonblocking collectives, interleaved with point-to-point traffic,
+//! must produce byte-identical buffers and statuses to the blocking
+//! formulations, in both real-time and virtual-clock worlds. A deadlock
+//! regression pins the symmetric `Ialltoall` + `Waitall` shape with
+//! payloads straddling the rendezvous threshold.
+
+use proptest::prelude::*;
+
+use mpi_substrate::{
+    run_world_with, ClockMode, Datatype, ReduceOp, Request, Source, Status, Tag,
+};
+use netsim::{CostModel, SystemProfile};
+
+fn virtual_mode() -> ClockMode {
+    ClockMode::Virtual(CostModel::native(SystemProfile::container()))
+}
+
+fn both_modes() -> [ClockMode; 2] {
+    [ClockMode::Real, virtual_mode()]
+}
+
+/// Deterministic payload byte for (step, rank, offset).
+fn fill(step: usize, rank: u32, len: usize) -> Vec<u8> {
+    (0..len).map(|j| (step * 131 + rank as usize * 31 + j * 7 + 5) as u8).collect()
+}
+
+// --- per-collective oracles ----------------------------------------------
+
+#[test]
+fn ireduce_matches_blocking_reduce() {
+    for p in [1u32, 2, 3, 5, 8] {
+        for mode in both_modes() {
+            let out = run_world_with(p, mode, move |comm| {
+                let root = p - 1;
+                let mine: Vec<u8> = (0..8i32)
+                    .flat_map(|k| (k * (comm.rank() as i32 + 2)).to_le_bytes())
+                    .collect();
+                let mut expect = vec![0u8; 32];
+                comm.reduce(
+                    &mine,
+                    (comm.rank() == root).then_some(&mut expect[..]),
+                    Datatype::Int,
+                    ReduceOp::Sum,
+                    root,
+                )
+                .unwrap();
+                let mut got = vec![0u8; 32];
+                {
+                    let mut req = comm
+                        .ireduce(
+                            &mine,
+                            (comm.rank() == root).then_some(&mut got[..]),
+                            Datatype::Int,
+                            ReduceOp::Sum,
+                            root,
+                        )
+                        .unwrap();
+                    req.wait().unwrap();
+                }
+                (comm.rank() == root).then_some((got, expect))
+            });
+            for pair in out.into_iter().flatten() {
+                assert_eq!(pair.0, pair.1, "p {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn igather_iscatter_match_blocking_at_all_roots() {
+    for p in [1u32, 2, 3, 5] {
+        for root in 0..p {
+            run_world_with(p, ClockMode::Real, move |comm| {
+                let n = 40;
+                let me = comm.rank();
+                // Gather.
+                let mine = fill(0, me, n);
+                let mut blocking = vec![0u8; n * p as usize];
+                comm.gather(&mine, (me == root).then_some(&mut blocking[..]), root)
+                    .unwrap();
+                let mut nb = vec![0u8; n * p as usize];
+                {
+                    let mut req = comm
+                        .igather(&mine, (me == root).then_some(&mut nb[..]), root)
+                        .unwrap();
+                    req.wait().unwrap();
+                }
+                if me == root {
+                    assert_eq!(nb, blocking, "gather root {root} p {p}");
+                }
+                // Scatter.
+                let src: Vec<u8> = (0..n * p as usize).map(|i| (i * 3 + 1) as u8).collect();
+                let mut b_block = vec![0u8; n];
+                comm.scatter((me == root).then_some(&src[..]), &mut b_block, root).unwrap();
+                let mut nb_block = vec![0u8; n];
+                {
+                    let mut req = comm
+                        .iscatter((me == root).then_some(&src[..]), &mut nb_block, root)
+                        .unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(nb_block, b_block, "scatter root {root} p {p} rank {me}");
+            });
+        }
+    }
+}
+
+#[test]
+fn iallgather_and_ialltoall_match_blocking() {
+    for p in [1u32, 2, 3, 4, 7] {
+        for mode in both_modes() {
+            run_world_with(p, mode, move |comm| {
+                let n = 24;
+                let me = comm.rank();
+                let mine = fill(1, me, n);
+                let mut b_all = vec![0u8; n * p as usize];
+                comm.allgather(&mine, &mut b_all).unwrap();
+                let mut nb_all = vec![0u8; n * p as usize];
+                {
+                    let mut req = comm.iallgather(&mine, &mut nb_all).unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(nb_all, b_all, "allgather p {p} rank {me}");
+
+                let send: Vec<u8> = (0..p).flat_map(|r| fill(2 + r as usize, me, n)).collect();
+                let mut b_a2a = vec![0u8; n * p as usize];
+                comm.alltoall(&send, &mut b_a2a).unwrap();
+                let mut nb_a2a = vec![0u8; n * p as usize];
+                {
+                    let mut req = comm.ialltoall(&send, &mut nb_a2a).unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(nb_a2a, b_a2a, "alltoall p {p} rank {me}");
+            });
+        }
+    }
+}
+
+/// The vector exchange's counts for (sender s → receiver r) at `step`:
+/// deliberately uneven, with some zero blocks.
+fn a2av_count(step: usize, s: u32, r: u32, unit: usize) -> usize {
+    ((s as usize * 7 + r as usize * 3 + step) % 4) * unit
+}
+
+/// Build (counts, displs, total) for one rank's side of an alltoallv.
+fn a2av_layout(
+    p: u32,
+    count_of: impl Fn(u32) -> usize,
+) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut counts = Vec::with_capacity(p as usize);
+    let mut displs = Vec::with_capacity(p as usize);
+    let mut off = 0;
+    for r in 0..p {
+        counts.push(count_of(r));
+        displs.push(off);
+        off += counts[r as usize];
+    }
+    (counts, displs, off)
+}
+
+#[test]
+fn ialltoallv_matches_blocking_including_zero_blocks() {
+    for p in [1u32, 2, 3, 5] {
+        for mode in both_modes() {
+            run_world_with(p, mode, move |comm| {
+                let me = comm.rank();
+                let unit = 16;
+                let (scounts, sdispls, stotal) =
+                    a2av_layout(p, |r| a2av_count(0, me, r, unit));
+                let (rcounts, rdispls, rtotal) =
+                    a2av_layout(p, |s| a2av_count(0, s, me, unit));
+                let mut send = vec![0u8; stotal];
+                for r in 0..p as usize {
+                    let block = fill(3 + r, me, scounts[r]);
+                    send[sdispls[r]..sdispls[r] + scounts[r]].copy_from_slice(&block);
+                }
+                let mut blocking = vec![0u8; rtotal];
+                comm.alltoallv(&send, &scounts, &sdispls, &mut blocking, &rcounts, &rdispls)
+                    .unwrap();
+                let mut nb = vec![0xEEu8; rtotal];
+                {
+                    let mut req = comm
+                        .ialltoallv(&send, &scounts, &sdispls, &mut nb, &rcounts, &rdispls)
+                        .unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(nb, blocking, "alltoallv p {p} rank {me}");
+            });
+        }
+    }
+}
+
+/// Two same-kind collectives in flight at once must not cross-match.
+#[test]
+fn outstanding_ialltoalls_do_not_cross_match() {
+    for p in [2u32, 3, 4] {
+        run_world_with(p, ClockMode::Real, move |comm| {
+            let me = comm.rank();
+            let n = 8;
+            let send_a: Vec<u8> = (0..p).flat_map(|r| fill(10 + r as usize, me, n)).collect();
+            let send_b: Vec<u8> = (0..p).flat_map(|r| fill(90 + r as usize, me, n)).collect();
+            let mut oracle_a = vec![0u8; n * p as usize];
+            let mut oracle_b = vec![0u8; n * p as usize];
+            comm.alltoall(&send_a, &mut oracle_a).unwrap();
+            comm.alltoall(&send_b, &mut oracle_b).unwrap();
+            let mut got_a = vec![0u8; n * p as usize];
+            let mut got_b = vec![0u8; n * p as usize];
+            {
+                let mut req_a = comm.ialltoall(&send_a, &mut got_a).unwrap();
+                let _ = req_a.test().unwrap(); // get round 1 in flight
+                let mut req_b = comm.ialltoall(&send_b, &mut got_b).unwrap();
+                // Complete B first: its arrivals must skip A's messages.
+                req_b.wait().unwrap();
+                req_a.wait().unwrap();
+            }
+            assert_eq!(got_a, oracle_a, "A at rank {me} p {p}");
+            assert_eq!(got_b, oracle_b, "B at rank {me} p {p}");
+        });
+    }
+}
+
+// --- deadlock regression -------------------------------------------------
+
+/// The shape PR 2's latched outcomes were built to survive, now with the
+/// full pairwise exchange: every rank initiates a symmetric `Ialltoall`
+/// whose per-peer blocks straddle the rendezvous threshold, posts p2p
+/// requests on top, and parks in `Waitall`. Completion requires each
+/// parked rank to keep driving its whole request table.
+#[test]
+fn symmetric_ialltoall_waitall_straddling_rendezvous_is_deadlock_free() {
+    // 96 KiB blocks clear the real default (64 KiB) and the container
+    // profile's virtual threshold (32 KiB); 1 KiB blocks stay eager.
+    for block in [1usize << 10, 96 << 10] {
+        for mode in both_modes() {
+            for p in [2u32, 3] {
+                run_world_with(p, mode.clone(), move |comm| {
+                    let me = comm.rank();
+                    let peer = (me + 1) % p;
+                    let send: Vec<u8> =
+                        (0..p).flat_map(|r| fill(r as usize, me, block)).collect();
+                    let mut recv = vec![0u8; block * p as usize];
+                    let extra_out = fill(77, me, block);
+                    let mut extra_in = vec![0u8; block];
+                    let mut oracle = vec![0u8; block * p as usize];
+                    comm.alltoall(&send, &mut oracle).unwrap();
+                    {
+                        let mut reqs = vec![
+                            comm.ialltoall(&send, &mut recv).unwrap(),
+                            comm.isend(&extra_out, peer, 9).unwrap(),
+                            comm.irecv(
+                                &mut extra_in,
+                                Source::Rank((me + p - 1) % p),
+                                Tag::Value(9),
+                            )
+                            .unwrap(),
+                        ];
+                        Request::wait_all(&mut reqs).unwrap();
+                    }
+                    assert_eq!(recv, oracle, "rank {me} p {p} block {block}");
+                    assert_eq!(extra_in, fill(77, (me + p - 1) % p, block), "p2p rank {me}");
+                });
+            }
+        }
+    }
+}
+
+// --- the differential property test --------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum CollOp {
+    Gather { root: u32 },
+    Scatter { root: u32 },
+    Allgather,
+    Alltoall,
+    Alltoallv,
+}
+
+#[derive(Debug, Clone)]
+struct Script {
+    /// Per step: the collective, large blocks?, interleave p2p traffic?,
+    /// and whether the subject completes the p2p requests first.
+    steps: Vec<(CollOp, bool, bool, bool)>,
+}
+
+/// Raw step tuples: (kind, raw root, large, p2p, p2p_first). Roots are
+/// reduced mod `p` when the script is resolved (the world size is an
+/// independent strategy argument).
+type RawScript = Vec<(u8, u8, bool, bool, bool)>;
+
+fn script_strategy() -> BoxedStrategy<RawScript> {
+    proptest::collection::vec(
+        (0u8..5, any::<u8>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        1..5,
+    )
+    .boxed()
+}
+
+fn resolve_script(raw: &RawScript, p: u32) -> Script {
+    Script {
+        steps: raw
+            .iter()
+            .map(|&(kind, root, large, p2p, p2p_first)| {
+                let root = root as u32 % p;
+                let op = match kind {
+                    0 => CollOp::Gather { root },
+                    1 => CollOp::Scatter { root },
+                    2 => CollOp::Allgather,
+                    3 => CollOp::Alltoall,
+                    _ => CollOp::Alltoallv,
+                };
+                (op, large, p2p, p2p_first)
+            })
+            .collect(),
+    }
+}
+
+/// Per-rank block size: large straddles every rendezvous threshold.
+fn block_len(large: bool) -> usize {
+    if large {
+        96 << 10
+    } else {
+        64
+    }
+}
+
+/// One rank's buffers for step `i` of the script, pre-filled
+/// deterministically. Returns (send, recv, layout-for-alltoallv).
+struct StepBufs {
+    send: Vec<u8>,
+    recv: Vec<u8>,
+    scounts: Vec<usize>,
+    sdispls: Vec<usize>,
+    rcounts: Vec<usize>,
+    rdispls: Vec<usize>,
+}
+
+fn step_bufs(op: CollOp, large: bool, step: usize, me: u32, p: u32) -> StepBufs {
+    let n = block_len(large);
+    let (send, recv_len, scounts, sdispls, rcounts, rdispls) = match op {
+        CollOp::Gather { .. } => (fill(step, me, n), n * p as usize, vec![], vec![], vec![], vec![]),
+        CollOp::Scatter { .. } => {
+            ((0..p).flat_map(|r| fill(step + r as usize, me, n)).collect(), n, vec![], vec![], vec![], vec![])
+        }
+        CollOp::Allgather => (fill(step, me, n), n * p as usize, vec![], vec![], vec![], vec![]),
+        CollOp::Alltoall => {
+            ((0..p).flat_map(|r| fill(step + r as usize, me, n)).collect(), n * p as usize, vec![], vec![], vec![], vec![])
+        }
+        CollOp::Alltoallv => {
+            // Uneven blocks, zero included; unit scaled so "large" still
+            // crosses the rendezvous threshold for the nonzero blocks.
+            let unit = if large { 48 << 10 } else { 32 };
+            let (scounts, sdispls, stotal) =
+                a2av_layout(p, |r| a2av_count(step, me, r, unit));
+            let (rcounts, rdispls, rtotal) =
+                a2av_layout(p, |s| a2av_count(step, s, me, unit));
+            let mut send = vec![0u8; stotal];
+            for r in 0..p as usize {
+                send[sdispls[r]..sdispls[r] + scounts[r]]
+                    .copy_from_slice(&fill(step + r, me, scounts[r]));
+            }
+            (send, rtotal, scounts, sdispls, rcounts, rdispls)
+        }
+    };
+    StepBufs { send, recv: vec![0u8; recv_len], scounts, sdispls, rcounts, rdispls }
+}
+
+/// The per-rank result of one run: every step's receive buffer (roots
+/// only, for rooted collectives) plus the p2p payloads and statuses.
+type RankResult = Vec<(Vec<u8>, Option<Status>)>;
+
+fn run_formulation(
+    script: &Script,
+    p: u32,
+    mode: ClockMode,
+    nonblocking: bool,
+) -> Vec<RankResult> {
+    let script = script.clone();
+    run_world_with(p, mode, move |comm| {
+        let me = comm.rank();
+        let mut results: RankResult = Vec::new();
+        for (i, &(op, large, p2p, p2p_first)) in script.steps.iter().enumerate() {
+            let mut bufs = step_bufs(op, large, i, me, p);
+            // Interleaved ring p2p traffic riding alongside the
+            // collective (tags never collide with collective space).
+            let n = block_len(large);
+            let p2p_out = fill(1000 + i, me, n);
+            let mut p2p_in = vec![0u8; n];
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let tag = i as i32;
+
+            let is_recv_root = |root: u32| me == root;
+            let mut p2p_status = None;
+            if nonblocking {
+                let mut reqs: Vec<Request> = Vec::new();
+                if p2p {
+                    reqs.push(comm.irecv(&mut p2p_in, Source::Rank(left), Tag::Value(tag)).unwrap());
+                    reqs.push(comm.isend(&p2p_out, right, tag).unwrap());
+                }
+                let coll = match op {
+                    CollOp::Gather { root } => comm
+                        .igather(&bufs.send, is_recv_root(root).then_some(&mut bufs.recv[..]), root)
+                        .unwrap(),
+                    CollOp::Scatter { root } => comm
+                        .iscatter((me == root).then_some(&bufs.send[..]), &mut bufs.recv, root)
+                        .unwrap(),
+                    CollOp::Allgather => comm.iallgather(&bufs.send, &mut bufs.recv).unwrap(),
+                    CollOp::Alltoall => comm.ialltoall(&bufs.send, &mut bufs.recv).unwrap(),
+                    CollOp::Alltoallv => comm
+                        .ialltoallv(
+                            &bufs.send,
+                            &bufs.scounts,
+                            &bufs.sdispls,
+                            &mut bufs.recv,
+                            &bufs.rcounts,
+                            &bufs.rdispls,
+                        )
+                        .unwrap(),
+                };
+                if p2p_first {
+                    reqs.push(coll);
+                } else {
+                    reqs.insert(0, coll);
+                }
+                let statuses = Request::wait_all(&mut reqs).unwrap();
+                if p2p {
+                    // The irecv's status, wherever it landed in the set.
+                    let idx = if p2p_first { 0 } else { 1 };
+                    p2p_status = Some(statuses[idx]);
+                }
+            } else {
+                // Oracle: the blocking formulations, p2p via sendrecv.
+                if p2p {
+                    let st = comm
+                        .sendrecv(&p2p_out, right, tag, &mut p2p_in, Source::Rank(left), Tag::Value(tag))
+                        .unwrap();
+                    p2p_status = Some(st);
+                }
+                match op {
+                    CollOp::Gather { root } => comm
+                        .gather(&bufs.send, is_recv_root(root).then_some(&mut bufs.recv[..]), root)
+                        .unwrap(),
+                    CollOp::Scatter { root } => comm
+                        .scatter((me == root).then_some(&bufs.send[..]), &mut bufs.recv, root)
+                        .unwrap(),
+                    CollOp::Allgather => comm.allgather(&bufs.send, &mut bufs.recv).unwrap(),
+                    CollOp::Alltoall => comm.alltoall(&bufs.send, &mut bufs.recv).unwrap(),
+                    CollOp::Alltoallv => comm
+                        .alltoallv(
+                            &bufs.send,
+                            &bufs.scounts,
+                            &bufs.sdispls,
+                            &mut bufs.recv,
+                            &bufs.rcounts,
+                            &bufs.rdispls,
+                        )
+                        .unwrap(),
+                }
+            }
+            // Non-root gather ranks have no defined recv contents.
+            let observable = match op {
+                CollOp::Gather { root } if me != root => Vec::new(),
+                _ => bufs.recv,
+            };
+            results.push((observable, None));
+            if p2p {
+                results.push((p2p_in, p2p_status));
+            }
+        }
+        results
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random mixes of the five new nonblocking collectives plus p2p
+    /// traffic are byte- and status-identical to the blocking
+    /// formulations, under both clock modes.
+    #[test]
+    fn nonblocking_collectives_match_blocking_differentially(
+        p in 2u32..5,
+        raw in script_strategy(),
+    ) {
+        let script = resolve_script(&raw, p);
+        for mode in both_modes() {
+            let oracle = run_formulation(&script, p, mode.clone(), false);
+            let subject = run_formulation(&script, p, mode, true);
+            prop_assert_eq!(oracle.len(), subject.len());
+            for (rank, (o, s)) in oracle.iter().zip(&subject).enumerate() {
+                prop_assert_eq!(o.len(), s.len());
+                for (k, ((od, ost), (sd, sst))) in o.iter().zip(s).enumerate() {
+                    prop_assert!(od == sd,
+                        "data mismatch rank {} item {} ({:?})", rank, k, script);
+                    // Collective entries carry no oracle status; p2p
+                    // entries must agree exactly.
+                    if let (Some(a), Some(b)) = (ost, sst) {
+                        prop_assert_eq!(a, b,
+                            "status mismatch rank {} item {} ({:?})", rank, k, script);
+                    }
+                }
+            }
+        }
+    }
+}

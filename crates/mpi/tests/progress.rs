@@ -154,6 +154,131 @@ fn gather_survives_tiny_eager_budget() {
     });
 }
 
+// --- posted-receive matching ---------------------------------------------
+
+/// An eager arrival against an already-posted `Irecv` must take the
+/// pre-posted fast path (no mailbox buffering): the `preposted_matches`
+/// counter fires and the payload arrives intact.
+#[test]
+fn eager_arrival_matches_posted_receive() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 1 {
+            let mut buf = vec![0u8; 1 << 10];
+            let mut req = comm.irecv(&mut buf, Source::Rank(0), Tag::Value(4)).unwrap();
+            // Tell the sender the receive is posted, then wait.
+            comm.send(&[1], 0, 99).unwrap();
+            let st = req.wait().unwrap();
+            assert_eq!(st.bytes, 1 << 10);
+            drop(req);
+            assert_eq!(buf, payload(8, 1 << 10));
+        } else {
+            let mut sync = [0u8; 1];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            comm.send(&payload(8, 1 << 10), 1, 4).unwrap();
+        }
+        comm.protocol_stats()
+    });
+    assert!(out[0].preposted_matches >= 1, "{:?}", out[0]);
+}
+
+/// A rendezvous RTS arriving against an already-posted buffer still moves
+/// the payload with the single sender-buffer → posted-buffer copy: the
+/// rendezvous (zero-copy) counters fire, the eager-copy counter does not,
+/// and the arrival is counted as a pre-posted match.
+#[test]
+fn rendezvous_arrival_against_posted_buffer_is_zero_copy() {
+    const BIG: usize = 256 << 10;
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 1 {
+            let mut buf = vec![0u8; BIG];
+            let mut req = comm.irecv(&mut buf, Source::Rank(0), Tag::Value(4)).unwrap();
+            comm.send(&[1], 0, 99).unwrap();
+            let st = req.wait().unwrap();
+            assert_eq!(st.bytes, BIG);
+            drop(req);
+            assert_eq!(buf, payload(9, BIG));
+        } else {
+            let mut sync = [0u8; 1];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            comm.send(&payload(9, BIG), 1, 4).unwrap();
+        }
+        comm.protocol_stats()
+    });
+    let stats = out[0];
+    assert!(stats.preposted_matches >= 1, "{stats:?}");
+    assert_eq!(stats.rendezvous_messages, 1, "{stats:?}");
+    assert_eq!(stats.rendezvous_bytes, BIG as u64, "{stats:?}");
+    assert!(stats.eager_bytes_copied < BIG as u64 / 2, "payload was heap-copied: {stats:?}");
+}
+
+/// Same-`(source, tag)` receives must complete in posted order even when
+/// only the *newest* request is tested: arrival-time matching pins
+/// message 0 to the first-posted entry, so testing the second request
+/// cannot steal it.
+#[test]
+fn same_matcher_receives_match_in_posted_order() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&payload(0, 64), 1, 5).unwrap();
+            comm.send(&payload(1, 64), 1, 5).unwrap();
+            (Vec::new(), Vec::new())
+        } else {
+            let mut b0 = vec![0u8; 64];
+            let mut b1 = vec![0u8; 64];
+            {
+                let mut r0 = comm.irecv(&mut b0, Source::Rank(0), Tag::Value(5)).unwrap();
+                let mut r1 = comm.irecv(&mut b1, Source::Rank(0), Tag::Value(5)).unwrap();
+                // Drive only the newest request until it completes...
+                loop {
+                    if r1.test().unwrap().is_some() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                // ...then the oldest; posted order must hold regardless.
+                r0.wait().unwrap();
+            }
+            (b0, b1)
+        }
+    });
+    let (b0, b1) = &out[1];
+    assert_eq!(b0, &payload(0, 64), "first-posted receive got message 0");
+    assert_eq!(b1, &payload(1, 64), "second-posted receive got message 1");
+}
+
+/// An `ANY_SOURCE`/`ANY_TAG` wildcard posted *after* a specific-source
+/// receive must lose the race for a matching arrival, and win it when
+/// posted first — posting position is the only tiebreaker.
+#[test]
+fn wildcard_race_against_specific_post_follows_posting_order() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            let mut sync = [0u8; 1];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            comm.send(&payload(3, 32), 1, 7).unwrap();
+            comm.send(&payload(4, 32), 1, 7).unwrap();
+            (Vec::new(), Vec::new())
+        } else {
+            let mut specific = vec![0u8; 32];
+            let mut wild = vec![0u8; 32];
+            {
+                let mut r_specific =
+                    comm.irecv(&mut specific, Source::Rank(0), Tag::Value(7)).unwrap();
+                let mut r_wild = comm.irecv(&mut wild, Source::Any, Tag::Any).unwrap();
+                comm.send(&[1], 0, 99).unwrap();
+                // Completing the wildcard first must still hand the first
+                // arrival to the earlier-posted specific receive.
+                r_wild.wait().unwrap();
+                r_specific.wait().unwrap();
+            }
+            (specific, wild)
+        }
+    });
+    let (specific, wild) = &out[1];
+    assert_eq!(specific, &payload(3, 32), "specific post was first: gets message 0");
+    assert_eq!(wild, &payload(4, 32), "wildcard takes the second arrival");
+}
+
 // --- completion sets ----------------------------------------------------
 
 #[test]
