@@ -15,8 +15,9 @@ use wasm_engine::ModuleBuilder;
 /// Guest handle constants re-exported for benchmark authors.
 pub use mpiwasm::handles::{
     MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_BYTE, MPI_CHAR, MPI_COMM_SELF, MPI_COMM_WORLD,
-    MPI_DOUBLE, MPI_FLOAT, MPI_INT, MPI_LONG, MPI_MAX, MPI_MIN, MPI_STATUS_IGNORE, MPI_SUM,
-    MPI_UNSIGNED, MPI_UNSIGNED_LONG,
+    MPI_DOUBLE, MPI_FLOAT, MPI_INT, MPI_LONG, MPI_MAX, MPI_MESSAGE_NULL, MPI_MIN,
+    MPI_STATUS_IGNORE, MPI_SUM, MPI_THREAD_FUNNELED, MPI_THREAD_MULTIPLE,
+    MPI_THREAD_SERIALIZED, MPI_THREAD_SINGLE, MPI_UNSIGNED, MPI_UNSIGNED_LONG,
 };
 
 /// Function indices of the imported MPI surface within a guest module.
@@ -44,6 +45,15 @@ pub struct MpiImports {
     pub wtime: u32,
     pub get_count: u32,
     pub iprobe: u32,
+    pub probe: u32,
+    pub mprobe: u32,
+    pub improbe: u32,
+    pub mrecv: u32,
+    pub imrecv: u32,
+    pub cancel: u32,
+    pub test_cancelled: u32,
+    pub init_thread: u32,
+    pub query_thread: u32,
     pub type_size: u32,
     pub alloc_mem: u32,
     pub free_mem: u32,
@@ -105,6 +115,15 @@ impl MpiImports {
             wtime: i(b, "MPI_Wtime", vec![], vec![F64]),
             get_count: i(b, "MPI_Get_count", vec![I32; 3], vec![I32]),
             iprobe: i(b, "MPI_Iprobe", vec![I32; 5], vec![I32]),
+            probe: i(b, "MPI_Probe", vec![I32; 4], vec![I32]),
+            mprobe: i(b, "MPI_Mprobe", vec![I32; 5], vec![I32]),
+            improbe: i(b, "MPI_Improbe", vec![I32; 6], vec![I32]),
+            mrecv: i(b, "MPI_Mrecv", vec![I32; 5], vec![I32]),
+            imrecv: i(b, "MPI_Imrecv", vec![I32; 5], vec![I32]),
+            cancel: i(b, "MPI_Cancel", vec![I32; 1], vec![I32]),
+            test_cancelled: i(b, "MPI_Test_cancelled", vec![I32; 2], vec![I32]),
+            init_thread: i(b, "MPI_Init_thread", vec![I32; 4], vec![I32]),
+            query_thread: i(b, "MPI_Query_thread", vec![I32; 1], vec![I32]),
             type_size: i(b, "MPI_Type_size", vec![I32; 2], vec![I32]),
             alloc_mem: i(b, "MPI_Alloc_mem", vec![I32; 3], vec![I32]),
             free_mem: i(b, "MPI_Free_mem", vec![I32], vec![I32]),
@@ -514,6 +533,53 @@ impl MpiImports {
                 int(handles::MPI_STATUS_IGNORE),
             ],
         )
+    }
+    // --- probe / matched probe / cancel over MPI_COMM_WORLD -------------
+
+    /// `MPI_Probe(src, tag, MPI_COMM_WORLD, status_ptr)` (blocking).
+    pub fn probe(&self, src: Expr, tag: Expr, status_ptr: Expr) -> Stmt {
+        call_drop(self.probe, vec![src, tag, int(handles::MPI_COMM_WORLD), status_ptr])
+    }
+
+    /// `MPI_Iprobe(src, tag, MPI_COMM_WORLD, flag_ptr, status_ptr)`.
+    pub fn iprobe(&self, src: Expr, tag: Expr, flag_ptr: Expr, status_ptr: Expr) -> Stmt {
+        call_drop(
+            self.iprobe,
+            vec![src, tag, int(handles::MPI_COMM_WORLD), flag_ptr, status_ptr],
+        )
+    }
+
+    /// `MPI_Mprobe(src, tag, MPI_COMM_WORLD, message_ptr, status_ptr)`.
+    pub fn mprobe(&self, src: Expr, tag: Expr, msg_ptr: Expr, status_ptr: Expr) -> Stmt {
+        call_drop(
+            self.mprobe,
+            vec![src, tag, int(handles::MPI_COMM_WORLD), msg_ptr, status_ptr],
+        )
+    }
+
+    /// `MPI_Mrecv(buf, count, dt, message_ptr, status_ptr)`.
+    pub fn mrecv(&self, buf: Expr, count: Expr, dt: i32, msg_ptr: Expr, status_ptr: Expr) -> Stmt {
+        call_drop(self.mrecv, vec![buf, count, int(dt), msg_ptr, status_ptr])
+    }
+
+    /// `MPI_Cancel(request_ptr)`.
+    pub fn cancel(&self, req_ptr: Expr) -> Stmt {
+        call_drop(self.cancel, vec![req_ptr])
+    }
+
+    /// `MPI_Test_cancelled(status_ptr, flag_ptr)`.
+    pub fn test_cancelled(&self, status_ptr: Expr, flag_ptr: Expr) -> Stmt {
+        call_drop(self.test_cancelled, vec![status_ptr, flag_ptr])
+    }
+
+    /// `MPI_Init_thread(0, 0, required, provided_ptr)`.
+    pub fn init_thread(&self, required: Expr, provided_ptr: Expr) -> Stmt {
+        call_drop(self.init_thread, vec![int(0), int(0), required, provided_ptr])
+    }
+
+    /// `MPI_Query_thread(provided_ptr)`.
+    pub fn query_thread(&self, provided_ptr: Expr) -> Stmt {
+        call_drop(self.query_thread, vec![provided_ptr])
     }
 }
 
@@ -994,6 +1060,227 @@ mod tests {
         assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
         assert_eq!(result.ranks[0].reports, vec![(0, 11.0)]);
         assert_eq!(result.ranks[1].reports, vec![(0, 10.0)]);
+    }
+
+    /// `MPI_Init_thread` grants the requested level up to
+    /// `MPI_THREAD_MULTIPLE` and `MPI_Query_thread` reads it back.
+    #[test]
+    fn init_thread_grants_thread_multiple() {
+        const PROVIDED: i32 = 256;
+        const QUERIED: i32 = 260;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            emit_block(f, &[
+                mpi.init_thread(int(MPI_THREAD_MULTIPLE), int(PROVIDED)),
+                mpi.query_thread(int(QUERIED)),
+                mpi.report(int(0), int(PROVIDED).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.report(int(1), int(QUERIED).load(ValType::I32, 0).to(ValType::F64)),
+                mpi.finalize(),
+            ]);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        for r in &result.ranks {
+            assert_eq!(r.reports[0].1, MPI_THREAD_MULTIPLE as f64, "provided on rank {}", r.rank);
+            assert_eq!(r.reports[1].1, MPI_THREAD_MULTIPLE as f64, "queried on rank {}", r.rank);
+        }
+    }
+
+    /// `MPI_Message` handle encoding end to end: `Improbe` yields handle
+    /// index+1, `Mrecv` delivers and rewrites the handle word to
+    /// `MPI_MESSAGE_NULL` (0), freed slots are reclaimed, and a probe
+    /// miss reports flag 0 with a null handle.
+    #[test]
+    fn message_handles_encode_and_null_on_mrecv() {
+        const STATUS: i32 = 256; // 20-byte guest MPI_Status
+        const FLAG: i32 = 288;
+        const MSG: i32 = 292;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(0)),
+                &[
+                    store(int(layout::SEND_BUF), 0, int(42)),
+                    mpi.send(int(layout::SEND_BUF), int(1), MPI_INT, int(1), int(8)),
+                    store(int(layout::SEND_BUF), 0, int(43)),
+                    mpi.send(int(layout::SEND_BUF), int(1), MPI_INT, int(1), int(8)),
+                    mpi.send(int(layout::SEND_BUF), int(0), MPI_BYTE, int(1), int(10)),
+                ],
+                &[
+                    // Wait for both tag-8 messages to be pending.
+                    mpi.recv(int(layout::RECV_BUF), int(0), MPI_BYTE, int(0), int(10)),
+                    // Improbe extracts the first message: flag 1, handle 1.
+                    call_drop(
+                        mpi.improbe,
+                        vec![
+                            int(0),
+                            int(8),
+                            int(handles::MPI_COMM_WORLD),
+                            int(FLAG),
+                            int(MSG),
+                            int(STATUS),
+                        ],
+                    ),
+                    mpi.report(int(0), int(FLAG).load(ValType::I32, 0).to(ValType::F64)),
+                    mpi.report(int(1), int(MSG).load(ValType::I32, 0).to(ValType::F64)),
+                    // Mrecv delivers message 0 and nulls the handle word.
+                    mpi.mrecv(int(layout::RECV_BUF), int(1), MPI_INT, int(MSG), int(STATUS)),
+                    mpi.report(int(2), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                    mpi.report(int(3), int(MSG).load(ValType::I32, 0).to(ValType::F64)),
+                    // The freed slot is reclaimed: Mprobe hands out 1 again.
+                    mpi.mprobe(int(0), int(8), int(MSG), int(STATUS)),
+                    mpi.report(int(4), int(MSG).load(ValType::I32, 0).to(ValType::F64)),
+                    mpi.mrecv(int(layout::RECV_BUF), int(1), MPI_INT, int(MSG), int(STATUS)),
+                    mpi.report(int(5), int(layout::RECV_BUF).load(ValType::I32, 0).to(ValType::F64)),
+                    // Probe miss: flag 0, handle stays MPI_MESSAGE_NULL.
+                    call_drop(
+                        mpi.improbe,
+                        vec![
+                            int(MPI_ANY_SOURCE),
+                            int(8),
+                            int(handles::MPI_COMM_WORLD),
+                            int(FLAG),
+                            int(MSG),
+                            int(STATUS),
+                        ],
+                    ),
+                    mpi.report(int(6), int(FLAG).load(ValType::I32, 0).to(ValType::F64)),
+                    mpi.report(int(7), int(MSG).load(ValType::I32, 0).to(ValType::F64)),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        let reports: Vec<f64> = result.ranks[1].reports.iter().map(|&(_, v)| v).collect();
+        assert_eq!(
+            reports,
+            vec![1.0, 1.0, 42.0, 0.0, 1.0, 43.0, 0.0, 0.0],
+            "flag, handle, payload, nulled, reused handle, payload, miss flag, miss handle"
+        );
+    }
+
+    /// The master/worker idiom the tentpole exists for: `MPI_Probe` +
+    /// `MPI_Get_count` sizing a dynamic receive.
+    #[test]
+    fn probe_get_count_drives_dynamic_receive() {
+        const STATUS: i32 = 256;
+        const CNT: i32 = 288;
+        const N: i32 = 5;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let i = Var::new(f, ValType::I32);
+            let count = Var::new(f, ValType::I32);
+            let sum = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(0)),
+                &[
+                    // N ints, values 7·i — the receiver learns N only by
+                    // probing.
+                    for_range(i, int(0), int(N), &[store(
+                        int(layout::SEND_BUF) + i.get() * int(4),
+                        0,
+                        i.get() * int(7),
+                    )]),
+                    mpi.send(int(layout::SEND_BUF), int(N), MPI_INT, int(1), int(3)),
+                ],
+                &[
+                    mpi.probe(int(0), int(3), int(STATUS)),
+                    call_drop(mpi.get_count, vec![int(STATUS), int(MPI_INT), int(CNT)]),
+                    count.set(int(CNT).load(ValType::I32, 0)),
+                    mpi.recv(int(layout::RECV_BUF), count.get(), MPI_INT, int(0), int(3)),
+                    sum.set(int(0)),
+                    for_range(i, int(0), count.get(), &[sum.set(
+                        sum.get()
+                            + (int(layout::RECV_BUF) + i.get() * int(4)).load(ValType::I32, 0),
+                    )]),
+                    mpi.report(int(0), count.get().to(ValType::F64)),
+                    mpi.report(int(1), sum.get().to(ValType::F64)),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        let expected_sum: i32 = (0..N).map(|k| k * 7).sum();
+        assert_eq!(
+            result.ranks[1].reports,
+            vec![(0, N as f64), (1, expected_sum as f64)]
+        );
+    }
+
+    /// `MPI_Cancel` + `MPI_Test_cancelled` on an unmatched send: the
+    /// rendezvous-sized Isend is retracted (the peer observes nothing),
+    /// the Wait surfaces the cancelled status, and the handle word nulls.
+    #[test]
+    fn cancel_unmatched_send_reports_test_cancelled() {
+        const BYTES: i32 = 256 << 10; // above every eager threshold
+        const STATUS: i32 = 256;
+        const FLAG: i32 = 288;
+        let req = layout::SCRATCH + 16;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(1)),
+                &[
+                    mpi.isend_nb(int(layout::SEND_BUF), int(BYTES), MPI_BYTE, int(0), 5, int(req)),
+                    mpi.cancel(int(req)),
+                    call_drop(mpi.wait, vec![int(req), int(STATUS)]),
+                    mpi.test_cancelled(int(STATUS), int(FLAG)),
+                    mpi.report(int(0), int(FLAG).load(ValType::I32, 0).to(ValType::F64)),
+                    mpi.report(int(1), int(req).load(ValType::I32, 0).to(ValType::F64)),
+                    // Only now may the peer look for the absence.
+                    mpi.send(int(layout::SEND_BUF), int(0), MPI_BYTE, int(0), int(9)),
+                ],
+                &[
+                    mpi.recv(int(layout::RECV_BUF), int(0), MPI_BYTE, int(1), int(9)),
+                    // The cancelled message never existed for us.
+                    mpi.iprobe(int(1), int(5), int(FLAG), int(STATUS)),
+                    mpi.report(int(0), int(FLAG).load(ValType::I32, 0).to(ValType::F64)),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(
+            result.ranks[1].reports,
+            vec![(0, 1.0), (1, 0.0)],
+            "cancelled flag set, request handle nulled"
+        );
+        assert_eq!(result.ranks[0].reports, vec![(0, 0.0)], "retracted message invisible");
     }
 
     /// Collectives through the full stack, all tiers.

@@ -5,7 +5,7 @@
 //! instance; the instance's data slot holds an `Env` containing the rank's
 //! communicator table, the WASI context, and the instrumentation counters.
 
-use mpi_substrate::{Comm, MpiError, Request};
+use mpi_substrate::{Comm, MpiError, MpiMessage, Request, RequestRef, RequestTable};
 use wasi_layer::WasiCtx;
 
 use crate::translate::{handles, TranslationStats};
@@ -23,7 +23,30 @@ use crate::translate::{handles, TranslationStats};
 /// from the table when they complete and the guest's handle word is
 /// rewritten to `MPI_REQUEST_NULL`; persistent requests (from
 /// `MPI_Send_init`/`MPI_Recv_init`) stay in the table across
-/// `Start`/completion cycles until `MPI_Request_free`.
+/// `Start`/completion cycles until `MPI_Request_free`. The table itself
+/// is the substrate's lock-protected [`mpi_substrate::RequestTable`], so
+/// under `MPI_THREAD_MULTIPLE` several threads of one rank may insert,
+/// progress, and retire requests concurrently (see
+/// [`MpiState::thread_level`]).
+///
+/// # Guest message-handle encoding
+///
+/// A guest `MPI_Message` (from `MPI_Mprobe`/`MPI_Improbe`) is an `i32`
+/// handle into this rank's message table with the same shape: handle
+/// `h ≥ 1` maps to slot `h - 1`, `0` is `MPI_MESSAGE_NULL`. Each slot
+/// owns a substrate [`mpi_substrate::MpiMessage`] — a message atomically
+/// *extracted* from the pending queue at probe time, so no concurrent
+/// receive can steal it. `MPI_Mrecv`/`MPI_Imrecv` consume the slot and
+/// rewrite the guest's handle word to `MPI_MESSAGE_NULL`.
+///
+/// # Guest thread-level encoding
+///
+/// `MPI_Init_thread`'s `required`/`provided` use the standard ordering
+/// `MPI_THREAD_SINGLE(0) < FUNNELED(1) < SERIALIZED(2) < MULTIPLE(3)`.
+/// The substrate supports `MPI_THREAD_MULTIPLE` (mailbox matching and
+/// the request table are lock-protected), so `provided` is always the
+/// clamped `required`; plain `MPI_Init` records `MPI_THREAD_SINGLE`.
+/// `MPI_Query_thread` reads the recorded level back.
 ///
 /// The table stores `Request<'static>` built from raw pointers into the
 /// instance's linear memory. This is sound because the embedder pins
@@ -35,17 +58,20 @@ pub struct MpiState {
     /// Slot 0 is `MPI_COMM_WORLD`, slot 1 is `MPI_COMM_SELF`.
     comms: Vec<Option<Comm>>,
     /// Nonblocking-request table: guest handle = index + 1
-    /// (0 is `MPI_REQUEST_NULL`).
-    requests: Vec<Option<Request<'static>>>,
-    /// Requests freed by the guest while still active (`MPI_Request_free`
-    /// on an in-flight send): no handle points here anymore; they are
-    /// kept alive until the peer drains them, then dropped by
-    /// [`MpiState::progress_all`].
-    detached: Vec<Request<'static>>,
+    /// (0 is `MPI_REQUEST_NULL`). Lock-protected for thread-multiple
+    /// embedders; detached requests (freed while in flight) live inside
+    /// it until the peer drains them.
+    requests: RequestTable,
+    /// Matched-probe message table: guest handle = index + 1
+    /// (0 is `MPI_MESSAGE_NULL`).
+    messages: Vec<Option<MpiMessage>>,
     /// `MPI_Init` has been called.
     pub initialized: bool,
     /// `MPI_Finalize` has been called.
     pub finalized: bool,
+    /// Thread level granted at initialization (`MPI_Init_thread`):
+    /// `handles::MPI_THREAD_SINGLE` … `MPI_THREAD_MULTIPLE`.
+    pub thread_level: i32,
     /// Figure 6 instrumentation; populated when `instrument` is set.
     pub stats: TranslationStats,
     pub instrument: bool,
@@ -61,10 +87,11 @@ impl MpiState {
     pub fn new(world: Comm, comm_self: Comm) -> MpiState {
         MpiState {
             comms: vec![Some(world), Some(comm_self)],
-            requests: Vec::new(),
-            detached: Vec::new(),
+            requests: RequestTable::new(),
+            messages: Vec::new(),
             initialized: false,
             finalized: false,
+            thread_level: handles::MPI_THREAD_SINGLE,
             stats: TranslationStats::new(),
             instrument: false,
             wasm_call_overhead_us: 0.0,
@@ -130,42 +157,26 @@ impl MpiState {
     /// The tail is reclaimed as requests retire, bounding the table by
     /// the live-request high-water mark.
     pub fn insert_request(&mut self, req: Request<'static>) -> i32 {
-        self.requests.push(Some(req));
-        self.requests.len() as i32
+        self.requests.insert(req)
     }
 
-    /// Borrow a live request by guest handle (progress/test/start).
-    pub fn request_mut(&mut self, handle: i32) -> Result<&mut Request<'static>, MpiError> {
-        if handle <= 0 {
-            return Err(MpiError::InvalidComm(handle as u32));
-        }
-        self.requests
-            .get_mut(handle as usize - 1)
-            .and_then(|r| r.as_mut())
-            .ok_or(MpiError::InvalidComm(handle as u32))
+    /// Borrow a live request by guest handle (progress/test/start). The
+    /// returned guard holds the table lock: drop it before calling any
+    /// other request-table method (the lock is not reentrant).
+    pub fn request_mut(&self, handle: i32) -> Result<RequestRef<'_>, MpiError> {
+        self.requests.request_mut(handle)
     }
 
     /// Remove a request from the table (completion of a one-shot request,
     /// or `MPI_Request_free`). Trailing freed slots are popped so the
     /// append-only table stays bounded.
     pub fn remove_request(&mut self, handle: i32) -> Result<Request<'static>, MpiError> {
-        if handle <= 0 {
-            return Err(MpiError::InvalidComm(handle as u32));
-        }
-        let req = self
-            .requests
-            .get_mut(handle as usize - 1)
-            .and_then(|r| r.take())
-            .ok_or(MpiError::InvalidComm(handle as u32))?;
-        while self.requests.last().is_some_and(|s| s.is_none()) {
-            self.requests.pop();
-        }
-        Ok(req)
+        self.requests.remove(handle)
     }
 
     /// Number of live (unwaited) requests, for leak diagnostics.
     pub fn live_requests(&self) -> usize {
-        self.requests.iter().filter(|r| r.is_some()).count()
+        self.requests.live()
     }
 
     /// Number of table requests that need active driving (pending
@@ -173,7 +184,7 @@ impl MpiState {
     /// the completion calls' condvar-park fast path: inactive persistent
     /// handles, latched outcomes, and passive sends don't force polling.
     pub fn progress_work(&self) -> usize {
-        self.requests.iter().flatten().filter(|r| r.needs_progress()).count()
+        self.requests.progress_work()
     }
 
     /// Drive every live request one progress step. Called while a
@@ -184,13 +195,7 @@ impl MpiState {
     /// latch inside each request until its owner retrieves them.
     /// Detached requests that finished are dropped here.
     pub fn progress_all(&mut self) {
-        for req in self.requests.iter_mut().flatten() {
-            req.progress();
-        }
-        self.detached.retain_mut(|req| {
-            req.progress();
-            !req.is_complete()
-        });
+        self.requests.progress_all();
     }
 
     /// Free a request immediately (`MPI_Request_free`). In-flight sends
@@ -200,11 +205,37 @@ impl MpiState {
     /// a freed speculative receive may never match, and its message stays
     /// queued for other receives.
     pub fn detach_request(&mut self, handle: i32) -> Result<(), MpiError> {
-        let req = self.remove_request(handle)?;
-        if req.completes_passively() {
-            self.detached.push(req);
+        self.requests.detach(handle)
+    }
+
+    /// Register an extracted matched-probe message; returns its guest
+    /// handle (≥ 1; `0` is `MPI_MESSAGE_NULL`). Slot shape mirrors the
+    /// request table: freed interior slots are not reused, the freed tail
+    /// is reclaimed.
+    pub fn insert_message(&mut self, msg: MpiMessage) -> i32 {
+        self.messages.push(Some(msg));
+        self.messages.len() as i32
+    }
+
+    /// Consume a message handle (`MPI_Mrecv`/`MPI_Imrecv`).
+    pub fn take_message(&mut self, handle: i32) -> Result<MpiMessage, MpiError> {
+        if handle <= 0 {
+            return Err(MpiError::InvalidComm(handle as u32));
         }
-        Ok(())
+        let msg = self
+            .messages
+            .get_mut(handle as usize - 1)
+            .and_then(|m| m.take())
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        while self.messages.last().is_some_and(|s| s.is_none()) {
+            self.messages.pop();
+        }
+        Ok(msg)
+    }
+
+    /// Number of live (unreceived) matched-probe messages.
+    pub fn live_messages(&self) -> usize {
+        self.messages.iter().filter(|m| m.is_some()).count()
     }
 
     /// Charge the configured per-call embedder overhead to the rank's
@@ -279,6 +310,52 @@ mod tests {
             assert!(env.mpi.free_comm(handles::MPI_COMM_WORLD).is_err());
             assert!(env.mpi.free_comm(handles::MPI_COMM_SELF).is_err());
             assert!(env.mpi.free_comm(99).is_err());
+        });
+    }
+
+    #[test]
+    fn message_table_encodes_index_plus_one_and_reclaims() {
+        with_env(|env| {
+            // A self-send makes a message probe-extractable locally.
+            let comm_self = env.mpi.comm(handles::MPI_COMM_SELF).unwrap();
+            comm_self.send(b"one", 0, 1).unwrap();
+            comm_self.send(b"two", 0, 1).unwrap();
+            let (m1, _) = comm_self.improbe(mpi_substrate::ANY_SOURCE, mpi_substrate::ANY_TAG)
+                .unwrap()
+                .expect("first message pending");
+            let (m2, _) = comm_self.improbe(mpi_substrate::ANY_SOURCE, mpi_substrate::ANY_TAG)
+                .unwrap()
+                .expect("second message pending");
+            let h1 = env.mpi.insert_message(m1);
+            let h2 = env.mpi.insert_message(m2);
+            assert_eq!((h1, h2), (1, 2));
+            assert_eq!(env.mpi.live_messages(), 2);
+            assert!(env.mpi.take_message(0).is_err(), "0 is MPI_MESSAGE_NULL");
+            assert!(env.mpi.take_message(3).is_err());
+
+            let mut buf = [0u8; 3];
+            let st = env.mpi.take_message(h1).unwrap().recv(&mut buf).unwrap();
+            assert_eq!((&buf, st.bytes), (b"one", 3));
+            assert!(env.mpi.take_message(h1).is_err(), "slot consumed");
+            // Dropping the second unreceived requeues it; the emptied
+            // tail is reclaimed, so the next insert reuses handle 1.
+            drop(env.mpi.take_message(h2).unwrap());
+            assert_eq!(env.mpi.live_messages(), 0);
+            let comm_self = env.mpi.comm(handles::MPI_COMM_SELF).unwrap();
+            let (m, st) = comm_self.improbe(mpi_substrate::ANY_SOURCE, mpi_substrate::ANY_TAG)
+                .unwrap()
+                .expect("dropped message requeued");
+            assert_eq!(st.bytes, 3);
+            assert_eq!(env.mpi.insert_message(m), 1, "tail reclaimed");
+            env.mpi.take_message(1).unwrap().recv(&mut buf).unwrap();
+            assert_eq!(&buf, b"two");
+        });
+    }
+
+    #[test]
+    fn thread_level_defaults_to_single() {
+        with_env(|env| {
+            assert_eq!(env.mpi.thread_level, handles::MPI_THREAD_SINGLE);
         });
     }
 }

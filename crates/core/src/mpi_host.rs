@@ -24,8 +24,10 @@ use crate::env::Env;
 use crate::translate::{byte_len, datatype_from_handle, handles, op_from_handle};
 
 /// Guest-side `MPI_Status` layout (our `mpi.h` equivalent):
-/// `{ i32 MPI_SOURCE; i32 MPI_TAG; i32 MPI_ERROR; i32 count_bytes }`.
-pub const STATUS_SIZE: u32 = 16;
+/// `{ i32 MPI_SOURCE; i32 MPI_TAG; i32 MPI_ERROR; i32 count_bytes;
+///    i32 cancelled }`. The trailing word is the implementation-internal
+/// field `MPI_Test_cancelled` reads, as in real MPI's opaque status.
+pub const STATUS_SIZE: u32 = 20;
 
 fn env_of(data: &mut (dyn Any + Send)) -> &mut Env {
     data.downcast_mut::<Env>().expect("instance data is not an mpiwasm Env")
@@ -46,6 +48,7 @@ fn write_status(mem: &mut Memory, ptr: u32, st: &Status) -> Result<(), Trap> {
     mem.write_i32_at(ptr + 4, st.tag)?;
     mem.write_i32_at(ptr + 8, 0)?;
     mem.write_i32_at(ptr + 12, st.bytes as i32)?;
+    mem.write_i32_at(ptr + 16, st.cancelled as i32)?;
     Ok(())
 }
 
@@ -103,10 +106,15 @@ fn wait_one(
                 let target_drives = env.mpi.request_mut(handle)?.needs_progress();
                 if env.mpi.progress_work() == usize::from(target_drives) {
                     // Nothing else needs driving: park on this request's
-                    // blocking wait (condvar/slot) instead of polling.
-                    let req = env.mpi.request_mut(handle)?;
-                    let persistent = req.is_persistent();
-                    let outcome = req.wait();
+                    // blocking wait (condvar/slot) instead of polling. The
+                    // table guard is held across the park and dropped
+                    // before the handle is retired (the lock is not
+                    // reentrant); the wake-up comes from the peer's
+                    // mailbox side, which never takes our table lock.
+                    let (persistent, outcome) = {
+                        let mut req = env.mpi.request_mut(handle)?;
+                        (req.is_persistent(), req.wait())
+                    };
                     if !persistent {
                         let _ = env.mpi.remove_request(handle);
                         let _ = mem.write_i32_at(handle_ptr, handles::MPI_REQUEST_NULL);
@@ -139,9 +147,11 @@ fn try_complete(
     handle_ptr: u32,
     handle: i32,
 ) -> Result<Completion, MpiError> {
-    let req = env.mpi.request_mut(handle)?;
-    let persistent = req.is_persistent();
-    let outcome = req.test();
+    // Scope the table guard: removal below re-takes the table lock.
+    let (persistent, outcome) = {
+        let mut req = env.mpi.request_mut(handle)?;
+        (req.is_persistent(), req.test())
+    };
     let finished = !matches!(outcome, Ok(None));
     if finished && !persistent {
         let _ = env.mpi.remove_request(handle);
@@ -186,7 +196,7 @@ fn scan_slot(
 
 /// Progress one live request (outcomes latch inside it): is it complete?
 fn progress_handle(env: &mut Env, handle: i32) -> Result<bool, MpiError> {
-    let req = env.mpi.request_mut(handle)?;
+    let mut req = env.mpi.request_mut(handle)?;
     req.progress();
     Ok(req.is_complete())
 }
@@ -196,7 +206,7 @@ fn retire_handle(
     env: &mut Env,
     handle: i32,
 ) -> Result<(bool, Result<Status, MpiError>), MpiError> {
-    let req = env.mpi.request_mut(handle)?;
+    let mut req = env.mpi.request_mut(handle)?;
     let persistent = req.is_persistent();
     let outcome = req.take_result();
     Ok((persistent, outcome))
@@ -230,6 +240,34 @@ fn wait_local(
             return req.wait();
         }
         backoff(&mut spins);
+    }
+}
+
+/// Shared loop of the blocking probe host calls (`MPI_Probe`/
+/// `MPI_Mprobe`): poll the non-blocking `attempt` while the rank's
+/// request table keeps progressing — a probe may only become answerable
+/// once this rank's own pending operations drive their protocols — and
+/// fall back to `park` (the substrate's condvar-blocking form) when the
+/// table has nothing to drive, mirroring [`wait_local`]'s structure.
+fn blocking_probe<T>(
+    env: &mut Env,
+    comm_h: i32,
+    attempt: impl Fn(&Comm) -> Result<Option<T>, MpiError>,
+    park: impl Fn(&Comm) -> Result<T, MpiError>,
+) -> Result<T, MpiError> {
+    let mut spins = 0u32;
+    loop {
+        match env.mpi.comm(comm_h).and_then(&attempt) {
+            Ok(Some(hit)) => return Ok(hit),
+            Ok(None) => {
+                if env.mpi.progress_work() == 0 {
+                    return env.mpi.comm(comm_h).and_then(&park);
+                }
+                env.mpi.progress_all();
+                backoff(&mut spins);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -913,19 +951,243 @@ pub fn register_mpi(linker: &mut Linker) {
         let status_ptr = args[4].u32();
         let (mem, data) = inst.parts();
         let env = env_of(data);
-        match env.mpi.comm(comm_h) {
-            Ok(c) => {
-                match c.iprobe(source_of(src), tag_of(tag)) {
-                    Some(st) => {
-                        mem.write_i32_at(flag_ptr, 1)?;
-                        write_status(mem, status_ptr, &st)?;
-                    }
-                    None => mem.write_i32_at(flag_ptr, 0)?,
-                }
+        let probed = env
+            .mpi
+            .comm(comm_h)
+            .and_then(|c| c.iprobe(source_of(src), tag_of(tag)));
+        match probed {
+            Ok(Some(st)) => {
+                mem.write_i32_at(flag_ptr, 1)?;
+                write_status(mem, status_ptr, &st)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Ok(None) => {
+                mem.write_i32_at(flag_ptr, 0)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Err(e) => Ok(vec![Slot::from_i32(e.code())]),
         }
+    });
+
+    // MPI_Probe(source, tag, comm, status_ptr): blocking probe (see
+    // blocking_probe for the progress structure).
+    mpi_fn!(linker, "MPI_Probe", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let src = args[0].i32();
+        let tag = args[1].i32();
+        let comm_h = args[2].i32();
+        let status_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = blocking_probe(
+            env,
+            comm_h,
+            |c| c.iprobe(source_of(src), tag_of(tag)),
+            |c| c.probe(source_of(src), tag_of(tag)),
+        );
+        match r {
+            Ok(st) => {
+                write_status(mem, status_ptr, &st)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Improbe(source, tag, comm, flag_ptr, message_ptr, status_ptr):
+    // non-blocking matched probe. On a hit the message is *extracted*
+    // into the rank's message table (no concurrent receive can steal it)
+    // and its handle is written to message_ptr.
+    mpi_fn!(linker, "MPI_Improbe", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let src = args[0].i32();
+        let tag = args[1].i32();
+        let comm_h = args[2].i32();
+        let flag_ptr = args[3].u32();
+        let msg_ptr = args[4].u32();
+        let status_ptr = args[5].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let probed = env
+            .mpi
+            .comm(comm_h)
+            .and_then(|c| c.improbe(source_of(src), tag_of(tag)));
+        match probed {
+            Ok(Some((msg, st))) => {
+                let h = env.mpi.insert_message(msg);
+                mem.write_i32_at(flag_ptr, 1)?;
+                mem.write_i32_at(msg_ptr, h)?;
+                write_status(mem, status_ptr, &st)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Ok(None) => {
+                mem.write_i32_at(flag_ptr, 0)?;
+                mem.write_i32_at(msg_ptr, handles::MPI_MESSAGE_NULL)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Mprobe(source, tag, comm, message_ptr, status_ptr): blocking
+    // matched probe (see blocking_probe for the progress structure).
+    mpi_fn!(linker, "MPI_Mprobe", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let src = args[0].i32();
+        let tag = args[1].i32();
+        let comm_h = args[2].i32();
+        let msg_ptr = args[3].u32();
+        let status_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = blocking_probe(
+            env,
+            comm_h,
+            |c| c.improbe(source_of(src), tag_of(tag)),
+            |c| c.mprobe(source_of(src), tag_of(tag)),
+        );
+        match r {
+            Ok((msg, st)) => {
+                let h = env.mpi.insert_message(msg);
+                mem.write_i32_at(msg_ptr, h)?;
+                write_status(mem, status_ptr, &st)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Mrecv(buf, count, datatype, message_ptr, status_ptr): receive a
+    // matched-probe message. Never blocks — the message was extracted at
+    // probe time; only the delivery (copy, clock charge, rendezvous
+    // completion) runs. The guest's message handle word is rewritten to
+    // MPI_MESSAGE_NULL exactly when the message was consumed: a
+    // translation failure *before* the message is taken leaves the handle
+    // live (the guest can still Mrecv it, and the extracted message is
+    // not stranded in the table with its sender parked on a handshake);
+    // truncation consumes the message, so it nulls like a success.
+    mpi_fn!(linker, "MPI_Mrecv", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let msg_ptr = args[3].u32();
+        let status_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let handle = mem.read_i32_at(msg_ptr)?;
+        if handle == handles::MPI_MESSAGE_NULL {
+            let _ = write_status(mem, status_ptr, &Status::empty());
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+        }
+        let r = match translate_instrumented(env, count, dt_h) {
+            Ok((_dt, bytes)) => match mem.slice_mut(buf, bytes) {
+                Ok(view) => env.mpi.take_message(handle).map(|msg| msg.recv(view)),
+                Err(_) => {
+                    Err(MpiError::BadCount { bytes: bytes as usize, type_size: 1 })
+                }
+            },
+            Err(e) => Err(e),
+        };
+        match r {
+            Ok(received) => {
+                // The message was consumed (delivered, or truncated with
+                // the handshake completed): null the handle either way.
+                mem.write_i32_at(msg_ptr, handles::MPI_MESSAGE_NULL)?;
+                match received {
+                    Ok(st) => {
+                        write_status(mem, status_ptr, &st)?;
+                        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+                    }
+                    Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+                }
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Imrecv(buf, count, datatype, message_ptr, request_ptr): the
+    // nonblocking matched receive — converts the message handle into a
+    // request handle (completable on its first progress step).
+    mpi_fn!(linker, "MPI_Imrecv", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let msg_ptr = args[3].u32();
+        let req_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let handle = mem.read_i32_at(msg_ptr)?;
+        if handle == handles::MPI_MESSAGE_NULL {
+            mem.write_i32_at(req_ptr, handles::MPI_REQUEST_NULL)?;
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+        }
+        let req = (|| {
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_mut_ptr(), view.len());
+            let msg = env.mpi.take_message(handle)?;
+            Ok(unsafe { msg.imrecv_raw(ptr, len) })
+        })();
+        if req.is_ok() {
+            mem.write_i32_at(msg_ptr, handles::MPI_MESSAGE_NULL)?;
+        }
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Cancel(request_ptr): mark for cancellation. A pending send
+    // still queued unmatched at the destination is retracted; a posted
+    // unmatched receive is unposted; anything already matched completes
+    // normally. Completion (Wait/Test) still retires the request, with
+    // the outcome surfaced through MPI_Test_cancelled.
+    mpi_fn!(linker, "MPI_Cancel", (I32) -> I32, |inst, args: &[Slot]| {
+        let req_ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let handle = mem.read_i32_at(req_ptr)?;
+        if handle <= 0 {
+            return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+        }
+        let r = env.mpi.request_mut(handle).map(|mut req| req.cancel());
+        Ok(code(r))
+    });
+
+    // MPI_Test_cancelled(status_ptr, flag_ptr)
+    mpi_fn!(linker, "MPI_Test_cancelled", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let status_ptr = args[0].u32();
+        let flag_ptr = args[1].u32();
+        let mem = &mut inst.memory;
+        let cancelled = mem.read_i32_at(status_ptr + 16)?;
+        mem.write_i32_at(flag_ptr, (cancelled != 0) as i32)?;
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+    });
+
+    // MPI_Init_thread(argc, argv, required, provided_ptr): the substrate
+    // is MPI_THREAD_MULTIPLE-clean (lock-protected mailbox matching and
+    // request table), so the granted level is simply the clamped request.
+    mpi_fn!(linker, "MPI_Init_thread", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let required = args[2].i32();
+        let provided_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.initialized = true;
+        env.mpi.thread_level =
+            required.clamp(handles::MPI_THREAD_SINGLE, handles::MPI_THREAD_MULTIPLE);
+        env.mpi.charge_wasm_overhead();
+        mem.write_i32_at(provided_ptr, env.mpi.thread_level)?;
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+    });
+
+    // MPI_Query_thread(provided_ptr)
+    mpi_fn!(linker, "MPI_Query_thread", (I32) -> I32, |inst, args: &[Slot]| {
+        let provided_ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        mem.write_i32_at(provided_ptr, env.mpi.thread_level)?;
+        Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
     // MPI_Type_size(datatype, size_ptr)
@@ -1075,7 +1337,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         let handle = mem.read_i32_at(req_ptr)?;
-        let r = env.mpi.request_mut(handle).and_then(|req| req.start());
+        let r = env.mpi.request_mut(handle).and_then(|mut req| req.start());
         Ok(code(r))
     });
 
@@ -1117,20 +1379,40 @@ pub fn register_mpi(linker: &mut Linker) {
             // still arrive. Only active nonblocking collectives — which
             // MPI-3 §5.12 forbids freeing — are driven to completion
             // rather than corrupting the schedule for every peer.
+            enum Step {
+                Detach,
+                Retired,
+                Pending,
+            }
             let mut spins = 0u32;
             loop {
-                let req = env.mpi.request_mut(handle)?;
-                if req.safe_to_detach() || req.completes_passively() {
-                    env.mpi.detach_request(handle)?;
-                    return Ok(());
+                // Scope the table guard: detach/progress_all below re-take
+                // the table lock.
+                let step = {
+                    let mut req = env.mpi.request_mut(handle)?;
+                    if req.safe_to_detach() || req.completes_passively() {
+                        Step::Detach
+                    } else {
+                        req.progress();
+                        if req.is_complete() {
+                            let _ = req.take_result();
+                            Step::Retired
+                        } else {
+                            Step::Pending
+                        }
+                    }
+                };
+                match step {
+                    Step::Detach => {
+                        env.mpi.detach_request(handle)?;
+                        return Ok(());
+                    }
+                    Step::Retired => break,
+                    Step::Pending => {
+                        env.mpi.progress_all();
+                        backoff(&mut spins);
+                    }
                 }
-                req.progress();
-                if req.is_complete() {
-                    let _ = req.take_result();
-                    break;
-                }
-                env.mpi.progress_all();
-                backoff(&mut spins);
             }
             env.mpi.remove_request(handle)?;
             Ok(())

@@ -56,9 +56,18 @@ pub mod handles {
     pub const MPI_STATUSES_IGNORE: i32 = 0;
     /// Null request handle (`MPI_REQUEST_NULL`).
     pub const MPI_REQUEST_NULL: i32 = 0;
+    /// Null matched-probe message handle (`MPI_MESSAGE_NULL`).
+    pub const MPI_MESSAGE_NULL: i32 = 0;
     /// `MPI_UNDEFINED`: no active request in a completion set.
     pub const MPI_UNDEFINED: i32 = -1;
     pub const MPI_SUCCESS: i32 = 0;
+
+    /// Thread levels for `MPI_Init_thread`/`MPI_Query_thread`, in the
+    /// standard order (`SINGLE < FUNNELED < SERIALIZED < MULTIPLE`).
+    pub const MPI_THREAD_SINGLE: i32 = 0;
+    pub const MPI_THREAD_FUNNELED: i32 = 1;
+    pub const MPI_THREAD_SERIALIZED: i32 = 2;
+    pub const MPI_THREAD_MULTIPLE: i32 = 3;
 }
 
 /// Translate a guest datatype handle to the host datatype.

@@ -1,11 +1,13 @@
 //! Communicators and point-to-point operations.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::clock::{Clock, ClockMode};
 use crate::error::MpiError;
+use crate::message::{Mailbox, Message, ProbeInfo};
 use crate::progress::{CommCtx, ProtocolSnapshot};
 use crate::request::{
     nbc_tag, CollState, IallgatherState, IallreduceState, IalltoallState, IalltoallvState,
@@ -38,6 +40,17 @@ pub struct Status {
     pub tag: i32,
     /// Received payload size in bytes (`MPI_Get_count * type size`).
     pub bytes: usize,
+    /// The operation was successfully cancelled before matching
+    /// (`MPI_Test_cancelled`). Always `false` for operations that ran to
+    /// completion.
+    pub cancelled: bool,
+}
+
+impl Status {
+    /// Status of a completed (uncancelled) operation.
+    pub fn msg(source: u32, tag: i32, bytes: usize) -> Status {
+        Status { source, tag, bytes, cancelled: false }
+    }
 }
 
 /// Tag base for internal collective traffic; user tags are expected to be
@@ -47,10 +60,16 @@ pub(crate) const COLLECTIVE_TAG_BASE: i32 = -0x4000_0000;
 /// A communicator handle. Holds the world, the group mapping communicator
 /// ranks to world ranks, this rank's position, and the rank's clock.
 ///
-/// `Comm` is `Send` (the embedder stores it inside per-instance data), but
-/// like an `MPI_Comm` it logically belongs to one rank: derived
-/// communicators share the rank's clock, and blocking calls must only be
-/// issued from the rank's own thread.
+/// `Comm` is `Send` **and** `Sync`: under `MPI_THREAD_MULTIPLE` several
+/// threads of one rank may issue point-to-point calls, probes, and
+/// request operations on a shared `&Comm` concurrently (the sequence
+/// counters are atomic and the mailbox paths take the mailbox lock). Like
+/// an `MPI_Comm` it still logically belongs to one *rank* — derived
+/// communicators share the rank's clock — and MPI's own ordering rules
+/// remain the caller's burden: collectives (including the nonblocking
+/// initiations, which draw from the shared sequence counter) must be
+/// issued in one well-defined order per communicator, which means from
+/// one thread at a time.
 pub struct Comm {
     world: Arc<World>,
     id: u64,
@@ -59,12 +78,12 @@ pub struct Comm {
     rank: u32,
     clock: Arc<Mutex<Clock>>,
     /// Per-communicator sequence number for deterministic derived-comm ids.
-    derive_seq: std::cell::Cell<u64>,
+    derive_seq: AtomicU64,
     /// Nonblocking-collective sequence number: every rank issues
     /// collectives on a communicator in the same order (an MPI rule), so
     /// per-rank counters agree and give each outstanding collective its
     /// own tag.
-    nbc_seq: std::cell::Cell<u64>,
+    nbc_seq: AtomicU64,
 }
 
 impl Comm {
@@ -77,8 +96,8 @@ impl Comm {
             group,
             rank,
             clock: Arc::new(Mutex::new(Clock::new())),
-            derive_seq: std::cell::Cell::new(0),
-            nbc_seq: std::cell::Cell::new(0),
+            derive_seq: AtomicU64::new(0),
+            nbc_seq: AtomicU64::new(0),
         }
     }
 
@@ -145,9 +164,7 @@ impl Comm {
 
     /// Allocate the tag for the next nonblocking collective of `kind`.
     fn next_nbc_tag(&self, kind: i32) -> i32 {
-        let seq = self.nbc_seq.get();
-        self.nbc_seq.set(seq + 1);
-        nbc_tag(seq, kind)
+        nbc_tag(self.nbc_seq.fetch_add(1, Ordering::Relaxed), kind)
     }
 
     /// World-wide protocol counters (eager vs rendezvous traffic).
@@ -227,14 +244,111 @@ impl Comm {
         Ok(st)
     }
 
-    /// Non-blocking probe (`MPI_Iprobe`): returns the status of the first
-    /// matching pending message without receiving it. Wildcards skip
-    /// internal collective traffic, like receives do.
-    pub fn iprobe(&self, src: Source, tag: Tag) -> Option<Status> {
-        let my_world = self.group[self.rank as usize];
-        self.world.mailboxes[my_world as usize]
+    /// This rank's mailbox.
+    fn mailbox(&self) -> &Mailbox {
+        &self.world.mailboxes[self.group[self.rank as usize] as usize]
+    }
+
+    /// Charge a *successful* probe to the rank's virtual clock: observing
+    /// a message synchronizes the receiver with its arrival (`advance_to`
+    /// departure + wire time, exactly what delivery will charge — `max`,
+    /// so probe-then-receive never double-bills the wire) plus one call
+    /// overhead. Probe *misses* are free in virtual time in both the
+    /// blocking and the polling form: an `Iprobe` poll loop must not spin
+    /// simulated time forward while waiting for a peer, so the two clock
+    /// modes stay consistent (real mode charges nothing either way).
+    fn charge_probe(&self, info: &ProbeInfo) {
+        if let ClockMode::Virtual(model) = &self.world.mode {
+            let me = self.group[self.rank as usize];
+            let wire = model.profile.p2p_time(info.src_world, me, info.bytes);
+            let mut clock = self.clock.lock();
+            clock.advance_to(info.sent_at_us + wire.as_micros());
+            clock.charge(model.call_overhead_us);
+        }
+    }
+
+    fn probe_status(&self, info: &ProbeInfo) -> Status {
+        self.charge_probe(info);
+        Status::msg(info.src_in_comm, info.tag, info.bytes)
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): returns the status of the
+    /// earliest matching pending message — the one a receive posted now
+    /// would claim — without receiving it. Wildcards skip internal
+    /// collective traffic, like receives do, and messages already matched
+    /// to a posted receive are not probe-visible (real MPI semantics).
+    pub fn iprobe(&self, src: Source, tag: Tag) -> Result<Option<Status>, MpiError> {
+        if let Source::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        Ok(self
+            .mailbox()
             .peek_matching(CommCtx::matcher(self.id, src, tag))
-            .map(|(source, tag, bytes)| Status { source, tag, bytes })
+            .map(|info| self.probe_status(&info)))
+    }
+
+    /// Blocking probe (`MPI_Probe`): park until a matching message is
+    /// pending, returning its status without receiving it. The message
+    /// stays queued — but under `MPI_THREAD_MULTIPLE` another thread may
+    /// receive it first; use [`Comm::mprobe`] for the race-free form.
+    pub fn probe(&self, src: Source, tag: Tag) -> Result<Status, MpiError> {
+        if let Source::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let info = self.mailbox().wait_probe(CommCtx::matcher(self.id, src, tag))?;
+        Ok(self.probe_status(&info))
+    }
+
+    /// Non-blocking matched probe (`MPI_Improbe`): atomically *extract*
+    /// the earliest matching pending message as an [`MpiMessage`] handle.
+    /// Once extracted, no concurrent receive or probe can see the message
+    /// — only [`MpiMessage::recv`]/[`MpiMessage::imrecv`] on the returned
+    /// handle — which is what makes probe-then-receive sound under
+    /// `MPI_THREAD_MULTIPLE`. Dropping the handle unreceived requeues the
+    /// message at its original arrival position.
+    pub fn improbe(
+        &self,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Option<(MpiMessage, Status)>, MpiError> {
+        if let Source::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        match self.mailbox().try_take_matching(CommCtx::matcher(self.id, src, tag))? {
+            Some(msg) => {
+                let st = self.probe_status(&msg.probe_info());
+                Ok(Some((MpiMessage { msg: Some(msg), ctx: self.ctx() }, st)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Diagnostics/stress-test hook: panic unless this rank's mailbox
+    /// upholds the two-queue invariants (message queue in seq order, no
+    /// queued message matching any posted receive). Takes the mailbox
+    /// lock, so every snapshot it checks is one the matching paths could
+    /// have observed — safe to call concurrently with any traffic.
+    pub fn check_mailbox_invariants(&self) {
+        self.mailbox().check_invariants();
+    }
+
+    /// Blocking matched probe (`MPI_Mprobe`): park until a matching
+    /// message is pending and extract it (see [`Comm::improbe`]).
+    pub fn mprobe(&self, src: Source, tag: Tag) -> Result<(MpiMessage, Status), MpiError> {
+        if let Source::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let matcher = || CommCtx::matcher(self.id, src, tag);
+        loop {
+            // Park until something matching is queued, then race to take
+            // it: a concurrent thread's receive or probe may win, in which
+            // case we park again for the next arrival.
+            self.mailbox().wait_probe(matcher())?;
+            if let Some(msg) = self.mailbox().try_take_matching(matcher())? {
+                let st = self.probe_status(&msg.probe_info());
+                return Ok((MpiMessage { msg: Some(msg), ctx: self.ctx() }, st));
+            }
+        }
     }
 
     // --- nonblocking operations (see crate::request) --------------------
@@ -746,8 +860,7 @@ impl Comm {
         mine[4..8].copy_from_slice(&key.to_le_bytes());
         let all = self.allgather_bytes(&mine)?;
 
-        let seq = self.derive_seq.get();
-        self.derive_seq.set(seq + 1);
+        let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
         if color < 0 {
             return Ok(None);
         }
@@ -784,16 +897,15 @@ impl Comm {
             group: Arc::new(group),
             rank: new_rank,
             clock: Arc::clone(&self.clock),
-            derive_seq: std::cell::Cell::new(0),
-            nbc_seq: std::cell::Cell::new(0),
+            derive_seq: AtomicU64::new(0),
+            nbc_seq: AtomicU64::new(0),
         }))
     }
 
     /// Duplicate the communicator (`MPI_Comm_dup`): same group, fresh
     /// message-matching space.
     pub fn dup(&self) -> Result<Comm, MpiError> {
-        let seq = self.derive_seq.get();
-        self.derive_seq.set(seq + 1);
+        let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
         let id = self
             .id
             .wrapping_mul(0x2545_f491_4f6c_dd1d)
@@ -805,8 +917,8 @@ impl Comm {
             group: Arc::clone(&self.group),
             rank: self.rank,
             clock: Arc::clone(&self.clock),
-            derive_seq: std::cell::Cell::new(0),
-            nbc_seq: std::cell::Cell::new(0),
+            derive_seq: AtomicU64::new(0),
+            nbc_seq: AtomicU64::new(0),
         })
     }
 
@@ -816,6 +928,82 @@ impl Comm {
         let mut out = vec![0u8; bytes.len() * self.size() as usize];
         self.allgather(bytes, &mut out)?;
         Ok(out)
+    }
+}
+
+/// A message extracted from the pending queue by a matched probe
+/// (`MPI_Message`, from [`Comm::mprobe`]/[`Comm::improbe`]).
+///
+/// The handle *owns* the message: no receive, probe, or wildcard on the
+/// communicator can see it anymore, so the eventual
+/// [`MpiMessage::recv`]/[`MpiMessage::imrecv`] is immune to being raced —
+/// the property `MPI_Mprobe` exists for. Dropping the handle without
+/// receiving requeues the message at its original arrival position
+/// (re-offering it to posted receives first), so an abandoned probe never
+/// loses or reorders anyone's data.
+pub struct MpiMessage {
+    msg: Option<Message>,
+    ctx: CommCtx,
+}
+
+impl MpiMessage {
+    /// The extracted message's status (source, tag, payload size).
+    pub fn status(&self) -> Status {
+        let m = self.msg.as_ref().expect("message already received");
+        Status::msg(m.src_in_comm, m.tag, m.payload.len())
+    }
+
+    /// Blocking matched receive (`MPI_Mrecv`): deliver the payload into
+    /// `buf`. Never actually blocks — the message is already here; only
+    /// the delivery (payload copy, virtual-clock charge, rendezvous
+    /// completion) runs. Truncation consumes the message and completes
+    /// any handshake, as `MPI_Recv` does.
+    pub fn recv(mut self, buf: &mut [u8]) -> Result<Status, MpiError> {
+        let msg = self.msg.take().expect("message already received");
+        let (st, _) = self.ctx.deliver(msg, Some(buf))?;
+        Ok(st)
+    }
+
+    /// Matched receive into an owned buffer (size from the message).
+    pub fn recv_vec(mut self) -> Result<(Vec<u8>, Status), MpiError> {
+        let msg = self.msg.take().expect("message already received");
+        let (st, data) = self.ctx.deliver(msg, None)?;
+        Ok((data.expect("owned delivery"), st))
+    }
+
+    /// Nonblocking matched receive (`MPI_Imrecv`): a request that delivers
+    /// this message into `buf` when progressed. The request is complete on
+    /// its first progress step (the match already happened); dropping it
+    /// undelivered requeues the message.
+    pub fn imrecv(mut self, buf: &mut [u8]) -> Request<'_> {
+        let msg = self.msg.take().expect("message already received");
+        Request::recv_matched(self.ctx.clone(), buf.as_mut_ptr(), buf.len(), msg)
+    }
+
+    /// Raw-pointer `MPI_Imrecv` for embedders.
+    ///
+    /// # Safety
+    /// As [`Comm::irecv_raw`]: `buf..buf+len` must remain valid and
+    /// unaliased until the request completes or is dropped.
+    pub unsafe fn imrecv_raw(mut self, buf: *mut u8, len: usize) -> Request<'static> {
+        let msg = self.msg.take().expect("message already received");
+        Request::recv_matched(self.ctx.clone(), buf, len, msg)
+    }
+}
+
+impl Drop for MpiMessage {
+    fn drop(&mut self) {
+        if let Some(msg) = self.msg.take() {
+            self.ctx.world.mailboxes[self.ctx.my_world() as usize].requeue(msg);
+        }
+    }
+}
+
+impl std::fmt::Debug for MpiMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiMessage")
+            .field("received", &self.msg.is_none())
+            .finish()
     }
 }
 
@@ -926,9 +1114,10 @@ mod tests {
             } else {
                 let mut sync = [0u8; 0];
                 comm.recv(&mut sync, Source::Rank(0), Tag::Value(10)).unwrap();
-                let st = comm.iprobe(Source::Any, Tag::Value(9)).unwrap();
+                let st = comm.iprobe(Source::Any, Tag::Value(9)).unwrap().unwrap();
                 assert_eq!(st.bytes, 3);
-                assert!(comm.iprobe(Source::Any, Tag::Value(99)).is_none());
+                assert!(comm.iprobe(Source::Any, Tag::Value(99)).unwrap().is_none());
+                assert!(comm.iprobe(Source::Rank(7), Tag::Any).is_err(), "rank checked");
                 let mut buf = [0u8; 3];
                 comm.recv(&mut buf, Source::Rank(0), Tag::Value(9)).unwrap();
             }

@@ -81,9 +81,25 @@
 //!   the host machine are produced (the paper's 768- and 6144-rank
 //!   figures).
 //!
+//! # Queue introspection, cancellation, threads
+//!
+//! `Probe`/`Iprobe` report the earliest matching *queued* message
+//! (messages claimed by posted receives are not probe-visible, as in
+//! real MPI); `Mprobe`/`Improbe` atomically extract the match as an
+//! [`MpiMessage`] handle that only `Mrecv`/`Imrecv` on that handle can
+//! receive — the race-free form. [`request::Request::cancel`] retracts a
+//! still-unmatched send (or unposts an unmatched receive) and surfaces
+//! the outcome through [`comm::Status::cancelled`]. The substrate is
+//! `MPI_THREAD_MULTIPLE`-clean: [`Comm`] is `Sync`, mailbox matching
+//! runs under one lock per mailbox, and [`RequestTable`] gives
+//! embedders a lock-protected per-rank request table safe for
+//! concurrent posters/probers/progressors.
+//!
 //! The public API mirrors the subset of MPI-2.2 the paper's benchmarks
 //! exercise: `Send`/`Recv`/`Sendrecv` with tags, wildcards and `Status`,
-//! the nonblocking and persistent point-to-point surface, the collectives
+//! probing (`Probe`/`Iprobe`/`Mprobe`/`Improbe`/`Mrecv`/`Imrecv`) and
+//! cancellation, the nonblocking and persistent point-to-point surface,
+//! the collectives
 //! `Barrier`/`Bcast`/`Reduce`/`Allreduce`/`Gather`/`Allgather`/`Scatter`/
 //! `Alltoall`/`Alltoallv` plus the full nonblocking family
 //! (`Ibarrier`/`Ibcast`/`Ireduce`/`Iallreduce`/`Igather`/`Iscatter`/
@@ -98,14 +114,16 @@ pub mod error;
 pub(crate) mod message;
 pub mod progress;
 pub mod request;
+pub mod table;
 pub mod world;
 
 pub use clock::ClockMode;
-pub use comm::{Comm, Source, Status, Tag};
+pub use comm::{Comm, MpiMessage, Source, Status, Tag};
 pub use datatype::{Datatype, ReduceOp};
 pub use error::MpiError;
 pub use progress::{ProtocolConfig, ProtocolSnapshot};
 pub use request::{Request, TestAny};
+pub use table::{RequestRef, RequestTable};
 pub use world::{run_world, run_world_with, run_world_with_protocol, World};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).

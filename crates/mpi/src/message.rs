@@ -116,6 +116,29 @@ impl Message {
                 Tag::Value(t) => self.tag == t,
             }
     }
+
+    pub(crate) fn probe_info(&self) -> ProbeInfo {
+        ProbeInfo {
+            src_in_comm: self.src_in_comm,
+            tag: self.tag,
+            bytes: self.payload.len(),
+            sent_at_us: self.sent_at_us,
+            src_world: self.src_world,
+        }
+    }
+}
+
+/// Everything a probe learns about a queued message without dequeuing it:
+/// the `Status` fields plus the timing identity the virtual clock needs to
+/// charge the observation consistently with a later delivery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProbeInfo {
+    pub src_in_comm: u32,
+    pub tag: i32,
+    pub bytes: usize,
+    /// Sender's virtual clock at departure, µs (0 in real-clock mode).
+    pub sent_at_us: f64,
+    pub src_world: u32,
 }
 
 // --- posted receives -----------------------------------------------------
@@ -155,6 +178,20 @@ impl RecvEntry {
             src,
             tag,
             state: Mutex::new(EntryState::Posted),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// An entry born already holding its message: the receive half of a
+    /// matched probe (`MPI_Imrecv`). Never registered with a mailbox —
+    /// matching happened at the probe — but cancelling it requeues the
+    /// message exactly like a matched posted receive.
+    pub fn prematched(msg: Message) -> Arc<RecvEntry> {
+        Arc::new(RecvEntry {
+            comm_id: msg.comm_id,
+            src: Source::Rank(msg.src_in_comm),
+            tag: Tag::Value(msg.tag),
+            state: Mutex::new(EntryState::Matched(msg)),
             ready: Condvar::new(),
         })
     }
@@ -460,13 +497,126 @@ impl Mailbox {
 
     /// Non-blocking variant: check without waiting (used by `Iprobe`).
     /// Messages already matched to a posted receive are consumed and thus
-    /// no longer probe-visible, as in real MPI.
-    pub fn peek_matching(&self, mut matches: impl FnMut(&Message) -> bool) -> Option<(u32, i32, usize)> {
+    /// no longer probe-visible, as in real MPI. The earliest (lowest-seq)
+    /// matching queued message is reported, the same one a receive posted
+    /// at this instant would claim.
+    pub fn peek_matching(
+        &self,
+        mut matches: impl FnMut(&Message) -> bool,
+    ) -> Option<ProbeInfo> {
         let q = self.queue.lock();
-        q.messages
-            .iter()
-            .find(|m| matches(m))
-            .map(|m| (m.src_in_comm, m.tag, m.payload.len()))
+        q.messages.iter().find(|m| matches(m)).map(Message::probe_info)
+    }
+
+    /// Blocking probe: park until a matching message is *queued* (a
+    /// message claimed by a posted receive is never probe-visible) or the
+    /// world shuts down. The message stays in the queue.
+    pub fn wait_probe(
+        &self,
+        mut matches: impl FnMut(&Message) -> bool,
+    ) -> Result<ProbeInfo, MpiError> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(m) = q.messages.iter().find(|m| matches(m)) {
+                return Ok(m.probe_info());
+            }
+            if q.shutdown {
+                return Err(MpiError::WorldShutdown);
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Retract a queued-but-unmatched rendezvous/deferred send whose RTS
+    /// carries `slot` (send-side `MPI_Cancel`). Atomic with matching: the
+    /// message is either still in the queue here — removed, so no receive
+    /// can ever see it — or it already matched a posted entry / was taken,
+    /// in which case the send is past the point of cancellation and `false`
+    /// is returned. Dropping the removed message fails the slot via
+    /// [`RtsPayload::drop`], which is harmless: the canceller owns the
+    /// request and never waits on a retracted slot.
+    pub fn retract_rendezvous(&self, slot: &Arc<RendezvousSlot>) -> bool {
+        let mut q = self.queue.lock();
+        let pos = q.messages.iter().position(|m| {
+            matches!(&m.payload, Payload::Rendezvous(rts) if Arc::ptr_eq(&rts.0, slot))
+        });
+        match pos {
+            Some(pos) => {
+                let msg = self.remove_at(&mut q, pos);
+                drop(q);
+                drop(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpost a still-unmatched receive (receive-side `MPI_Cancel`):
+    /// removes the entry from the posted queue iff no arrival has matched
+    /// it yet. Returns `false` when the entry already holds (or delivered)
+    /// a message — the receive is past cancellation and completes
+    /// normally, per MPI.
+    pub fn try_unpost(&self, entry: &Arc<RecvEntry>) -> bool {
+        let mut q = self.queue.lock();
+        if let Some(pos) = q.posted.iter().position(|e| Arc::ptr_eq(e, entry)) {
+            q.posted.remove(pos);
+            drop(q);
+            let mut st = entry.state.lock();
+            debug_assert!(matches!(*st, EntryState::Posted));
+            *st = EntryState::Cancelled;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return a message removed by a matched probe (`Improbe`) that was
+    /// never received (the `MpiMessage` was dropped): re-offer it to the
+    /// posted entries — upholding the no-queued-match invariant — and
+    /// otherwise reinsert it at its original arrival position, exactly
+    /// like cancelling a matched posted receive.
+    pub fn requeue(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        if q.shutdown {
+            return; // dropping the message fails any rendezvous slot
+        }
+        if let Some(next) = Self::claim_posted(&mut q, &msg) {
+            next.fulfill(msg);
+            return;
+        }
+        if let Payload::Eager(data) = &msg.payload {
+            q.eager_bytes += data.len();
+        }
+        let at = q.messages.partition_point(|m| m.seq < msg.seq);
+        q.messages.insert(at, msg);
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Panic unless the two-queue invariants hold: the message queue is in
+    /// strictly increasing `seq` order (no overtaking through cancel or
+    /// matched-probe requeues) and no queued message matches any posted
+    /// entry. A diagnostics hook for the thread-multiple stress tests; it
+    /// takes the mailbox lock, so every snapshot it sees is one the
+    /// matching paths could have observed.
+    pub fn check_invariants(&self) {
+        let q = self.queue.lock();
+        for pair in 0..q.messages.len().saturating_sub(1) {
+            assert!(
+                q.messages[pair].seq < q.messages[pair + 1].seq,
+                "message queue out of seq order at {pair}"
+            );
+        }
+        for (i, m) in q.messages.iter().enumerate() {
+            for (j, e) in q.posted.iter().enumerate() {
+                assert!(
+                    !e.matches(m),
+                    "queued message {i} (src {}, tag {}) matches posted entry {j}",
+                    m.src_in_comm,
+                    m.tag
+                );
+            }
+        }
     }
 
     pub fn shutdown(&self) {
@@ -568,8 +718,119 @@ mod tests {
         let mb = Mailbox::default();
         push(&mb, msg(2, 5, b"abc"));
         let peeked = mb.peek_matching(|m| m.tag == 5).unwrap();
-        assert_eq!(peeked, (2, 5, 3));
+        assert_eq!((peeked.src_in_comm, peeked.tag, peeked.bytes), (2, 5, 3));
         assert!(mb.take_matching(|m| m.tag == 5).is_some());
+    }
+
+    #[test]
+    fn peek_reports_earliest_matching_seq() {
+        let mb = Mailbox::default();
+        push(&mb, msg(0, 9, b"zero"));
+        push(&mb, msg(1, 5, b"one"));
+        push(&mb, msg(2, 5, b"two"));
+        // Probe skips the non-matching head and reports the earliest
+        // tag-5 arrival — the message a receive posted now would claim.
+        let peeked = mb.peek_matching(|m| m.tag == 5).unwrap();
+        assert_eq!(peeked.src_in_comm, 1);
+        assert_eq!(peeked.bytes, 3);
+    }
+
+    #[test]
+    fn wait_probe_blocks_until_arrival_and_leaves_message() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.wait_probe(|m| m.tag == 3));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        push(&mb, msg(4, 3, b"late"));
+        let info = t.join().unwrap().unwrap();
+        assert_eq!((info.src_in_comm, info.tag, info.bytes), (4, 3, 4));
+        // The probed message is still receivable.
+        assert_eq!(data(&mb.take_matching(|m| m.tag == 3).unwrap()), b"late");
+    }
+
+    #[test]
+    fn wait_probe_unblocks_on_shutdown() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.wait_probe(|_| false));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.shutdown();
+        assert!(matches!(t.join().unwrap(), Err(MpiError::WorldShutdown)));
+    }
+
+    #[test]
+    fn try_unpost_only_wins_before_a_match() {
+        let mb = Mailbox::default();
+        let entry = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&entry);
+        assert!(mb.try_unpost(&entry), "unmatched entry unposts");
+        // A second attempt finds nothing.
+        assert!(!mb.try_unpost(&entry));
+
+        let matched = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&matched);
+        push(&mb, msg(0, 1, b"taken"));
+        // The arrival already parked in the entry: cancellation loses.
+        assert!(!mb.try_unpost(&matched));
+        assert_eq!(data(&matched.poll().unwrap().unwrap()), b"taken");
+    }
+
+    #[test]
+    fn requeue_restores_arrival_position_and_rematches() {
+        let mb = Mailbox::default();
+        push(&mb, msg(0, 1, b"first"));
+        push(&mb, msg(0, 1, b"second"));
+        let early = mb.take_matching(|m| m.tag == 1).unwrap();
+        assert_eq!(data(&early), b"first");
+        mb.requeue(early);
+        mb.check_invariants();
+        // Arrival order is restored: "first" is taken again first.
+        assert_eq!(data(&mb.take_matching(|m| m.tag == 1).unwrap()), b"first");
+
+        // A requeue against a posted entry must fulfill it, not queue past
+        // its condvar.
+        let entry = RecvEntry::new(0, Source::Rank(0), Tag::Value(1));
+        let taken = mb.take_matching(|m| m.tag == 1).unwrap();
+        mb.post_recv(&entry);
+        mb.requeue(taken);
+        mb.check_invariants();
+        assert_eq!(data(&entry.poll().unwrap().expect("rematched")), b"second");
+    }
+
+    #[test]
+    fn retract_removes_only_queued_unmatched_rts() {
+        let mb = Mailbox::default();
+        let slot = RendezvousSlot::for_owned(b"payload".to_vec().into());
+        push(
+            &mb,
+            Message {
+                src_in_comm: 0,
+                tag: 2,
+                comm_id: 0,
+                payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
+                sent_at_us: 0.0,
+                src_world: 0,
+                seq: 0,
+            },
+        );
+        assert!(mb.retract_rendezvous(&slot), "queued RTS is retractable");
+        assert!(mb.peek_matching(|_| true).is_none(), "message is gone");
+        assert!(!mb.retract_rendezvous(&slot), "second retract finds nothing");
+        // The dropped message failed the slot; a (non-cancelling) waiter
+        // would observe the failure rather than hanging.
+        assert!(slot.wait_done().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "matches posted entry")]
+    fn invariant_checker_detects_queued_match() {
+        let mb = Mailbox::default();
+        push(&mb, msg(0, 1, b"x"));
+        // Force a violation: a posted entry added behind the checker's
+        // back (bypassing post_recv's claim step).
+        let entry = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.queue.lock().posted.push_back(entry);
+        mb.check_invariants();
     }
 
     #[test]

@@ -105,6 +105,15 @@ pub struct ProtocolStats {
     /// fast path: no mailbox buffering, no eager credit; a rendezvous RTS
     /// matched this way is answerable straight into the posted buffer).
     pub preposted_matches: AtomicU64,
+    /// Sends successfully cancelled (`MPI_Cancel` retracting a pending
+    /// credit-deferred or unmatched rendezvous send before any receive
+    /// matched it).
+    pub cancelled_sends: AtomicU64,
+    /// RTS control messages removed from a destination queue by send-side
+    /// cancellation. Today every cancelled send retracts exactly one RTS,
+    /// so the counters move together; they are kept separate so a future
+    /// cancellable-eager path cannot silently conflate them.
+    pub retracted_rts: AtomicU64,
 }
 
 /// Point-in-time copy of [`ProtocolStats`].
@@ -116,6 +125,8 @@ pub struct ProtocolSnapshot {
     pub rendezvous_messages: u64,
     pub rendezvous_bytes: u64,
     pub preposted_matches: u64,
+    pub cancelled_sends: u64,
+    pub retracted_rts: u64,
 }
 
 impl ProtocolStats {
@@ -127,6 +138,8 @@ impl ProtocolStats {
             rendezvous_messages: self.rendezvous_messages.load(Ordering::Relaxed),
             rendezvous_bytes: self.rendezvous_bytes.load(Ordering::Relaxed),
             preposted_matches: self.preposted_matches.load(Ordering::Relaxed),
+            cancelled_sends: self.cancelled_sends.load(Ordering::Relaxed),
+            retracted_rts: self.retracted_rts.load(Ordering::Relaxed),
         }
     }
 }
@@ -483,7 +496,7 @@ impl CommCtx {
             clock.charge(model.call_overhead_us);
             recv_clock_us = clock.virtual_us;
         }
-        let status = Status { source: msg.src_in_comm, tag: msg.tag, bytes: len };
+        let status = Status::msg(msg.src_in_comm, msg.tag, len);
 
         match msg.payload {
             Payload::Eager(data) => match dst {
@@ -602,5 +615,29 @@ impl SendOp {
             slot.fail_if_posted();
             self.state = SendState::Done;
         }
+    }
+
+    /// `MPI_Cancel` on a pending send: retract the message if — and only
+    /// if — its RTS is still queued unmatched at the destination (a
+    /// credit-deferred eager send or an unanswered rendezvous). Returns
+    /// `true` when the send was retracted; `false` when it is past
+    /// cancellation (completed eagerly at initiation, or its RTS already
+    /// matched a receive) and must complete normally. Unlike
+    /// [`SendOp::cancel`], the RTS does not stay queued with a poisoned
+    /// slot: the message is *removed* under the mailbox lock, so no
+    /// receiver can ever observe the un-sent message.
+    pub fn try_cancel(&mut self, ctx: &CommCtx, dest: u32) -> bool {
+        let SendState::InFlight { slot } = &self.state else {
+            return false; // eagerly completed at initiation: unrecallable
+        };
+        let dest_world = ctx.group[dest as usize];
+        if !ctx.world.mailboxes[dest_world as usize].retract_rendezvous(slot) {
+            return false;
+        }
+        let stats = &ctx.world.stats;
+        stats.cancelled_sends.fetch_add(1, Ordering::Relaxed);
+        stats.retracted_rts.fetch_add(1, Ordering::Relaxed);
+        self.state = SendState::Done;
+        true
     }
 }

@@ -50,7 +50,7 @@ use std::sync::Arc;
 use crate::comm::{Source, Status, Tag, COLLECTIVE_TAG_BASE};
 use crate::datatype::{reduce_in_place, Datatype, ReduceOp};
 use crate::error::MpiError;
-use crate::message::RecvEntry;
+use crate::message::{Message, RecvEntry};
 use crate::progress::{CommCtx, SendOp};
 
 /// Base of the nonblocking-collective tag space, below every blocking
@@ -138,7 +138,13 @@ enum Kind {
 impl Status {
     /// The "empty" status MPI returns for null/inactive requests.
     pub fn empty() -> Status {
-        Status { source: u32::MAX, tag: -1, bytes: 0 }
+        Status::msg(u32::MAX, -1, 0)
+    }
+
+    /// The status of a successfully cancelled operation: empty fields with
+    /// the `MPI_Test_cancelled` flag set.
+    pub fn cancelled() -> Status {
+        Status { cancelled: true, ..Status::empty() }
     }
 }
 
@@ -216,6 +222,20 @@ impl<'buf> Request<'buf> {
 
     pub(crate) fn coll(ctx: CommCtx, state: CollState) -> Request<'buf> {
         Request { ctx, kind: Kind::Coll(Box::new(state)), persistent: None, _buf: PhantomData }
+    }
+
+    /// A receive whose message was already extracted by a matched probe
+    /// (`MPI_Imrecv`): the entry is born matched, so the first progress
+    /// step delivers. Dropping the request undelivered requeues the
+    /// message (the usual matched-receive cancellation path).
+    pub(crate) fn recv_matched(
+        ctx: CommCtx,
+        ptr: *mut u8,
+        len: usize,
+        msg: Message,
+    ) -> Request<'buf> {
+        let entry = RecvEntry::prematched(msg);
+        Request { ctx, kind: Kind::Recv { ptr, len, entry }, persistent: None, _buf: PhantomData }
     }
 
     // --- introspection --------------------------------------------------
@@ -318,6 +338,43 @@ impl<'buf> Request<'buf> {
         Ok(())
     }
 
+    /// `MPI_Cancel`: mark the operation for cancellation. Cancellation is
+    /// a *race against matching*, decided under the destination mailbox
+    /// lock:
+    ///
+    /// * a pending **send** whose message is still queued unmatched (a
+    ///   credit-deferred eager send or an unanswered rendezvous RTS) is
+    ///   retracted — the message is removed before any receive can see it
+    ///   (counted by `ProtocolStats::cancelled_sends`/`retracted_rts`);
+    ///   an eager send that already buffered at the destination, or a
+    ///   send whose RTS already matched, completes normally;
+    /// * a posted **receive** that no arrival has matched is unposted;
+    ///   a matched one delivers normally;
+    /// * null, inactive, completed, and collective requests are left
+    ///   untouched (MPI forbids cancelling collectives).
+    ///
+    /// Either way the request must still be completed by
+    /// `wait`/`test`/a completion set, whose `Status` reports the outcome
+    /// through [`Status::cancelled`] (`MPI_Test_cancelled`).
+    pub fn cancel(&mut self) {
+        match &mut self.kind {
+            Kind::Send { op, dest, .. } => {
+                let dest = *dest;
+                if op.try_cancel(&self.ctx, dest) {
+                    self.kind = Kind::Done(Status::cancelled());
+                }
+            }
+            Kind::Recv { entry, .. } => {
+                let mailbox =
+                    &self.ctx.world.mailboxes[self.ctx.my_world() as usize];
+                if mailbox.try_unpost(entry) {
+                    self.kind = Kind::Done(Status::cancelled());
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Drive the operation as far as possible without blocking. Completed
     /// operations transition to `Done`; failures latch in `Failed` (after
     /// cancelling any in-flight rendezvous so no dangling buffer pointer
@@ -328,7 +385,7 @@ impl<'buf> Request<'buf> {
         let outcome: Result<Option<Status>, MpiError> = match &mut self.kind {
             Kind::Null | Kind::Inactive | Kind::Done(_) | Kind::Failed(_) => return,
             Kind::Send { op, dest, tag, len } => op.poll(&self.ctx).map(|done| {
-                done.then(|| Status { source: *dest, tag: *tag, bytes: *len })
+                done.then(|| Status::msg(*dest, *tag, *len))
             }),
             Kind::Recv { ptr, len, entry } => {
                 match entry.poll() {
@@ -422,7 +479,7 @@ impl<'buf> Request<'buf> {
         // Sends park on the rendezvous slot.
         let send_outcome = match &mut self.kind {
             Kind::Send { op, dest, tag, len } => {
-                Some((op.wait(&self.ctx), Status { source: *dest, tag: *tag, bytes: *len }))
+                Some((op.wait(&self.ctx), Status::msg(*dest, *tag, *len)))
             }
             _ => None,
         };
@@ -787,7 +844,7 @@ impl IbarrierState {
         let me = ctx.rank;
         loop {
             if p == 1 || self.k >= p {
-                return Ok(Some(Status { source: me, tag: 0, bytes: 0 }));
+                return Ok(Some(Status::msg(me, 0, 0)));
             }
             let to = (me + self.k) % p;
             let from = (me + p - self.k) % p;
@@ -902,7 +959,7 @@ impl IbcastState {
             }
             self.mask >>= 1;
         }
-        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: self.len }))
+        Ok(Some(Status::msg(ctx.rank, 0, self.len)))
     }
 }
 
@@ -1086,11 +1143,7 @@ impl IallreduceState {
                         std::slice::from_raw_parts_mut(self.out, self.acc.len())
                     };
                     out.copy_from_slice(&self.acc);
-                    return Ok(Some(Status {
-                        source: me,
-                        tag: 0,
-                        bytes: self.acc.len(),
-                    }));
+                    return Ok(Some(Status::msg(me, 0, self.acc.len())));
                 }
             }
         }
@@ -1155,7 +1208,7 @@ impl IreduceState {
                 let out =
                     unsafe { std::slice::from_raw_parts_mut(self.out, self.acc.len()) };
                 out.copy_from_slice(&self.acc);
-                return Ok(Some(Status { source: me, tag: 0, bytes: self.acc.len() }));
+                return Ok(Some(Status::msg(me, 0, self.acc.len())));
             }
             if vr & self.mask == 0 {
                 let partner = vr | self.mask;
@@ -1173,7 +1226,7 @@ impl IreduceState {
                     return Ok(None);
                 }
                 self.send.reset();
-                return Ok(Some(Status { source: me, tag: 0, bytes: self.acc.len() }));
+                return Ok(Some(Status::msg(me, 0, self.acc.len())));
             }
         }
     }
@@ -1247,13 +1300,13 @@ impl IgatherState {
                 }
             }
             let total = self.n * ctx.size() as usize;
-            Ok(Some(Status { source: me, tag: 0, bytes: total }))
+            Ok(Some(Status::msg(me, 0, total)))
         } else {
             if !self.send.drive(ctx, self.sbuf, self.n, self.root, self.tag)? {
                 return Ok(None);
             }
             self.send.reset();
-            Ok(Some(Status { source: me, tag: 0, bytes: self.n }))
+            Ok(Some(Status::msg(me, 0, self.n)))
         }
     }
 }
@@ -1304,7 +1357,7 @@ impl IscatterState {
     fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
         let p = ctx.size();
         let me = ctx.rank;
-        let st = Status { source: me, tag: 0, bytes: self.n };
+        let st = Status::msg(me, 0, self.n);
         if me == self.root {
             if !self.started {
                 // Post every block so slow children drain the root's
@@ -1399,7 +1452,7 @@ impl IallgatherState {
         let n = self.n;
         loop {
             if p == 1 || self.step as usize >= p - 1 {
-                return Ok(Some(Status { source: ctx.rank, tag: 0, bytes: n * p }));
+                return Ok(Some(Status::msg(ctx.rank, 0, n * p)));
             }
             let right = ((me + 1) % p) as u32;
             let left = ((me + p - 1) % p) as u32;
@@ -1513,7 +1566,7 @@ impl IalltoallState {
         if !sends_done {
             return Ok(None);
         }
-        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: n * p }))
+        Ok(Some(Status::msg(ctx.rank, 0, n * p)))
     }
 }
 
@@ -1652,6 +1705,6 @@ impl IalltoallvState {
             return Ok(None);
         }
         let total: usize = self.rcounts.iter().sum();
-        Ok(Some(Status { source: ctx.rank, tag: 0, bytes: total }))
+        Ok(Some(Status::msg(ctx.rank, 0, total)))
     }
 }

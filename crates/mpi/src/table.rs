@@ -1,0 +1,263 @@
+//! A lock-protected per-rank request table for `MPI_THREAD_MULTIPLE`
+//! embedders.
+//!
+//! The table owns `Request<'static>` operations (raw-pointer requests
+//! whose buffers the embedder pins) behind integer handles:
+//! **handle = slot index + 1, `0` = `MPI_REQUEST_NULL`** — the encoding
+//! the Wasm guest ABI exposes. One `parking_lot`-style mutex guards the
+//! slot vector; every table operation is atomic under it, so several
+//! threads of one rank may insert, progress, test, and remove requests
+//! concurrently.
+//!
+//! # Lock ordering and blocking
+//!
+//! Table operations may take a *mailbox* lock (through
+//! `Request::progress`) while holding the table lock, never the reverse
+//! — the mailbox layer knows nothing about tables — so the lock order
+//! `table → mailbox → entry/slot` is acyclic. Blocking waits are the
+//! caller's concern: [`RequestTable::request_mut`] returns a guard that
+//! holds the table lock, so parking inside it (e.g. `Request::wait`)
+//! serializes other threads against this table for the duration. That is
+//! *correct* — receives park on their entry condvar and are woken by the
+//! sender, which never touches the receiver's table — but a
+//! multi-threaded embedder that wants concurrent progress should instead
+//! poll via [`RequestTable::progress_all`] + short `with`-style accesses,
+//! as the stress tests do.
+//!
+//! Slots are append-only while live: freed *interior* slots are never
+//! reused, and the freed tail is reclaimed on removal, bounding the
+//! table by the live-request high-water mark. Tail reclamation means a
+//! handle *value* can recur after [`RequestTable::remove`] (remove the
+//! tail, insert, and the new request gets the old number) — a handle is
+//! dead the moment `remove`/`detach` returns, and holding onto one is a
+//! caller bug, exactly as with a real `MPI_Request` after completion.
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::error::MpiError;
+use crate::request::Request;
+
+/// See the module docs.
+#[derive(Default)]
+pub struct RequestTable {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: Vec<Option<Request<'static>>>,
+    /// Requests freed while still active (`MPI_Request_free` on an
+    /// in-flight send): no handle points here anymore; they stay alive
+    /// until the peer drains them, then drop in `progress_all`.
+    detached: Vec<Request<'static>>,
+}
+
+/// Exclusive access to one live request, holding the table lock. Derefs
+/// to [`Request`]; drop it before calling any other table method from the
+/// same thread (the lock is not reentrant).
+pub struct RequestRef<'a> {
+    guard: MutexGuard<'a, Inner>,
+    idx: usize,
+}
+
+impl std::ops::Deref for RequestRef<'_> {
+    type Target = Request<'static>;
+    fn deref(&self) -> &Request<'static> {
+        self.guard.slots[self.idx].as_ref().expect("slot checked live at lookup")
+    }
+}
+
+impl std::ops::DerefMut for RequestRef<'_> {
+    fn deref_mut(&mut self) -> &mut Request<'static> {
+        self.guard.slots[self.idx].as_mut().expect("slot checked live at lookup")
+    }
+}
+
+impl RequestTable {
+    pub fn new() -> RequestTable {
+        RequestTable::default()
+    }
+
+    /// Register a pending request; returns its handle (≥ 1).
+    pub fn insert(&self, req: Request<'static>) -> i32 {
+        let mut inner = self.inner.lock();
+        inner.slots.push(Some(req));
+        inner.slots.len() as i32
+    }
+
+    fn index(handle: i32) -> Result<usize, MpiError> {
+        if handle <= 0 {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        Ok(handle as usize - 1)
+    }
+
+    /// Borrow a live request by handle (progress/test/start). The
+    /// returned guard holds the table lock — see the module docs.
+    pub fn request_mut(&self, handle: i32) -> Result<RequestRef<'_>, MpiError> {
+        let idx = Self::index(handle)?;
+        let guard = self.inner.lock();
+        if guard.slots.get(idx).is_some_and(Option::is_some) {
+            Ok(RequestRef { guard, idx })
+        } else {
+            Err(MpiError::InvalidComm(handle as u32))
+        }
+    }
+
+    /// Run `f` on a live request under the table lock (the closure form
+    /// of [`RequestTable::request_mut`], for multi-threaded callers that
+    /// must not hold the guard across other calls).
+    pub fn with<R>(
+        &self,
+        handle: i32,
+        f: impl FnOnce(&mut Request<'static>) -> R,
+    ) -> Result<R, MpiError> {
+        let mut req = self.request_mut(handle)?;
+        Ok(f(&mut req))
+    }
+
+    /// Remove a request from the table (completion of a one-shot request,
+    /// or `MPI_Request_free`). Trailing freed slots are popped so the
+    /// append-only table stays bounded.
+    pub fn remove(&self, handle: i32) -> Result<Request<'static>, MpiError> {
+        let idx = Self::index(handle)?;
+        let mut inner = self.inner.lock();
+        let req = inner
+            .slots
+            .get_mut(idx)
+            .and_then(Option::take)
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        while inner.slots.last().is_some_and(Option::is_none) {
+            inner.slots.pop();
+        }
+        Ok(req)
+    }
+
+    /// Free a request immediately (`MPI_Request_free`). In-flight sends
+    /// are parked in the detached list until the peer drains them — the
+    /// payload must still arrive ("marked for deletion on completion");
+    /// everything else (pending receives, finished requests) is dropped:
+    /// a freed speculative receive may never match, and its message stays
+    /// queued for other receives.
+    pub fn detach(&self, handle: i32) -> Result<(), MpiError> {
+        let idx = Self::index(handle)?;
+        let mut inner = self.inner.lock();
+        let req = inner
+            .slots
+            .get_mut(idx)
+            .and_then(Option::take)
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        if req.completes_passively() {
+            inner.detached.push(req);
+        }
+        while inner.slots.last().is_some_and(Option::is_none) {
+            inner.slots.pop();
+        }
+        Ok(())
+    }
+
+    /// Drive every live request one progress step (outcomes latch inside
+    /// each request until its owner retrieves them) and drop detached
+    /// requests that finished. Safe to call from any thread, concurrently
+    /// with handle operations from others — the whole sweep runs under
+    /// the table lock, so a request is never progressed by two threads at
+    /// once.
+    pub fn progress_all(&self) {
+        let mut inner = self.inner.lock();
+        for req in inner.slots.iter_mut().flatten() {
+            req.progress();
+        }
+        inner.detached.retain_mut(|req| {
+            req.progress();
+            !req.is_complete()
+        });
+    }
+
+    /// Number of live (unwaited) requests, for leak diagnostics.
+    pub fn live(&self) -> usize {
+        self.inner.lock().slots.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of table requests that need active driving (pending
+    /// receives and collectives — see `Request::needs_progress`). Gates
+    /// the completion calls' condvar-park fast path.
+    pub fn progress_work(&self) -> usize {
+        self.inner.lock().slots.iter().flatten().filter(|r| r.needs_progress()).count()
+    }
+}
+
+// Safety: `Request<'static>` is `Send` (its raw buffer pointers target
+// embedder-pinned memory) and every access to the slots goes through the
+// table mutex, so sharing the table across a rank's threads never yields
+// two concurrent `&mut` to one request.
+unsafe impl Sync for RequestTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Source, Tag};
+    use crate::world::run_world;
+
+    #[test]
+    fn handles_encode_index_plus_one_and_reclaim_tail() {
+        run_world(1, |comm| {
+            let table = RequestTable::new();
+            let mut bufs = [[0u8; 4]; 3];
+            let [b0, b1, b2] = &mut bufs;
+            let h0 = table
+                .insert(unsafe { comm.irecv_raw(b0.as_mut_ptr(), 4, Source::Any, Tag::Any) }.unwrap());
+            let h1 = table
+                .insert(unsafe { comm.irecv_raw(b1.as_mut_ptr(), 4, Source::Any, Tag::Any) }.unwrap());
+            let h2 = table
+                .insert(unsafe { comm.irecv_raw(b2.as_mut_ptr(), 4, Source::Any, Tag::Any) }.unwrap());
+            assert_eq!((h0, h1, h2), (1, 2, 3));
+            assert_eq!(table.live(), 3);
+            assert!(table.request_mut(0).is_err(), "0 is MPI_REQUEST_NULL");
+            assert!(table.request_mut(4).is_err());
+
+            // Freed interior slots are not reused...
+            table.remove(h1).unwrap().cancel();
+            assert!(table.request_mut(h1).is_err());
+            assert_eq!(table.live(), 2);
+            // ...but the freed tail is reclaimed.
+            table.remove(h2).unwrap().cancel();
+            table.remove(h0).unwrap().cancel();
+            assert_eq!(table.live(), 0);
+            let again = table
+                .insert(unsafe { comm.irecv_raw(bufs[0].as_mut_ptr(), 4, Source::Any, Tag::Any) }.unwrap());
+            assert_eq!(again, 1, "tail reclaimed down to empty");
+            table.remove(again).unwrap().cancel();
+        });
+    }
+
+    #[test]
+    fn progress_all_completes_requests_for_with_accessors() {
+        run_world(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(b"ping", 1, 7).unwrap();
+            } else {
+                let table = RequestTable::new();
+                let mut buf = [0u8; 4];
+                let h = table.insert(
+                    unsafe {
+                        comm.irecv_raw(buf.as_mut_ptr(), 4, Source::Rank(0), Tag::Value(7))
+                    }
+                    .unwrap(),
+                );
+                let mut spins = 0u32;
+                loop {
+                    table.progress_all();
+                    if table.with(h, |r| r.is_complete()).unwrap() {
+                        break;
+                    }
+                    crate::request::backoff(&mut spins);
+                }
+                let st = table.with(h, |r| r.take_result()).unwrap().unwrap();
+                assert_eq!((st.source, st.tag, st.bytes), (0, 7, 4));
+                table.remove(h).unwrap();
+                assert_eq!(table.live(), 0);
+                assert_eq!(&buf, b"ping");
+            }
+        });
+    }
+}

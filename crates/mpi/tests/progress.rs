@@ -279,6 +279,265 @@ fn wildcard_race_against_specific_post_follows_posting_order() {
     assert_eq!(wild, &payload(4, 32), "wildcard takes the second arrival");
 }
 
+// --- probing and cancellation --------------------------------------------
+
+/// `Probe` + `Iprobe` report the earliest matching pending message — the
+/// one a receive posted at that instant would claim — without consuming
+/// it, in both clock modes; in virtual mode a successful probe
+/// synchronizes the rank's clock with the message's arrival.
+#[test]
+fn probe_reports_earliest_match_without_consuming() {
+    for mode in [ClockMode::Real, virtual_mode()] {
+        let vt = matches!(mode, ClockMode::Virtual(_));
+        run_world_with(2, mode, move |comm| {
+            if comm.rank() == 0 {
+                comm.send(&payload(0, 64), 1, 9).unwrap();
+                comm.send(&payload(1, 64), 1, 5).unwrap();
+                comm.send(&[], 1, 10).unwrap(); // sync marker
+            } else {
+                let mut sync = [0u8; 0];
+                comm.recv(&mut sync, Source::Rank(0), Tag::Value(10)).unwrap();
+                // Blocking probe on tag 5 sees the *second* arrival.
+                let st = comm.probe(Source::Rank(0), Tag::Value(5)).unwrap();
+                assert_eq!((st.source, st.tag, st.bytes), (0, 5, 64));
+                assert!(!st.cancelled);
+                if vt {
+                    assert!(comm.virtual_time_us() > 0.0, "probe charged the clock");
+                }
+                // A wildcard Iprobe sees the earliest arrival (tag 9).
+                let st_any = comm.iprobe(Source::Any, Tag::Any).unwrap().unwrap();
+                assert_eq!((st_any.tag, st_any.bytes), (9, 64));
+                // Nothing was consumed: both receives still deliver.
+                let mut buf = vec![0u8; 64];
+                comm.recv(&mut buf, Source::Rank(0), Tag::Value(5)).unwrap();
+                assert_eq!(buf, payload(1, 64));
+                comm.recv(&mut buf, Source::Rank(0), Tag::Value(9)).unwrap();
+                assert_eq!(buf, payload(0, 64));
+            }
+        });
+    }
+}
+
+/// A wildcard probe must never see a message that a posted receive
+/// claimed at arrival (the no-queued-match invariant as observed through
+/// the probe window).
+#[test]
+fn wildcard_probe_skips_messages_claimed_by_posted_receives() {
+    run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 1 {
+            let mut claimed = vec![0u8; 256];
+            let mut req = comm.irecv(&mut claimed, Source::Rank(0), Tag::Value(5)).unwrap();
+            comm.send(&[1], 0, 99).unwrap(); // receive is posted
+            // Wait for the tag-6 chaser to be probe-visible; the tag-5
+            // message (sent first) must never surface in the wildcard
+            // probe, because it matched the posted receive at arrival.
+            let st = comm.probe(Source::Any, Tag::Any).unwrap();
+            assert_eq!(st.tag, 6, "claimed message leaked into the probe");
+            req.wait().unwrap();
+            drop(req);
+            assert_eq!(claimed, payload(0, 256));
+            let mut buf = vec![0u8; 32];
+            comm.recv(&mut buf, Source::Any, Tag::Value(6)).unwrap();
+        } else {
+            let mut sync = [0u8; 1];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            comm.send(&payload(0, 256), 1, 5).unwrap();
+            comm.send(&payload(1, 32), 1, 6).unwrap();
+        }
+    });
+}
+
+/// `Mprobe`/`Improbe` extract the message atomically: once probed it is
+/// invisible to every other probe and receive, `Mrecv` delivers it, and
+/// dropping the handle unreceived requeues it at its arrival position.
+#[test]
+fn matched_probe_extracts_and_drop_requeues() {
+    for mode in [ClockMode::Real, virtual_mode()] {
+        run_world_with(2, mode, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&payload(3, 128), 1, 7).unwrap();
+                comm.send(&payload(4, 128), 1, 7).unwrap();
+                comm.send(&[], 1, 10).unwrap();
+            } else {
+                let mut sync = [0u8; 0];
+                comm.recv(&mut sync, Source::Rank(0), Tag::Value(10)).unwrap();
+                let (msg, st) = comm.mprobe(Source::Rank(0), Tag::Value(7)).unwrap();
+                assert_eq!(st.bytes, 128);
+                assert_eq!(msg.status(), st);
+                // The extracted (earliest) message is gone from the queue:
+                // a wildcard probe now reports the *second* one...
+                let st2 = comm.iprobe(Source::Rank(0), Tag::Value(7)).unwrap().unwrap();
+                assert_eq!(st2.bytes, 128);
+                // ...and dropping the handle puts message 0 back at its
+                // arrival position, restoring FIFO.
+                drop(msg);
+                comm.check_mailbox_invariants();
+                let mut buf = vec![0u8; 128];
+                let st = comm.recv(&mut buf, Source::Rank(0), Tag::Value(7)).unwrap();
+                assert_eq!((st.bytes, &buf), (128, &payload(3, 128)));
+                // The remaining message delivers through Mrecv.
+                let (msg, _) = comm.mprobe(Source::Rank(0), Tag::Value(7)).unwrap();
+                let st = msg.recv(&mut buf).unwrap();
+                assert!(!st.cancelled);
+                assert_eq!(buf, payload(4, 128));
+                assert!(comm.improbe(Source::Any, Tag::Value(7)).unwrap().is_none());
+            }
+        });
+    }
+}
+
+/// `Imrecv` turns the extracted message into a request that completes on
+/// its first progress step, including for rendezvous payloads (the RTS is
+/// matched at probe time; delivery copies straight from the sender).
+#[test]
+fn imrecv_completes_rendezvous_payload() {
+    const BIG: usize = 256 << 10;
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&payload(6, BIG), 1, 4).unwrap();
+        } else {
+            let (msg, st) = comm.mprobe(Source::Rank(0), Tag::Value(4)).unwrap();
+            assert_eq!(st.bytes, BIG);
+            let mut buf = vec![0u8; BIG];
+            let mut req = msg.imrecv(&mut buf);
+            let st = req.wait().unwrap();
+            assert_eq!(st.bytes, BIG);
+            drop(req);
+            assert_eq!(buf, payload(6, BIG));
+        }
+        comm.protocol_stats()
+    });
+    let stats = out[0];
+    assert_eq!(stats.rendezvous_messages, 1, "{stats:?}");
+    assert!(stats.eager_bytes_copied < BIG as u64 / 2, "{stats:?}");
+}
+
+/// Send-side `MPI_Cancel`: an unmatched rendezvous (or credit-deferred
+/// eager) send is retracted — the receiver can never see it — and the
+/// retraction is visible in the `cancelled_sends`/`retracted_rts`
+/// counters; the request completes with `Status::cancelled` set.
+#[test]
+fn cancel_retracts_unmatched_send() {
+    for mode in [ClockMode::Real, virtual_mode()] {
+        let out = run_world_with(2, mode, |comm| {
+            if comm.rank() == 0 {
+                let big = payload(0, 256 << 10); // rendezvous in both modes
+                let mut req = comm.isend(&big, 1, 5).unwrap();
+                req.cancel();
+                let st = req.wait().unwrap();
+                assert!(st.cancelled, "unmatched send must cancel");
+                drop(req);
+                // Tell the receiver it may now look for (the absence of)
+                // the cancelled message.
+                comm.send(&[], 1, 10).unwrap();
+            } else {
+                let mut sync = [0u8; 0];
+                comm.recv(&mut sync, Source::Rank(0), Tag::Value(10)).unwrap();
+                // The retracted message is gone without a trace.
+                assert!(comm.iprobe(Source::Rank(0), Tag::Value(5)).unwrap().is_none());
+            }
+            comm.protocol_stats()
+        });
+        let stats = out[0];
+        assert_eq!(stats.cancelled_sends, 1, "{stats:?}");
+        assert_eq!(stats.retracted_rts, 1, "{stats:?}");
+    }
+}
+
+/// A credit-deferred *eager* send (the other retractable shape) cancels
+/// the same way: its sender-owned RTS is retracted and counted.
+#[test]
+fn cancel_retracts_credit_deferred_eager_send() {
+    let protocol = ProtocolConfig { eager_threshold: 1 << 20, eager_capacity: 64 };
+    let out = run_world_with_protocol(2, ClockMode::Real, protocol, |comm| {
+        if comm.rank() == 0 {
+            // First send exhausts the 64-byte budget; the second defers.
+            let a = payload(0, 60);
+            let b = payload(1, 60);
+            let mut ra = comm.isend(&a, 1, 1).unwrap();
+            let mut rb = comm.isend(&b, 1, 1).unwrap();
+            rb.cancel();
+            let st = rb.wait().unwrap();
+            assert!(st.cancelled, "deferred send must cancel");
+            drop(rb);
+            comm.send(&[], 1, 10).unwrap();
+            ra.wait().unwrap();
+        } else {
+            let mut sync = [0u8; 0];
+            comm.recv(&mut sync, Source::Rank(0), Tag::Value(10)).unwrap();
+            // Only the first (uncancelled) message remains.
+            let mut buf = vec![0u8; 60];
+            comm.recv(&mut buf, Source::Rank(0), Tag::Value(1)).unwrap();
+            assert_eq!(buf, payload(0, 60));
+            assert!(comm.iprobe(Source::Rank(0), Tag::Value(1)).unwrap().is_none());
+        }
+        comm.protocol_stats()
+    });
+    let stats = out[0];
+    assert_eq!(stats.deferred_eager_messages, 1, "{stats:?}");
+    assert_eq!(stats.cancelled_sends, 1, "{stats:?}");
+    assert_eq!(stats.retracted_rts, 1, "{stats:?}");
+}
+
+/// A send whose message already matched (pre-posted receive) or buffered
+/// eagerly is past cancellation: `cancel` is a no-op, the transfer
+/// completes normally, and no counter moves.
+#[test]
+fn cancel_after_match_completes_normally() {
+    let out = run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 0 {
+            // Wait until the peer's receive is posted, so the RTS matches
+            // at deposit and cancellation must lose.
+            let mut sync = [0u8; 0];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            let big = payload(2, 256 << 10);
+            let mut req = comm.isend(&big, 1, 5).unwrap();
+            req.cancel();
+            let st = req.wait().unwrap();
+            assert!(!st.cancelled, "matched send completes normally");
+            drop(req);
+        } else {
+            let mut buf = vec![0u8; 256 << 10];
+            let mut req = comm.irecv(&mut buf, Source::Rank(0), Tag::Value(5)).unwrap();
+            comm.send(&[], 0, 99).unwrap();
+            let st = req.wait().unwrap();
+            assert_eq!(st.bytes, 256 << 10);
+            drop(req);
+            assert_eq!(buf, payload(2, 256 << 10));
+        }
+        comm.protocol_stats()
+    });
+    assert_eq!(out[0].cancelled_sends, 0, "{:?}", out[0]);
+    assert_eq!(out[0].retracted_rts, 0, "{:?}", out[0]);
+}
+
+/// Receive-side cancel: an unmatched posted receive unposts (cancelled
+/// status), and the message it would have matched stays available to a
+/// later receive; a matched receive delivers normally.
+#[test]
+fn cancel_unmatched_receive_releases_its_slot() {
+    run_world_with(2, ClockMode::Real, |comm| {
+        if comm.rank() == 1 {
+            let mut buf = vec![0u8; 64];
+            let mut req = comm.irecv(&mut buf, Source::Rank(0), Tag::Value(3)).unwrap();
+            req.cancel();
+            let st = req.wait().unwrap();
+            assert!(st.cancelled, "unmatched receive must cancel");
+            drop(req);
+            comm.check_mailbox_invariants();
+            // The sender's message (sent after our sync) queues for the
+            // next receive instead of vanishing into the dead entry.
+            comm.send(&[], 0, 99).unwrap();
+            let st = comm.recv(&mut buf, Source::Rank(0), Tag::Value(3)).unwrap();
+            assert_eq!((st.bytes, &buf), (64, &payload(9, 64)));
+        } else {
+            let mut sync = [0u8; 0];
+            comm.recv(&mut sync, Source::Rank(1), Tag::Value(99)).unwrap();
+            comm.send(&payload(9, 64), 1, 3).unwrap();
+        }
+    });
+}
+
 // --- completion sets ----------------------------------------------------
 
 #[test]
@@ -584,6 +843,12 @@ enum RecvMode {
     Blocking,
     Irecv,
     Persistent,
+    /// Blocking `Probe` (racing a wildcard `Iprobe`) then blocking recv.
+    ProbeRecv,
+    /// Spin on `Iprobe` until the message is visible, then blocking recv.
+    IprobeRecv,
+    /// Spin on `Improbe` until extracted, then `Mrecv`.
+    ImprobeMrecv,
 }
 
 #[derive(Debug, Clone)]
@@ -594,7 +859,7 @@ struct Script {
 
 fn script_strategy() -> BoxedStrategy<Script> {
     proptest::collection::vec(
-        (any::<bool>(), 0i32..3, 0u8..3, 0u8..3, any::<bool>()),
+        (any::<bool>(), 0i32..3, 0u8..3, 0u8..6, any::<bool>()),
         1..6,
     )
     .prop_map(|raw| Script {
@@ -609,7 +874,10 @@ fn script_strategy() -> BoxedStrategy<Script> {
                 let rm = match r {
                     0 => RecvMode::Blocking,
                     1 => RecvMode::Irecv,
-                    _ => RecvMode::Persistent,
+                    2 => RecvMode::Persistent,
+                    3 => RecvMode::ProbeRecv,
+                    4 => RecvMode::IprobeRecv,
+                    _ => RecvMode::ImprobeMrecv,
                 };
                 (large, tag, sm, rm, t)
             })
@@ -738,6 +1006,61 @@ fn receiver_side(comm: &Comm, script: &Script) -> Vec<(Vec<u8>, Status)> {
                     reqs.clear();
                     statuses[i] =
                         Some(comm.recv(buf, Source::Rank(0), Tag::Value(tag)).unwrap());
+                }
+                RecvMode::ProbeRecv | RecvMode::IprobeRecv | RecvMode::ImprobeMrecv => {
+                    // Probe modes also drain posted requests first: with
+                    // every earlier message consumed, the per-sender FIFO
+                    // makes message `i` the earliest queue-visible one,
+                    // so wildcard and specific probes must agree on it.
+                    for (j, _, req) in reqs.iter_mut() {
+                        statuses[*j] = Some(req.wait().unwrap());
+                    }
+                    reqs.clear();
+                    let st = match mode {
+                        RecvMode::ProbeRecv => {
+                            // An ANY_SOURCE/ANY_TAG blocking probe races
+                            // the specific path: both must describe the
+                            // same (earliest) message.
+                            let wild = comm.probe(Source::Any, Tag::Any).unwrap();
+                            let specific =
+                                comm.probe(Source::Rank(0), Tag::Value(tag)).unwrap();
+                            assert_eq!(wild, specific, "probe disagreement at {i}");
+                            let st =
+                                comm.recv(buf, Source::Rank(0), Tag::Value(tag)).unwrap();
+                            assert_eq!(specific, st, "probe vs recv status at {i}");
+                            st
+                        }
+                        RecvMode::IprobeRecv => {
+                            let probed = loop {
+                                if let Some(st) = comm
+                                    .iprobe(Source::Rank(0), Tag::Value(tag))
+                                    .unwrap()
+                                {
+                                    break st;
+                                }
+                                std::thread::yield_now();
+                            };
+                            let st =
+                                comm.recv(buf, Source::Rank(0), Tag::Value(tag)).unwrap();
+                            assert_eq!(probed, st, "iprobe vs recv status at {i}");
+                            st
+                        }
+                        _ => {
+                            let (msg, probed) = loop {
+                                if let Some(hit) = comm
+                                    .improbe(Source::Rank(0), Tag::Value(tag))
+                                    .unwrap()
+                                {
+                                    break hit;
+                                }
+                                std::thread::yield_now();
+                            };
+                            let st = msg.recv(buf).unwrap();
+                            assert_eq!(probed, st, "improbe vs mrecv status at {i}");
+                            st
+                        }
+                    };
+                    statuses[i] = Some(st);
                 }
                 RecvMode::Irecv => {
                     let mut req =

@@ -30,6 +30,11 @@ impl TestRng {
         TestRng { state: Self::name_hash(name) }
     }
 
+    /// Seed from an explicit value (fixed-seed stress tests).
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
     fn name_hash(name: &str) -> u64 {
         let mut seed = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
@@ -111,6 +116,20 @@ impl Default for ProptestConfig {
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
+    }
+
+    /// Case count actually run: the `PROPTEST_CASES` environment variable
+    /// overrides whatever the source configured (like real proptest's
+    /// env-driven config), so CI can run the same suites at an elevated
+    /// count without a rebuild.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .expect("PROPTEST_CASES must be a u32"),
+            Err(_) => self.cases,
+        }
     }
 }
 
@@ -406,7 +425,7 @@ macro_rules! __proptest_impl {
                 let cfg: $crate::ProptestConfig = $cfg;
                 let (mut rng, seed) =
                     $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..cfg.cases {
+                for case in 0..cfg.effective_cases() {
                     $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
                     let desc = || {
                         let mut s = ::std::string::String::new();
@@ -498,6 +517,19 @@ mod tests {
         fn macro_end_to_end(x in 0i32..100, y in any::<u8>()) {
             prop_assert!(x < 100, "x was {x}");
             prop_assert_eq!(x + y as i32, y as i32 + x);
+        }
+    }
+
+    /// `PROPTEST_CASES` overrides the source-configured count (the CI
+    /// elevated-cases job depends on this). Reads the env var directly
+    /// rather than setting it: `set_var` is process-global and would race
+    /// the other tests in this binary.
+    #[test]
+    fn effective_cases_prefers_env_override() {
+        let cfg = ProptestConfig::with_cases(7);
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => assert_eq!(cfg.effective_cases(), v.trim().parse::<u32>().unwrap()),
+            Err(_) => assert_eq!(cfg.effective_cases(), 7),
         }
     }
 }
