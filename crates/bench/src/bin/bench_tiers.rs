@@ -124,6 +124,7 @@ fn main() {
                 Tier::Baseline => "baseline",
                 Tier::Optimizing => "optimizing",
                 Tier::Max => "max",
+                Tier::MaxJit => "max+jit",
             };
             println!("{:>8} {:<10} {:>12} ns/op", k.name, tier_key, ns);
             lines.push(format!(

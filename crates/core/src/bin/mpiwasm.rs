@@ -24,7 +24,7 @@ USAGE:
 
 OPTIONS:
     -np <N>          number of MPI ranks (default 1)
-    -tier <T>        execution tier: baseline | optimizing | max (default max)
+    -tier <T>        execution tier: baseline | optimizing | max | max+jit (default max)
     -d <DIR>         preopen host directory read-write as /<basename>
     -d-ro <DIR>      preopen host directory read-only as /<basename>
     -cache <DIR>     compiled-module cache directory (content-addressed)
@@ -80,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "baseline" | "singlepass" => Tier::Baseline,
                     "optimizing" | "cranelift" => Tier::Optimizing,
                     "max" | "llvm" => Tier::Max,
+                    "max+jit" | "maxjit" => Tier::MaxJit,
                     other => return Err(format!("unknown tier {other:?}")),
                 };
             }

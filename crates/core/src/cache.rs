@@ -125,6 +125,7 @@ fn tier_byte(tier: Tier) -> u8 {
         Tier::Baseline => 0,
         Tier::Optimizing => 1,
         Tier::Max => 2,
+        Tier::MaxJit => 3,
     }
 }
 
@@ -133,6 +134,7 @@ fn tier_from_byte(b: u8) -> Option<Tier> {
         0 => Tier::Baseline,
         1 => Tier::Optimizing,
         2 => Tier::Max,
+        3 => Tier::MaxJit,
         _ => return None,
     })
 }
@@ -146,7 +148,9 @@ fn tier_from_byte(b: u8) -> Option<Tier> {
 /// itself is never serialized.
 pub fn store_artifact(wasm_bytes: &[u8], compiled: &CompiledModule) -> Vec<u8> {
     let opt_level = match compiled.tier() {
-        Tier::Max => 2,
+        // MaxJit serializes exactly like Max: superblock chains are
+        // derived at load time and never hit the artifact format.
+        Tier::Max | Tier::MaxJit => 2,
         _ => 0,
     };
     let mut out = Vec::with_capacity(wasm_bytes.len() * 2);
@@ -615,6 +619,10 @@ mod tests {
             let artifact = store_artifact(&wasm, &compiled);
             let loaded = load_artifact(&artifact).unwrap();
             assert_eq!(loaded.tier(), tier);
+            // Chains are never serialized; a loaded MaxJit module rebuilds
+            // its promotion state from scratch. Promote immediately so the
+            // load path actually executes through chains (no-op otherwise).
+            loaded.set_jit_threshold(1);
             assert_eq!(run_fib(&compiled, 10), 55);
             assert_eq!(run_fib(&loaded, 10), 55, "tier {tier}");
         }

@@ -1,0 +1,117 @@
+//! Quick microbenchmark comparing Max vs MaxJit on small hot loops.
+//! Not part of the test suite — a development aid for tuning the
+//! superblock tier. Run with:
+//! `cargo run --release -p wasm-engine --example chainbench`
+
+use std::time::Instant;
+
+use wasm_engine::runtime::{CompiledModule, Linker, Value};
+use wasm_engine::{dsl, ModuleBuilder, Tier, ValType};
+
+fn time_invoke(module: &wasm_engine::Module, tier: Tier, arg: i32) -> (i64, f64) {
+    let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+    compiled.set_jit_threshold(1);
+    let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+    // Warmup promotes + compiles chains.
+    inst.invoke("run", &[Value::I32(1000)]).unwrap();
+    let mut best = f64::MAX;
+    let mut out = 0i64;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let r = inst.invoke("run", &[Value::I32(arg)]).unwrap();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = match r[0] {
+            Value::I32(v) => v as i64,
+            Value::I64(v) => v,
+            _ => 0,
+        };
+    }
+    (out, best)
+}
+
+fn bench(name: &str, module: &wasm_engine::Module, arg: i32) {
+    wasm_engine::validate_module(module).unwrap();
+    let (vmax, tmax) = time_invoke(module, Tier::Max, arg);
+    let (vjit, tjit) = time_invoke(module, Tier::MaxJit, arg);
+    assert_eq!(vmax, vjit, "{name} mismatch");
+    println!(
+        "{name:14} max {:>9.3} ms   max+jit {:>9.3} ms   ratio {:.2}x",
+        tmax * 1e3,
+        tjit * 1e3,
+        tmax / tjit
+    );
+}
+
+/// Pure i32 arithmetic loop: acc += i*i ^ (i >> 3).
+fn arith_module() -> wasm_engine::Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    b.func("run", vec![ValType::I32], vec![ValType::I32], |f| {
+        let n = dsl::local(0, ValType::I32);
+        let i = dsl::Var::new(f, ValType::I32);
+        let acc = dsl::Var::new(f, ValType::I32);
+        let stmts = vec![
+            dsl::for_range(i, dsl::int(0), n.get(), &[
+                acc.set(acc.get() + i.get() * i.get()),
+                acc.set(acc.get().xor(i.get().shr_s(dsl::int(3)))),
+            ]),
+            dsl::ret(Some(acc.get())),
+        ];
+        dsl::emit_block(f, &stmts);
+    });
+    b.finish()
+}
+
+/// Memory-heavy loop: histogram over a rolling key (npb_is-shaped).
+fn mem_module() -> wasm_engine::Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(4, Some(4));
+    b.func("run", vec![ValType::I32], vec![ValType::I32], |f| {
+        let n = dsl::local(0, ValType::I32);
+        let i = dsl::Var::new(f, ValType::I32);
+        let k = dsl::Var::new(f, ValType::I32);
+        let addr = dsl::Var::new(f, ValType::I32);
+        let stmts = vec![
+            dsl::for_range(i, dsl::int(0), n.get(), &[
+                k.set((k.get() * dsl::int(1103515245) + dsl::int(12345)).and(dsl::int(0xffff))),
+                addr.set(k.get().and(dsl::int(0x3ff)).shl(dsl::int(2))),
+                dsl::store(
+                    addr.get(),
+                    0,
+                    addr.get().load(ValType::I32, 0) + dsl::int(1),
+                ),
+            ]),
+            dsl::ret(Some(dsl::int(0).load(ValType::I32, 0))),
+        ];
+        dsl::emit_block(f, &stmts);
+    });
+    b.finish()
+}
+
+/// f64 FMA loop (hpcg-shaped dot product over memory).
+fn fma_module() -> wasm_engine::Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(4, Some(4));
+    b.func("run", vec![ValType::I32], vec![ValType::I32], |f| {
+        let n = dsl::local(0, ValType::I32);
+        let i = dsl::Var::new(f, ValType::I32);
+        let acc = dsl::Var::new(f, ValType::F64);
+        let a = dsl::Var::new(f, ValType::F64);
+        let stmts = vec![
+            dsl::for_range(i, dsl::int(0), n.get(), &[
+                a.set(i.get().and(dsl::int(0xfff)).shl(dsl::int(3)).load(ValType::F64, 0)),
+                acc.set(acc.get() + a.get() * a.get()),
+            ]),
+            dsl::ret(Some(acc.get().to(ValType::I32))),
+        ];
+        dsl::emit_block(f, &stmts);
+    });
+    b.finish()
+}
+
+fn main() {
+    let n = 20_000_000;
+    bench("arith", &arith_module(), n);
+    bench("mem", &mem_module(), n);
+    bench("fma", &fma_module(), n);
+}

@@ -45,16 +45,18 @@ struct Frame {
     base: u32,
 }
 
-/// Execution context threaded through every handler.
+/// Execution context threaded through every handler. Fields are crate
+/// visible so the superblock closure tier ([`crate::closures`]) can reuse
+/// the same register/memory access paths as the handlers.
 pub(crate) struct Ctx<'a> {
-    inst: &'a mut Instance,
-    stack: &'a mut Vec<Slot>,
+    pub(crate) inst: &'a mut Instance,
+    pub(crate) stack: &'a mut Vec<Slot>,
     bodies: &'a [CompiledBody],
     frames: Vec<Frame>,
     func: &'a RegFunc,
     code: &'a [crate::regalloc::RegOp],
     /// Absolute arena offset of the current frame's register 0.
-    base: usize,
+    pub(crate) base: usize,
     imported: u32,
     cur_idx: u32,
 }
@@ -69,7 +71,7 @@ fn flat(bodies: &[CompiledBody], idx: usize) -> &RegFunc {
 
 /// Read register `r` of the current frame.
 #[inline(always)]
-fn rg(ctx: &Ctx<'_>, r: u32) -> Slot {
+pub(crate) fn rg(ctx: &Ctx<'_>, r: u32) -> Slot {
     let i = ctx.base + r as usize;
     debug_assert!(i < ctx.stack.len(), "register read out of arena");
     unsafe { *ctx.stack.get_unchecked(i) }
@@ -77,7 +79,7 @@ fn rg(ctx: &Ctx<'_>, r: u32) -> Slot {
 
 /// Write register `r` of the current frame.
 #[inline(always)]
-fn wr(ctx: &mut Ctx<'_>, r: u32, v: Slot) {
+pub(crate) fn wr(ctx: &mut Ctx<'_>, r: u32, v: Slot) {
     let i = ctx.base + r as usize;
     debug_assert!(i < ctx.stack.len(), "register write out of arena");
     unsafe { *ctx.stack.get_unchecked_mut(i) = v }
@@ -85,12 +87,12 @@ fn wr(ctx: &mut Ctx<'_>, r: u32, v: Slot) {
 
 /// Read a wide (v128) register: two slots, low half first.
 #[inline(always)]
-fn rg2(ctx: &Ctx<'_>, r: u32) -> u128 {
+pub(crate) fn rg2(ctx: &Ctx<'_>, r: u32) -> u128 {
     rg(ctx, r).0 as u128 | (rg(ctx, r + 1).0 as u128) << 64
 }
 
 #[inline(always)]
-fn wr2(ctx: &mut Ctx<'_>, r: u32, v: u128) {
+pub(crate) fn wr2(ctx: &mut Ctx<'_>, r: u32, v: u128) {
     wr(ctx, r, Slot(v as u64));
     wr(ctx, r + 1, Slot((v >> 64) as u64));
 }
@@ -108,7 +110,7 @@ fn take(ctx: &mut Ctx<'_>, target: u32, unwind: u64) -> usize {
 
 /// Total i32 comparison eval over [`crate::ir::Cmp`] byte codes.
 #[inline(always)]
-fn ieval32(c: u8, a: i32, b: i32) -> bool {
+pub(crate) fn ieval32(c: u8, a: i32, b: i32) -> bool {
     match c {
         0 => a == b,
         1 => a != b,
@@ -124,7 +126,7 @@ fn ieval32(c: u8, a: i32, b: i32) -> bool {
 }
 
 #[inline(always)]
-fn ieval64(c: u8, a: i64, b: i64) -> bool {
+pub(crate) fn ieval64(c: u8, a: i64, b: i64) -> bool {
     match c {
         0 => a == b,
         1 => a != b,
@@ -139,7 +141,13 @@ fn ieval64(c: u8, a: i64, b: i64) -> bool {
     }
 }
 
-type Handler = for<'a> fn(&mut Ctx<'a>, usize) -> Result<usize, Trap>;
+pub(crate) type Handler = for<'a> fn(&mut Ctx<'a>, usize) -> Result<usize, Trap>;
+
+/// The interpreter handler for one opcode — the closure tier's generic
+/// fallback step for ops it does not monomorphize.
+pub(crate) fn handler(code: Rc) -> Handler {
+    HANDLERS[code as usize]
+}
 
 /// Fallthrough-op handler: body runs, then `ip + 1`.
 macro_rules! h {
@@ -570,6 +578,14 @@ h!(h_addk32, |ctx, op| {
     let r = rg(ctx, op.a).i32().wrapping_add(op.b as i32);
     wr(ctx, op.c, Slot::from_i32(r));
 });
+h!(h_cmp64k, |ctx, op| {
+    let r = ieval64(op.aux, rg(ctx, op.a).i64(), op.imm as i64);
+    wr(ctx, op.c, Slot::from_bool(r));
+});
+h!(h_addk64, |ctx, op| {
+    let r = rg(ctx, op.a).i64().wrapping_add(op.imm as i64);
+    wr(ctx, op.c, Slot::from_i64(r));
+});
 h!(h_shlk32, |ctx, op| {
     let r = rg(ctx, op.a).i32().wrapping_shl(op.aux as u32);
     wr(ctx, op.c, Slot::from_i32(r));
@@ -962,6 +978,8 @@ static HANDLERS: [Handler; 256] = {
     t[Rc::AllTrueI32x4 as usize] = h_alltruei32x4;
     t[Rc::BitmaskI32x4 as usize] = h_bitmaski32x4;
     t[Rc::Cmp32K as usize] = h_cmp32k;
+    t[Rc::AddK64 as usize] = h_addk64;
+    t[Rc::Cmp64K as usize] = h_cmp64k;
     t
 };
 
@@ -973,6 +991,9 @@ pub(crate) fn run(
     stack: &mut Vec<Slot>,
     defined_idx: usize,
 ) -> Result<usize, Trap> {
+    if let Some(jit) = inst.jit.clone() {
+        return run_jit(inst, stack, defined_idx, &jit);
+    }
     let bodies = Arc::clone(&inst.bodies);
     let bodies: &[CompiledBody] = &bodies;
     let f = flat(bodies, defined_idx);
@@ -1002,6 +1023,78 @@ pub(crate) fn run(
         if ip == DONE {
             break;
         }
+    }
+    let result_slots = ctx.func.result_slots as usize;
+    let base = ctx.base;
+    stack.truncate(base + result_slots);
+    Ok(result_slots)
+}
+
+/// The [`run`] loop variant for [`crate::tier::Tier::MaxJit`]: identical
+/// dispatch, plus
+///
+/// * hotness accounting — one event per function entry/resume and one per
+///   backward control transfer (loop iteration), so both hot call targets
+///   and hot loops inside rarely-called functions promote;
+/// * superblock chain entry — once a function is promoted, every ip that
+///   heads a compiled superblock executes the whole chain in one call and
+///   the loop resumes interpretation at whatever ip the chain bails or
+///   runs off at.
+///
+/// Chains never call or return (superblock discovery stops at calls and
+/// `Return`), so the current-function tracking only changes across
+/// interpreted ops.
+fn run_jit(
+    inst: &mut Instance,
+    stack: &mut Vec<Slot>,
+    defined_idx: usize,
+    jit: &crate::superblock::JitState,
+) -> Result<usize, Trap> {
+    let bodies = Arc::clone(&inst.bodies);
+    let bodies: &[CompiledBody] = &bodies;
+    let f = flat(bodies, defined_idx);
+    let base = stack.len() - f.param_slots as usize;
+    let need = base + f.frame_size as usize;
+    if need > inst.limits.max_value_stack {
+        return Err(Trap::StackExhausted);
+    }
+    stack.resize(need, Slot::ZERO);
+    let imported = inst.host_funcs.len() as u32;
+    let mut ctx = Ctx {
+        inst,
+        stack,
+        bodies,
+        frames: Vec::new(),
+        func: f,
+        code: &f.code,
+        base,
+        imported,
+        cur_idx: defined_idx as u32,
+    };
+    let mut cur = ctx.cur_idx;
+    let mut chains = jit.bump(cur, ctx.func);
+    let mut ip = 0usize;
+    loop {
+        if ctx.cur_idx != cur {
+            // Interpreted call or return switched functions.
+            cur = ctx.cur_idx;
+            chains = jit.bump(cur, ctx.func);
+        }
+        if let Some(ch) = &chains {
+            if let Some(chain) = ch.lookup(ip) {
+                ip = chain.run(&mut ctx)?;
+                continue;
+            }
+        }
+        let opcode = ctx.code[ip].code as usize;
+        let next = HANDLERS[opcode](&mut ctx, ip)?;
+        if next == DONE {
+            break;
+        }
+        if chains.is_none() && next <= ip && ctx.cur_idx == cur {
+            chains = jit.bump(cur, ctx.func);
+        }
+        ip = next;
     }
     let result_slots = ctx.func.result_slots as usize;
     let base = ctx.base;

@@ -8,9 +8,11 @@
 //!   import/export well-formedness, memory/table limits),
 //! * a sandboxed [`runtime`] with a 32-bit bounds-checked linear memory,
 //!   host function imports, exports, and reentrant host→guest calls,
-//! * three execution tiers ([`tier::Tier`]) mirroring Wasmer's
+//! * four execution tiers ([`tier::Tier`]): three mirroring Wasmer's
 //!   Singlepass / Cranelift / LLVM backends by compile-time vs run-time
-//!   trade-off,
+//!   trade-off, plus a profile-guided superblock top tier
+//!   ([`tier::Tier::MaxJit`]) that recompiles hot functions at run time
+//!   into chains of pre-decoded micro-ops with native SIMD,
 //! * a programmatic [`builder`] and a structured-AST [`dsl`] compiler used
 //!   to author the guest benchmarks (the stand-in for the paper's
 //!   WASI-SDK + custom `mpi.h` toolchain), and
@@ -23,6 +25,7 @@
 
 pub mod builder;
 pub mod decode;
+pub(crate) mod closures;
 pub(crate) mod dispatch;
 pub(crate) mod exec;
 pub mod interp;
@@ -35,6 +38,7 @@ pub mod leb128;
 pub mod module;
 pub mod regalloc;
 pub mod runtime;
+pub(crate) mod superblock;
 pub mod tier;
 pub mod types;
 pub mod validate;

@@ -284,6 +284,14 @@ pub enum Rc {
     /// `frame[c] = cmp(frame[a], b as i32)` — formed by constant
     /// forwarding (no serializable counterpart).
     Cmp32K,
+    /// `frame[c] = frame[a] +wrap (imm as i64)` — formed by constant
+    /// forwarding (no serializable counterpart). The constant lives in
+    /// `imm` because `b` is only 32 bits wide.
+    AddK64,
+    /// `frame[c] = cmp64(frame[a], imm as i64)` with the comparison code
+    /// in `aux` — formed by constant forwarding (no serializable
+    /// counterpart).
+    Cmp64K,
 }
 
 /// One `br_table` destination in the side pool: resolved target plus the
@@ -759,7 +767,7 @@ pub(crate) fn lower(module: &Module, func: &Function, ops: &[Op]) -> Result<RegF
     for _ in 0..3 {
         let a = forward(&mut rf);
         let b = eliminate(&mut rf, &hs);
-        let c = peephole(&mut rf, &hs);
+        let c = peephole(&mut rf, &mut hs);
         if !(a || b || c) {
             break;
         }
@@ -1231,7 +1239,7 @@ fn writes(op: &RegOp) -> Option<(u32, u32)> {
         | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32 | ConvU64F32 | Demote
         | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64 | Promote | Ext8S32 | Ext16S32
         | Ext8S64 | Ext16S64 | Ext32S64 | Extract32 | Extract64 | VAnyTrue | AllTrueI32x4
-        | BitmaskI32x4 | Cmp32K | Load32 | Load64 | Load8S32 | Load8U32 | Load16S32
+        | BitmaskI32x4 | Cmp32K | AddK64 | Cmp64K | Load32 | Load64 | Load8S32 | Load8U32 | Load16S32
         | Load16U32 | Load8S64 | Load8U64 | Load16S64 | Load16U64 | Load32S64 | Load32U64
         | Load32Shl | Load64Shl | Load32ShlK | Load64ShlK => Some((op.c, 1)),
         Copy2 | V128Const | V128Load | Splat32 | Splat64 | Replace64 | AddI32x4 | SubI32x4
@@ -1247,8 +1255,11 @@ fn writes(op: &RegOp) -> Option<(u32, u32)> {
 
 /// True if the op is safe to sit inside a store-fusion window: pure
 /// straight-line data flow (no control transfer, no calls — calls can
-/// re-enter the guest and observe memory ordering).
-fn window_safe(op: &RegOp) -> bool {
+/// re-enter the guest and observe memory ordering). The superblock tier
+/// reuses this as its "plain fallthrough step" predicate: exactly these
+/// ops can run inside a compiled chain without touching the frame stack
+/// or the instruction pointer.
+pub(crate) fn window_safe(op: &RegOp) -> bool {
     use Rc::*;
     !matches!(
         op.code,
@@ -1298,6 +1309,8 @@ fn is_pure(code: Rc) -> bool {
             | AddK32
             | ShlK32
             | AddShl32
+            | AddK64
+            | Cmp64K
             | Eqz64
             | Cmp64
             | Clz64
@@ -1421,7 +1434,7 @@ fn reads_reg(op: &RegOp, f: &RegFunc, t: u32) -> bool {
         | TruncF32U64 | TruncF64S64 | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32
         | ConvU64F32 | Demote | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64
         | Promote | Ext8S32 | Ext16S32 | Ext8S64 | Ext16S64 | Ext32S64 | AddK32 | ShlK32
-        | Cmp32K | Splat32 | Splat64 => r1(op.a),
+        | Cmp32K | AddK64 | Cmp64K | Splat32 | Splat64 => r1(op.a),
         Cmp32 | Cmp64 | CmpF32 | CmpF64 | Add32 | Sub32 | Mul32 | DivS32 | DivU32 | RemS32
         | RemU32 | And32 | Or32 | Xor32 | Shl32 | ShrS32 | ShrU32 | Rotl32 | Rotr32
         | Add64 | Sub64 | Mul64 | DivS64 | DivU64 | RemS64 | RemU64 | And64 | Or64
@@ -1472,12 +1485,16 @@ fn value_live(f: &RegFunc, hs: &[u32], def: usize, t: u32) -> bool {
         if j >= f.code.len() {
             return true; // fell off the end: conservative (corrupt input)
         }
-        if !live_at(j as u32) {
-            return false;
-        }
+        // Check the op's own reads before the height oracle: peephole
+        // fusion can relocate a read below the height its operand was
+        // born at (the fused op's entry height is patched, but a stale
+        // caller-cached `hs` must still never hide a direct read).
         let op = &f.code[j];
         if reads_reg(op, f, t) {
             return true;
+        }
+        if !live_at(j as u32) {
+            return false;
         }
         if definitely_writes(op, t) {
             return false;
@@ -1553,7 +1570,7 @@ fn forward(f: &mut RegFunc) -> bool {
             | TruncF64U64 | ConvS32F32 | ConvU32F32 | ConvS64F32 | ConvU64F32 | Demote
             | ConvS32F64 | ConvU32F64 | ConvS64F64 | ConvU64F64 | Promote | Ext8S32
             | Ext16S32 | Ext8S64 | Ext16S64 | Ext32S64 | AddK32 | ShlK32 | Cmp32K
-            | Splat32 | Splat64 | BrIf | BrIfZ | BrIfCmp32K | BrTable => {
+            | AddK64 | Cmp64K | Splat32 | Splat64 | BrIf | BrIfZ | BrIfCmp32K | BrTable => {
                 fwd(&mut op.a, &avail, &gen, &mut changed);
             }
             // Two one-slot sources in `a`, `b`.
@@ -1642,6 +1659,62 @@ fn forward(f: &mut RegFunc) -> bool {
             Cmp32 => {
                 if let Some(k) = kconst(op.b, &avail) {
                     *op = rop(Cmp32K, op.a, k as u32, op.c, op.aux, 0);
+                    changed = true;
+                }
+            }
+            Add64 => {
+                if let (Some(ka), Some(kb)) = (kconst(op.a, &avail), kconst(op.b, &avail)) {
+                    *op = rop(Const, 0, 0, op.c, 0, ka.wrapping_add(kb));
+                    changed = true;
+                } else if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(AddK64, op.a, 0, op.c, 0, k);
+                    changed = true;
+                } else if let Some(k) = kconst(op.a, &avail) {
+                    *op = rop(AddK64, op.b, 0, op.c, 0, k);
+                    changed = true;
+                }
+            }
+            Sub64 => {
+                if let (Some(ka), Some(kb)) = (kconst(op.a, &avail), kconst(op.b, &avail)) {
+                    *op = rop(Const, 0, 0, op.c, 0, ka.wrapping_sub(kb));
+                    changed = true;
+                } else if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(AddK64, op.a, 0, op.c, 0, (k as i64).wrapping_neg() as u64);
+                    changed = true;
+                }
+            }
+            Cmp64 => {
+                if let Some(k) = kconst(op.b, &avail) {
+                    *op = rop(Cmp64K, op.a, 0, op.c, op.aux, k);
+                    changed = true;
+                }
+            }
+            // Float const-const arithmetic folds at compile time. This is
+            // bit-exact versus runtime evaluation: both run the same IEEE
+            // op on the same host, so even NaN payload propagation agrees.
+            AddF32 | SubF32 | MulF32 | DivF32 => {
+                if let (Some(ka), Some(kb)) = (kconst(op.a, &avail), kconst(op.b, &avail)) {
+                    let (x, y) = (f32::from_bits(ka as u32), f32::from_bits(kb as u32));
+                    let r = match op.code {
+                        AddF32 => x + y,
+                        SubF32 => x - y,
+                        MulF32 => x * y,
+                        _ => x / y,
+                    };
+                    *op = rop(Const, 0, 0, op.c, 0, r.to_bits() as u64);
+                    changed = true;
+                }
+            }
+            AddF64 | SubF64 | MulF64 | DivF64 => {
+                if let (Some(ka), Some(kb)) = (kconst(op.a, &avail), kconst(op.b, &avail)) {
+                    let (x, y) = (f64::from_bits(ka), f64::from_bits(kb));
+                    let r = match op.code {
+                        AddF64 => x + y,
+                        SubF64 => x - y,
+                        MulF64 => x * y,
+                        _ => x / y,
+                    };
+                    *op = rop(Const, 0, 0, op.c, 0, r.to_bits());
                     changed = true;
                 }
             }
@@ -1734,7 +1807,16 @@ fn eliminate(f: &mut RegFunc, hs: &[u32]) -> bool {
 ///
 /// Replaced ops become `Nop` (removed by [`compact`]). Returns true if
 /// changed.
-fn peephole(f: &mut RegFunc, hs: &[u32]) -> bool {
+///
+/// Fusion moves reads *downward*: the fused op at position `k` reads
+/// registers the original stream consumed at position `i < k`, where the
+/// recorded entry height may be higher. The heights oracle would then
+/// wrongly report those source registers dead at `k` and a later
+/// [`eliminate`] pass would delete their defining ops. Every fusion
+/// therefore raises `hs` over `(i, k]` to the fusion head's entry height
+/// (`u32::MAX` propagates as "unknown" via `max`), keeping the oracle
+/// sound.
+fn peephole(f: &mut RegFunc, hs: &mut [u32]) -> bool {
     use Rc::*;
     let targets = jump_targets(f);
     let max_gap = 12usize;
@@ -1778,6 +1860,7 @@ fn peephole(f: &mut RegFunc, hs: &[u32]) -> bool {
                 if base != t && !value_live(f, hs, i + 1, t) {
                     f.code[i] = rop(Nop, 0, 0, 0, 0, 0);
                     f.code[i + 1] = rop(AddShl32, addr.a, base, nx.c, addr.aux, 0);
+                    hs[i + 1] = hs[i + 1].max(hs[i]);
                     changed = true;
                     continue;
                 }
@@ -1813,6 +1896,7 @@ fn peephole(f: &mut RegFunc, hs: &[u32]) -> bool {
                 };
                 f.code[i] = rop(Nop, 0, 0, 0, 0, 0);
                 f.code[i + 1] = fused;
+                hs[i + 1] = hs[i + 1].max(hs[i]);
                 changed = true;
                 continue;
             }
@@ -1895,6 +1979,10 @@ fn peephole(f: &mut RegFunc, hs: &[u32]) -> bool {
             f.code[i + 1] = rop(Nop, 0, 0, 0, 0, 0);
         }
         f.code[sj] = fused;
+        let hs_i = hs[i];
+        for h in &mut hs[i + 1..=sj] {
+            *h = (*h).max(hs_i);
+        }
         changed = true;
     }
     changed
@@ -2134,7 +2222,7 @@ pub(crate) fn verify(f: &RegFunc, module: &Module) -> Result<(), String> {
                 regs[1] = (op.b, 1);
                 regs[2] = (op.c, 1);
             }
-            AddK32 | ShlK32 | Cmp32K => {
+            AddK32 | ShlK32 | Cmp32K | AddK64 | Cmp64K => {
                 regs[0] = (op.a, 1);
                 regs[1] = (op.c, 1);
             }
@@ -2220,9 +2308,18 @@ mod tests {
 
     /// Compile one body at the given tier and return its register form.
     fn reg_of(build: impl Fn(&mut crate::builder::FunctionBuilder), tier: Tier) -> RegFunc {
+        reg_of_t(vec![ValType::I32, ValType::I32], build, tier)
+    }
+
+    /// Like [`reg_of`], with explicit parameter types.
+    fn reg_of_t(
+        params: Vec<ValType>,
+        build: impl Fn(&mut crate::builder::FunctionBuilder),
+        tier: Tier,
+    ) -> RegFunc {
         let mut b = ModuleBuilder::new();
         b.memory(1, None);
-        b.func("f", vec![ValType::I32, ValType::I32], vec![], build);
+        b.func("f", params, vec![], build);
         let module = b.finish();
         crate::validate::validate_module(&module).unwrap();
         let compiled =
@@ -2354,6 +2451,89 @@ mod tests {
         assert_eq!(count(&rf, Rc::ShlK32), 1, "{:?}", rf.code);
         assert_eq!(count(&rf, Rc::Mul32), 0, "{:?}", rf.code);
         assert_eq!(count(&rf, Rc::Copy), 0, "copies should forward: {:?}", rf.code);
+    }
+
+    #[test]
+    fn i64_const_forwarding_forms_addk64_and_cmp64k() {
+        // x + 5 (i64) and x < 100 (i64) must fold their Const operands
+        // into the immediate forms, leaving no Const+Add64/Cmp64 pairs.
+        use crate::instr::Instr as I;
+        let rf = reg_of_t(
+            vec![ValType::I64, ValType::I64, ValType::I32],
+            |f| {
+                f.emit_all([
+                    I::LocalGet(0),
+                    I::I64Const(5),
+                    I::I64Add,
+                    I::LocalSet(1),
+                    I::LocalGet(0),
+                    I::I64Const(100),
+                    I::I64LtS,
+                    I::LocalSet(2),
+                ]);
+            },
+            Tier::Optimizing,
+        );
+        assert_eq!(count(&rf, Rc::AddK64), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Add64), 0, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Cmp64K), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Cmp64), 0, "{:?}", rf.code);
+        let addk = rf.code.iter().find(|op| op.code == Rc::AddK64).unwrap();
+        assert_eq!(addk.imm, 5);
+    }
+
+    #[test]
+    fn i64_sub_const_negates_into_addk64() {
+        use crate::instr::Instr as I;
+        let rf = reg_of_t(
+            vec![ValType::I64, ValType::I64],
+            |f| {
+                f.emit_all([I::LocalGet(0), I::I64Const(7), I::I64Sub, I::LocalSet(1)]);
+            },
+            Tier::Optimizing,
+        );
+        assert_eq!(count(&rf, Rc::AddK64), 1, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::Sub64), 0, "{:?}", rf.code);
+        let addk = rf.code.iter().find(|op| op.code == Rc::AddK64).unwrap();
+        assert_eq!(addk.imm as i64, -7);
+    }
+
+    #[test]
+    fn float_const_const_folds_to_const() {
+        // 2.5 * 4.0 (f64) and 1.5 + 0.25 (f32) fold at compile time.
+        use crate::instr::Instr as I;
+        let rf = reg_of_t(
+            vec![ValType::F64, ValType::F32],
+            |f| {
+                f.emit_all([
+                    I::F64Const(2.5),
+                    I::F64Const(4.0),
+                    I::F64Mul,
+                    I::LocalSet(0),
+                    I::F32Const(1.5),
+                    I::F32Const(0.25),
+                    I::F32Add,
+                    I::LocalSet(1),
+                ]);
+            },
+            Tier::Optimizing,
+        );
+        assert_eq!(count(&rf, Rc::MulF64), 0, "{:?}", rf.code);
+        assert_eq!(count(&rf, Rc::AddF32), 0, "{:?}", rf.code);
+        assert!(
+            rf.code
+                .iter()
+                .any(|op| op.code == Rc::Const && op.imm == 10.0f64.to_bits()),
+            "{:?}",
+            rf.code
+        );
+        assert!(
+            rf.code
+                .iter()
+                .any(|op| op.code == Rc::Const && op.imm == 1.75f32.to_bits() as u64),
+            "{:?}",
+            rf.code
+        );
     }
 
     #[test]

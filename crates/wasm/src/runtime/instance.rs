@@ -112,6 +112,16 @@ pub struct CompiledModule {
     pub(crate) module: Arc<Module>,
     pub(crate) tier: Tier,
     pub(crate) bodies: Arc<Vec<CompiledBody>>,
+    /// Superblock-tier promotion state ([`Tier::MaxJit`] only): hotness
+    /// counters and lazily compiled closure chains, shared by every
+    /// instance so repeated invocations accumulate hotness. Never
+    /// serialized — the cache stores a MaxJit module like a Max module
+    /// and this state is rebuilt (empty) on load.
+    pub(crate) jit: Option<Arc<crate::superblock::JitState>>,
+}
+
+fn jit_state_for(tier: Tier, n_funcs: usize) -> Option<Arc<crate::superblock::JitState>> {
+    (tier == Tier::MaxJit).then(|| Arc::new(crate::superblock::JitState::new(n_funcs)))
 }
 
 impl CompiledModule {
@@ -123,7 +133,18 @@ impl CompiledModule {
             .iter()
             .map(|f| tier::compile_body(&module, f, tier))
             .collect::<Vec<_>>();
-        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies) })
+        let jit = jit_state_for(tier, bodies.len());
+        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies), jit })
+    }
+
+    /// Lower the superblock tier's promotion threshold to `n` hotness
+    /// events (test hook — e.g. 1 makes every function compile chains on
+    /// first entry, so single-invocation differential programs exercise
+    /// the chain and guard-exit paths). No-op on other tiers.
+    pub fn set_jit_threshold(&self, n: u32) {
+        if let Some(jit) = &self.jit {
+            jit.set_threshold(n);
+        }
     }
 
     pub fn module(&self) -> &Module {
@@ -157,7 +178,8 @@ impl CompiledModule {
                 module.functions.len()
             )));
         }
-        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies) })
+        let jit = jit_state_for(tier, bodies.len());
+        Ok(Self { module: Arc::new(module), tier, bodies: Arc::new(bodies), jit })
     }
 
     /// Iterate the compiled bodies (the cache's store path).
@@ -327,6 +349,7 @@ impl Linker {
             limits: InstanceLimits::default(),
             depth: 0,
             spare_stack: None,
+            jit: compiled.jit.clone(),
         };
 
         if let Some(start) = instance.module.start {
@@ -362,6 +385,9 @@ pub struct Instance {
     /// the active driver loop (a host re-entry simply allocates a fresh
     /// one for its nested invocation).
     pub(crate) spare_stack: Option<Vec<Slot>>,
+    /// Superblock-tier promotion state, shared with the compiled module
+    /// (`None` on every tier but [`Tier::MaxJit`]).
+    pub(crate) jit: Option<Arc<crate::superblock::JitState>>,
 }
 
 impl std::fmt::Debug for Instance {

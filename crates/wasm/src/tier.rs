@@ -6,13 +6,21 @@
 //! | Singlepass    | [`Tier::Baseline`]  | structured interpreter over the untyped slot stack; linear-time prepare (side table + width pass) |
 //! | Cranelift     | [`Tier::Optimizing`]| flatten to flat IR with resolved jumps (width pass fused into the same walk), register-allocated to the stackless [`crate::regalloc::RegOp`] form |
 //! | LLVM          | [`Tier::Max`]       | flat IR plus iterated optimization passes (constant folding, local/load/shift fusion, compare-and-branch fusion, jump threading), same register lowering plus register-level scaled load/store fusion |
+//! | LLVM + hot-tier JIT | [`Tier::MaxJit`] | the Max pipeline plus a profile-guided top tier: hot functions (per-function execution counters in the dispatch loop) have superblocks discovered over their register stream and compiled into single closure-chain units with constants and register indices baked in, v128 ops mapped to native SIMD, and guard exits that fall back to the threaded interpreter at the recorded ip |
 //!
 //! All tiers share the untyped execution engine: operands are raw 64-bit
 //! slots (f32/f64 bit-cast, v128 in two slots) with no runtime type tags —
 //! validation proves the types statically — and activation frames live in
 //! one per-instance slot arena, so guest→guest calls allocate nothing.
 //! The tiers preserve the paper's ordering: compile time grows and run
-//! time shrinks from Baseline to Max.
+//! time shrinks from Baseline to Max; MaxJit defers its extra compile
+//! work to run time, paying it only for functions that prove hot.
+//!
+//! The superblock tier's artifacts are in-memory only: the module cache
+//! stores a MaxJit module exactly like a Max module (same VERSION 2
+//! format, different tier byte) and superblocks are re-derived from the
+//! register form after load — see [`crate::superblock`] for formation
+//! and [`crate::closures`] for the closure-chain contract.
 
 use crate::interp::SideTable;
 use crate::ir::FlatFunc;
@@ -29,10 +37,17 @@ pub enum Tier {
     /// Flat IR plus iterated optimization passes (LLVM analog).
     #[default]
     Max,
+    /// Max plus the profile-guided superblock top tier: hot functions are
+    /// recompiled at run time into closure-chain units with native SIMD.
+    MaxJit,
 }
 
 impl Tier {
-    pub const ALL: [Tier; 3] = [Tier::Baseline, Tier::Optimizing, Tier::Max];
+    pub const ALL: [Tier; 4] = [Tier::Baseline, Tier::Optimizing, Tier::Max, Tier::MaxJit];
+
+    /// The three paper-backend analogs (Table 1); excludes the superblock
+    /// top tier, which has no Wasmer counterpart in the paper.
+    pub const PAPER: [Tier; 3] = [Tier::Baseline, Tier::Optimizing, Tier::Max];
 
     /// Short display name matching the paper's backend names.
     pub fn name(&self) -> &'static str {
@@ -40,6 +55,7 @@ impl Tier {
             Tier::Baseline => "baseline (singlepass analog)",
             Tier::Optimizing => "optimizing (cranelift analog)",
             Tier::Max => "max (llvm analog)",
+            Tier::MaxJit => "max+jit (superblock closure tier)",
         }
     }
 }
@@ -74,7 +90,9 @@ pub fn compile_body(module: &Module, func: &Function, tier: Tier) -> CompiledBod
     match tier {
         Tier::Baseline => CompiledBody::Interp(SideTable::build(module, func)),
         Tier::Optimizing => CompiledBody::Flat(crate::ir::compile(module, func, 0)),
-        Tier::Max => CompiledBody::Flat(crate::ir::compile(module, func, 2)),
+        // MaxJit shares the Max ahead-of-time pipeline; the superblock
+        // compilation happens at run time, driven by hotness counters.
+        Tier::Max | Tier::MaxJit => CompiledBody::Flat(crate::ir::compile(module, func, 2)),
     }
 }
 
@@ -85,7 +103,7 @@ mod tests {
     #[test]
     fn tier_names_are_distinct() {
         let names: std::collections::HashSet<_> = Tier::ALL.iter().map(|t| t.name()).collect();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 4);
     }
 
     #[test]

@@ -223,6 +223,9 @@ proptest! {
         let expected = ref_vars[0] ^ ref_vars[1] ^ ref_vars[2] ^ ref_vars[3];
         for tier in Tier::ALL {
             let compiled = CompiledModule::compile(decoded.clone(), tier).unwrap();
+            // Promote on first entry so single-invocation programs still
+            // exercise the superblock chains and their guard exits.
+            compiled.set_jit_threshold(1);
             let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
             let args: Vec<Value> = inits.iter().map(|&v| Value::I32(v)).collect();
             let out = inst.invoke("run", &args).unwrap();
@@ -490,6 +493,9 @@ proptest! {
 
         for tier in Tier::ALL {
             let compiled = CompiledModule::compile(decoded.clone(), tier).unwrap();
+            // Promote on first entry so single-invocation programs still
+            // exercise the superblock chains and their guard exits.
+            compiled.set_jit_threshold(1);
             let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
             let args: Vec<Value> = inits.iter().map(|&v| Value::I32(v)).collect();
             let out = inst.invoke("run", &args);
@@ -512,5 +518,66 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Pinned regression for the PROPTEST_SEED=1785324144484992370 case-38
+/// miscompile, delta-minimized to a single statement:
+///
+/// ```text
+/// x0 = ((-4 ^ x2) <s ((-78) - (-79))) + 4 * (x1 - x3)
+/// ```
+///
+/// The flat tiers lowered `4 * (x1 - x3)` to `Sub32; ShlK32` and the
+/// register peephole fused `[ShlK32 → t][Add32 cmp + t]` into `AddShl32`
+/// — moving the read of the `Sub32` result down to the `Add32` position,
+/// whose recorded entry stack height is one lower. The height-based
+/// liveness oracle then declared the subtraction's destination register
+/// dead there, dead-code elimination deleted the `Sub32`, and the fused
+/// add-shift read an uninitialized stack temp. The fix patches the height
+/// annotations at every fusion site and makes `value_live` trust a direct
+/// read over the oracle.
+#[test]
+fn pinned_addshl_fusion_keeps_scaled_operand_alive() {
+    let inits = [-36i32, 34, 11, -42];
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    b.func("run", vec![ValType::I32; N_VARS], vec![ValType::I32], move |f| {
+        let vars = [
+            dsl::local(0, ValType::I32),
+            dsl::local(1, ValType::I32),
+            dsl::local(2, ValType::I32),
+            dsl::local(3, ValType::I32),
+        ];
+        let stmts = vec![
+            vars[0].set(
+                dsl::int(-4)
+                    .xor(vars[2].get())
+                    .lt(dsl::int(-78) - dsl::int(-79))
+                    + dsl::int(4) * (vars[1].get() - vars[3].get()),
+            ),
+            dsl::ret(Some(
+                vars[0].get().xor(vars[1].get()).xor(vars[2].get()).xor(vars[3].get()),
+            )),
+        ];
+        dsl::emit_block(f, &stmts);
+    });
+    let module = b.finish();
+    wasm_engine::validate_module(&module).unwrap();
+    let decoded = wasm_engine::decode_module(&encode_module(&module)).unwrap();
+
+    let x0 = ((((-4 ^ inits[2]) < (-78i32).wrapping_sub(-79)) as i32)
+        .wrapping_add(4i32.wrapping_mul(inits[1].wrapping_sub(inits[3]))))
+        ^ inits[1]
+        ^ inits[2]
+        ^ inits[3];
+
+    for tier in Tier::ALL {
+        let compiled = CompiledModule::compile(decoded.clone(), tier).unwrap();
+        compiled.set_jit_threshold(1);
+        let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+        let args: Vec<Value> = inits.iter().map(|&v| Value::I32(v)).collect();
+        let out = inst.invoke("run", &args).unwrap();
+        assert_eq!(out[0], Value::I32(x0), "tier {tier}");
     }
 }

@@ -129,9 +129,9 @@ fn compile_ast(ast: &Ast) -> Vec<u8> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Differential execution: all three tiers agree with ground truth on
-    /// both results and traps (the safety net for the untyped-slot engine
-    /// and the Max tier's superinstruction fusion).
+    /// Differential execution: all four tiers agree with ground truth on
+    /// both results and traps (the safety net for the untyped-slot engine,
+    /// the Max tier's superinstruction fusion, and the superblock chains).
     #[test]
     fn tiers_agree_with_reference(ast in ast_strategy(), x in any::<i32>(), y in any::<i32>()) {
         let wasm = compile_ast(&ast);
@@ -141,6 +141,8 @@ proptest! {
         let mut trap_messages: Vec<String> = Vec::new();
         for tier in Tier::ALL {
             let compiled = CompiledModule::compile(module.clone(), tier).unwrap();
+            // Promote on first entry so MaxJit actually runs its chains.
+            compiled.set_jit_threshold(1);
             let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
             let out = inst.invoke("f", &[Value::I32(x), Value::I32(y)]);
             match (&expected, out) {
@@ -162,9 +164,10 @@ proptest! {
         }
         // When it traps, every tier must report the same trap.
         if !trap_messages.is_empty() {
-            prop_assert_eq!(trap_messages.len(), 3);
-            prop_assert_eq!(&trap_messages[0], &trap_messages[1]);
-            prop_assert_eq!(&trap_messages[1], &trap_messages[2]);
+            prop_assert_eq!(trap_messages.len(), Tier::ALL.len());
+            for pair in trap_messages.windows(2) {
+                prop_assert_eq!(&pair[0], &pair[1]);
+            }
         }
     }
 
