@@ -82,6 +82,10 @@ pub struct MpiImports {
     pub ialltoallv: u32,
     /// `bench.report(key, value)` harness hook.
     pub report: u32,
+    /// `env.mpiwasm_stats(ptr, cap) -> bytes`: embedder extension dumping
+    /// this rank's protocol counters as LE u64 words (see
+    /// `ProtocolSnapshot::as_words` for the order).
+    pub stats: u32,
 }
 
 impl MpiImports {
@@ -151,6 +155,7 @@ impl MpiImports {
             ialltoall: i(b, "MPI_Ialltoall", vec![I32; 8], vec![I32]),
             ialltoallv: i(b, "MPI_Ialltoallv", vec![I32; 10], vec![I32]),
             report: b.import_func("bench", "report", vec![I32, F64], vec![]),
+            stats: i(b, "mpiwasm_stats", vec![I32; 2], vec![I32]),
         }
     }
 
@@ -190,6 +195,12 @@ impl MpiImports {
 
     pub fn report(&self, key: Expr, value: Expr) -> Stmt {
         call_stmt(self.report, vec![key, value])
+    }
+
+    /// `out_var = mpiwasm_stats(ptr, cap)`: snapshot the rank's protocol
+    /// counters into guest memory at `ptr`, yielding the bytes written.
+    pub fn stats(&self, ptr: Expr, cap: Expr, out_var: Var) -> Stmt {
+        out_var.set(call(self.stats, vec![ptr, cap], ValType::I32))
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -13,6 +13,8 @@ use std::process::ExitCode;
 
 use mpi_substrate::ClockMode;
 use mpiwasm::{JobConfig, Runner};
+use netsim::{CostModel, SystemProfile};
+use obs::{Recorder, TraceClock};
 use wasi_layer::{Rights, SharedFs};
 use wasm_engine::Tier;
 
@@ -31,6 +33,12 @@ OPTIONS:
     -entry <NAME>    exported entry function (default _start)
     -quiet           do not echo guest stdout/stderr
     -wat             print the module in text format and exit
+    --clock <MODE>   wall-clock mode: real | virtual (default real);
+                     virtual replays the LogP-simulated timeline
+    --trace <FILE>   record a flight-recorder trace and write it as
+                     Chrome trace-event JSON (load in Perfetto/about:tracing)
+    --metrics        print the unified metrics table (protocol + JIT +
+                     trace counters) after the run
     -h, --help       show this help
 ";
 
@@ -42,6 +50,9 @@ struct Options {
     entry: String,
     quiet: bool,
     wat: bool,
+    virtual_clock: bool,
+    trace: Option<String>,
+    metrics: bool,
     module: String,
     guest_args: Vec<String>,
 }
@@ -55,6 +66,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         entry: "_start".into(),
         quiet: false,
         wat: false,
+        virtual_clock: false,
+        trace: None,
+        metrics: false,
         module: String::new(),
         guest_args: Vec::new(),
     };
@@ -98,6 +112,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-entry" => opts.entry = need(&mut it, "-entry")?,
             "-quiet" => opts.quiet = true,
             "-wat" => opts.wat = true,
+            "--clock" | "-clock" => {
+                opts.virtual_clock = match need(&mut it, "--clock")?.as_str() {
+                    "real" => false,
+                    "virtual" => true,
+                    other => return Err(format!("unknown clock mode {other:?}")),
+                };
+            }
+            "--trace" | "-trace" => opts.trace = Some(need(&mut it, "--trace")?),
+            "--metrics" | "-metrics" => opts.metrics = true,
             other if opts.module.is_empty() && !other.starts_with('-') => {
                 opts.module = other.to_string();
             }
@@ -173,21 +196,60 @@ fn main() -> ExitCode {
         None => Runner::new(),
     };
 
+    let clock = if opts.virtual_clock {
+        ClockMode::Virtual(CostModel::native(SystemProfile::container()))
+    } else {
+        ClockMode::Real
+    };
+    let recorder = if opts.trace.is_some() || opts.metrics {
+        let trace_clock =
+            if opts.virtual_clock { TraceClock::Virtual } else { TraceClock::Real };
+        Some(Recorder::new(opts.np as usize, obs::DEFAULT_CAPACITY, trace_clock))
+    } else {
+        None
+    };
+
     let mut guest_args = vec![opts.module.clone()];
     guest_args.extend(opts.guest_args.clone());
     let config = JobConfig {
         np: opts.np,
         tier: opts.tier,
-        clock: ClockMode::Real,
+        clock,
         args: guest_args,
         fs,
         echo_stdout: !opts.quiet,
         entry: opts.entry.clone(),
+        recorder: recorder.clone(),
         ..Default::default()
     };
 
     match runner.run(&wasm_bytes, config) {
         Ok(result) => {
+            if let Some(rec) = &recorder {
+                if let Some(path) = &opts.trace {
+                    let json = obs::export_chrome_trace(rec);
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("mpiwasm: cannot write trace {path}: {e}");
+                        return ExitCode::from(1);
+                    }
+                    if !opts.quiet {
+                        eprintln!(
+                            "mpiwasm: trace written to {path} ({} events{})",
+                            (0..rec.n_ranks())
+                                .map(|r| rec.rank_events(r).len())
+                                .sum::<usize>()
+                                + rec.engine_events().len(),
+                            match rec.total_dropped() {
+                                0 => String::new(),
+                                n => format!(", {n} dropped"),
+                            },
+                        );
+                    }
+                }
+                if opts.metrics {
+                    print!("{}", rec.metrics().render_table());
+                }
+            }
             if !opts.quiet {
                 eprintln!(
                     "mpiwasm: {} ranks, compile {:.2}ms{}",

@@ -926,6 +926,25 @@ pub fn register_mpi(linker: &mut Linker) {
         Err(Trap::host(format!("MPI_Abort called with code {}", args[1].i32())))
     });
 
+    // mpiwasm_stats(ptr, cap_bytes) -> bytes_written: embedder extension
+    // exposing this rank's ProtocolSnapshot as little-endian u64 words in
+    // the fixed `ProtocolSnapshot::as_words` order, so guest benchmarks
+    // can assert protocol behavior (e.g. zero-copy rendezvous counts,
+    // prepost coverage) from inside the sandbox. Writes as many whole
+    // words as fit in `cap_bytes`.
+    mpi_fn!(linker, "mpiwasm_stats", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
+        let cap = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let words = env.mpi.world().protocol_stats().as_words();
+        let n = (cap as usize / 8).min(words.len());
+        for (i, w) in words[..n].iter().enumerate() {
+            mem.write_u64_at(ptr + (i as u32) * 8, *w)?;
+        }
+        Ok(vec![Slot::from_i32((n * 8) as i32)])
+    });
+
     // MPI_Get_count(status_ptr, datatype, count_ptr)
     mpi_fn!(linker, "MPI_Get_count", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let status_ptr = args[0].u32();

@@ -9,7 +9,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mpi_substrate::{run_world_with, ClockMode};
+use mpi_substrate::{run_world_recorded, run_world_with, ClockMode};
+use obs::Recorder;
 use wasi_layer::{register_wasi, SharedFs, WasiCtx};
 use wasm_engine::error::Trap;
 use wasm_engine::runtime::{CompiledModule, Linker};
@@ -42,6 +43,11 @@ pub struct JobConfig {
     pub echo_stdout: bool,
     /// Exported entry function, `_start` by convention.
     pub entry: String,
+    /// Flight recorder for per-rank event tracing and the unified metrics
+    /// registry. When attached the run also enables JIT profiling counters
+    /// and a promotion hook on the compiled module, and folds the JIT and
+    /// protocol counters into the recorder's metrics at completion.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for JobConfig {
@@ -56,6 +62,7 @@ impl Default for JobConfig {
             fs: SharedFs::memory(),
             echo_stdout: false,
             entry: "_start".into(),
+            recorder: None,
         }
     }
 }
@@ -224,11 +231,24 @@ impl Runner {
         }
         let linker = Arc::new(self.linker.clone());
         let compiled = compiled.clone();
+        let recorder = config.recorder.clone();
+        if let Some(rec) = &recorder {
+            // Promotions happen on rank threads but belong to the shared
+            // engine: they land on the recorder's engine track.
+            let hook_rec = Arc::clone(rec);
+            compiled.set_promotion_hook(Box::new(move |func| {
+                hook_rec.emit_engine(obs::EventKind::Promotion { func });
+            }));
+            compiled.set_jit_profiling(true);
+        }
+        // A second handle for the post-run snapshot (the JitState behind
+        // it is shared, not duplicated, by the clone).
+        let compiled_jit = compiled.clone();
         let config = Arc::new(config);
         let np = config.np;
         let clock = config.clock.clone();
 
-        let ranks = run_world_with(np, clock, move |comm| {
+        let body = move |comm: mpi_substrate::Comm| {
             let rank = comm.rank();
             // MPI_COMM_SELF is built collectively before the guest starts.
             let comm_self = comm
@@ -282,8 +302,18 @@ impl Runner {
                 stats: env.mpi.stats.clone(),
                 reports: std::mem::take(&mut env.reports),
             }
-        });
+        };
 
+        let ranks = match &recorder {
+            Some(rec) => run_world_recorded(np, clock, None, Arc::clone(rec), body),
+            None => run_world_with(np, clock, body),
+        };
+
+        if let Some(rec) = &recorder {
+            if let Some(snap) = compiled_jit.jit_snapshot() {
+                rec.fold_metrics(snap.metric_entries());
+            }
+        }
         Ok(JobResult { ranks, compile_time: Duration::ZERO, cache_hit: false })
     }
 }

@@ -115,6 +115,71 @@ fn cache_flag_reports_hit_on_second_run() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
+/// A guest with real p2p traffic: rank 0 sends 64 bytes to rank 1.
+fn build_pingpong() -> Vec<u8> {
+    use ValType::I32;
+    let mut b = ModuleBuilder::new();
+    b.name("cli-pingpong");
+    b.memory(4, None);
+    let init = b.import_func("env", "MPI_Init", vec![I32; 2], vec![I32]);
+    let comm_rank = b.import_func("env", "MPI_Comm_rank", vec![I32; 2], vec![I32]);
+    let send = b.import_func("env", "MPI_Send", vec![I32; 6], vec![I32]);
+    let recv = b.import_func("env", "MPI_Recv", vec![I32; 7], vec![I32]);
+    let finalize = b.import_func("env", "MPI_Finalize", vec![], vec![I32]);
+    b.func("_start", vec![], vec![], |f| {
+        let rank = Var::new(f, ValType::I32);
+        emit_block(f, &[
+            call_drop(init, vec![int(0), int(0)]),
+            call_drop(comm_rank, vec![int(0), int(16)]),
+            rank.set(int(16).load(ValType::I32, 0)),
+            // MPI_BYTE handle is 0, as is COMM_WORLD; ignore status.
+            if_else(
+                rank.get().eq(int(0)),
+                &[call_drop(send, vec![int(1024), int(64), int(0), int(1), int(9), int(0)])],
+                &[call_drop(
+                    recv,
+                    vec![int(2048), int(64), int(0), int(0), int(9), int(0), int(128)],
+                )],
+            ),
+            call_drop(finalize, vec![]),
+        ]);
+    });
+    encode_module(&b.finish())
+}
+
+#[test]
+fn trace_flag_writes_chrome_json_and_metrics_prints_table() {
+    let module = write_module("traced.wasm", &build_pingpong());
+    for clock in ["real", "virtual"] {
+        let trace_path = std::env::temp_dir()
+            .join(format!("mpiwasm-cli-trace-{}-{clock}.json", std::process::id()));
+        let out = Command::new(mpiwasm_bin())
+            .args(["-np", "2", "-quiet", "--clock", clock, "--metrics", "--trace"])
+            .arg(&trace_path)
+            .arg(&module)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "clock {clock} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(doc.contains("\"traceEvents\": ["), "{clock}: {doc}");
+        assert!(doc.contains("\"name\":\"rank 0\""), "{clock}: missing rank track");
+        assert!(doc.contains("\"name\":\"rank 1\""), "{clock}: missing rank track");
+        assert!(doc.contains("\"ph\":\"s\""), "{clock}: no flow start");
+        assert!(doc.contains("\"ph\":\"f\""), "{clock}: no flow finish");
+        assert!(doc.contains(&format!("\"clock\": \"{clock}\"")));
+
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("mpi.eager_messages"), "{clock}: {stdout}");
+        assert!(stdout.contains("trace.events"), "{clock}: {stdout}");
+        std::fs::remove_file(&trace_path).ok();
+    }
+    std::fs::remove_file(&module).ok();
+}
+
 #[test]
 fn bad_usage_exits_2() {
     let out = Command::new(mpiwasm_bin()).output().unwrap();

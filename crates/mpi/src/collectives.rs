@@ -35,6 +35,7 @@ impl Comm {
     /// parked — e.g. a token deferred to rendezvous under eager-credit
     /// exhaustion — would deadlock the whole ring.
     pub fn barrier(&self) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Barrier, obs::Algorithm::Dissemination);
         let p = self.size();
         if p == 1 {
             return Ok(());
@@ -58,6 +59,7 @@ impl Comm {
     /// `MPI_Bcast`: binomial tree from `root`; `buf` is the full payload on
     /// the root and is overwritten everywhere else.
     pub fn bcast(&self, buf: &mut [u8], root: u32) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Bcast, obs::Algorithm::Binomial);
         let p = self.size();
         if root >= p {
             return Err(MpiError::InvalidRank { rank: root, size: p });
@@ -106,6 +108,7 @@ impl Comm {
         op: ReduceOp,
         root: u32,
     ) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Reduce, obs::Algorithm::Binomial);
         let p = self.size();
         if root >= p {
             return Err(MpiError::InvalidRank { rank: root, size: p });
@@ -156,6 +159,7 @@ impl Comm {
         dt: Datatype,
         op: ReduceOp,
     ) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Allreduce, obs::Algorithm::RecursiveDoubling);
         if recv_buf.len() != send_buf.len() {
             return Err(MpiError::CollectiveMismatch(format!(
                 "allreduce buffers differ: send {}, recv {}",
@@ -230,6 +234,7 @@ impl Comm {
         recv_buf: Option<&mut [u8]>,
         root: u32,
     ) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Gather, obs::Algorithm::LinearRoot);
         let p = self.size();
         if root >= p {
             return Err(MpiError::InvalidRank { rank: root, size: p });
@@ -280,6 +285,7 @@ impl Comm {
         recv_buf: &mut [u8],
         root: u32,
     ) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Scatter, obs::Algorithm::LinearRoot);
         let p = self.size();
         if root >= p {
             return Err(MpiError::InvalidRank { rank: root, size: p });
@@ -316,6 +322,7 @@ impl Comm {
 
     /// `MPI_Allgather`: ring algorithm, p−1 rounds.
     pub fn allgather(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Allgather, obs::Algorithm::Ring);
         let p = self.size() as usize;
         let n = send_buf.len();
         if recv_buf.len() != n * p {
@@ -354,6 +361,7 @@ impl Comm {
     /// `MPI_Alltoall`: each rank sends block `r` of `send_buf` to rank `r`
     /// and receives block `s` of `recv_buf` from rank `s`.
     pub fn alltoall(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Alltoall, obs::Algorithm::Pairwise);
         let p = self.size() as usize;
         if send_buf.len() != recv_buf.len() || send_buf.len() % p != 0 {
             return Err(MpiError::CollectiveMismatch(format!(
@@ -408,6 +416,7 @@ impl Comm {
         recv_counts: &[usize],
         recv_displs: &[usize],
     ) -> Result<(), MpiError> {
+        let _span = self.coll_span(obs::CollKind::Alltoallv, obs::Algorithm::Pairwise);
         let p = self.size() as usize;
         if send_counts.len() != p
             || send_displs.len() != p

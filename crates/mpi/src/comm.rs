@@ -150,6 +150,28 @@ impl Comm {
         }
     }
 
+    /// Emit a flight-recorder event on this rank's track (one pointer
+    /// test when tracing is off).
+    #[inline]
+    pub(crate) fn trace(&self, kind: impl FnOnce() -> obs::EventKind) {
+        self.world.emit(self.group[self.rank as usize], &self.clock, kind);
+    }
+
+    /// Open a collective span for a *blocking* schedule; the guard emits
+    /// the matching end event when dropped (success or error path alike).
+    /// The nonblocking machines trace through `Request` instead.
+    pub(crate) fn coll_span(
+        &self,
+        kind: obs::CollKind,
+        algo: obs::Algorithm,
+    ) -> CollSpan<'_> {
+        let id = self.world.next_trace_id();
+        if id != 0 {
+            self.trace(|| obs::EventKind::CollBegin { kind, algo, id });
+        }
+        CollSpan { comm: self, kind, id }
+    }
+
     /// The detached operation context handed to requests (cheap Arc
     /// clones of this communicator's internals).
     pub(crate) fn ctx(&self) -> CommCtx {
@@ -928,6 +950,24 @@ impl Comm {
         let mut out = vec![0u8; bytes.len() * self.size() as usize];
         self.allgather(bytes, &mut out)?;
         Ok(out)
+    }
+}
+
+/// RAII guard for a blocking collective's trace span (see
+/// [`Comm::coll_span`]): the end event fires on drop, so early returns
+/// and error paths still close the span.
+pub(crate) struct CollSpan<'a> {
+    comm: &'a Comm,
+    kind: obs::CollKind,
+    id: u64,
+}
+
+impl Drop for CollSpan<'_> {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            let (kind, id) = (self.kind, self.id);
+            self.comm.trace(|| obs::EventKind::CollEnd { kind, id });
+        }
     }
 }
 

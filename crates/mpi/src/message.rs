@@ -98,6 +98,9 @@ pub(crate) struct Message {
     /// reclaimed from a cancelled posted receive can be reinserted at its
     /// original arrival position (no overtaking through cancellation).
     pub seq: u64,
+    /// Flight-recorder flow id tying the send event to the delivery event
+    /// (0 when tracing is off; see `obs`).
+    pub flow: u64,
 }
 
 impl Message {
@@ -655,6 +658,7 @@ mod tests {
             sent_at_us: 0.0,
             src_world: src,
             seq: 0,
+            flow: 0,
         }
     }
 
@@ -811,6 +815,7 @@ mod tests {
                 sent_at_us: 0.0,
                 src_world: 0,
                 seq: 0,
+                flow: 0,
             },
         );
         assert!(mb.retract_rendezvous(&slot), "queued RTS is retractable");

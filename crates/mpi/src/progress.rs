@@ -130,6 +130,22 @@ pub struct ProtocolSnapshot {
 }
 
 impl ProtocolStats {
+    /// The snapshot as named counters for the unified metrics registry
+    /// (`obs::MetricSet`); names are stable, prefixed `mpi.`.
+    pub fn metric_entries(&self) -> [(&'static str, u64); 8] {
+        let s = self.snapshot();
+        [
+            ("mpi.eager_messages", s.eager_messages),
+            ("mpi.eager_bytes_copied", s.eager_bytes_copied),
+            ("mpi.deferred_eager_messages", s.deferred_eager_messages),
+            ("mpi.rendezvous_messages", s.rendezvous_messages),
+            ("mpi.rendezvous_bytes", s.rendezvous_bytes),
+            ("mpi.preposted_matches", s.preposted_matches),
+            ("mpi.cancelled_sends", s.cancelled_sends),
+            ("mpi.retracted_rts", s.retracted_rts),
+        ]
+    }
+
     pub fn snapshot(&self) -> ProtocolSnapshot {
         ProtocolSnapshot {
             eager_messages: self.eager_messages.load(Ordering::Relaxed),
@@ -141,6 +157,24 @@ impl ProtocolStats {
             cancelled_sends: self.cancelled_sends.load(Ordering::Relaxed),
             retracted_rts: self.retracted_rts.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl ProtocolSnapshot {
+    /// The snapshot as a fixed-order word list — the wire format of the
+    /// guest-visible `mpiwasm_stats` host call (little-endian u64s in this
+    /// exact order; adding fields appends, never reorders).
+    pub fn as_words(&self) -> [u64; 8] {
+        [
+            self.eager_messages,
+            self.eager_bytes_copied,
+            self.deferred_eager_messages,
+            self.rendezvous_messages,
+            self.rendezvous_bytes,
+            self.preposted_matches,
+            self.cancelled_sends,
+            self.retracted_rts,
+        ]
     }
 }
 
@@ -215,6 +249,13 @@ impl RendezvousSlot {
 
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether the slot pins a sender-owned copy (a credit-deferred eager
+    /// send) rather than the user's buffer (true zero-copy rendezvous).
+    /// Lets the receive path tag trace events with the actual protocol.
+    pub fn is_owned(&self) -> bool {
+        self._owned.is_some()
     }
 
     /// Receiver: copy the payload into `dst` (the first `dst.len()`
@@ -314,6 +355,13 @@ impl CommCtx {
         self.group[self.rank as usize]
     }
 
+    /// Emit a flight-recorder event on this rank's track. One pointer test
+    /// when tracing is off; the closure only runs when on.
+    #[inline]
+    pub(crate) fn trace(&self, kind: impl FnOnce() -> obs::EventKind) {
+        self.world.emit(self.my_world(), &self.clock, kind);
+    }
+
     /// Charge the per-call software overhead (virtual-clock worlds only).
     pub fn charge_call(&self) {
         if let ClockMode::Virtual(model) = &self.world.mode {
@@ -344,6 +392,16 @@ impl CommCtx {
     /// The caller keeps the destination buffer and performs delivery via
     /// [`CommCtx::deliver`] once the entry yields its message.
     pub fn post_recv(&self, src: Source, tag: Tag) -> Arc<RecvEntry> {
+        self.trace(|| obs::EventKind::RecvPost {
+            peer: match src {
+                Source::Rank(r) => self.group.get(r as usize).map(|w| *w as i32).unwrap_or(-1),
+                Source::Any => -1,
+            },
+            tag: match tag {
+                Tag::Value(t) => t,
+                Tag::Any => -1,
+            },
+        });
         let entry = RecvEntry::new(self.comm_id, src, tag);
         self.world.mailboxes[self.my_world() as usize].post_recv(&entry);
         entry
@@ -375,6 +433,7 @@ impl CommCtx {
             sent_at_us: self.clock.lock().virtual_us,
             src_world: self.my_world(),
             seq: 0,
+            flow: self.world.next_flow(),
         }
     }
 
@@ -404,10 +463,25 @@ impl CommCtx {
         let mailbox = &self.world.mailboxes[dest_world as usize];
         let stats = &self.world.stats;
 
-        let count_match = |d: &Deposit| {
-            if matches!(d, Deposit::Matched) {
+        let count_match = |d: &Deposit| -> bool {
+            let matched = matches!(d, Deposit::Matched);
+            if matched {
                 stats.preposted_matches.fetch_add(1, Ordering::Relaxed);
             }
+            matched
+        };
+        // Trace the departure: protocol decision, bytes, whether the
+        // deposit hit an already-posted receive, and the flow id tying
+        // this send to its eventual delivery event on the receiver.
+        let trace_send = |protocol: obs::Protocol, matched: bool, flow: u64| {
+            self.trace(|| obs::EventKind::SendStart {
+                peer: dest_world,
+                tag,
+                bytes: len as u32,
+                protocol,
+                matched_posted: matched,
+                flow,
+            });
         };
 
         if dest_world == self.my_world() {
@@ -416,15 +490,21 @@ impl CommCtx {
             // so a rendezvous handshake could never be answered and a
             // credit wait could never be satisfied.
             let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
-            count_match(&mailbox.deposit(self.eager_message(buf, tag), false));
+            let msg = self.eager_message(buf, tag);
+            let flow = msg.flow;
+            let matched = count_match(&mailbox.deposit(msg, false));
+            trace_send(obs::Protocol::SelfMsg, matched, flow);
             return Ok(SendOp::done());
         }
 
         if len <= self.world.protocol.eager_threshold {
             let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
-            match mailbox.deposit(self.eager_message(buf, tag), true) {
+            let msg = self.eager_message(buf, tag);
+            let flow = msg.flow;
+            match mailbox.deposit(msg, true) {
                 d @ (Deposit::Queued | Deposit::Matched) => {
-                    count_match(&d);
+                    let matched = count_match(&d);
+                    trace_send(obs::Protocol::Eager, matched, flow);
                     Ok(SendOp::done())
                 }
                 Deposit::NoCredit(mut msg) => {
@@ -435,25 +515,27 @@ impl CommCtx {
                     let Payload::Eager(data) = payload else { unreachable!() };
                     stats.deferred_eager_messages.fetch_add(1, Ordering::Relaxed);
                     let slot = RendezvousSlot::for_owned(data);
-                    count_match(&mailbox.deposit(
+                    let flow = msg.flow;
+                    let matched = count_match(&mailbox.deposit(
                         Message {
                             payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
                             ..msg
                         },
                         false,
                     ));
-                    Ok(SendOp::in_flight(slot))
+                    trace_send(obs::Protocol::EagerDeferred, matched, flow);
+                    Ok(SendOp::in_flight(slot, dest_world, flow))
                 }
             }
         } else {
             stats.rendezvous_messages.fetch_add(1, Ordering::Relaxed);
             stats.rendezvous_bytes.fetch_add(len as u64, Ordering::Relaxed);
             let slot = RendezvousSlot::for_buffer(ptr, len);
-            count_match(&mailbox.deposit(
-                self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot)))),
-                false,
-            ));
-            Ok(SendOp::in_flight(slot))
+            let msg = self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot))));
+            let flow = msg.flow;
+            let matched = count_match(&mailbox.deposit(msg, false));
+            trace_send(obs::Protocol::Rendezvous, matched, flow);
+            Ok(SendOp::in_flight(slot, dest_world, flow))
         }
     }
 
@@ -497,6 +579,22 @@ impl CommCtx {
             recv_clock_us = clock.virtual_us;
         }
         let status = Status::msg(msg.src_in_comm, msg.tag, len);
+        // Delivery always runs on the receiving rank: trace the arrival
+        // (timestamped *after* the wire-time advance, so virtual traces
+        // put the event at simulated arrival time) with the protocol the
+        // payload actually travelled under.
+        self.trace(|| obs::EventKind::RecvDone {
+            peer: msg.src_world,
+            tag: msg.tag,
+            bytes: len as u32,
+            protocol: match &msg.payload {
+                Payload::Eager(_) if msg.src_world == self.my_world() => obs::Protocol::SelfMsg,
+                Payload::Eager(_) => obs::Protocol::Eager,
+                Payload::Rendezvous(rts) if rts.0.is_owned() => obs::Protocol::EagerDeferred,
+                Payload::Rendezvous(_) => obs::Protocol::Rendezvous,
+            },
+            flow: msg.flow,
+        });
 
         match msg.payload {
             Payload::Eager(data) => match dst {
@@ -552,7 +650,7 @@ pub(crate) struct SendOp {
 
 enum SendState {
     Done,
-    InFlight { slot: Arc<RendezvousSlot> },
+    InFlight { slot: Arc<RendezvousSlot>, dest_world: u32, flow: u64 },
 }
 
 impl SendOp {
@@ -560,11 +658,11 @@ impl SendOp {
         SendOp { state: SendState::Done }
     }
 
-    fn in_flight(slot: Arc<RendezvousSlot>) -> SendOp {
-        SendOp { state: SendState::InFlight { slot } }
+    fn in_flight(slot: Arc<RendezvousSlot>, dest_world: u32, flow: u64) -> SendOp {
+        SendOp { state: SendState::InFlight { slot, dest_world, flow } }
     }
 
-    fn on_complete(ctx: &CommCtx, recv_clock_us: f64) {
+    fn on_complete(ctx: &CommCtx, recv_clock_us: f64, dest_world: u32, flow: u64) {
         // Rendezvous sends are synchronous: the sender's clock catches up
         // to the receiver's completion time (the CTS/done round trip is
         // inside the profile's handshake latency, already charged on the
@@ -572,15 +670,18 @@ impl SendOp {
         if matches!(ctx.world.mode, ClockMode::Virtual(_)) {
             ctx.clock.lock().advance_to(recv_clock_us);
         }
+        // Handshake phase 3 from the sender's view: payload consumed,
+        // buffer released. Timestamped after the clock sync above.
+        ctx.trace(|| obs::EventKind::SendDone { peer: dest_world, flow });
     }
 
     /// Non-blocking completion check.
     pub fn poll(&mut self, ctx: &CommCtx) -> Result<bool, MpiError> {
         match &self.state {
             SendState::Done => Ok(true),
-            SendState::InFlight { slot, .. } => match slot.poll_done()? {
+            SendState::InFlight { slot, dest_world, flow } => match slot.poll_done()? {
                 Some(recv_us) => {
-                    Self::on_complete(ctx, recv_us);
+                    Self::on_complete(ctx, recv_us, *dest_world, *flow);
                     self.state = SendState::Done;
                     Ok(true)
                 }
@@ -593,9 +694,9 @@ impl SendOp {
     pub fn wait(&mut self, ctx: &CommCtx) -> Result<(), MpiError> {
         match &self.state {
             SendState::Done => Ok(()),
-            SendState::InFlight { slot, .. } => {
+            SendState::InFlight { slot, dest_world, flow } => {
                 let recv_us = slot.wait_done()?;
-                Self::on_complete(ctx, recv_us);
+                Self::on_complete(ctx, recv_us, *dest_world, *flow);
                 self.state = SendState::Done;
                 Ok(())
             }
@@ -627,7 +728,7 @@ impl SendOp {
     /// slot: the message is *removed* under the mailbox lock, so no
     /// receiver can ever observe the un-sent message.
     pub fn try_cancel(&mut self, ctx: &CommCtx, dest: u32) -> bool {
-        let SendState::InFlight { slot } = &self.state else {
+        let SendState::InFlight { slot, .. } = &self.state else {
             return false; // eagerly completed at initiation: unrecallable
         };
         let dest_world = ctx.group[dest as usize];

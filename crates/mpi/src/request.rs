@@ -101,6 +101,10 @@ pub struct Request<'buf> {
     ctx: CommCtx,
     kind: Kind,
     persistent: Option<PersistentOp>,
+    /// Flight-recorder id for state-transition events (0 = tracing off).
+    trace_id: u64,
+    /// Collective schedule rounds observed so far (trace-only).
+    coll_rounds: u32,
     _buf: PhantomData<&'buf mut [u8]>,
 }
 
@@ -151,6 +155,32 @@ impl Status {
 impl<'buf> Request<'buf> {
     // --- constructors (crate-internal; the public surface is on Comm) ---
 
+    fn build(ctx: CommCtx, kind: Kind, persistent: Option<PersistentOp>) -> Request<'buf> {
+        let req = Request {
+            trace_id: ctx.world.next_trace_id(),
+            ctx,
+            kind,
+            persistent,
+            coll_rounds: 0,
+            _buf: PhantomData,
+        };
+        req.note_state(match req.kind {
+            Kind::Inactive => obs::ReqState::Inactive,
+            _ => obs::ReqState::Active,
+        });
+        req
+    }
+
+    /// Emit the request's current state-machine position to the flight
+    /// recorder (no-op when tracing is off).
+    #[inline]
+    fn note_state(&self, state: obs::ReqState) {
+        if self.trace_id != 0 {
+            let req = self.trace_id;
+            self.ctx.trace(|| obs::EventKind::ReqTransition { req, state });
+        }
+    }
+
     pub(crate) fn send(
         ctx: CommCtx,
         ptr: *const u8,
@@ -159,12 +189,7 @@ impl<'buf> Request<'buf> {
         tag: i32,
     ) -> Result<Request<'buf>, MpiError> {
         let op = ctx.start_send(ptr, len, dest, tag)?;
-        Ok(Request {
-            ctx,
-            kind: Kind::Send { op, dest, tag, len },
-            persistent: None,
-            _buf: PhantomData,
-        })
+        Ok(Self::build(ctx, Kind::Send { op, dest, tag, len }, None))
     }
 
     pub(crate) fn recv(
@@ -178,12 +203,7 @@ impl<'buf> Request<'buf> {
             ctx.check_rank(r)?;
         }
         let entry = ctx.post_recv(src, tag);
-        Ok(Request {
-            ctx,
-            kind: Kind::Recv { ptr, len, entry },
-            persistent: None,
-            _buf: PhantomData,
-        })
+        Ok(Self::build(ctx, Kind::Recv { ptr, len, entry }, None))
     }
 
     pub(crate) fn send_init(
@@ -194,12 +214,11 @@ impl<'buf> Request<'buf> {
         tag: i32,
     ) -> Result<Request<'buf>, MpiError> {
         ctx.check_rank(dest)?;
-        Ok(Request {
+        Ok(Self::build(
             ctx,
-            kind: Kind::Inactive,
-            persistent: Some(PersistentOp::Send { ptr, len, dest, tag }),
-            _buf: PhantomData,
-        })
+            Kind::Inactive,
+            Some(PersistentOp::Send { ptr, len, dest, tag }),
+        ))
     }
 
     pub(crate) fn recv_init(
@@ -212,16 +231,22 @@ impl<'buf> Request<'buf> {
         if let Source::Rank(r) = src {
             ctx.check_rank(r)?;
         }
-        Ok(Request {
+        Ok(Self::build(
             ctx,
-            kind: Kind::Inactive,
-            persistent: Some(PersistentOp::Recv { ptr, len, src, tag }),
-            _buf: PhantomData,
-        })
+            Kind::Inactive,
+            Some(PersistentOp::Recv { ptr, len, src, tag }),
+        ))
     }
 
     pub(crate) fn coll(ctx: CommCtx, state: CollState) -> Request<'buf> {
-        Request { ctx, kind: Kind::Coll(Box::new(state)), persistent: None, _buf: PhantomData }
+        let req = Self::build(ctx, Kind::Coll(Box::new(state)), None);
+        if req.trace_id != 0 {
+            if let Kind::Coll(state) = &req.kind {
+                let (kind, algo, id) = (state.obs_kind(), state.algo(), req.trace_id);
+                req.ctx.trace(|| obs::EventKind::CollBegin { kind, algo, id });
+            }
+        }
+        req
     }
 
     /// A receive whose message was already extracted by a matched probe
@@ -235,7 +260,7 @@ impl<'buf> Request<'buf> {
         msg: Message,
     ) -> Request<'buf> {
         let entry = RecvEntry::prematched(msg);
-        Request { ctx, kind: Kind::Recv { ptr, len, entry }, persistent: None, _buf: PhantomData }
+        Self::build(ctx, Kind::Recv { ptr, len, entry }, None)
     }
 
     // --- introspection --------------------------------------------------
@@ -327,6 +352,7 @@ impl<'buf> Request<'buf> {
                 Kind::Recv { ptr, len, entry }
             }
         };
+        self.note_state(obs::ReqState::Active);
         Ok(())
     }
 
@@ -357,21 +383,21 @@ impl<'buf> Request<'buf> {
     /// `wait`/`test`/a completion set, whose `Status` reports the outcome
     /// through [`Status::cancelled`] (`MPI_Test_cancelled`).
     pub fn cancel(&mut self) {
-        match &mut self.kind {
+        let cancelled = match &mut self.kind {
             Kind::Send { op, dest, .. } => {
                 let dest = *dest;
-                if op.try_cancel(&self.ctx, dest) {
-                    self.kind = Kind::Done(Status::cancelled());
-                }
+                op.try_cancel(&self.ctx, dest)
             }
             Kind::Recv { entry, .. } => {
                 let mailbox =
                     &self.ctx.world.mailboxes[self.ctx.my_world() as usize];
-                if mailbox.try_unpost(entry) {
-                    self.kind = Kind::Done(Status::cancelled());
-                }
+                mailbox.try_unpost(entry)
             }
-            _ => {}
+            _ => false,
+        };
+        if cancelled {
+            self.kind = Kind::Done(Status::cancelled());
+            self.note_state(obs::ReqState::Cancelled);
         }
     }
 
@@ -382,6 +408,13 @@ impl<'buf> Request<'buf> {
     /// `wait` / `test` / a completion set — so this is safe to call on
     /// requests someone else owns (the whole-table progress loop).
     pub fn progress(&mut self) {
+        // Tracing: remember the collective's schedule position so a poll
+        // that advances it (or finishes it) can be logged as a round/end
+        // event after the mutable borrow ends.
+        let coll_before = match (&self.kind, self.trace_id) {
+            (Kind::Coll(state), id) if id != 0 => Some((state.obs_kind(), state.round_key())),
+            _ => None,
+        };
         let outcome: Result<Option<Status>, MpiError> = match &mut self.kind {
             Kind::Null | Kind::Inactive | Kind::Done(_) | Kind::Failed(_) => return,
             Kind::Send { op, dest, tag, len } => op.poll(&self.ctx).map(|done| {
@@ -400,11 +433,27 @@ impl<'buf> Request<'buf> {
             Kind::Coll(state) => state.poll(&self.ctx),
         };
         match outcome {
-            Ok(Some(st)) => self.kind = Kind::Done(st),
-            Ok(None) => {}
+            Ok(Some(st)) => {
+                self.kind = Kind::Done(st);
+                if let Some((kind, _)) = coll_before {
+                    let id = self.trace_id;
+                    self.ctx.trace(|| obs::EventKind::CollEnd { kind, id });
+                }
+                self.note_state(obs::ReqState::Done);
+            }
+            Ok(None) => {
+                if let (Some((kind, key0)), Kind::Coll(state)) = (coll_before, &self.kind) {
+                    if state.round_key() != key0 {
+                        self.coll_rounds += 1;
+                        let (round, id) = (self.coll_rounds, self.trace_id);
+                        self.ctx.trace(|| obs::EventKind::CollRound { kind, round, id });
+                    }
+                }
+            }
             Err(e) => {
                 self.kind.cancel_in_flight(&self.ctx);
                 self.kind = Kind::Failed(e);
+                self.note_state(obs::ReqState::Failed);
             }
         }
     }
@@ -418,9 +467,20 @@ impl<'buf> Request<'buf> {
     /// On a still-pending request; check [`Request::is_complete`] first.
     pub fn take_result(&mut self) -> Result<Status, MpiError> {
         let retired = if self.persistent.is_some() { Kind::Inactive } else { Kind::Null };
+        let retired_state = if self.persistent.is_some() {
+            obs::ReqState::Inactive
+        } else {
+            obs::ReqState::Null
+        };
         match std::mem::replace(&mut self.kind, retired) {
-            Kind::Done(st) => Ok(st),
-            Kind::Failed(e) => Err(e),
+            Kind::Done(st) => {
+                self.note_state(retired_state);
+                Ok(st)
+            }
+            Kind::Failed(e) => {
+                self.note_state(retired_state);
+                Err(e)
+            }
             Kind::Inactive => {
                 self.kind = Kind::Inactive;
                 Ok(Status::empty())
@@ -441,6 +501,7 @@ impl<'buf> Request<'buf> {
         // RTS messages pointing into buffers we are about to free.
         self.kind.cancel_in_flight(&self.ctx);
         self.kind = Kind::Failed(e);
+        self.note_state(obs::ReqState::Failed);
     }
 
     /// `MPI_Test`: progress, and if complete return the status (retiring
@@ -468,7 +529,10 @@ impl<'buf> Request<'buf> {
                     let dst = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
                     let delivered = self.ctx.deliver(msg, Some(dst));
                     match delivered {
-                        Ok((st, _)) => self.kind = Kind::Done(st),
+                        Ok((st, _)) => {
+                            self.kind = Kind::Done(st);
+                            self.note_state(obs::ReqState::Done);
+                        }
                         Err(e) => self.latch_error(e),
                     }
                 }
@@ -485,7 +549,10 @@ impl<'buf> Request<'buf> {
         };
         if let Some((result, st)) = send_outcome {
             match result {
-                Ok(()) => self.kind = Kind::Done(st),
+                Ok(()) => {
+                    self.kind = Kind::Done(st);
+                    self.note_state(obs::ReqState::Done);
+                }
                 Err(e) => self.latch_error(e),
             }
             return self.take_result();
@@ -703,6 +770,52 @@ impl CollState {
             CollState::Allgather(s) => s.poll(ctx),
             CollState::Alltoall(s) => s.poll(ctx),
             CollState::Alltoallv(s) => s.poll(ctx),
+        }
+    }
+
+    /// The trace vocabulary for this collective.
+    fn obs_kind(&self) -> obs::CollKind {
+        match self {
+            CollState::Barrier(_) => obs::CollKind::Barrier,
+            CollState::Bcast(_) => obs::CollKind::Bcast,
+            CollState::Allreduce(_) => obs::CollKind::Allreduce,
+            CollState::Reduce(_) => obs::CollKind::Reduce,
+            CollState::Gather(_) => obs::CollKind::Gather,
+            CollState::Scatter(_) => obs::CollKind::Scatter,
+            CollState::Allgather(_) => obs::CollKind::Allgather,
+            CollState::Alltoall(_) => obs::CollKind::Alltoall,
+            CollState::Alltoallv(_) => obs::CollKind::Alltoallv,
+        }
+    }
+
+    /// The schedule each state machine implements (the algorithm tag the
+    /// exported trace carries on every collective span).
+    fn algo(&self) -> obs::Algorithm {
+        match self {
+            CollState::Barrier(_) => obs::Algorithm::Dissemination,
+            CollState::Bcast(_) | CollState::Reduce(_) => obs::Algorithm::Binomial,
+            CollState::Allreduce(_) => obs::Algorithm::RecursiveDoubling,
+            CollState::Gather(_) | CollState::Scatter(_) => obs::Algorithm::LinearRoot,
+            CollState::Allgather(_) => obs::Algorithm::Ring,
+            CollState::Alltoall(_) | CollState::Alltoallv(_) => obs::Algorithm::Pairwise,
+        }
+    }
+
+    /// A value that changes exactly when the schedule advances a round —
+    /// derived from each machine's existing position fields so progress
+    /// polls can detect (and trace) round boundaries without the machines
+    /// having to emit anything themselves.
+    fn round_key(&self) -> u64 {
+        match self {
+            CollState::Barrier(s) => s.k as u64,
+            CollState::Bcast(s) => (s.mask as u64) << 1 | s.receiving as u64,
+            CollState::Allreduce(s) => (s.phase as u64) << 32 | s.mask as u64,
+            CollState::Reduce(s) => s.mask as u64,
+            CollState::Gather(s) => s.remaining as u64,
+            CollState::Scatter(s) => s.started as u64,
+            CollState::Allgather(s) => s.step as u64,
+            CollState::Alltoall(s) => (s.started as u64) << 32 | s.remaining as u64,
+            CollState::Alltoallv(s) => (s.started as u64) << 32 | s.remaining as u64,
         }
     }
 

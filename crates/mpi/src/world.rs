@@ -4,10 +4,22 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crate::clock::ClockMode;
+use obs::{EventKind, Recorder};
+use parking_lot::Mutex;
+
+use crate::clock::{Clock, ClockMode};
 use crate::comm::Comm;
 use crate::message::Mailbox;
 use crate::progress::{ProtocolConfig, ProtocolStats};
+
+/// The flight-recorder hookup of a world. The clock mode is resolved
+/// *once* here (`virt`) so every trace timestamp costs a single branch
+/// instead of re-deriving the mode from `ClockMode` per event — the event
+/// sink caches what `Clock::wtime` would otherwise re-match in hot loops.
+pub(crate) struct WorldTrace {
+    pub rec: Arc<Recorder>,
+    pub virt: bool,
+}
 
 /// Shared world state.
 pub struct World {
@@ -18,6 +30,9 @@ pub struct World {
     pub(crate) protocol: ProtocolConfig,
     /// Protocol traffic counters.
     pub(crate) stats: ProtocolStats,
+    /// Optional flight recorder (`None` = tracing off: every emission
+    /// site reduces to one pointer test).
+    pub(crate) trace: Option<WorldTrace>,
 }
 
 impl World {
@@ -31,13 +46,66 @@ impl World {
         mode: ClockMode,
         protocol: ProtocolConfig,
     ) -> Arc<World> {
+        Self::new_with_opts(size, mode, protocol, None)
+    }
+
+    pub(crate) fn new_with_opts(
+        size: u32,
+        mode: ClockMode,
+        protocol: ProtocolConfig,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Arc<World> {
         assert!(size >= 1, "world must have at least one rank");
         let mailboxes = (0..size).map(|_| Mailbox::new(protocol.eager_capacity)).collect();
-        Arc::new(World { size, mailboxes, mode, protocol, stats: ProtocolStats::default() })
+        let trace = recorder.map(|rec| WorldTrace {
+            virt: matches!(mode, ClockMode::Virtual(_)),
+            rec,
+        });
+        Arc::new(World {
+            size,
+            mailboxes,
+            mode,
+            protocol,
+            stats: ProtocolStats::default(),
+            trace,
+        })
     }
 
     pub fn size(&self) -> u32 {
         self.size
+    }
+
+    /// Emit a trace event attributed to world-rank `rank`, timestamped by
+    /// `clock` (virtual mode) or the recorder's epoch (real mode). The
+    /// event constructor only runs when tracing is on.
+    #[inline]
+    pub(crate) fn emit(
+        &self,
+        rank: u32,
+        clock: &Mutex<Clock>,
+        kind: impl FnOnce() -> EventKind,
+    ) {
+        if let Some(t) = &self.trace {
+            let ts = if t.virt { clock.lock().virtual_us } else { t.rec.elapsed_us() };
+            t.rec.emit(rank as usize, ts, kind());
+        }
+    }
+
+    /// Allocate a send→recv flow id (0 when tracing is off — the exporter
+    /// treats 0 as "no flow").
+    #[inline]
+    pub(crate) fn next_flow(&self) -> u64 {
+        match &self.trace {
+            Some(t) => t.rec.next_flow(),
+            None => 0,
+        }
+    }
+
+    /// A fresh trace id for request state transitions (shares the flow
+    /// counter: the ids only need uniqueness within a trace).
+    #[inline]
+    pub(crate) fn next_trace_id(&self) -> u64 {
+        self.next_flow()
     }
 
     /// Unblock every rank (used when a rank panics so the others do not
@@ -90,6 +158,26 @@ where
     run_world_on(World::new_with_protocol(size, mode, protocol), body)
 }
 
+/// [`run_world_with`] with a flight recorder attached: every rank's p2p,
+/// collective, and request activity is logged into `recorder` (one ring
+/// per rank), and at teardown the world's protocol counters are folded
+/// into the recorder's metrics registry. Pass the protocol to override
+/// the mode-derived default.
+pub fn run_world_recorded<R, F>(
+    size: u32,
+    mode: ClockMode,
+    protocol: Option<ProtocolConfig>,
+    recorder: Arc<Recorder>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Comm) -> R + Send + Sync + 'static,
+{
+    let protocol = protocol.unwrap_or_else(|| ProtocolConfig::from_mode(&mode));
+    run_world_on(World::new_with_opts(size, mode, protocol, Some(recorder)), body)
+}
+
 fn run_world_on<R, F>(world: Arc<World>, body: F) -> Vec<R>
 where
     R: Send + 'static,
@@ -127,6 +215,11 @@ where
     }
     if let Some(p) = panic {
         resume_unwind(p);
+    }
+    if let Some(t) = &world.trace {
+        // Quiescent now (all ranks joined): fold the protocol counters
+        // into the unified metrics registry.
+        t.rec.fold_metrics(world.stats.metric_entries());
     }
     results
 }

@@ -187,10 +187,40 @@ pub(crate) struct Chain {
     resume: u32,
 }
 
+/// Per-call profiling tally kept by `run_jit` and folded into
+/// [`crate::superblock::JitState`] at function exit. Counting is a
+/// monomorphization parameter of [`Chain::run_impl`], so the untallied
+/// path compiles to exactly the code it had before profiling existed.
+#[derive(Default)]
+pub(crate) struct ChainTally {
+    pub(crate) guard_exits: u64,
+    pub(crate) fallback_steps: u64,
+}
+
 impl Chain {
     /// Execute the chain. Loop backedges jump to step 0 without leaving
     /// this loop; every other exit yields the interpreter resume ip.
+    #[inline]
     pub(crate) fn run(&self, ctx: &mut Ctx<'_>) -> Result<usize, Trap> {
+        let mut tally = ChainTally::default();
+        self.run_impl::<false>(ctx, &mut tally)
+    }
+
+    /// [`Chain::run`] with profiling tallies enabled.
+    #[inline]
+    pub(crate) fn run_counted(
+        &self,
+        ctx: &mut Ctx<'_>,
+        tally: &mut ChainTally,
+    ) -> Result<usize, Trap> {
+        self.run_impl::<true>(ctx, tally)
+    }
+
+    fn run_impl<const COUNT: bool>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        tally: &mut ChainTally,
+    ) -> Result<usize, Trap> {
         macro_rules! bin {
             ($read:ident, $wrap:path, $f:expr, $a:expr, $b:expr, $c:expr) => {{
                 let x = rg(ctx, $a).$read();
@@ -529,13 +559,24 @@ impl Chain {
                         Cond::CmpK { a, k, aux } => ieval32(aux, rg(ctx, a).i32(), k),
                     };
                     if taken {
+                        if COUNT && on_true & EXIT != 0 {
+                            tally.guard_exits += 1;
+                        }
                         unwind(ctx, imm);
                         ctl!(i, on_true);
                     } else {
+                        if COUNT && on_false & EXIT != 0 {
+                            tally.guard_exits += 1;
+                        }
                         ctl!(i, on_false);
                     }
                 }
-                Mo::Link(ref f) => ctl!(i, f(ctx)?),
+                Mo::Link(ref f) => {
+                    if COUNT {
+                        tally.fallback_steps += 1;
+                    }
+                    ctl!(i, f(ctx)?)
+                }
             }
         }
         Ok(self.resume as usize)

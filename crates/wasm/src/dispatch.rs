@@ -1074,6 +1074,12 @@ fn run_jit(
     let mut cur = ctx.cur_idx;
     let mut chains = jit.bump(cur, ctx.func);
     let mut ip = 0usize;
+    // Profiling resolved once per call: the hot loop pays one extra
+    // branch per chain entry, and locals flush to the shared atomics only
+    // on the way out.
+    let profiling = jit.profiling();
+    let mut tally = crate::closures::ChainTally::default();
+    let mut chains_entered = 0u64;
     loop {
         if ctx.cur_idx != cur {
             // Interpreted call or return switched functions.
@@ -1082,7 +1088,12 @@ fn run_jit(
         }
         if let Some(ch) = &chains {
             if let Some(chain) = ch.lookup(ip) {
-                ip = chain.run(&mut ctx)?;
+                ip = if profiling {
+                    chains_entered += 1;
+                    chain.run_counted(&mut ctx, &mut tally)?
+                } else {
+                    chain.run(&mut ctx)?
+                };
                 continue;
             }
         }
@@ -1095,6 +1106,9 @@ fn run_jit(
             chains = jit.bump(cur, ctx.func);
         }
         ip = next;
+    }
+    if profiling {
+        jit.flush(chains_entered, &tally);
     }
     let result_slots = ctx.func.result_slots as usize;
     let base = ctx.base;

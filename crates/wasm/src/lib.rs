@@ -52,6 +52,7 @@ pub use error::{DecodeError, Trap, ValidateError};
 pub use instr::Instr;
 pub use module::Module;
 pub use runtime::{Caller, HostFn, Instance, Linker, Memory, Slot, Value};
+pub use superblock::JitSnapshot;
 pub use tier::Tier;
 pub use types::{FuncType, ValType};
 pub use validate::validate_module;

@@ -147,6 +147,31 @@ impl CompiledModule {
         }
     }
 
+    /// Enable or disable JIT profiling counters (promotions, chain
+    /// entries, guard exits, fallback steps). Off by default; the
+    /// dispatch loop reads the flag once per call, so disabled profiling
+    /// costs one relaxed load. No-op on other tiers.
+    pub fn set_jit_profiling(&self, on: bool) {
+        if let Some(jit) = &self.jit {
+            jit.set_profiling(on);
+        }
+    }
+
+    /// Point-in-time copy of the JIT profiling counters. `None` on tiers
+    /// without the superblock JIT.
+    pub fn jit_snapshot(&self) -> Option<crate::superblock::JitSnapshot> {
+        self.jit.as_ref().map(|j| j.snapshot())
+    }
+
+    /// Install a callback invoked with the defined-function index each
+    /// time a function is promoted to compiled chains (fires regardless
+    /// of the profiling flag). No-op on other tiers.
+    pub fn set_promotion_hook(&self, hook: Box<dyn Fn(u32) + Send + Sync>) {
+        if let Some(jit) = &self.jit {
+            jit.set_promotion_hook(hook);
+        }
+    }
+
     pub fn module(&self) -> &Module {
         &self.module
     }

@@ -52,10 +52,10 @@
 //! invocations, e.g. benchmark reps, accumulate hotness instead of
 //! rediscovering it.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use crate::closures::{self, FnChains};
+use crate::closures::{self, ChainTally, FnChains};
 use crate::regalloc::{window_safe, Rc, RegFunc, RegOp};
 
 /// Hard cap on ops folded into one chain: bounds compile time and
@@ -235,11 +235,49 @@ pub(crate) fn discover(f: &RegFunc) -> Vec<Superblock> {
 pub(crate) struct JitState {
     threshold: AtomicU32,
     funcs: Vec<FuncJit>,
+    /// Whether [`crate::dispatch`] keeps per-call tallies and flushes them
+    /// here. Read once per `run_jit` call — hot dispatch pays nothing
+    /// beyond that single load when profiling is off.
+    profiling: AtomicBool,
+    promotions: AtomicU64,
+    chains_entered: AtomicU64,
+    guard_exits: AtomicU64,
+    fallback_steps: AtomicU64,
+    /// Called with the defined-function index each time a function is
+    /// promoted (chains compiled). Set by the embedder; the wasm crate
+    /// stays free of any tracing dependency.
+    promotion_hook: Mutex<Option<Box<dyn Fn(u32) + Send + Sync>>>,
 }
 
 struct FuncJit {
     counter: AtomicU32,
     chains: OnceLock<FnChains>,
+}
+
+/// Point-in-time copy of the profiling counters
+/// ([`crate::runtime::CompiledModule::jit_snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitSnapshot {
+    /// Functions promoted to compiled superblock chains.
+    pub promotions: u64,
+    /// Chain executions entered from the dispatch loop.
+    pub chains_entered: u64,
+    /// Chain exits through a guard's unlikely side.
+    pub guard_exits: u64,
+    /// Fallback-closure steps executed inside chains.
+    pub fallback_steps: u64,
+}
+
+impl JitSnapshot {
+    /// The counters as named metric entries (`jit.*`).
+    pub fn metric_entries(&self) -> [(&'static str, u64); 4] {
+        [
+            ("jit.promotions", self.promotions),
+            ("jit.chains_entered", self.chains_entered),
+            ("jit.guard_exits", self.guard_exits),
+            ("jit.fallback_steps", self.fallback_steps),
+        ]
+    }
 }
 
 impl JitState {
@@ -249,6 +287,12 @@ impl JitState {
             funcs: (0..n_funcs)
                 .map(|_| FuncJit { counter: AtomicU32::new(0), chains: OnceLock::new() })
                 .collect(),
+            profiling: AtomicBool::new(false),
+            promotions: AtomicU64::new(0),
+            chains_entered: AtomicU64::new(0),
+            guard_exits: AtomicU64::new(0),
+            fallback_steps: AtomicU64::new(0),
+            promotion_hook: Mutex::new(None),
         }
     }
 
@@ -256,6 +300,36 @@ impl JitState {
     /// `CompiledModule::set_jit_threshold`).
     pub(crate) fn set_threshold(&self, n: u32) {
         self.threshold.store(n.max(1), Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_promotion_hook(&self, hook: Box<dyn Fn(u32) + Send + Sync>) {
+        *self.promotion_hook.lock().unwrap() = Some(hook);
+    }
+
+    /// Fold one `run_jit` call's local tallies into the shared counters
+    /// (only reached when profiling is on).
+    pub(crate) fn flush(&self, chains_entered: u64, tally: &ChainTally) {
+        self.chains_entered.fetch_add(chains_entered, Ordering::Relaxed);
+        self.guard_exits.fetch_add(tally.guard_exits, Ordering::Relaxed);
+        self.fallback_steps.fetch_add(tally.fallback_steps, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> JitSnapshot {
+        JitSnapshot {
+            promotions: self.promotions.load(Ordering::Relaxed),
+            chains_entered: self.chains_entered.load(Ordering::Relaxed),
+            guard_exits: self.guard_exits.load(Ordering::Relaxed),
+            fallback_steps: self.fallback_steps.load(Ordering::Relaxed),
+        }
     }
 
     /// Record one hotness event for defined function `idx` and return its
@@ -270,7 +344,13 @@ impl JitState {
         if n < self.threshold.load(Ordering::Relaxed) {
             return None;
         }
-        Some(fj.chains.get_or_init(|| closures::compile_fn(f)))
+        Some(fj.chains.get_or_init(|| {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+            if let Some(hook) = self.promotion_hook.lock().unwrap().as_ref() {
+                hook(idx);
+            }
+            closures::compile_fn(f)
+        }))
     }
 }
 

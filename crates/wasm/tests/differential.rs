@@ -581,3 +581,64 @@ fn pinned_addshl_fusion_keeps_scaled_operand_alive() {
         assert_eq!(out[0], Value::I32(x0), "tier {tier}");
     }
 }
+
+/// JIT profiling counters observe promotions and chain executions on a
+/// hot loop, and leave the program's results untouched.
+#[test]
+fn jit_profiling_counters_track_a_hot_loop() {
+    use wasm_engine::instr::Instr as I;
+    use wasm_engine::types::BlockType;
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    // sum = 0; do { sum += n; n -= 1 } while (n > 0); return sum
+    b.func("run", vec![ValType::I32], vec![ValType::I32], |f| {
+        f.local(ValType::I32);
+        f.emit_all([
+            I::Loop(BlockType::Empty),
+            I::LocalGet(1),
+            I::LocalGet(0),
+            I::I32Add,
+            I::LocalSet(1),
+            I::LocalGet(0),
+            I::I32Const(1),
+            I::I32Sub,
+            I::LocalTee(0),
+            I::I32Const(0),
+            I::I32GtS,
+            I::BrIf(0),
+            I::End,
+            I::LocalGet(1),
+            I::Return,
+        ]);
+    });
+    let module = b.finish();
+    let compiled = CompiledModule::compile(module, Tier::MaxJit).unwrap();
+    compiled.set_jit_threshold(1);
+
+    let hits = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let h = hits.clone();
+    compiled.set_promotion_hook(Box::new(move |_idx| {
+        h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }));
+    compiled.set_jit_profiling(true);
+
+    let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+    let out = inst.invoke("run", &[Value::I32(100)]).unwrap();
+    assert_eq!(out[0], Value::I32(5050));
+
+    let snap = compiled.jit_snapshot().expect("MaxJit exposes a snapshot");
+    assert_eq!(snap.promotions, 1, "one defined function promoted");
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert!(snap.chains_entered > 0, "loop iterations entered chains: {snap:?}");
+    assert!(snap.guard_exits >= 1, "final loop exit is a guard bail: {snap:?}");
+    assert_eq!(
+        snap.metric_entries()[0],
+        ("jit.promotions", 1),
+        "metric entries expose the named counters"
+    );
+
+    // Disabled profiling freezes the counters.
+    compiled.set_jit_profiling(false);
+    inst.invoke("run", &[Value::I32(50)]).unwrap();
+    assert_eq!(compiled.jit_snapshot().unwrap().chains_entered, snap.chains_entered);
+}
