@@ -39,6 +39,16 @@ OPTIONS:
                      Chrome trace-event JSON (load in Perfetto/about:tracing)
     --metrics        print the unified metrics table (protocol + JIT +
                      trace counters) after the run
+    --fault <PLAN>   deterministic fault plan, e.g.
+                     \"seed=42;crash@call:rank=1,call=10;drop:rank=0,nth=3\"
+                     (see docs/fault_tolerance.md for the grammar)
+    --max-fuel <N>   per-rank execution-fuel budget in guard-point ticks;
+                     an exhausted rank fails (peers see RankFailed)
+    --max-memory <B> per-rank linear-memory cap in bytes (suffixes k/m/g)
+    --deadline <S>   wall-clock job deadline in seconds; ranks still
+                     running are interrupted and become failed ranks
+    --watchdog <S>   hang watchdog: fail the job with a per-rank report
+                     after S seconds without global progress
     -h, --help       show this help
 ";
 
@@ -53,8 +63,34 @@ struct Options {
     virtual_clock: bool,
     trace: Option<String>,
     metrics: bool,
+    fault: Option<netsim::FaultPlan>,
+    max_fuel: Option<u64>,
+    max_memory: Option<u64>,
+    deadline: Option<f64>,
+    watchdog: Option<f64>,
     module: String,
     guest_args: Vec<String>,
+}
+
+/// Parse a byte count with optional `k`/`m`/`g` suffix (powers of 1024).
+fn parse_bytes(text: &str) -> Result<u64, String> {
+    let t = text.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match t.as_bytes()[t.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1u64 << 20,
+                _ => 1u64 << 30,
+            };
+            (d, mult)
+        }
+        None => (t.as_str(), 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("invalid byte count {text:?}"))
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -69,6 +105,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         virtual_clock: false,
         trace: None,
         metrics: false,
+        fault: None,
+        max_fuel: None,
+        max_memory: None,
+        deadline: None,
+        watchdog: None,
         module: String::new(),
         guest_args: Vec::new(),
     };
@@ -121,6 +162,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--trace" | "-trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--metrics" | "-metrics" => opts.metrics = true,
+            "--fault" | "-fault" => {
+                opts.fault = Some(
+                    netsim::FaultPlan::parse(&need(&mut it, "--fault")?)
+                        .map_err(|e| format!("--fault: {e}"))?,
+                );
+            }
+            "--max-fuel" | "-max-fuel" => {
+                opts.max_fuel = Some(
+                    need(&mut it, "--max-fuel")?
+                        .parse()
+                        .map_err(|_| "--max-fuel expects an integer tick count".to_string())?,
+                );
+            }
+            "--max-memory" | "-max-memory" => {
+                opts.max_memory = Some(parse_bytes(&need(&mut it, "--max-memory")?)?);
+            }
+            "--deadline" | "-deadline" => {
+                let secs: f64 = need(&mut it, "--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline expects seconds".to_string())?;
+                if !(secs > 0.0) {
+                    return Err("--deadline must be positive".into());
+                }
+                opts.deadline = Some(secs);
+            }
+            "--watchdog" | "-watchdog" => {
+                let secs: f64 = need(&mut it, "--watchdog")?
+                    .parse()
+                    .map_err(|_| "--watchdog expects seconds".to_string())?;
+                if !(secs > 0.0) {
+                    return Err("--watchdog must be positive".into());
+                }
+                opts.watchdog = Some(secs);
+            }
             other if opts.module.is_empty() && !other.starts_with('-') => {
                 opts.module = other.to_string();
             }
@@ -220,6 +295,13 @@ fn main() -> ExitCode {
         echo_stdout: !opts.quiet,
         entry: opts.entry.clone(),
         recorder: recorder.clone(),
+        fault: opts.fault.clone(),
+        max_fuel: opts.max_fuel,
+        max_memory: opts.max_memory,
+        deadline: opts.deadline.map(std::time::Duration::from_secs_f64),
+        watchdog: opts
+            .watchdog
+            .map(|s| mpi_substrate::WatchdogConfig::wall(std::time::Duration::from_secs_f64(s))),
         ..Default::default()
     };
 
@@ -266,6 +348,10 @@ fn main() -> ExitCode {
                 } else if r.exit_code != 0 && exit == 0 {
                     exit = r.exit_code.clamp(0, 255);
                 }
+            }
+            if let Some(report) = &result.watchdog_report {
+                eprintln!("mpiwasm: hang watchdog fired:\n{report}");
+                exit = 1;
             }
             ExitCode::from(exit as u8)
         }

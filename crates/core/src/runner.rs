@@ -6,10 +6,11 @@
 //! OS thread with its own linear memory, `Env`, and WASI context — and the
 //! exported entry point is invoked on every rank.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mpi_substrate::{run_world_recorded, run_world_with, ClockMode};
+use mpi_substrate::{run_world_configured, ClockMode, WatchdogConfig, WorldConfig};
+use netsim::FaultPlan;
 use obs::Recorder;
 use wasi_layer::{register_wasi, SharedFs, WasiCtx};
 use wasm_engine::error::Trap;
@@ -48,6 +49,26 @@ pub struct JobConfig {
     /// and a promotion hook on the compiled module, and folds the JIT and
     /// protocol counters into the recorder's metrics at completion.
     pub recorder: Option<Arc<Recorder>>,
+    /// Per-rank execution-fuel budget (guard-point ticks; see
+    /// `Instance::set_fuel`). A rank that exhausts its budget traps with
+    /// `OutOfFuel` and is marked *failed*, so its peers observe
+    /// `RankFailed` instead of hanging. `None` = unlimited.
+    pub max_fuel: Option<u64>,
+    /// Per-rank linear-memory cap in bytes (rounded down to whole pages,
+    /// never below the module's initial size). A `memory.grow` past the
+    /// cap fails with -1, exactly like exceeding the declared maximum.
+    pub max_memory: Option<u64>,
+    /// Wall-clock deadline for the whole job. One timer thread raises a
+    /// shared interruption flag; every rank still executing traps with
+    /// `Interrupted` at its next guard point and becomes a failed rank.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault plan (injected rank crashes, message drops,
+    /// extra delays) forwarded to the world; see `netsim::FaultPlan`.
+    pub fault: Option<FaultPlan>,
+    /// Hang watchdog forwarded to the world: fires when global progress
+    /// stalls (or a virtual clock passes its budget), dumps a per-rank
+    /// report, and shuts the world down so blocked ranks return errors.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for JobConfig {
@@ -63,6 +84,11 @@ impl Default for JobConfig {
             echo_stdout: false,
             entry: "_start".into(),
             recorder: None,
+            max_fuel: None,
+            max_memory: None,
+            deadline: None,
+            fault: None,
+            watchdog: None,
         }
     }
 }
@@ -94,6 +120,10 @@ pub struct JobResult {
     /// Time spent obtaining executable code (compile or cache load).
     pub compile_time: Duration,
     pub cache_hit: bool,
+    /// Per-rank diagnosis captured if the hang watchdog fired (what each
+    /// rank was blocked in, call counts, failed set). Also stored as the
+    /// `watchdog_report` annotation on an attached recorder.
+    pub watchdog_report: Option<String>,
 }
 
 impl JobResult {
@@ -247,14 +277,48 @@ impl Runner {
         let config = Arc::new(config);
         let np = config.np;
         let clock = config.clock.clone();
+        let fault_plan = config.fault.clone();
+        let watchdog_cfg = config.watchdog.clone();
 
+        // One deadline timer drives every rank through a shared
+        // interruption flag; each rank traps `Interrupted` at its next
+        // guard point. The timer thread is detached — if the job finishes
+        // first it sets a flag nobody reads.
+        let deadline_flag = config.deadline.map(|deadline| {
+            let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let timer = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(deadline);
+                timer.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            flag
+        });
+
+        let body_rec = recorder.clone();
         let body = move |comm: mpi_substrate::Comm| {
             let rank = comm.rank();
             // MPI_COMM_SELF is built collectively before the guest starts.
-            let comm_self = comm
-                .split(rank as i32, 0)
-                .expect("self-comm split cannot fail")
-                .expect("color is never undefined");
+            // The split can fail for real — a fault plan may kill a rank
+            // (this one or a peer) mid-collective — and that must contain
+            // as a failed rank, not a panic.
+            let comm_self = match comm.split(rank as i32, 0) {
+                Ok(c) => c.expect("color is never undefined"),
+                Err(e) => {
+                    comm.fail_self();
+                    return RankResult {
+                        rank,
+                        exit_code: -1,
+                        error: Some(format!("launch failed: {e}")),
+                        stdout: String::new(),
+                        stderr: String::new(),
+                        bytes_read: 0,
+                        bytes_written: 0,
+                        virtual_time_us: comm.virtual_time_us(),
+                        stats: TranslationStats::new(),
+                        reports: Vec::new(),
+                    };
+                }
+            };
             let mut mpi = MpiState::new(comm, comm_self);
             mpi.instrument = config.instrument;
             mpi.wasm_call_overhead_us = config.wasm_call_overhead_us;
@@ -282,14 +346,48 @@ impl Runner {
                     }
                 }
             };
+            if let Some(fuel) = config.max_fuel {
+                inst.set_fuel(fuel);
+            }
+            if let Some(bytes) = config.max_memory {
+                inst.cap_memory(bytes);
+            }
+            if let Some(flag) = &deadline_flag {
+                inst.set_interrupt_flag(Arc::clone(flag));
+            }
 
             let outcome = inst.invoke(&config.entry, &[]);
-            let (exit_code, error) = match outcome {
-                Ok(_) => (0, None),
-                Err(Trap::Exit(code)) => (code, None),
-                Err(t) => (-1, Some(t.to_string())),
+            let (exit_code, mut error, limit_kill) = match outcome {
+                Ok(_) => (0, None, false),
+                Err(Trap::Exit(code)) => (code, None, false),
+                Err(t) => {
+                    let limit = matches!(t, Trap::OutOfFuel | Trap::Interrupted);
+                    (-1, Some(t.to_string()), limit)
+                }
             };
             let env = inst.data_mut::<Env>().expect("data is Env");
+            if limit_kill {
+                if let Some(rec) = &body_rec {
+                    let ts = match rec.clock() {
+                        obs::TraceClock::Virtual => env.mpi.world().virtual_time_us(),
+                        obs::TraceClock::Real => rec.elapsed_us(),
+                    };
+                    rec.emit(rank as usize, ts, obs::EventKind::FuelExhausted { rank });
+                }
+            }
+            if error.is_some() {
+                // A trapped guest is a failed rank: peers blocked on it
+                // observe `RankFailed` (ULFM semantics) instead of
+                // hanging on a rank that will never call MPI again.
+                env.mpi.world().fail_self();
+            } else if exit_code == 0 && env.mpi.world().failed_ranks().contains(&rank) {
+                // The inverse masking: a killed rank whose guest swallowed
+                // every MPI error code and exited *cleanly* would misreport
+                // the job. A nonzero exit (canonically 75) is the guest
+                // reporting the failure itself — errors-return semantics —
+                // and stays untouched.
+                error = Some(format!("rank {rank} killed by fault injection"));
+            }
             RankResult {
                 rank,
                 exit_code,
@@ -304,16 +402,36 @@ impl Runner {
             }
         };
 
-        let ranks = match &recorder {
-            Some(rec) => run_world_recorded(np, clock, None, Arc::clone(rec), body),
-            None => run_world_with(np, clock, body),
-        };
+        let mut world_config = WorldConfig::new(clock);
+        if let Some(rec) = &recorder {
+            world_config = world_config.with_recorder(Arc::clone(rec));
+        }
+        if let Some(plan) = fault_plan {
+            world_config = world_config.with_fault(plan);
+        }
+        // Capture the watchdog report so it outlives the world (chaining
+        // any caller-installed `on_fire`); it lands on the `JobResult`.
+        let watchdog_report: Arc<Mutex<Option<String>>> = Arc::default();
+        if let Some(mut wd) = watchdog_cfg {
+            let user_hook = wd.on_fire.take();
+            let capture = Arc::clone(&watchdog_report);
+            wd.on_fire = Some(Arc::new(move |report: &str| {
+                *capture.lock().unwrap() = Some(report.to_string());
+                if let Some(hook) = &user_hook {
+                    hook(report);
+                }
+            }));
+            world_config = world_config.with_watchdog(wd);
+        }
+
+        let ranks = run_world_configured(np, world_config, body);
 
         if let Some(rec) = &recorder {
             if let Some(snap) = compiled_jit.jit_snapshot() {
                 rec.fold_metrics(snap.metric_entries());
             }
         }
-        Ok(JobResult { ranks, compile_time: Duration::ZERO, cache_hit: false })
+        let watchdog_report = watchdog_report.lock().unwrap().take();
+        Ok(JobResult { ranks, compile_time: Duration::ZERO, cache_hit: false, watchdog_report })
     }
 }

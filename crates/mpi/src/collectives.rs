@@ -35,6 +35,7 @@ impl Comm {
     /// parked — e.g. a token deferred to rendezvous under eager-credit
     /// exhaustion — would deadlock the whole ring.
     pub fn barrier(&self) -> Result<(), MpiError> {
+        self.fault_step("barrier")?;
         let _span = self.coll_span(obs::CollKind::Barrier, obs::Algorithm::Dissemination);
         let p = self.size();
         if p == 1 {
@@ -59,6 +60,7 @@ impl Comm {
     /// `MPI_Bcast`: binomial tree from `root`; `buf` is the full payload on
     /// the root and is overwritten everywhere else.
     pub fn bcast(&self, buf: &mut [u8], root: u32) -> Result<(), MpiError> {
+        self.fault_step("bcast")?;
         let _span = self.coll_span(obs::CollKind::Bcast, obs::Algorithm::Binomial);
         let p = self.size();
         if root >= p {
@@ -108,6 +110,7 @@ impl Comm {
         op: ReduceOp,
         root: u32,
     ) -> Result<(), MpiError> {
+        self.fault_step("reduce")?;
         let _span = self.coll_span(obs::CollKind::Reduce, obs::Algorithm::Binomial);
         let p = self.size();
         if root >= p {
@@ -159,6 +162,7 @@ impl Comm {
         dt: Datatype,
         op: ReduceOp,
     ) -> Result<(), MpiError> {
+        self.fault_step("allreduce")?;
         let _span = self.coll_span(obs::CollKind::Allreduce, obs::Algorithm::RecursiveDoubling);
         if recv_buf.len() != send_buf.len() {
             return Err(MpiError::CollectiveMismatch(format!(
@@ -234,6 +238,7 @@ impl Comm {
         recv_buf: Option<&mut [u8]>,
         root: u32,
     ) -> Result<(), MpiError> {
+        self.fault_step("gather")?;
         let _span = self.coll_span(obs::CollKind::Gather, obs::Algorithm::LinearRoot);
         let p = self.size();
         if root >= p {
@@ -285,6 +290,7 @@ impl Comm {
         recv_buf: &mut [u8],
         root: u32,
     ) -> Result<(), MpiError> {
+        self.fault_step("scatter")?;
         let _span = self.coll_span(obs::CollKind::Scatter, obs::Algorithm::LinearRoot);
         let p = self.size();
         if root >= p {
@@ -322,6 +328,7 @@ impl Comm {
 
     /// `MPI_Allgather`: ring algorithm, p−1 rounds.
     pub fn allgather(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        self.fault_step("allgather")?;
         let _span = self.coll_span(obs::CollKind::Allgather, obs::Algorithm::Ring);
         let p = self.size() as usize;
         let n = send_buf.len();
@@ -361,6 +368,7 @@ impl Comm {
     /// `MPI_Alltoall`: each rank sends block `r` of `send_buf` to rank `r`
     /// and receives block `s` of `recv_buf` from rank `s`.
     pub fn alltoall(&self, send_buf: &[u8], recv_buf: &mut [u8]) -> Result<(), MpiError> {
+        self.fault_step("alltoall")?;
         let _span = self.coll_span(obs::CollKind::Alltoall, obs::Algorithm::Pairwise);
         let p = self.size() as usize;
         if send_buf.len() != recv_buf.len() || send_buf.len() % p != 0 {
@@ -416,6 +424,7 @@ impl Comm {
         recv_counts: &[usize],
         recv_displs: &[usize],
     ) -> Result<(), MpiError> {
+        self.fault_step("alltoallv")?;
         let _span = self.coll_span(obs::CollKind::Alltoallv, obs::Algorithm::Pairwise);
         let p = self.size() as usize;
         if send_counts.len() != p

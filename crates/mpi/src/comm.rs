@@ -84,20 +84,34 @@ pub struct Comm {
     /// per-rank counters agree and give each outstanding collective its
     /// own tag.
     nbc_seq: AtomicU64,
+    /// Failure-acknowledgement epoch (ULFM `MPI_Comm_failure_ack`): how
+    /// many world failures this *rank* has acknowledged. Wildcard
+    /// receives posted afterwards ignore those failures. Shared across
+    /// derived communicators, like the clock — acknowledgement is a
+    /// rank-level act.
+    acked: Arc<AtomicU64>,
+    /// Agreement sequence number (same symmetric-usage contract as
+    /// `nbc_seq`: every rank calls `agree`/`shrink` on a communicator in
+    /// the same order, so per-rank counters line up).
+    agree_seq: AtomicU64,
 }
 
 impl Comm {
     /// The world communicator for `rank` (`MPI_COMM_WORLD`).
     pub(crate) fn world(world: Arc<World>, rank: u32) -> Comm {
         let group = Arc::new((0..world.size).collect());
+        let clock = Arc::new(Mutex::new(Clock::new()));
+        world.register_clock(rank, Arc::clone(&clock));
         Comm {
             world,
             id: 0,
             group,
             rank,
-            clock: Arc::new(Mutex::new(Clock::new())),
+            clock,
             derive_seq: AtomicU64::new(0),
             nbc_seq: AtomicU64::new(0),
+            acked: Arc::new(AtomicU64::new(0)),
+            agree_seq: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +164,38 @@ impl Comm {
         }
     }
 
+    /// Per-call fault hook: records the op label + call count for the
+    /// watchdog report and evaluates the world's fault plan. A rank the
+    /// plan kills here (or that already died) gets `RankFailed` with its
+    /// *own* world rank — once dead, every further MPI call fails.
+    #[inline]
+    pub(crate) fn fault_step(&self, op: &'static str) -> Result<(), MpiError> {
+        let me = self.group[self.rank as usize];
+        let now_us = match &self.world.mode {
+            ClockMode::Virtual(_) => self.clock.lock().virtual_us,
+            ClockMode::Real => self.clock.lock().wtime(&ClockMode::Real) * 1e6,
+        };
+        self.world.fault_step(me, op, now_us)
+    }
+
+    /// Failure predicate for blocking probes: a probe of a dead peer (or a
+    /// wildcard probe while an unacknowledged failure is outstanding) can
+    /// never be satisfied, so it returns `RankFailed` instead of parking
+    /// forever. Reported ranks follow the receive-path convention: the
+    /// comm rank for a specific source, the world rank for wildcards.
+    fn probe_peer_failure(&self, src: Source) -> Option<MpiError> {
+        match src {
+            Source::Rank(r) => {
+                let w = *self.group.get(r as usize)?;
+                self.world.is_failed(w).then_some(MpiError::RankFailed { rank: r })
+            }
+            Source::Any => self
+                .world
+                .failed_since(self.acked.load(Ordering::SeqCst))
+                .map(|rank| MpiError::RankFailed { rank }),
+        }
+    }
+
     /// Emit a flight-recorder event on this rank's track (one pointer
     /// test when tracing is off).
     #[inline]
@@ -181,6 +227,7 @@ impl Comm {
             rank: self.rank,
             comm_id: self.id,
             clock: Arc::clone(&self.clock),
+            acked: Arc::clone(&self.acked),
         }
     }
 
@@ -209,6 +256,7 @@ impl Comm {
     /// request table instead, restoring the MPI progress guarantee).
     pub fn send(&self, buf: &[u8], dest: u32, tag: i32) -> Result<(), MpiError> {
         self.charge_call();
+        self.fault_step("send")?;
         self.ctx().send_blocking(buf, dest, tag)
     }
 
@@ -220,6 +268,7 @@ impl Comm {
     /// MPI does). Rendezvous payloads are copied directly from the
     /// sender's buffer into `buf`.
     pub fn recv(&self, buf: &mut [u8], src: Source, tag: Tag) -> Result<Status, MpiError> {
+        self.fault_step("recv")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
@@ -232,6 +281,7 @@ impl Comm {
 
     /// Blocking receive returning an owned buffer (no size known upfront).
     pub fn recv_vec(&self, src: Source, tag: Tag) -> Result<(Vec<u8>, Status), MpiError> {
+        self.fault_step("recv")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
@@ -300,6 +350,7 @@ impl Comm {
     /// collective traffic, like receives do, and messages already matched
     /// to a posted receive are not probe-visible (real MPI semantics).
     pub fn iprobe(&self, src: Source, tag: Tag) -> Result<Option<Status>, MpiError> {
+        self.fault_step("iprobe")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
@@ -314,10 +365,13 @@ impl Comm {
     /// stays queued — but under `MPI_THREAD_MULTIPLE` another thread may
     /// receive it first; use [`Comm::mprobe`] for the race-free form.
     pub fn probe(&self, src: Source, tag: Tag) -> Result<Status, MpiError> {
+        self.fault_step("probe")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
-        let info = self.mailbox().wait_probe(CommCtx::matcher(self.id, src, tag))?;
+        let info = self
+            .mailbox()
+            .wait_probe(CommCtx::matcher(self.id, src, tag), || self.probe_peer_failure(src))?;
         Ok(self.probe_status(&info))
     }
 
@@ -333,6 +387,7 @@ impl Comm {
         src: Source,
         tag: Tag,
     ) -> Result<Option<(MpiMessage, Status)>, MpiError> {
+        self.fault_step("improbe")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
@@ -357,6 +412,7 @@ impl Comm {
     /// Blocking matched probe (`MPI_Mprobe`): park until a matching
     /// message is pending and extract it (see [`Comm::improbe`]).
     pub fn mprobe(&self, src: Source, tag: Tag) -> Result<(MpiMessage, Status), MpiError> {
+        self.fault_step("mprobe")?;
         if let Source::Rank(r) = src {
             self.check_rank(r)?;
         }
@@ -365,7 +421,7 @@ impl Comm {
             // Park until something matching is queued, then race to take
             // it: a concurrent thread's receive or probe may win, in which
             // case we park again for the next arrival.
-            self.mailbox().wait_probe(matcher())?;
+            self.mailbox().wait_probe(matcher(), || self.probe_peer_failure(src))?;
             if let Some(msg) = self.mailbox().try_take_matching(matcher())? {
                 let st = self.probe_status(&msg.probe_info());
                 return Ok((MpiMessage { msg: Some(msg), ctx: self.ctx() }, st));
@@ -381,6 +437,7 @@ impl Comm {
     /// the receiver drains it directly at its matching receive.
     pub fn isend<'a>(&self, buf: &'a [u8], dest: u32, tag: i32) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("isend")?;
         Request::send(self.ctx(), buf.as_ptr(), buf.len(), dest, tag)
     }
 
@@ -393,6 +450,7 @@ impl Comm {
         tag: Tag,
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("irecv")?;
         Request::recv(self.ctx(), buf.as_mut_ptr(), buf.len(), src, tag)
     }
 
@@ -420,6 +478,7 @@ impl Comm {
     /// advanced by the progress loop.
     pub fn ibarrier(&self) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("ibarrier")?;
         let tag = self.next_nbc_tag(NBC_KIND_BARRIER);
         Ok(Request::coll(self.ctx(), CollState::Barrier(IbarrierState::new(tag))))
     }
@@ -427,6 +486,7 @@ impl Comm {
     /// Nonblocking broadcast (`MPI_Ibcast`).
     pub fn ibcast<'a>(&self, buf: &'a mut [u8], root: u32) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("ibcast")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_BCAST);
         let state = IbcastState::new(&ctx, buf.as_mut_ptr(), buf.len(), root, tag)?;
@@ -444,6 +504,7 @@ impl Comm {
         op: ReduceOp,
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("iallreduce")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLREDUCE);
         let state = IallreduceState::new(
@@ -471,6 +532,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("ireduce")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_REDUCE);
         let (out, out_len) = match recv_buf {
@@ -496,6 +558,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("igather")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_GATHER);
         let (out, out_len) = match recv_buf {
@@ -521,6 +584,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("iscatter")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_SCATTER);
         let (sbuf, sbuf_len) = match send_buf {
@@ -553,6 +617,7 @@ impl Comm {
         recv_buf: &'a mut [u8],
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("iallgather")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLGATHER);
         let state =
@@ -569,6 +634,7 @@ impl Comm {
         recv_buf: &'a mut [u8],
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("ialltoall")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLTOALL);
         let state = IalltoallState::new(
@@ -596,6 +662,7 @@ impl Comm {
         recv_displs: &[usize],
     ) -> Result<Request<'a>, MpiError> {
         self.charge_call();
+        self.fault_step("ialltoallv")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLTOALLV);
         let state = IalltoallvState::new(
@@ -635,6 +702,7 @@ impl Comm {
         tag: i32,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("isend")?;
         Request::send(self.ctx(), buf, len, dest, tag)
     }
 
@@ -651,13 +719,16 @@ impl Comm {
         tag: Tag,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("irecv")?;
         Request::recv(self.ctx(), buf, len, src, tag)
     }
 
     /// Raw-pointer receive post *without* the per-call clock charge: for
     /// embedders composing a blocking receive out of request primitives
     /// (post + progress loop). The delivery path charges the one receive
-    /// call; charging here too would double-bill `MPI_Recv`.
+    /// call; charging here too would double-bill `MPI_Recv`. It is still
+    /// a fault guard point — only the clock charge is skipped, never the
+    /// failure check, or a dead rank could park in a blocking receive.
     ///
     /// # Safety
     /// As [`Comm::irecv_raw`].
@@ -668,6 +739,7 @@ impl Comm {
         src: Source,
         tag: Tag,
     ) -> Result<Request<'static>, MpiError> {
+        self.fault_step("recv")?;
         Request::recv(self.ctx(), buf, len, src, tag)
     }
 
@@ -710,6 +782,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("ibcast")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_BCAST);
         let state = IbcastState::new(&ctx, buf, len, root, tag)?;
@@ -731,6 +804,7 @@ impl Comm {
         op: ReduceOp,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("iallreduce")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLREDUCE);
         let state = IallreduceState::new(&ctx, send_buf, recv_buf, len, dt, op, tag)?;
@@ -754,6 +828,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("ireduce")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_REDUCE);
         let state = IreduceState::new(&ctx, send_buf, recv_buf, len, dt, op, root, tag)?;
@@ -774,6 +849,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("igather")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_GATHER);
         let send_buf = std::slice::from_raw_parts(sbuf, n);
@@ -795,6 +871,7 @@ impl Comm {
         root: u32,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("iscatter")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_SCATTER);
         let state = IscatterState::new(&ctx, sbuf, sbuf_len, rbuf, n, root, tag)?;
@@ -813,6 +890,7 @@ impl Comm {
         rbuf_len: usize,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("iallgather")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLGATHER);
         let state = IallgatherState::new(&ctx, send_buf, rbuf, rbuf_len, tag)?;
@@ -832,6 +910,7 @@ impl Comm {
         rbuf_len: usize,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("ialltoall")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLTOALL);
         let state = IalltoallState::new(&ctx, sbuf, sbuf_len, rbuf, rbuf_len, tag)?;
@@ -855,6 +934,7 @@ impl Comm {
         recv_displs: Vec<usize>,
     ) -> Result<Request<'static>, MpiError> {
         self.charge_call();
+        self.fault_step("ialltoallv")?;
         let ctx = self.ctx();
         let tag = self.next_nbc_tag(NBC_KIND_ALLTOALLV);
         let state = IalltoallvState::new(
@@ -921,6 +1001,8 @@ impl Comm {
             clock: Arc::clone(&self.clock),
             derive_seq: AtomicU64::new(0),
             nbc_seq: AtomicU64::new(0),
+            acked: Arc::clone(&self.acked),
+            agree_seq: AtomicU64::new(0),
         }))
     }
 
@@ -941,6 +1023,8 @@ impl Comm {
             clock: Arc::clone(&self.clock),
             derive_seq: AtomicU64::new(0),
             nbc_seq: AtomicU64::new(0),
+            acked: Arc::clone(&self.acked),
+            agree_seq: AtomicU64::new(0),
         })
     }
 
@@ -950,6 +1034,95 @@ impl Comm {
         let mut out = vec![0u8; bytes.len() * self.size() as usize];
         self.allgather(bytes, &mut out)?;
         Ok(out)
+    }
+
+    // --- fault tolerance (ULFM-style) -----------------------------------
+
+    /// Has communicator rank `comm_rank` failed?
+    pub fn rank_failed(&self, comm_rank: u32) -> bool {
+        self.check_rank(comm_rank).is_ok() && self.world.is_failed(self.group[comm_rank as usize])
+    }
+
+    /// Failed members of this communicator, as communicator ranks in
+    /// ascending order (`MPI_Comm_failure_get_acked` without the ack).
+    pub fn failed_ranks(&self) -> Vec<u32> {
+        let failed = self.world.failed_ranks();
+        self.group
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| failed.contains(w))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Acknowledge every failure known so far (ULFM
+    /// `MPI_Comm_failure_ack`): wildcard (`Source::Any`) receives posted
+    /// *after* this call ignore the acknowledged failures and wait for the
+    /// surviving senders. Returns the acknowledged comm ranks.
+    pub fn ack_failed(&self) -> Vec<u32> {
+        let ranks = self.failed_ranks();
+        self.acked.store(self.world.failure_epoch(), Ordering::SeqCst);
+        ranks
+    }
+
+    /// Declare *this* rank failed (the embedder's hook for turning a guest
+    /// trap or resource-limit kill into a rank failure peers can observe).
+    /// Idempotent; every later MPI call on this rank returns `RankFailed`.
+    pub fn fail_self(&self) {
+        self.world.fail_rank(self.group[self.rank as usize]);
+    }
+
+    /// ULFM-style agreement (`MPI_Comm_agree`): bitwise-AND `flag` across
+    /// the communicator's *surviving* members. Blocks until every member
+    /// has contributed or failed; every survivor then returns the same
+    /// value, even if ranks fail mid-agreement. Like the collectives, all
+    /// survivors must call `agree`/`shrink` on a communicator in the same
+    /// order.
+    pub fn agree(&self, flag: u32) -> Result<u32, MpiError> {
+        self.charge_call();
+        self.fault_step("agree")?;
+        let seq = self.agree_seq.fetch_add(1, Ordering::Relaxed);
+        let (value, _failed) =
+            self.world.agree(self.id, seq, &self.group, self.rank as usize, flag)?;
+        Ok(value)
+    }
+
+    /// ULFM-style shrink (`MPI_Comm_shrink`): agree on the failed set and
+    /// return a new communicator containing only survivors (rank order
+    /// preserved). Every survivor computes the same group and the same
+    /// derived id; a failed caller gets `RankFailed`.
+    pub fn shrink(&self) -> Result<Comm, MpiError> {
+        self.charge_call();
+        self.fault_step("shrink")?;
+        let seq = self.agree_seq.fetch_add(1, Ordering::Relaxed);
+        let (_, failed) =
+            self.world.agree(self.id, seq, &self.group, self.rank as usize, u32::MAX)?;
+        let group: Vec<u32> =
+            self.group.iter().copied().filter(|w| !failed.contains(w)).collect();
+        let me = self.group[self.rank as usize];
+        let new_rank = group
+            .iter()
+            .position(|&w| w == me)
+            .ok_or(MpiError::RankFailed { rank: me })? as u32;
+        // Deterministic id every survivor computes identically (the same
+        // construction discipline as `split`).
+        let id = self
+            .id
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(seq)
+            .wrapping_mul(131)
+            .wrapping_add(7);
+        Ok(Comm {
+            world: Arc::clone(&self.world),
+            id,
+            group: Arc::new(group),
+            rank: new_rank,
+            clock: Arc::clone(&self.clock),
+            derive_seq: AtomicU64::new(0),
+            nbc_seq: AtomicU64::new(0),
+            acked: Arc::clone(&self.acked),
+            agree_seq: AtomicU64::new(0),
+        })
     }
 }
 

@@ -25,6 +25,12 @@ pub enum MpiError {
     InvalidDatatype(u32),
     /// Invalid reduction-op handle.
     InvalidOp(u32),
+    /// A rank this operation depends on has failed (ULFM
+    /// `MPI_ERR_PROC_FAILED`). `rank` is the *world* rank of the dead
+    /// process; survivors keep the communicator and may continue with
+    /// other peers, acknowledge the failure ([`crate::Comm::ack_failed`])
+    /// or shrink ([`crate::Comm::shrink`]).
+    RankFailed { rank: u32 },
 }
 
 impl fmt::Display for MpiError {
@@ -45,6 +51,7 @@ impl fmt::Display for MpiError {
             MpiError::InvalidComm(h) => write!(f, "invalid communicator handle {h}"),
             MpiError::InvalidDatatype(h) => write!(f, "invalid datatype handle {h}"),
             MpiError::InvalidOp(h) => write!(f, "invalid op handle {h}"),
+            MpiError::RankFailed { rank } => write!(f, "rank {rank} failed"),
         }
     }
 }
@@ -64,6 +71,7 @@ impl MpiError {
             MpiError::InvalidComm(_) => 5,       // MPI_ERR_COMM
             MpiError::InvalidDatatype(_) => 3,   // MPI_ERR_TYPE
             MpiError::InvalidOp(_) => 9,         // MPI_ERR_OP
+            MpiError::RankFailed { .. } => 75,   // MPI_ERR_PROC_FAILED (ULFM)
         }
     }
 }
@@ -77,6 +85,7 @@ mod tests {
         assert_eq!(MpiError::InvalidRank { rank: 9, size: 4 }.code(), 6);
         assert_eq!(MpiError::Truncated { message_len: 8, buffer_len: 4 }.code(), 15);
         assert_eq!(MpiError::InvalidComm(3).code(), 5);
+        assert_eq!(MpiError::RankFailed { rank: 2 }.code(), 75);
     }
 
     #[test]

@@ -124,7 +124,10 @@ pub use error::MpiError;
 pub use progress::{ProtocolConfig, ProtocolSnapshot};
 pub use request::{Request, TestAny};
 pub use table::{RequestRef, RequestTable};
-pub use world::{run_world, run_world_recorded, run_world_with, run_world_with_protocol, World};
+pub use world::{
+    run_world, run_world_configured, run_world_recorded, run_world_with,
+    run_world_with_protocol, WatchdogConfig, World, WorldConfig,
+};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Source = Source::Any;

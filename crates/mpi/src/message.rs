@@ -156,8 +156,9 @@ enum EntryState {
     Matched(Message),
     /// The receiver took the message (terminal).
     Taken,
-    /// Failed before a match: world shutdown (terminal).
-    Failed,
+    /// Failed before a match: world shutdown or a dependent rank failure
+    /// (terminal; carries the error the receiver observes).
+    Failed(MpiError),
     /// Unposted by the receiver before a match (terminal).
     Cancelled,
 }
@@ -170,16 +171,33 @@ pub(crate) struct RecvEntry {
     comm_id: u64,
     src: Source,
     tag: Tag,
+    /// World rank of the awaited sender when `src` is specific (resolved
+    /// at posting time), so the mailbox can fail dependent entries on a
+    /// peer failure without knowing communicator groups. `None` for
+    /// wildcard receives — those depend on *every* peer.
+    src_world: Option<u32>,
     state: Mutex<EntryState>,
     ready: Condvar,
 }
 
 impl RecvEntry {
+    /// Test convenience: an entry with no known source world rank.
+    #[cfg(test)]
     pub fn new(comm_id: u64, src: Source, tag: Tag) -> Arc<RecvEntry> {
+        RecvEntry::with_src_world(comm_id, src, tag, None)
+    }
+
+    pub fn with_src_world(
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        src_world: Option<u32>,
+    ) -> Arc<RecvEntry> {
         Arc::new(RecvEntry {
             comm_id,
             src,
             tag,
+            src_world,
             state: Mutex::new(EntryState::Posted),
             ready: Condvar::new(),
         })
@@ -194,6 +212,7 @@ impl RecvEntry {
             comm_id: msg.comm_id,
             src: Source::Rank(msg.src_in_comm),
             tag: Tag::Value(msg.tag),
+            src_world: Some(msg.src_world),
             state: Mutex::new(EntryState::Matched(msg)),
             ready: Condvar::new(),
         })
@@ -215,9 +234,16 @@ impl RecvEntry {
     }
 
     fn fail(&self) {
+        self.fail_with(MpiError::WorldShutdown);
+    }
+
+    /// Fail a still-posted entry with a specific error (rank-failure
+    /// propagation); entries already holding a matched message keep it —
+    /// data that arrived before the failure is still deliverable.
+    pub(crate) fn fail_with(&self, err: MpiError) {
         let mut st = self.state.lock();
         if matches!(*st, EntryState::Posted) {
-            *st = EntryState::Failed;
+            *st = EntryState::Failed(err);
         }
         drop(st);
         self.ready.notify_all();
@@ -236,7 +262,7 @@ impl RecvEntry {
                 };
                 Ok(Some(msg))
             }
-            EntryState::Failed => Err(MpiError::WorldShutdown),
+            EntryState::Failed(err) => Err(err.clone()),
             EntryState::Taken | EntryState::Cancelled => {
                 panic!("polling a retired posted receive")
             }
@@ -256,7 +282,7 @@ impl RecvEntry {
                     };
                     return Ok(msg);
                 }
-                EntryState::Failed => return Err(MpiError::WorldShutdown),
+                EntryState::Failed(err) => return Err(err.clone()),
                 EntryState::Posted => self.ready.wait(&mut st),
                 EntryState::Taken | EntryState::Cancelled => {
                     panic!("waiting on a retired posted receive")
@@ -512,11 +538,16 @@ impl Mailbox {
     }
 
     /// Blocking probe: park until a matching message is *queued* (a
-    /// message claimed by a posted receive is never probe-visible) or the
-    /// world shuts down. The message stays in the queue.
+    /// message claimed by a posted receive is never probe-visible), the
+    /// world shuts down, or `failed` reports that a rank the probe
+    /// depends on has died (the probe would otherwise wait forever for a
+    /// message the dead rank can no longer send). The message stays in
+    /// the queue. `failed` is re-evaluated after every wake-up —
+    /// rank-failure propagation notifies this mailbox's condvar.
     pub fn wait_probe(
         &self,
         mut matches: impl FnMut(&Message) -> bool,
+        mut failed: impl FnMut() -> Option<MpiError>,
     ) -> Result<ProbeInfo, MpiError> {
         let mut q = self.queue.lock();
         loop {
@@ -525,6 +556,9 @@ impl Mailbox {
             }
             if q.shutdown {
                 return Err(MpiError::WorldShutdown);
+            }
+            if let Some(err) = failed() {
+                return Err(err);
             }
             self.available.wait(&mut q);
         }
@@ -620,6 +654,94 @@ impl Mailbox {
                 );
             }
         }
+    }
+
+    /// Rank-failure propagation, receiver side: a peer (`failed`, world
+    /// rank) died. Posted entries that depend on it — specific receives
+    /// awaiting that rank, and every wildcard receive (the dead rank
+    /// *might* have been the sender; ULFM's `PROC_FAILED_PENDING`) — fail
+    /// with `err`. Queued rendezvous announcements from the dead rank are
+    /// discarded (their payload lives in the dead rank's frames and is no
+    /// longer safely readable) and their slots failed; queued *eager*
+    /// messages keep their bytes and stay deliverable. Blocked probes are
+    /// woken so they can re-evaluate their failure predicate.
+    pub fn on_peer_failed(&self, failed: u32, err: &MpiError) {
+        let mut q = self.queue.lock();
+        if q.shutdown {
+            return;
+        }
+        let mut doomed = Vec::new();
+        let mut i = 0;
+        while i < q.messages.len() {
+            let from_dead = q.messages[i].src_world == failed
+                && matches!(q.messages[i].payload, Payload::Rendezvous(_));
+            if from_dead {
+                doomed.push(self.remove_at(&mut q, i));
+            } else {
+                i += 1;
+            }
+        }
+        let dependent: Vec<Arc<RecvEntry>> = {
+            let mut keep = VecDeque::with_capacity(q.posted.len());
+            let mut out = Vec::new();
+            for e in q.posted.drain(..) {
+                // Collective sub-receives (reserved negative tags) depend
+                // on every member of their communicator, not just the
+                // awaited sender: ULFM aborts the whole collective when
+                // any member dies. The mailbox does not know communicator
+                // groups, so this is conservative — a concurrent
+                // collective on a comm excluding the dead rank is also
+                // aborted (spurious `RankFailed`, recoverable by
+                // agree/retry), which errs on the side of never parking.
+                let depends = match e.src {
+                    Source::Any => true,
+                    Source::Rank(_) => {
+                        e.src_world == Some(failed)
+                            || matches!(e.tag, Tag::Value(t) if t < 0)
+                    }
+                };
+                if depends {
+                    out.push(e);
+                } else {
+                    keep.push_back(e);
+                }
+            }
+            q.posted = keep;
+            out
+        };
+        drop(q);
+        for msg in doomed {
+            if let Payload::Rendezvous(rts) = &msg.payload {
+                rts.0.fail_if_posted_with(err.clone());
+            }
+        }
+        for entry in dependent {
+            entry.fail_with(err.clone());
+        }
+        self.available.notify_all();
+    }
+
+    /// Rank-failure propagation, dead-rank side: this mailbox's owner
+    /// died. Senders parked on rendezvous handshakes queued here are woken
+    /// with `err` (nobody will ever answer), and the dead rank's own
+    /// still-posted receives are failed so any of its threads parked in a
+    /// receive unblock during teardown.
+    pub fn fail_own(&self, err: &MpiError) {
+        let mut q = self.queue.lock();
+        if q.shutdown {
+            return;
+        }
+        for msg in &q.messages {
+            if let Payload::Rendezvous(rts) = &msg.payload {
+                rts.0.fail_if_posted_with(err.clone());
+            }
+        }
+        let posted = std::mem::take(&mut q.posted);
+        drop(q);
+        for entry in posted {
+            entry.fail_with(err.clone());
+        }
+        self.available.notify_all();
     }
 
     pub fn shutdown(&self) {
@@ -743,7 +865,7 @@ mod tests {
     fn wait_probe_blocks_until_arrival_and_leaves_message() {
         let mb = Arc::new(Mailbox::default());
         let mb2 = Arc::clone(&mb);
-        let t = std::thread::spawn(move || mb2.wait_probe(|m| m.tag == 3));
+        let t = std::thread::spawn(move || mb2.wait_probe(|m| m.tag == 3, || None));
         std::thread::sleep(std::time::Duration::from_millis(20));
         push(&mb, msg(4, 3, b"late"));
         let info = t.join().unwrap().unwrap();
@@ -756,7 +878,7 @@ mod tests {
     fn wait_probe_unblocks_on_shutdown() {
         let mb = Arc::new(Mailbox::default());
         let mb2 = Arc::clone(&mb);
-        let t = std::thread::spawn(move || mb2.wait_probe(|_| false));
+        let t = std::thread::spawn(move || mb2.wait_probe(|_| false, || None));
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb.shutdown();
         assert!(matches!(t.join().unwrap(), Err(MpiError::WorldShutdown)));
@@ -980,5 +1102,69 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb2.shutdown();
         assert!(matches!(t.join().unwrap(), Err(MpiError::WorldShutdown)));
+    }
+
+    #[test]
+    fn peer_failure_fails_dependent_entries_only() {
+        let mb = Mailbox::default();
+        let from_dead = RecvEntry::with_src_world(0, Source::Rank(3), Tag::Any, Some(3));
+        let from_live = RecvEntry::with_src_world(0, Source::Rank(5), Tag::Any, Some(5));
+        let wildcard = RecvEntry::new(0, Source::Any, Tag::Any);
+        mb.post_recv(&from_dead);
+        mb.post_recv(&from_live);
+        mb.post_recv(&wildcard);
+        mb.on_peer_failed(3, &MpiError::RankFailed { rank: 3 });
+        assert!(matches!(from_dead.poll(), Err(MpiError::RankFailed { rank: 3 })));
+        assert!(
+            matches!(wildcard.poll(), Err(MpiError::RankFailed { rank: 3 })),
+            "wildcard receives depend on every peer"
+        );
+        assert!(from_live.poll().unwrap().is_none(), "unrelated entry survives");
+        mb.check_invariants();
+    }
+
+    #[test]
+    fn peer_failure_keeps_eager_but_drops_rendezvous_messages() {
+        let mb = Mailbox::default();
+        push(&mb, msg(3, 1, b"eager-from-dead"));
+        let slot = RendezvousSlot::for_owned(b"rdv".to_vec().into());
+        push(
+            &mb,
+            Message {
+                src_in_comm: 3,
+                tag: 2,
+                comm_id: 0,
+                payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
+                sent_at_us: 0.0,
+                src_world: 3,
+                seq: 0,
+                flow: 0,
+            },
+        );
+        mb.on_peer_failed(3, &MpiError::RankFailed { rank: 3 });
+        assert!(matches!(slot.wait_done(), Err(MpiError::RankFailed { rank: 3 })));
+        let left = mb.take_matching(|_| true).unwrap();
+        assert_eq!(data(&left), b"eager-from-dead", "eager bytes already arrived");
+        assert!(mb.peek_matching(|_| true).is_none());
+    }
+
+    #[test]
+    fn wait_probe_unblocks_on_failure_predicate() {
+        let mb = Arc::new(Mailbox::default());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            let mut polls = 0u32;
+            mb2.wait_probe(
+                |_| false,
+                move || {
+                    polls += 1;
+                    (polls > 1).then_some(MpiError::RankFailed { rank: 1 })
+                },
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Propagation notifies the condvar; the parked probe re-evaluates.
+        mb.available.notify_all();
+        assert!(matches!(t.join().unwrap(), Err(MpiError::RankFailed { rank: 1 })));
     }
 }

@@ -180,15 +180,16 @@ impl ProtocolSnapshot {
 
 // --- rendezvous slot ----------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum RdvState {
     /// RTS posted; payload waiting on the sender's side.
     Posted,
     /// Receiver copied the payload. Carries the receiver's virtual clock
     /// at completion (µs; 0 in real-clock mode) for sender-side charging.
     Complete(u64 /* f64 bits */),
-    /// The transfer will never happen (shutdown / teardown).
-    Failed,
+    /// The transfer will never happen; carries the error both sides
+    /// observe (shutdown, teardown, or a dependent rank failure).
+    Failed(MpiError),
 }
 
 /// Sender-side payload handle for one rendezvous transfer.
@@ -266,7 +267,7 @@ impl RendezvousSlot {
     /// read.
     pub fn consume_into(&self, dst: &mut [u8], recv_clock_us: f64) -> Result<(), MpiError> {
         let mut st = self.state.lock();
-        match *st {
+        match &*st {
             RdvState::Posted => {
                 let take = dst.len().min(self.len);
                 dst[..take].copy_from_slice(unsafe {
@@ -277,7 +278,8 @@ impl RendezvousSlot {
                 self.done.notify_all();
                 Ok(())
             }
-            _ => Err(MpiError::WorldShutdown),
+            RdvState::Failed(err) => Err(err.clone()),
+            RdvState::Complete(_) => Err(MpiError::WorldShutdown),
         }
     }
 
@@ -292,7 +294,7 @@ impl RendezvousSlot {
     /// truncation path consumes the message but cannot take the bytes).
     pub fn complete(&self, recv_clock_us: f64) {
         let mut st = self.state.lock();
-        if *st == RdvState::Posted {
+        if matches!(*st, RdvState::Posted) {
             *st = RdvState::Complete(recv_clock_us.to_bits());
         }
         drop(st);
@@ -301,9 +303,16 @@ impl RendezvousSlot {
 
     /// Mark the transfer as dead if still pending (shutdown paths).
     pub fn fail_if_posted(&self) {
+        self.fail_if_posted_with(MpiError::WorldShutdown);
+    }
+
+    /// Mark the transfer as dead with a specific error (rank-failure
+    /// propagation: a parked sender wakes with `RankFailed` instead of
+    /// the generic shutdown error).
+    pub fn fail_if_posted_with(&self, err: MpiError) {
         let mut st = self.state.lock();
-        if *st == RdvState::Posted {
-            *st = RdvState::Failed;
+        if matches!(*st, RdvState::Posted) {
+            *st = RdvState::Failed(err);
         }
         drop(st);
         self.done.notify_all();
@@ -314,9 +323,9 @@ impl RendezvousSlot {
     pub fn wait_done(&self) -> Result<f64, MpiError> {
         let mut st = self.state.lock();
         loop {
-            match *st {
-                RdvState::Complete(bits) => return Ok(f64::from_bits(bits)),
-                RdvState::Failed => return Err(MpiError::WorldShutdown),
+            match &*st {
+                RdvState::Complete(bits) => return Ok(f64::from_bits(*bits)),
+                RdvState::Failed(err) => return Err(err.clone()),
                 RdvState::Posted => self.done.wait(&mut st),
             }
         }
@@ -324,9 +333,9 @@ impl RendezvousSlot {
 
     /// Sender: non-blocking completion check.
     pub fn poll_done(&self) -> Result<Option<f64>, MpiError> {
-        match *self.state.lock() {
-            RdvState::Complete(bits) => Ok(Some(f64::from_bits(bits))),
-            RdvState::Failed => Err(MpiError::WorldShutdown),
+        match &*self.state.lock() {
+            RdvState::Complete(bits) => Ok(Some(f64::from_bits(*bits))),
+            RdvState::Failed(err) => Err(err.clone()),
             RdvState::Posted => Ok(None),
         }
     }
@@ -344,6 +353,10 @@ pub(crate) struct CommCtx {
     pub rank: u32,
     pub comm_id: u64,
     pub clock: Arc<Mutex<Clock>>,
+    /// Failure epoch this rank has acknowledged (`MPI_Comm_failure_ack`):
+    /// any-source receives posted afterwards ignore failures at or below
+    /// it. Shared across all handles/contexts of one rank.
+    pub acked: Arc<AtomicU64>,
 }
 
 impl CommCtx {
@@ -353,6 +366,23 @@ impl CommCtx {
 
     pub fn my_world(&self) -> u32 {
         self.group[self.rank as usize]
+    }
+
+    /// ULFM collective semantics: a collective over a communicator with a
+    /// failed member raises `RankFailed` at *every* member, not only at
+    /// those whose schedule happens to touch the dead rank. Without this,
+    /// a survivor whose next exchange partner is alive parks forever on a
+    /// contribution the partner's aborted schedule will never send. One
+    /// atomic load when nobody has failed; the membership scan only runs
+    /// after a failure.
+    pub fn member_failure(&self) -> Option<MpiError> {
+        if !self.world.any_failed() {
+            return None;
+        }
+        self.group
+            .iter()
+            .find(|w| self.world.is_failed(**w))
+            .map(|w| MpiError::RankFailed { rank: *w })
     }
 
     /// Emit a flight-recorder event on this rank's track. One pointer test
@@ -374,6 +404,23 @@ impl CommCtx {
             return Err(MpiError::InvalidRank { rank, size: self.size() });
         }
         Ok(())
+    }
+
+    /// `RankFailed` for comm rank `r` if its process has died.
+    pub fn check_alive(&self, r: u32) -> Result<(), MpiError> {
+        let w = self.group[r as usize];
+        if self.world.is_failed(w) {
+            return Err(MpiError::RankFailed { rank: w });
+        }
+        Ok(())
+    }
+
+    /// The error a blocked wildcard operation should observe: the first
+    /// failed rank this rank has not acknowledged yet, if any.
+    pub fn unacked_failure(&self) -> Option<MpiError> {
+        self.world
+            .failed_since(self.acked.load(Ordering::Relaxed))
+            .map(|rank| MpiError::RankFailed { rank })
     }
 
     /// Matching predicate for a receive (delegates to
@@ -402,8 +449,50 @@ impl CommCtx {
                 Tag::Any => -1,
             },
         });
-        let entry = RecvEntry::new(self.comm_id, src, tag);
+        let src_world = match src {
+            Source::Rank(r) => self.group.get(r as usize).copied(),
+            Source::Any => None,
+        };
+        let entry = RecvEntry::with_src_world(self.comm_id, src, tag, src_world);
         self.world.mailboxes[self.my_world() as usize].post_recv(&entry);
+        self.world.note_progress();
+        // Failure checks *after* registration close the race with a
+        // concurrent `fail_rank` sweep: whichever runs second sees the
+        // other's effect. `fail_with` only fails a still-posted entry, so
+        // a message that arrived before the failure stays deliverable.
+        // A failed rank's own post fails immediately — `fail_own` only
+        // sweeps entries posted before the death, and a dead rank parked
+        // on a fresh receive would wait forever (senders refuse dead
+        // destinations).
+        let me = self.my_world();
+        if self.world.is_failed(me) {
+            entry.fail_with(MpiError::RankFailed { rank: me });
+            return entry;
+        }
+        // Collective sub-receives (reserved negative tags) abort on *any*
+        // failed member, matching the collective poll path: a blocking
+        // collective must not park on a live partner whose own schedule
+        // aborted against the dead rank.
+        if matches!(tag, Tag::Value(t) if t < 0) {
+            if let Some(err) = self.member_failure() {
+                entry.fail_with(err);
+                return entry;
+            }
+        }
+        match src {
+            Source::Rank(_) => {
+                if let Some(w) = src_world {
+                    if self.world.is_failed(w) {
+                        entry.fail_with(MpiError::RankFailed { rank: w });
+                    }
+                }
+            }
+            Source::Any => {
+                if let Some(err) = self.unacked_failure() {
+                    entry.fail_with(err);
+                }
+            }
+        }
         entry
     }
 
@@ -416,10 +505,21 @@ impl CommCtx {
 
     /// Non-blocking matched take from the *message queue* only. Used by
     /// the collective schedules, whose internal tags never overlap a
-    /// posted receive's matcher.
+    /// posted receive's matcher. A miss from a specific source checks the
+    /// failed-rank set — message first, so data that arrived before the
+    /// failure still delivers — which is what makes every nonblocking
+    /// collective round failure-aware without per-schedule changes.
     pub fn try_take(&self, src: Source, tag: Tag) -> Result<Option<Message>, MpiError> {
-        self.world.mailboxes[self.my_world() as usize]
-            .try_take_matching(Self::matcher(self.comm_id, src, tag))
+        let got = self.world.mailboxes[self.my_world() as usize]
+            .try_take_matching(Self::matcher(self.comm_id, src, tag))?;
+        if got.is_some() {
+            self.world.note_progress();
+            return Ok(got);
+        }
+        if let Source::Rank(r) = src {
+            self.check_alive(r)?;
+        }
+        Ok(None)
     }
 
     /// Stamp a new outgoing message (departure time, identity). The
@@ -459,9 +559,37 @@ impl CommCtx {
         tag: i32,
     ) -> Result<SendOp, MpiError> {
         self.check_rank(dest)?;
+        let me_world = self.my_world();
+        if self.world.is_failed(me_world) {
+            // A dead sender must never park in a rendezvous handshake a
+            // live receiver may never answer.
+            return Err(MpiError::RankFailed { rank: me_world });
+        }
         let dest_world = self.group[dest as usize];
+        if self.world.is_failed(dest_world) {
+            return Err(MpiError::RankFailed { rank: dest_world });
+        }
         let mailbox = &self.world.mailboxes[dest_world as usize];
         let stats = &self.world.stats;
+        self.world.note_progress();
+        // Injected wire faults (deterministic, from the world's fault
+        // plan): a dropped message is simply never deposited — the send
+        // completes, the receiver waits for bytes that never arrive (the
+        // hang watchdog's detection scenario); a delay fault shifts the
+        // departure stamp so virtual-clock receivers see the extra wire
+        // time.
+        let wire_fault = self.world.fault_wire(self.my_world(), dest_world);
+        if wire_fault.drop {
+            self.trace(|| obs::EventKind::SendStart {
+                peer: dest_world,
+                tag,
+                bytes: len as u32,
+                protocol: obs::Protocol::Eager,
+                matched_posted: false,
+                flow: 0,
+            });
+            return Ok(SendOp::done());
+        }
 
         let count_match = |d: &Deposit| -> bool {
             let matched = matches!(d, Deposit::Matched);
@@ -499,7 +627,8 @@ impl CommCtx {
 
         if len <= self.world.protocol.eager_threshold {
             let buf = unsafe { std::slice::from_raw_parts(ptr, len) };
-            let msg = self.eager_message(buf, tag);
+            let mut msg = self.eager_message(buf, tag);
+            msg.sent_at_us += wire_fault.delay_us;
             let flow = msg.flow;
             match mailbox.deposit(msg, true) {
                 d @ (Deposit::Queued | Deposit::Matched) => {
@@ -524,6 +653,7 @@ impl CommCtx {
                         false,
                     ));
                     trace_send(obs::Protocol::EagerDeferred, matched, flow);
+                    self.recheck_dest(dest_world, &slot)?;
                     Ok(SendOp::in_flight(slot, dest_world, flow))
                 }
             }
@@ -531,11 +661,46 @@ impl CommCtx {
             stats.rendezvous_messages.fetch_add(1, Ordering::Relaxed);
             stats.rendezvous_bytes.fetch_add(len as u64, Ordering::Relaxed);
             let slot = RendezvousSlot::for_buffer(ptr, len);
-            let msg = self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot))));
+            let mut msg = self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot))));
+            msg.sent_at_us += wire_fault.delay_us;
             let flow = msg.flow;
             let matched = count_match(&mailbox.deposit(msg, false));
             trace_send(obs::Protocol::Rendezvous, matched, flow);
+            self.recheck_dest(dest_world, &slot)?;
             Ok(SendOp::in_flight(slot, dest_world, flow))
+        }
+    }
+
+    /// Close the race between our failed-destination pre-check and a
+    /// concurrent `fail_rank` sweep of the destination mailbox: a
+    /// rendezvous RTS deposited *after* the sweep would otherwise park
+    /// its sender forever. `fail_rank` marks the rank failed before
+    /// sweeping, so re-checking after the deposit sees every failure the
+    /// sweep could have missed.
+    fn recheck_dest(
+        &self,
+        dest_world: u32,
+        slot: &Arc<RendezvousSlot>,
+    ) -> Result<(), MpiError> {
+        if self.world.is_failed(dest_world) {
+            let err = MpiError::RankFailed { rank: dest_world };
+            self.world.mailboxes[dest_world as usize].retract_rendezvous(slot);
+            slot.fail_if_posted_with(err.clone());
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Sharpen a generic slot/entry error: if the peer we were talking to
+    /// is in the failed set, the real cause is its death — report
+    /// `RankFailed` rather than `WorldShutdown` (covers slots failed by a
+    /// dying rank's own request teardown, which does not know why it is
+    /// unwinding).
+    pub fn refine_peer_err(&self, err: MpiError, peer_world: u32) -> MpiError {
+        if matches!(err, MpiError::WorldShutdown) && self.world.is_failed(peer_world) {
+            MpiError::RankFailed { rank: peer_world }
+        } else {
+            err
         }
     }
 
@@ -570,6 +735,7 @@ impl CommCtx {
         dst: Option<&mut [u8]>,
     ) -> Result<(Status, Option<Vec<u8>>), MpiError> {
         let len = msg.payload.len();
+        self.world.note_progress();
         let mut recv_clock_us = 0.0;
         if let ClockMode::Virtual(model) = &self.world.mode {
             let wire = model.profile.p2p_time(msg.src_world, self.my_world(), len);
@@ -626,11 +792,14 @@ impl CommCtx {
                         // receive buffer, no intermediate copy. Errors if
                         // the slot already failed (shutdown): a stale RTS
                         // must never be read, its buffer may be gone.
-                        slot.consume_into(&mut buf[..slot.len()], recv_clock_us)?;
+                        slot.consume_into(&mut buf[..slot.len()], recv_clock_us)
+                            .map_err(|e| self.refine_peer_err(e, msg.src_world))?;
                         Ok((status, None))
                     }
                     None => {
-                        let data = slot.consume_vec(recv_clock_us)?;
+                        let data = slot
+                            .consume_vec(recv_clock_us)
+                            .map_err(|e| self.refine_peer_err(e, msg.src_world))?;
                         Ok((status, Some(data)))
                     }
                 }
@@ -670,6 +839,7 @@ impl SendOp {
         if matches!(ctx.world.mode, ClockMode::Virtual(_)) {
             ctx.clock.lock().advance_to(recv_clock_us);
         }
+        ctx.world.note_progress();
         // Handshake phase 3 from the sender's view: payload consumed,
         // buffer released. Timestamped after the clock sync above.
         ctx.trace(|| obs::EventKind::SendDone { peer: dest_world, flow });
@@ -679,14 +849,16 @@ impl SendOp {
     pub fn poll(&mut self, ctx: &CommCtx) -> Result<bool, MpiError> {
         match &self.state {
             SendState::Done => Ok(true),
-            SendState::InFlight { slot, dest_world, flow } => match slot.poll_done()? {
-                Some(recv_us) => {
-                    Self::on_complete(ctx, recv_us, *dest_world, *flow);
-                    self.state = SendState::Done;
-                    Ok(true)
+            SendState::InFlight { slot, dest_world, flow } => {
+                match slot.poll_done().map_err(|e| ctx.refine_peer_err(e, *dest_world))? {
+                    Some(recv_us) => {
+                        Self::on_complete(ctx, recv_us, *dest_world, *flow);
+                        self.state = SendState::Done;
+                        Ok(true)
+                    }
+                    None => Ok(false),
                 }
-                None => Ok(false),
-            },
+            }
         }
     }
 
@@ -695,7 +867,8 @@ impl SendOp {
         match &self.state {
             SendState::Done => Ok(()),
             SendState::InFlight { slot, dest_world, flow } => {
-                let recv_us = slot.wait_done()?;
+                let recv_us =
+                    slot.wait_done().map_err(|e| ctx.refine_peer_err(e, *dest_world))?;
                 Self::on_complete(ctx, recv_us, *dest_world, *flow);
                 self.state = SendState::Done;
                 Ok(())

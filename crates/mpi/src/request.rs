@@ -760,6 +760,13 @@ pub(crate) enum CollState {
 
 impl CollState {
     fn poll(&mut self, ctx: &CommCtx) -> Result<Option<Status>, MpiError> {
+        // ULFM: any failed member fails the whole collective at every
+        // poll step. Schedules only touch O(log p) partners, so without
+        // this a survivor can park waiting on a live partner that already
+        // aborted its own schedule against the dead rank.
+        if let Some(err) = ctx.member_failure() {
+            return Err(err);
+        }
         match self {
             CollState::Barrier(s) => s.poll(ctx),
             CollState::Bcast(s) => s.poll(ctx),

@@ -1,0 +1,263 @@
+//! Deterministic fault injection for simulated and real-clock worlds.
+//!
+//! A [`FaultPlan`] is a seeded list of failure scenarios — rank crashes at
+//! a point in (virtual or wall) time or at the Nth MPI call, message
+//! drops, and extra wire delays — evaluated purely from its inputs, so a
+//! given plan reproduces the identical failure schedule on every run.
+//! The MPI substrate consults the plan at its call sites and send paths;
+//! this module only *decides*, it never mutates shared state (per-pair
+//! message counters live with the consumer).
+
+use crate::rng::SplitMix64;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Kill `rank` at the first MPI call at or after `at_us` (virtual
+    /// microseconds in simulated worlds, elapsed wall microseconds in
+    /// real-clock worlds).
+    CrashAtTime { rank: u32, at_us: f64 },
+    /// Kill `rank` at its `call`th MPI call (1-based).
+    CrashAtCall { rank: u32, call: u64 },
+    /// Silently discard the `nth` message (1-based) from `src` to `dst`.
+    Drop { src: u32, dst: u32, nth: u64 },
+    /// Add `extra_us` of wire delay to each `src`→`dst` message with
+    /// probability `prob` (deterministic per message: the decision is a
+    /// pure function of the plan seed and the message's pair sequence
+    /// number).
+    Delay { src: u32, dst: u32, extra_us: f64, prob: f64 },
+}
+
+/// Wire-level outcome for one message, as decided by the plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFault {
+    pub drop: bool,
+    pub delay_us: f64,
+}
+
+impl WireFault {
+    pub fn none() -> WireFault {
+        WireFault { drop: false, delay_us: 0.0 }
+    }
+}
+
+/// A seeded, reproducible failure schedule. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, specs: Vec::new() }
+    }
+
+    pub fn crash_at_time(mut self, rank: u32, at_us: f64) -> FaultPlan {
+        self.specs.push(FaultSpec::CrashAtTime { rank, at_us });
+        self
+    }
+
+    pub fn crash_at_call(mut self, rank: u32, call: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::CrashAtCall { rank, call });
+        self
+    }
+
+    pub fn drop_nth(mut self, src: u32, dst: u32, nth: u64) -> FaultPlan {
+        self.specs.push(FaultSpec::Drop { src, dst, nth });
+        self
+    }
+
+    pub fn delay(mut self, src: u32, dst: u32, extra_us: f64, prob: f64) -> FaultPlan {
+        self.specs.push(FaultSpec::Delay { src, dst, extra_us, prob });
+        self
+    }
+
+    /// Should `rank` die now? `now_us` is the rank's current clock and
+    /// `call` its (1-based) MPI call count including the current call.
+    pub fn crash_due(&self, rank: u32, now_us: f64, call: u64) -> bool {
+        self.specs.iter().any(|s| match *s {
+            FaultSpec::CrashAtTime { rank: r, at_us } => r == rank && now_us >= at_us,
+            FaultSpec::CrashAtCall { rank: r, call: c } => r == rank && call >= c,
+            _ => false,
+        })
+    }
+
+    /// Wire fault for the `pair_seq`th (1-based) message from `src` to
+    /// `dst`. Deterministic: same plan, same pair sequence → same answer.
+    pub fn wire_fault(&self, src: u32, dst: u32, pair_seq: u64) -> WireFault {
+        let mut out = WireFault::none();
+        for s in &self.specs {
+            match *s {
+                FaultSpec::Drop { src: a, dst: b, nth } => {
+                    if a == src && b == dst && nth == pair_seq {
+                        out.drop = true;
+                    }
+                }
+                FaultSpec::Delay { src: a, dst: b, extra_us, prob } => {
+                    if a == src && b == dst {
+                        // One independent draw per message, keyed so that
+                        // reordering other traffic cannot change it.
+                        let key = self
+                            .seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            ^ ((src as u64) << 40)
+                            ^ ((dst as u64) << 20)
+                            ^ pair_seq;
+                        if SplitMix64::new(key).next_f64() < prob {
+                            out.delay_us += extra_us;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether the plan can kill `rank` at some point.
+    pub fn targets(&self, rank: u32) -> bool {
+        self.specs.iter().any(|s| matches!(
+            *s,
+            FaultSpec::CrashAtTime { rank: r, .. } | FaultSpec::CrashAtCall { rank: r, .. }
+                if r == rank
+        ))
+    }
+
+    /// Parse the compact text form used by the `mpiwasm --fault` flag and
+    /// CI scenarios:
+    ///
+    /// ```text
+    /// seed=42;crash@call:rank=1,call=10;crash@t:rank=2,at_us=500;
+    /// drop:src=0,dst=1,nth=3;delay:src=0,dst=2,extra_us=50,prob=0.5
+    /// ```
+    ///
+    /// Clauses are `;`-separated; fields within a clause are
+    /// `,`-separated `key=value` pairs. Unknown clauses or fields are
+    /// errors (a typo must not silently weaken a fault scenario).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in text.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed.trim().parse().map_err(|e| format!("bad seed: {e}"))?;
+                continue;
+            }
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause {clause:?} has no ':'"))?;
+            let mut fields = std::collections::HashMap::new();
+            for kv in rest.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("field {kv:?} is not key=value"))?;
+                fields.insert(k.trim(), v.trim());
+            }
+            let get = |k: &str| -> Result<&str, String> {
+                fields.get(k).copied().ok_or_else(|| format!("{kind}: missing field {k:?}"))
+            };
+            let num = |k: &str| -> Result<u64, String> {
+                get(k)?.parse().map_err(|e| format!("{kind}: bad {k}: {e}"))
+            };
+            let float = |k: &str| -> Result<f64, String> {
+                get(k)?.parse().map_err(|e| format!("{kind}: bad {k}: {e}"))
+            };
+            let spec = match kind.trim() {
+                "crash@t" => FaultSpec::CrashAtTime {
+                    rank: num("rank")? as u32,
+                    at_us: float("at_us")?,
+                },
+                "crash@call" => FaultSpec::CrashAtCall {
+                    rank: num("rank")? as u32,
+                    call: num("call")?,
+                },
+                "drop" => FaultSpec::Drop {
+                    src: num("src")? as u32,
+                    dst: num("dst")? as u32,
+                    nth: num("nth")?,
+                },
+                "delay" => FaultSpec::Delay {
+                    src: num("src")? as u32,
+                    dst: num("dst")? as u32,
+                    extra_us: float("extra_us")?,
+                    prob: float("prob")?,
+                },
+                other => return Err(format!("unknown fault clause {other:?}")),
+            };
+            let expected: &[&str] = match kind.trim() {
+                "crash@t" => &["rank", "at_us"],
+                "crash@call" => &["rank", "call"],
+                "drop" => &["src", "dst", "nth"],
+                _ => &["src", "dst", "extra_us", "prob"],
+            };
+            for k in fields.keys() {
+                if !expected.contains(k) {
+                    return Err(format!("{kind}: unknown field {k:?}"));
+                }
+            }
+            plan.specs.push(spec);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_due_matches_time_and_call() {
+        let plan = FaultPlan::new(1).crash_at_time(2, 100.0).crash_at_call(3, 5);
+        assert!(!plan.crash_due(2, 99.9, 1));
+        assert!(plan.crash_due(2, 100.0, 1));
+        assert!(!plan.crash_due(3, 0.0, 4));
+        assert!(plan.crash_due(3, 0.0, 5));
+        assert!(plan.crash_due(3, 0.0, 6), "late checks still fire");
+        assert!(!plan.crash_due(1, 1e9, 1_000_000), "untargeted rank never dies");
+    }
+
+    #[test]
+    fn drop_hits_exactly_the_nth_message() {
+        let plan = FaultPlan::new(7).drop_nth(0, 1, 3);
+        assert!(!plan.wire_fault(0, 1, 2).drop);
+        assert!(plan.wire_fault(0, 1, 3).drop);
+        assert!(!plan.wire_fault(0, 1, 4).drop);
+        assert!(!plan.wire_fault(1, 0, 3).drop, "direction matters");
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_probabilistic() {
+        let plan = FaultPlan::new(9).delay(0, 1, 50.0, 0.5);
+        let first = plan.wire_fault(0, 1, 1);
+        assert_eq!(first, plan.wire_fault(0, 1, 1), "same message, same draw");
+        let hits = (1..=1000).filter(|&n| plan.wire_fault(0, 1, n).delay_us > 0.0).count();
+        assert!((350..=650).contains(&hits), "≈half delayed, got {hits}");
+        assert_eq!(plan.wire_fault(2, 1, 1), WireFault::none());
+    }
+
+    #[test]
+    fn parse_round_trips_every_clause() {
+        let plan = FaultPlan::parse(
+            "seed=42; crash@call:rank=1,call=10; crash@t:rank=2,at_us=500.5; \
+             drop:src=0,dst=1,nth=3; delay:src=0,dst=2,extra_us=50,prob=0.25",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(plan.specs[0], FaultSpec::CrashAtCall { rank: 1, call: 10 });
+        assert_eq!(plan.specs[1], FaultSpec::CrashAtTime { rank: 2, at_us: 500.5 });
+        assert_eq!(plan.specs[2], FaultSpec::Drop { src: 0, dst: 1, nth: 3 });
+        assert_eq!(
+            plan.specs[3],
+            FaultSpec::Delay { src: 0, dst: 2, extra_us: 50.0, prob: 0.25 }
+        );
+        assert!(plan.targets(1) && plan.targets(2) && !plan.targets(0));
+    }
+
+    #[test]
+    fn parse_rejects_typos() {
+        assert!(FaultPlan::parse("crash@x:rank=1").is_err());
+        assert!(FaultPlan::parse("crash@call:rank=1").is_err(), "missing call");
+        assert!(FaultPlan::parse("drop:src=0,dst=1,nth=1,bogus=2").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+    }
+}

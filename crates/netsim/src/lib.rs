@@ -14,12 +14,14 @@
 //! crate `mpi-substrate`; this crate only supplies *time*.
 
 pub mod event;
+pub mod fault;
 pub mod model;
 pub mod profile;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultSpec, WireFault};
 pub use model::{CollectiveAlgorithm, CostModel};
 pub use profile::SystemProfile;
 pub use time::SimTime;

@@ -132,6 +132,16 @@ pub enum EventKind {
     ReqTransition { req: u64, state: ReqState },
     /// The engine promoted function `func` to compiled superblock chains.
     Promotion { func: u32 },
+    /// World rank `rank` failed (injected fault, guest trap, resource
+    /// limit, or panic). Recorded on the failed rank's own log.
+    RankFailed { rank: u32 },
+    /// The hang watchdog declared the world stuck after `stalled_us`
+    /// microseconds without progress. The human-readable per-rank report
+    /// travels out of band (Perfetto `otherData` footer).
+    WatchdogFired { stalled_us: f64 },
+    /// Rank `rank`'s guest exhausted its fuel / deadline budget and was
+    /// interrupted at a guard point.
+    FuelExhausted { rank: u32 },
 }
 
 /// A timestamped event. `ts_us` is microseconds of whichever clock the

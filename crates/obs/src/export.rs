@@ -78,12 +78,9 @@ pub fn write_chrome_trace(rec: &Recorder, w: &mut dyn Write) -> io::Result<()> {
         }
     }
     for e in &engine {
-        if let EventKind::Promotion { func } = e.kind {
-            lines.push(format!(
-                "{{\"name\":\"promote f{func}\",\"cat\":\"jit\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{engine_tid},\"args\":{{\"func\":{func}}}}}",
-                fmt_ts(e.ts_us)
-            ));
-        }
+        // The engine track renders through the same per-event emitter (the
+        // watchdog and promotion hooks both land here).
+        emit_event(&mut lines, engine_tid, e, &done_ts);
     }
 
     writeln!(w, "{{")?;
@@ -94,15 +91,36 @@ pub fn write_chrome_trace(rec: &Recorder, w: &mut dyn Write) -> io::Result<()> {
     }
     writeln!(w, "],")?;
     writeln!(w, "\"displayTimeUnit\": \"ms\",")?;
-    writeln!(
-        w,
-        "\"otherData\": {{\"clock\": \"{}\", \"ranks\": {}, \"dropped_events\": {}}}",
+    let mut other = format!(
+        "\"otherData\": {{\"clock\": \"{}\", \"ranks\": {}, \"dropped_events\": {}",
         rec.clock().name(),
         n_ranks,
         rec.total_dropped()
-    )?;
+    );
+    for (key, value) in rec.annotations() {
+        other.push_str(&format!(", \"{}\": \"{}\"", json_escape(&key), json_escape(&value)));
+    }
+    other.push('}');
+    writeln!(w, "{other}")?;
     writeln!(w, "}}")?;
     Ok(())
+}
+
+/// Minimal JSON string escaping for annotation keys/values.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn meta_line(name: &str, pid: u32, value: &str) -> String {
@@ -195,6 +213,24 @@ fn emit_event(
             // a rank track still renders.
             lines.push(format!(
                 "{{\"name\":\"promote f{func}\",\"cat\":\"jit\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{rank},\"args\":{{\"func\":{func}}}}}"
+            ));
+        }
+        EventKind::RankFailed { rank: failed } => {
+            // Process-scoped instant ("s":"p") so the failure is visible
+            // from any zoom level, anchored on the failed rank's track.
+            lines.push(format!(
+                "{{\"name\":\"RANK {failed} FAILED\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{rank},\"args\":{{\"rank\":{failed}}}}}"
+            ));
+        }
+        EventKind::WatchdogFired { stalled_us } => {
+            lines.push(format!(
+                "{{\"name\":\"WATCHDOG\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":0,\"tid\":{rank},\"args\":{{\"stalled_us\":{}}}}}",
+                fmt_ts(stalled_us)
+            ));
+        }
+        EventKind::FuelExhausted { rank: victim } => {
+            lines.push(format!(
+                "{{\"name\":\"fuel exhausted\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{rank},\"args\":{{\"rank\":{victim}}}}}"
             ));
         }
     }

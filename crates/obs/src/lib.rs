@@ -72,6 +72,9 @@ pub struct Recorder {
     enabled: AtomicBool,
     flow: AtomicU64,
     metrics: Mutex<MetricSet>,
+    /// Free-form string annotations carried into the exported trace's
+    /// `otherData` footer (e.g. the hang watchdog's per-rank report).
+    annotations: Mutex<Vec<(String, String)>>,
 }
 
 impl Recorder {
@@ -87,6 +90,7 @@ impl Recorder {
             // Flow id 0 means "no flow"; real ids start at 1.
             flow: AtomicU64::new(1),
             metrics: Mutex::new(MetricSet::new()),
+            annotations: Mutex::new(Vec::new()),
         })
     }
 
@@ -174,6 +178,21 @@ impl Recorder {
         for (name, v) in entries {
             m.add(name, v);
         }
+    }
+
+    /// Attach (or replace) a named free-form annotation. Annotations ride
+    /// into the exported trace's `otherData` footer.
+    pub fn set_annotation(&self, key: &str, value: impl Into<String>) {
+        let mut a = self.annotations.lock().unwrap();
+        match a.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.into(),
+            None => a.push((key.to_string(), value.into())),
+        }
+    }
+
+    /// Snapshot of the annotations in insertion order.
+    pub fn annotations(&self) -> Vec<(String, String)> {
+        self.annotations.lock().unwrap().clone()
     }
 
     /// Point-in-time snapshot of the metrics registry, with the recorder's

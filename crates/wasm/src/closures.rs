@@ -203,7 +203,11 @@ impl Chain {
     #[inline]
     pub(crate) fn run(&self, ctx: &mut Ctx<'_>) -> Result<usize, Trap> {
         let mut tally = ChainTally::default();
-        self.run_impl::<false>(ctx, &mut tally)
+        if ctx.inst.metered() {
+            self.run_impl::<false, true>(ctx, &mut tally)
+        } else {
+            self.run_impl::<false, false>(ctx, &mut tally)
+        }
     }
 
     /// [`Chain::run`] with profiling tallies enabled.
@@ -213,14 +217,24 @@ impl Chain {
         ctx: &mut Ctx<'_>,
         tally: &mut ChainTally,
     ) -> Result<usize, Trap> {
-        self.run_impl::<true>(ctx, tally)
+        if ctx.inst.metered() {
+            self.run_impl::<true, true>(ctx, tally)
+        } else {
+            self.run_impl::<true, false>(ctx, tally)
+        }
     }
 
-    fn run_impl<const COUNT: bool>(
+    /// The chain execution loop, monomorphized on profiling (`COUNT`)
+    /// and on execution limits (`METERED`): unlimited runs compile the
+    /// backedge fuel guards out entirely.
+    fn run_impl<const COUNT: bool, const METERED: bool>(
         &self,
         ctx: &mut Ctx<'_>,
         tally: &mut ChainTally,
     ) -> Result<usize, Trap> {
+        // Declared ahead of the macros so `ctl!`'s guard-point charge can
+        // bind it (macro bodies resolve against definition-site scope).
+        let mut guard_epoch = 0u32;
         macro_rules! bin {
             ($read:ident, $wrap:path, $f:expr, $a:expr, $b:expr, $c:expr) => {{
                 let x = rg(ctx, $a).$read();
@@ -292,11 +306,22 @@ impl Chain {
             }};
         }
         /// Branch off the fallthrough path: exit the chain or re-aim `i`.
+        /// An in-chain backward transfer (a loop backedge re-entering the
+        /// chain at an earlier step) is a fuel guard point: a fully
+        /// chained loop never returns to `run_jit`, so the budget must be
+        /// enforced here or a runaway guest would be uninterruptible at
+        /// the top tier.
         macro_rules! ctl {
             ($i:ident, $word:expr) => {{
                 let w = $word;
                 if w & EXIT != 0 {
                     return Ok((w & !EXIT) as usize);
+                }
+                if METERED && (w as usize) < $i {
+                    guard_epoch += 1;
+                    if guard_epoch & 1023 == 0 {
+                        ctx.inst.fuel_step(1024)?;
+                    }
                 }
                 $i = w as usize;
             }};
@@ -547,7 +572,15 @@ impl Chain {
                     wr2(ctx, c, v as u128 | (v as u128) << 64);
                 }
 
-                Mo::Jmp { to } => i = to as usize,
+                Mo::Jmp { to } => {
+                    if METERED && (to as usize) < i {
+                        guard_epoch += 1;
+                        if guard_epoch & 1023 == 0 {
+                            ctx.inst.fuel_step(1024)?;
+                        }
+                    }
+                    i = to as usize;
+                }
                 Mo::Unwind { imm } => unwind(ctx, imm),
                 Mo::Guard { ref cond, imm, on_true, on_false } => {
                     let taken = match *cond {

@@ -1016,18 +1016,42 @@ pub(crate) fn run(
         imported,
         cur_idx: defined_idx as u32,
     };
-    let mut ip = 0usize;
-    loop {
-        let opcode = ctx.code[ip].code as usize;
-        ip = HANDLERS[opcode](&mut ctx, ip)?;
-        if ip == DONE {
-            break;
-        }
+    // Meteredness is resolved once per entry: the unmetered loop is the
+    // exact pre-limits dispatch loop (no per-op comparison at all).
+    if ctx.inst.metered() {
+        dispatch_loop::<true>(&mut ctx)?;
+    } else {
+        dispatch_loop::<false>(&mut ctx)?;
     }
     let result_slots = ctx.func.result_slots as usize;
     let base = ctx.base;
     stack.truncate(base + result_slots);
     Ok(result_slots)
+}
+
+/// The flat-tier dispatch loop. When `METERED`, backward control
+/// transfers (loop iterations and calls, whose entry ip is 0) are the
+/// fuel guard points; charging in batches of 1024 keeps the metered
+/// loop's added cost to one comparison per op, and the unmetered
+/// monomorphization compiles it out entirely.
+#[inline(always)]
+fn dispatch_loop<const METERED: bool>(ctx: &mut Ctx<'_>) -> Result<(), Trap> {
+    let mut ip = 0usize;
+    let mut guard_epoch = 0u32;
+    loop {
+        let opcode = ctx.code[ip].code as usize;
+        let next = HANDLERS[opcode](ctx, ip)?;
+        if next == DONE {
+            return Ok(());
+        }
+        if METERED && next <= ip {
+            guard_epoch += 1;
+            if guard_epoch & 1023 == 0 {
+                ctx.inst.fuel_step(1024)?;
+            }
+        }
+        ip = next;
+    }
 }
 
 /// The [`run`] loop variant for [`crate::tier::Tier::MaxJit`]: identical
@@ -1080,6 +1104,13 @@ fn run_jit(
     let profiling = jit.profiling();
     let mut tally = crate::closures::ChainTally::default();
     let mut chains_entered = 0u64;
+    // Chain re-entries and interpreted backward transfers are the fuel
+    // guard points of this tier (in-chain loop backedges charge inside
+    // `Chain::run` itself). Meteredness is resolved once per entry and
+    // rides branches the loop already takes, so unlimited runs pay one
+    // predictable test per backward transfer and nothing per op.
+    let metered = ctx.inst.metered();
+    let mut guard_epoch = 0u32;
     loop {
         if ctx.cur_idx != cur {
             // Interpreted call or return switched functions.
@@ -1088,6 +1119,12 @@ fn run_jit(
         }
         if let Some(ch) = &chains {
             if let Some(chain) = ch.lookup(ip) {
+                if metered {
+                    guard_epoch += 1;
+                    if guard_epoch & 1023 == 0 {
+                        ctx.inst.fuel_step(1024)?;
+                    }
+                }
                 ip = if profiling {
                     chains_entered += 1;
                     chain.run_counted(&mut ctx, &mut tally)?
@@ -1102,8 +1139,16 @@ fn run_jit(
         if next == DONE {
             break;
         }
-        if chains.is_none() && next <= ip && ctx.cur_idx == cur {
-            chains = jit.bump(cur, ctx.func);
+        if next <= ip {
+            if metered {
+                guard_epoch += 1;
+                if guard_epoch & 1023 == 0 {
+                    ctx.inst.fuel_step(1024)?;
+                }
+            }
+            if chains.is_none() && ctx.cur_idx == cur {
+                chains = jit.bump(cur, ctx.func);
+            }
         }
         ip = next;
     }

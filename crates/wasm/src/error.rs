@@ -81,6 +81,14 @@ pub enum Trap {
     /// `memory.grow` beyond the declared maximum (reported as -1 per spec
     /// in guest code; used as a trap only by embedder-internal helpers).
     MemoryGrowFailed,
+    /// The guest ran out of execution fuel (see `Instance::set_fuel`).
+    /// Fuel is consumed at guard points — backward branches, call sites,
+    /// and the interpreter's instruction epochs — so a runaway guest is
+    /// interrupted within a bounded number of steps.
+    OutOfFuel,
+    /// The embedder raised the instance's interrupt flag (deadline timer,
+    /// job cancellation); execution stopped at the next guard point.
+    Interrupted,
     /// A host function signalled an error. The string is the host's message
     /// (e.g. a WASI errno description or an MPI failure).
     Host(String),
@@ -114,6 +122,8 @@ impl fmt::Display for Trap {
             Trap::InvalidConversionToInteger => write!(f, "invalid conversion to integer"),
             Trap::StackExhausted => write!(f, "call stack exhausted"),
             Trap::MemoryGrowFailed => write!(f, "memory.grow failed"),
+            Trap::OutOfFuel => write!(f, "execution fuel exhausted"),
+            Trap::Interrupted => write!(f, "execution interrupted by the embedder"),
             Trap::Host(m) => write!(f, "host error: {m}"),
             Trap::Exit(code) => write!(f, "guest exited with code {code}"),
         }

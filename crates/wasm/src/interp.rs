@@ -244,12 +244,15 @@ fn run(inst: &mut Instance, stack: &mut Vec<Slot>, defined_idx: usize) -> Result
 
     loop {
         // Amortized stack-limit check: growth per instruction is O(1).
+        // The same epoch doubles as the baseline tier's fuel/interrupt
+        // guard point, so the hot path pays nothing new for limits.
         limit_check += 1;
         if limit_check >= 1024 {
             limit_check = 0;
             if stack.len() > inst.limits.max_value_stack {
                 return Err(Trap::StackExhausted);
             }
+            inst.fuel_step(1024)?;
         }
         let instr = &body[pc];
         match instr {

@@ -375,6 +375,8 @@ impl Linker {
             depth: 0,
             spare_stack: None,
             jit: compiled.jit.clone(),
+            fuel_left: u64::MAX,
+            interrupt: None,
         };
 
         if let Some(start) = instance.module.start {
@@ -413,6 +415,15 @@ pub struct Instance {
     /// Superblock-tier promotion state, shared with the compiled module
     /// (`None` on every tier but [`Tier::MaxJit`]).
     pub(crate) jit: Option<Arc<crate::superblock::JitState>>,
+    /// Remaining execution fuel in guard-point ticks; `u64::MAX` means
+    /// unlimited. Consumed at backward branches / interpreter epochs (in
+    /// batches of up to 1024) and at invocation entries, so enforcement
+    /// overruns the budget by at most one batch.
+    pub(crate) fuel_left: u64,
+    /// Embedder-raised interruption flag, polled at the same guard points
+    /// fuel is charged at. `None` until [`Instance::interrupt_handle`] is
+    /// first called, so un-instrumented instances pay nothing.
+    pub(crate) interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl std::fmt::Debug for Instance {
@@ -440,6 +451,75 @@ impl Instance {
     /// Replace the engine limits (call depth, stack size).
     pub fn set_limits(&mut self, limits: InstanceLimits) {
         self.limits = limits;
+    }
+
+    /// Budget guest execution: `fuel` guard-point ticks (backward
+    /// branches, interpreter instruction epochs, invocation entries).
+    /// When the budget runs out the guest traps with [`Trap::OutOfFuel`]
+    /// at the next guard point. `u64::MAX` restores unlimited execution.
+    /// Granularity is coarse — ticks are charged in batches of up to 1024
+    /// events — so treat fuel as a containment bound, not a cycle count.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel_left = fuel;
+    }
+
+    /// Remaining fuel ticks (`u64::MAX` = unlimited).
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel_left
+    }
+
+    /// The instance's interruption flag, created on first use. Storing
+    /// `true` (from any thread — a deadline timer, a job canceller) makes
+    /// the guest trap with [`Trap::Interrupted`] at the next guard point.
+    /// The flag is sticky; the embedder may reset it to reuse the
+    /// instance.
+    pub fn interrupt_handle(&mut self) -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::clone(
+            self.interrupt
+                .get_or_insert_with(|| Arc::new(std::sync::atomic::AtomicBool::new(false))),
+        )
+    }
+
+    /// Install a shared interruption flag — one deadline timer can drive
+    /// every rank of a job through a single flag. Replaces any flag
+    /// previously handed out by [`Instance::interrupt_handle`].
+    pub fn set_interrupt_flag(&mut self, flag: Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Cap linear memory at `max_bytes` (rounded down to whole pages,
+    /// never below the current size): a `memory.grow` past the cap fails
+    /// with -1 exactly like growing past the module's declared maximum.
+    pub fn cap_memory(&mut self, max_bytes: u64) {
+        let pages = (max_bytes / crate::PAGE_SIZE as u64).min(u32::MAX as u64) as u32;
+        self.memory.cap_max_pages(pages);
+    }
+
+    /// Whether any execution limit (fuel budget or interrupt flag) is
+    /// armed. The tiers resolve this once per entry and select an
+    /// unmetered hot loop when nothing could ever fire, so unlimited
+    /// runs execute exactly the pre-limits code.
+    #[inline]
+    pub(crate) fn metered(&self) -> bool {
+        self.fuel_left != u64::MAX || self.interrupt.is_some()
+    }
+
+    /// Charge `ticks` guard events against the fuel budget and poll the
+    /// interrupt flag. Called from the execution tiers' guard points.
+    #[inline]
+    pub(crate) fn fuel_step(&mut self, ticks: u64) -> Result<(), Trap> {
+        if self.fuel_left != u64::MAX {
+            self.fuel_left = self.fuel_left.saturating_sub(ticks);
+            if self.fuel_left == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+        }
+        if let Some(flag) = &self.interrupt {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(Trap::Interrupted);
+            }
+        }
+        Ok(())
     }
 
     /// Borrow the embedder state, downcast to `T`.
@@ -522,6 +602,10 @@ impl Instance {
         if self.depth >= self.limits.max_call_depth {
             return Err(Trap::StackExhausted);
         }
+        // Call-site guard point: every invocation entry (exports, host
+        // re-entries, indirect dispatch) charges fuel, so fuel-bounded
+        // recursion through the host boundary is contained too.
+        self.fuel_step(1)?;
         let imported = self.host_funcs.len() as u32;
         if func_idx < imported {
             let f = Arc::clone(&self.host_funcs[func_idx as usize]);

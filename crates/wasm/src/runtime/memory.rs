@@ -53,6 +53,20 @@ impl Memory {
         (self.bytes.len() / PAGE_SIZE) as u32
     }
 
+    /// Lower the growth ceiling to `cap` pages (embedder resource limit).
+    /// Clamped to never fall below the current size, so existing contents
+    /// and the pinned base address are untouched; only future
+    /// [`Memory::grow`] calls see the tighter limit. Raising the ceiling
+    /// is not possible — the backing reservation was sized at creation.
+    pub fn cap_max_pages(&mut self, cap: u32) {
+        self.max_pages = self.max_pages.min(cap.max(self.size_pages()));
+    }
+
+    /// The current growth ceiling in pages.
+    pub fn max_pages(&self) -> u32 {
+        self.max_pages
+    }
+
     /// Current size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.bytes.len()

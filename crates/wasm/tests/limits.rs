@@ -1,0 +1,110 @@
+//! Guest resource limits: fuel, embedder interruption, and the linear
+//! memory growth cap — exercised on every execution tier, since each
+//! tier has its own guard points (interpreter instruction epochs, flat
+//! dispatch backward branches, superblock chain backedges).
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use wasm_engine::error::Trap;
+use wasm_engine::runtime::{CompiledModule, Instance, Linker};
+use wasm_engine::types::BlockType;
+use wasm_engine::{ModuleBuilder, Tier, Value, PAGE_SIZE};
+
+/// A module whose `spin` export loops forever.
+fn spin_module() -> wasm_engine::Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    b.func("spin", vec![], vec![], |f| {
+        f.loop_(BlockType::Empty).br(0).end();
+    });
+    b.finish()
+}
+
+fn instantiate(tier: Tier) -> Instance {
+    let compiled = CompiledModule::compile(spin_module(), tier).unwrap();
+    // Force the superblock tier to compile chains immediately so the
+    // in-chain backedge guard (not just the dispatch-loop guard) runs.
+    compiled.set_jit_threshold(1);
+    Linker::new().instantiate(&compiled, Box::new(())).unwrap()
+}
+
+#[test]
+fn out_of_fuel_stops_an_infinite_loop_on_every_tier() {
+    for tier in Tier::ALL {
+        let mut inst = instantiate(tier);
+        inst.set_fuel(50_000);
+        let err = inst.invoke("spin", &[]).unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel, "tier {tier}");
+        assert_eq!(inst.fuel_left(), 0, "tier {tier}");
+    }
+}
+
+#[test]
+fn interrupt_flag_stops_an_infinite_loop_on_every_tier() {
+    for tier in Tier::ALL {
+        let mut inst = instantiate(tier);
+        let flag = inst.interrupt_handle();
+        let timer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let err = inst.invoke("spin", &[]).unwrap_err();
+        assert_eq!(err, Trap::Interrupted, "tier {tier}");
+        timer.join().unwrap();
+    }
+}
+
+#[test]
+fn unlimited_fuel_charges_nothing() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    b.func("answer", vec![], vec![wasm_engine::types::ValType::I32], |f| {
+        f.i32_const(42);
+    });
+    let compiled = CompiledModule::compile(b.finish(), Tier::Max).unwrap();
+    let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+    assert_eq!(inst.invoke("answer", &[]).unwrap(), vec![Value::I32(42)]);
+    assert_eq!(inst.fuel_left(), u64::MAX);
+}
+
+#[test]
+fn fuel_persists_across_invocations_until_exhausted() {
+    let mut inst = instantiate(Tier::Baseline);
+    inst.set_fuel(200_000);
+    assert_eq!(inst.invoke("spin", &[]).unwrap_err(), Trap::OutOfFuel);
+    // The budget is spent; a fresh invocation fails immediately.
+    assert_eq!(inst.invoke("spin", &[]).unwrap_err(), Trap::OutOfFuel);
+    // Refueling makes the instance runnable again.
+    inst.set_fuel(10_000);
+    assert_eq!(inst.invoke("spin", &[]).unwrap_err(), Trap::OutOfFuel);
+}
+
+#[test]
+fn memory_cap_converts_grow_into_failure() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(64));
+    b.func("grow_one", vec![], vec![wasm_engine::types::ValType::I32], |f| {
+        f.i32_const(1).memory_grow();
+    });
+    let compiled = CompiledModule::compile(b.finish(), Tier::Max).unwrap();
+    let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+    inst.cap_memory(2 * PAGE_SIZE as u64);
+    // 1 -> 2 pages fits under the cap; the next grow fails with -1
+    // exactly like exceeding the declared maximum.
+    assert_eq!(inst.invoke("grow_one", &[]).unwrap(), vec![Value::I32(1)]);
+    assert_eq!(inst.invoke("grow_one", &[]).unwrap(), vec![Value::I32(-1)]);
+    assert_eq!(inst.memory.size_pages(), 2);
+}
+
+#[test]
+fn memory_cap_never_shrinks_below_current_size() {
+    let mut b = ModuleBuilder::new();
+    b.memory(4, Some(64));
+    b.func("noop", vec![], vec![], |_| {});
+    let compiled = CompiledModule::compile(b.finish(), Tier::Max).unwrap();
+    let mut inst = Linker::new().instantiate(&compiled, Box::new(())).unwrap();
+    inst.cap_memory(PAGE_SIZE as u64); // below the current 4 pages
+    assert_eq!(inst.memory.size_pages(), 4);
+    assert_eq!(inst.memory.max_pages(), 4);
+}
