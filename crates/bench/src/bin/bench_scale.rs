@@ -1,0 +1,228 @@
+//! Collective latency vs rank count under the virtual clock, emitting
+//! `BENCH_scale.json` so the tuned schedules have a recorded scaling
+//! trajectory.
+//!
+//! Usage: `bench_scale [out.json] [--check committed.json]` (default out
+//! `BENCH_scale.json`).
+//!
+//! One virtual-clock world per rank count in 64→4096 (the
+//! `scale_cluster` profile, ranks on [`SMALL_STACK_BYTES`] stacks), each
+//! running barrier, bcast, allreduce, allgather — and alltoall up to
+//! 1024 ranks — with the tuning table's default selection. The recorded
+//! latency is the simulated time of one call, maxed over ranks (the
+//! slowest rank bounds the collective), and each cell names the
+//! algorithm the selection table picked so curve changes are
+//! attributable to schedule changes.
+//!
+//! Because the schedules really execute under the deterministic LogP
+//! clock, the numbers are reproducible run-to-run: with `--check`, a
+//! fresh cell more than [`REGRESSION_TOLERANCE`] *slower* (higher µs)
+//! than the committed baseline exits non-zero, exactly like
+//! `bench_p2p --check`.
+
+use mpi_substrate::{
+    run_world_configured, ClockMode, CollTuning, Datatype, ReduceOp, WorldConfig,
+    SMALL_STACK_BYTES,
+};
+use netsim::{CostModel, SystemProfile};
+
+const RANK_COUNTS: [u32; 4] = [64, 256, 1024, 4096];
+const BCAST_BYTES: usize = 64 << 10;
+const ALLREDUCE_BYTES: usize = 64 << 10;
+const ALLGATHER_BLOCK: usize = 8;
+const ALLTOALL_BLOCK: usize = 8;
+/// Pairwise-volume ceiling: alltoall moves p·block per rank, so the
+/// 4096-rank cell is skipped to keep the sweep fast.
+const ALLTOALL_MAX_RANKS: u32 = 1024;
+
+/// Maximum tolerated slowdown vs the committed baseline. The virtual
+/// clock is deterministic, so this headroom is for intentional protocol
+/// or model tweaks, not measurement noise.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Simulated per-call latency (µs, max over ranks) of each collective at
+/// `p` ranks, with the algorithm the default tuning table selected.
+fn measure(p: u32) -> Vec<(&'static str, String, f64)> {
+    let include_a2a = p <= ALLTOALL_MAX_RANKS;
+    let mode = ClockMode::Virtual(CostModel::native(SystemProfile::scale_cluster()));
+    let cfg = WorldConfig::new(mode).with_stack_size(SMALL_STACK_BYTES);
+    let per_rank = run_world_configured(p, cfg, move |comm| {
+        let mut lat = Vec::new();
+
+        comm.barrier().unwrap();
+        let t0 = comm.wtime();
+        comm.barrier().unwrap();
+        lat.push(comm.wtime() - t0);
+
+        let mut buf = vec![0x11u8; BCAST_BYTES];
+        comm.barrier().unwrap();
+        let t0 = comm.wtime();
+        comm.bcast(&mut buf, 0).unwrap();
+        lat.push(comm.wtime() - t0);
+
+        let send = vec![0u8; ALLREDUCE_BYTES];
+        let mut out = vec![0u8; ALLREDUCE_BYTES];
+        comm.barrier().unwrap();
+        let t0 = comm.wtime();
+        comm.allreduce(&send, &mut out, Datatype::Double, ReduceOp::Sum).unwrap();
+        lat.push(comm.wtime() - t0);
+
+        let mine = [0x22u8; ALLGATHER_BLOCK];
+        let mut gathered = vec![0u8; ALLGATHER_BLOCK * comm.size() as usize];
+        comm.barrier().unwrap();
+        let t0 = comm.wtime();
+        comm.allgather(&mine, &mut gathered).unwrap();
+        lat.push(comm.wtime() - t0);
+
+        if include_a2a {
+            let send = vec![0x33u8; ALLTOALL_BLOCK * comm.size() as usize];
+            let mut recv = vec![0u8; ALLTOALL_BLOCK * comm.size() as usize];
+            comm.barrier().unwrap();
+            let t0 = comm.wtime();
+            comm.alltoall(&send, &mut recv).unwrap();
+            lat.push(comm.wtime() - t0);
+        }
+        lat
+    });
+
+    let t = CollTuning::new();
+    let mut cells: Vec<(&'static str, String)> = vec![
+        ("barrier", "dissemination".to_string()),
+        ("bcast", t.select_bcast(p, BCAST_BYTES).name().to_string()),
+        ("allreduce", t.select_allreduce(p, ALLREDUCE_BYTES).name().to_string()),
+        ("allgather", t.select_allgather(p, ALLGATHER_BLOCK).name().to_string()),
+    ];
+    if include_a2a {
+        cells.push(("alltoall", t.select_alltoall(p, ALLTOALL_BLOCK).name().to_string()));
+    }
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, (coll, algo))| {
+            let us = per_rank.iter().map(|lat| lat[i]).fold(0.0, f64::max) * 1e6;
+            (coll, algo, us)
+        })
+        .collect()
+}
+
+/// Parse the (self-emitted) results format into gateable cells:
+/// `(coll/np, µs)`, lower is better.
+fn parse_cells(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let field = |key: &str| -> Option<&str> {
+            let at = line.find(key)? + key.len();
+            let rest = line[at..].trim_start_matches([':', ' ', '"']);
+            Some(rest.split(['"', ',', '}']).next().unwrap_or("").trim())
+        };
+        if field("\"section\"") != Some("scale") {
+            continue;
+        }
+        if let (Some(coll), Some(np), Some(us)) =
+            (field("\"coll\""), field("\"np\""), field("\"us\""))
+        {
+            if let Ok(us) = us.parse::<f64>() {
+                out.push((format!("{coll}/{np}"), us));
+            }
+        }
+    }
+    out
+}
+
+/// Cells slower than the committed baseline by more than the tolerance:
+/// (key, committed, fresh).
+fn check_regressions(
+    committed: &[(String, f64)],
+    fresh: &[(String, f64)],
+) -> Vec<(String, f64, f64)> {
+    let mut bad = Vec::new();
+    for (key, old) in committed {
+        let Some((_, new)) = fresh.iter().find(|(k, _)| k == key) else {
+            continue; // cell removed: not a regression
+        };
+        if *new > *old * (1.0 + REGRESSION_TOLERANCE) {
+            bad.push((key.clone(), *old, *new));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--check" {
+            check_path = Some(it.next().expect("--check needs a baseline path"));
+        } else {
+            out_path = a;
+        }
+    }
+
+    let mut lines: Vec<String> = Vec::new();
+    println!("== collective latency vs rank count (virtual clock, scale_cluster) ==");
+    for p in RANK_COUNTS {
+        for (coll, algo, us) in measure(p) {
+            println!("np {p:>5}  {coll:>9}  {algo:>20}  {us:>12.2} us");
+            lines.push(format!(
+                "  {{\"section\": \"scale\", \"coll\": \"{coll}\", \"np\": {p}, \
+                 \"algo\": \"{algo}\", \"us\": {us:.2}}}"
+            ));
+        }
+    }
+
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = parse_cells(&std::fs::read_to_string(&path).expect("read baseline"));
+        assert!(!committed.is_empty(), "no baseline cells parsed from {path}");
+        let fresh = parse_cells(&json);
+        let bad = check_regressions(&committed, &fresh);
+        if bad.is_empty() {
+            println!(
+                "perf check OK: all {} cells within {:.0}% of {path}",
+                committed.len(),
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for (key, old, new) in &bad {
+                eprintln!(
+                    "PERF REGRESSION scale/{key}: {old:.1} -> {new:.1} us ({:+.1}%)",
+                    (new / old - 1.0) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_format_and_flags_slowdowns() {
+        let json = concat!(
+            "[\n",
+            "  {\"section\": \"scale\", \"coll\": \"bcast\", \"np\": 64, \"algo\": \"binomial-segmented\", \"us\": 100.00},\n",
+            "  {\"section\": \"scale\", \"coll\": \"barrier\", \"np\": 256, \"algo\": \"dissemination\", \"us\": 20.00}\n",
+            "]\n"
+        );
+        let cells = parse_cells(json);
+        assert_eq!(
+            cells,
+            vec![("bcast/64".to_string(), 100.0), ("barrier/256".to_string(), 20.0)]
+        );
+        // 5% slower is tolerated, 20% is flagged; faster never flags.
+        let fresh =
+            vec![("bcast/64".to_string(), 105.0), ("barrier/256".to_string(), 24.0)];
+        let bad = check_regressions(&cells, &fresh);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "barrier/256");
+        let faster = vec![("bcast/64".to_string(), 50.0), ("barrier/256".to_string(), 10.0)];
+        assert!(check_regressions(&cells, &faster).is_empty());
+    }
+}

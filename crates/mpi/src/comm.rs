@@ -218,6 +218,11 @@ impl Comm {
         CollSpan { comm: self, kind, id }
     }
 
+    /// The world's collective algorithm selection table.
+    pub(crate) fn tuning(&self) -> &crate::coll_algo::CollTuning {
+        &self.world.tuning
+    }
+
     /// The detached operation context handed to requests (cheap Arc
     /// clones of this communicator's internals).
     pub(crate) fn ctx(&self) -> CommCtx {
@@ -318,7 +323,7 @@ impl Comm {
 
     /// This rank's mailbox.
     fn mailbox(&self) -> &Mailbox {
-        &self.world.mailboxes[self.group[self.rank as usize] as usize]
+        self.world.mailbox(self.group[self.rank as usize])
     }
 
     /// Charge a *successful* probe to the rank's virtual clock: observing
@@ -1207,7 +1212,7 @@ impl MpiMessage {
 impl Drop for MpiMessage {
     fn drop(&mut self) {
         if let Some(msg) = self.msg.take() {
-            self.ctx.world.mailboxes[self.ctx.my_world() as usize].requeue(msg);
+            self.ctx.world.mailbox(self.ctx.my_world()).requeue(msg);
         }
     }
 }

@@ -107,6 +107,7 @@
 //! standard datatypes, `Comm_split`/`Comm_dup`, and `Wtime`.
 
 pub mod clock;
+pub mod coll_algo;
 pub mod collectives;
 pub mod comm;
 pub mod datatype;
@@ -118,6 +119,7 @@ pub mod table;
 pub mod world;
 
 pub use clock::ClockMode;
+pub use coll_algo::{AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning};
 pub use comm::{Comm, MpiMessage, Source, Status, Tag};
 pub use datatype::{Datatype, ReduceOp};
 pub use error::MpiError;
@@ -126,7 +128,8 @@ pub use request::{Request, TestAny};
 pub use table::{RequestRef, RequestTable};
 pub use world::{
     run_world, run_world_configured, run_world_recorded, run_world_with,
-    run_world_with_protocol, WatchdogConfig, World, WorldConfig,
+    run_world_with_protocol, WatchdogConfig, World, WorldConfig, DEFAULT_STACK_BYTES,
+    SMALL_STACK_BYTES,
 };
 
 /// Wildcard source (`MPI_ANY_SOURCE`).

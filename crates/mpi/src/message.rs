@@ -223,14 +223,22 @@ impl RecvEntry {
     }
 
     /// Latch a matched message and wake the receiver. Called under the
-    /// mailbox lock, only while the entry sits in the posted queue (so the
-    /// state here is always `Posted`).
-    fn fulfill(&self, msg: Message) {
+    /// mailbox lock on an entry just claimed from the posted queue. The
+    /// entry is usually still `Posted`, but rank-failure propagation
+    /// (`CommCtx::post_recv`'s post-registration checks) fails entries
+    /// *without* holding the mailbox lock, so a concurrent sender can
+    /// claim an entry that is already `Failed`. Such an entry hands the
+    /// message back: the receiver must observe the failure, and the
+    /// message stays deliverable to other receives.
+    fn try_fulfill(&self, msg: Message) -> Result<(), Message> {
         let mut st = self.state.lock();
-        debug_assert!(matches!(*st, EntryState::Posted));
+        if !matches!(*st, EntryState::Posted) {
+            return Err(msg);
+        }
         *st = EntryState::Matched(msg);
         drop(st);
         self.ready.notify_all();
+        Ok(())
     }
 
     fn fail(&self) {
@@ -379,14 +387,18 @@ impl Mailbox {
         }
         msg.seq = q.next_seq;
         q.next_seq += 1;
-        if let Some(entry) = Self::claim_posted(&mut q, &msg) {
+        while let Some(entry) = Self::claim_posted(&mut q, &msg) {
             // Fulfill while still holding the mailbox lock: a concurrent
             // cancel (which also takes the mailbox lock first) must see
             // either the entry still posted or the message latched —
             // never a removed-but-unmatched entry, whose message would
-            // be lost.
-            entry.fulfill(msg);
-            return Deposit::Matched;
+            // be lost. An entry already failed by rank-failure
+            // propagation refuses the message (it stays removed —
+            // terminal either way) and the scan continues.
+            match entry.try_fulfill(msg) {
+                Ok(()) => return Deposit::Matched,
+                Err(m) => msg = m,
+            }
         }
         if enforce_credit {
             let len = msg.payload.len();
@@ -415,7 +427,11 @@ impl Mailbox {
         }
         if let Some(pos) = q.messages.iter().position(|m| entry.matches(m)) {
             let msg = self.remove_at(&mut q, pos);
-            entry.fulfill(msg); // under the mailbox lock, as in `deposit`
+            // Under the mailbox lock, as in `deposit`. The entry is
+            // unshared until this registration, so it is still `Posted`.
+            entry.try_fulfill(msg).unwrap_or_else(|_| {
+                unreachable!("entry retired before registration")
+            });
             return true;
         }
         q.posted.push_back(Arc::clone(entry));
@@ -461,11 +477,22 @@ impl Mailbox {
             }
             // Another posted entry may match the reclaimed message —
             // queueing it past a waiting receiver would both break the
-            // invariant and strand that receiver on its condvar.
-            if let Some(next) = Self::claim_posted(&mut q, &msg) {
-                next.fulfill(msg);
-                return;
+            // invariant and strand that receiver on its condvar. Entries
+            // already failed by rank-failure propagation refuse it.
+            let mut leftover = Some(msg);
+            while let Some(m) = leftover.take() {
+                match Self::claim_posted(&mut q, &m) {
+                    Some(next) => match next.try_fulfill(m) {
+                        Ok(()) => return,
+                        Err(m) => leftover = Some(m),
+                    },
+                    None => {
+                        leftover = Some(m);
+                        break;
+                    }
+                }
             }
+            let Some(msg) = leftover else { return };
             if let Payload::Eager(data) = &msg.payload {
                 q.eager_bytes += data.len();
             }
@@ -599,9 +626,14 @@ impl Mailbox {
             q.posted.remove(pos);
             drop(q);
             let mut st = entry.state.lock();
-            debug_assert!(matches!(*st, EntryState::Posted));
-            *st = EntryState::Cancelled;
-            true
+            if matches!(*st, EntryState::Posted) {
+                *st = EntryState::Cancelled;
+                true
+            } else {
+                // Failed by rank-failure propagation while still queued:
+                // past cancellation, the receive completes with the error.
+                false
+            }
         } else {
             false
         }
@@ -612,14 +644,16 @@ impl Mailbox {
     /// posted entries — upholding the no-queued-match invariant — and
     /// otherwise reinsert it at its original arrival position, exactly
     /// like cancelling a matched posted receive.
-    pub fn requeue(&self, msg: Message) {
+    pub fn requeue(&self, mut msg: Message) {
         let mut q = self.queue.lock();
         if q.shutdown {
             return; // dropping the message fails any rendezvous slot
         }
-        if let Some(next) = Self::claim_posted(&mut q, &msg) {
-            next.fulfill(msg);
-            return;
+        while let Some(next) = Self::claim_posted(&mut q, &msg) {
+            match next.try_fulfill(msg) {
+                Ok(()) => return,
+                Err(m) => msg = m,
+            }
         }
         if let Payload::Eager(data) = &msg.payload {
             q.eager_bytes += data.len();

@@ -454,7 +454,7 @@ impl CommCtx {
             Source::Any => None,
         };
         let entry = RecvEntry::with_src_world(self.comm_id, src, tag, src_world);
-        self.world.mailboxes[self.my_world() as usize].post_recv(&entry);
+        self.world.mailbox(self.my_world()).post_recv(&entry);
         self.world.note_progress();
         // Failure checks *after* registration close the race with a
         // concurrent `fail_rank` sweep: whichever runs second sees the
@@ -500,7 +500,7 @@ impl CommCtx {
     /// to the entry is reinserted into the mailbox at its arrival
     /// position, staying available to other receives.
     pub fn cancel_recv(&self, entry: &Arc<RecvEntry>) {
-        self.world.mailboxes[self.my_world() as usize].cancel_posted(entry);
+        self.world.mailbox(self.my_world()).cancel_posted(entry);
     }
 
     /// Non-blocking matched take from the *message queue* only. Used by
@@ -510,7 +510,7 @@ impl CommCtx {
     /// failure still delivers — which is what makes every nonblocking
     /// collective round failure-aware without per-schedule changes.
     pub fn try_take(&self, src: Source, tag: Tag) -> Result<Option<Message>, MpiError> {
-        let got = self.world.mailboxes[self.my_world() as usize]
+        let got = self.world.mailbox(self.my_world())
             .try_take_matching(Self::matcher(self.comm_id, src, tag))?;
         if got.is_some() {
             self.world.note_progress();
@@ -569,7 +569,7 @@ impl CommCtx {
         if self.world.is_failed(dest_world) {
             return Err(MpiError::RankFailed { rank: dest_world });
         }
-        let mailbox = &self.world.mailboxes[dest_world as usize];
+        let mailbox = self.world.mailbox(dest_world);
         let stats = &self.world.stats;
         self.world.note_progress();
         // Injected wire faults (deterministic, from the world's fault
@@ -684,7 +684,7 @@ impl CommCtx {
     ) -> Result<(), MpiError> {
         if self.world.is_failed(dest_world) {
             let err = MpiError::RankFailed { rank: dest_world };
-            self.world.mailboxes[dest_world as usize].retract_rendezvous(slot);
+            self.world.mailbox(dest_world).retract_rendezvous(slot);
             slot.fail_if_posted_with(err.clone());
             return Err(err);
         }
@@ -905,7 +905,7 @@ impl SendOp {
             return false; // eagerly completed at initiation: unrecallable
         };
         let dest_world = ctx.group[dest as usize];
-        if !ctx.world.mailboxes[dest_world as usize].retract_rendezvous(slot) {
+        if !ctx.world.mailbox(dest_world).retract_rendezvous(slot) {
             return false;
         }
         let stats = &ctx.world.stats;

@@ -389,8 +389,7 @@ impl<'buf> Request<'buf> {
                 op.try_cancel(&self.ctx, dest)
             }
             Kind::Recv { entry, .. } => {
-                let mailbox =
-                    &self.ctx.world.mailboxes[self.ctx.my_world() as usize];
+                let mailbox = self.ctx.world.mailbox(self.ctx.my_world());
                 mailbox.try_unpost(entry)
             }
             _ => false,

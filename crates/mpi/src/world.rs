@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use netsim::fault::{FaultPlan, WireFault};
@@ -23,10 +23,21 @@ use obs::{EventKind, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::clock::{Clock, ClockMode};
+use crate::coll_algo::CollTuning;
 use crate::comm::Comm;
 use crate::error::MpiError;
 use crate::message::Mailbox;
 use crate::progress::{ProtocolConfig, ProtocolStats};
+
+/// Default per-rank thread stack. Deep guest recursion in debug builds
+/// needs room, so ordinary worlds keep the historical 32 MiB.
+pub const DEFAULT_STACK_BYTES: usize = 32 << 20;
+
+/// A sensible [`WorldConfig::with_stack_size`] value for netsim-clock
+/// worlds running native (non-guest) rank bodies: at 4096 ranks the
+/// default stack would reserve 128 GiB of address space; this keeps the
+/// whole world's stacks within a gigabyte.
+pub const SMALL_STACK_BYTES: usize = 192 * 1024;
 
 /// The flight-recorder hookup of a world. The clock mode is resolved
 /// *once* here (`virt`) so every trace timestamp costs a single branch
@@ -141,11 +152,26 @@ pub struct WorldConfig {
     pub fault: Option<FaultPlan>,
     /// Hang watchdog.
     pub watchdog: Option<WatchdogConfig>,
+    /// Collective algorithm selection override (`None` = the adaptive
+    /// defaults, with `MPIWASM_COLL_*` environment forcing applied).
+    pub tuning: Option<CollTuning>,
+    /// Per-rank thread stack size (`None` = [`DEFAULT_STACK_BYTES`]).
+    /// Large simulated worlds running native bodies should pass
+    /// [`SMALL_STACK_BYTES`] so idle ranks don't each pin 32 MiB.
+    pub stack_size: Option<usize>,
 }
 
 impl WorldConfig {
     pub fn new(mode: ClockMode) -> WorldConfig {
-        WorldConfig { mode, protocol: None, recorder: None, fault: None, watchdog: None }
+        WorldConfig {
+            mode,
+            protocol: None,
+            recorder: None,
+            fault: None,
+            watchdog: None,
+            tuning: None,
+            stack_size: None,
+        }
     }
 
     pub fn with_protocol(mut self, protocol: ProtocolConfig) -> WorldConfig {
@@ -167,13 +193,30 @@ impl WorldConfig {
         self.watchdog = Some(watchdog);
         self
     }
+
+    pub fn with_coll_tuning(mut self, tuning: CollTuning) -> WorldConfig {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    pub fn with_stack_size(mut self, bytes: usize) -> WorldConfig {
+        self.stack_size = Some(bytes);
+        self
+    }
 }
 
 /// Shared world state.
 pub struct World {
     pub(crate) size: u32,
-    pub(crate) mailboxes: Vec<Mailbox>,
+    /// Per-rank mailboxes, materialized on first touch (through
+    /// [`World::mailbox`]) so a mostly-idle 4096-rank simulated world
+    /// pays only a pointer slot per rank that never communicates.
+    mailboxes: Box<[OnceLock<Mailbox>]>,
     pub(crate) mode: ClockMode,
+    /// Collective algorithm selection table (see [`crate::coll_algo`]).
+    pub(crate) tuning: CollTuning,
+    /// Per-rank thread stack size for `run_world_on`.
+    stack_size: usize,
     /// Eager/rendezvous switch point and eager-buffer budgets.
     pub(crate) protocol: ProtocolConfig,
     /// Protocol traffic counters.
@@ -228,7 +271,7 @@ impl World {
         assert!(size >= 1, "world must have at least one rank");
         let protocol =
             config.protocol.unwrap_or_else(|| ProtocolConfig::from_mode(&config.mode));
-        let mailboxes = (0..size).map(|_| Mailbox::new(protocol.eager_capacity)).collect();
+        let mailboxes = (0..size).map(|_| OnceLock::new()).collect();
         let trace = config.recorder.map(|rec| WorldTrace {
             virt: matches!(config.mode, ClockMode::Virtual(_)),
             rec,
@@ -237,6 +280,8 @@ impl World {
             size,
             mailboxes,
             mode: config.mode,
+            tuning: config.tuning.unwrap_or_else(CollTuning::from_env),
+            stack_size: config.stack_size.unwrap_or(DEFAULT_STACK_BYTES),
             protocol,
             stats: ProtocolStats::default(),
             trace,
@@ -259,6 +304,26 @@ impl World {
 
     pub fn size(&self) -> u32 {
         self.size
+    }
+
+    /// World rank `w`'s mailbox, materializing it on first touch. A
+    /// mailbox born after a world-level sweep (shutdown, rank failure)
+    /// must still observe it: the failed/stopped flags are set *before*
+    /// the sweeps walk the mailboxes, so whichever of {sweep, init}
+    /// misses the other, the flag check below closes the race.
+    pub(crate) fn mailbox(&self, w: u32) -> &Mailbox {
+        let slot = &self.mailboxes[w as usize];
+        if let Some(mb) = slot.get() {
+            return mb;
+        }
+        let mb = slot.get_or_init(|| Mailbox::new(self.protocol.eager_capacity));
+        if self.stopped.load(Ordering::Acquire) {
+            mb.shutdown();
+        }
+        if self.is_failed(w) {
+            mb.fail_own(&MpiError::RankFailed { rank: w });
+        }
+        mb
     }
 
     /// Emit a trace event attributed to world-rank `rank`, timestamped by
@@ -398,10 +463,17 @@ impl World {
             self.failure_count.store(list.len() as u64, Ordering::Release);
         }
         let err = MpiError::RankFailed { rank };
-        self.mailboxes[rank as usize].fail_own(&err);
-        for (w, mb) in self.mailboxes.iter().enumerate() {
+        // Unmaterialized mailboxes are skipped: they hold nothing to
+        // fail, and one born later re-checks the failed flag in
+        // `World::mailbox`.
+        if let Some(mb) = self.mailboxes[rank as usize].get() {
+            mb.fail_own(&err);
+        }
+        for (w, slot) in self.mailboxes.iter().enumerate() {
             if w as u32 != rank {
-                mb.on_peer_failed(rank, &err);
+                if let Some(mb) = slot.get() {
+                    mb.on_peer_failed(rank, &err);
+                }
             }
         }
         // Agreement rounds no longer wait for the dead rank.
@@ -597,8 +669,10 @@ impl World {
     /// senders wake up, and releases agreement waiters.
     pub(crate) fn shutdown(&self) {
         self.stopped.store(true, Ordering::Release);
-        for mb in &self.mailboxes {
-            mb.shutdown();
+        for slot in &self.mailboxes {
+            if let Some(mb) = slot.get() {
+                mb.shutdown();
+            }
         }
         let _map = self.agreements.lock();
         self.agree_cv.notify_all();
@@ -701,7 +775,7 @@ where
             let body = Arc::clone(&body);
             std::thread::Builder::new()
                 .name(format!("mpi-rank-{rank}"))
-                .stack_size(32 << 20) // deep guest recursion in debug builds needs room
+                .stack_size(world.stack_size)
                 .spawn(move || {
                     let comm = Comm::world(Arc::clone(&world), rank);
                     let result = catch_unwind(AssertUnwindSafe(|| body(comm)));

@@ -1,0 +1,277 @@
+//! The collective-algorithm conformance matrix (ISSUE 9 satellite): every
+//! (collective, algorithm) pair, forced through the tuning-table
+//! override, must be **byte-identical** to a naive in-test oracle at rank
+//! counts {2, 3, 4, 7, 8, 16, 33, 64} under both clock modes. The
+//! non-power-of-two counts are what exercise the recursive-doubling and
+//! Rabenseifner fold-in/unfold paths and Bruck's ragged final round —
+//! they are mandatory cells, not nice-to-haves.
+//!
+//! A differential proptest rides along: random payload shapes, rank
+//! counts, and segment sizes, with a randomly forced algorithm run
+//! against the default selection — outputs must be byte-identical and
+//! the Status fields of surrounding point-to-point traffic must be
+//! unchanged by the schedule choice. (Reductions use exact integer
+//! arithmetic so associativity differences between schedules cannot leak
+//! into the comparison.)
+
+use mpi_substrate::{
+    run_world_configured, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, ClockMode,
+    CollTuning, Datatype, ReduceOp, Source, Tag, WorldConfig,
+};
+use netsim::{CostModel, SystemProfile};
+use proptest::prelude::*;
+
+/// Mandatory rank counts: powers of two plus the fold-in shapes.
+const SIZES: [u32; 8] = [2, 3, 4, 7, 8, 16, 33, 64];
+
+fn both_modes() -> Vec<ClockMode> {
+    vec![
+        ClockMode::Real,
+        ClockMode::Virtual(CostModel::native(SystemProfile::scale_cluster())),
+    ]
+}
+
+/// Deterministic byte `j` of rank `r`'s contribution.
+fn cell(r: u32, j: usize) -> u8 {
+    (r as usize * 131 + j * 29 + 17) as u8
+}
+
+#[test]
+fn bcast_matrix_is_byte_identical_to_oracle() {
+    // 4097 bytes over a 512-byte segment: 9 segments, ragged tail.
+    const LEN: usize = 4097;
+    for algo in BcastAlgo::ALL {
+        for p in SIZES {
+            for mode in both_modes() {
+                let cfg = WorldConfig::new(mode).with_coll_tuning(
+                    CollTuning::new().force_bcast(algo).with_segment_bytes(512),
+                );
+                run_world_configured(p, cfg, move |comm| {
+                    let root = p / 2;
+                    let mut buf = if comm.rank() == root {
+                        (0..LEN).map(|j| cell(root, j)).collect()
+                    } else {
+                        vec![0u8; LEN]
+                    };
+                    comm.bcast(&mut buf, root).unwrap();
+                    let oracle: Vec<u8> = (0..LEN).map(|j| cell(root, j)).collect();
+                    assert_eq!(buf, oracle, "{algo:?} p={p} rank={}", comm.rank());
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_matrix_is_byte_identical_to_oracle() {
+    const BLOCK: usize = 33;
+    for algo in AllgatherAlgo::ALL {
+        for p in SIZES {
+            for mode in both_modes() {
+                let cfg = WorldConfig::new(mode)
+                    .with_coll_tuning(CollTuning::new().force_allgather(algo));
+                run_world_configured(p, cfg, move |comm| {
+                    let mine: Vec<u8> = (0..BLOCK).map(|j| cell(comm.rank(), j)).collect();
+                    let mut out = vec![0u8; BLOCK * p as usize];
+                    comm.allgather(&mine, &mut out).unwrap();
+                    let oracle: Vec<u8> = (0..p)
+                        .flat_map(|r| (0..BLOCK).map(move |j| cell(r, j)))
+                        .collect();
+                    assert_eq!(out, oracle, "{algo:?} p={p} rank={}", comm.rank());
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_matrix_is_byte_identical_to_oracle() {
+    // 13 ints: at p2 = 64 Rabenseifner chunks this leaves most chunks
+    // empty, the hardest uneven split. Sum over small ints is exact, so
+    // every schedule must agree to the byte.
+    for algo in AllreduceAlgo::ALL {
+        for p in SIZES {
+            for mode in both_modes() {
+                for op in [ReduceOp::Sum, ReduceOp::Max] {
+                    let cfg = WorldConfig::new(mode.clone())
+                        .with_coll_tuning(CollTuning::new().force_allreduce(algo));
+                    run_world_configured(p, cfg, move |comm| {
+                        let vals: Vec<i32> = (0..13)
+                            .map(|i| (comm.rank() as i32 * 31 + i * 7) % 101 - 50)
+                            .collect();
+                        let send: Vec<u8> =
+                            vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        let mut recv = vec![0u8; send.len()];
+                        comm.allreduce(&send, &mut recv, Datatype::Int, op).unwrap();
+                        let oracle: Vec<u8> = (0..13)
+                            .map(|i| {
+                                let per_rank =
+                                    (0..p).map(|r| (r as i32 * 31 + i * 7) % 101 - 50);
+                                match op {
+                                    ReduceOp::Sum => per_rank.sum::<i32>(),
+                                    _ => per_rank.max().unwrap(),
+                                }
+                            })
+                            .flat_map(|v| v.to_le_bytes())
+                            .collect();
+                        assert_eq!(
+                            recv,
+                            oracle,
+                            "{algo:?} {op:?} p={p} rank={}",
+                            comm.rank()
+                        );
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_matrix_is_byte_identical_to_oracle() {
+    const BLOCK: usize = 9;
+    for algo in AlltoallAlgo::ALL {
+        for p in SIZES {
+            for mode in both_modes() {
+                let cfg = WorldConfig::new(mode)
+                    .with_coll_tuning(CollTuning::new().force_alltoall(algo));
+                run_world_configured(p, cfg, move |comm| {
+                    let me = comm.rank();
+                    // Byte j of the block from src to dst is
+                    // cell(src * p + dst, j): unique per direction.
+                    let send: Vec<u8> = (0..p)
+                        .flat_map(|dst| (0..BLOCK).map(move |j| cell(me * p + dst, j)))
+                        .collect();
+                    let mut recv = vec![0u8; BLOCK * p as usize];
+                    comm.alltoall(&send, &mut recv).unwrap();
+                    let oracle: Vec<u8> = (0..p)
+                        .flat_map(|src| (0..BLOCK).map(move |j| cell(src * p + me, j)))
+                        .collect();
+                    assert_eq!(recv, oracle, "{algo:?} p={p} rank={me}");
+                });
+            }
+        }
+    }
+}
+
+// --- differential proptest: forced algorithm vs default selection -------
+
+#[derive(Debug, Clone, Copy)]
+enum CollKind {
+    Bcast,
+    Allgather,
+    Allreduce,
+    Alltoall,
+}
+
+/// Run one collective at `p` ranks and return each rank's (output bytes,
+/// surrounding-sendrecv Status fields). `forced` pins the schedule;
+/// `None` uses the default selection.
+fn run_case(
+    kind: CollKind,
+    forced: Option<usize>,
+    p: u32,
+    len: usize,
+    seg: usize,
+    virt: bool,
+) -> Vec<(Vec<u8>, (u32, i32, usize))> {
+    let mut t = CollTuning::new().with_segment_bytes(seg);
+    if let Some(i) = forced {
+        t = match kind {
+            CollKind::Bcast => t.force_bcast(BcastAlgo::ALL[i % BcastAlgo::ALL.len()]),
+            CollKind::Allgather => {
+                t.force_allgather(AllgatherAlgo::ALL[i % AllgatherAlgo::ALL.len()])
+            }
+            CollKind::Allreduce => {
+                t.force_allreduce(AllreduceAlgo::ALL[i % AllreduceAlgo::ALL.len()])
+            }
+            CollKind::Alltoall => {
+                t.force_alltoall(AlltoallAlgo::ALL[i % AlltoallAlgo::ALL.len()])
+            }
+        };
+    }
+    let mode = if virt {
+        ClockMode::Virtual(CostModel::native(SystemProfile::scale_cluster()))
+    } else {
+        ClockMode::Real
+    };
+    let cfg = WorldConfig::new(mode).with_coll_tuning(t);
+    run_world_configured(p, cfg, move |comm| {
+        let me = comm.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        // User-tagged traffic around the collective: its Status fields
+        // must not depend on which schedule the collective ran.
+        let mut ring = [0u8; 4];
+        let st = comm
+            .sendrecv(&me.to_le_bytes(), right, 5, &mut ring, Source::Rank(left), Tag::Value(5))
+            .unwrap();
+        let out = match kind {
+            CollKind::Bcast => {
+                let root = p - 1;
+                let mut buf = if me == root {
+                    (0..len).map(|j| cell(root, j)).collect()
+                } else {
+                    vec![0u8; len]
+                };
+                comm.bcast(&mut buf, root).unwrap();
+                buf
+            }
+            CollKind::Allgather => {
+                let mine: Vec<u8> = (0..len).map(|j| cell(me, j)).collect();
+                let mut out = vec![0u8; len * p as usize];
+                comm.allgather(&mine, &mut out).unwrap();
+                out
+            }
+            CollKind::Allreduce => {
+                let send: Vec<u8> = (0..len as i32)
+                    .flat_map(|i| ((me as i32 * 13 + i * 3) % 51 - 25).to_le_bytes())
+                    .collect();
+                let mut out = vec![0u8; send.len()];
+                comm.allreduce(&send, &mut out, Datatype::Int, ReduceOp::Sum).unwrap();
+                out
+            }
+            CollKind::Alltoall => {
+                let send: Vec<u8> = (0..p)
+                    .flat_map(|dst| (0..len).map(move |j| cell(me * p + dst, j)))
+                    .collect();
+                let mut out = vec![0u8; len * p as usize];
+                comm.alltoall(&send, &mut out).unwrap();
+                out
+            }
+        };
+        (out, (st.source, st.tag, st.bytes))
+    })
+}
+
+fn kind_strategy() -> impl Strategy<Value = CollKind> {
+    prop_oneof![
+        Just(CollKind::Bcast),
+        Just(CollKind::Allgather),
+        Just(CollKind::Allreduce),
+        Just(CollKind::Alltoall),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+    ))]
+
+    /// A randomly forced schedule must be observationally identical to
+    /// whatever the default table would have picked: same bytes at every
+    /// rank, same Status fields on neighbouring user traffic.
+    #[test]
+    fn forced_schedule_matches_default_selection(
+        kind in kind_strategy(),
+        forced in 0usize..6,
+        p in prop_oneof![Just(2u32), Just(3), Just(4), Just(5), Just(7), Just(8), Just(16)],
+        len in 0usize..300,
+        seg in 1usize..200,
+        virt in any::<bool>(),
+    ) {
+        let forced_out = run_case(kind, Some(forced), p, len, seg, virt);
+        let default_out = run_case(kind, None, p, len, seg, virt);
+        prop_assert_eq!(forced_out, default_out);
+    }
+}

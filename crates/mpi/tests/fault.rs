@@ -11,8 +11,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mpi_substrate::{
-    run_world_configured, ClockMode, Datatype, MpiError, ReduceOp, Source, Tag, WatchdogConfig,
-    WorldConfig,
+    run_world_configured, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, ClockMode,
+    CollTuning, Datatype, MpiError, ReduceOp, Source, Tag, WatchdogConfig, WorldConfig,
 };
 use netsim::{CostModel, FaultPlan, SystemProfile};
 use proptest::prelude::*;
@@ -76,6 +76,99 @@ fn crash_mid_iallreduce_fails_survivors_in_both_modes() {
         assert!(
             results.iter().any(|r| *r == Err(MpiError::RankFailed { rank: 2 })),
             "{results:?}"
+        );
+    }
+}
+
+/// Fault-matrix smoke (ISSUE 9 satellite): a seeded crash lands
+/// mid-collective under **each new tuned schedule**, and every survivor
+/// that keeps driving the collective observes `RankFailed` — never a
+/// hang (the watchdog is armed as a tripwire). Payloads stay eager-sized:
+/// a crashed *rendezvous* sender is the message-drop scenario, covered
+/// separately.
+#[test]
+fn crash_mid_collective_fails_survivors_under_every_new_schedule() {
+    // A 4-byte segment turns the 13-byte bcast into a 4-segment pipeline.
+    let cases: Vec<(&str, CollTuning)> = vec![
+        (
+            "bcast",
+            CollTuning::new()
+                .force_bcast(BcastAlgo::BinomialSegmented)
+                .with_segment_bytes(4),
+        ),
+        ("bcast", CollTuning::new().force_bcast(BcastAlgo::Ring).with_segment_bytes(4)),
+        ("allgather", CollTuning::new().force_allgather(AllgatherAlgo::Bruck)),
+        (
+            "allgather",
+            CollTuning::new().force_allgather(AllgatherAlgo::RecursiveDoubling),
+        ),
+        ("allreduce", CollTuning::new().force_allreduce(AllreduceAlgo::Rabenseifner)),
+        ("alltoall", CollTuning::new().force_alltoall(AlltoallAlgo::Bruck)),
+    ];
+    for (coll, tuning) in cases {
+        let algo = format!("{tuning:?}");
+        let hung = Arc::new(AtomicBool::new(false));
+        let tripwire = Arc::clone(&hung);
+        // Rank 1's third collective call is mid-matrix: survivors are
+        // already inside the same call when it dies. p = 5 puts the
+        // victim on the fold-in paths of the non-power-of-two shapes.
+        let config = WorldConfig::new(ClockMode::Real)
+            .with_coll_tuning(tuning)
+            .with_fault(FaultPlan::new(5).crash_at_call(1, 3))
+            .with_watchdog(
+                WatchdogConfig::wall(Duration::from_secs(10))
+                    .with_on_fire(move |_| tripwire.store(true, Ordering::Release)),
+            );
+        let coll_name = coll.to_string();
+        let results = run_world_configured(5, config, move |comm| -> Result<(), MpiError> {
+            let p = comm.size();
+            let run_one = || -> Result<(), MpiError> {
+                match coll_name.as_str() {
+                    "bcast" => {
+                        let mut buf = [0x42u8; 13];
+                        comm.bcast(&mut buf, 0)
+                    }
+                    "allgather" => {
+                        let mine = [comm.rank() as u8; 3];
+                        let mut out = vec![0u8; 3 * p as usize];
+                        comm.allgather(&mine, &mut out)
+                    }
+                    "allreduce" => {
+                        let x = [comm.rank() as f64; 2];
+                        let mut out = [0.0f64; 2];
+                        comm.allreduce(
+                            bytes(&x),
+                            bytes_mut(&mut out),
+                            Datatype::Double,
+                            ReduceOp::Sum,
+                        )
+                    }
+                    _ => {
+                        let send = vec![comm.rank() as u8; 2 * p as usize];
+                        let mut recv = vec![0u8; 2 * p as usize];
+                        comm.alltoall(&send, &mut recv)
+                    }
+                }
+            };
+            // ULFM contract: keep driving the collective until the
+            // failure surfaces at this rank.
+            loop {
+                run_one()?;
+            }
+        });
+        assert!(
+            !hung.load(Ordering::Acquire),
+            "watchdog fired under {coll}/{algo}: a survivor hung"
+        );
+        for (rank, r) in results.iter().enumerate() {
+            assert!(
+                matches!(r, Err(MpiError::RankFailed { .. })),
+                "rank {rank} under {coll}/{algo}: {r:?}"
+            );
+        }
+        assert!(
+            results.iter().any(|r| *r == Err(MpiError::RankFailed { rank: 1 })),
+            "the culprit must be observable under {coll}/{algo}: {results:?}"
         );
     }
 }

@@ -10,7 +10,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use mpi_substrate::{
-    run_world_with, ClockMode, Comm, RequestTable, Source, Status, Tag,
+    run_world_configured, run_world_with, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo,
+    BcastAlgo, ClockMode, CollTuning, Comm, Datatype, ReduceOp, RequestTable, Source, Status,
+    Tag, WorldConfig,
 };
 use proptest::TestRng;
 
@@ -229,6 +231,85 @@ fn concurrent_posters_probers_and_progressors_hold_invariants() {
             assert!(audits > 0, "checker must have audited at least once");
         });
         assert_eq!(table.live(), 0, "all table requests retired");
+        comm.check_mailbox_invariants();
+    });
+}
+
+/// The tuned schedules' algorithm-internal sub-receive tags (segmented
+/// bcast pipelines, Bruck rounds, Rabenseifner reduce-scatter/allgather)
+/// must stay invisible to wildcard probes, exactly like the original
+/// collective tags: an auditor thread on every rank runs wildcard
+/// `Improbe(ANY, ANY)` plus the mailbox-invariant checker *while* the
+/// main thread drives collectives forced onto the new schedules, and the
+/// only message the wildcard may ever see is the user-tagged finale.
+#[test]
+fn algorithm_sub_tags_stay_invisible_to_wildcards() {
+    const P: u32 = 4;
+    const ROUNDS: usize = 25;
+    const TAG_DONE: i32 = 77;
+    // Force every collective onto a schedule that uses the new sub-tags;
+    // a 16-byte segment makes the 200-byte bcast a 13-segment pipeline.
+    let tuning = CollTuning::new()
+        .force_bcast(BcastAlgo::BinomialSegmented)
+        .force_allgather(AllgatherAlgo::Bruck)
+        .force_allreduce(AllreduceAlgo::Rabenseifner)
+        .force_alltoall(AlltoallAlgo::Bruck)
+        .with_segment_bytes(16);
+    let cfg = WorldConfig::new(ClockMode::Real).with_coll_tuning(tuning);
+    run_world_configured(P, cfg, |comm| {
+        let me = comm.rank();
+        let comm: &Comm = &comm;
+        std::thread::scope(|s| {
+            // --- wildcard auditor: may only ever see the finale ----------
+            let auditor = s.spawn(move || {
+                let mut audits = 0u64;
+                loop {
+                    comm.check_mailbox_invariants();
+                    audits += 1;
+                    if let Some((msg, st)) =
+                        comm.improbe(Source::Any, Tag::Any).unwrap()
+                    {
+                        assert_eq!(
+                            st.tag, TAG_DONE,
+                            "wildcard saw a collective-internal tag {} at rank {me}",
+                            st.tag
+                        );
+                        assert_eq!(st.source, (me + P - 1) % P);
+                        let mut buf = [0u8; 1];
+                        msg.recv(&mut buf).unwrap();
+                        assert_eq!(buf[0], ((me + P - 1) % P) as u8);
+                        return audits;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+
+            // --- main thread: collective traffic on the new schedules ----
+            for i in 0..ROUNDS {
+                let root = (i as u32) % P;
+                let mut buf = if me == root { [0x77u8; 200] } else { [0u8; 200] };
+                comm.bcast(&mut buf, root).unwrap();
+                assert!(buf.iter().all(|&b| b == 0x77));
+
+                let mine = [me as u8; 24];
+                let mut gathered = [0u8; 24 * P as usize];
+                comm.allgather(&mine, &mut gathered).unwrap();
+
+                let vals: Vec<u8> =
+                    (0..12i32).flat_map(|v| (v + me as i32).to_le_bytes()).collect();
+                let mut out = vec![0u8; vals.len()];
+                comm.allreduce(&vals, &mut out, Datatype::Int, ReduceOp::Sum).unwrap();
+
+                let send: Vec<u8> = (0..P as u8).flat_map(|d| [me as u8, d]).collect();
+                let mut recv = vec![0u8; 2 * P as usize];
+                comm.alltoall(&send, &mut recv).unwrap();
+            }
+            // Finale: one user-tagged message around the ring releases the
+            // auditor — proving the wildcard still sees user traffic.
+            comm.send(&[me as u8], (me + 1) % P, TAG_DONE).unwrap();
+            let audits = auditor.join().expect("auditor thread");
+            assert!(audits > 0);
+        });
         comm.check_mailbox_invariants();
     });
 }

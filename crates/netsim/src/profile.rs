@@ -78,6 +78,28 @@ impl SystemProfile {
         }
     }
 
+    /// A 4096-rank (64 nodes × 64 cores) cluster for the scaling sweeps:
+    /// the substrate's simulated-scale benchmark and the `bench_scale`
+    /// latency-vs-rank-count curves run collective schedules on worlds
+    /// up to this size under the virtual clock.
+    pub fn scale_cluster() -> Self {
+        SystemProfile {
+            name: "scale cluster (64x64, fat-tree)".into(),
+            cores_per_node: 64,
+            nodes: 64,
+            intra_latency_us: 0.4,
+            intra_bw_bytes_per_us: 9_000.0,
+            inter_latency_us: 1.2,
+            inter_bw_bytes_per_us: 12_500.0,
+            rendezvous_threshold: 16 * 1024,
+            compute_gamma_us_per_byte: 0.000_3,
+            native_call_overhead_us: 0.06,
+            jitter_spread: 0.06,
+            flops_per_us_per_core: 1_200.0,
+            pfs_bw_bytes_per_us: 20_000_000.0,
+        }
+    }
+
     /// A modest container-sized system for the artifact-evaluation style
     /// small-scale runs (§A.3.1).
     pub fn container() -> Self {
@@ -150,6 +172,7 @@ mod tests {
         let g2 = SystemProfile::graviton2();
         assert_eq!(g2.max_ranks(), 32);
         assert!(smng.inter_bw_bytes_per_us > g2.intra_bw_bytes_per_us);
+        assert!(SystemProfile::scale_cluster().max_ranks() >= 4096);
     }
 
     #[test]

@@ -63,8 +63,15 @@ impl CollKind {
 pub enum Algorithm {
     Dissemination,
     Binomial,
+    /// Binomial tree over pipelined segments (large bcast payloads).
+    BinomialSegmented,
     RecursiveDoubling,
     Ring,
+    /// Bruck's log₂(p)-round store-and-forward schedule (allgather /
+    /// small alltoall).
+    Bruck,
+    /// Rabenseifner's reduce-scatter + allgather allreduce.
+    Rabenseifner,
     Pairwise,
     LinearRoot,
 }
@@ -74,8 +81,11 @@ impl Algorithm {
         match self {
             Algorithm::Dissemination => "dissemination",
             Algorithm::Binomial => "binomial",
+            Algorithm::BinomialSegmented => "binomial-segmented",
             Algorithm::RecursiveDoubling => "recursive-doubling",
             Algorithm::Ring => "ring",
+            Algorithm::Bruck => "bruck",
+            Algorithm::Rabenseifner => "rabenseifner",
             Algorithm::Pairwise => "pairwise",
             Algorithm::LinearRoot => "linear-root",
         }
