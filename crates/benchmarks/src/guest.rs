@@ -80,6 +80,25 @@ pub struct MpiImports {
     pub iallgather: u32,
     pub ialltoall: u32,
     pub ialltoallv: u32,
+    pub ssend: u32,
+    pub issend: u32,
+    pub bsend: u32,
+    pub ibsend: u32,
+    pub buffer_attach: u32,
+    pub buffer_detach: u32,
+    pub get_elements: u32,
+    pub type_contiguous: u32,
+    pub type_vector: u32,
+    pub type_create_struct: u32,
+    pub type_commit: u32,
+    pub type_free: u32,
+    pub comm_group: u32,
+    pub group_size: u32,
+    pub group_rank: u32,
+    pub group_incl: u32,
+    pub group_excl: u32,
+    pub group_free: u32,
+    pub comm_create: u32,
     /// `bench.report(key, value)` harness hook.
     pub report: u32,
     /// `env.mpiwasm_stats(ptr, cap) -> bytes`: embedder extension dumping
@@ -154,6 +173,25 @@ impl MpiImports {
             iallgather: i(b, "MPI_Iallgather", vec![I32; 8], vec![I32]),
             ialltoall: i(b, "MPI_Ialltoall", vec![I32; 8], vec![I32]),
             ialltoallv: i(b, "MPI_Ialltoallv", vec![I32; 10], vec![I32]),
+            ssend: i(b, "MPI_Ssend", vec![I32; 6], vec![I32]),
+            issend: i(b, "MPI_Issend", vec![I32; 7], vec![I32]),
+            bsend: i(b, "MPI_Bsend", vec![I32; 6], vec![I32]),
+            ibsend: i(b, "MPI_Ibsend", vec![I32; 7], vec![I32]),
+            buffer_attach: i(b, "MPI_Buffer_attach", vec![I32; 2], vec![I32]),
+            buffer_detach: i(b, "MPI_Buffer_detach", vec![I32; 2], vec![I32]),
+            get_elements: i(b, "MPI_Get_elements", vec![I32; 3], vec![I32]),
+            type_contiguous: i(b, "MPI_Type_contiguous", vec![I32; 3], vec![I32]),
+            type_vector: i(b, "MPI_Type_vector", vec![I32; 5], vec![I32]),
+            type_create_struct: i(b, "MPI_Type_create_struct", vec![I32; 5], vec![I32]),
+            type_commit: i(b, "MPI_Type_commit", vec![I32; 1], vec![I32]),
+            type_free: i(b, "MPI_Type_free", vec![I32; 1], vec![I32]),
+            comm_group: i(b, "MPI_Comm_group", vec![I32; 2], vec![I32]),
+            group_size: i(b, "MPI_Group_size", vec![I32; 2], vec![I32]),
+            group_rank: i(b, "MPI_Group_rank", vec![I32; 2], vec![I32]),
+            group_incl: i(b, "MPI_Group_incl", vec![I32; 4], vec![I32]),
+            group_excl: i(b, "MPI_Group_excl", vec![I32; 4], vec![I32]),
+            group_free: i(b, "MPI_Group_free", vec![I32; 1], vec![I32]),
+            comm_create: i(b, "MPI_Comm_create", vec![I32; 3], vec![I32]),
             report: b.import_func("bench", "report", vec![I32, F64], vec![]),
             stats: i(b, "mpiwasm_stats", vec![I32; 2], vec![I32]),
         }
@@ -545,6 +583,94 @@ impl MpiImports {
             ],
         )
     }
+    // --- send modes over MPI_COMM_WORLD ---------------------------------
+
+    /// Synchronous-mode blocking send: returns only after the receiver
+    /// matched the message.
+    pub fn ssend(&self, buf: Expr, count: Expr, dt: i32, dest: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.ssend,
+            vec![buf, count, int(dt), dest, tag, int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    /// Buffered-mode blocking send: completes locally against the
+    /// attached buffer's accounting.
+    pub fn bsend(&self, buf: Expr, count: Expr, dt: i32, dest: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.bsend,
+            vec![buf, count, int(dt), dest, tag, int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    /// `MPI_Buffer_attach(buf, size)`.
+    pub fn buffer_attach(&self, buf: Expr, size: Expr) -> Stmt {
+        call_drop(self.buffer_attach, vec![buf, size])
+    }
+
+    /// `MPI_Buffer_detach(bufptr_ptr, size_ptr)`.
+    pub fn buffer_detach(&self, buf_ptr: Expr, size_ptr: Expr) -> Stmt {
+        call_drop(self.buffer_detach, vec![buf_ptr, size_ptr])
+    }
+
+    // --- derived datatypes ----------------------------------------------
+
+    /// `MPI_Type_vector(count, blocklen, stride, oldtype)`; the new
+    /// handle lands at `out_ptr`.
+    pub fn type_vector(
+        &self,
+        count: Expr,
+        blocklen: Expr,
+        stride: Expr,
+        oldtype: i32,
+        out_ptr: Expr,
+    ) -> Stmt {
+        call_drop(
+            self.type_vector,
+            vec![count, blocklen, stride, int(oldtype), out_ptr],
+        )
+    }
+
+    /// `MPI_Type_contiguous(count, oldtype)`; handle at `out_ptr`.
+    pub fn type_contiguous(&self, count: Expr, oldtype: i32, out_ptr: Expr) -> Stmt {
+        call_drop(self.type_contiguous, vec![count, int(oldtype), out_ptr])
+    }
+
+    /// `MPI_Type_commit(type_ptr)`.
+    pub fn type_commit(&self, type_ptr: Expr) -> Stmt {
+        call_drop(self.type_commit, vec![type_ptr])
+    }
+
+    /// `MPI_Type_free(type_ptr)`.
+    pub fn type_free(&self, type_ptr: Expr) -> Stmt {
+        call_drop(self.type_free, vec![type_ptr])
+    }
+
+    /// Blocking send with a *dynamic* datatype handle (derived types are
+    /// created at run time, so the handle is an `Expr`, not a constant).
+    pub fn send_dt(&self, buf: Expr, count: Expr, dt: Expr, dest: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.send,
+            vec![buf, count, dt, dest, tag, int(handles::MPI_COMM_WORLD)],
+        )
+    }
+
+    /// Blocking receive with a dynamic datatype handle.
+    pub fn recv_dt(&self, buf: Expr, count: Expr, dt: Expr, src: Expr, tag: Expr) -> Stmt {
+        call_drop(
+            self.recv,
+            vec![
+                buf,
+                count,
+                dt,
+                src,
+                tag,
+                int(handles::MPI_COMM_WORLD),
+                int(handles::MPI_STATUS_IGNORE),
+            ],
+        )
+    }
+
     // --- probe / matched probe / cancel over MPI_COMM_WORLD -------------
 
     /// `MPI_Probe(src, tag, MPI_COMM_WORLD, status_ptr)` (blocking).
@@ -637,7 +763,12 @@ mod tests {
     use super::*;
     use mpi_substrate::ClockMode;
     use mpiwasm::{JobConfig, Runner};
+    use netsim::{CostModel, SystemProfile};
     use wasm_engine::encode_module;
+
+    fn virtual_clock() -> ClockMode {
+        ClockMode::Virtual(CostModel::native(SystemProfile::container()))
+    }
 
     /// End-to-end smoke test: a 4-rank ring pass in Wasm through the
     /// embedder. Exercises Init/rank/size/send/recv/barrier/report.
@@ -1328,6 +1459,402 @@ mod tests {
             for r in &result.ranks {
                 assert_eq!(r.reports, vec![(0, 6.0)], "tier {tier} rank {}", r.rank);
             }
+        }
+    }
+
+    /// Conformance pin for the `MPI_Get_count` rounding bug: a byte count
+    /// that is not a multiple of the datatype size must yield
+    /// `MPI_UNDEFINED`, while `MPI_Get_elements` still counts the whole
+    /// basic elements. Also pins the MPI_ERROR status word (offset +8)
+    /// as MPI_SUCCESS on a clean receive, and `MPI_Type_free` writing
+    /// `MPI_DATATYPE_NULL`.
+    #[test]
+    fn get_count_undefined_on_partial_element() {
+        const STATUS: i32 = 256;
+        const CNT: i32 = 288;
+        const TYPE: i32 = 296;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(0)),
+                // 8 bytes: two full ints, 2/3 of the 12-byte derived type.
+                &[mpi.send(int(layout::SEND_BUF), int(8), MPI_BYTE, int(1), int(3))],
+                &[
+                    mpi.type_contiguous(int(3), MPI_INT, int(TYPE)),
+                    mpi.type_commit(int(TYPE)),
+                    call_drop(
+                        mpi.recv,
+                        vec![
+                            int(layout::RECV_BUF),
+                            int(8),
+                            int(MPI_BYTE),
+                            int(0),
+                            int(3),
+                            int(MPI_COMM_WORLD),
+                            int(STATUS),
+                        ],
+                    ),
+                    // 8 % 12 != 0 -> MPI_UNDEFINED, not floor(8/12).
+                    call_drop(
+                        mpi.get_count,
+                        vec![int(STATUS), int(TYPE).load(ValType::I32, 0), int(CNT)],
+                    ),
+                    mpi.report(int(0), int(CNT).load(ValType::I32, 0).to(ValType::F64)),
+                    // ...but two whole basic ints did arrive.
+                    call_drop(
+                        mpi.get_elements,
+                        vec![int(STATUS), int(TYPE).load(ValType::I32, 0), int(CNT)],
+                    ),
+                    mpi.report(int(1), int(CNT).load(ValType::I32, 0).to(ValType::F64)),
+                    // Divisible by the primitive size -> exact count.
+                    call_drop(mpi.get_count, vec![int(STATUS), int(MPI_INT), int(CNT)]),
+                    mpi.report(int(2), int(CNT).load(ValType::I32, 0).to(ValType::F64)),
+                    // MPI_ERROR word of a successful receive.
+                    mpi.report(int(3), int(STATUS).load(ValType::I32, 8).to(ValType::F64)),
+                    mpi.type_free(int(TYPE)),
+                    mpi.report(int(4), int(TYPE).load(ValType::I32, 0).to(ValType::F64)),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(
+            result.ranks[1].reports,
+            vec![(0, -1.0), (1, 2.0), (2, 2.0), (3, 0.0), (4, -2.0)],
+            "Get_count UNDEFINED, Get_elements 2, int count 2, MPI_ERROR success, freed handle null"
+        );
+    }
+
+    /// Derived-datatype roundtrip in both clock modes: a strided
+    /// `MPI_Type_vector` is packed by the host on send (receiver sees a
+    /// dense int stream) and scattered back on a derived receive.
+    #[test]
+    fn type_vector_pack_and_scatter_roundtrip() {
+        const TYPE: i32 = 256;
+        for clock in [ClockMode::Real, virtual_clock()] {
+            let mut b = ModuleBuilder::new();
+            b.memory(layout::PAGES, None);
+            let mpi = MpiImports::declare(&mut b);
+            b.func("_start", vec![], vec![], |f| {
+                let rank = Var::new(f, ValType::I32);
+                let i = Var::new(f, ValType::I32);
+                let sum = Var::new(f, ValType::I32);
+                let mut stmts = vec![mpi.init()];
+                stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+                stmts.extend([
+                    // 4 blocks of 2 ints, stride 4: picks elements
+                    // 0,1, 4,5, 8,9, 12,13 out of a 16-int region.
+                    mpi.type_vector(int(4), int(2), int(4), MPI_INT, int(TYPE)),
+                    mpi.type_commit(int(TYPE)),
+                ]);
+                stmts.push(if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        for_range(i, int(0), int(16), &[store(
+                            int(layout::SEND_BUF) + i.get() * int(4),
+                            0,
+                            i.get(),
+                        )]),
+                        mpi.send_dt(
+                            int(layout::SEND_BUF),
+                            int(1),
+                            int(TYPE).load(ValType::I32, 0),
+                            int(1),
+                            int(1),
+                        ),
+                        // The peer echoes the dense stream; scatter it back
+                        // through the same vector type.
+                        mpi.recv_dt(
+                            int(layout::RECV_BUF),
+                            int(1),
+                            int(TYPE).load(ValType::I32, 0),
+                            int(1),
+                            int(2),
+                        ),
+                        sum.set(int(0)),
+                        for_range(i, int(0), int(16), &[sum.set(
+                            sum.get()
+                                + (int(layout::RECV_BUF) + i.get() * int(4))
+                                    .load(ValType::I32, 0),
+                        )]),
+                        mpi.report(int(0), sum.get().to(ValType::F64)),
+                        // A gap element stays zero; a strided slot holds its
+                        // original value.
+                        mpi.report(int(1), int(layout::RECV_BUF).load(ValType::I32, 8).to(ValType::F64)),
+                        mpi.report(int(2), int(layout::RECV_BUF).load(ValType::I32, 16).to(ValType::F64)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(8), MPI_INT, int(0), int(1)),
+                        sum.set(int(0)),
+                        for_range(i, int(0), int(8), &[sum.set(
+                            sum.get()
+                                + (int(layout::RECV_BUF) + i.get() * int(4))
+                                    .load(ValType::I32, 0),
+                        )]),
+                        mpi.report(int(0), sum.get().to(ValType::F64)),
+                        mpi.send(int(layout::RECV_BUF), int(8), MPI_INT, int(0), int(2)),
+                    ],
+                ));
+                stmts.push(mpi.type_free(int(TYPE)));
+                stmts.push(mpi.finalize());
+                emit_block(f, &stmts);
+            });
+            let wasm = encode_module(&b.finish());
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 2, clock: clock.clone(), ..Default::default() })
+                .unwrap();
+            assert!(result.success(), "{clock:?}: {:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+            // 0+1+4+5+8+9+12+13 = 52 on the dense receiver; the scatter
+            // restores the same mass with zeros in the gaps.
+            assert_eq!(result.ranks[1].reports, vec![(0, 52.0)], "{clock:?}");
+            assert_eq!(
+                result.ranks[0].reports,
+                vec![(0, 52.0), (1, 0.0), (2, 4.0)],
+                "{clock:?}: scatter sum, gap zero, strided slot"
+            );
+        }
+    }
+
+    /// Synchronous sends (blocking and nonblocking) deliver correctly
+    /// below the eager threshold in both clock modes — the receipt-ack
+    /// handshake must not deadlock or corrupt the payload.
+    #[test]
+    fn ssend_and_issend_deliver_below_threshold() {
+        const REQ: i32 = 256;
+        for clock in [ClockMode::Real, virtual_clock()] {
+            let mut b = ModuleBuilder::new();
+            b.memory(layout::PAGES, None);
+            let mpi = MpiImports::declare(&mut b);
+            b.func("_start", vec![], vec![], |f| {
+                let rank = Var::new(f, ValType::I32);
+                let i = Var::new(f, ValType::I32);
+                let sum = Var::new(f, ValType::I32);
+                let mut stmts = vec![mpi.init()];
+                stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+                stmts.push(if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        for_range(i, int(0), int(4), &[store(
+                            int(layout::SEND_BUF) + i.get() * int(4),
+                            0,
+                            (i.get() + int(1)) * int(10),
+                        )]),
+                        mpi.ssend(int(layout::SEND_BUF), int(4), MPI_INT, int(1), int(1)),
+                        call_drop(
+                            mpi.issend,
+                            vec![
+                                int(layout::SEND_BUF),
+                                int(4),
+                                int(MPI_INT),
+                                int(1),
+                                int(2),
+                                int(MPI_COMM_WORLD),
+                                int(REQ),
+                            ],
+                        ),
+                        call_drop(mpi.wait, vec![int(REQ), int(MPI_STATUS_IGNORE)]),
+                        mpi.report(int(0), int(REQ).load(ValType::I32, 0).to(ValType::F64)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(4), MPI_INT, int(0), int(1)),
+                        mpi.recv(int(layout::RECV_BUF) + int(64), int(4), MPI_INT, int(0), int(2)),
+                        sum.set(int(0)),
+                        for_range(i, int(0), int(4), &[sum.set(
+                            sum.get()
+                                + (int(layout::RECV_BUF) + i.get() * int(4)).load(ValType::I32, 0)
+                                + (int(layout::RECV_BUF) + int(64) + i.get() * int(4))
+                                    .load(ValType::I32, 0),
+                        )]),
+                        mpi.report(int(0), sum.get().to(ValType::F64)),
+                    ],
+                ));
+                stmts.push(mpi.finalize());
+                emit_block(f, &stmts);
+            });
+            let wasm = encode_module(&b.finish());
+            let result = Runner::new()
+                .run(&wasm, JobConfig { np: 2, clock: clock.clone(), ..Default::default() })
+                .unwrap();
+            assert!(result.success(), "{clock:?}: {:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+            // Issend's request handle nulled; both payloads summed:
+            // 2 * (10+20+30+40).
+            assert_eq!(result.ranks[0].reports, vec![(0, 0.0)], "{clock:?}");
+            assert_eq!(result.ranks[1].reports, vec![(0, 200.0)], "{clock:?}");
+        }
+    }
+
+    /// Buffered sends: `MPI_Bsend` without an attached buffer returns
+    /// MPI_ERR_BUFFER; with one attached it completes *locally* — the
+    /// sender detaches and sends a second message before the receiver
+    /// posts anything, and the receiver matches the two out of order.
+    #[test]
+    fn bsend_requires_attach_and_completes_locally() {
+        const DETACH_PTR: i32 = 256;
+        const DETACH_SZ: i32 = 260;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let i = Var::new(f, ValType::I32);
+            let sum = Var::new(f, ValType::I32);
+            let err = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.push(if_else(
+                rank.get().eq(int(0)),
+                &[
+                    for_range(i, int(0), int(4), &[store(
+                        int(layout::SEND_BUF) + i.get() * int(4),
+                        0,
+                        (i.get() + int(1)) * int(10),
+                    )]),
+                    // No buffer attached yet: MPI_ERR_BUFFER.
+                    err.set(call(
+                        mpi.bsend,
+                        vec![
+                            int(layout::SEND_BUF),
+                            int(4),
+                            int(MPI_INT),
+                            int(1),
+                            int(7),
+                            int(MPI_COMM_WORLD),
+                        ],
+                        ValType::I32,
+                    )),
+                    mpi.report(int(0), err.get().to(ValType::F64)),
+                    mpi.buffer_attach(int(layout::HEAP), int(1 << 16)),
+                    mpi.bsend(int(layout::SEND_BUF), int(4), MPI_INT, int(1), int(7)),
+                    mpi.buffer_detach(int(DETACH_PTR), int(DETACH_SZ)),
+                    mpi.report(int(1), int(DETACH_SZ).load(ValType::I32, 0).to(ValType::F64)),
+                    // Reaching here before the peer posts any receive
+                    // proves local completion; the peer matches this tag
+                    // first.
+                    mpi.send(int(layout::SEND_BUF), int(0), MPI_BYTE, int(1), int(8)),
+                ],
+                &[
+                    mpi.recv(int(layout::RECV_BUF), int(0), MPI_BYTE, int(0), int(8)),
+                    mpi.recv(int(layout::RECV_BUF), int(4), MPI_INT, int(0), int(7)),
+                    sum.set(int(0)),
+                    for_range(i, int(0), int(4), &[sum.set(
+                        sum.get()
+                            + (int(layout::RECV_BUF) + i.get() * int(4)).load(ValType::I32, 0),
+                    )]),
+                    mpi.report(int(0), sum.get().to(ValType::F64)),
+                ],
+            ));
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 2, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        assert_eq!(
+            result.ranks[0].reports,
+            vec![(0, 1.0), (1, 65536.0)],
+            "MPI_ERR_BUFFER without attach, detach returns the attached size"
+        );
+        assert_eq!(result.ranks[1].reports, vec![(0, 100.0)]);
+    }
+
+    /// Groups and `MPI_Comm_create`: exclude rank 0 from the world group,
+    /// build a communicator from the remainder, and run a collective on
+    /// it. The excluded rank gets MPI_COMM_NULL and MPI_UNDEFINED.
+    #[test]
+    fn group_excl_comm_create_runs_collective() {
+        const GRP: i32 = 256;
+        const NG: i32 = 260;
+        const SZ: i32 = 264;
+        const VAL: i32 = 268;
+        const COMM2: i32 = 272;
+        const IDX: i32 = 276;
+        const SB: i32 = 288;
+        const RB: i32 = 296;
+        let mut b = ModuleBuilder::new();
+        b.memory(layout::PAGES, None);
+        let mpi = MpiImports::declare(&mut b);
+        b.func("_start", vec![], vec![], |f| {
+            let rank = Var::new(f, ValType::I32);
+            let mut stmts = vec![mpi.init()];
+            stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+            stmts.extend([
+                call_drop(mpi.comm_group, vec![int(MPI_COMM_WORLD), int(GRP)]),
+                call_drop(mpi.group_size, vec![int(GRP).load(ValType::I32, 0), int(SZ)]),
+                mpi.report(int(0), int(SZ).load(ValType::I32, 0).to(ValType::F64)),
+                call_drop(mpi.group_rank, vec![int(GRP).load(ValType::I32, 0), int(VAL)]),
+                mpi.report(int(1), int(VAL).load(ValType::I32, 0).to(ValType::F64)),
+                // Drop rank 0 from the group.
+                store(int(IDX), 0, int(0)),
+                call_drop(
+                    mpi.group_excl,
+                    vec![int(GRP).load(ValType::I32, 0), int(1), int(IDX), int(NG)],
+                ),
+                call_drop(mpi.group_rank, vec![int(NG).load(ValType::I32, 0), int(VAL)]),
+                mpi.report(int(2), int(VAL).load(ValType::I32, 0).to(ValType::F64)),
+                // Collective over MPI_COMM_WORLD: every rank calls it.
+                call_drop(
+                    mpi.comm_create,
+                    vec![int(MPI_COMM_WORLD), int(NG).load(ValType::I32, 0), int(COMM2)],
+                ),
+                mpi.report(int(3), int(COMM2).load(ValType::I32, 0).to(ValType::F64)),
+                if_else(
+                    int(COMM2).load(ValType::I32, 0).ne(int(-1)),
+                    &[
+                        store(int(SB), 0, rank.get() + int(1)),
+                        call_drop(
+                            mpi.allreduce,
+                            vec![
+                                int(SB),
+                                int(RB),
+                                int(1),
+                                int(MPI_INT),
+                                int(MPI_SUM),
+                                int(COMM2).load(ValType::I32, 0),
+                            ],
+                        ),
+                        mpi.report(int(4), int(RB).load(ValType::I32, 0).to(ValType::F64)),
+                    ],
+                    &[],
+                ),
+                call_drop(mpi.group_free, vec![int(NG)]),
+                call_drop(mpi.group_free, vec![int(GRP)]),
+                mpi.report(int(5), int(GRP).load(ValType::I32, 0).to(ValType::F64)),
+            ]);
+            stmts.push(mpi.finalize());
+            emit_block(f, &stmts);
+        });
+        let wasm = encode_module(&b.finish());
+        let result = Runner::new()
+            .run(&wasm, JobConfig { np: 3, ..Default::default() })
+            .unwrap();
+        assert!(result.success(), "{:?}", result.ranks.iter().map(|r| &r.error).collect::<Vec<_>>());
+        // World group: size 3, own rank. New group: rank 0 excluded.
+        assert_eq!(
+            result.ranks[0].reports,
+            vec![(0, 3.0), (1, 0.0), (2, -1.0), (3, -1.0), (5, 0.0)],
+            "excluded rank: MPI_UNDEFINED group rank, MPI_COMM_NULL, freed group nulls"
+        );
+        for (r, new_rank) in [(1usize, 0.0), (2usize, 1.0)] {
+            let comm_handle = result.ranks[r].reports[3].1;
+            assert!(comm_handle >= 2.0, "rank {r} got dynamic comm {comm_handle}");
+            assert_eq!(result.ranks[r].reports[0], (0, 3.0), "rank {r}");
+            assert_eq!(result.ranks[r].reports[1], (1, r as f64), "rank {r}");
+            assert_eq!(result.ranks[r].reports[2], (2, new_rank), "rank {r}");
+            // 1-based world ranks of members: 2 + 3.
+            assert_eq!(result.ranks[r].reports[4], (4, 5.0), "rank {r}");
+            assert_eq!(result.ranks[r].reports[5], (5, 0.0), "rank {r}");
         }
     }
 }

@@ -93,6 +93,9 @@ pub fn build_guest(p: DtParams) -> Vec<u8> {
     let elems = p.elems as i32;
     let acc_buf = layout::HEAP;
     let in_buf = acc_buf + elems * 8 + 64;
+    // Probe status + Get_count scratch for the dynamic receives below.
+    let status = layout::SCRATCH + 112;
+    let cnt_ptr = status + 24;
 
     // combine(acc_ptr, in_ptr): element-wise kernel.
     let combine = b.func_private(vec![ValType::I32, ValType::I32], vec![], move |f| {
@@ -195,6 +198,7 @@ pub fn build_guest(p: DtParams) -> Vec<u8> {
         let it = Var::new(f, ValType::I32);
         let round = Var::new(f, ValType::I32);
         let partner = Var::new(f, ValType::I32);
+        let cnt = Var::new(f, ValType::I32);
         let t0 = Var::new(f, ValType::F64);
         let checksum = Var::new(f, ValType::F64);
 
@@ -212,11 +216,18 @@ pub fn build_guest(p: DtParams) -> Vec<u8> {
         stmts.push(mpi.barrier_world());
         stmts.push(t0.set(mpi.wtime()));
 
+        // Receivers size their buffers dynamically — Probe the incoming
+        // stream, Get_count it, then post the exact-count receive. This is
+        // how the real DT consumer drains a task-graph edge whose payload
+        // size it does not know statically.
         let per_iter: Vec<Stmt> = match p.topology {
             Topology::BlackHole => vec![if_else(
                 rank.get().eq(int(0)),
                 &[for_range(partner, int(1), size.get(), &[
-                    mpi.recv(int(in_buf), int(elems), MPI_DOUBLE, partner.get(), int(5)),
+                    mpi.probe(partner.get(), int(5), int(status)),
+                    call_drop(mpi.get_count, vec![int(status), int(MPI_DOUBLE), int(cnt_ptr)]),
+                    cnt.set(int(cnt_ptr).load(ValType::I32, 0)),
+                    mpi.recv(int(in_buf), cnt.get(), MPI_DOUBLE, partner.get(), int(5)),
                     call_stmt(combine, vec![int(acc_buf), int(in_buf)]),
                 ])],
                 &[mpi.send(int(acc_buf), int(elems), MPI_DOUBLE, int(0), int(5))],
@@ -231,7 +242,10 @@ pub fn build_guest(p: DtParams) -> Vec<u8> {
                     int(5),
                 )])],
                 &[
-                    mpi.recv(int(in_buf), int(elems), MPI_DOUBLE, int(0), int(5)),
+                    mpi.probe(int(0), int(5), int(status)),
+                    call_drop(mpi.get_count, vec![int(status), int(MPI_DOUBLE), int(cnt_ptr)]),
+                    cnt.set(int(cnt_ptr).load(ValType::I32, 0)),
+                    mpi.recv(int(in_buf), cnt.get(), MPI_DOUBLE, int(0), int(5)),
                     call_stmt(combine, vec![int(acc_buf), int(in_buf)]),
                 ],
             )],
@@ -389,6 +403,42 @@ mod tests {
                     rr.rank,
                     nat.1
                 );
+            }
+        }
+    }
+
+    /// The tentpole cap: DT end to end in *both* clock modes, the
+    /// receivers sizing every message via Probe + Get_count, with
+    /// checksums byte-identical to the native oracle (same IEEE
+    /// operation sequence, so exact equality — no tolerance).
+    #[test]
+    fn guest_matches_native_exactly_in_both_clock_modes() {
+        use mpi_substrate::ClockMode;
+        use netsim::{CostModel, SystemProfile};
+
+        for topology in Topology::ALL {
+            let p = tiny(topology, false);
+            let native = run_world(4, move |comm| run_native(&comm, p));
+            let wasm = build_guest(p);
+            for clock in [
+                ClockMode::Real,
+                ClockMode::Virtual(CostModel::native(SystemProfile::container())),
+            ] {
+                let result = Runner::new()
+                    .run(&wasm, JobConfig { np: 4, clock: clock.clone(), ..Default::default() })
+                    .unwrap();
+                assert!(result.success(), "{topology:?} {clock:?}: {:?}", result.ranks[0].error);
+                for (rr, nat) in result.ranks.iter().zip(&native) {
+                    let checksum =
+                        rr.reports.iter().find(|(k, _)| *k == 1).map(|(_, v)| *v).unwrap();
+                    assert_eq!(
+                        checksum.to_bits(),
+                        nat.1.to_bits(),
+                        "{topology:?} {clock:?} rank {}: {checksum} vs {}",
+                        rr.rank,
+                        nat.1
+                    );
+                }
             }
         }
     }

@@ -8,7 +8,7 @@
 use mpi_substrate::{Comm, MpiError, MpiMessage, Request, RequestRef, RequestTable};
 use wasi_layer::WasiCtx;
 
-use crate::translate::{handles, TranslationStats};
+use crate::translate::{handles, DerivedDatatype, TranslationStats};
 
 /// MPI-side state of one rank.
 ///
@@ -65,6 +65,20 @@ pub struct MpiState {
     /// Matched-probe message table: guest handle = index + 1
     /// (0 is `MPI_MESSAGE_NULL`).
     messages: Vec<Option<MpiMessage>>,
+    /// Derived-datatype table: guest handle =
+    /// `handles::FIRST_DERIVED_DATATYPE + index` (handles below that are
+    /// the predefined primitives). Freed slots are reused.
+    dtypes: Vec<Option<DerivedDatatype>>,
+    /// Group table (`MPI_Comm_group`/`Group_incl`/…): each group is a
+    /// list of *world* ranks in group-rank order. Guest handle =
+    /// index + 1 (0 is `MPI_GROUP_NULL`); freed slots are reused.
+    groups: Vec<Option<Vec<u32>>>,
+    /// Buffered-send attach buffer (`MPI_Buffer_attach`): guest pointer
+    /// and size. The host never reads the guest buffer — payloads are
+    /// copied host-side at `Bsend` — it only enforces MPI's accounting:
+    /// attach before buffered sends, and sends no larger than the
+    /// attached capacity.
+    attach_buffer: Option<(u32, u32)>,
     /// `MPI_Init` has been called.
     pub initialized: bool,
     /// `MPI_Finalize` has been called.
@@ -89,6 +103,9 @@ impl MpiState {
             comms: vec![Some(world), Some(comm_self)],
             requests: RequestTable::new(),
             messages: Vec::new(),
+            dtypes: Vec::new(),
+            groups: Vec::new(),
+            attach_buffer: None,
             initialized: false,
             finalized: false,
             thread_level: handles::MPI_THREAD_SINGLE,
@@ -236,6 +253,150 @@ impl MpiState {
     /// Number of live (unreceived) matched-probe messages.
     pub fn live_messages(&self) -> usize {
         self.messages.iter().filter(|m| m.is_some()).count()
+    }
+
+    // --- derived datatypes ----------------------------------------------
+
+    /// Register a constructed derived datatype; returns its guest handle.
+    pub fn insert_dtype(&mut self, dt: DerivedDatatype) -> i32 {
+        let idx = match self.dtypes.iter().position(|d| d.is_none()) {
+            Some(slot) => {
+                self.dtypes[slot] = Some(dt);
+                slot
+            }
+            None => {
+                self.dtypes.push(Some(dt));
+                self.dtypes.len() - 1
+            }
+        };
+        handles::FIRST_DERIVED_DATATYPE + idx as i32
+    }
+
+    /// Resolve a derived-datatype handle (primitive handles are not in
+    /// this table; use `translate::datatype_from_handle` for those).
+    pub fn dtype(&self, handle: i32) -> Result<&DerivedDatatype, MpiError> {
+        let idx = (handle - handles::FIRST_DERIVED_DATATYPE) as usize;
+        if handle < handles::FIRST_DERIVED_DATATYPE {
+            return Err(MpiError::InvalidDatatype(handle as u32));
+        }
+        self.dtypes
+            .get(idx)
+            .and_then(|d| d.as_ref())
+            .ok_or(MpiError::InvalidDatatype(handle as u32))
+    }
+
+    /// `MPI_Type_commit`: mark the type usable for communication.
+    pub fn commit_dtype(&mut self, handle: i32) -> Result<(), MpiError> {
+        let idx = (handle - handles::FIRST_DERIVED_DATATYPE) as usize;
+        if handle < handles::FIRST_DERIVED_DATATYPE {
+            // Committing a predefined type is a no-op, as in MPI.
+            return crate::translate::datatype_from_handle(handle).map(|_| ());
+        }
+        self.dtypes
+            .get_mut(idx)
+            .and_then(|d| d.as_mut())
+            .map(|d| d.committed = true)
+            .ok_or(MpiError::InvalidDatatype(handle as u32))
+    }
+
+    /// `MPI_Type_free`. Packing happens eagerly at each send/receive, so
+    /// no in-flight operation can reference a freed slot.
+    pub fn free_dtype(&mut self, handle: i32) -> Result<(), MpiError> {
+        let idx = (handle - handles::FIRST_DERIVED_DATATYPE) as usize;
+        if handle < handles::FIRST_DERIVED_DATATYPE {
+            return Err(MpiError::InvalidDatatype(handle as u32));
+        }
+        let slot = self
+            .dtypes
+            .get_mut(idx)
+            .ok_or(MpiError::InvalidDatatype(handle as u32))?;
+        if slot.take().is_none() {
+            return Err(MpiError::InvalidDatatype(handle as u32));
+        }
+        Ok(())
+    }
+
+    /// Number of live derived datatypes (leak diagnostics).
+    pub fn live_dtypes(&self) -> usize {
+        self.dtypes.iter().filter(|d| d.is_some()).count()
+    }
+
+    // --- groups ---------------------------------------------------------
+
+    /// Register a group (a world-rank list in group-rank order); returns
+    /// its guest handle (≥ 1; 0 is `MPI_GROUP_NULL`).
+    pub fn insert_group(&mut self, ranks: Vec<u32>) -> i32 {
+        let idx = match self.groups.iter().position(|g| g.is_none()) {
+            Some(slot) => {
+                self.groups[slot] = Some(ranks);
+                slot
+            }
+            None => {
+                self.groups.push(Some(ranks));
+                self.groups.len() - 1
+            }
+        };
+        idx as i32 + 1
+    }
+
+    /// Resolve a group handle.
+    pub fn group(&self, handle: i32) -> Result<&Vec<u32>, MpiError> {
+        if handle <= 0 {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        self.groups
+            .get(handle as usize - 1)
+            .and_then(|g| g.as_ref())
+            .ok_or(MpiError::InvalidComm(handle as u32))
+    }
+
+    /// `MPI_Group_free`.
+    pub fn free_group(&mut self, handle: i32) -> Result<(), MpiError> {
+        if handle <= 0 {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        let slot = self
+            .groups
+            .get_mut(handle as usize - 1)
+            .ok_or(MpiError::InvalidComm(handle as u32))?;
+        if slot.take().is_none() {
+            return Err(MpiError::InvalidComm(handle as u32));
+        }
+        Ok(())
+    }
+
+    /// Number of live groups (leak diagnostics).
+    pub fn live_groups(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_some()).count()
+    }
+
+    // --- buffered-send attach buffer ------------------------------------
+
+    /// `MPI_Buffer_attach`. MPI allows one attached buffer at a time.
+    pub fn attach_buffer(&mut self, ptr: u32, size: u32) -> Result<(), MpiError> {
+        if self.attach_buffer.is_some() {
+            return Err(MpiError::NoBuffer { needed: size as usize, available: 0 });
+        }
+        self.attach_buffer = Some((ptr, size));
+        Ok(())
+    }
+
+    /// `MPI_Buffer_detach`: returns the attached `(ptr, size)`.
+    pub fn detach_buffer(&mut self) -> Result<(u32, u32), MpiError> {
+        self.attach_buffer
+            .take()
+            .ok_or(MpiError::NoBuffer { needed: 0, available: 0 })
+    }
+
+    /// Capacity check for a buffered send of `len` bytes.
+    pub fn check_buffered(&self, len: usize) -> Result<(), MpiError> {
+        match self.attach_buffer {
+            Some((_, size)) if len <= size as usize => Ok(()),
+            Some((_, size)) => {
+                Err(MpiError::NoBuffer { needed: len, available: size as usize })
+            }
+            None => Err(MpiError::NoBuffer { needed: len, available: 0 }),
+        }
     }
 
     /// Charge the configured per-call embedder overhead to the rank's

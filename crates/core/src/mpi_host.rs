@@ -21,7 +21,9 @@ use wasm_engine::runtime::{Instance, Linker, Memory, Slot};
 use wasm_engine::types::{FuncType, ValType};
 
 use crate::env::Env;
-use crate::translate::{byte_len, datatype_from_handle, handles, op_from_handle};
+use crate::translate::{
+    byte_len, datatype_from_handle, handles, op_from_handle, DerivedDatatype,
+};
 
 /// Guest-side `MPI_Status` layout (our `mpi.h` equivalent):
 /// `{ i32 MPI_SOURCE; i32 MPI_TAG; i32 MPI_ERROR; i32 count_bytes;
@@ -40,16 +42,159 @@ fn code(r: Result<(), MpiError>) -> Vec<Slot> {
     })]
 }
 
-fn write_status(mem: &mut Memory, ptr: u32, st: &Status) -> Result<(), Trap> {
+/// Write a guest `MPI_Status`. `err` is the operation's outcome for the
+/// `MPI_ERROR` word (MPI_SUCCESS on the happy path) — `Waitall`/`Waitsome`
+/// partial-failure semantics depend on each failed request's status
+/// carrying its own error code, not a hardcoded zero.
+fn write_status(mem: &mut Memory, ptr: u32, st: &Status, err: i32) -> Result<(), Trap> {
     if ptr == handles::MPI_STATUS_IGNORE as u32 {
         return Ok(());
     }
     mem.write_i32_at(ptr, st.source as i32)?;
     mem.write_i32_at(ptr + 4, st.tag)?;
-    mem.write_i32_at(ptr + 8, 0)?;
+    mem.write_i32_at(ptr + 8, err)?;
     mem.write_i32_at(ptr + 12, st.bytes as i32)?;
     mem.write_i32_at(ptr + 16, st.cancelled as i32)?;
     Ok(())
+}
+
+/// Resolve any datatype handle to its segment-list view: primitive
+/// handles become their one-segment leaf, derived handles come from the
+/// rank's type table (committed or not — construction composes over
+/// uncommitted types).
+fn resolve_dtype(env: &Env, h: i32) -> Result<DerivedDatatype, MpiError> {
+    if h < handles::FIRST_DERIVED_DATATYPE {
+        Ok(DerivedDatatype::primitive(datatype_from_handle(h)?))
+    } else {
+        env.mpi.dtype(h).cloned()
+    }
+}
+
+/// Resolve a derived handle for communication: it must exist *and* be
+/// committed, and the count must be non-negative.
+fn resolve_for_comm(env: &Env, count: i32, h: i32) -> Result<DerivedDatatype, MpiError> {
+    let dt = resolve_dtype(env, h)?;
+    if !dt.committed {
+        return Err(MpiError::InvalidDatatype(h as u32));
+    }
+    if count < 0 {
+        return Err(MpiError::BadCount {
+            bytes: count as isize as usize,
+            type_size: dt.packed_size.max(1) as usize,
+        });
+    }
+    Ok(dt)
+}
+
+/// Pack-on-send: gather `count` elements of derived type `dt_h` starting
+/// at guest address `buf` into an owned contiguous wire payload. The wire
+/// bytes are identical to a manually packed send, so the receiver never
+/// needs to know the sender used a derived type.
+fn pack_guest(
+    mem: &Memory,
+    env: &Env,
+    buf: u32,
+    count: i32,
+    dt_h: i32,
+) -> Result<Box<[u8]>, MpiError> {
+    let dt = resolve_for_comm(env, count, dt_h)?;
+    let span = dt.span(count as u32);
+    let view = mem.slice(buf, span).map_err(|_| MpiError::BadCount {
+        bytes: span as usize,
+        type_size: 1,
+    })?;
+    Ok(dt.pack(count as u32, view).into_boxed_slice())
+}
+
+/// Unpack-on-recv: blocking receive of a derived-type message. The packed
+/// wire payload lands in a host staging buffer, then scatters into guest
+/// memory per the type's segment list. The status carries *packed* bytes,
+/// which is what `MPI_Get_count`/`MPI_Get_elements` divide by.
+#[allow(clippy::too_many_arguments)]
+fn recv_derived(
+    mem: &mut Memory,
+    env: &mut Env,
+    buf: u32,
+    count: i32,
+    dt_h: i32,
+    src: i32,
+    tag: i32,
+    comm_h: i32,
+) -> Result<Status, MpiError> {
+    let dt = resolve_for_comm(env, count, dt_h)?;
+    let span = dt.span(count as u32);
+    // Validate the scatter region up front, as real MPI requires of the
+    // posted buffer.
+    mem.slice_mut(buf, span).map_err(|_| MpiError::BadCount {
+        bytes: span as usize,
+        type_size: 1,
+    })?;
+    let max_bytes = count as u64 * dt.packed_size as u64;
+    if max_bytes > u32::MAX as u64 {
+        return Err(MpiError::BadCount {
+            bytes: max_bytes as usize,
+            type_size: dt.packed_size as usize,
+        });
+    }
+    let mut staging = vec![0u8; max_bytes as usize];
+    let mut req = {
+        let comm = env.mpi.comm(comm_h)?;
+        unsafe {
+            comm.irecv_raw_uncharged(
+                staging.as_mut_ptr(),
+                staging.len(),
+                source_of(src),
+                tag_of(tag),
+            )
+        }
+    }?;
+    let st = wait_local(env, &mut req)?;
+    let view = mem.slice_mut(buf, span).map_err(|_| MpiError::BadCount {
+        bytes: span as usize,
+        type_size: 1,
+    })?;
+    dt.unpack(&staging[..st.bytes.min(staging.len())], view);
+    Ok(st)
+}
+
+/// Buffered-mode send body (`MPI_Bsend`/`MPI_Ibsend`): enforce the
+/// attach-buffer accounting, copy (or pack) the payload into an owned
+/// wire buffer, start the send and *detach* it — buffered sends complete
+/// locally by definition; the detached request stays parked in the table
+/// and delivers the payload when the peer drains it.
+///
+/// The guest's attached buffer is accounting only: the host never stages
+/// bytes through guest memory (the owned copy already decouples the
+/// guest's source buffer), it just refuses sends larger than what the
+/// guest declared, as real MPI's MPI_ERR_BUFFER contract requires.
+#[allow(clippy::too_many_arguments)]
+fn buffered_send(
+    mem: &mut Memory,
+    env: &mut Env,
+    buf: u32,
+    count: i32,
+    dt_h: i32,
+    dest: i32,
+    tag: i32,
+    comm_h: i32,
+) -> Result<(), MpiError> {
+    let data: Box<[u8]> = if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+        pack_guest(mem, env, buf, count, dt_h)?
+    } else {
+        let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+        let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+            bytes: bytes as usize,
+            type_size: 1,
+        })?;
+        view.into()
+    };
+    env.mpi.check_buffered(data.len())?;
+    let req = {
+        let comm = env.mpi.comm(comm_h)?;
+        comm.isend_owned(data, dest as u32, tag)
+    }?;
+    let h = env.mpi.insert_request(req);
+    env.mpi.detach_request(h)
 }
 
 fn source_of(h: i32) -> Source {
@@ -86,7 +231,7 @@ fn wait_one(
     status_ptr: u32,
 ) -> Result<(), MpiError> {
     if handle <= 0 {
-        let _ = write_status(mem, status_ptr, &Status::empty());
+        let _ = write_status(mem, status_ptr, &Status::empty(), handles::MPI_SUCCESS);
         return Ok(());
     }
     let mut spins = 0u32;
@@ -98,10 +243,13 @@ fn wait_one(
         env.mpi.progress_all();
         match try_complete(mem, env, handle_ptr, handle)? {
             Completion::Done(st) => {
-                let _ = write_status(mem, status_ptr, &st);
+                let _ = write_status(mem, status_ptr, &st, handles::MPI_SUCCESS);
                 return Ok(());
             }
-            Completion::Error(e) => return Err(e),
+            Completion::Error(e) => {
+                let _ = write_status(mem, status_ptr, &Status::empty(), e.code());
+                return Err(e);
+            }
             Completion::NotReady => {
                 let target_drives = env.mpi.request_mut(handle)?.needs_progress();
                 if env.mpi.progress_work() == usize::from(target_drives) {
@@ -119,8 +267,19 @@ fn wait_one(
                         let _ = env.mpi.remove_request(handle);
                         let _ = mem.write_i32_at(handle_ptr, handles::MPI_REQUEST_NULL);
                     }
-                    let st = outcome?;
-                    let _ = write_status(mem, status_ptr, &st);
+                    let st = match outcome {
+                        Ok(st) => st,
+                        Err(e) => {
+                            let _ = write_status(
+                                mem,
+                                status_ptr,
+                                &Status::empty(),
+                                e.code(),
+                            );
+                            return Err(e);
+                        }
+                    };
+                    let _ = write_status(mem, status_ptr, &st, handles::MPI_SUCCESS);
                     return Ok(());
                 }
                 backoff(&mut spins);
@@ -472,6 +631,13 @@ pub fn register_mpi(linker: &mut Linker) {
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
         let req = (|| {
+            if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+                // Pack-on-send: the wire payload is owned, so the guest
+                // buffer needs no pinning past this call.
+                let data = pack_guest(mem, env, buf, count, dt_h)?;
+                let comm = env.mpi.comm(comm_h)?;
+                return comm.isend_owned(data, dest as u32, tag);
+            }
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
             // Zero-copy: the slice *is* guest memory (§3.5).
             let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
@@ -498,23 +664,30 @@ pub fn register_mpi(linker: &mut Linker) {
         let (mem, data) = inst.parts();
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
-        let req = (|| {
-            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
-            let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
-                bytes: bytes as usize,
-                type_size: 1,
-            })?;
-            let (ptr, len) = (view.as_mut_ptr(), view.len());
-            let comm = env.mpi.comm(comm_h)?;
-            unsafe { comm.irecv_raw_uncharged(ptr, len, source_of(src), tag_of(tag)) }
-        })();
-        let r = req.and_then(|mut req| wait_local(env, &mut req));
+        let r = if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+            recv_derived(mem, env, buf, count, dt_h, src, tag, comm_h)
+        } else {
+            (|| {
+                let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+                let view = mem.slice_mut(buf, bytes).map_err(|_| MpiError::BadCount {
+                    bytes: bytes as usize,
+                    type_size: 1,
+                })?;
+                let (ptr, len) = (view.as_mut_ptr(), view.len());
+                let comm = env.mpi.comm(comm_h)?;
+                unsafe { comm.irecv_raw_uncharged(ptr, len, source_of(src), tag_of(tag)) }
+            })()
+            .and_then(|mut req| wait_local(env, &mut req))
+        };
         match r {
             Ok(st) => {
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
-            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+            Err(e) => {
+                let _ = write_status(mem, status_ptr, &Status::empty(), e.code());
+                Ok(vec![Slot::from_i32(e.code())])
+            }
         }
     });
 
@@ -567,7 +740,7 @@ pub fn register_mpi(linker: &mut Linker) {
             });
             match r {
                 Ok(st) => {
-                    write_status(mem, status_ptr, &st)?;
+                    write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                     Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
                 }
                 Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -945,16 +1118,50 @@ pub fn register_mpi(linker: &mut Linker) {
         Ok(vec![Slot::from_i32((n * 8) as i32)])
     });
 
-    // MPI_Get_count(status_ptr, datatype, count_ptr)
+    // MPI_Get_count(status_ptr, datatype, count_ptr). A byte count that
+    // is not a whole number of datatype elements yields MPI_UNDEFINED
+    // (MPI-4 §3.2.5) — flooring would silently misreport a truncated or
+    // mismatched message as shorter-but-valid. Derived handles divide by
+    // the type's packed (wire) size.
     mpi_fn!(linker, "MPI_Get_count", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let status_ptr = args[0].u32();
         let dt_h = args[1].i32();
         let out_ptr = args[2].u32();
-        let mem = &mut inst.memory;
-        match datatype_from_handle(dt_h) {
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match resolve_dtype(env, dt_h) {
             Ok(dt) => {
-                let bytes = mem.read_i32_at(status_ptr + 12)?;
-                mem.write_i32_at(out_ptr, bytes / dt.size() as i32)?;
+                let bytes = mem.read_i32_at(status_ptr + 12)? as u32;
+                let count = match dt.packed_size {
+                    0 if bytes == 0 => 0,
+                    0 => handles::MPI_UNDEFINED,
+                    size if bytes % size == 0 => (bytes / size) as i32,
+                    _ => handles::MPI_UNDEFINED,
+                };
+                mem.write_i32_at(out_ptr, count)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Get_elements(status_ptr, datatype, count_ptr): the number of
+    // *basic* elements received — finer-grained than MPI_Get_count for
+    // derived types, where a partial final element still has a defined
+    // basic-element count as long as no primitive was split.
+    mpi_fn!(linker, "MPI_Get_elements", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let status_ptr = args[0].u32();
+        let dt_h = args[1].i32();
+        let out_ptr = args[2].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match resolve_dtype(env, dt_h) {
+            Ok(dt) => {
+                let bytes = mem.read_i32_at(status_ptr + 12)? as u32;
+                let n = dt
+                    .elements_in(bytes)
+                    .map_or(handles::MPI_UNDEFINED, |n| n as i32);
+                mem.write_i32_at(out_ptr, n)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -977,7 +1184,7 @@ pub fn register_mpi(linker: &mut Linker) {
         match probed {
             Ok(Some(st)) => {
                 mem.write_i32_at(flag_ptr, 1)?;
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Ok(None) => {
@@ -1006,7 +1213,7 @@ pub fn register_mpi(linker: &mut Linker) {
         );
         match r {
             Ok(st) => {
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -1035,7 +1242,7 @@ pub fn register_mpi(linker: &mut Linker) {
                 let h = env.mpi.insert_message(msg);
                 mem.write_i32_at(flag_ptr, 1)?;
                 mem.write_i32_at(msg_ptr, h)?;
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Ok(None) => {
@@ -1068,7 +1275,7 @@ pub fn register_mpi(linker: &mut Linker) {
             Ok((msg, st)) => {
                 let h = env.mpi.insert_message(msg);
                 mem.write_i32_at(msg_ptr, h)?;
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -1095,7 +1302,7 @@ pub fn register_mpi(linker: &mut Linker) {
         env.mpi.charge_wasm_overhead();
         let handle = mem.read_i32_at(msg_ptr)?;
         if handle == handles::MPI_MESSAGE_NULL {
-            let _ = write_status(mem, status_ptr, &Status::empty());
+            let _ = write_status(mem, status_ptr, &Status::empty(), handles::MPI_SUCCESS);
             return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
         }
         let r = match translate_instrumented(env, count, dt_h) {
@@ -1114,7 +1321,7 @@ pub fn register_mpi(linker: &mut Linker) {
                 mem.write_i32_at(msg_ptr, handles::MPI_MESSAGE_NULL)?;
                 match received {
                     Ok(st) => {
-                        write_status(mem, status_ptr, &st)?;
+                        write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                         Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
                     }
                     Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -1209,13 +1416,16 @@ pub fn register_mpi(linker: &mut Linker) {
         Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
 
-    // MPI_Type_size(datatype, size_ptr)
+    // MPI_Type_size(datatype, size_ptr): for derived handles this is the
+    // packed (wire) size — the bytes one element contributes to a message.
     mpi_fn!(linker, "MPI_Type_size", (I32, I32) -> I32, |inst, args: &[Slot]| {
         let dt_h = args[0].i32();
         let ptr = args[1].u32();
-        match datatype_from_handle(dt_h) {
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match resolve_dtype(env, dt_h) {
             Ok(dt) => {
-                inst.memory.write_i32_at(ptr, dt.size() as i32)?;
+                mem.write_i32_at(ptr, dt.packed_size as i32)?;
                 Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
             }
             Err(e) => Ok(vec![Slot::from_i32(e.code())]),
@@ -1264,6 +1474,14 @@ pub fn register_mpi(linker: &mut Linker) {
         let env = env_of(data);
         env.mpi.charge_wasm_overhead();
         let req = (|| {
+            if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+                // Pack-on-send into an owned payload: the guest may reuse
+                // its buffer immediately, but the request must still be
+                // completed (it carries the delivery handshake).
+                let data = pack_guest(mem, env, buf, count, dt_h)?;
+                let comm = env.mpi.comm(comm_h)?;
+                return comm.isend_owned(data, dest as u32, tag);
+            }
             let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
             let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
                 bytes: bytes as usize,
@@ -1277,6 +1495,11 @@ pub fn register_mpi(linker: &mut Linker) {
     });
 
     // MPI_Irecv(buf, count, datatype, source, tag, comm, request_ptr)
+    //
+    // Derived-datatype handles are rejected here (and on MPI_Recv_init
+    // and the collectives) by the primitive-handle translation: a
+    // nonblocking unpack would need the staging buffer to outlive this
+    // call. Guests receive derived types with the blocking MPI_Recv.
     mpi_fn!(linker, "MPI_Irecv", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
         let buf = args[0].u32();
         let count = args[1].i32();
@@ -1499,18 +1722,19 @@ pub fn register_mpi(linker: &mut Linker) {
                     Some(Completion::NotReady) => any_active = true,
                     Some(Completion::Done(st)) => {
                         mem.write_i32_at(index_ptr, i as i32)?;
-                        write_status(mem, status_ptr, &st)?;
+                        write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                         return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
                     }
                     Some(Completion::Error(e)) => {
                         mem.write_i32_at(index_ptr, i as i32)?;
+                        let _ = write_status(mem, status_ptr, &Status::empty(), e.code());
                         return Ok(vec![Slot::from_i32(e.code())]);
                     }
                 }
             }
             if !any_active {
                 mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED)?;
-                let _ = write_status(mem, status_ptr, &Status::empty());
+                let _ = write_status(mem, status_ptr, &Status::empty(), handles::MPI_SUCCESS);
                 return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
             }
             env.mpi.progress_all();
@@ -1532,27 +1756,37 @@ pub fn register_mpi(linker: &mut Linker) {
         loop {
             let mut any_active = false;
             let mut ndone = 0u32;
+            let mut first_err: Option<MpiError> = None;
             for i in 0..incount {
                 match scan_slot(mem, env, reqs_ptr + i * 4)? {
                     None => {}
                     Some(Completion::NotReady) => any_active = true,
                     Some(Completion::Done(st)) => {
                         mem.write_i32_at(indices_ptr + ndone * 4, i as i32)?;
-                        write_status(mem, status_slot(statuses_ptr, ndone), &st)?;
+                        write_status(mem, status_slot(statuses_ptr, ndone), &st, handles::MPI_SUCCESS)?;
                         ndone += 1;
                     }
                     Some(Completion::Error(e)) => {
-                        // Completions retired earlier in this pass must
-                        // still be reported, or the guest can never learn
-                        // about them (their handles are already null).
-                        mem.write_i32_at(outcount_ptr, ndone as i32)?;
-                        return Ok(vec![Slot::from_i32(e.code())]);
+                        // A failed request is still a completed request:
+                        // report its slot with the error latched in its
+                        // status word and finish the pass, so one dead
+                        // peer cannot hide the live completions behind it
+                        // (ULFM-style partial failure).
+                        mem.write_i32_at(indices_ptr + ndone * 4, i as i32)?;
+                        write_status(
+                            mem,
+                            status_slot(statuses_ptr, ndone),
+                            &Status::empty(),
+                            e.code(),
+                        )?;
+                        ndone += 1;
+                        first_err.get_or_insert(e);
                     }
                 }
             }
             if ndone > 0 {
                 mem.write_i32_at(outcount_ptr, ndone as i32)?;
-                return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
+                return Ok(code(first_err.map_or(Ok(()), Err)));
             }
             if !any_active {
                 mem.write_i32_at(outcount_ptr, handles::MPI_UNDEFINED)?;
@@ -1573,7 +1807,7 @@ pub fn register_mpi(linker: &mut Linker) {
         let handle = mem.read_i32_at(req_ptr)?;
         if handle <= 0 {
             mem.write_i32_at(flag_ptr, 1)?;
-            let _ = write_status(mem, status_ptr, &Status::empty());
+            let _ = write_status(mem, status_ptr, &Status::empty(), handles::MPI_SUCCESS);
             return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
         }
         let completion = match try_complete(mem, env, req_ptr, handle) {
@@ -1583,14 +1817,15 @@ pub fn register_mpi(linker: &mut Linker) {
         match completion {
             Completion::Done(st) => {
                 mem.write_i32_at(flag_ptr, 1)?;
-                write_status(mem, status_ptr, &st)?;
+                write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
             }
             Completion::NotReady => mem.write_i32_at(flag_ptr, 0)?,
             Completion::Error(e) => {
                 // Leave the out-params benign even on failure: guests
                 // that forget to check the return code must not act on a
-                // stale flag word.
+                // stale flag word. The status still carries the error.
                 let _ = mem.write_i32_at(flag_ptr, 0);
+                let _ = write_status(mem, status_ptr, &Status::empty(), e.code());
                 return Ok(vec![Slot::from_i32(e.code())]);
             }
         }
@@ -1628,7 +1863,7 @@ pub fn register_mpi(linker: &mut Linker) {
             let handle = mem.read_i32_at(reqs_ptr + i * 4)?;
             let st_ptr = status_slot(statuses_ptr, i);
             if handle <= 0 {
-                let _ = write_status(mem, st_ptr, &Status::empty());
+                let _ = write_status(mem, st_ptr, &Status::empty(), handles::MPI_SUCCESS);
                 continue;
             }
             let (persistent, outcome) = match retire_handle(env, handle) {
@@ -1640,8 +1875,9 @@ pub fn register_mpi(linker: &mut Linker) {
                 mem.write_i32_at(reqs_ptr + i * 4, handles::MPI_REQUEST_NULL)?;
             }
             match outcome {
-                Ok(st) => write_status(mem, st_ptr, &st)?,
+                Ok(st) => write_status(mem, st_ptr, &st, handles::MPI_SUCCESS)?,
                 Err(e) => {
+                    write_status(mem, st_ptr, &Status::empty(), e.code())?;
                     first_err.get_or_insert(e);
                 }
             }
@@ -1667,7 +1903,7 @@ pub fn register_mpi(linker: &mut Linker) {
                 Some(Completion::Done(st)) => {
                     mem.write_i32_at(index_ptr, i as i32)?;
                     mem.write_i32_at(flag_ptr, 1)?;
-                    write_status(mem, status_ptr, &st)?;
+                    write_status(mem, status_ptr, &st, handles::MPI_SUCCESS)?;
                     return Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)]);
                 }
                 Some(Completion::Error(e)) => {
@@ -1687,7 +1923,7 @@ pub fn register_mpi(linker: &mut Linker) {
         } else {
             mem.write_i32_at(index_ptr, handles::MPI_UNDEFINED)?;
             mem.write_i32_at(flag_ptr, 1)?;
-            let _ = write_status(mem, status_ptr, &Status::empty());
+            let _ = write_status(mem, status_ptr, &Status::empty(), handles::MPI_SUCCESS);
         }
         Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
     });
@@ -1989,5 +2225,453 @@ pub fn register_mpi(linker: &mut Linker) {
         mem.slice_mut(name_ptr + name.len() as u32, 1)?[0] = 0;
         mem.write_i32_at(len_ptr, name.len() as i32)?;
         Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+    });
+
+    // --- derived datatypes (pack-on-send / unpack-on-recv) --------------
+    //
+    // Constructors flatten to a segment list at creation time (see
+    // crate::translate::DerivedDatatype), so the communication paths only
+    // ever walk a flat list. The wire format of a derived-type send is
+    // byte-identical to a manually packed send.
+
+    // MPI_Type_contiguous(count, oldtype, newtype_ptr)
+    mpi_fn!(linker, "MPI_Type_contiguous", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32();
+        let old_h = args[1].i32();
+        let out_ptr = args[2].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            if count < 0 {
+                return Err(MpiError::BadCount { bytes: count as isize as usize, type_size: 1 });
+            }
+            let inner = resolve_dtype(env, old_h)?;
+            DerivedDatatype::contiguous(count as u32, &inner)
+        })();
+        match r {
+            Ok(dt) => {
+                let h = env.mpi.insert_dtype(dt);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Type_vector(count, blocklength, stride, oldtype, newtype_ptr).
+    // Strides are in oldtype elements; negative and block-overlapping
+    // strides are rejected (the symmetric pack/unpack table cannot
+    // represent overlap).
+    mpi_fn!(linker, "MPI_Type_vector", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32();
+        let blocklen = args[1].i32();
+        let stride = args[2].i32();
+        let old_h = args[3].i32();
+        let out_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            if count < 0 || blocklen < 0 || stride < 0 {
+                return Err(MpiError::BadCount {
+                    bytes: count.min(blocklen).min(stride) as isize as usize,
+                    type_size: 1,
+                });
+            }
+            let inner = resolve_dtype(env, old_h)?;
+            DerivedDatatype::vector(count as u32, blocklen as u32, stride as u32, &inner)
+        })();
+        match r {
+            Ok(dt) => {
+                let h = env.mpi.insert_dtype(dt);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Type_create_struct(count, blocklengths_ptr, displacements_ptr,
+    //                        types_ptr, newtype_ptr). Displacements are
+    // byte offsets (MPI_Aint is i32 in the 32-bit guest ABI) and must be
+    // non-negative; the guest controls padding through them explicitly.
+    mpi_fn!(linker, "MPI_Type_create_struct", (I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let count = args[0].i32();
+        let lens_ptr = args[1].u32();
+        let displs_ptr = args[2].u32();
+        let types_ptr = args[3].u32();
+        let out_ptr = args[4].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            if count < 0 {
+                return Err(MpiError::BadCount { bytes: count as isize as usize, type_size: 1 });
+            }
+            let mut resolved: Vec<(u32, u32, DerivedDatatype)> =
+                Vec::with_capacity(count as usize);
+            for i in 0..count as u32 {
+                let read = |p: u32| {
+                    mem.read_i32_at(p + i * 4).map_err(|_| MpiError::BadCount {
+                        bytes: count as usize * 4,
+                        type_size: 4,
+                    })
+                };
+                let (blen, displ, th) = (read(lens_ptr)?, read(displs_ptr)?, read(types_ptr)?);
+                if blen < 0 || displ < 0 {
+                    return Err(MpiError::BadCount {
+                        bytes: blen.min(displ) as isize as usize,
+                        type_size: 1,
+                    });
+                }
+                resolved.push((blen as u32, displ as u32, resolve_dtype(env, th)?));
+            }
+            let blocks: Vec<(u32, u32, &DerivedDatatype)> =
+                resolved.iter().map(|(c, d, t)| (*c, *d, t)).collect();
+            DerivedDatatype::structure(&blocks)
+        })();
+        match r {
+            Ok(dt) => {
+                let h = env.mpi.insert_dtype(dt);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Type_commit(type_ptr)
+    mpi_fn!(linker, "MPI_Type_commit", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let h = mem.read_i32_at(ptr)?;
+        Ok(code(env.mpi.commit_dtype(h)))
+    });
+
+    // MPI_Type_free(type_ptr): frees the slot and nulls the guest handle.
+    // Packing is eager at each send/receive, so no in-flight operation
+    // can reference a freed type.
+    mpi_fn!(linker, "MPI_Type_free", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let h = mem.read_i32_at(ptr)?;
+        let r = env.mpi.free_dtype(h);
+        if r.is_ok() {
+            mem.write_i32_at(ptr, handles::MPI_DATATYPE_NULL)?;
+        }
+        Ok(code(r))
+    });
+
+    // --- send modes -----------------------------------------------------
+
+    // MPI_Ssend(buf, count, datatype, dest, tag, comm): synchronous mode —
+    // completion implies the receiver matched the message. Above the
+    // rendezvous threshold the standard path already has this property;
+    // below it the substrate runs a receipt-acknowledged deferred-eager
+    // variant (the payload parks in a rendezvous slot the receiver must
+    // consume before the send completes).
+    mpi_fn!(linker, "MPI_Ssend", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+                let data = pack_guest(mem, env, buf, count, dt_h)?;
+                let comm = env.mpi.comm(comm_h)?;
+                return comm.issend_owned(data, dest as u32, tag);
+            }
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.issend_raw(ptr, len, dest as u32, tag) }
+        })();
+        let r = req.and_then(|mut req| wait_local(env, &mut req).map(|_| ()));
+        Ok(code(r))
+    });
+
+    // MPI_Issend(buf, count, datatype, dest, tag, comm, request_ptr)
+    mpi_fn!(linker, "MPI_Issend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let req = (|| {
+            if dt_h >= handles::FIRST_DERIVED_DATATYPE {
+                let data = pack_guest(mem, env, buf, count, dt_h)?;
+                let comm = env.mpi.comm(comm_h)?;
+                return comm.issend_owned(data, dest as u32, tag);
+            }
+            let (_dt, bytes) = translate_instrumented(env, count, dt_h)?;
+            let view = mem.slice(buf, bytes).map_err(|_| MpiError::BadCount {
+                bytes: bytes as usize,
+                type_size: 1,
+            })?;
+            let (ptr, len) = (view.as_ptr(), view.len());
+            let comm = env.mpi.comm(comm_h)?;
+            unsafe { comm.issend_raw(ptr, len, dest as u32, tag) }
+        })();
+        finish_request(mem, env, req_ptr, req)
+    });
+
+    // MPI_Buffer_attach(buf, size): one attached buffer at a time, as MPI
+    // requires. The buffer is pure accounting (see buffered_send).
+    mpi_fn!(linker, "MPI_Buffer_attach", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
+        let size = args[1].i32();
+        let env = env_of(inst.parts().1);
+        if size < 0 {
+            return Ok(vec![Slot::from_i32(
+                MpiError::BadCount { bytes: size as isize as usize, type_size: 1 }.code(),
+            )]);
+        }
+        Ok(code(env.mpi.attach_buffer(ptr, size as u32)))
+    });
+
+    // MPI_Buffer_detach(bufptr_ptr, size_ptr): returns the attached
+    // buffer's address and size. Outstanding buffered messages live as
+    // detached owned-payload requests in the rank's table — they no
+    // longer reference the guest buffer, so detach need not block.
+    mpi_fn!(linker, "MPI_Buffer_detach", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf_ptr = args[0].u32();
+        let size_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.detach_buffer() {
+            Ok((ptr, size)) => {
+                mem.write_i32_at(buf_ptr, ptr as i32)?;
+                mem.write_i32_at(size_ptr, size as i32)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Bsend(buf, count, datatype, dest, tag, comm): buffered mode —
+    // completes locally once the payload is copied out of guest memory.
+    mpi_fn!(linker, "MPI_Bsend", (I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        Ok(code(buffered_send(mem, env, buf, count, dt_h, dest, tag, comm_h)))
+    });
+
+    // MPI_Ibsend(buf, count, datatype, dest, tag, comm, request_ptr):
+    // like MPI_Bsend but returns a request. A buffered send is complete
+    // the moment it is initiated (the payload is owned), so the request
+    // handle is immediately MPI_REQUEST_NULL — waiting on it is a no-op,
+    // which is exactly the buffered-mode completion contract.
+    mpi_fn!(linker, "MPI_Ibsend", (I32, I32, I32, I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let buf = args[0].u32();
+        let count = args[1].i32();
+        let dt_h = args[2].i32();
+        let dest = args[3].i32();
+        let tag = args[4].i32();
+        let comm_h = args[5].i32();
+        let req_ptr = args[6].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = buffered_send(mem, env, buf, count, dt_h, dest, tag, comm_h);
+        if r.is_ok() {
+            mem.write_i32_at(req_ptr, handles::MPI_REQUEST_NULL)?;
+        }
+        Ok(code(r))
+    });
+
+    // --- communicator groups --------------------------------------------
+    //
+    // A group handle names an ordered world-rank list in the rank's local
+    // group table (handles are local, as in MPI). Set operations are pure
+    // list manipulation; only MPI_Comm_create communicates.
+
+    // MPI_Comm_group(comm, group_ptr)
+    mpi_fn!(linker, "MPI_Comm_group", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
+        let out_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.comm(comm_h).map(|c| c.group_world_ranks()) {
+            Ok(ranks) => {
+                let h = env.mpi.insert_group(ranks);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Group_size(group, size_ptr)
+    mpi_fn!(linker, "MPI_Group_size", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let group_h = args[0].i32();
+        let out_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        match env.mpi.group(group_h) {
+            Ok(g) => {
+                let n = g.len() as i32;
+                mem.write_i32_at(out_ptr, n)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Group_rank(group, rank_ptr): the calling rank's position in the
+    // group, or MPI_UNDEFINED when it is not a member.
+    mpi_fn!(linker, "MPI_Group_rank", (I32, I32) -> I32, |inst, args: &[Slot]| {
+        let group_h = args[0].i32();
+        let out_ptr = args[1].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let me = env.mpi.world().rank();
+        match env.mpi.group(group_h) {
+            Ok(g) => {
+                let rank = g
+                    .iter()
+                    .position(|&w| w == me)
+                    .map_or(handles::MPI_UNDEFINED, |i| i as i32);
+                mem.write_i32_at(out_ptr, rank)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Group_incl(group, n, ranks_ptr, newgroup_ptr)
+    mpi_fn!(linker, "MPI_Group_incl", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let group_h = args[0].i32();
+        let n = args[1].i32();
+        let ranks_ptr = args[2].u32();
+        let out_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r: Result<Vec<u32>, MpiError> = (|| {
+            let g = env.mpi.group(group_h)?;
+            let mut picked = Vec::with_capacity(n.max(0) as usize);
+            for i in 0..n.max(0) as u32 {
+                let idx = mem.read_i32_at(ranks_ptr + i * 4).map_err(|_| {
+                    MpiError::BadCount { bytes: n as usize * 4, type_size: 4 }
+                })?;
+                let w = *g.get(idx.max(0) as usize).filter(|_| idx >= 0).ok_or(
+                    MpiError::InvalidRank { rank: idx as u32, size: g.len() as u32 },
+                )?;
+                picked.push(w);
+            }
+            Ok(picked)
+        })();
+        match r {
+            Ok(picked) => {
+                let h = env.mpi.insert_group(picked);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Group_excl(group, n, ranks_ptr, newgroup_ptr): the complement,
+    // preserving the original order.
+    mpi_fn!(linker, "MPI_Group_excl", (I32, I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let group_h = args[0].i32();
+        let n = args[1].i32();
+        let ranks_ptr = args[2].u32();
+        let out_ptr = args[3].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let r = (|| {
+            let g = env.mpi.group(group_h)?;
+            let mut drop = vec![false; g.len()];
+            for i in 0..n.max(0) as u32 {
+                let idx = mem.read_i32_at(ranks_ptr + i * 4).map_err(|_| {
+                    MpiError::BadCount { bytes: n as usize * 4, type_size: 4 }
+                })?;
+                if idx < 0 || idx as usize >= g.len() {
+                    return Err(MpiError::InvalidRank {
+                        rank: idx as u32,
+                        size: g.len() as u32,
+                    });
+                }
+                drop[idx as usize] = true;
+            }
+            Ok(g.iter()
+                .enumerate()
+                .filter(|(i, _)| !drop[*i])
+                .map(|(_, &w)| w)
+                .collect::<Vec<u32>>())
+        })();
+        match r {
+            Ok(kept) => {
+                let h = env.mpi.insert_group(kept);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
+    });
+
+    // MPI_Group_free(group_ptr)
+    mpi_fn!(linker, "MPI_Group_free", (I32) -> I32, |inst, args: &[Slot]| {
+        let ptr = args[0].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        let h = mem.read_i32_at(ptr)?;
+        let r = env.mpi.free_group(h);
+        if r.is_ok() {
+            mem.write_i32_at(ptr, handles::MPI_GROUP_NULL)?;
+        }
+        Ok(code(r))
+    });
+
+    // MPI_Comm_create(comm, group, newcomm_ptr): collective over comm —
+    // every member must pass a group with the same membership (verified
+    // by an allgathered hash, like MPI's erroneous-usage check). Members
+    // of the group get the new communicator; everyone else gets
+    // MPI_COMM_NULL.
+    mpi_fn!(linker, "MPI_Comm_create", (I32, I32, I32) -> I32, |inst, args: &[Slot]| {
+        let comm_h = args[0].i32();
+        let group_h = args[1].i32();
+        let out_ptr = args[2].u32();
+        let (mem, data) = inst.parts();
+        let env = env_of(data);
+        env.mpi.charge_wasm_overhead();
+        let r = (|| {
+            let world_ranks = env.mpi.group(group_h)?.clone();
+            let comm = env.mpi.comm(comm_h)?;
+            comm.create_from_group(&world_ranks)
+        })();
+        match r {
+            Ok(Some(new_comm)) => {
+                let h = env.mpi.insert_comm(new_comm);
+                mem.write_i32_at(out_ptr, h)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Ok(None) => {
+                mem.write_i32_at(out_ptr, handles::MPI_COMM_NULL)?;
+                Ok(vec![Slot::from_i32(handles::MPI_SUCCESS)])
+            }
+            Err(e) => Ok(vec![Slot::from_i32(e.code())]),
+        }
     });
 }

@@ -37,6 +37,21 @@ pub mod handles {
     pub const MPI_UNSIGNED_LONG: i32 = 5;
     pub const MPI_FLOAT: i32 = 6;
     pub const MPI_DOUBLE: i32 = 7;
+    /// First handle assigned to guest-constructed derived datatypes
+    /// (`MPI_Type_contiguous`/`Type_vector`/`Type_create_struct`); handles
+    /// below this are the predefined primitives above.
+    pub const FIRST_DERIVED_DATATYPE: i32 = 8;
+    /// `MPI_Type_free` writes this into the guest's handle word. Negative
+    /// (and distinct from `MPI_UNDEFINED`) so it can never collide with a
+    /// primitive or derived handle.
+    pub const MPI_DATATYPE_NULL: i32 = -2;
+
+    /// Null group handle (`MPI_GROUP_NULL`); real group handles are ≥ 1.
+    pub const MPI_GROUP_NULL: i32 = 0;
+    /// `MPI_Comm_create` result for callers outside the group
+    /// (`MPI_COMM_NULL`). Negative so it can never collide with a real
+    /// communicator handle.
+    pub const MPI_COMM_NULL: i32 = -1;
 
     pub const MPI_SUM: i32 = 0;
     pub const MPI_PROD: i32 = 1;
@@ -110,6 +125,247 @@ pub fn byte_len(count: i32, dt: Datatype) -> Result<u32, MpiError> {
         return Err(MpiError::BadCount { bytes: count as isize as usize, type_size: dt.size() });
     }
     Ok(count as u32 * dt.size() as u32)
+}
+
+// --- derived datatypes ---------------------------------------------------
+
+/// One contiguous byte run inside a derived datatype's extent.
+///
+/// `elem_size` is the primitive element size the run is made of — kept per
+/// segment (not per type) so `MPI_Get_elements` can count basic elements
+/// across struct types mixing primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeSegment {
+    pub offset: u32,
+    pub len: u32,
+    pub elem_size: u32,
+}
+
+/// A guest-constructed derived datatype, canonicalized to a *segment
+/// list*: the byte runs (in typemap order) one element occupies inside
+/// its extent. Composition (contiguous-of-vector, struct-of-struct)
+/// flattens at construction time, so the send/receive paths only ever
+/// walk one flat list — pack-on-send gathers the runs into a contiguous
+/// wire payload, unpack-on-recv scatters them back. The wire format is
+/// therefore identical to a manually packed send, which is what the
+/// differential proptests pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedDatatype {
+    /// Byte runs of one element, in typemap (pack) order, adjacent runs
+    /// coalesced.
+    pub segments: Vec<TypeSegment>,
+    /// Packed (wire) bytes per element: the sum of segment lengths.
+    pub packed_size: u32,
+    /// Stride between consecutive elements of this type in guest memory.
+    pub extent: u32,
+    /// `MPI_Type_commit` has run; communication requires it.
+    pub committed: bool,
+}
+
+/// Construction-size guard: a single derived type may not flatten to more
+/// than this many segments (a `Type_vector(10^9, …)` must not OOM the
+/// host).
+const MAX_TYPE_SEGMENTS: usize = 1 << 20;
+
+impl DerivedDatatype {
+    /// The segment-list view of a primitive datatype (the composition
+    /// leaf).
+    pub fn primitive(dt: Datatype) -> DerivedDatatype {
+        let s = dt.size() as u32;
+        DerivedDatatype {
+            segments: vec![TypeSegment { offset: 0, len: s, elem_size: s }],
+            packed_size: s,
+            extent: s,
+            committed: true,
+        }
+    }
+
+    /// Append `inner`'s segments shifted by `base`, coalescing with the
+    /// tail run when byte-adjacent in pack order and of the same element
+    /// size.
+    fn push_shifted(&mut self, inner: &DerivedDatatype, base: u32) {
+        for seg in &inner.segments {
+            let offset = base + seg.offset;
+            if let Some(last) = self.segments.last_mut() {
+                if last.offset + last.len == offset && last.elem_size == seg.elem_size {
+                    last.len += seg.len;
+                    continue;
+                }
+            }
+            self.segments.push(TypeSegment { offset, len: seg.len, elem_size: seg.elem_size });
+        }
+    }
+
+    fn empty() -> DerivedDatatype {
+        DerivedDatatype { segments: Vec::new(), packed_size: 0, extent: 0, committed: false }
+    }
+
+    /// Guard the flattened size: `placements` instances of `inner` may
+    /// not exceed the segment budget (a `Type_vector(10^9, …)` must not
+    /// OOM the host), and every derived byte quantity must fit `u32`
+    /// (guest memory is 32-bit).
+    fn check_size(placements: u64, inner: &DerivedDatatype, end: u64) -> Result<(), MpiError> {
+        if placements * inner.segments.len().max(1) as u64 > MAX_TYPE_SEGMENTS as u64
+            || end > u32::MAX as u64
+        {
+            return Err(MpiError::BadCount {
+                bytes: end as usize,
+                type_size: inner.extent.max(1) as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// `MPI_Type_contiguous(count, inner)`.
+    pub fn contiguous(count: u32, inner: &DerivedDatatype) -> Result<DerivedDatatype, MpiError> {
+        let extent = count as u64 * inner.extent as u64;
+        Self::check_size(count as u64, inner, extent.max(count as u64 * inner.packed_size as u64))?;
+        let mut t = Self::empty();
+        for i in 0..count {
+            t.push_shifted(inner, i * inner.extent);
+        }
+        t.packed_size = count * inner.packed_size;
+        t.extent = extent as u32;
+        Ok(t)
+    }
+
+    /// `MPI_Type_vector(count, blocklen, stride, inner)`. `stride` is in
+    /// elements of `inner`, as in MPI; negative strides are not supported
+    /// (rejected at the host call).
+    pub fn vector(
+        count: u32,
+        blocklen: u32,
+        stride: u32,
+        inner: &DerivedDatatype,
+    ) -> Result<DerivedDatatype, MpiError> {
+        if count > 0 && stride < blocklen {
+            // Overlapping blocks would make unpack scatter the same bytes
+            // twice; MPI allows them for sends only. Keep the table
+            // symmetric and reject at construction.
+            return Err(MpiError::BadCount {
+                bytes: stride as usize,
+                type_size: blocklen as usize,
+            });
+        }
+        let placements = count as u64 * blocklen as u64;
+        let extent = if count == 0 {
+            0
+        } else {
+            ((count - 1) as u64 * stride as u64 + blocklen as u64) * inner.extent as u64
+        };
+        Self::check_size(placements, inner, extent.max(placements * inner.packed_size as u64))?;
+        let mut t = Self::empty();
+        for i in 0..count {
+            for j in 0..blocklen {
+                t.push_shifted(inner, (i * stride + j) * inner.extent);
+            }
+        }
+        t.packed_size = count * blocklen * inner.packed_size;
+        t.extent = extent as u32;
+        Ok(t)
+    }
+
+    /// `MPI_Type_create_struct`: blocks of `(count, byte displacement,
+    /// inner)` in typemap order. The extent is the furthest byte any
+    /// block reaches (no alignment padding — the guest controls layout
+    /// through explicit displacements).
+    pub fn structure(
+        blocks: &[(u32, u32, &DerivedDatatype)],
+    ) -> Result<DerivedDatatype, MpiError> {
+        let mut t = Self::empty();
+        let mut packed: u64 = 0;
+        for &(count, displ, inner) in blocks {
+            let end = displ as u64 + count as u64 * inner.extent as u64;
+            packed += count as u64 * inner.packed_size as u64;
+            Self::check_size(count as u64, inner, end.max(packed))?;
+            for i in 0..count {
+                t.push_shifted(inner, displ + i * inner.extent);
+            }
+            t.packed_size += count * inner.packed_size;
+            t.extent = t.extent.max(end as u32);
+        }
+        if t.segments.len() > MAX_TYPE_SEGMENTS {
+            return Err(MpiError::BadCount { bytes: t.segments.len(), type_size: 1 });
+        }
+        Ok(t)
+    }
+
+    /// Bytes of guest memory `count` elements touch: the last element's
+    /// furthest segment end. 0 for empty types.
+    pub fn span(&self, count: u32) -> u32 {
+        if count == 0 || self.segments.is_empty() {
+            return 0;
+        }
+        let last_end = self
+            .segments
+            .iter()
+            .map(|s| s.offset + s.len)
+            .max()
+            .unwrap_or(0);
+        (count - 1) * self.extent + last_end
+    }
+
+    /// Pack `count` elements from `src` (a guest-memory view starting at
+    /// the buffer base, at least [`DerivedDatatype::span`] bytes) into a
+    /// contiguous wire payload.
+    pub fn pack(&self, count: u32, src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity((count * self.packed_size) as usize);
+        for i in 0..count {
+            let base = (i * self.extent) as usize;
+            for seg in &self.segments {
+                let at = base + seg.offset as usize;
+                out.extend_from_slice(&src[at..at + seg.len as usize]);
+            }
+        }
+        out
+    }
+
+    /// Scatter a packed wire payload back into `dst` (a guest-memory view
+    /// starting at the buffer base). Fewer bytes than the posted count is
+    /// fine (a shorter message was received; trailing elements stay
+    /// untouched), including a partial final segment.
+    pub fn unpack(&self, bytes: &[u8], dst: &mut [u8]) {
+        let mut read = 0usize;
+        let mut elem = 0u32;
+        'outer: loop {
+            let base = (elem * self.extent) as usize;
+            for seg in &self.segments {
+                if read == bytes.len() {
+                    break 'outer;
+                }
+                let take = (seg.len as usize).min(bytes.len() - read);
+                let at = base + seg.offset as usize;
+                dst[at..at + take].copy_from_slice(&bytes[read..read + take]);
+                read += take;
+            }
+            elem += 1;
+        }
+    }
+
+    /// `MPI_Get_elements`: the number of *basic* elements in `bytes`
+    /// packed bytes of this type, or `None` when the byte count ends
+    /// inside a basic element (`MPI_UNDEFINED`).
+    pub fn elements_in(&self, bytes: u32) -> Option<u32> {
+        if self.packed_size == 0 {
+            return Some(0);
+        }
+        let full = bytes / self.packed_size;
+        let mut rem = bytes % self.packed_size;
+        let per_elem: u32 = self.segments.iter().map(|s| s.len / s.elem_size).sum();
+        let mut n = full * per_elem;
+        for seg in &self.segments {
+            if rem == 0 {
+                break;
+            }
+            let take = rem.min(seg.len);
+            if take % seg.elem_size != 0 {
+                return None;
+            }
+            n += take / seg.elem_size;
+            rem -= take;
+        }
+        Some(n)
+    }
 }
 
 /// Accumulated translation-overhead measurements (Figure 6).

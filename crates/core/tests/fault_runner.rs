@@ -105,8 +105,10 @@ fn starved_recv_guest() -> Vec<u8> {
 
 /// Rank 0 posts an `Irecv` from rank 1 (which the fault plan kills) and
 /// drives it with `MPI_Waitall`: the call must return code 75 with
-/// errors-return semantics AND null the guest's request handle, as the
-/// Waitall contract pins. Exits with 75 when both hold.
+/// errors-return semantics, null the guest's request handle, AND write
+/// MPI_ERR_PROC_FAILED into the failed request's status MPI_ERROR word
+/// (offset +8), as the Waitall contract pins. Exits with 75 when all
+/// three hold.
 fn waitall_after_crash_guest() -> Vec<u8> {
     use ValType::I32;
     let mut b = ModuleBuilder::new();
@@ -137,11 +139,18 @@ fn waitall_after_crash_guest() -> Vec<u8> {
             call_drop(irecv, vec![
                 int(64), int(4), int(handles::MPI_BYTE), int(1), int(0), int(0), int(128),
             ]),
-            code.set(call(waitall, vec![int(1), int(128), int(0)], ValType::I32)),
+            // Real status array at 192 (not MPI_STATUSES_IGNORE): the
+            // failed request's MPI_ERROR word must be readable back.
+            code.set(call(waitall, vec![int(1), int(128), int(192)], ValType::I32)),
             // The failed handle must have been rewritten to
             // MPI_REQUEST_NULL; report a distinct code if it was not.
             if_then(int(128).load(ValType::I32, 0).ne(int(handles::MPI_REQUEST_NULL)), &[
                 call_stmt(proc_exit, vec![int(99)]),
+            ]),
+            // Status MPI_ERROR word (offset +8) carries the per-request
+            // failure code, not a hardcoded success.
+            if_then(int(192).load(ValType::I32, 8).ne(int(75)), &[
+                call_stmt(proc_exit, vec![int(98)]),
             ]),
             call_stmt(proc_exit, vec![code.get()]),
         ]);

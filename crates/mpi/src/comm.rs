@@ -265,6 +265,20 @@ impl Comm {
         self.ctx().send_blocking(buf, dest, tag)
     }
 
+    /// Blocking synchronous-mode send (`MPI_Ssend`): returns only once
+    /// the receiver has matched (and drained) the message. Above the
+    /// rendezvous threshold this is exactly [`Comm::send`] — the
+    /// handshake already parks the sender — and below it the payload
+    /// travels a receipt-acknowledged owned slot instead of completing
+    /// eagerly at initiation.
+    pub fn ssend(&self, buf: &[u8], dest: u32, tag: i32) -> Result<(), MpiError> {
+        self.charge_call();
+        self.fault_step("ssend")?;
+        let ctx = self.ctx();
+        let mut op = ctx.start_send_sync(buf.as_ptr(), buf.len(), dest, tag)?;
+        op.wait(&ctx)
+    }
+
     /// Blocking receive into `buf` (`MPI_Recv`). Posts a receive with the
     /// rank's mailbox (claiming the earliest queued match, or parking on
     /// the posted queue where arrivals match it in posted order) and
@@ -711,6 +725,54 @@ impl Comm {
         Request::send(self.ctx(), buf, len, dest, tag)
     }
 
+    /// Raw-pointer `MPI_Issend` for embedders: like [`Comm::isend_raw`]
+    /// but the request completes only once the receiver has matched the
+    /// message (synchronous mode).
+    ///
+    /// # Safety
+    /// As [`Comm::isend_raw`].
+    pub unsafe fn issend_raw(
+        &self,
+        buf: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        self.fault_step("issend")?;
+        Request::send_sync(self.ctx(), buf, len, dest, tag)
+    }
+
+    /// Nonblocking send of an owned payload (buffered-mode sends and
+    /// host-packed derived-datatype sends): the protocol layer takes the
+    /// bytes, so no caller buffer needs pinning. The request still must
+    /// run to completion (dropping it would retract an undelivered
+    /// message, as with any send).
+    pub fn isend_owned(
+        &self,
+        data: Box<[u8]>,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        self.fault_step("isend")?;
+        Request::send_owned(self.ctx(), data, dest, tag)
+    }
+
+    /// Synchronous-mode variant of [`Comm::isend_owned`]
+    /// (host-packed derived-datatype `MPI_Issend`): completion additionally
+    /// implies the receiver has matched the message.
+    pub fn issend_owned(
+        &self,
+        data: Box<[u8]>,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'static>, MpiError> {
+        self.charge_call();
+        self.fault_step("issend")?;
+        Request::send_owned_sync(self.ctx(), data, dest, tag)
+    }
+
     /// Raw-pointer `MPI_Irecv` for embedders.
     ///
     /// # Safety
@@ -1003,6 +1065,79 @@ impl Comm {
             id,
             group: Arc::new(group),
             rank: new_rank,
+            clock: Arc::clone(&self.clock),
+            derive_seq: AtomicU64::new(0),
+            nbc_seq: AtomicU64::new(0),
+            acked: Arc::clone(&self.acked),
+            agree_seq: AtomicU64::new(0),
+        }))
+    }
+
+    /// The communicator's group as world ranks, indexed by communicator
+    /// rank (`MPI_Comm_group` — the embedder's group objects are plain
+    /// rank lists over this).
+    pub fn group_world_ranks(&self) -> Vec<u32> {
+        self.group.as_ref().clone()
+    }
+
+    /// Create a sub-communicator from an explicit member list
+    /// (`MPI_Comm_create`). `world_ranks` lists the members as *world*
+    /// ranks in new-communicator rank order; every member of `self` must
+    /// call collectively with an equal list (verified with an allgathered
+    /// group hash over the `split` plumbing — a mismatch is
+    /// `CollectiveMismatch`). Returns `None` for callers outside the
+    /// group (`MPI_COMM_NULL`).
+    pub fn create_from_group(
+        &self,
+        world_ranks: &[u32],
+    ) -> Result<Option<Comm>, MpiError> {
+        self.charge_call();
+        self.fault_step("comm_create")?;
+        for w in world_ranks {
+            if !self.group.contains(w) {
+                return Err(MpiError::InvalidRank {
+                    rank: *w,
+                    size: self.size(),
+                });
+            }
+        }
+        // Collective verification: allgather an order-sensitive group
+        // hash so divergent member lists fail loudly instead of producing
+        // communicators whose traffic silently cross-matches.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in world_ranks {
+            hash ^= *w as u64 + 1;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let all = self.allgather_bytes(&hash.to_le_bytes())?;
+        let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
+        for r in 0..self.size() as usize {
+            let h = u64::from_le_bytes(all[r * 8..r * 8 + 8].try_into().unwrap());
+            if h != hash {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "comm_create group differs between rank {r} and rank {}",
+                    self.rank
+                )));
+            }
+        }
+
+        let me = self.group[self.rank as usize];
+        let Some(new_rank) = world_ranks.iter().position(|&w| w == me) else {
+            return Ok(None);
+        };
+        // Deterministic id every member computes identically (the same
+        // construction discipline as `split`).
+        let id = self
+            .id
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(seq)
+            .wrapping_mul(61)
+            .wrapping_add(hash | 1);
+        Ok(Some(Comm {
+            world: Arc::clone(&self.world),
+            id,
+            group: Arc::new(world_ranks.to_vec()),
+            rank: new_rank as u32,
             clock: Arc::clone(&self.clock),
             derive_seq: AtomicU64::new(0),
             nbc_seq: AtomicU64::new(0),

@@ -31,6 +31,9 @@ pub enum MpiError {
     /// other peers, acknowledge the failure ([`crate::Comm::ack_failed`])
     /// or shrink ([`crate::Comm::shrink`]).
     RankFailed { rank: u32 },
+    /// Buffered-send attach buffer missing or too small
+    /// (`MPI_ERR_BUFFER`).
+    NoBuffer { needed: usize, available: usize },
 }
 
 impl fmt::Display for MpiError {
@@ -52,6 +55,10 @@ impl fmt::Display for MpiError {
             MpiError::InvalidDatatype(h) => write!(f, "invalid datatype handle {h}"),
             MpiError::InvalidOp(h) => write!(f, "invalid op handle {h}"),
             MpiError::RankFailed { rank } => write!(f, "rank {rank} failed"),
+            MpiError::NoBuffer { needed, available } => write!(
+                f,
+                "buffered send needs {needed} bytes but the attach buffer holds {available}"
+            ),
         }
     }
 }
@@ -72,6 +79,7 @@ impl MpiError {
             MpiError::InvalidDatatype(_) => 3,   // MPI_ERR_TYPE
             MpiError::InvalidOp(_) => 9,         // MPI_ERR_OP
             MpiError::RankFailed { .. } => 75,   // MPI_ERR_PROC_FAILED (ULFM)
+            MpiError::NoBuffer { .. } => 1,      // MPI_ERR_BUFFER
         }
     }
 }

@@ -671,6 +671,164 @@ impl CommCtx {
         }
     }
 
+    /// Initiate a send whose payload the protocol layer *owns* (`data`
+    /// moved in). Two callers:
+    ///
+    /// * `sync = true` — synchronous mode (`MPI_Ssend`/`Issend`) below
+    ///   the rendezvous threshold: the payload rides an owned
+    ///   [`RendezvousSlot`] even though it would fit eagerly, so the op
+    ///   completes only when the receiver drains it — the receipt
+    ///   acknowledgment synchronous mode requires. Above the threshold
+    ///   callers use [`CommCtx::start_send`]; true rendezvous already
+    ///   has the semantics.
+    /// * `sync = false` — buffered/packed sends (`MPI_Bsend`, derived
+    ///   datatypes): the copy already decouples the caller's buffer, so
+    ///   the protocol choice mirrors [`CommCtx::start_send`], with the
+    ///   eager path moving `data` into the mailbox instead of re-copying.
+    ///
+    /// Self-sends always complete locally (the mailbox buffers the
+    /// payload; a same-thread handshake could never be answered), and a
+    /// dropped wire fault completes the send as in `start_send` — in both
+    /// cases even for `sync`, where real MPI would block: matching the
+    /// eager fault model keeps the watchdog's hung-*receiver* scenario.
+    pub fn start_send_owned(
+        &self,
+        data: Box<[u8]>,
+        dest: u32,
+        tag: i32,
+        sync: bool,
+    ) -> Result<SendOp, MpiError> {
+        self.check_rank(dest)?;
+        let me_world = self.my_world();
+        if self.world.is_failed(me_world) {
+            return Err(MpiError::RankFailed { rank: me_world });
+        }
+        let dest_world = self.group[dest as usize];
+        if self.world.is_failed(dest_world) {
+            return Err(MpiError::RankFailed { rank: dest_world });
+        }
+        let mailbox = self.world.mailbox(dest_world);
+        let stats = &self.world.stats;
+        self.world.note_progress();
+        let len = data.len();
+        let wire_fault = self.world.fault_wire(me_world, dest_world);
+        if wire_fault.drop {
+            self.trace(|| obs::EventKind::SendStart {
+                peer: dest_world,
+                tag,
+                bytes: len as u32,
+                protocol: obs::Protocol::Eager,
+                matched_posted: false,
+                flow: 0,
+            });
+            return Ok(SendOp::done());
+        }
+
+        let count_match = |d: &Deposit| -> bool {
+            let matched = matches!(d, Deposit::Matched);
+            if matched {
+                stats.preposted_matches.fetch_add(1, Ordering::Relaxed);
+            }
+            matched
+        };
+        let trace_send = |protocol: obs::Protocol, matched: bool, flow: u64| {
+            self.trace(|| obs::EventKind::SendStart {
+                peer: dest_world,
+                tag,
+                bytes: len as u32,
+                protocol,
+                matched_posted: matched,
+                flow,
+            });
+        };
+
+        if dest_world == me_world {
+            stats.eager_messages.fetch_add(1, Ordering::Relaxed);
+            stats.eager_bytes_copied.fetch_add(len as u64, Ordering::Relaxed);
+            let msg = self.message(tag, Payload::Eager(data));
+            let flow = msg.flow;
+            let matched = count_match(&mailbox.deposit(msg, false));
+            trace_send(obs::Protocol::SelfMsg, matched, flow);
+            return Ok(SendOp::done());
+        }
+
+        if !sync && len <= self.world.protocol.eager_threshold {
+            stats.eager_messages.fetch_add(1, Ordering::Relaxed);
+            stats.eager_bytes_copied.fetch_add(len as u64, Ordering::Relaxed);
+            let mut msg = self.message(tag, Payload::Eager(data));
+            msg.sent_at_us += wire_fault.delay_us;
+            let flow = msg.flow;
+            match mailbox.deposit(msg, true) {
+                d @ (Deposit::Queued | Deposit::Matched) => {
+                    let matched = count_match(&d);
+                    trace_send(obs::Protocol::Eager, matched, flow);
+                    Ok(SendOp::done())
+                }
+                Deposit::NoCredit(mut msg) => {
+                    let payload =
+                        std::mem::replace(&mut msg.payload, Payload::Eager(Box::new([])));
+                    let Payload::Eager(data) = payload else { unreachable!() };
+                    stats.deferred_eager_messages.fetch_add(1, Ordering::Relaxed);
+                    let slot = RendezvousSlot::for_owned(data);
+                    let flow = msg.flow;
+                    let matched = count_match(&mailbox.deposit(
+                        Message {
+                            payload: Payload::Rendezvous(RtsPayload(Arc::clone(&slot))),
+                            ..msg
+                        },
+                        false,
+                    ));
+                    trace_send(obs::Protocol::EagerDeferred, matched, flow);
+                    self.recheck_dest(dest_world, &slot)?;
+                    Ok(SendOp::in_flight(slot, dest_world, flow))
+                }
+            }
+        } else {
+            if sync && len <= self.world.protocol.eager_threshold {
+                // Sync-below-threshold: counts as a deferred eager send
+                // (same owned-slot machinery, same receive-side trace tag).
+                stats.deferred_eager_messages.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.rendezvous_messages.fetch_add(1, Ordering::Relaxed);
+                stats.rendezvous_bytes.fetch_add(len as u64, Ordering::Relaxed);
+            }
+            let slot = RendezvousSlot::for_owned(data);
+            let mut msg =
+                self.message(tag, Payload::Rendezvous(RtsPayload(Arc::clone(&slot))));
+            msg.sent_at_us += wire_fault.delay_us;
+            let flow = msg.flow;
+            let matched = count_match(&mailbox.deposit(msg, false));
+            trace_send(obs::Protocol::EagerDeferred, matched, flow);
+            self.recheck_dest(dest_world, &slot)?;
+            Ok(SendOp::in_flight(slot, dest_world, flow))
+        }
+    }
+
+    /// Initiate a synchronous-mode send (`MPI_Ssend`/`Issend`): completion
+    /// implies the receiver has matched the message. Above the rendezvous
+    /// threshold this *is* [`CommCtx::start_send`] — the handshake already
+    /// parks the sender until the receiver drains the payload. Below it
+    /// the payload is copied into an owned slot that travels the deferred
+    /// eager path, whose completion is receiver-driven too.
+    ///
+    /// # Safety contract (not enforced by types)
+    /// As [`CommCtx::start_send`]: above the threshold `ptr..ptr+len` must
+    /// stay valid until the returned [`SendOp`] completes or is cancelled.
+    pub fn start_send_sync(
+        &self,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<SendOp, MpiError> {
+        if len > self.world.protocol.eager_threshold {
+            return self.start_send(ptr, len, dest, tag);
+        }
+        self.check_rank(dest)?;
+        let data: Box<[u8]> = unsafe { std::slice::from_raw_parts(ptr, len) }.into();
+        self.start_send_owned(data, dest, tag, true)
+    }
+
     /// Close the race between our failed-destination pre-check and a
     /// concurrent `fail_rank` sweep of the destination mailbox: a
     /// rendezvous RTS deposited *after* the sweep would otherwise park

@@ -192,6 +192,48 @@ impl<'buf> Request<'buf> {
         Ok(Self::build(ctx, Kind::Send { op, dest, tag, len }, None))
     }
 
+    /// Synchronous-mode send (`MPI_Issend`): completion of the request
+    /// implies the receiver matched the message. Same `Kind::Send` state
+    /// machine — only the initiation differs (see
+    /// [`CommCtx::start_send_sync`]).
+    pub(crate) fn send_sync(
+        ctx: CommCtx,
+        ptr: *const u8,
+        len: usize,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'buf>, MpiError> {
+        let op = ctx.start_send_sync(ptr, len, dest, tag)?;
+        Ok(Self::build(ctx, Kind::Send { op, dest, tag, len }, None))
+    }
+
+    /// Send of a protocol-owned payload (buffered-mode and host-packed
+    /// derived-datatype sends): the caller's buffer is already decoupled,
+    /// so the request never pins guest memory.
+    pub(crate) fn send_owned(
+        ctx: CommCtx,
+        data: Box<[u8]>,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'buf>, MpiError> {
+        let len = data.len();
+        let op = ctx.start_send_owned(data, dest, tag, false)?;
+        Ok(Self::build(ctx, Kind::Send { op, dest, tag, len }, None))
+    }
+
+    /// Synchronous-mode owned-payload send: completion implies the
+    /// receiver matched the message (`MPI_Issend` over packed data).
+    pub(crate) fn send_owned_sync(
+        ctx: CommCtx,
+        data: Box<[u8]>,
+        dest: u32,
+        tag: i32,
+    ) -> Result<Request<'buf>, MpiError> {
+        let len = data.len();
+        let op = ctx.start_send_owned(data, dest, tag, true)?;
+        Ok(Self::build(ctx, Kind::Send { op, dest, tag, len }, None))
+    }
+
     pub(crate) fn recv(
         ctx: CommCtx,
         ptr: *mut u8,

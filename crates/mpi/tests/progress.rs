@@ -1108,6 +1108,81 @@ fn receiver_side(comm: &Comm, script: &Script) -> Vec<(Vec<u8>, Status)> {
         .collect()
 }
 
+// --- synchronous-mode sends (ISSUE acceptance criterion) -----------------
+
+/// Completion ordering of `MPI_Ssend` semantics, pinned differentially
+/// against the two protocol regimes in both clock modes:
+///
+/// * a plain eager send of the same small payload completes *locally*,
+///   with no receiver involvement;
+/// * a synchronous-mode send of that payload must stay pending until the
+///   receiver matches it — exactly the ordering a rendezvous-sized plain
+///   send exhibits.
+///
+/// The receiver provably has not posted anything when the pending checks
+/// run: it is blocked on a marker message the sender only emits afterwards.
+#[test]
+fn ssend_completion_orders_like_rendezvous_not_eager() {
+    const SMALL: usize = 512; // far below every profile's threshold
+    const BIG: usize = 256 << 10; // far above
+    for mode in [ClockMode::Real, virtual_mode()] {
+        let out = run_world_with(2, mode, |comm| {
+            if comm.rank() == 0 {
+                // Control 1: eager send completes with the receiver idle.
+                let small = payload(0, SMALL);
+                let mut eager = comm.isend(&small, 1, 1).unwrap();
+                let mut spins = 0u64;
+                while eager.test().unwrap().is_none() {
+                    spins += 1;
+                    assert!(spins < 10_000_000, "eager send never completed locally");
+                }
+
+                // Subject: sync-mode send of the same payload stays pending.
+                let mut sync =
+                    comm.issend_owned(payload(1, SMALL).into_boxed_slice(), 1, 2).unwrap();
+                assert!(
+                    sync.test().unwrap().is_none(),
+                    "sync-mode send completed before the receiver matched"
+                );
+
+                // Control 2: rendezvous-sized plain send, same ordering.
+                let big = payload(2, BIG);
+                let mut rdv = comm.isend(&big, 1, 3).unwrap();
+                assert!(
+                    rdv.test().unwrap().is_none(),
+                    "rendezvous send completed before the receiver matched"
+                );
+
+                // Only now release the receiver.
+                comm.send(&payload(3, 8), 1, 4).unwrap();
+                sync.wait().unwrap();
+                rdv.wait().unwrap();
+
+                // Blocking Ssend against an already-posted receive for
+                // the return trip.
+                comm.ssend(&payload(4, SMALL), 1, 5).unwrap();
+                comm.protocol_stats()
+            } else {
+                let mut marker = [0u8; 8];
+                comm.recv(&mut marker, Source::Rank(0), Tag::Value(4)).unwrap();
+                let mut small = vec![0u8; SMALL];
+                comm.recv(&mut small, Source::Rank(0), Tag::Value(1)).unwrap();
+                assert_eq!(small, payload(0, SMALL));
+                comm.recv(&mut small, Source::Rank(0), Tag::Value(2)).unwrap();
+                assert_eq!(small, payload(1, SMALL), "sync-mode payload corrupted");
+                let mut big = vec![0u8; BIG];
+                comm.recv(&mut big, Source::Rank(0), Tag::Value(3)).unwrap();
+                assert_eq!(big, payload(2, BIG));
+                comm.recv(&mut small, Source::Rank(0), Tag::Value(5)).unwrap();
+                assert_eq!(small, payload(4, SMALL));
+                comm.protocol_stats()
+            }
+        });
+        // The rendezvous control really took the rendezvous path.
+        assert!(out[0].rendezvous_messages >= 1, "{:?}", out[0]);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -272,6 +272,310 @@ proptest! {
         }
     }
 
+    /// Differential conformance for derived-datatype sends through the
+    /// guest ABI: the host's pack-on-send of an `MPI_Type_vector` must be
+    /// byte-identical to the guest packing the same strided region by
+    /// hand, for random type shapes, in both clock modes, with payloads
+    /// on both sides of the rendezvous threshold.
+    #[test]
+    fn derived_type_send_matches_manual_packing(
+        count in 1i32..16,
+        blocklen in 1i32..8,
+        gap in 0i32..8,
+    ) {
+        use hpc_benchmarks::guest::{layout, MpiImports, MPI_INT};
+        use mpi_substrate::ClockMode;
+        use mpiwasm::{JobConfig, Runner};
+        use netsim::{CostModel, SystemProfile};
+        use wasm_engine::dsl::*;
+
+        let stride = blocklen + gap;
+        let ext = (count - 1) * stride + blocklen; // extent in ints
+        let per_instance = count * blocklen; // packed ints per instance
+
+        // One eager-sized and one rendezvous-sized payload (the real-mode
+        // default threshold is 64 KiB).
+        for target_bytes in [4 << 10, 96 << 10] {
+            let n = ((target_bytes / (per_instance * 4)).max(1)).min(4096);
+            let total = n * per_instance; // packed ints on the wire
+            let span = n * ext; // source ints the type walks over
+
+            const TYPE: i32 = 256;
+            let pack_buf = layout::SEND_BUF + (4 << 20);
+            let recv_b = layout::RECV_BUF + (8 << 20);
+
+            let mut b = wasm_engine::ModuleBuilder::new();
+            b.memory(layout::PAGES, None);
+            let mpi = MpiImports::declare(&mut b);
+            b.func("_start", vec![], vec![], |f| {
+                let rank = Var::new(f, ValType::I32);
+                let inst = Var::new(f, ValType::I32);
+                let blk = Var::new(f, ValType::I32);
+                let e = Var::new(f, ValType::I32);
+                let d = Var::new(f, ValType::I32);
+                let mism = Var::new(f, ValType::I32);
+                let sum = Var::new(f, ValType::F64);
+                let mut stmts = vec![mpi.init()];
+                stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+                stmts.push(if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        // Deterministic source values over the whole span.
+                        for_range(e, int(0), int(span), &[store(
+                            int(layout::SEND_BUF) + e.get() * int(4),
+                            0,
+                            (e.get() * int(7) + int(3)).and(int(0xffff)),
+                        )]),
+                        mpi.type_vector(int(count), int(blocklen), int(stride), MPI_INT, int(TYPE)),
+                        mpi.type_commit(int(TYPE)),
+                        // Subject: the host packs n instances on send.
+                        mpi.send_dt(
+                            int(layout::SEND_BUF),
+                            int(n),
+                            int(TYPE).load(ValType::I32, 0),
+                            int(1),
+                            int(1),
+                        ),
+                        // Oracle: pack the identical walk by hand.
+                        d.set(int(0)),
+                        for_range(inst, int(0), int(n), &[
+                            for_range(blk, int(0), int(count), &[
+                                for_range(e, int(0), int(blocklen), &[
+                                    store(
+                                        int(pack_buf) + d.get() * int(4),
+                                        0,
+                                        (int(layout::SEND_BUF)
+                                            + (inst.get() * int(ext)
+                                                + blk.get() * int(stride)
+                                                + e.get())
+                                                * int(4))
+                                            .load(ValType::I32, 0),
+                                    ),
+                                    d.set(d.get() + int(1)),
+                                ]),
+                            ]),
+                        ]),
+                        mpi.send(int(pack_buf), int(total), MPI_INT, int(1), int(2)),
+                        mpi.type_free(int(TYPE)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(total), MPI_INT, int(0), int(1)),
+                        mpi.recv(int(recv_b), int(total), MPI_INT, int(0), int(2)),
+                        mism.set(int(0)),
+                        sum.set(double(0.0)),
+                        for_range(e, int(0), int(total), &[
+                            if_then(
+                                (int(layout::RECV_BUF) + e.get() * int(4))
+                                    .load(ValType::I32, 0)
+                                    .ne((int(recv_b) + e.get() * int(4)).load(ValType::I32, 0)),
+                                &[mism.set(mism.get() + int(1))],
+                            ),
+                            sum.set(
+                                sum.get()
+                                    + (int(layout::RECV_BUF) + e.get() * int(4))
+                                        .load(ValType::I32, 0)
+                                        .to(ValType::F64),
+                            ),
+                        ]),
+                        mpi.report(int(0), mism.get().to(ValType::F64)),
+                        mpi.report(int(1), sum.get()),
+                    ],
+                ));
+                stmts.push(mpi.finalize());
+                emit_block(f, &stmts);
+            });
+            let wasm = encode_module(&b.finish());
+
+            // Ground truth for the packed stream's checksum.
+            let mut expected = 0.0f64;
+            for i in 0..n {
+                for bk in 0..count {
+                    for el in 0..blocklen {
+                        let src = i * ext + bk * stride + el;
+                        expected += ((src * 7 + 3) & 0xffff) as f64;
+                    }
+                }
+            }
+
+            for clock in [
+                ClockMode::Real,
+                ClockMode::Virtual(CostModel::native(SystemProfile::container())),
+            ] {
+                let result = Runner::new()
+                    .run(&wasm, JobConfig { np: 2, clock: clock.clone(), ..Default::default() })
+                    .unwrap();
+                prop_assert!(result.success(), "{clock:?}: {:?}", result.ranks[1].error);
+                let reports = &result.ranks[1].reports;
+                prop_assert_eq!(
+                    reports[0],
+                    (0, 0.0),
+                    "host pack differs from manual pack: {:?} n={} count={} blocklen={} stride={}",
+                    clock, n, count, blocklen, stride
+                );
+                prop_assert_eq!(reports[1], (1, expected), "checksum vs ground truth: {:?}", clock);
+            }
+        }
+    }
+
+    /// Same differential for `MPI_Type_create_struct`: two int blocks at
+    /// random byte displacements, host-packed vs the guest walking the
+    /// displacement map by hand.
+    #[test]
+    fn derived_struct_send_matches_manual_packing(
+        bl1 in 1i32..6,
+        bl2 in 1i32..6,
+        gap_words in 0i32..16,
+    ) {
+        use hpc_benchmarks::guest::{layout, MpiImports, MPI_INT};
+        use mpi_substrate::ClockMode;
+        use mpiwasm::{JobConfig, Runner};
+        use netsim::{CostModel, SystemProfile};
+        use wasm_engine::dsl::*;
+
+        let disp2 = bl1 * 4 + gap_words * 4; // second block's byte offset
+        let ext = disp2 + bl2 * 4; // extent in bytes (max segment end)
+        let per_instance = bl1 + bl2; // packed ints per instance
+
+        for target_bytes in [4 << 10, 96 << 10] {
+            let n = ((target_bytes / (per_instance * 4)).max(1)).min(4096);
+            let total = n * per_instance;
+            let span_ints = n * ext / 4;
+
+            const TYPE: i32 = 256;
+            const BL_ARR: i32 = 384;
+            const DISP_ARR: i32 = 400;
+            const TY_ARR: i32 = 416;
+            let pack_buf = layout::SEND_BUF + (4 << 20);
+            let recv_b = layout::RECV_BUF + (8 << 20);
+
+            let mut b = wasm_engine::ModuleBuilder::new();
+            b.memory(layout::PAGES, None);
+            let mpi = MpiImports::declare(&mut b);
+            b.func("_start", vec![], vec![], |f| {
+                let rank = Var::new(f, ValType::I32);
+                let inst = Var::new(f, ValType::I32);
+                let e = Var::new(f, ValType::I32);
+                let d = Var::new(f, ValType::I32);
+                let mism = Var::new(f, ValType::I32);
+                let sum = Var::new(f, ValType::F64);
+                let mut stmts = vec![mpi.init()];
+                stmts.extend(mpi.load_rank(layout::SCRATCH, rank));
+                stmts.push(if_else(
+                    rank.get().eq(int(0)),
+                    &[
+                        for_range(e, int(0), int(span_ints), &[store(
+                            int(layout::SEND_BUF) + e.get() * int(4),
+                            0,
+                            (e.get() * int(7) + int(3)).and(int(0xffff)),
+                        )]),
+                        store(int(BL_ARR), 0, int(bl1)),
+                        store(int(BL_ARR), 4, int(bl2)),
+                        store(int(DISP_ARR), 0, int(0)),
+                        store(int(DISP_ARR), 4, int(disp2)),
+                        store(int(TY_ARR), 0, int(MPI_INT)),
+                        store(int(TY_ARR), 4, int(MPI_INT)),
+                        call_drop(
+                            mpi.type_create_struct,
+                            vec![int(2), int(BL_ARR), int(DISP_ARR), int(TY_ARR), int(TYPE)],
+                        ),
+                        mpi.type_commit(int(TYPE)),
+                        mpi.send_dt(
+                            int(layout::SEND_BUF),
+                            int(n),
+                            int(TYPE).load(ValType::I32, 0),
+                            int(1),
+                            int(1),
+                        ),
+                        // Manual oracle: walk the two displacement blocks.
+                        d.set(int(0)),
+                        for_range(inst, int(0), int(n), &[
+                            for_range(e, int(0), int(bl1), &[
+                                store(
+                                    int(pack_buf) + d.get() * int(4),
+                                    0,
+                                    (int(layout::SEND_BUF)
+                                        + inst.get() * int(ext)
+                                        + e.get() * int(4))
+                                        .load(ValType::I32, 0),
+                                ),
+                                d.set(d.get() + int(1)),
+                            ]),
+                            for_range(e, int(0), int(bl2), &[
+                                store(
+                                    int(pack_buf) + d.get() * int(4),
+                                    0,
+                                    (int(layout::SEND_BUF)
+                                        + inst.get() * int(ext)
+                                        + int(disp2)
+                                        + e.get() * int(4))
+                                        .load(ValType::I32, 0),
+                                ),
+                                d.set(d.get() + int(1)),
+                            ]),
+                        ]),
+                        mpi.send(int(pack_buf), int(total), MPI_INT, int(1), int(2)),
+                        mpi.type_free(int(TYPE)),
+                    ],
+                    &[
+                        mpi.recv(int(layout::RECV_BUF), int(total), MPI_INT, int(0), int(1)),
+                        mpi.recv(int(recv_b), int(total), MPI_INT, int(0), int(2)),
+                        mism.set(int(0)),
+                        sum.set(double(0.0)),
+                        for_range(e, int(0), int(total), &[
+                            if_then(
+                                (int(layout::RECV_BUF) + e.get() * int(4))
+                                    .load(ValType::I32, 0)
+                                    .ne((int(recv_b) + e.get() * int(4)).load(ValType::I32, 0)),
+                                &[mism.set(mism.get() + int(1))],
+                            ),
+                            sum.set(
+                                sum.get()
+                                    + (int(layout::RECV_BUF) + e.get() * int(4))
+                                        .load(ValType::I32, 0)
+                                        .to(ValType::F64),
+                            ),
+                        ]),
+                        mpi.report(int(0), mism.get().to(ValType::F64)),
+                        mpi.report(int(1), sum.get()),
+                    ],
+                ));
+                stmts.push(mpi.finalize());
+                emit_block(f, &stmts);
+            });
+            let wasm = encode_module(&b.finish());
+
+            let mut expected = 0.0f64;
+            for i in 0..n {
+                for el in 0..bl1 {
+                    let src = (i * ext) / 4 + el;
+                    expected += ((src * 7 + 3) & 0xffff) as f64;
+                }
+                for el in 0..bl2 {
+                    let src = (i * ext + disp2) / 4 + el;
+                    expected += ((src * 7 + 3) & 0xffff) as f64;
+                }
+            }
+
+            for clock in [
+                ClockMode::Real,
+                ClockMode::Virtual(CostModel::native(SystemProfile::container())),
+            ] {
+                let result = Runner::new()
+                    .run(&wasm, JobConfig { np: 2, clock: clock.clone(), ..Default::default() })
+                    .unwrap();
+                prop_assert!(result.success(), "{clock:?}: {:?}", result.ranks[1].error);
+                let reports = &result.ranks[1].reports;
+                prop_assert_eq!(
+                    reports[0],
+                    (0, 0.0),
+                    "host pack differs from manual pack: {:?} n={} bl1={} bl2={} disp2={}",
+                    clock, n, bl1, bl2, disp2
+                );
+                prop_assert_eq!(reports[1], (1, expected), "checksum vs ground truth: {:?}", clock);
+            }
+        }
+    }
+
     /// Alltoall is an exact transpose for random block contents.
     #[test]
     fn alltoall_transposes(p in 1u32..6, seed in any::<u64>()) {
